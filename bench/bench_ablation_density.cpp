@@ -1,0 +1,35 @@
+// Ablation: predicted communication time vs density rho for the three
+// aggregation algorithms (P = 32, m = 25e6), plus the density at which
+// sparsification stops paying on this network.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "collectives/cost_model.hpp"
+#include "util/table.hpp"
+
+int main() {
+    using namespace gtopk;
+    using util::TextTable;
+    bench::quiet_logs();
+
+    bench::print_header("Ablation — comm time vs density (P = 32, m = 25e6, 1GbE)",
+                        "Table I models at the paper's alpha/beta");
+
+    const comm::NetworkModel net = comm::NetworkModel::one_gbps_ethernet();
+    const std::uint64_t m = 25'000'000;
+    const double dense_ms = collectives::dense_allreduce_time_s(net, 32, m) * 1e3;
+
+    TextTable table({"rho", "k", "Top-k [ms]", "gTop-k [ms]", "Dense [ms]",
+                     "gTop-k wins?"});
+    for (double rho : {1e-1, 1e-2, 5e-3, 1e-3, 5e-4, 1e-4, 1e-5}) {
+        const auto k = static_cast<std::uint64_t>(rho * static_cast<double>(m));
+        const double topk = collectives::topk_allreduce_time_s(net, 32, k) * 1e3;
+        const double gtopk = collectives::gtopk_allreduce_time_s(net, 32, k) * 1e3;
+        table.add_row({TextTable::fmt(rho, 5), TextTable::fmt_int(static_cast<long long>(k)),
+                       TextTable::fmt(topk, 2), TextTable::fmt(gtopk, 2),
+                       TextTable::fmt(dense_ms, 1),
+                       gtopk < topk && gtopk < dense_ms ? "yes" : "no"});
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,22 @@
+// Shared helpers for the report benches: each bench binary reproduces one
+// table or figure of the paper and prints it as aligned text rows.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+namespace gtopk::bench {
+
+inline void print_header(const std::string& artifact, const std::string& note) {
+    std::cout << "==============================================================\n"
+              << artifact << "\n"
+              << note << "\n"
+              << "==============================================================\n";
+}
+
+inline void quiet_logs() { util::set_log_level(util::LogLevel::Warn); }
+
+}  // namespace gtopk::bench

@@ -1,0 +1,44 @@
+// Fig. 10: scaling efficiency of S-SGD with DenseAllReduce, TopKAllReduce
+// and gTopKAllReduce on the four CNNs, P = 4..32, 1GbE.
+// Uses the calibrated testbed stack (PyTorch + Horovod/NCCL on PCIe-x1
+// hosts) — see EXPERIMENTS.md for how the stack constants were fitted to
+// the paper's own measurements.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "perfmodel/iteration_model.hpp"
+#include "util/table.hpp"
+
+int main() {
+    using namespace gtopk;
+    using namespace gtopk::perfmodel;
+    using util::TextTable;
+    bench::quiet_logs();
+
+    const StackModel stack = StackModel::calibrated();
+    bench::print_header("Fig. 10 — Scaling efficiency (%) on 1GbE, k = 0.001*m",
+                        "calibrated testbed stack; e = (tf+tb)/titer (Eq. 4)");
+
+    for (const auto& model : table4_models()) {
+        std::cout << "\n" << model.name << " (m = " << model.params
+                  << ", b = " << model.batch << ")\n";
+        TextTable table({"P", "Dense S-SGD", "Top-k S-SGD", "gTop-k S-SGD"});
+        for (int p : {4, 8, 16, 32}) {
+            auto pct = [&](Algo algo) {
+                return TextTable::fmt(
+                    100.0 * scaling_efficiency(model, algo, p, 1e-3, stack), 1);
+            };
+            table.add_row({TextTable::fmt_int(p), pct(Algo::Dense), pct(Algo::Topk),
+                           pct(Algo::Gtopk)});
+        }
+        table.print(std::cout);
+    }
+
+    std::cout << "\nPaper's qualitative claims to verify against the rows above:\n"
+              << "  * dense S-SGD has the worst efficiency everywhere;\n"
+              << "  * Top-k S-SGD degrades visibly from 16 to 32 workers;\n"
+              << "  * gTop-k S-SGD stays nearly flat as P grows;\n"
+              << "  * ResNets reach much higher efficiency than VGG/AlexNet\n"
+              << "    (low communication-to-computation ratio).\n";
+    return 0;
+}

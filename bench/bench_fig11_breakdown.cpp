@@ -1,0 +1,37 @@
+// Fig. 11: per-iteration time breakdown (compute / compression /
+// communication) of gTop-k S-SGD on 32 workers, as percentages.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "perfmodel/iteration_model.hpp"
+#include "util/table.hpp"
+
+int main() {
+    using namespace gtopk;
+    using namespace gtopk::perfmodel;
+    using util::TextTable;
+    bench::quiet_logs();
+
+    const StackModel stack = StackModel::calibrated();
+    bench::print_header(
+        "Fig. 11 — Time breakdown of gTop-k S-SGD at P = 32 (percent)",
+        "Compu. = forward+backward, Compr. = top-k selection, Commu. = "
+        "gTopKAllReduce");
+
+    TextTable table({"Model", "Compu. %", "Compr. %", "Commu. %", "titer [s]"});
+    for (const auto& model : table4_models()) {
+        const Breakdown b =
+            iteration_breakdown(model, Algo::Gtopk, 32, model.default_density, stack);
+        const double total = b.total_s();
+        table.add_row({model.name, TextTable::fmt(100 * b.compute_s / total, 1),
+                       TextTable::fmt(100 * b.compress_s / total, 1),
+                       TextTable::fmt(100 * b.comm_s / total, 1),
+                       TextTable::fmt(total, 3)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nExpected shape (paper): VGG-16/AlexNet dominated by "
+                 "compression+communication;\nResNet-20/ResNet-50 dominated by "
+                 "computation.\n";
+    return 0;
+}

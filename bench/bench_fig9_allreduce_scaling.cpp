@@ -1,0 +1,102 @@
+// Fig. 9: TopKAllReduce vs gTopKAllReduce communication time.
+//   Left:  vs number of workers (4..128) at m = 25e6, rho = 0.001.
+//   Right: vs number of parameters (1e6..1e8) at P = 32.
+// The paper computes this figure from the measured alpha/beta and the
+// Table I models; we print the same model values AND validate them against
+// end-to-end measurements on the virtual-time cluster where the worker
+// count is practical (<= 32 threads).
+#include <algorithm>
+#include <iostream>
+#include <set>
+
+#include "bench_common.hpp"
+#include "collectives/cost_model.hpp"
+#include "comm/cluster.hpp"
+#include "core/aggregators.hpp"
+#include "sparse/topk_select.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace gtopk;
+
+double measure(int world, std::int64_t m, std::size_t k, bool gtopk) {
+    auto result = comm::Cluster::run_timed(
+        world, comm::NetworkModel::one_gbps_ethernet(), [&](comm::Communicator& comm) {
+            util::Xoshiro256 rng(static_cast<std::uint64_t>(comm.rank()) + 17);
+            // Build a k-sparse gradient directly (materializing m = 25e6
+            // dense floats x 32 ranks would be pointless here).
+            std::vector<std::int32_t> idx;
+            std::vector<float> vals;
+            std::set<std::int64_t> used;
+            while (idx.size() < k) {
+                const auto i = static_cast<std::int32_t>(
+                    rng.next_below(static_cast<std::uint64_t>(m)));
+                if (used.insert(i).second) {
+                    idx.push_back(i);
+                    vals.push_back(static_cast<float>(rng.next_gaussian()));
+                }
+            }
+            const auto local = sparse::from_pairs(m, std::move(idx), std::move(vals));
+            if (gtopk) {
+                (void)core::gtopk_allreduce(comm, local, k);
+            } else {
+                (void)core::topk_allreduce(comm, local);
+            }
+        });
+    double t = 0;
+    for (double x : result.final_time_s) t = std::max(t, x);
+    return t;
+}
+
+}  // namespace
+
+int main() {
+    using util::TextTable;
+    bench::quiet_logs();
+    const comm::NetworkModel net = comm::NetworkModel::one_gbps_ethernet();
+
+    bench::print_header(
+        "Fig. 9 (left) — AllReduce time vs workers (m = 25e6, rho = 0.001)",
+        "model = Table I formulas at measured alpha/beta; measured = "
+        "virtual-time cluster (P <= 32)");
+    {
+        const std::int64_t m = 25'000'000;
+        const std::size_t k = 25'000;
+        TextTable table({"P", "TopK model [ms]", "gTopK model [ms]",
+                         "TopK measured [ms]", "gTopK measured [ms]"});
+        for (int p : {4, 8, 16, 32, 64, 128}) {
+            const double topk_model =
+                collectives::topk_allreduce_time_s(net, p, k) * 1e3;
+            const double gtopk_model =
+                collectives::gtopk_allreduce_time_s(net, p, k) * 1e3;
+            std::string topk_meas = "-", gtopk_meas = "-";
+            if (p <= 32) {
+                topk_meas = TextTable::fmt(measure(p, m, k, false) * 1e3, 2);
+                gtopk_meas = TextTable::fmt(measure(p, m, k, true) * 1e3, 2);
+            }
+            table.add_row({TextTable::fmt_int(p), TextTable::fmt(topk_model, 2),
+                           TextTable::fmt(gtopk_model, 2), topk_meas, gtopk_meas});
+        }
+        table.print(std::cout);
+    }
+
+    bench::print_header(
+        "Fig. 9 (right) — AllReduce time vs model size (P = 32, rho = 0.001)",
+        "k = rho * m");
+    {
+        TextTable table({"m", "k", "TopK model [ms]", "gTopK model [ms]",
+                         "gTopK speedup"});
+        for (double m : {1e6, 2e6, 5e6, 1e7, 2.5e7, 5e7, 1e8}) {
+            const auto k = static_cast<std::uint64_t>(m * 1e-3);
+            const double topk = collectives::topk_allreduce_time_s(net, 32, k) * 1e3;
+            const double gtopk = collectives::gtopk_allreduce_time_s(net, 32, k) * 1e3;
+            table.add_row({TextTable::fmt(m, 0), TextTable::fmt_int(static_cast<long long>(k)),
+                           TextTable::fmt(topk, 2), TextTable::fmt(gtopk, 2),
+                           TextTable::fmt(topk / gtopk, 2) + "x"});
+        }
+        table.print(std::cout);
+    }
+    return 0;
+}

@@ -1,0 +1,74 @@
+// Extension bench (paper footnote 2): gTop-k under a Parameter-Server
+// topology vs the decentralized gTopKAllReduce tree, both end-to-end on the
+// virtual 1GbE cluster and analytically. Shows WHY the paper goes
+// decentralized: the PS star is O(kP) on the server uplink.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "collectives/cost_model.hpp"
+#include "data/sampler.hpp"
+#include "data/synthetic_images.hpp"
+#include "nn/model_zoo.hpp"
+#include "ps/ps_cost_model.hpp"
+#include "ps/ps_trainer.hpp"
+#include "train/trainer.hpp"
+#include "util/table.hpp"
+
+int main() {
+    using namespace gtopk;
+    using util::TextTable;
+    bench::quiet_logs();
+
+    bench::print_header(
+        "Extension — gTop-k: Parameter-Server star vs decentralized tree",
+        "model costs at paper alpha/beta; measured = training on virtual 1GbE");
+
+    const auto net = comm::NetworkModel::one_gbps_ethernet();
+    {
+        TextTable table({"P", "PS star [ms]", "AllReduce tree [ms]", "tree speedup"});
+        for (int p : {4, 8, 16, 32, 64, 128}) {
+            const double star = ps::ps_gtopk_time_s(net, p, 25'000) * 1e3;
+            const double tree = collectives::gtopk_allreduce_time_s(net, p, 25'000) * 1e3;
+            table.add_row({TextTable::fmt_int(p), TextTable::fmt(star, 2),
+                           TextTable::fmt(tree, 2),
+                           TextTable::fmt(star / tree, 2) + "x"});
+        }
+        std::cout << "k = 25000 (m = 25e6, rho = 0.001):\n";
+        table.print(std::cout);
+    }
+
+    // End-to-end: identical training (same model/seeds/batches), measured
+    // virtual comm per iteration under both topologies.
+    data::SyntheticImageDataset dataset({}, 7);
+    nn::MlpConfig mcfg;
+    mcfg.input_dim = dataset.feature_dim();
+    mcfg.hidden_dims = {128, 64};
+    const auto factory = [&](std::uint64_t seed) { return nn::make_mlp(mcfg, seed); };
+
+    std::cout << "\nMeasured on the virtual cluster (per-iteration comm, worker 0):\n";
+    TextTable table({"P", "PS gTop-k [ms]", "AllReduce gTop-k [ms]"});
+    for (int workers : {4, 8}) {
+        data::ShardedSampler sampler(8192, 1024, workers, 3);
+        auto batches = [&](std::int64_t step, int rank) {
+            return dataset.batch_flat(sampler.batch_indices(step, rank, 8));
+        };
+        ps::PsTrainConfig ps_config;
+        ps_config.epochs = 1;
+        ps_config.iters_per_epoch = 8;
+        ps_config.density = 0.05;
+        const auto ps_run = ps::train_parameter_server(workers, net, ps_config,
+                                                       factory, batches, nullptr);
+        train::TrainConfig ar_config;
+        ar_config.algorithm = train::Algorithm::GtopkSsgd;
+        ar_config.epochs = 1;
+        ar_config.iters_per_epoch = 8;
+        ar_config.density = 0.05;
+        const auto ar_run = train::train_distributed(workers, net, ar_config, factory,
+                                                     batches, nullptr);
+        table.add_row({TextTable::fmt_int(workers),
+                       TextTable::fmt(ps_run.mean_comm_virtual_s * 1e3, 2),
+                       TextTable::fmt(ar_run.mean_comm_virtual_s * 1e3, 2)});
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,45 @@
+// Table I: communication complexity of gradient aggregation algorithms.
+// Prints the symbolic complexity/time-cost columns and evaluates the time
+// models at the paper's measured constants for a sweep of worker counts.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "collectives/cost_model.hpp"
+#include "comm/network_model.hpp"
+#include "util/table.hpp"
+
+int main() {
+    using namespace gtopk;
+    using util::TextTable;
+    bench::quiet_logs();
+
+    bench::print_header(
+        "Table I — Communication complexity of gradient aggregation algorithms",
+        "alpha = 0.436 ms, beta = 3.6e-5 ms/element (paper Fig. 8); "
+        "m = 25e6 (ResNet-50), rho = 0.001, k = rho*m = 25000");
+
+    TextTable symbolic({"Aggregation Algorithm", "Complexity", "Time Cost"});
+    symbolic.add_row({"DenseAllReduce", "O(m)", "2(P-1)a + 2(P-1)/P m b"});
+    symbolic.add_row({"TopKAllReduce", "O(kP)", "log(P)a + 2(P-1)k b"});
+    symbolic.add_row({"Ours (gTopKAllReduce)", "O(k logP)", "2log(P)a + 4k log(P) b"});
+    symbolic.print(std::cout);
+    std::cout << "\n";
+
+    const comm::NetworkModel net = comm::NetworkModel::one_gbps_ethernet();
+    const std::uint64_t m = 25'000'000;
+    const std::uint64_t k = 25'000;
+
+    TextTable table({"P", "Dense [ms]", "Top-k [ms]", "gTop-k [ms]",
+                     "gTop-k speedup vs Dense", "vs Top-k"});
+    for (int p : {4, 8, 16, 32, 64, 128}) {
+        const double dense = collectives::dense_allreduce_time_s(net, p, m) * 1e3;
+        const double topk = collectives::topk_allreduce_time_s(net, p, k) * 1e3;
+        const double gtopk = collectives::gtopk_allreduce_time_s(net, p, k) * 1e3;
+        table.add_row({TextTable::fmt_int(p), TextTable::fmt(dense, 2),
+                       TextTable::fmt(topk, 2), TextTable::fmt(gtopk, 2),
+                       TextTable::fmt(dense / gtopk, 1) + "x",
+                       TextTable::fmt(topk / gtopk, 2) + "x"});
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,42 @@
+// Table IV: system training throughput (samples/s) on the 32-worker 1GbE
+// cluster, with the g/d and g/t speedups, printed next to the paper's
+// measured numbers.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "perfmodel/iteration_model.hpp"
+#include "util/table.hpp"
+
+int main() {
+    using namespace gtopk;
+    using namespace gtopk::perfmodel;
+    using util::TextTable;
+    bench::quiet_logs();
+
+    const StackModel stack = StackModel::calibrated();
+    bench::print_header("Table IV — Training throughput on a 32-GPU cluster",
+                        "ours = calibrated model; paper columns from Table IV");
+
+    TextTable table({"Model", "Dense", "Top-k", "gTop-k", "g/d", "g/t",
+                     "paper Dense", "paper Top-k", "paper gTop-k", "paper g/d",
+                     "paper g/t"});
+    const auto models = table4_models();
+    const auto paper = paper_table4();
+    for (std::size_t i = 0; i < models.size(); ++i) {
+        const auto& m = models[i];
+        const double dense = throughput_sps(m, Algo::Dense, 32, 1e-3, stack);
+        const double topk = throughput_sps(m, Algo::Topk, 32, 1e-3, stack);
+        const double gtopk = throughput_sps(m, Algo::Gtopk, 32, 1e-3, stack);
+        table.add_row({m.name, TextTable::fmt(dense, 0), TextTable::fmt(topk, 0),
+                       TextTable::fmt(gtopk, 0),
+                       TextTable::fmt(gtopk / dense, 1) + "x",
+                       TextTable::fmt(gtopk / topk, 1) + "x",
+                       TextTable::fmt(paper[i].dense, 0),
+                       TextTable::fmt(paper[i].topk, 0),
+                       TextTable::fmt(paper[i].gtopk, 0),
+                       TextTable::fmt(paper[i].gtopk / paper[i].dense, 1) + "x",
+                       TextTable::fmt(paper[i].gtopk / paper[i].topk, 1) + "x"});
+    }
+    table.print(std::cout);
+    return 0;
+}

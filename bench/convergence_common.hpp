@@ -1,0 +1,73 @@
+// Shared harness for the convergence benches (Figs. 1, 5, 6, 7, 12-14):
+// runs distributed training for a set of configurations over the same data
+// and prints loss/accuracy series per epoch, one column per configuration.
+#pragma once
+
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "comm/network_model.hpp"
+#include "train/trainer.hpp"
+#include "util/table.hpp"
+
+namespace gtopk::bench {
+
+struct Series {
+    std::string label;
+    train::TrainResult result;
+};
+
+inline void print_loss_series(const std::vector<Series>& series) {
+    using util::TextTable;
+    std::vector<std::string> header{"epoch"};
+    for (const auto& s : series) header.push_back(s.label + " loss");
+    TextTable table(header);
+    const std::size_t epochs = series.front().result.epochs.size();
+    for (std::size_t e = 0; e < epochs; ++e) {
+        std::vector<std::string> row{TextTable::fmt_int(static_cast<long long>(e))};
+        for (const auto& s : series) {
+            row.push_back(TextTable::fmt(s.result.epochs[e].train_loss, 4));
+        }
+        table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+}
+
+inline void print_accuracy_series(const std::vector<Series>& series) {
+    using util::TextTable;
+    std::vector<std::string> header{"epoch"};
+    for (const auto& s : series) header.push_back(s.label + " val-acc");
+    TextTable table(header);
+    const std::size_t epochs = series.front().result.epochs.size();
+    for (std::size_t e = 0; e < epochs; ++e) {
+        std::vector<std::string> row{TextTable::fmt_int(static_cast<long long>(e))};
+        for (const auto& s : series) {
+            row.push_back(TextTable::fmt(s.result.epochs[e].val_accuracy, 4));
+        }
+        table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+}
+
+/// Run the same (factory, data) under several configs on a zero-cost
+/// network (convergence benches care about optimization, not timing).
+inline std::vector<Series> run_configs(
+    int world, const std::vector<std::pair<std::string, train::TrainConfig>>& configs,
+    const train::ModelFactory& factory, const train::TrainBatchProvider& batches,
+    const train::EvalBatchProvider& eval) {
+    std::vector<Series> out;
+    for (const auto& [label, config] : configs) {
+        std::cout << "  running: " << label << " ..." << std::flush;
+        out.push_back(
+            {label, train::train_distributed(world, comm::NetworkModel::free(), config,
+                                             factory, batches, eval)});
+        std::cout << " done (final loss "
+                  << out.back().result.epochs.back().train_loss << ")\n";
+    }
+    return out;
+}
+
+}  // namespace gtopk::bench

@@ -1,0 +1,85 @@
+// cifar_distributed: the paper's core comparison as an application — train
+// the same CNN with Dense, Top-k and gTop-k S-SGD on a simulated 8-worker
+// 1GbE cluster and report convergence AND communication cost side by side.
+//
+//   $ ./cifar_distributed [workers] [epochs] [csv_prefix]
+//
+// With a csv_prefix, per-epoch curves are exported to
+// <prefix>_<algorithm>.csv for external plotting.
+#include <cstdlib>
+#include <iostream>
+
+#include "data/sampler.hpp"
+#include "data/synthetic_images.hpp"
+#include "nn/model_zoo.hpp"
+#include "train/metrics_io.hpp"
+#include "train/trainer.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+    using namespace gtopk;
+    using util::TextTable;
+    util::set_log_level(util::LogLevel::Warn);
+
+    const int workers = argc > 1 ? std::atoi(argv[1]) : 8;
+    const int epochs = argc > 2 ? std::atoi(argv[2]) : 6;
+    const std::string csv_prefix = argc > 3 ? argv[3] : "";
+
+    data::SyntheticImageDataset::Config dcfg;
+    dcfg.image_size = 8;
+    dcfg.noise_std = 0.6f;
+    data::SyntheticImageDataset dataset(dcfg, 11);
+    data::ShardedSampler sampler(8192, 1024, workers, 12);
+
+    nn::MiniVggConfig mcfg;
+    mcfg.image_size = 8;
+    mcfg.conv_channels = 4;
+    mcfg.fc_dim = 64;
+
+    auto run = [&](train::Algorithm algo) {
+        train::TrainConfig config;
+        config.algorithm = algo;
+        config.epochs = epochs;
+        config.iters_per_epoch = 20;
+        config.lr = 0.04f;
+        config.density = 0.01;
+        if (algo != train::Algorithm::DenseSsgd) {
+            config.warmup_densities = {0.25, 0.0725};
+        }
+        return train::train_distributed(
+            workers, comm::NetworkModel::one_gbps_ethernet(), config,
+            [&](std::uint64_t seed) { return nn::make_mini_vgg(mcfg, seed); },
+            [&](std::int64_t step, int rank) {
+                return dataset.batch_images(sampler.batch_indices(step, rank, 8));
+            },
+            [&] { return dataset.batch_images(sampler.test_indices(128)); });
+    };
+
+    TextTable table({"Algorithm", "final loss", "val acc", "comm ms/iter (1GbE)",
+                     "MB sent (rank 0)"});
+    for (auto algo : {train::Algorithm::DenseSsgd, train::Algorithm::TopkSsgd,
+                      train::Algorithm::GtopkSsgd}) {
+        std::cout << "training with " << train::algorithm_name(algo) << " on "
+                  << workers << " workers...\n";
+        const auto r = run(algo);
+        if (!csv_prefix.empty()) {
+            std::string name = train::algorithm_name(algo);
+            for (char& c : name) {
+                if (c == ' ' || c == '-') c = '_';
+            }
+            train::write_metrics_csv_file(csv_prefix + "_" + name + ".csv", r.epochs);
+        }
+        table.add_row({train::algorithm_name(algo),
+                       TextTable::fmt(r.epochs.back().train_loss, 4),
+                       TextTable::fmt(r.epochs.back().val_accuracy, 3),
+                       TextTable::fmt(r.mean_comm_virtual_s * 1e3, 2),
+                       TextTable::fmt(static_cast<double>(r.rank0_comm.bytes_sent) / 1e6,
+                                      2)});
+    }
+    std::cout << "\n";
+    table.print(std::cout);
+    std::cout << "\nAll three reach similar losses; gTop-k pays the least "
+                 "communication —\nthe paper's story in one table.\n";
+    return 0;
+}

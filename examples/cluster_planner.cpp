@@ -1,0 +1,80 @@
+// cluster_planner: a capacity-planning CLI built on the perfmodel library.
+// Given a model size, worker count, density and network constants, prints
+// the predicted iteration time, scaling efficiency and the best
+// aggregation algorithm — the question a practitioner on a low-bandwidth
+// cluster actually asks before a training run.
+//
+//   $ ./cluster_planner [m] [P] [rho] [t_compute_s] [alpha_ms] [beta_us_per_elem]
+//   $ ./cluster_planner 25000000 32 0.001 0.3
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "collectives/cost_model.hpp"
+#include "perfmodel/iteration_model.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+    using namespace gtopk;
+    using namespace gtopk::perfmodel;
+    using util::TextTable;
+
+    const std::int64_t m = argc > 1 ? std::atoll(argv[1]) : 25'000'000;
+    const int workers = argc > 2 ? std::atoi(argv[2]) : 32;
+    const double rho = argc > 3 ? std::atof(argv[3]) : 1e-3;
+    const double t_compute = argc > 4 ? std::atof(argv[4]) : 0.3;
+    const double alpha_ms = argc > 5 ? std::atof(argv[5]) : 0.436;
+    const double beta_us = argc > 6 ? std::atof(argv[6]) : 0.036;
+
+    StackModel stack = StackModel::ideal();
+    stack.sparse_net = comm::NetworkModel{alpha_ms * 1e-3, beta_us * 1e-6};
+    stack.dense_net = stack.sparse_net;
+
+    ModelProfile profile;
+    profile.name = "user model";
+    profile.params = m;
+    profile.batch = 1;
+    profile.t_compute_s = t_compute;
+    profile.t_compress_s = static_cast<double>(m) * 2e-9;  // C++ top-k speed
+
+    std::cout << "Planning for m = " << m << " params, P = " << workers
+              << ", rho = " << rho << ", t_compute = " << t_compute << " s\n"
+              << "network: alpha = " << alpha_ms << " ms, beta = " << beta_us
+              << " us/element\n\n";
+
+    TextTable table({"Algorithm", "comm [ms]", "t_iter [s]", "efficiency",
+                     "speedup vs dense"});
+    const double dense_iter = iteration_time_s(profile, Algo::Dense, workers, rho, stack);
+    Algo best = Algo::Dense;
+    double best_iter = dense_iter;
+    for (auto algo : {Algo::Dense, Algo::Topk, Algo::Gtopk}) {
+        const double comm = comm_time_s(profile, algo, workers, rho, stack);
+        const double iter = iteration_time_s(profile, algo, workers, rho, stack);
+        if (iter < best_iter) {
+            best_iter = iter;
+            best = algo;
+        }
+        table.add_row({algo_name(algo), TextTable::fmt(comm * 1e3, 2),
+                       TextTable::fmt(iter, 3),
+                       TextTable::fmt(100 * scaling_efficiency(profile, algo, workers,
+                                                               rho, stack),
+                                      1) +
+                           "%",
+                       TextTable::fmt(dense_iter / iter, 2) + "x"});
+    }
+    table.print(std::cout);
+    std::cout << "\nRecommended aggregation: " << algo_name(best) << "\n";
+
+    // Where does gTop-k stop helping? Sweep P for the crossover vs Top-k.
+    std::cout << "\nTop-k vs gTop-k crossover sweep (same rho):\n";
+    TextTable sweep({"P", "Top-k [ms]", "gTop-k [ms]", "winner"});
+    const auto k = static_cast<std::uint64_t>(rho * static_cast<double>(m));
+    for (int p = 2; p <= 256; p *= 2) {
+        const double tk = collectives::topk_allreduce_time_s(stack.sparse_net, p, k);
+        const double gk = collectives::gtopk_allreduce_time_s(stack.sparse_net, p, k);
+        sweep.add_row({TextTable::fmt_int(p), TextTable::fmt(tk * 1e3, 2),
+                       TextTable::fmt(gk * 1e3, 2), gk < tk ? "gTop-k" : "Top-k"});
+    }
+    sweep.print(std::cout);
+    return 0;
+}

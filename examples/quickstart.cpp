@@ -1,0 +1,62 @@
+// Quickstart: train a small classifier with gTop-k S-SGD on a simulated
+// 4-worker 1GbE cluster, in ~30 lines of user code.
+//
+//   $ ./quickstart
+//
+// Walks through the whole public API surface: dataset, sharded sampler,
+// model factory, TrainConfig, train_distributed, and the returned metrics.
+#include <iostream>
+
+#include "data/sampler.hpp"
+#include "data/synthetic_images.hpp"
+#include "nn/model_zoo.hpp"
+#include "train/trainer.hpp"
+#include "util/log.hpp"
+
+int main() {
+    using namespace gtopk;
+    util::set_log_level(util::LogLevel::Warn);
+
+    const int workers = 4;
+
+    // 1. A deterministic synthetic dataset, sharded across the workers.
+    data::SyntheticImageDataset::Config dcfg;
+    dcfg.image_size = 8;
+    data::SyntheticImageDataset dataset(dcfg, /*seed=*/1);
+    data::ShardedSampler sampler(8192, 1024, workers, /*seed=*/2);
+
+    // 2. A model config; the factory builds one identical replica per rank.
+    nn::MlpConfig mcfg;
+    mcfg.input_dim = dataset.feature_dim();
+    mcfg.hidden_dims = {64, 32};
+
+    // 3. gTop-k S-SGD (Algorithm 4 of the paper) with the warmup schedule.
+    train::TrainConfig config;
+    config.algorithm = train::Algorithm::GtopkSsgd;
+    config.epochs = 6;
+    config.iters_per_epoch = 30;
+    config.lr = 0.05f;
+    config.density = 0.01;                        // rho
+    config.warmup_densities = {0.25, 0.0725};     // first epochs
+
+    // 4. Run on the simulated 1 Gbps Ethernet cluster.
+    const auto result = train::train_distributed(
+        workers, comm::NetworkModel::one_gbps_ethernet(), config,
+        [&](std::uint64_t seed) { return nn::make_mlp(mcfg, seed); },
+        [&](std::int64_t step, int rank) {
+            return dataset.batch_flat(sampler.batch_indices(step, rank, 16));
+        },
+        [&] { return dataset.batch_flat(sampler.test_indices(256)); });
+
+    // 5. Inspect what happened.
+    std::cout << "epoch  density   train-loss  val-acc\n";
+    for (const auto& e : result.epochs) {
+        std::cout << "  " << e.epoch << "     " << e.density << "     "
+                  << e.train_loss << "      " << e.val_accuracy << "\n";
+    }
+    std::cout << "\nmean modeled comm time/iter on 1GbE: "
+              << result.mean_comm_virtual_s * 1e3 << " ms\n"
+              << "bytes sent by rank 0 overall:        "
+              << result.rank0_comm.bytes_sent << "\n";
+    return 0;
+}

@@ -1,0 +1,351 @@
+// From-scratch MPI-style collectives over the point-to-point Communicator.
+//
+// Implemented algorithms (all schedule logic lives in schedule.hpp):
+//   barrier             dissemination, ceil(log2 P) rounds
+//   broadcast           binomial tree (default) or flat tree
+//   reduce_sum          binomial-tree reduction to a root
+//   allreduce ring      reduce-scatter + allgather ring, Eq. 5's
+//                       2(P-1)a + 2 (P-1)/P m b cost
+//   allreduce rec.dbl.  recursive doubling (power-of-two P), logP(a + m b)
+//   allgather           recursive doubling (default; the paper's Eq. 6 cost
+//                       log(P) a + (P-1) n b per contributed n) or ring
+//   allgatherv          variable contribution sizes
+//   gather              flat gather to a root
+//
+// All of them are value-semantic templates over trivially copyable T.
+#pragma once
+
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "collectives/schedule.hpp"
+#include "comm/communicator.hpp"
+
+namespace gtopk::collectives {
+
+using comm::Communicator;
+
+enum class BcastAlgo { BinomialTree, FlatTree };
+enum class AllgatherAlgo { RecursiveDoubling, Ring };
+enum class AllreduceAlgo { Ring, RecursiveDoubling, Rabenseifner };
+
+/// Dissemination barrier: every rank is released only after transitively
+/// hearing from every other rank.
+inline void barrier(Communicator& comm) {
+    const int world = comm.size();
+    if (world == 1) return;
+    const int rounds = ilog2_ceil(world);
+    const int tag = comm.fresh_tags(rounds);
+    const std::byte token{0};
+    for (int r = 0; r < rounds; ++r) {
+        const DisseminationStep step = dissemination_step(comm.rank(), r, world);
+        comm.send(step.send_to, tag + r, std::span<const std::byte>(&token, 1));
+        (void)comm.recv(step.recv_from, tag + r);
+    }
+}
+
+template <typename T>
+void broadcast(Communicator& comm, std::vector<T>& data, int root,
+               BcastAlgo algo = BcastAlgo::BinomialTree) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const int world = comm.size();
+    if (world == 1) return;
+    if (algo == BcastAlgo::FlatTree) {
+        const int tag = comm.fresh_tags(1);
+        if (comm.rank() == root) {
+            for (int dst = 0; dst < world; ++dst) {
+                if (dst != root) comm.send_vec<T>(dst, tag, data);
+            }
+        } else {
+            data = comm.recv_vec<T>(root, tag);
+        }
+        return;
+    }
+    const int rounds = ilog2_ceil(world);
+    const int tag = comm.fresh_tags(rounds);
+    const BinomialBcastPlan plan = binomial_bcast_plan(comm.rank(), root, world);
+    if (plan.recv_round >= 0) {
+        data = comm.recv_vec<T>(plan.recv_from, tag + plan.recv_round);
+    }
+    for (const auto& [round, dst] : plan.sends) {
+        comm.send_vec<T>(dst, tag + round, data);
+    }
+}
+
+/// Binomial-tree sum-reduction; the full result lands on `root` (other
+/// ranks get their partial state back unchanged semantics-wise: the
+/// returned vector is meaningful only on root).
+template <typename T>
+std::vector<T> reduce_sum(Communicator& comm, std::span<const T> local, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const int world = comm.size();
+    std::vector<T> acc(local.begin(), local.end());
+    if (world == 1) return acc;
+
+    // Reduce in the rotated space where root is 0, mirroring the bcast tree
+    // run backwards: at round r, virtual ranks with bit r set send their
+    // accumulator to vrank - 2^r and drop out.
+    const int vrank = (comm.rank() - root + world) % world;
+    const int rounds = ilog2_ceil(world);
+    const int tag = comm.fresh_tags(rounds);
+    for (int r = 0; r < rounds; ++r) {
+        const int bit = 1 << r;
+        if (vrank & bit) {
+            const int vdst = vrank - bit;
+            comm.send_vec<T>((vdst + root) % world, tag + r, acc);
+            break;  // this rank's contribution has been handed off
+        }
+        const int vsrc = vrank + bit;
+        if (vsrc < world && (vrank & (bit - 1)) == 0) {
+            std::vector<T> incoming = comm.recv_vec<T>((vsrc + root) % world, tag + r);
+            if (incoming.size() != acc.size()) {
+                throw std::runtime_error("reduce_sum: size mismatch");
+            }
+            for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += incoming[i];
+        }
+    }
+    return acc;
+}
+
+/// Ring allreduce (sum), in place: reduce-scatter pass then allgather pass,
+/// 2(P-1) steps of m/P elements each — the DenseAllReduce of the paper.
+template <typename T>
+void allreduce_sum_ring(Communicator& comm, std::vector<T>& data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const int world = comm.size();
+    if (world == 1) return;
+    const int rank = comm.rank();
+    const RingStep ring = ring_neighbors(rank, world);
+    const auto offsets = ring_block_offsets(data.size(), world);
+    const int steps = world - 1;
+    const int tag = comm.fresh_tags(2 * steps);
+
+    auto block = [&](int b) {
+        b = ((b % world) + world) % world;
+        const std::size_t lo = offsets[static_cast<std::size_t>(b)];
+        const std::size_t hi = offsets[static_cast<std::size_t>(b) + 1];
+        return std::span<T>(data.data() + lo, hi - lo);
+    };
+
+    // Reduce-scatter: after step s, rank holds the sum of (s+2) ranks'
+    // values for block (rank - s - 1).
+    for (int s = 0; s < steps; ++s) {
+        const int send_block = rank - s;
+        const int recv_block = rank - s - 1;
+        comm.send_vec<T>(ring.send_to, tag + s, std::span<const T>(block(send_block)));
+        std::vector<T> incoming = comm.recv_vec<T>(ring.recv_from, tag + s);
+        auto dst = block(recv_block);
+        if (incoming.size() != dst.size()) {
+            throw std::runtime_error("allreduce_sum_ring: block size mismatch");
+        }
+        for (std::size_t i = 0; i < dst.size(); ++i) dst[i] += incoming[i];
+    }
+    // Allgather: circulate the fully reduced blocks.
+    for (int s = 0; s < steps; ++s) {
+        const int send_block = rank + 1 - s;
+        const int recv_block = rank - s;
+        comm.send_vec<T>(ring.send_to, tag + steps + s,
+                         std::span<const T>(block(send_block)));
+        std::vector<T> incoming = comm.recv_vec<T>(ring.recv_from, tag + steps + s);
+        auto dst = block(recv_block);
+        std::memcpy(dst.data(), incoming.data(), incoming.size() * sizeof(T));
+    }
+}
+
+/// Recursive-doubling allreduce (sum), in place. Requires power-of-two P;
+/// logP rounds of full-vector exchange — latency-optimal, bandwidth-heavy.
+template <typename T>
+void allreduce_sum_recursive_doubling(Communicator& comm, std::vector<T>& data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const int world = comm.size();
+    if (world == 1) return;
+    if (!is_power_of_two(world)) {
+        throw std::invalid_argument("recursive doubling requires power-of-two world");
+    }
+    const int rounds = ilog2_floor(world);
+    const int tag = comm.fresh_tags(rounds);
+    for (int r = 0; r < rounds; ++r) {
+        const int peer = comm.rank() ^ (1 << r);
+        comm.send_vec<T>(peer, tag + r, data);
+        std::vector<T> incoming = comm.recv_vec<T>(peer, tag + r);
+        for (std::size_t i = 0; i < data.size(); ++i) data[i] += incoming[i];
+    }
+}
+
+/// Rabenseifner allreduce (sum), in place: recursive-halving
+/// reduce-scatter then recursive-doubling allgather. Same asymptotic
+/// bandwidth as the ring (2 (P-1)/P m beta) but only 2 logP latency terms —
+/// the classic choice for large messages at scale. Requires power-of-two P
+/// and data.size() divisible by P (callers pad or pick the ring otherwise).
+template <typename T>
+void allreduce_sum_rabenseifner(Communicator& comm, std::vector<T>& data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const int world = comm.size();
+    if (world == 1) return;
+    if (!is_power_of_two(world)) {
+        throw std::invalid_argument("rabenseifner requires power-of-two world");
+    }
+    if (data.size() % static_cast<std::size_t>(world) != 0) {
+        throw std::invalid_argument("rabenseifner requires m divisible by P");
+    }
+    const int rounds = ilog2_floor(world);
+    const int tag = comm.fresh_tags(2 * rounds);
+    const int rank = comm.rank();
+
+    // Phase 1 — reduce-scatter by recursive halving: the owned window
+    // [lo, hi) halves every round; the half belonging to the partner's
+    // side is shipped out and the kept half absorbs the partner's data.
+    std::size_t lo = 0, hi = data.size();
+    for (int r = 0; r < rounds; ++r) {
+        const int bit = 1 << (rounds - 1 - r);
+        const int peer = rank ^ bit;
+        const std::size_t mid = lo + (hi - lo) / 2;
+        const bool keep_lower = (rank & bit) == 0;
+        const std::size_t send_lo = keep_lower ? mid : lo;
+        const std::size_t send_hi = keep_lower ? hi : mid;
+        comm.send_vec<T>(peer, tag + r,
+                         std::span<const T>(data.data() + send_lo, send_hi - send_lo));
+        const std::vector<T> incoming = comm.recv_vec<T>(peer, tag + r);
+        if (keep_lower) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+        if (incoming.size() != hi - lo) {
+            throw std::runtime_error("rabenseifner: window size mismatch");
+        }
+        for (std::size_t i = 0; i < incoming.size(); ++i) data[lo + i] += incoming[i];
+    }
+
+    // Phase 2 — allgather by recursive doubling: windows merge back in the
+    // reverse order, each exchange doubling the owned range.
+    for (int r = rounds - 1; r >= 0; --r) {
+        const int bit = 1 << (rounds - 1 - r);
+        const int peer = rank ^ bit;
+        comm.send_vec<T>(peer, tag + rounds + r,
+                         std::span<const T>(data.data() + lo, hi - lo));
+        const std::vector<T> incoming = comm.recv_vec<T>(peer, tag + rounds + r);
+        if ((rank & bit) == 0) {
+            // Peer owned the upper sibling window.
+            std::memcpy(data.data() + hi, incoming.data(), incoming.size() * sizeof(T));
+            hi += incoming.size();
+        } else {
+            std::memcpy(data.data() + lo - incoming.size(), incoming.data(),
+                        incoming.size() * sizeof(T));
+            lo -= incoming.size();
+        }
+    }
+}
+
+template <typename T>
+void allreduce_sum(Communicator& comm, std::vector<T>& data,
+                   AllreduceAlgo algo = AllreduceAlgo::Ring) {
+    switch (algo) {
+        case AllreduceAlgo::Ring: allreduce_sum_ring(comm, data); break;
+        case AllreduceAlgo::RecursiveDoubling:
+            allreduce_sum_recursive_doubling(comm, data);
+            break;
+        case AllreduceAlgo::Rabenseifner: allreduce_sum_rabenseifner(comm, data); break;
+    }
+}
+
+/// Allgather with equal per-rank contributions. Result is the concatenation
+/// in rank order: [rank0 | rank1 | ... | rankP-1].
+template <typename T>
+std::vector<T> allgather(Communicator& comm, std::span<const T> mine,
+                         AllgatherAlgo algo = AllgatherAlgo::RecursiveDoubling) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const int world = comm.size();
+    const std::size_t n = mine.size();
+    std::vector<T> out(n * static_cast<std::size_t>(world));
+    std::memcpy(out.data() + n * static_cast<std::size_t>(comm.rank()), mine.data(),
+                n * sizeof(T));
+    if (world == 1) return out;
+
+    if (algo == AllgatherAlgo::RecursiveDoubling && is_power_of_two(world)) {
+        // At round r each rank owns a contiguous 2^r-rank-wide window (in
+        // the space of rank-with-low-bits-cleared) and swaps it with the
+        // buddy window of rank ^ 2^r.
+        const int rounds = ilog2_floor(world);
+        const int tag = comm.fresh_tags(rounds);
+        for (int r = 0; r < rounds; ++r) {
+            const int width = 1 << r;
+            const int peer = comm.rank() ^ width;
+            const int my_base = comm.rank() & ~(width - 1);
+            const int peer_base = peer & ~(width - 1);
+            std::span<const T> window(out.data() + n * static_cast<std::size_t>(my_base),
+                                      n * static_cast<std::size_t>(width));
+            comm.send_vec<T>(peer, tag + r, window);
+            std::vector<T> incoming = comm.recv_vec<T>(peer, tag + r);
+            std::memcpy(out.data() + n * static_cast<std::size_t>(peer_base),
+                        incoming.data(), incoming.size() * sizeof(T));
+        }
+        return out;
+    }
+
+    // Ring allgather: P-1 steps, forwarding the newest block each time.
+    const RingStep ring = ring_neighbors(comm.rank(), world);
+    const int tag = comm.fresh_tags(world - 1);
+    for (int s = 0; s < world - 1; ++s) {
+        const int send_block = (comm.rank() - s + world) % world;
+        const int recv_block = (comm.rank() - s - 1 + world) % world;
+        std::span<const T> window(out.data() + n * static_cast<std::size_t>(send_block), n);
+        comm.send_vec<T>(ring.send_to, tag + s, window);
+        std::vector<T> incoming = comm.recv_vec<T>(ring.recv_from, tag + s);
+        std::memcpy(out.data() + n * static_cast<std::size_t>(recv_block),
+                    incoming.data(), incoming.size() * sizeof(T));
+    }
+    return out;
+}
+
+/// Allgather with per-rank variable sizes. Returns one vector per rank.
+template <typename T>
+std::vector<std::vector<T>> allgatherv(Communicator& comm, std::span<const T> mine) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const int world = comm.size();
+    std::vector<std::vector<T>> out(static_cast<std::size_t>(world));
+    out[static_cast<std::size_t>(comm.rank())].assign(mine.begin(), mine.end());
+    if (world == 1) return out;
+
+    // Ring of (size, data) pairs — sizes ride in the same message as a
+    // leading header so the exchange stays one message per step.
+    const RingStep ring = ring_neighbors(comm.rank(), world);
+    const int tag = comm.fresh_tags(world - 1);
+    for (int s = 0; s < world - 1; ++s) {
+        const int send_block = (comm.rank() - s + world) % world;
+        const int recv_block = (comm.rank() - s - 1 + world) % world;
+        const auto& payload = out[static_cast<std::size_t>(send_block)];
+        comm.send_vec<T>(ring.send_to, tag + s, payload);
+        out[static_cast<std::size_t>(recv_block)] =
+            comm.recv_vec<T>(ring.recv_from, tag + s);
+    }
+    return out;
+}
+
+/// Flat gather of equal-size contributions to `root`; result meaningful on
+/// root only (rank order concatenation).
+template <typename T>
+std::vector<T> gather(Communicator& comm, std::span<const T> mine, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const int world = comm.size();
+    const int tag = comm.fresh_tags(1);
+    if (comm.rank() != root) {
+        comm.send_vec<T>(root, tag, mine);
+        return {};
+    }
+    std::vector<T> out(mine.size() * static_cast<std::size_t>(world));
+    std::memcpy(out.data() + mine.size() * static_cast<std::size_t>(root), mine.data(),
+                mine.size() * sizeof(T));
+    for (int src = 0; src < world; ++src) {
+        if (src == root) continue;
+        std::vector<T> part = comm.recv_vec<T>(src, tag);
+        if (part.size() != mine.size()) throw std::runtime_error("gather: size mismatch");
+        std::memcpy(out.data() + part.size() * static_cast<std::size_t>(src), part.data(),
+                    part.size() * sizeof(T));
+    }
+    return out;
+}
+
+}  // namespace gtopk::collectives

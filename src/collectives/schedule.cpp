@@ -1,0 +1,102 @@
+#include "collectives/schedule.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace gtopk::collectives {
+
+int ilog2_floor(int x) {
+    assert(x >= 1);
+    int l = 0;
+    while (x > 1) {
+        x >>= 1;
+        ++l;
+    }
+    return l;
+}
+
+int ilog2_ceil(int x) {
+    assert(x >= 1);
+    int l = ilog2_floor(x);
+    return (1 << l) == x ? l : l + 1;
+}
+
+bool is_power_of_two(int x) { return x > 0 && (x & (x - 1)) == 0; }
+
+DisseminationStep dissemination_step(int rank, int round, int world) {
+    const int d = 1 << round;
+    DisseminationStep s;
+    s.send_to = (rank + d) % world;
+    s.recv_from = (rank - d % world + world) % world;
+    return s;
+}
+
+BinomialBcastPlan binomial_bcast_plan(int rank, int root, int world) {
+    if (world <= 0) throw std::invalid_argument("world must be positive");
+    // Work in the rotated space where root is rank 0.
+    const int vrank = (rank - root + world) % world;
+    const int rounds = ilog2_ceil(world);
+    BinomialBcastPlan plan;
+    if (vrank != 0) {
+        // The receive round is the position of vrank's highest set bit:
+        // rank v receives from v - 2^h at round h where 2^h <= v < 2^(h+1).
+        int h = ilog2_floor(vrank);
+        plan.recv_round = h;
+        plan.recv_from = ((vrank - (1 << h)) + root) % world;
+    }
+    // After holding the data, send to vrank + 2^r for each later round r
+    // while the destination is in range.
+    const int first_active = (vrank == 0) ? 0 : plan.recv_round + 1;
+    for (int r = first_active; r < rounds; ++r) {
+        const int vdst = vrank + (1 << r);
+        if (vdst < world) {
+            plan.sends.emplace_back(r, (vdst + root) % world);
+        }
+    }
+    return plan;
+}
+
+RingStep ring_neighbors(int rank, int world) {
+    RingStep s;
+    s.send_to = (rank + 1) % world;
+    s.recv_from = (rank - 1 + world) % world;
+    return s;
+}
+
+std::vector<std::size_t> ring_block_offsets(std::size_t n, int world) {
+    // First (n % world) blocks get one extra element, like MPI block
+    // decompositions; empty blocks are fine (n < world).
+    std::vector<std::size_t> offsets(static_cast<std::size_t>(world) + 1, 0);
+    const std::size_t base = n / static_cast<std::size_t>(world);
+    const std::size_t extra = n % static_cast<std::size_t>(world);
+    for (int b = 0; b < world; ++b) {
+        const std::size_t len = base + (static_cast<std::size_t>(b) < extra ? 1 : 0);
+        offsets[static_cast<std::size_t>(b) + 1] = offsets[static_cast<std::size_t>(b)] + len;
+    }
+    return offsets;
+}
+
+TreeMergeStep tree_merge_step(int rank, int round, int world) {
+    if (!is_power_of_two(world)) {
+        throw std::invalid_argument("tree_merge_step requires power-of-two world");
+    }
+    TreeMergeStep s;
+    const int stride = 1 << round;
+    if (rank % stride != 0) return s;  // already folded in an earlier round
+    const int pos = rank >> round;
+    if (pos % 2 == 0) {
+        const int peer = rank + stride;
+        if (peer < world) {
+            s.role = TreeMergeStep::Role::Receive;
+            s.peer = peer;
+        }
+    } else {
+        s.role = TreeMergeStep::Role::Send;
+        s.peer = rank - stride;
+    }
+    return s;
+}
+
+int tree_merge_rounds(int world) { return ilog2_ceil(world); }
+
+}  // namespace gtopk::collectives

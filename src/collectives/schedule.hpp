@@ -1,0 +1,62 @@
+// Pure schedule computations for the collectives: who talks to whom at each
+// round. Factored out of the templated algorithms so they can be unit-tested
+// exhaustively (every rank, every round, every world size) without running
+// threads.
+#pragma once
+
+#include <vector>
+
+namespace gtopk::collectives {
+
+/// floor(log2(x)) for x >= 1.
+int ilog2_floor(int x);
+
+/// ceil(log2(x)) for x >= 1 (0 for x == 1).
+int ilog2_ceil(int x);
+
+bool is_power_of_two(int x);
+
+/// Dissemination-barrier peer: at round r, rank sends to
+/// (rank + 2^r) mod P and receives from (rank - 2^r) mod P.
+struct DisseminationStep {
+    int send_to;
+    int recv_from;
+};
+DisseminationStep dissemination_step(int rank, int round, int world);
+
+/// Binomial-tree broadcast relative to `root`. Returns for `rank` the list
+/// of rounds in which it acts; parent is who it receives from (or -1 if it
+/// already holds the data at that round's start).
+struct BinomialBcastPlan {
+    int recv_round = -1;   // round at which this rank receives (-1 for root)
+    int recv_from = -1;    // source rank (-1 for root)
+    std::vector<std::pair<int, int>> sends;  // (round, destination)
+};
+BinomialBcastPlan binomial_bcast_plan(int rank, int root, int world);
+
+/// Ring neighbors.
+struct RingStep {
+    int send_to;
+    int recv_from;
+};
+RingStep ring_neighbors(int rank, int world);
+
+/// Block boundaries used by ring reduce-scatter/allgather for `n` elements
+/// split across `world` blocks: block b covers [offsets[b], offsets[b+1]).
+std::vector<std::size_t> ring_block_offsets(std::size_t n, int world);
+
+/// gTop-k tree-merge schedule (the distance-doubling pairing of the paper's
+/// Fig. 4): at round r (0-based), ranks that are multiples of 2^r pair up;
+/// the one whose (rank >> r) is odd sends to rank - 2^r and goes idle; the
+/// even one receives from rank + 2^r. Only defined for power-of-two world.
+struct TreeMergeStep {
+    enum class Role { Receive, Send, Idle };
+    Role role = Role::Idle;
+    int peer = -1;
+};
+TreeMergeStep tree_merge_step(int rank, int round, int world);
+
+/// Number of rounds in the tree merge: ceil(log2(world)).
+int tree_merge_rounds(int world);
+
+}  // namespace gtopk::collectives

@@ -1,0 +1,53 @@
+#include "comm/cluster.hpp"
+
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "util/log.hpp"
+
+namespace gtopk::comm {
+
+Cluster::RunResult Cluster::run_timed(int world_size, NetworkModel model,
+                                      const WorkerFn& fn) {
+    InProcTransport transport(world_size);
+
+    RunResult result;
+    result.stats.resize(static_cast<std::size_t>(world_size));
+    result.final_time_s.resize(static_cast<std::size_t>(world_size), 0.0);
+
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(world_size));
+    for (int r = 0; r < world_size; ++r) {
+        threads.emplace_back([&, r] {
+            Communicator comm(transport, r, model);
+            try {
+                fn(comm);
+            } catch (const MailboxClosed&) {
+                // A peer failed first; our abort is secondary.
+            } catch (...) {
+                {
+                    std::lock_guard<std::mutex> lock(error_mutex);
+                    if (!first_error) first_error = std::current_exception();
+                }
+                transport.shutdown();
+            }
+            result.stats[static_cast<std::size_t>(r)] = comm.stats();
+            result.final_time_s[static_cast<std::size_t>(r)] = comm.clock().now_s();
+        });
+    }
+    for (auto& t : threads) t.join();
+
+    if (first_error) std::rethrow_exception(first_error);
+    return result;
+}
+
+std::vector<CommStats> Cluster::run(int world_size, NetworkModel model,
+                                    const WorkerFn& fn) {
+    return run_timed(world_size, model, fn).stats;
+}
+
+}  // namespace gtopk::comm

@@ -1,0 +1,35 @@
+// Cluster: spawns P worker threads, each with its own Communicator, runs a
+// user callback on every rank, and joins — the `mpirun` of this repo.
+//
+// If any rank throws, the cluster shuts the transport down (unblocking
+// peers stuck in recv) and rethrows the first exception on the caller's
+// thread, so a failing test surfaces as a failure instead of a hang.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "comm/network_model.hpp"
+#include "comm/transport.hpp"
+
+namespace gtopk::comm {
+
+class Cluster {
+public:
+    using WorkerFn = std::function<void(Communicator&)>;
+
+    /// Run `fn` on `world_size` ranks over a fresh InProcTransport.
+    /// Returns the final per-rank CommStats (index == rank).
+    static std::vector<CommStats> run(int world_size, NetworkModel model,
+                                      const WorkerFn& fn);
+
+    /// Convenience: run and also collect each rank's final virtual time.
+    struct RunResult {
+        std::vector<CommStats> stats;
+        std::vector<double> final_time_s;
+    };
+    static RunResult run_timed(int world_size, NetworkModel model, const WorkerFn& fn);
+};
+
+}  // namespace gtopk::comm

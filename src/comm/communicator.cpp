@@ -1,0 +1,46 @@
+#include "comm/communicator.hpp"
+
+#include <stdexcept>
+
+namespace gtopk::comm {
+
+Communicator::Communicator(Transport& transport, int rank, NetworkModel model)
+    : transport_(transport), rank_(rank), model_(model) {
+    if (rank < 0 || rank >= transport.world_size()) {
+        throw std::out_of_range("Communicator: rank outside world");
+    }
+}
+
+void Communicator::send(int dst, int tag, std::span<const std::byte> payload) {
+    if (dst == rank_) throw std::invalid_argument("send to self is not allowed");
+    const double cost = model_.transfer_time_s(payload.size());
+    clock_.advance(cost);
+    stats_.comm_time_s += cost;
+    stats_.messages_sent += 1;
+    stats_.bytes_sent += payload.size();
+
+    Message msg;
+    msg.source = rank_;
+    msg.tag = tag;
+    msg.arrival_time_s = clock_.now_s();
+    msg.payload.assign(payload.begin(), payload.end());
+    transport_.deliver(dst, std::move(msg));
+}
+
+std::vector<std::byte> Communicator::recv(int src, int tag) {
+    int ignored = 0;
+    return recv(src, tag, ignored);
+}
+
+std::vector<std::byte> Communicator::recv(int src, int tag, int& actual_src) {
+    Message msg = transport_.receive(rank_, src, tag);
+    const double before = clock_.now_s();
+    clock_.advance_to(msg.arrival_time_s);
+    stats_.comm_time_s += clock_.now_s() - before;
+    stats_.messages_received += 1;
+    stats_.bytes_received += msg.payload.size();
+    actual_src = msg.source;
+    return std::move(msg.payload);
+}
+
+}  // namespace gtopk::comm

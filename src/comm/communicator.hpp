@@ -1,0 +1,122 @@
+// Communicator: the rank-scoped handle a worker uses to talk to peers —
+// the moral equivalent of an MPI communicator, plus virtual-time accounting.
+//
+// Timing model (applied on every matched send/recv pair):
+//   * send(dst, n bytes) advances the SENDER's clock by alpha + n*beta and
+//     stamps the message's arrival time with the sender's post-send clock.
+//   * recv() advances the RECEIVER's clock to max(own clock, arrival).
+// This sequential-send model reproduces the standard alpha-beta costs of
+// all the collectives analyzed in the paper: a ring step costs
+// alpha + n*beta per rank (send-then-recv overlap collapses to one term),
+// a tree round costs alpha + n*beta on its critical path, and a flat-tree
+// root serializes (P-1) sends — exactly the behaviors Eqs. 5-7 assume.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "comm/network_model.hpp"
+#include "comm/transport.hpp"
+#include "comm/virtual_clock.hpp"
+
+namespace gtopk::comm {
+
+/// Per-rank communication counters, all in virtual time / modeled bytes.
+struct CommStats {
+    std::uint64_t messages_sent = 0;
+    std::uint64_t messages_received = 0;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t bytes_received = 0;
+    /// Virtual seconds this rank's clock advanced inside send/recv calls
+    /// (includes waiting for a peer's message to arrive).
+    double comm_time_s = 0.0;
+
+    void reset() { *this = CommStats{}; }
+};
+
+class Communicator {
+public:
+    Communicator(Transport& transport, int rank, NetworkModel model);
+
+    int rank() const { return rank_; }
+    int size() const { return transport_.world_size(); }
+
+    const NetworkModel& network() const { return model_; }
+
+    VirtualClock& clock() { return clock_; }
+    const VirtualClock& clock() const { return clock_; }
+
+    CommStats& stats() { return stats_; }
+    const CommStats& stats() const { return stats_; }
+
+    /// Blocking-by-semantics send (buffered, so it never deadlocks on an
+    /// unmatched peer, like an MPI buffered send). Costs alpha + n*beta of
+    /// sender virtual time.
+    void send(int dst, int tag, std::span<const std::byte> payload);
+
+    /// Blocking matched receive; returns the payload. Receiver's clock is
+    /// advanced to the message's modeled arrival.
+    std::vector<std::byte> recv(int src, int tag);
+
+    /// Receive and also report the actual source (for kAnySource receives).
+    std::vector<std::byte> recv(int src, int tag, int& actual_src);
+
+    /// Typed helpers for trivially copyable element types.
+    template <typename T>
+    void send_vec(int dst, int tag, std::span<const T> values) {
+        static_assert(std::is_trivially_copyable_v<T>);
+        send(dst, tag, std::as_bytes(values));
+    }
+
+    template <typename T>
+    void send_vec(int dst, int tag, const std::vector<T>& values) {
+        send_vec<T>(dst, tag, std::span<const T>(values));
+    }
+
+    template <typename T>
+    std::vector<T> recv_vec(int src, int tag) {
+        static_assert(std::is_trivially_copyable_v<T>);
+        std::vector<std::byte> raw = recv(src, tag);
+        std::vector<T> out(raw.size() / sizeof(T));
+        std::memcpy(out.data(), raw.data(), out.size() * sizeof(T));
+        return out;
+    }
+
+    /// Send a single trivially-copyable value.
+    template <typename T>
+    void send_value(int dst, int tag, const T& v) {
+        static_assert(std::is_trivially_copyable_v<T>);
+        send(dst, tag, std::as_bytes(std::span<const T>(&v, 1)));
+    }
+
+    template <typename T>
+    T recv_value(int src, int tag) {
+        static_assert(std::is_trivially_copyable_v<T>);
+        std::vector<std::byte> raw = recv(src, tag);
+        T v{};
+        std::memcpy(&v, raw.data(), sizeof(T));
+        return v;
+    }
+
+    /// Reserve `count` fresh tags for one collective invocation and return
+    /// the first. All ranks execute the same SPMD sequence of collectives,
+    /// so per-rank counters stay in lockstep and matching calls agree on the
+    /// tag block without any coordination traffic.
+    int fresh_tags(int count) {
+        int base = tag_counter_;
+        tag_counter_ += count;
+        return base;
+    }
+
+private:
+    int tag_counter_ = 1'000'000;  // keep clear of user tags
+    Transport& transport_;
+    int rank_;
+    NetworkModel model_;
+    VirtualClock clock_;
+    CommStats stats_;
+};
+
+}  // namespace gtopk::comm

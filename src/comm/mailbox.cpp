@@ -1,0 +1,54 @@
+#include "comm/mailbox.hpp"
+
+namespace gtopk::comm {
+
+void Mailbox::push(Message msg) {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(msg));
+    }
+    cv_.notify_all();
+}
+
+Message Mailbox::pop(int source, int tag) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+            if (matches(*it, source, tag)) {
+                Message msg = std::move(*it);
+                queue_.erase(it);
+                return msg;
+            }
+        }
+        if (closed_) throw MailboxClosed{};
+        cv_.wait(lock);
+    }
+}
+
+std::optional<Message> Mailbox::try_pop(int source, int tag) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) throw MailboxClosed{};
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (matches(*it, source, tag)) {
+            Message msg = std::move(*it);
+            queue_.erase(it);
+            return msg;
+        }
+    }
+    return std::nullopt;
+}
+
+void Mailbox::close() {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        closed_ = true;
+    }
+    cv_.notify_all();
+}
+
+std::size_t Mailbox::size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+}
+
+}  // namespace gtopk::comm

@@ -1,0 +1,53 @@
+// Per-worker inbound message queue with MPI-style (source, tag) matching.
+//
+// Producers are other worker threads; the consumer is the owning worker.
+// Matching preserves per-(source, tag) FIFO order, which is the ordering
+// guarantee MPI gives and the one the collectives rely on.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "comm/message.hpp"
+
+namespace gtopk::comm {
+
+class Mailbox {
+public:
+    /// Enqueue a message (called from the sender's thread).
+    void push(Message msg);
+
+    /// Block until a message matching (source, tag) is available and remove
+    /// it. Wildcards kAnySource / kAnyTag match anything.
+    Message pop(int source, int tag);
+
+    /// Non-blocking variant; returns nullopt when nothing matches.
+    /// Throws MailboxClosed once the mailbox is closed, so pollers observe
+    /// shutdown just like blocked pop() callers.
+    std::optional<Message> try_pop(int source, int tag);
+
+    /// Wake all waiters with a shutdown signal; subsequent pops throw.
+    void close();
+
+    std::size_t size() const;
+
+private:
+    bool matches(const Message& m, int source, int tag) const {
+        return (source == kAnySource || m.source == source) &&
+               (tag == kAnyTag || m.tag == tag);
+    }
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<Message> queue_;
+    bool closed_ = false;
+};
+
+/// Thrown by pop() when the mailbox is closed while waiting (cluster abort).
+struct MailboxClosed : std::exception {
+    const char* what() const noexcept override { return "mailbox closed"; }
+};
+
+}  // namespace gtopk::comm

@@ -1,0 +1,23 @@
+// Wire unit exchanged between simulated workers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gtopk::comm {
+
+/// Matching key for receives. ANY_SOURCE / ANY_TAG wildcard like MPI.
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+struct Message {
+    int source = 0;
+    int tag = 0;
+    /// Virtual time (seconds) at which the message fully arrives at the
+    /// receiver under the network model: sender_departure + alpha + n*beta.
+    double arrival_time_s = 0.0;
+    std::vector<std::byte> payload;
+};
+
+}  // namespace gtopk::comm

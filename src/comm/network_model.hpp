@@ -1,0 +1,45 @@
+// The alpha-beta (Hockney) cost model of a point-to-point message, the same
+// model the paper uses throughout (Table I, Eqs. 5-7, Fig. 8).
+//
+// A transfer of n elements between two nodes costs
+//     t = alpha + n * beta
+// where alpha is the per-message startup latency and beta the per-element
+// transmission time. The paper measures alpha = 0.436 ms and
+// beta = 3.6e-5 ms per element on its 1 Gbps Ethernet cluster (Fig. 8);
+// elements are 4 bytes (float32 gradients or int32 indices), which makes
+// beta equivalent to ~111 MB/s — consistent with saturated 1GbE.
+#pragma once
+
+#include <cstdint>
+
+namespace gtopk::comm {
+
+struct NetworkModel {
+    /// Per-message startup latency in seconds.
+    double alpha_s = 0.436e-3;
+    /// Per-element (4-byte word) transmission time in seconds.
+    double beta_s = 3.6e-8;
+
+    /// Time to move `bytes` bytes between two nodes.
+    double transfer_time_s(std::uint64_t bytes) const {
+        // beta is per 4-byte element; scale to bytes to stay exact for
+        // payloads that are not multiples of 4.
+        return alpha_s + static_cast<double>(bytes) * (beta_s / 4.0);
+    }
+
+    double transfer_time_elems(std::uint64_t elements) const {
+        return alpha_s + static_cast<double>(elements) * beta_s;
+    }
+
+    /// The paper's measured 1 Gbps Ethernet testbed.
+    static NetworkModel one_gbps_ethernet() { return NetworkModel{0.436e-3, 3.6e-8}; }
+
+    /// A 10x faster network, used by ablation benches to show where the
+    /// sparsification advantage shrinks.
+    static NetworkModel ten_gbps_ethernet() { return NetworkModel{0.2e-3, 3.6e-9}; }
+
+    /// Zero-cost network for pure-correctness tests (virtual time untouched).
+    static NetworkModel free() { return NetworkModel{0.0, 0.0}; }
+};
+
+}  // namespace gtopk::comm

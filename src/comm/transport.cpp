@@ -1,0 +1,40 @@
+#include "comm/transport.hpp"
+
+#include <atomic>
+#include <stdexcept>
+
+namespace gtopk::comm {
+
+InProcTransport::InProcTransport(int world_size) {
+    if (world_size <= 0) throw std::invalid_argument("world_size must be positive");
+    mailboxes_.reserve(static_cast<std::size_t>(world_size));
+    for (int i = 0; i < world_size; ++i) {
+        mailboxes_.push_back(std::make_unique<Mailbox>());
+    }
+}
+
+void InProcTransport::deliver(int dst, Message msg) {
+    if (dst < 0 || dst >= world_size()) throw std::out_of_range("deliver: bad rank");
+    mailboxes_[static_cast<std::size_t>(dst)]->push(std::move(msg));
+    delivered_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Message InProcTransport::receive(int rank, int source, int tag) {
+    if (rank < 0 || rank >= world_size()) throw std::out_of_range("receive: bad rank");
+    return mailboxes_[static_cast<std::size_t>(rank)]->pop(source, tag);
+}
+
+void InProcTransport::shutdown() {
+    for (auto& mb : mailboxes_) mb->close();
+}
+
+std::optional<Message> InProcTransport::try_receive(int rank, int source, int tag) {
+    if (rank < 0 || rank >= world_size()) throw std::out_of_range("try_receive: bad rank");
+    return mailboxes_[static_cast<std::size_t>(rank)]->try_pop(source, tag);
+}
+
+std::uint64_t InProcTransport::delivered_count() const {
+    return delivered_.load(std::memory_order_relaxed);
+}
+
+}  // namespace gtopk::comm

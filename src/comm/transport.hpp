@@ -1,0 +1,59 @@
+// Transport: the point-to-point fabric connecting P simulated workers.
+//
+// InProcTransport is the only production implementation: one mailbox per
+// rank inside a shared process. The interface exists so tests can wrap it
+// (e.g. FaultInjectingTransport drops or reorders messages to exercise
+// robustness) and so a socket-backed transport could slot in later.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "comm/mailbox.hpp"
+#include "comm/message.hpp"
+#include "comm/network_model.hpp"
+
+namespace gtopk::comm {
+
+class Transport {
+public:
+    virtual ~Transport() = default;
+
+    virtual int world_size() const = 0;
+
+    /// Deliver `msg` to `dst`'s mailbox. `msg.arrival_time_s` must already
+    /// be stamped by the caller (the Communicator applies the NetworkModel).
+    virtual void deliver(int dst, Message msg) = 0;
+
+    /// Blocking matched receive on rank `rank`.
+    virtual Message receive(int rank, int source, int tag) = 0;
+
+    /// Abort: close all mailboxes, waking blocked receivers with an error.
+    virtual void shutdown() = 0;
+};
+
+class InProcTransport final : public Transport {
+public:
+    explicit InProcTransport(int world_size);
+
+    int world_size() const override { return static_cast<int>(mailboxes_.size()); }
+    void deliver(int dst, Message msg) override;
+    Message receive(int rank, int source, int tag) override;
+    void shutdown() override;
+
+    /// Non-blocking matched receive; nullopt when nothing matches. Throws
+    /// MailboxClosed after shutdown. Lets wrapper transports (fault
+    /// injection) poll instead of blocking inside the inner mailbox.
+    std::optional<Message> try_receive(int rank, int source, int tag);
+
+    /// Total messages delivered since construction (for tests/benches).
+    std::uint64_t delivered_count() const;
+
+private:
+    std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+    std::atomic<std::uint64_t> delivered_{0};
+};
+
+}  // namespace gtopk::comm

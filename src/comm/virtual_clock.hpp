@@ -1,0 +1,38 @@
+// Per-worker virtual clock.
+//
+// The cluster is simulated by one thread per worker inside a single process,
+// so wall-clock time measures the host machine, not the modeled 1GbE
+// network. Instead every worker carries a virtual clock (seconds, double):
+// communication primitives advance it according to the NetworkModel, and
+// trainers advance it by profiled compute times. Collectives synchronize
+// clocks through message timestamps (a receive cannot complete before the
+// message's modeled arrival), which reproduces the critical-path timing of a
+// real synchronous cluster.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+
+namespace gtopk::comm {
+
+class VirtualClock {
+public:
+    double now_s() const { return now_s_; }
+
+    /// Move time forward by dt >= 0 seconds.
+    void advance(double dt_s) {
+        assert(dt_s >= 0.0);
+        now_s_ += dt_s;
+    }
+
+    /// Jump forward to at least `t_s` (no-op if already past it). Used by
+    /// receives: the receiver cannot proceed before the message arrives.
+    void advance_to(double t_s) { now_s_ = std::max(now_s_, t_s); }
+
+    void reset() { now_s_ = 0.0; }
+
+private:
+    double now_s_ = 0.0;
+};
+
+}  // namespace gtopk::comm

@@ -1,0 +1,123 @@
+#include "core/aggregators.hpp"
+
+#include <stdexcept>
+
+#include "collectives/schedule.hpp"
+#include "sparse/topk_merge.hpp"
+#include "sparse/wire.hpp"
+
+namespace gtopk::core {
+
+namespace {
+
+using collectives::TreeMergeStep;
+
+void send_sparse(Communicator& comm, int dst, int tag, const SparseGradient& g) {
+    const std::vector<std::byte> bytes = sparse::serialize(g);
+    comm.send(dst, tag, bytes);
+}
+
+SparseGradient recv_sparse(Communicator& comm, int src, int tag) {
+    return sparse::deserialize(comm.recv(src, tag));
+}
+
+}  // namespace
+
+GtopkResult gtopk_allreduce(Communicator& comm, const SparseGradient& local,
+                            std::size_t k, const GtopkOptions& options) {
+    const int world = comm.size();
+    const int rank = comm.rank();
+    SparseGradient acc = local;
+
+    if (world > 1) {
+        // Fold ranks beyond the largest power-of-two base into the base so
+        // the distance-doubling tree below sees a power-of-two world.
+        const int base = 1 << collectives::ilog2_floor(world);
+        const int excess = world - base;
+        const int fold_tag = comm.fresh_tags(1);
+        if (rank >= base) {
+            send_sparse(comm, rank - base, fold_tag, acc);
+        } else if (rank < excess) {
+            const SparseGradient incoming = recv_sparse(comm, rank + base, fold_tag);
+            acc = sparse::topk_merge(acc, incoming, k);
+        }
+
+        // The tree of Fig. 4: at round r, ranks at stride 2^r pair up; the
+        // odd-position one ships its [V, I] to its even peer, which merges
+        // with ⊤ and carries the result into the next round. After
+        // log2(base) rounds rank 0 holds the global top-k.
+        const int rounds = collectives::tree_merge_rounds(base);
+        const int tree_tag = comm.fresh_tags(rounds);
+        if (rank < base) {
+            for (int r = 0; r < rounds; ++r) {
+                const TreeMergeStep step = collectives::tree_merge_step(rank, r, base);
+                if (step.role == TreeMergeStep::Role::Send) {
+                    send_sparse(comm, step.peer, tree_tag + r, acc);
+                    break;  // folded in; wait for the broadcast
+                }
+                if (step.role == TreeMergeStep::Role::Receive) {
+                    const SparseGradient incoming =
+                        recv_sparse(comm, step.peer, tree_tag + r);
+                    acc = sparse::topk_merge(acc, incoming, k);
+                }
+            }
+        }
+
+        // Line 19 of Algorithm 3: broadcast rank 0's result to everyone.
+        std::vector<std::byte> wire =
+            rank == 0 ? sparse::serialize(acc) : std::vector<std::byte>{};
+        collectives::broadcast(comm, wire, /*root=*/0, options.bcast);
+        acc = sparse::deserialize(wire);
+    } else {
+        acc = sparse::sparse_topk(acc, k);
+    }
+
+    return GtopkResult{std::move(acc)};
+}
+
+GtopkResult naive_gtopk_allreduce(Communicator& comm, const SparseGradient& local,
+                                  std::size_t k) {
+    const std::vector<std::byte> mine = sparse::serialize(local);
+    const auto all = collectives::allgatherv<std::byte>(comm, mine);
+    SparseGradient sum;
+    sum.dense_size = local.dense_size;
+    for (const auto& bytes : all) {
+        sum = sparse::add(sum, sparse::deserialize(bytes));
+    }
+    return GtopkResult{sparse::sparse_topk(sum, k)};
+}
+
+std::vector<float> topk_allreduce(Communicator& comm, const SparseGradient& local,
+                                  AllgatherAlgo algo) {
+    // The paper transfers exactly 2k values per worker ([V, I] of equal
+    // length k), which keeps contributions equal-sized and lets the
+    // efficient equal-block AllGather apply. Our wire format matches that
+    // plus a fixed 16-byte header. Equal sizes are a requirement of
+    // Algorithm 1 (every worker selects exactly k); enforce it.
+    const std::vector<std::byte> mine = sparse::serialize(local);
+    std::vector<std::byte> gathered =
+        collectives::allgather<std::byte>(comm, mine, algo);
+
+    std::vector<float> dense(static_cast<std::size_t>(local.dense_size), 0.0f);
+    const std::size_t block = mine.size();
+    for (int g = 0; g < comm.size(); ++g) {
+        const std::span<const std::byte> bytes(gathered.data() + block * static_cast<std::size_t>(g),
+                                               block);
+        const SparseGradient part = sparse::deserialize(bytes);
+        if (part.dense_size != local.dense_size || part.nnz() != local.nnz()) {
+            throw std::runtime_error(
+                "topk_allreduce: workers must contribute equal-size selections");
+        }
+        part.scatter_add(dense);
+    }
+    return dense;
+}
+
+std::vector<float> dense_allreduce(Communicator& comm, std::span<const float> grad,
+                                   AllreduceAlgo algo) {
+    std::vector<float> data(grad.begin(), grad.end());
+    collectives::allreduce_sum(comm, data, algo);
+    return data;
+}
+
+}  // namespace gtopk::core

@@ -1,0 +1,46 @@
+#include "data/sampler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gtopk::data {
+
+ShardedSampler::ShardedSampler(std::int64_t train_size, std::int64_t test_size,
+                               int world_size, std::uint64_t seed)
+    : train_size_(train_size), test_size_(test_size), world_size_(world_size), seed_(seed) {
+    if (world_size <= 0) throw std::invalid_argument("world_size must be positive");
+    if (train_size < world_size) {
+        throw std::invalid_argument("train_size must cover every shard");
+    }
+}
+
+std::int64_t ShardedSampler::shard_begin(int rank) const {
+    return train_size_ * rank / world_size_;
+}
+
+std::int64_t ShardedSampler::shard_end(int rank) const {
+    return train_size_ * (rank + 1) / world_size_;
+}
+
+std::vector<std::int64_t> ShardedSampler::batch_indices(std::int64_t step, int rank,
+                                                        std::int64_t batch) const {
+    const std::int64_t lo = shard_begin(rank);
+    const std::int64_t span = shard_end(rank) - lo;
+    util::Xoshiro256 rng = util::Xoshiro256(seed_).fork(
+        static_cast<std::uint64_t>(step) * 0x9E37u + static_cast<std::uint64_t>(rank));
+    std::vector<std::int64_t> out(static_cast<std::size_t>(batch));
+    for (auto& idx : out) {
+        idx = lo + static_cast<std::int64_t>(
+                       rng.next_below(static_cast<std::uint64_t>(span)));
+    }
+    return out;
+}
+
+std::vector<std::int64_t> ShardedSampler::test_indices(std::int64_t count) const {
+    count = std::min(count, test_size_);
+    std::vector<std::int64_t> out(static_cast<std::size_t>(count));
+    for (std::int64_t i = 0; i < count; ++i) out[static_cast<std::size_t>(i)] = train_size_ + i;
+    return out;
+}
+
+}  // namespace gtopk::data

@@ -1,0 +1,40 @@
+// ShardedSampler: deterministic data-parallel mini-batch index streams.
+//
+// The train index space [0, train_size) is split into P contiguous shards,
+// one per worker (the paper's data parallelism). batch_indices(step, rank)
+// is a pure function, so any rank can be replayed independently and the
+// whole distributed run is reproducible. Test indices live after the train
+// space: [train_size, train_size + test_size).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace gtopk::data {
+
+class ShardedSampler {
+public:
+    ShardedSampler(std::int64_t train_size, std::int64_t test_size, int world_size,
+                   std::uint64_t seed);
+
+    /// `batch` uniform draws (with replacement) from this rank's shard for
+    /// global step `step`.
+    std::vector<std::int64_t> batch_indices(std::int64_t step, int rank,
+                                            std::int64_t batch) const;
+
+    /// A fixed evaluation slice of the test space (same on every rank).
+    std::vector<std::int64_t> test_indices(std::int64_t count) const;
+
+    std::int64_t shard_begin(int rank) const;
+    std::int64_t shard_end(int rank) const;
+
+private:
+    std::int64_t train_size_;
+    std::int64_t test_size_;
+    int world_size_;
+    std::uint64_t seed_;
+};
+
+}  // namespace gtopk::data

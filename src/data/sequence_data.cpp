@@ -1,0 +1,76 @@
+#include "data/sequence_data.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gtopk::data {
+
+SequenceDataset::SequenceDataset(const Config& config, std::uint64_t seed)
+    : config_(config), seed_(seed) {
+    if (config_.vocab < 2) throw std::invalid_argument("SequenceDataset: vocab >= 2");
+    const std::int64_t v = config_.vocab;
+    util::Xoshiro256 rng = util::Xoshiro256(seed).fork(0x5E90);
+    cumulative_.resize(static_cast<std::size_t>(v * v));
+    for (std::int64_t row = 0; row < v; ++row) {
+        // Exponentiated random logits: a few transitions dominate each row.
+        std::vector<double> weights(static_cast<std::size_t>(v));
+        double total = 0.0;
+        for (std::int64_t col = 0; col < v; ++col) {
+            const double logit = config_.peakedness * rng.next_double();
+            weights[static_cast<std::size_t>(col)] = std::exp(logit);
+            total += weights[static_cast<std::size_t>(col)];
+        }
+        double acc = 0.0;
+        for (std::int64_t col = 0; col < v; ++col) {
+            acc += weights[static_cast<std::size_t>(col)] / total;
+            cumulative_[static_cast<std::size_t>(row * v + col)] = acc;
+        }
+        cumulative_[static_cast<std::size_t>(row * v + v - 1)] = 1.0;
+    }
+}
+
+std::int32_t SequenceDataset::step(std::int32_t state, util::Xoshiro256& rng) const {
+    const std::int64_t v = config_.vocab;
+    const double u = rng.next_double();
+    const double* row = cumulative_.data() + static_cast<std::int64_t>(state) * v;
+    for (std::int64_t col = 0; col < v; ++col) {
+        if (u < row[col]) return static_cast<std::int32_t>(col);
+    }
+    return static_cast<std::int32_t>(v - 1);
+}
+
+nn::Batch SequenceDataset::batch(std::span<const std::int64_t> indices) const {
+    const auto n = static_cast<std::int64_t>(indices.size());
+    const std::int64_t t_len = config_.seq_len;
+    nn::Batch batch;
+    batch.x = nn::Tensor({n, t_len});
+    batch.targets.resize(static_cast<std::size_t>(n * t_len));
+    for (std::int64_t i = 0; i < n; ++i) {
+        util::Xoshiro256 rng = util::Xoshiro256(seed_).fork(
+            static_cast<std::uint64_t>(indices[static_cast<std::size_t>(i)]));
+        auto token = static_cast<std::int32_t>(
+            rng.next_below(static_cast<std::uint64_t>(config_.vocab)));
+        for (std::int64_t t = 0; t < t_len; ++t) {
+            batch.x.at2(i, t) = static_cast<float>(token);
+            token = step(token, rng);
+            batch.targets[static_cast<std::size_t>(i * t_len + t)] = token;
+        }
+    }
+    return batch;
+}
+
+double SequenceDataset::transition_entropy() const {
+    const std::int64_t v = config_.vocab;
+    double total = 0.0;
+    for (std::int64_t row = 0; row < v; ++row) {
+        double prev = 0.0;
+        for (std::int64_t col = 0; col < v; ++col) {
+            const double p = cumulative_[static_cast<std::size_t>(row * v + col)] - prev;
+            prev = cumulative_[static_cast<std::size_t>(row * v + col)];
+            if (p > 0.0) total -= p * std::log(p);
+        }
+    }
+    return total / static_cast<double>(v);
+}
+
+}  // namespace gtopk::data

@@ -1,0 +1,49 @@
+// SequenceDataset — the Penn Treebank stand-in for the LSTM experiments.
+//
+// Sequences are walks of a fixed random Markov chain whose rows are peaked
+// (low-entropy) distributions, so a recurrent model can learn genuine
+// structure and the cross-entropy falls well below log(V). As with the
+// image dataset, each sequence is a pure function of (seed, index).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nn/model.hpp"
+#include "util/rng.hpp"
+
+namespace gtopk::data {
+
+class SequenceDataset {
+public:
+    struct Config {
+        std::int64_t vocab = 32;
+        std::int64_t seq_len = 16;  // T; samples carry T+1 tokens
+        /// Concentration of the transition rows; larger = more predictable.
+        double peakedness = 8.0;
+        std::int64_t train_size = 8192;
+        std::int64_t test_size = 1024;
+    };
+
+    SequenceDataset(const Config& config, std::uint64_t seed);
+
+    const Config& config() const { return config_; }
+
+    /// Batch with x = [N, T] token ids (as floats) and targets = the next
+    /// token at each of the N*T positions, row-major.
+    nn::Batch batch(std::span<const std::int64_t> indices) const;
+
+    /// Entropy rate proxy: mean per-row entropy of the chain in nats — a
+    /// lower bound on achievable LM loss, used by tests.
+    double transition_entropy() const;
+
+private:
+    std::int32_t step(std::int32_t state, util::Xoshiro256& rng) const;
+
+    Config config_;
+    std::uint64_t seed_;
+    std::vector<double> cumulative_;  // [V, V] row-wise CDF of transitions
+};
+
+}  // namespace gtopk::data

@@ -1,0 +1,52 @@
+#include "data/synthetic_images.hpp"
+
+namespace gtopk::data {
+
+SyntheticImageDataset::SyntheticImageDataset(const Config& config, std::uint64_t seed)
+    : config_(config), seed_(seed) {
+    util::Xoshiro256 proto_rng = util::Xoshiro256(seed).fork(0xC1A55);
+    prototypes_.resize(static_cast<std::size_t>(config_.classes * feature_dim()));
+    for (float& v : prototypes_) {
+        v = static_cast<float>(proto_rng.next_gaussian());
+    }
+}
+
+std::int32_t SyntheticImageDataset::label_of(std::int64_t index) const {
+    util::Xoshiro256 rng = util::Xoshiro256(seed_).fork(static_cast<std::uint64_t>(index));
+    return static_cast<std::int32_t>(
+        rng.next_below(static_cast<std::uint64_t>(config_.classes)));
+}
+
+void SyntheticImageDataset::write_sample(std::int64_t index, float* out) const {
+    util::Xoshiro256 rng = util::Xoshiro256(seed_).fork(static_cast<std::uint64_t>(index));
+    const auto label = static_cast<std::int64_t>(
+        rng.next_below(static_cast<std::uint64_t>(config_.classes)));
+    const float* proto = prototypes_.data() + label * feature_dim();
+    for (std::int64_t i = 0; i < feature_dim(); ++i) {
+        out[i] = proto[i] +
+                 config_.noise_std * static_cast<float>(rng.next_gaussian());
+    }
+}
+
+nn::Batch SyntheticImageDataset::batch_images(std::span<const std::int64_t> indices) const {
+    const auto n = static_cast<std::int64_t>(indices.size());
+    nn::Batch batch;
+    batch.x = nn::Tensor({n, config_.channels, config_.image_size, config_.image_size});
+    batch.targets.resize(indices.size());
+    for (std::int64_t i = 0; i < n; ++i) {
+        write_sample(indices[static_cast<std::size_t>(i)],
+                     batch.x.raw() + i * feature_dim());
+        batch.targets[static_cast<std::size_t>(i)] =
+            label_of(indices[static_cast<std::size_t>(i)]);
+    }
+    return batch;
+}
+
+nn::Batch SyntheticImageDataset::batch_flat(std::span<const std::int64_t> indices) const {
+    nn::Batch batch = batch_images(indices);
+    const std::int64_t n = batch.x.dim(0);
+    batch.x = batch.x.reshaped({n, feature_dim()});
+    return batch;
+}
+
+}  // namespace gtopk::data

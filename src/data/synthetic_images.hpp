@@ -1,0 +1,56 @@
+// SyntheticImageDataset — the Cifar-10 / ImageNet stand-in.
+//
+// Each class is a random prototype image; a sample is its class prototype
+// plus Gaussian pixel noise. Every sample is a pure function of
+// (dataset seed, sample index): no storage, any index can be materialized
+// on any worker, and runs are bit-reproducible. The classification task is
+// hard enough to show convergence differences between optimizers (noise
+// keeps the Bayes error non-trivial) yet learnable by the small model zoo.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nn/model.hpp"
+#include "util/rng.hpp"
+
+namespace gtopk::data {
+
+class SyntheticImageDataset {
+public:
+    struct Config {
+        std::int64_t classes = 10;
+        std::int64_t channels = 3;
+        std::int64_t image_size = 16;  // square
+        float noise_std = 0.8f;
+        std::int64_t train_size = 8192;
+        std::int64_t test_size = 1024;
+    };
+
+    SyntheticImageDataset(const Config& config, std::uint64_t seed);
+
+    const Config& config() const { return config_; }
+    std::int64_t feature_dim() const {
+        return config_.channels * config_.image_size * config_.image_size;
+    }
+
+    /// Label of sample `index` (same for train/test spaces; test indices are
+    /// train_size..train_size+test_size-1).
+    std::int32_t label_of(std::int64_t index) const;
+
+    /// Batch shaped [N, C, H, W] for CNNs.
+    nn::Batch batch_images(std::span<const std::int64_t> indices) const;
+
+    /// Batch shaped [N, D] for MLPs.
+    nn::Batch batch_flat(std::span<const std::int64_t> indices) const;
+
+private:
+    void write_sample(std::int64_t index, float* out) const;
+
+    Config config_;
+    std::uint64_t seed_;
+    std::vector<float> prototypes_;  // [classes, D]
+};
+
+}  // namespace gtopk::data

@@ -1,0 +1,48 @@
+// Elementwise activations. Each caches what its derivative needs.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace gtopk::nn {
+
+class ReLU final : public Layer {
+public:
+    Tensor forward(const Tensor& x, bool training) override;
+    Tensor backward(const Tensor& dy) override;
+    std::string name() const override { return "ReLU"; }
+
+private:
+    Tensor cached_x_;
+};
+
+class Tanh final : public Layer {
+public:
+    Tensor forward(const Tensor& x, bool training) override;
+    Tensor backward(const Tensor& dy) override;
+    std::string name() const override { return "Tanh"; }
+
+private:
+    Tensor cached_y_;
+};
+
+class Sigmoid final : public Layer {
+public:
+    Tensor forward(const Tensor& x, bool training) override;
+    Tensor backward(const Tensor& dy) override;
+    std::string name() const override { return "Sigmoid"; }
+
+private:
+    Tensor cached_y_;
+};
+
+class Flatten final : public Layer {
+public:
+    Tensor forward(const Tensor& x, bool training) override;
+    Tensor backward(const Tensor& dy) override;
+    std::string name() const override { return "Flatten"; }
+
+private:
+    std::vector<std::int64_t> cached_shape_;
+};
+
+}  // namespace gtopk::nn

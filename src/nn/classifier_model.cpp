@@ -1,0 +1,29 @@
+#include "nn/classifier_model.hpp"
+
+#include "nn/loss.hpp"
+
+namespace gtopk::nn {
+
+ClassifierModel::ClassifierModel(std::unique_ptr<Sequential> net) : net_(std::move(net)) {
+    net_->collect_params(params_);
+}
+
+double ClassifierModel::train_step_gradients(const Batch& batch) {
+    zero_grads(params_);
+    Tensor logits = net_->forward(batch.x, /*training=*/true);
+    LossResult lr = softmax_cross_entropy(logits, batch.targets);
+    net_->backward(lr.dlogits);
+    return lr.loss;
+}
+
+double ClassifierModel::eval_loss(const Batch& batch) {
+    Tensor logits = net_->forward(batch.x, /*training=*/false);
+    return softmax_cross_entropy(logits, batch.targets).loss;
+}
+
+double ClassifierModel::eval_accuracy(const Batch& batch) {
+    Tensor logits = net_->forward(batch.x, /*training=*/false);
+    return accuracy(logits, batch.targets);
+}
+
+}  // namespace gtopk::nn

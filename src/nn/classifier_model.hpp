@@ -1,0 +1,25 @@
+// ClassifierModel: a Sequential network trained with softmax cross entropy.
+#pragma once
+
+#include <memory>
+
+#include "nn/model.hpp"
+#include "nn/sequential.hpp"
+
+namespace gtopk::nn {
+
+class ClassifierModel final : public TrainableModel {
+public:
+    explicit ClassifierModel(std::unique_ptr<Sequential> net);
+
+    double train_step_gradients(const Batch& batch) override;
+    double eval_loss(const Batch& batch) override;
+    double eval_accuracy(const Batch& batch) override;
+
+    Sequential& net() { return *net_; }
+
+private:
+    std::unique_ptr<Sequential> net_;
+};
+
+}  // namespace gtopk::nn

@@ -1,0 +1,97 @@
+#include "nn/conv2d.hpp"
+
+#include <stdexcept>
+
+#include "nn/init.hpp"
+
+namespace gtopk::nn {
+
+Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels, std::int64_t kernel,
+               std::int64_t stride, std::int64_t padding, util::Xoshiro256& rng)
+    : in_c_(in_channels),
+      out_c_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      padding_(padding),
+      w_(static_cast<std::size_t>(out_channels * in_channels * kernel * kernel)),
+      b_(static_cast<std::size_t>(out_channels), 0.0f),
+      dw_(w_.size(), 0.0f),
+      db_(b_.size(), 0.0f) {
+    kaiming_normal(w_, static_cast<std::size_t>(in_channels * kernel * kernel), rng);
+}
+
+Tensor Conv2d::forward(const Tensor& x, bool training) {
+    if (x.rank() != 4 || x.dim(1) != in_c_) {
+        throw std::invalid_argument("Conv2d::forward: expected [N, C_in, H, W]");
+    }
+    if (training) cached_x_ = x;
+    const std::int64_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+    const std::int64_t oh = out_dim(h), ow = out_dim(w);
+    Tensor y({n, out_c_, oh, ow});
+    for (std::int64_t b = 0; b < n; ++b) {
+        for (std::int64_t oc = 0; oc < out_c_; ++oc) {
+            for (std::int64_t i = 0; i < oh; ++i) {
+                for (std::int64_t j = 0; j < ow; ++j) {
+                    float acc = b_[static_cast<std::size_t>(oc)];
+                    for (std::int64_t ic = 0; ic < in_c_; ++ic) {
+                        for (std::int64_t ki = 0; ki < kernel_; ++ki) {
+                            const std::int64_t hi = i * stride_ + ki - padding_;
+                            if (hi < 0 || hi >= h) continue;
+                            for (std::int64_t kj = 0; kj < kernel_; ++kj) {
+                                const std::int64_t wj = j * stride_ + kj - padding_;
+                                if (wj < 0 || wj >= w) continue;
+                                const float wv =
+                                    w_[static_cast<std::size_t>(((oc * in_c_ + ic) * kernel_ + ki) * kernel_ + kj)];
+                                acc += wv * x.at4(b, ic, hi, wj);
+                            }
+                        }
+                    }
+                    y.at4(b, oc, i, j) = acc;
+                }
+            }
+        }
+    }
+    return y;
+}
+
+Tensor Conv2d::backward(const Tensor& dy) {
+    const Tensor& x = cached_x_;
+    const std::int64_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+    const std::int64_t oh = out_dim(h), ow = out_dim(w);
+    if (dy.rank() != 4 || dy.dim(1) != out_c_ || dy.dim(2) != oh || dy.dim(3) != ow) {
+        throw std::invalid_argument("Conv2d::backward: shape mismatch");
+    }
+    Tensor dx({n, in_c_, h, w});
+    for (std::int64_t b = 0; b < n; ++b) {
+        for (std::int64_t oc = 0; oc < out_c_; ++oc) {
+            for (std::int64_t i = 0; i < oh; ++i) {
+                for (std::int64_t j = 0; j < ow; ++j) {
+                    const float g = dy.at4(b, oc, i, j);
+                    db_[static_cast<std::size_t>(oc)] += g;
+                    for (std::int64_t ic = 0; ic < in_c_; ++ic) {
+                        for (std::int64_t ki = 0; ki < kernel_; ++ki) {
+                            const std::int64_t hi = i * stride_ + ki - padding_;
+                            if (hi < 0 || hi >= h) continue;
+                            for (std::int64_t kj = 0; kj < kernel_; ++kj) {
+                                const std::int64_t wj = j * stride_ + kj - padding_;
+                                if (wj < 0 || wj >= w) continue;
+                                const std::size_t widx = static_cast<std::size_t>(
+                                    ((oc * in_c_ + ic) * kernel_ + ki) * kernel_ + kj);
+                                dw_[widx] += g * x.at4(b, ic, hi, wj);
+                                dx.at4(b, ic, hi, wj) += g * w_[widx];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return dx;
+}
+
+void Conv2d::collect_params(std::vector<ParamView>& out) {
+    out.push_back({&w_, &dw_, "conv.w"});
+    out.push_back({&b_, &db_, "conv.b"});
+}
+
+}  // namespace gtopk::nn

@@ -1,0 +1,34 @@
+// 2-D convolution, NCHW layout, square kernel, configurable stride and
+// zero padding. Direct (naive) loops — the models here are small enough
+// that clarity beats an im2col.
+#pragma once
+
+#include "nn/layer.hpp"
+#include "util/rng.hpp"
+
+namespace gtopk::nn {
+
+class Conv2d final : public Layer {
+public:
+    Conv2d(std::int64_t in_channels, std::int64_t out_channels, std::int64_t kernel,
+           std::int64_t stride, std::int64_t padding, util::Xoshiro256& rng);
+
+    Tensor forward(const Tensor& x, bool training) override;
+    Tensor backward(const Tensor& dy) override;
+    void collect_params(std::vector<ParamView>& out) override;
+    std::string name() const override { return "Conv2d"; }
+
+    std::int64_t out_dim(std::int64_t in_dim) const {
+        return (in_dim + 2 * padding_ - kernel_) / stride_ + 1;
+    }
+
+private:
+    std::int64_t in_c_, out_c_, kernel_, stride_, padding_;
+    std::vector<float> w_;   // [out_c, in_c, k, k]
+    std::vector<float> b_;   // [out_c]
+    std::vector<float> dw_;
+    std::vector<float> db_;
+    Tensor cached_x_;
+};
+
+}  // namespace gtopk::nn

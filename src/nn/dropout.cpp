@@ -1,0 +1,38 @@
+#include "nn/dropout.hpp"
+
+#include <stdexcept>
+
+namespace gtopk::nn {
+
+Dropout::Dropout(float drop_probability, std::uint64_t seed)
+    : p_(drop_probability), rng_(seed) {
+    if (p_ < 0.0f || p_ >= 1.0f) {
+        throw std::invalid_argument("Dropout: p must be in [0, 1)");
+    }
+}
+
+Tensor Dropout::forward(const Tensor& x, bool training) {
+    if (!training || p_ == 0.0f) {
+        mask_.clear();
+        return x;
+    }
+    const float keep_scale = 1.0f / (1.0f - p_);
+    mask_.resize(static_cast<std::size_t>(x.numel()));
+    Tensor y = x;
+    auto ys = y.data();
+    for (std::size_t i = 0; i < mask_.size(); ++i) {
+        mask_[i] = rng_.next_double() < p_ ? 0.0f : keep_scale;
+        ys[i] *= mask_[i];
+    }
+    return y;
+}
+
+Tensor Dropout::backward(const Tensor& dy) {
+    if (mask_.empty()) return dy;
+    Tensor dx = dy;
+    auto ds = dx.data();
+    for (std::size_t i = 0; i < mask_.size(); ++i) ds[i] *= mask_[i];
+    return dx;
+}
+
+}  // namespace gtopk::nn

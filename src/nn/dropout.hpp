@@ -1,0 +1,25 @@
+// Inverted dropout: active only in training mode; eval is identity.
+// The mask stream is owned by the layer and seeded explicitly so replicas
+// can be made identical (or intentionally decorrelated) by the caller.
+#pragma once
+
+#include "nn/layer.hpp"
+#include "util/rng.hpp"
+
+namespace gtopk::nn {
+
+class Dropout final : public Layer {
+public:
+    Dropout(float drop_probability, std::uint64_t seed);
+
+    Tensor forward(const Tensor& x, bool training) override;
+    Tensor backward(const Tensor& dy) override;
+    std::string name() const override { return "Dropout"; }
+
+private:
+    float p_;
+    util::Xoshiro256 rng_;
+    std::vector<float> mask_;  // 0 or 1/(1-p) per element
+};
+
+}  // namespace gtopk::nn

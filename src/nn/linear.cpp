@@ -1,0 +1,69 @@
+#include "nn/linear.hpp"
+
+#include <stdexcept>
+
+#include "nn/init.hpp"
+
+namespace gtopk::nn {
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features,
+               util::Xoshiro256& rng)
+    : in_(in_features),
+      out_(out_features),
+      w_(static_cast<std::size_t>(in_features * out_features)),
+      b_(static_cast<std::size_t>(out_features), 0.0f),
+      dw_(w_.size(), 0.0f),
+      db_(b_.size(), 0.0f) {
+    kaiming_normal(w_, static_cast<std::size_t>(in_features), rng);
+}
+
+Tensor Linear::forward(const Tensor& x, bool training) {
+    if (x.rank() != 2 || x.dim(1) != in_) {
+        throw std::invalid_argument("Linear::forward: expected [N, in]");
+    }
+    if (training) cached_x_ = x;
+    const std::int64_t n = x.dim(0);
+    Tensor y({n, out_});
+    for (std::int64_t i = 0; i < n; ++i) {
+        const float* xi = x.raw() + i * in_;
+        float* yi = y.raw() + i * out_;
+        for (std::int64_t o = 0; o < out_; ++o) {
+            const float* wo = w_.data() + o * in_;
+            float acc = b_[static_cast<std::size_t>(o)];
+            for (std::int64_t k = 0; k < in_; ++k) acc += xi[k] * wo[k];
+            yi[o] = acc;
+        }
+    }
+    return y;
+}
+
+Tensor Linear::backward(const Tensor& dy) {
+    const std::int64_t n = dy.dim(0);
+    if (dy.rank() != 2 || dy.dim(1) != out_ || cached_x_.dim(0) != n) {
+        throw std::invalid_argument("Linear::backward: shape mismatch");
+    }
+    Tensor dx({n, in_});
+    for (std::int64_t i = 0; i < n; ++i) {
+        const float* xi = cached_x_.raw() + i * in_;
+        const float* dyi = dy.raw() + i * out_;
+        float* dxi = dx.raw() + i * in_;
+        for (std::int64_t o = 0; o < out_; ++o) {
+            const float g = dyi[o];
+            db_[static_cast<std::size_t>(o)] += g;
+            float* dwo = dw_.data() + o * in_;
+            const float* wo = w_.data() + o * in_;
+            for (std::int64_t k = 0; k < in_; ++k) {
+                dwo[k] += g * xi[k];
+                dxi[k] += g * wo[k];
+            }
+        }
+    }
+    return dx;
+}
+
+void Linear::collect_params(std::vector<ParamView>& out) {
+    out.push_back({&w_, &dw_, "linear.w"});
+    out.push_back({&b_, &db_, "linear.b"});
+}
+
+}  // namespace gtopk::nn

@@ -1,0 +1,31 @@
+// Fully connected layer: y = x W^T + b, x: [N, in], W: [out, in], b: [out].
+#pragma once
+
+#include "nn/layer.hpp"
+#include "util/rng.hpp"
+
+namespace gtopk::nn {
+
+class Linear final : public Layer {
+public:
+    Linear(std::int64_t in_features, std::int64_t out_features, util::Xoshiro256& rng);
+
+    Tensor forward(const Tensor& x, bool training) override;
+    Tensor backward(const Tensor& dy) override;
+    void collect_params(std::vector<ParamView>& out) override;
+    std::string name() const override { return "Linear"; }
+
+    std::int64_t in_features() const { return in_; }
+    std::int64_t out_features() const { return out_; }
+
+private:
+    std::int64_t in_;
+    std::int64_t out_;
+    std::vector<float> w_;   // [out, in]
+    std::vector<float> b_;   // [out]
+    std::vector<float> dw_;
+    std::vector<float> db_;
+    Tensor cached_x_;
+};
+
+}  // namespace gtopk::nn

@@ -1,0 +1,66 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gtopk::nn {
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 std::span<const std::int32_t> labels) {
+    if (logits.rank() != 2) throw std::invalid_argument("expected [N, C] logits");
+    const std::int64_t n = logits.dim(0), c = logits.dim(1);
+    if (static_cast<std::int64_t>(labels.size()) != n) {
+        throw std::invalid_argument("labels size mismatch");
+    }
+    LossResult result;
+    result.dlogits = Tensor({n, c});
+    double total = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+        const float* row = logits.raw() + i * c;
+        float* drow = result.dlogits.raw() + i * c;
+        const float mx = *std::max_element(row, row + c);
+        double denom = 0.0;
+        for (std::int64_t j = 0; j < c; ++j) denom += std::exp(static_cast<double>(row[j] - mx));
+        const std::int32_t label = labels[static_cast<std::size_t>(i)];
+        if (label < 0 || label >= c) throw std::invalid_argument("label out of range");
+        for (std::int64_t j = 0; j < c; ++j) {
+            const double p = std::exp(static_cast<double>(row[j] - mx)) / denom;
+            drow[j] = static_cast<float>((p - (j == label ? 1.0 : 0.0)) / static_cast<double>(n));
+        }
+        const double log_p =
+            static_cast<double>(row[label] - mx) - std::log(denom);
+        total -= log_p;
+    }
+    result.loss = total / static_cast<double>(n);
+    return result;
+}
+
+LossResult mse_loss(const Tensor& output, const Tensor& target) {
+    if (!output.same_shape(target)) throw std::invalid_argument("mse: shape mismatch");
+    LossResult result;
+    result.dlogits = Tensor(output.shape());
+    const auto n = static_cast<double>(output.numel());
+    double total = 0.0;
+    for (std::int64_t i = 0; i < output.numel(); ++i) {
+        const double d = static_cast<double>(output[static_cast<std::size_t>(i)]) -
+                         static_cast<double>(target[static_cast<std::size_t>(i)]);
+        total += d * d;
+        result.dlogits[static_cast<std::size_t>(i)] = static_cast<float>(2.0 * d / n);
+    }
+    result.loss = total / n;
+    return result;
+}
+
+double accuracy(const Tensor& logits, std::span<const std::int32_t> labels) {
+    const std::int64_t n = logits.dim(0), c = logits.dim(1);
+    std::int64_t correct = 0;
+    for (std::int64_t i = 0; i < n; ++i) {
+        const float* row = logits.raw() + i * c;
+        const std::int64_t pred = std::max_element(row, row + c) - row;
+        if (pred == labels[static_cast<std::size_t>(i)]) ++correct;
+    }
+    return n == 0 ? 0.0 : static_cast<double>(correct) / static_cast<double>(n);
+}
+
+}  // namespace gtopk::nn

@@ -1,0 +1,28 @@
+// Loss functions. Each returns the scalar loss (mean over the batch) and
+// the gradient w.r.t. the network output, already divided by batch size so
+// trainers can feed it straight into backward().
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "nn/tensor.hpp"
+
+namespace gtopk::nn {
+
+struct LossResult {
+    double loss = 0.0;
+    Tensor dlogits;
+};
+
+/// Softmax + cross entropy over logits [N, C] with integer labels [N].
+/// Numerically stabilized (max-subtraction).
+LossResult softmax_cross_entropy(const Tensor& logits, std::span<const std::int32_t> labels);
+
+/// Mean squared error against targets of identical shape.
+LossResult mse_loss(const Tensor& output, const Tensor& target);
+
+/// argmax-based top-1 accuracy for logits [N, C].
+double accuracy(const Tensor& logits, std::span<const std::int32_t> labels);
+
+}  // namespace gtopk::nn

@@ -1,0 +1,60 @@
+// Model zoo: the scaled-down stand-ins for the paper's evaluated DNNs.
+// Every factory is deterministic in `seed`, so P workers constructing the
+// same config start from bit-identical replicas.
+//
+//   MiniVgg    FC-heavy small CNN — stands in for VGG-16/AlexNet, whose
+//              large fully connected layers make them communication-bound.
+//   MiniResNet residual CNN — stands in for ResNet-20/50, compute-bound.
+//   MlpCifar   plain MLP on flattened images — fastest convergence benches.
+//   LstmLm     recurrent LM — stands in for LSTM-PTB.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nn/model.hpp"
+
+namespace gtopk::nn {
+
+struct MlpConfig {
+    std::int64_t input_dim = 3 * 16 * 16;
+    std::vector<std::int64_t> hidden_dims = {128, 64};
+    std::int64_t classes = 10;
+};
+
+struct MiniVggConfig {
+    std::int64_t in_channels = 3;
+    std::int64_t image_size = 16;  // square
+    std::int64_t conv_channels = 8;
+    std::int64_t fc_dim = 128;  // deliberately FC-heavy, like VGG
+    std::int64_t classes = 10;
+    /// Dropout probability on the FC layers (VGG/AlexNet style); 0 = off.
+    float dropout = 0.0f;
+};
+
+struct MiniResNetConfig {
+    std::int64_t in_channels = 3;
+    std::int64_t image_size = 16;
+    std::int64_t channels = 8;
+    int blocks = 2;
+    std::int64_t classes = 10;
+    /// Insert BatchNorm2d after every convolution, as real ResNets do.
+    bool batch_norm = false;
+};
+
+struct LstmConfig {
+    std::int64_t vocab = 32;
+    std::int64_t embed_dim = 24;
+    std::int64_t hidden_dim = 48;
+    int num_layers = 1;  // the paper's LSTM-PTB uses 2
+};
+
+std::unique_ptr<TrainableModel> make_mlp(const MlpConfig& config, std::uint64_t seed);
+std::unique_ptr<TrainableModel> make_mini_vgg(const MiniVggConfig& config,
+                                              std::uint64_t seed);
+std::unique_ptr<TrainableModel> make_mini_resnet(const MiniResNetConfig& config,
+                                                 std::uint64_t seed);
+std::unique_ptr<TrainableModel> make_lstm_lm(const LstmConfig& config, std::uint64_t seed);
+
+}  // namespace gtopk::nn

@@ -1,0 +1,23 @@
+// Max pooling, NCHW, square window, stride == window (the common case the
+// models here need).
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace gtopk::nn {
+
+class MaxPool2d final : public Layer {
+public:
+    explicit MaxPool2d(std::int64_t window);
+
+    Tensor forward(const Tensor& x, bool training) override;
+    Tensor backward(const Tensor& dy) override;
+    std::string name() const override { return "MaxPool2d"; }
+
+private:
+    std::int64_t window_;
+    std::vector<std::int64_t> argmax_;  // flat input index of each output max
+    std::vector<std::int64_t> in_shape_;
+};
+
+}  // namespace gtopk::nn

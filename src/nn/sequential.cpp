@@ -1,0 +1,23 @@
+#include "nn/sequential.hpp"
+
+namespace gtopk::nn {
+
+Tensor Sequential::forward(const Tensor& x, bool training) {
+    Tensor h = x;
+    for (auto& layer : layers_) h = layer->forward(h, training);
+    return h;
+}
+
+Tensor Sequential::backward(const Tensor& dy) {
+    Tensor g = dy;
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+        g = (*it)->backward(g);
+    }
+    return g;
+}
+
+void Sequential::collect_params(std::vector<ParamView>& out) {
+    for (auto& layer : layers_) layer->collect_params(out);
+}
+
+}  // namespace gtopk::nn

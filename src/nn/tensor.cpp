@@ -1,0 +1,40 @@
+#include "nn/tensor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gtopk::nn {
+
+namespace {
+std::int64_t shape_numel(const std::vector<std::int64_t>& shape) {
+    std::int64_t n = 1;
+    for (std::int64_t d : shape) {
+        if (d < 0) throw std::invalid_argument("Tensor: negative dimension");
+        n *= d;
+    }
+    return n;
+}
+}  // namespace
+
+Tensor::Tensor(std::vector<std::int64_t> shape)
+    : shape_(std::move(shape)), numel_(shape_numel(shape_)) {
+    data_.assign(static_cast<std::size_t>(numel_), 0.0f);
+}
+
+Tensor::Tensor(std::vector<std::int64_t> shape, std::vector<float> data)
+    : shape_(std::move(shape)), numel_(shape_numel(shape_)), data_(std::move(data)) {
+    if (static_cast<std::int64_t>(data_.size()) != numel_) {
+        throw std::invalid_argument("Tensor: data size does not match shape");
+    }
+}
+
+Tensor Tensor::reshaped(std::vector<std::int64_t> new_shape) const {
+    if (shape_numel(new_shape) != numel_) {
+        throw std::invalid_argument("reshaped: numel mismatch");
+    }
+    return Tensor(std::move(new_shape), data_);
+}
+
+void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+}  // namespace gtopk::nn

@@ -1,0 +1,62 @@
+// Tensor: a minimal dense float32 n-d array (row-major), sized for the
+// scaled-down models this repo trains. No views, no broadcasting — layers
+// index explicitly, which keeps the backprop code auditable.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace gtopk::nn {
+
+class Tensor {
+public:
+    Tensor() = default;
+    explicit Tensor(std::vector<std::int64_t> shape);
+    Tensor(std::vector<std::int64_t> shape, std::vector<float> data);
+
+    static Tensor zeros(std::vector<std::int64_t> shape) { return Tensor(std::move(shape)); }
+
+    const std::vector<std::int64_t>& shape() const { return shape_; }
+    std::int64_t dim(std::size_t axis) const { return shape_[axis]; }
+    std::size_t rank() const { return shape_.size(); }
+    std::int64_t numel() const { return numel_; }
+
+    std::span<float> data() { return data_; }
+    std::span<const float> data() const { return data_; }
+
+    float* raw() { return data_.data(); }
+    const float* raw() const { return data_.data(); }
+
+    float& operator[](std::size_t i) { return data_[i]; }
+    float operator[](std::size_t i) const { return data_[i]; }
+
+    // Convenience indexed access for the ranks the layers use.
+    float& at2(std::int64_t i, std::int64_t j) {
+        return data_[static_cast<std::size_t>(i * shape_[1] + j)];
+    }
+    float at2(std::int64_t i, std::int64_t j) const {
+        return data_[static_cast<std::size_t>(i * shape_[1] + j)];
+    }
+    float& at4(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) {
+        return data_[static_cast<std::size_t>(((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w)];
+    }
+    float at4(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) const {
+        return data_[static_cast<std::size_t>(((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w)];
+    }
+
+    /// Reinterpret with a new shape of equal numel.
+    Tensor reshaped(std::vector<std::int64_t> new_shape) const;
+
+    void fill(float v);
+
+    bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+private:
+    std::vector<std::int64_t> shape_;
+    std::int64_t numel_ = 0;
+    std::vector<float> data_;
+};
+
+}  // namespace gtopk::nn

@@ -1,0 +1,76 @@
+#include "perfmodel/iteration_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "collectives/cost_model.hpp"
+
+namespace gtopk::perfmodel {
+
+const char* algo_name(Algo algo) {
+    switch (algo) {
+        case Algo::Dense: return "Dense";
+        case Algo::Topk: return "Top-k";
+        case Algo::Gtopk: return "gTop-k";
+    }
+    return "?";
+}
+
+namespace {
+std::uint64_t k_of(const ModelProfile& model, double density) {
+    return static_cast<std::uint64_t>(
+        std::max<double>(1.0, std::llround(density * static_cast<double>(model.params))));
+}
+}  // namespace
+
+double comm_time_s(const ModelProfile& model, Algo algo, int workers, double density,
+                   const StackModel& stack) {
+    const std::uint64_t m = static_cast<std::uint64_t>(model.params);
+    switch (algo) {
+        case Algo::Dense:
+            return collectives::dense_allreduce_time_s(stack.dense_net, workers, m);
+        case Algo::Topk: {
+            const std::uint64_t k = k_of(model, density);
+            // AllGather of 2k elements plus the local O(kP) accumulation.
+            return collectives::topk_allreduce_time_s(stack.sparse_net, workers, k) +
+                   stack.accum_cost_per_elem_s * static_cast<double>(k) *
+                       static_cast<double>(workers);
+        }
+        case Algo::Gtopk:
+            return collectives::gtopk_allreduce_time_s(stack.sparse_net, workers,
+                                                       k_of(model, density));
+    }
+    throw std::logic_error("unknown Algo");
+}
+
+double compress_time_s(const ModelProfile& model, Algo algo, const StackModel& stack) {
+    return algo == Algo::Dense ? 0.0 : model.t_compress_s * stack.compress_scale;
+}
+
+Breakdown iteration_breakdown(const ModelProfile& model, Algo algo, int workers,
+                              double density, const StackModel& stack) {
+    Breakdown b;
+    b.compute_s = model.t_compute_s;
+    b.compress_s = compress_time_s(model, algo, stack);
+    b.comm_s = comm_time_s(model, algo, workers, density, stack);
+    return b;
+}
+
+double iteration_time_s(const ModelProfile& model, Algo algo, int workers,
+                        double density, const StackModel& stack) {
+    return iteration_breakdown(model, algo, workers, density, stack).total_s();
+}
+
+double scaling_efficiency(const ModelProfile& model, Algo algo, int workers,
+                          double density, const StackModel& stack) {
+    return model.t_compute_s / iteration_time_s(model, algo, workers, density, stack);
+}
+
+double throughput_sps(const ModelProfile& model, Algo algo, int workers,
+                      double density, const StackModel& stack) {
+    return static_cast<double>(workers) * static_cast<double>(model.batch) /
+           iteration_time_s(model, algo, workers, density, stack);
+}
+
+}  // namespace gtopk::perfmodel

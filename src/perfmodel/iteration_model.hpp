@@ -1,0 +1,44 @@
+// Iteration-time model: composes a ModelProfile with a StackModel to
+// predict t_iter, scaling efficiency (Eq. 4), throughput, and the Fig. 11
+// compute/compress/communicate breakdown for each of the three S-SGD
+// algorithms.
+#pragma once
+
+#include "perfmodel/model_profile.hpp"
+#include "perfmodel/stack_model.hpp"
+
+namespace gtopk::perfmodel {
+
+enum class Algo { Dense, Topk, Gtopk };
+
+const char* algo_name(Algo algo);
+
+/// Communication time of one gradient aggregation (no compute/compress).
+double comm_time_s(const ModelProfile& model, Algo algo, int workers, double density,
+                   const StackModel& stack);
+
+/// Local sparsification time (zero for the dense algorithm).
+double compress_time_s(const ModelProfile& model, Algo algo, const StackModel& stack);
+
+struct Breakdown {
+    double compute_s = 0.0;
+    double compress_s = 0.0;
+    double comm_s = 0.0;
+    double total_s() const { return compute_s + compress_s + comm_s; }
+};
+
+Breakdown iteration_breakdown(const ModelProfile& model, Algo algo, int workers,
+                              double density, const StackModel& stack);
+
+double iteration_time_s(const ModelProfile& model, Algo algo, int workers,
+                        double density, const StackModel& stack);
+
+/// Eq. 4: e = (t_f + t_b) / t_iter, in [0, 1].
+double scaling_efficiency(const ModelProfile& model, Algo algo, int workers,
+                          double density, const StackModel& stack);
+
+/// Weak-scaling system throughput in samples/sec: P * b / t_iter.
+double throughput_sps(const ModelProfile& model, Algo algo, int workers,
+                      double density, const StackModel& stack);
+
+}  // namespace gtopk::perfmodel

@@ -1,0 +1,38 @@
+#include "perfmodel/model_profile.hpp"
+
+namespace gtopk::perfmodel {
+
+ModelProfile vgg16_profile() {
+    return {"VGG-16", 14'700'000, 128, 0.15, 0.85, 1e-3};
+}
+
+ModelProfile resnet20_profile() {
+    return {"ResNet-20", 270'000, 128, 0.13, 0.015, 1e-3};
+}
+
+ModelProfile alexnet_profile() {
+    return {"AlexNet", 61'000'000, 64, 0.45, 3.0, 1e-3};
+}
+
+ModelProfile resnet50_profile() {
+    return {"ResNet-50", 25'600'000, 256, 4.8, 1.2, 1e-3};
+}
+
+ModelProfile lstm_ptb_profile() {
+    return {"LSTM-PTB", 66'000'000, 100, 1.0, 3.2, 5e-3};
+}
+
+std::vector<ModelProfile> table4_models() {
+    return {vgg16_profile(), resnet20_profile(), alexnet_profile(), resnet50_profile()};
+}
+
+std::vector<PaperThroughput> paper_table4() {
+    return {
+        {"VGG-16", 403, 2016, 3020},
+        {"ResNet-20", 9212, 22272, 25280},
+        {"AlexNet", 39, 296, 505},
+        {"ResNet-50", 343, 978, 1251},
+    };
+}
+
+}  // namespace gtopk::perfmodel

@@ -1,0 +1,44 @@
+// ModelProfile: the per-DNN constants needed to predict an S-SGD iteration
+// on the paper's testbed (Table III models on Nvidia P102-100 GPUs).
+//
+// t_compute_s and t_compress_s are calibrated from the paper's own
+// measurements (Table IV throughput, Fig. 10 scaling efficiency, Fig. 11
+// breakdown) — see EXPERIMENTS.md for the derivation. t_compress_s is the
+// cost of the local top-k selection on the full m-element gradient; the
+// paper notes (Sec. IV-E) that GPU top-k selection was a significant,
+// m-proportional overhead.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gtopk::perfmodel {
+
+struct ModelProfile {
+    std::string name;
+    std::int64_t params = 0;       // m
+    std::int64_t batch = 0;        // b, per worker
+    double t_compute_s = 0.0;      // t_f + t_b per iteration
+    double t_compress_s = 0.0;     // local sparsification per iteration
+    double default_density = 1e-3; // rho used by the paper for this model
+};
+
+ModelProfile vgg16_profile();      // Cifar-10, m = 14.7M, b = 128
+ModelProfile resnet20_profile();   // Cifar-10, m = 0.27M, b = 128
+ModelProfile alexnet_profile();    // ImageNet, m = 61M,   b = 64
+ModelProfile resnet50_profile();   // ImageNet, m = 25.6M, b = 256
+ModelProfile lstm_ptb_profile();   // PTB,      m = 66M,   b = 100, rho = 5e-3
+
+/// The four CNNs of Table IV / Fig. 10, in the paper's order.
+std::vector<ModelProfile> table4_models();
+
+/// Paper-reported throughput numbers (images/sec on 32 workers, Table IV)
+/// for side-by-side printing in the bench output.
+struct PaperThroughput {
+    std::string name;
+    double dense = 0, topk = 0, gtopk = 0;
+};
+std::vector<PaperThroughput> paper_table4();
+
+}  // namespace gtopk::perfmodel

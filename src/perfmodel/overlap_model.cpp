@@ -1,0 +1,63 @@
+#include "perfmodel/overlap_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "collectives/cost_model.hpp"
+
+namespace gtopk::perfmodel {
+
+namespace {
+std::uint64_t k_of(std::int64_t size, double density) {
+    return static_cast<std::uint64_t>(
+        std::max<double>(1.0, std::llround(density * static_cast<double>(size))));
+}
+}  // namespace
+
+double layerwise_gtopk_comm_time_s(const comm::NetworkModel& net, int workers,
+                                   std::span<const std::int64_t> segment_sizes,
+                                   double density) {
+    double total = 0.0;
+    for (std::int64_t size : segment_sizes) {
+        total += collectives::gtopk_allreduce_time_s(net, workers, k_of(size, density));
+    }
+    return total;
+}
+
+OverlapResult overlapped_iteration(const comm::NetworkModel& net, int workers,
+                                   std::span<const std::int64_t> segment_sizes,
+                                   double density, double t_forward_s,
+                                   double t_backward_s) {
+    std::int64_t total_size = 0;
+    for (std::int64_t s : segment_sizes) total_size += s;
+
+    OverlapResult result;
+    if (segment_sizes.empty() || total_size == 0) {
+        result.iteration_s = t_forward_s + t_backward_s;
+        result.hidden_fraction = 1.0;
+        return result;
+    }
+
+    // Backward sweeps layers in reverse; segment l's gradient is ready
+    // after the backward work of all deeper layers plus its own.
+    double backward_done = 0.0;
+    double comm_end = 0.0;
+    double total_comm = 0.0;
+    for (std::size_t i = segment_sizes.size(); i-- > 0;) {
+        const double share = static_cast<double>(segment_sizes[i]) /
+                             static_cast<double>(total_size);
+        backward_done += share * t_backward_s;
+        const double comm =
+            collectives::gtopk_allreduce_time_s(net, workers,
+                                                k_of(segment_sizes[i], density));
+        total_comm += comm;
+        comm_end = std::max(comm_end, backward_done) + comm;
+    }
+    result.iteration_s = t_forward_s + std::max(t_backward_s, comm_end);
+    result.exposed_comm_s = std::max(0.0, comm_end - t_backward_s);
+    result.hidden_fraction =
+        total_comm <= 0.0 ? 1.0 : 1.0 - result.exposed_comm_s / total_comm;
+    return result;
+}
+
+}  // namespace gtopk::perfmodel

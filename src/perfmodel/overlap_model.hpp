@@ -1,0 +1,46 @@
+// Layer-wise communication/computation overlap model — the paper's Sec. VII
+// future work ("layer-wise sparsification such that the communication
+// overheads can be further overlapped by the computation tasks"), in the
+// style of wait-free backpropagation (the paper cites MG-WFBP [36]).
+//
+// Backward propagation produces layer gradients from the LAST layer to the
+// FIRST, so a layer's aggregation can start while earlier layers are still
+// computing. The model:
+//   * segment l's gradient is ready when the backward pass has finished
+//     layers L-1..l (backward time split proportionally to segment size);
+//   * the NIC serializes aggregations: each starts at
+//     max(ready_l, previous aggregation's end) and runs for comm_l;
+//   * iteration time = t_f + max(t_b, last aggregation end), since the
+//     update can only apply when everything has been aggregated.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "comm/network_model.hpp"
+
+namespace gtopk::perfmodel {
+
+/// Communication time of one layer-wise gTop-k round over all segments,
+/// serialized (no overlap): sum over l of 2logP alpha + 4 k_l logP beta,
+/// k_l = max(1, round(density * size_l)).
+double layerwise_gtopk_comm_time_s(const comm::NetworkModel& net, int workers,
+                                   std::span<const std::int64_t> segment_sizes,
+                                   double density);
+
+struct OverlapResult {
+    double iteration_s = 0.0;       // t_f + max(t_b, pipeline completion)
+    double exposed_comm_s = 0.0;    // communication NOT hidden by backprop
+    double hidden_fraction = 0.0;   // 1 - exposed / total comm
+};
+
+/// Pipeline simulation described above. `t_forward_s` and `t_backward_s`
+/// are the full-model phase times; segment_sizes are in FORWARD layer
+/// order (backward runs through them in reverse).
+OverlapResult overlapped_iteration(const comm::NetworkModel& net, int workers,
+                                   std::span<const std::int64_t> segment_sizes,
+                                   double density, double t_forward_s,
+                                   double t_backward_s);
+
+}  // namespace gtopk::perfmodel

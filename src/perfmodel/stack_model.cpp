@@ -1,0 +1,27 @@
+#include "perfmodel/stack_model.hpp"
+
+namespace gtopk::perfmodel {
+
+StackModel StackModel::ideal() {
+    StackModel s;
+    s.sparse_net = comm::NetworkModel::one_gbps_ethernet();
+    s.dense_net = comm::NetworkModel::one_gbps_ethernet();
+    s.accum_cost_per_elem_s = 2e-9;  // a C++ scatter-add
+    s.compress_scale = 0.02;         // an efficient top-k selection
+    return s;
+}
+
+StackModel StackModel::calibrated() {
+    StackModel s;
+    // ~1.5 ms per MPI message (Python + MPI + PCIe-x1 staging), ~45 MB/s
+    // effective for sparse TCP payloads.
+    s.sparse_net = comm::NetworkModel{1.5e-3, 3.6e-7};
+    // NCCL ring over TCP on the same hosts: bandwidth-bound, ~9 MB/s/elem
+    // effective per ring step including both PCIe-x1 crossings.
+    s.dense_net = comm::NetworkModel{1.0e-3, 4.5e-7};
+    s.accum_cost_per_elem_s = 6e-7;
+    s.compress_scale = 1.0;
+    return s;
+}
+
+}  // namespace gtopk::perfmodel

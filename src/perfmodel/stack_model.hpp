@@ -1,0 +1,36 @@
+// StackModel: effective communication constants of a software stack.
+//
+// Two instances matter:
+//   ideal()       the bare alpha-beta network the paper measures in Fig. 8
+//                 (alpha = 0.436 ms, beta = 3.6e-5 ms/element). The paper
+//                 itself uses this for Fig. 9.
+//   calibrated()  the end-to-end PyTorch + Horovod/NCCL + OpenMPI testbed.
+//                 On the paper's hardware (PCIe x1 hosts, 1GbE, TCP), each
+//                 hop carries framework overhead: we fit an effective
+//                 per-message latency (~3 ms), an effective per-element
+//                 time for sparse MPI traffic and for NCCL dense rings, and
+//                 a per-element cost for TopKAllReduce's local O(kP)
+//                 accumulation. Fitted against Table IV; see EXPERIMENTS.md.
+#pragma once
+
+#include "comm/network_model.hpp"
+
+namespace gtopk::perfmodel {
+
+struct StackModel {
+    /// Effective network for the MPI sparse path (gTop-k tree, AllGather).
+    comm::NetworkModel sparse_net;
+    /// Effective network for the NCCL dense ring.
+    comm::NetworkModel dense_net;
+    /// Per-element cost of TopKAllReduce's local accumulation of P gathered
+    /// k-sparse segments (Algorithm 1, lines 16-18), applied to k*P elems.
+    double accum_cost_per_elem_s = 0.0;
+    /// Scale on the profile's t_compress_s (1 = testbed GPU top-k; the
+    /// ideal stack assumes an efficient selection at ~2% of that).
+    double compress_scale = 1.0;
+
+    static StackModel ideal();
+    static StackModel calibrated();
+};
+
+}  // namespace gtopk::perfmodel

@@ -1,0 +1,204 @@
+#include "ps/ps_trainer.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+#include "sparse/topk_merge.hpp"
+#include "sparse/topk_select.hpp"
+#include "sparse/wire.hpp"
+
+namespace gtopk::ps {
+
+namespace {
+
+using comm::Communicator;
+using sparse::SparseGradient;
+
+constexpr int kPushTag = 101;   // worker -> server gradients
+constexpr int kPullTag = 102;   // server -> worker aggregate
+
+double now_host_s() {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/// Per-epoch schedule shared by server and workers (must agree).
+struct EpochPlan {
+    double density;
+    float lr;
+    std::size_t k;
+};
+
+EpochPlan plan_epoch(const PsTrainConfig& config, int epoch, std::size_t m) {
+    const bool warm = epoch < static_cast<int>(config.warmup_densities.size());
+    EpochPlan plan;
+    plan.density = warm ? config.warmup_densities[static_cast<std::size_t>(epoch)]
+                        : config.density;
+    plan.lr = warm ? config.lr * config.warmup_lr_scale : config.lr;
+    plan.k = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::llround(plan.density * static_cast<double>(m))));
+    return plan;
+}
+
+void scatter_mean(const SparseGradient& g, int workers, std::vector<float>& out) {
+    std::fill(out.begin(), out.end(), 0.0f);
+    const float inv = 1.0f / static_cast<float>(workers);
+    for (std::size_t i = 0; i < g.nnz(); ++i) {
+        out[static_cast<std::size_t>(g.indices[i])] = g.values[i] * inv;
+    }
+}
+
+}  // namespace
+
+train::TrainResult train_parameter_server(int workers, comm::NetworkModel net,
+                                          const PsTrainConfig& config,
+                                          const train::ModelFactory& factory,
+                                          const train::TrainBatchProvider& batches,
+                                          const train::EvalBatchProvider& eval) {
+    if (workers < 1) throw std::invalid_argument("need at least one worker");
+    const int world = workers + 1;
+
+    std::vector<train::EpochMetrics> epochs_out;
+    train::TrainResult result;
+    double total_compute = 0, total_compress = 0, total_comm = 0;
+    std::int64_t worker0_iters = 0;
+
+    auto node = [&](Communicator& comm) {
+        const bool is_server = comm.rank() == 0;
+        const int wid = comm.rank() - 1;  // worker id for providers
+
+        std::unique_ptr<nn::TrainableModel> model = factory(config.model_seed);
+        const std::size_t m = model->num_params();
+        std::vector<float> residual(m, 0.0f);
+        std::vector<float> velocity(m, 0.0f);
+        std::vector<float> update(m, 0.0f);
+
+        std::int64_t step = 0;
+        for (int epoch = 0; epoch < config.epochs; ++epoch) {
+            const EpochPlan plan = plan_epoch(config, epoch, m);
+            double epoch_loss = 0.0;
+
+            for (int it = 0; it < config.iters_per_epoch; ++it, ++step) {
+                if (is_server) {
+                    // ---- server: receive, aggregate, answer ----
+                    if (config.aggregation == PsAggregation::Dense) {
+                        std::vector<float> sum(m, 0.0f);
+                        for (int w = 1; w <= workers; ++w) {
+                            const auto grad = comm.recv_vec<float>(w, kPushTag);
+                            for (std::size_t i = 0; i < m; ++i) sum[i] += grad[i];
+                        }
+                        for (int w = 1; w <= workers; ++w) {
+                            comm.send_vec<float>(w, kPullTag, sum);
+                        }
+                    } else {
+                        SparseGradient sum;
+                        sum.dense_size = static_cast<std::int64_t>(m);
+                        for (int w = 1; w <= workers; ++w) {
+                            sum = sparse::add(
+                                sum, sparse::deserialize(comm.recv(w, kPushTag)));
+                        }
+                        const SparseGradient global = sparse::sparse_topk(sum, plan.k);
+                        const auto wire = sparse::serialize(global);
+                        for (int w = 1; w <= workers; ++w) {
+                            comm.send(w, kPullTag, wire);
+                        }
+                    }
+                    continue;
+                }
+
+                // ---- worker ----
+                const double t0 = now_host_s();
+                nn::Batch batch = batches(step, wid);
+                const double loss = model->train_step_gradients(batch);
+                epoch_loss += loss;
+                std::vector<float> accumulated = model->flat_grads();
+                if (config.aggregation == PsAggregation::Gtopk) {
+                    for (std::size_t i = 0; i < m; ++i) accumulated[i] += residual[i];
+                }
+                const double t1 = now_host_s();
+
+                SparseGradient local;
+                if (config.aggregation == PsAggregation::Gtopk) {
+                    local = sparse::topk_select(accumulated, plan.k);
+                    residual = accumulated;
+                    sparse::zero_selected(residual, local);
+                }
+                const double t2 = now_host_s();
+
+                const double v0 = comm.clock().now_s();
+                if (config.aggregation == PsAggregation::Dense) {
+                    comm.send_vec<float>(0, kPushTag, accumulated);
+                    const auto sum = comm.recv_vec<float>(0, kPullTag);
+                    const float inv = 1.0f / static_cast<float>(workers);
+                    for (std::size_t i = 0; i < m; ++i) update[i] = sum[i] * inv;
+                } else {
+                    comm.send(0, kPushTag, sparse::serialize(local));
+                    const SparseGradient global =
+                        sparse::deserialize(comm.recv(0, kPullTag));
+                    // Alg. 4 line 10: return locally-sent entries that did
+                    // not survive the global selection.
+                    std::size_t gi = 0;
+                    for (std::size_t li = 0; li < local.nnz(); ++li) {
+                        const std::int32_t idx = local.indices[li];
+                        while (gi < global.nnz() && global.indices[gi] < idx) ++gi;
+                        const bool kept = gi < global.nnz() && global.indices[gi] == idx;
+                        if (!kept) {
+                            residual[static_cast<std::size_t>(idx)] += local.values[li];
+                        }
+                    }
+                    scatter_mean(global, workers, update);
+                }
+                const double v1 = comm.clock().now_s();
+
+                std::vector<float> delta(m);
+                for (std::size_t i = 0; i < m; ++i) {
+                    velocity[i] = config.momentum * velocity[i] + update[i];
+                    delta[i] = -plan.lr * velocity[i];
+                }
+                model->add_flat_delta(delta);
+
+                if (wid == 0) {
+                    total_compute += t1 - t0;
+                    total_compress += t2 - t1;
+                    total_comm += v1 - v0;
+                    ++worker0_iters;
+                }
+            }
+
+            if (!is_server) {
+                train::EpochMetrics em;
+                em.epoch = epoch;
+                em.density = plan.density;
+                em.train_loss = epoch_loss / config.iters_per_epoch;
+                if (eval) {
+                    nn::Batch eb = eval();
+                    if (eb.x.numel() > 0) {
+                        em.val_loss = model->eval_loss(eb);
+                        em.val_accuracy = model->eval_accuracy(eb);
+                    }
+                }
+                if (wid == 0) epochs_out.push_back(em);
+            }
+        }
+
+        if (!is_server && wid == 0) {
+            result.final_params = model->flat_params();
+            result.rank0_comm = comm.stats();  // worker 0's link stats
+        }
+    };
+
+    comm::Cluster::run(world, net, node);
+
+    result.epochs = std::move(epochs_out);
+    if (worker0_iters > 0) {
+        result.mean_compute_s = total_compute / static_cast<double>(worker0_iters);
+        result.mean_compress_s = total_compress / static_cast<double>(worker0_iters);
+        result.mean_comm_virtual_s = total_comm / static_cast<double>(worker0_iters);
+    }
+    return result;
+}
+
+}  // namespace gtopk::ps

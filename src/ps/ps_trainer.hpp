@@ -1,0 +1,55 @@
+// Parameter-Server S-SGD — the paper's footnote 2 claims gTop-k "is also
+// applicable to the Parameter Server based distributed SGD"; this module
+// realizes that claim on the same transport substrate and makes it
+// measurable.
+//
+// Topology: rank 0 is the server, ranks 1..P are the P workers.
+// Per iteration:
+//   worker  computes its gradient, applies the same residual/top-k
+//           bookkeeping as Algorithm 4, PUSHes its k-sparse gradient to
+//           the server;
+//   server  sums the P sparse gradients, re-selects the global top-k
+//           (identical math to Algorithm 2's global selection), and sends
+//           the selected [V, I] back to every worker (star topology);
+//   worker  returns its unselected-but-sent entries to the residual
+//           (Alg. 4 line 10) and applies the momentum-SGD update.
+//
+// Semantics: PS-gTop-k computes exactly the same update as the
+// decentralized naive gTop-k (Algorithm 2); the integration tests assert
+// the two produce BIT-IDENTICAL trajectories. What changes is the
+// communication pattern: the server link carries O(kP) each way, so on
+// flat low-bandwidth networks the decentralized tree wins — quantified by
+// ps_cost_model and bench_ps_vs_allreduce.
+#pragma once
+
+#include "comm/network_model.hpp"
+#include "train/trainer.hpp"
+
+namespace gtopk::ps {
+
+enum class PsAggregation {
+    Dense,  // server averages full dense gradients
+    Gtopk,  // server performs the global top-k selection
+};
+
+struct PsTrainConfig {
+    PsAggregation aggregation = PsAggregation::Gtopk;
+    int epochs = 10;
+    int iters_per_epoch = 50;
+    float lr = 0.05f;
+    float momentum = 0.9f;
+    double density = 1e-3;
+    std::vector<double> warmup_densities;
+    float warmup_lr_scale = 0.25f;
+    std::uint64_t model_seed = 42;
+};
+
+/// Train with `workers` workers (world size is workers + 1: rank 0 is the
+/// server). Batch/eval providers see WORKER indices 0..workers-1.
+train::TrainResult train_parameter_server(int workers, comm::NetworkModel net,
+                                          const PsTrainConfig& config,
+                                          const train::ModelFactory& factory,
+                                          const train::TrainBatchProvider& batches,
+                                          const train::EvalBatchProvider& eval);
+
+}  // namespace gtopk::ps

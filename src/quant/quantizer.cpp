@@ -1,0 +1,163 @@
+#include "quant/quantizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace gtopk::quant {
+
+const char* scheme_name(Scheme scheme) {
+    switch (scheme) {
+        case Scheme::None: return "none (fp32)";
+        case Scheme::Uint8MinMax: return "uint8 min-max";
+        case Scheme::Uint4MinMax: return "uint4 min-max";
+        case Scheme::Ternary: return "ternary";
+        case Scheme::OneBit: return "1-bit sign";
+    }
+    return "?";
+}
+
+int bits_per_value(Scheme scheme) {
+    switch (scheme) {
+        case Scheme::None: return 32;
+        case Scheme::Uint8MinMax: return 8;
+        case Scheme::Uint4MinMax: return 4;
+        case Scheme::Ternary: return 2;
+        case Scheme::OneBit: return 1;
+    }
+    return 32;
+}
+
+namespace {
+
+Quantized quantize_minmax(std::span<const float> values, Scheme scheme, int bits) {
+    Quantized q;
+    q.scheme = scheme;
+    q.count = static_cast<std::int64_t>(values.size());
+    const auto [mn, mx] = std::minmax_element(values.begin(), values.end());
+    q.lo = *mn;
+    q.hi = *mx;
+    const int levels = (1 << bits) - 1;
+    const float range = q.hi - q.lo;
+    const float scale = range > 0.0f ? static_cast<float>(levels) / range : 0.0f;
+    const std::size_t per_byte = static_cast<std::size_t>(8 / bits);
+    q.payload.assign((values.size() + per_byte - 1) / per_byte, 0);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        const int code = static_cast<int>(
+            std::lround((values[i] - q.lo) * scale));
+        const int clamped = std::clamp(code, 0, levels);
+        q.payload[i / per_byte] |= static_cast<std::uint8_t>(
+            clamped << (bits * (i % per_byte)));
+    }
+    return q;
+}
+
+std::vector<float> dequantize_minmax(const Quantized& q, int bits) {
+    const int levels = (1 << bits) - 1;
+    const float range = q.hi - q.lo;
+    const float step = levels > 0 ? range / static_cast<float>(levels) : 0.0f;
+    const std::size_t per_byte = static_cast<std::size_t>(8 / bits);
+    std::vector<float> out(static_cast<std::size_t>(q.count));
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        const int code =
+            (q.payload[i / per_byte] >> (bits * (i % per_byte))) & levels;
+        out[i] = q.lo + static_cast<float>(code) * step;
+    }
+    return out;
+}
+
+}  // namespace
+
+Quantized quantize(std::span<const float> values, Scheme scheme) {
+    Quantized q;
+    q.scheme = scheme;
+    q.count = static_cast<std::int64_t>(values.size());
+    if (values.empty()) return q;
+
+    switch (scheme) {
+        case Scheme::None: {
+            q.payload.resize(values.size() * sizeof(float));
+            std::memcpy(q.payload.data(), values.data(), q.payload.size());
+            return q;
+        }
+        case Scheme::Uint8MinMax:
+            return quantize_minmax(values, scheme, 8);
+        case Scheme::Uint4MinMax:
+            return quantize_minmax(values, scheme, 4);
+        case Scheme::Ternary: {
+            // s = max |v|; codes: 0 -> -s, 1 -> 0, 2 -> +s (cutoff s/2).
+            float s = 0.0f;
+            for (float v : values) s = std::max(s, std::abs(v));
+            q.lo = s;
+            q.payload.assign((values.size() + 3) / 4, 0);
+            for (std::size_t i = 0; i < values.size(); ++i) {
+                int code = 1;
+                if (values[i] > s / 2.0f) code = 2;
+                if (values[i] < -s / 2.0f) code = 0;
+                q.payload[i / 4] |= static_cast<std::uint8_t>(code << (2 * (i % 4)));
+            }
+            return q;
+        }
+        case Scheme::OneBit: {
+            double mean_abs = 0.0;
+            for (float v : values) mean_abs += std::abs(v);
+            q.lo = static_cast<float>(mean_abs / static_cast<double>(values.size()));
+            q.payload.assign((values.size() + 7) / 8, 0);
+            for (std::size_t i = 0; i < values.size(); ++i) {
+                if (values[i] >= 0.0f) {
+                    q.payload[i / 8] |= static_cast<std::uint8_t>(1 << (i % 8));
+                }
+            }
+            return q;
+        }
+    }
+    throw std::logic_error("unknown quantization scheme");
+}
+
+std::vector<float> dequantize(const Quantized& q) {
+    if (q.count == 0) return {};
+    switch (q.scheme) {
+        case Scheme::None: {
+            std::vector<float> out(static_cast<std::size_t>(q.count));
+            std::memcpy(out.data(), q.payload.data(), out.size() * sizeof(float));
+            return out;
+        }
+        case Scheme::Uint8MinMax:
+            return dequantize_minmax(q, 8);
+        case Scheme::Uint4MinMax:
+            return dequantize_minmax(q, 4);
+        case Scheme::Ternary: {
+            std::vector<float> out(static_cast<std::size_t>(q.count));
+            for (std::size_t i = 0; i < out.size(); ++i) {
+                const int code = (q.payload[i / 4] >> (2 * (i % 4))) & 3;
+                out[i] = code == 0 ? -q.lo : code == 2 ? q.lo : 0.0f;
+            }
+            return out;
+        }
+        case Scheme::OneBit: {
+            std::vector<float> out(static_cast<std::size_t>(q.count));
+            for (std::size_t i = 0; i < out.size(); ++i) {
+                const bool positive = (q.payload[i / 8] >> (i % 8)) & 1;
+                out[i] = positive ? q.lo : -q.lo;
+            }
+            return out;
+        }
+    }
+    throw std::logic_error("unknown quantization scheme");
+}
+
+std::vector<float> quantize_dequantize(std::span<const float> values, Scheme scheme) {
+    if (scheme == Scheme::None) return {values.begin(), values.end()};
+    return dequantize(quantize(values, scheme));
+}
+
+double message_bits(std::size_t k, Scheme scheme) {
+    return static_cast<double>(k) * (32.0 + bits_per_value(scheme)) + 64.0;
+}
+
+double compression_ratio(std::size_t m, std::size_t k, Scheme scheme) {
+    return static_cast<double>(m) * 32.0 / message_bits(k, scheme);
+}
+
+}  // namespace gtopk::quant

@@ -1,0 +1,57 @@
+// Gradient value quantizers — the related-work compressors the paper's
+// Sec. VI says can be COMBINED with top-k sparsification for higher
+// compression (Lin et al. report 270-600x total). These quantize the k
+// selected VALUES (indices stay exact); the quantization error is fed back
+// into the residual by the trainer, the same error-feedback loop that
+// makes top-k itself convergent.
+//
+// All schemes here are deterministic (replica consistency is a hard
+// requirement of S-SGD), which corresponds to the deterministic variants
+// of the published methods:
+//   Uint8MinMax  linear 8-bit quantization between per-message min/max
+//   Uint4MinMax  same at 4 bits
+//   Ternary      TernGrad-style {-s, 0, +s} with s = max|v|, cutoff s/2
+//   OneBit       1-bit SGD: sign * mean(|v|)
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace gtopk::quant {
+
+enum class Scheme { None, Uint8MinMax, Uint4MinMax, Ternary, OneBit };
+
+const char* scheme_name(Scheme scheme);
+
+/// Payload bits per quantized value (excluding the constant per-message
+/// header of at most two floats). None = 32.
+int bits_per_value(Scheme scheme);
+
+/// Encoded form of one value vector.
+struct Quantized {
+    Scheme scheme = Scheme::None;
+    std::int64_t count = 0;
+    float lo = 0.0f;   // scheme-dependent parameter (min / scale / mean)
+    float hi = 0.0f;   // scheme-dependent parameter (max; unused by some)
+    std::vector<std::uint8_t> payload;  // bit-packed codes
+};
+
+/// Quantize `values`. Deterministic; empty input yields an empty result.
+Quantized quantize(std::span<const float> values, Scheme scheme);
+
+/// Reconstruct the (lossy) values.
+std::vector<float> dequantize(const Quantized& q);
+
+/// Convenience: quantize-dequantize round trip (what the trainer applies
+/// to the selected values before they leave the worker).
+std::vector<float> quantize_dequantize(std::span<const float> values, Scheme scheme);
+
+/// Total wire bits for one sparse message of k entries under a scheme:
+/// 32-bit index + quantized value each, plus the two float parameters.
+double message_bits(std::size_t k, Scheme scheme);
+
+/// End-to-end compression ratio vs sending the full dense m-float gradient.
+double compression_ratio(std::size_t m, std::size_t k, Scheme scheme);
+
+}  // namespace gtopk::quant

@@ -1,0 +1,104 @@
+#include "sparse/selection_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gtopk::sparse {
+
+const char* selection_policy_name(SelectionPolicy policy) {
+    switch (policy) {
+        case SelectionPolicy::ExactTopk: return "exact top-k";
+        case SelectionPolicy::StaticThreshold: return "static threshold";
+        case SelectionPolicy::AdaptiveThreshold: return "adaptive threshold";
+        case SelectionPolicy::SampledTopk: return "sampled top-k";
+    }
+    return "?";
+}
+
+SparseGradient sampled_topk_select(std::span<const float> dense, std::size_t k,
+                                   util::Xoshiro256& rng, double sample_fraction) {
+    if (dense.empty() || k == 0) {
+        SparseGradient g;
+        g.dense_size = static_cast<std::int64_t>(dense.size());
+        return g;
+    }
+    if (k >= dense.size()) return threshold_select(dense, 0.0f);
+
+    // Sample magnitudes (with replacement — cheap and unbiased enough for a
+    // quantile estimate), at least 4x the scaled-down k so the k-th order
+    // statistic of the sample is meaningful.
+    const std::size_t sample_size = std::max<std::size_t>(
+        {64, static_cast<std::size_t>(sample_fraction * static_cast<double>(dense.size())),
+         4 * std::max<std::size_t>(1, static_cast<std::size_t>(
+                                          sample_fraction * static_cast<double>(k)))});
+    std::vector<float> sample;
+    sample.reserve(sample_size);
+    for (std::size_t i = 0; i < sample_size; ++i) {
+        const std::size_t idx =
+            static_cast<std::size_t>(rng.next_below(dense.size()));
+        sample.push_back(std::abs(dense[idx]));
+    }
+    // The sample-quantile matching density k/m.
+    const double density = static_cast<double>(k) / static_cast<double>(dense.size());
+    std::size_t rank = static_cast<std::size_t>(
+        std::llround(density * static_cast<double>(sample.size())));
+    rank = std::clamp<std::size_t>(rank, 1, sample.size());
+    std::nth_element(sample.begin(),
+                     sample.begin() + static_cast<std::ptrdiff_t>(rank - 1),
+                     sample.end(), std::greater<float>());
+    const float threshold = sample[rank - 1];
+    return threshold_select(dense, threshold);
+}
+
+SparseGradient threshold_select(std::span<const float> dense, float threshold) {
+    if (threshold < 0.0f) throw std::invalid_argument("threshold must be >= 0");
+    SparseGradient g;
+    g.dense_size = static_cast<std::int64_t>(dense.size());
+    for (std::size_t i = 0; i < dense.size(); ++i) {
+        if (std::abs(dense[i]) >= threshold) {
+            g.indices.push_back(static_cast<std::int32_t>(i));
+            g.values.push_back(dense[i]);
+        }
+    }
+    return g;
+}
+
+AdaptiveThresholdSelector::AdaptiveThresholdSelector(double target_density,
+                                                     float initial_threshold,
+                                                     float adjust_rate)
+    : target_density_(target_density),
+      threshold_(initial_threshold),
+      adjust_rate_(adjust_rate) {
+    if (target_density <= 0.0 || target_density > 1.0) {
+        throw std::invalid_argument("target_density must be in (0, 1]");
+    }
+    if (adjust_rate <= 1.0f) {
+        throw std::invalid_argument("adjust_rate must exceed 1");
+    }
+    if (initial_threshold <= 0.0f) {
+        throw std::invalid_argument("initial_threshold must be positive");
+    }
+}
+
+SparseGradient AdaptiveThresholdSelector::select(std::span<const float> dense) {
+    SparseGradient g = threshold_select(dense, threshold_);
+    const double target =
+        target_density_ * static_cast<double>(dense.size());
+    const double got = static_cast<double>(g.nnz());
+    // Damped multiplicative feedback. The survivor count is extremely
+    // sensitive to the threshold in distribution tails (for a Gaussian,
+    // d log nnz / d log thr ~ -thr^2), so the correction uses a small
+    // exponent and is clamped to one adjust_rate step either way.
+    if (got < 0.5) {
+        threshold_ /= adjust_rate_;
+    } else {
+        const double correction = std::pow(got / target, 0.1);
+        const double lo = 1.0 / static_cast<double>(adjust_rate_);
+        const double hi = static_cast<double>(adjust_rate_);
+        threshold_ *= static_cast<float>(std::clamp(correction, lo, hi));
+    }
+    return g;
+}
+
+}  // namespace gtopk::sparse

@@ -1,0 +1,65 @@
+// Local sparsification policies — the related-work alternatives to exact
+// top-k selection that the paper discusses (Sec. VI):
+//
+//   ExactTopk          the paper's choice: exactly k = rho*m entries.
+//   StaticThreshold    Aji & Heafield [17]: keep |g| >= fixed threshold;
+//                      nnz varies between iterations.
+//   AdaptiveThreshold  Chen et al. [11] (AdaComp-flavored): maintain a
+//                      per-call threshold estimate that is scaled up/down
+//                      to track a target density without a full selection
+//                      pass; cheaper than exact top-k, approximately-k
+//                      output.
+//
+// All policies return canonical SparseGradients over the same dense space,
+// so they are drop-in interchangeable for the gTop-k aggregation path
+// (which tolerates variable nnz). Exact Top-k remains required for the
+// AllGather-based TopKAllReduce, whose wire format assumes equal k.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "sparse/sparse_gradient.hpp"
+#include "util/rng.hpp"
+
+namespace gtopk::sparse {
+
+enum class SelectionPolicy { ExactTopk, StaticThreshold, AdaptiveThreshold, SampledTopk };
+
+const char* selection_policy_name(SelectionPolicy policy);
+
+/// Keep every entry with |value| >= threshold (ties included). Canonical.
+SparseGradient threshold_select(std::span<const float> dense, float threshold);
+
+/// Sampling-estimated top-k (the DGC trick for the expensive exact GPU
+/// selection the paper laments in Sec. IV-E): estimate the k-th magnitude
+/// from a random sample of the gradient, then threshold the full vector
+/// with that estimate. One O(sample) selection + one O(m) scan instead of
+/// an O(m) selection; returns APPROXIMATELY k entries (distribution tails
+/// make the count noisy). Deterministic given `rng`.
+SparseGradient sampled_topk_select(std::span<const float> dense, std::size_t k,
+                                   util::Xoshiro256& rng,
+                                   double sample_fraction = 0.01);
+
+/// Stateful adaptive threshold tracking a target density. Each call selects
+/// with the current threshold, then multiplicatively adjusts it toward the
+/// target: too many survivors -> raise, too few -> lower. Converges to a
+/// threshold yielding ~target_density*m entries on stationary gradient
+/// distributions (tested).
+class AdaptiveThresholdSelector {
+public:
+    AdaptiveThresholdSelector(double target_density, float initial_threshold = 1e-3f,
+                              float adjust_rate = 1.3f);
+
+    SparseGradient select(std::span<const float> dense);
+
+    float threshold() const { return threshold_; }
+    double target_density() const { return target_density_; }
+
+private:
+    double target_density_;
+    float threshold_;
+    float adjust_rate_;
+};
+
+}  // namespace gtopk::sparse

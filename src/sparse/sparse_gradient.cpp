@@ -1,0 +1,120 @@
+#include "sparse/sparse_gradient.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace gtopk::sparse {
+
+void SparseGradient::validate() const {
+    if (values.size() != indices.size()) {
+        throw std::invalid_argument("SparseGradient: |V| != |I|");
+    }
+    if (static_cast<std::int64_t>(indices.size()) > dense_size) {
+        throw std::invalid_argument("SparseGradient: nnz > dense_size");
+    }
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+        if (indices[i] < 0 || indices[i] >= dense_size) {
+            throw std::invalid_argument("SparseGradient: index out of range");
+        }
+        if (i > 0 && indices[i] <= indices[i - 1]) {
+            throw std::invalid_argument("SparseGradient: indices not strictly increasing");
+        }
+    }
+}
+
+std::vector<float> SparseGradient::to_dense() const {
+    std::vector<float> out(static_cast<std::size_t>(dense_size), 0.0f);
+    scatter_assign(out);
+    return out;
+}
+
+void SparseGradient::scatter_add(std::span<float> out) const {
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+        out[static_cast<std::size_t>(indices[i])] += values[i];
+    }
+}
+
+void SparseGradient::scatter_assign(std::span<float> out) const {
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+        out[static_cast<std::size_t>(indices[i])] = values[i];
+    }
+}
+
+void SparseGradient::scale(float s) {
+    for (float& v : values) v *= s;
+}
+
+double SparseGradient::l1_norm() const {
+    double s = 0.0;
+    for (float v : values) s += std::abs(v);
+    return s;
+}
+
+SparseGradient from_mask(std::span<const float> dense,
+                         std::span<const std::uint8_t> keep) {
+    if (dense.size() != keep.size()) {
+        throw std::invalid_argument("from_mask: size mismatch");
+    }
+    SparseGradient g;
+    g.dense_size = static_cast<std::int64_t>(dense.size());
+    for (std::size_t i = 0; i < dense.size(); ++i) {
+        if (keep[i]) {
+            g.indices.push_back(static_cast<std::int32_t>(i));
+            g.values.push_back(dense[i]);
+        }
+    }
+    return g;
+}
+
+SparseGradient from_pairs(std::int64_t dense_size, std::vector<std::int32_t> indices,
+                          std::vector<float> values) {
+    if (indices.size() != values.size()) {
+        throw std::invalid_argument("from_pairs: |V| != |I|");
+    }
+    std::vector<std::size_t> order(indices.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return indices[a] < indices[b]; });
+    SparseGradient g;
+    g.dense_size = dense_size;
+    g.indices.reserve(indices.size());
+    g.values.reserve(values.size());
+    for (std::size_t pos : order) {
+        g.indices.push_back(indices[pos]);
+        g.values.push_back(values[pos]);
+    }
+    g.validate();
+    return g;
+}
+
+SparseGradient add(const SparseGradient& a, const SparseGradient& b) {
+    if (a.dense_size != b.dense_size) {
+        throw std::invalid_argument("add: dense_size mismatch");
+    }
+    SparseGradient out;
+    out.dense_size = a.dense_size;
+    out.indices.reserve(a.nnz() + b.nnz());
+    out.values.reserve(a.nnz() + b.nnz());
+    std::size_t i = 0, j = 0;
+    while (i < a.nnz() || j < b.nnz()) {
+        if (j >= b.nnz() || (i < a.nnz() && a.indices[i] < b.indices[j])) {
+            out.indices.push_back(a.indices[i]);
+            out.values.push_back(a.values[i]);
+            ++i;
+        } else if (i >= a.nnz() || b.indices[j] < a.indices[i]) {
+            out.indices.push_back(b.indices[j]);
+            out.values.push_back(b.values[j]);
+            ++j;
+        } else {
+            out.indices.push_back(a.indices[i]);
+            out.values.push_back(a.values[i] + b.values[j]);
+            ++i;
+            ++j;
+        }
+    }
+    return out;
+}
+
+}  // namespace gtopk::sparse

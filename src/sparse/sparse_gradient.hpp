@@ -1,0 +1,61 @@
+// SparseGradient: the [V, I] pair the paper exchanges — k non-zero gradient
+// values plus their indices into the flattened m-element model gradient.
+//
+// Invariants (checked by validate()):
+//   * indices are strictly increasing (canonical form; makes merge O(k),
+//     comparison deterministic, and serialization canonical),
+//   * every index lies in [0, dense_size),
+//   * values.size() == indices.size() <= dense_size.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace gtopk::sparse {
+
+struct SparseGradient {
+    std::int64_t dense_size = 0;
+    std::vector<std::int32_t> indices;  // strictly increasing
+    std::vector<float> values;
+
+    std::size_t nnz() const { return indices.size(); }
+
+    bool empty() const { return indices.empty(); }
+
+    /// Throws std::invalid_argument when an invariant is broken.
+    void validate() const;
+
+    /// Materialize as a dense vector of dense_size floats.
+    std::vector<float> to_dense() const;
+
+    /// out[idx] += value for every stored entry; out.size() must equal
+    /// dense_size.
+    void scatter_add(std::span<float> out) const;
+
+    /// out[idx] = value for every stored entry (others untouched).
+    void scatter_assign(std::span<float> out) const;
+
+    /// Multiply every stored value by s.
+    void scale(float s);
+
+    /// Sum of |v| over stored values — used by tests as a mass-conservation
+    /// check for the residual bookkeeping.
+    double l1_norm() const;
+
+    bool operator==(const SparseGradient&) const = default;
+};
+
+/// Build from a dense vector, keeping only entries where keep[i] is true.
+SparseGradient from_mask(std::span<const float> dense, std::span<const std::uint8_t> keep);
+
+/// Canonical construction from unsorted (index, value) pairs (sorts and
+/// verifies uniqueness).
+SparseGradient from_pairs(std::int64_t dense_size, std::vector<std::int32_t> indices,
+                          std::vector<float> values);
+
+/// Element-wise sum of two sparse gradients over the same dense space;
+/// result is canonical (indices merged, duplicates added).
+SparseGradient add(const SparseGradient& a, const SparseGradient& b);
+
+}  // namespace gtopk::sparse

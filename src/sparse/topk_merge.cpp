@@ -1,0 +1,39 @@
+#include "sparse/topk_merge.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "sparse/topk_select.hpp"
+
+namespace gtopk::sparse {
+
+SparseGradient sparse_topk(const SparseGradient& g, std::size_t k) {
+    if (g.nnz() <= k) return g;
+    // Order positions by the shared deterministic magnitude order.
+    std::vector<std::size_t> order(g.nnz());
+    std::iota(order.begin(), order.end(), 0);
+    std::nth_element(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                     order.end(), [&](std::size_t a, std::size_t b) {
+                         return magnitude_less(g.values[b], g.indices[b], g.values[a],
+                                               g.indices[a]);
+                     });
+    order.resize(k);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return g.indices[a] < g.indices[b]; });
+    SparseGradient out;
+    out.dense_size = g.dense_size;
+    out.indices.reserve(k);
+    out.values.reserve(k);
+    for (std::size_t pos : order) {
+        out.indices.push_back(g.indices[pos]);
+        out.values.push_back(g.values[pos]);
+    }
+    return out;
+}
+
+SparseGradient topk_merge(const SparseGradient& a, const SparseGradient& b,
+                          std::size_t k) {
+    return sparse_topk(add(a, b), k);
+}
+
+}  // namespace gtopk::sparse

@@ -1,0 +1,29 @@
+// The paper's Definition 1: the Top-k merge operator ⊤.
+//
+//   a ⊤ b = topk(a + b, k)
+//
+// i.e. element-wise sum of two k-sparse vectors followed by re-selection of
+// the k largest-magnitude entries of the sum. The gTop-k tree reduction is
+// a left fold of ⊤ across all workers' sparse gradients. ⊤ is commutative
+// (sum and the deterministic selection order are symmetric) but NOT
+// associative in general — tests document both properties.
+#pragma once
+
+#include <cstddef>
+
+#include "sparse/sparse_gradient.hpp"
+
+namespace gtopk::sparse {
+
+/// a ⊤ b with output sparsity k. Inputs may have any nnz (the tree uses
+/// nnz == k throughout, but the fold for non-power-of-two worlds can see
+/// fewer). Result is canonical with nnz == min(k, nnz(a + b)).
+SparseGradient topk_merge(const SparseGradient& a, const SparseGradient& b,
+                          std::size_t k);
+
+/// topk(g, k) for an already-sparse vector — used for re-sparsifying an
+/// aggregated result (the "select k from k*P" variant of the paper's
+/// Fig. 1, and Algorithm 2's global selection).
+SparseGradient sparse_topk(const SparseGradient& g, std::size_t k);
+
+}  // namespace gtopk::sparse

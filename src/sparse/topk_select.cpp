@@ -1,0 +1,122 @@
+#include "sparse/topk_select.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+namespace gtopk::sparse {
+
+namespace {
+
+SparseGradient finalize(std::span<const float> dense,
+                        std::vector<std::int32_t> picked) {
+    std::sort(picked.begin(), picked.end());
+    SparseGradient g;
+    g.dense_size = static_cast<std::int64_t>(dense.size());
+    g.indices = std::move(picked);
+    g.values.reserve(g.indices.size());
+    for (std::int32_t idx : g.indices) {
+        g.values.push_back(dense[static_cast<std::size_t>(idx)]);
+    }
+    return g;
+}
+
+SparseGradient topk_nth_element(std::span<const float> dense, std::size_t k) {
+    std::vector<std::int32_t> idx(dense.size());
+    std::iota(idx.begin(), idx.end(), 0);
+    auto greater = [&](std::int32_t a, std::int32_t b) {
+        // "a before b" when a is strictly greater in the magnitude order.
+        return magnitude_less(dense[static_cast<std::size_t>(b)], b,
+                              dense[static_cast<std::size_t>(a)], a);
+    };
+    std::nth_element(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                     idx.end(), greater);
+    idx.resize(k);
+    return finalize(dense, std::move(idx));
+}
+
+SparseGradient topk_heap(std::span<const float> dense, std::size_t k) {
+    // Min-heap of the current best k, keyed by the magnitude order, so the
+    // weakest kept element sits on top and is evicted first.
+    auto weaker = [&](std::int32_t a, std::int32_t b) {
+        return magnitude_less(dense[static_cast<std::size_t>(b)], b,
+                              dense[static_cast<std::size_t>(a)], a);
+    };
+    std::priority_queue<std::int32_t, std::vector<std::int32_t>, decltype(weaker)> heap(
+        weaker);
+    for (std::size_t i = 0; i < dense.size(); ++i) {
+        const auto idx = static_cast<std::int32_t>(i);
+        if (heap.size() < k) {
+            heap.push(idx);
+        } else if (magnitude_less(dense[static_cast<std::size_t>(heap.top())], heap.top(),
+                                  dense[i], idx)) {
+            heap.pop();
+            heap.push(idx);
+        }
+    }
+    std::vector<std::int32_t> picked;
+    picked.reserve(heap.size());
+    while (!heap.empty()) {
+        picked.push_back(heap.top());
+        heap.pop();
+    }
+    return finalize(dense, std::move(picked));
+}
+
+SparseGradient topk_full_sort(std::span<const float> dense, std::size_t k) {
+    std::vector<std::int32_t> idx(dense.size());
+    std::iota(idx.begin(), idx.end(), 0);
+    std::sort(idx.begin(), idx.end(), [&](std::int32_t a, std::int32_t b) {
+        return magnitude_less(dense[static_cast<std::size_t>(b)], b,
+                              dense[static_cast<std::size_t>(a)], a);
+    });
+    idx.resize(k);
+    return finalize(dense, std::move(idx));
+}
+
+}  // namespace
+
+SparseGradient topk_select(std::span<const float> dense, std::size_t k,
+                           TopkStrategy strategy) {
+    if (k >= dense.size()) {
+        // Degenerate: keep everything.
+        SparseGradient g;
+        g.dense_size = static_cast<std::int64_t>(dense.size());
+        g.indices.resize(dense.size());
+        std::iota(g.indices.begin(), g.indices.end(), 0);
+        g.values.assign(dense.begin(), dense.end());
+        return g;
+    }
+    if (k == 0) {
+        SparseGradient g;
+        g.dense_size = static_cast<std::int64_t>(dense.size());
+        return g;
+    }
+    switch (strategy) {
+        case TopkStrategy::NthElement: return topk_nth_element(dense, k);
+        case TopkStrategy::Heap: return topk_heap(dense, k);
+        case TopkStrategy::FullSort: return topk_full_sort(dense, k);
+    }
+    throw std::logic_error("unknown TopkStrategy");
+}
+
+float kth_largest_magnitude(std::span<const float> dense, std::size_t k) {
+    if (k == 0 || dense.empty()) return 0.0f;
+    k = std::min(k, dense.size());
+    std::vector<float> mags(dense.size());
+    for (std::size_t i = 0; i < dense.size(); ++i) mags[i] = std::abs(dense[i]);
+    std::nth_element(mags.begin(), mags.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                     mags.end(), std::greater<float>());
+    return mags[k - 1];
+}
+
+void zero_selected(std::span<float> dense, const SparseGradient& selected) {
+    for (std::int32_t idx : selected.indices) {
+        dense[static_cast<std::size_t>(idx)] = 0.0f;
+    }
+}
+
+}  // namespace gtopk::sparse

@@ -1,0 +1,47 @@
+// Top-k selection: pick the k largest-magnitude entries of a dense vector
+// (Algorithm 1 lines 5-7 of the paper).
+//
+// Ordering is total and deterministic: larger |value| first, ties broken by
+// smaller index. Determinism matters because every worker must agree on the
+// global selection bit-for-bit for the replicas to stay consistent.
+//
+// Three strategies are provided; they return identical results and are
+// compared by bench_ablation_topk_select:
+//   NthElement  introselect on an index permutation, O(m) expected
+//   Heap        bounded min-heap of size k, O(m log k) — wins for k << m
+//   FullSort    O(m log m) reference
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "sparse/sparse_gradient.hpp"
+
+namespace gtopk::sparse {
+
+enum class TopkStrategy { NthElement, Heap, FullSort };
+
+/// Comparator for the deterministic |value|-descending, index-ascending
+/// total order shared by all strategies.
+inline bool magnitude_less(float va, std::int32_t ia, float vb, std::int32_t ib) {
+    const float ma = va < 0 ? -va : va;
+    const float mb = vb < 0 ? -vb : vb;
+    if (ma != mb) return ma < mb;
+    return ia > ib;  // smaller index wins ties, so it is "greater"
+}
+
+/// Select min(k, nnz-meaningful) entries; exact zeros are still selectable
+/// (the paper selects by threshold on |G|; we keep exact-k semantics).
+/// Result is canonical (indices sorted ascending).
+SparseGradient topk_select(std::span<const float> dense, std::size_t k,
+                           TopkStrategy strategy = TopkStrategy::NthElement);
+
+/// The paper's threshold formulation (Line 5-6 of Algorithm 1): returns the
+/// kth largest |value| of `dense` (0 when k == 0 or the vector is empty).
+float kth_largest_magnitude(std::span<const float> dense, std::size_t k);
+
+/// Zero out the selected entries of `dense` in place — the residual update
+/// `G ⊙ ¬Mask` (Line 8 of Algorithm 1).
+void zero_selected(std::span<float> dense, const SparseGradient& selected);
+
+}  // namespace gtopk::sparse

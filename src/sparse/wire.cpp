@@ -1,0 +1,63 @@
+#include "sparse/wire.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+
+namespace gtopk::sparse {
+
+std::size_t wire_size_bytes(std::size_t nnz) {
+    return 2 * sizeof(std::int64_t) + nnz * (sizeof(std::int32_t) + sizeof(float));
+}
+
+std::vector<std::byte> serialize(const SparseGradient& g) {
+    std::vector<std::byte> out(wire_size_bytes(g.nnz()));
+    std::byte* p = out.data();
+    const std::int64_t dense_size = g.dense_size;
+    const std::int64_t nnz = static_cast<std::int64_t>(g.nnz());
+    std::memcpy(p, &dense_size, sizeof dense_size);
+    p += sizeof dense_size;
+    std::memcpy(p, &nnz, sizeof nnz);
+    p += sizeof nnz;
+    std::memcpy(p, g.indices.data(), g.indices.size() * sizeof(std::int32_t));
+    p += g.indices.size() * sizeof(std::int32_t);
+    std::memcpy(p, g.values.data(), g.values.size() * sizeof(float));
+    return out;
+}
+
+SparseGradient deserialize(std::span<const std::byte> bytes) {
+    if (bytes.size() < 2 * sizeof(std::int64_t)) {
+        throw std::invalid_argument("deserialize: truncated header");
+    }
+    const std::byte* p = bytes.data();
+    std::int64_t dense_size = 0;
+    std::int64_t nnz = 0;
+    std::memcpy(&dense_size, p, sizeof dense_size);
+    p += sizeof dense_size;
+    std::memcpy(&nnz, p, sizeof nnz);
+    p += sizeof nnz;
+    if (nnz < 0 || dense_size < 0 || nnz > dense_size) {
+        throw std::invalid_argument("deserialize: bad header sizes");
+    }
+    // Derive the entry count from the actual payload size rather than
+    // trusting the header: `wire_size_bytes(header_nnz)` could wrap for a
+    // corrupt header (e.g. nnz + 2^61 makes nnz*8 overflow to a matching
+    // size) and a huge resize would follow.
+    const std::size_t payload = bytes.size() - 2 * sizeof(std::int64_t);
+    constexpr std::size_t kEntry = sizeof(std::int32_t) + sizeof(float);
+    if (payload % kEntry != 0 ||
+        static_cast<std::uint64_t>(nnz) != payload / kEntry) {
+        throw std::invalid_argument("deserialize: size mismatch");
+    }
+    SparseGradient g;
+    g.dense_size = dense_size;
+    g.indices.resize(static_cast<std::size_t>(nnz));
+    g.values.resize(static_cast<std::size_t>(nnz));
+    std::memcpy(g.indices.data(), p, g.indices.size() * sizeof(std::int32_t));
+    p += g.indices.size() * sizeof(std::int32_t);
+    std::memcpy(g.values.data(), p, g.values.size() * sizeof(float));
+    g.validate();
+    return g;
+}
+
+}  // namespace gtopk::sparse

@@ -1,0 +1,31 @@
+// Wire format for SparseGradient, matching the paper's transfer unit of
+// 2k elements: k int32 indices followed by k float32 values, prefixed by a
+// small fixed header. The header makes the format self-describing so a
+// receiver needs no out-of-band size agreement.
+//
+// Layout (little-endian, as used in-memory on the simulated cluster):
+//   int64  dense_size
+//   int64  nnz
+//   int32  indices[nnz]
+//   float  values[nnz]
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "sparse/sparse_gradient.hpp"
+
+namespace gtopk::sparse {
+
+std::vector<std::byte> serialize(const SparseGradient& g);
+
+/// Throws std::invalid_argument on truncated or corrupt input; the result
+/// is validated (canonical indices, bounds).
+SparseGradient deserialize(std::span<const std::byte> bytes);
+
+/// Serialized size in bytes for a given nnz — used by cost accounting and
+/// tests (16-byte header + 8 bytes per non-zero).
+std::size_t wire_size_bytes(std::size_t nnz);
+
+}  // namespace gtopk::sparse

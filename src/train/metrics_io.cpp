@@ -1,0 +1,50 @@
+#include "train/metrics_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace gtopk::train {
+
+namespace {
+constexpr const char* kHeader = "epoch,density,train_loss,val_loss,val_accuracy";
+}
+
+void write_metrics_csv(std::ostream& os, const std::vector<EpochMetrics>& epochs) {
+    os << kHeader << "\n";
+    os.precision(17);
+    for (const auto& e : epochs) {
+        os << e.epoch << ',' << e.density << ',' << e.train_loss << ',' << e.val_loss
+           << ',' << e.val_accuracy << "\n";
+    }
+}
+
+void write_metrics_csv_file(const std::string& path,
+                            const std::vector<EpochMetrics>& epochs) {
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+    write_metrics_csv(out, epochs);
+}
+
+std::vector<EpochMetrics> read_metrics_csv(std::istream& is) {
+    std::string line;
+    if (!std::getline(is, line) || line != kHeader) {
+        throw std::invalid_argument("metrics CSV: bad or missing header");
+    }
+    std::vector<EpochMetrics> epochs;
+    while (std::getline(is, line)) {
+        if (line.empty()) continue;
+        std::istringstream row(line);
+        EpochMetrics e;
+        char comma = 0;
+        row >> e.epoch >> comma >> e.density >> comma >> e.train_loss >> comma >>
+            e.val_loss >> comma >> e.val_accuracy;
+        if (row.fail()) {
+            throw std::invalid_argument("metrics CSV: malformed row: " + line);
+        }
+        epochs.push_back(e);
+    }
+    return epochs;
+}
+
+}  // namespace gtopk::train

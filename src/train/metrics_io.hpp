@@ -1,0 +1,21 @@
+// Metrics export: write training curves to CSV so runs can be plotted or
+// diffed outside the process (benches and examples use this behind a flag).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "train/trainer.hpp"
+
+namespace gtopk::train {
+
+/// CSV with header "epoch,density,train_loss,val_loss,val_accuracy".
+void write_metrics_csv(std::ostream& os, const std::vector<EpochMetrics>& epochs);
+void write_metrics_csv_file(const std::string& path,
+                            const std::vector<EpochMetrics>& epochs);
+
+/// Parse metrics written by write_metrics_csv. Throws on malformed input.
+std::vector<EpochMetrics> read_metrics_csv(std::istream& is);
+
+}  // namespace gtopk::train

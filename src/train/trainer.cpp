@@ -1,0 +1,383 @@
+#include "train/trainer.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <span>
+#include <stdexcept>
+
+#include "collectives/collectives.hpp"
+#include "sparse/topk_merge.hpp"
+#include "sparse/topk_select.hpp"
+#include "util/log.hpp"
+
+namespace gtopk::train {
+
+namespace {
+
+using comm::Communicator;
+using sparse::SparseGradient;
+
+double now_host_s() {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/// Scatter a sparse update scaled by 1/P into a dense vector.
+std::vector<float> sparse_to_mean_dense(const SparseGradient& g, int world) {
+    std::vector<float> dense(static_cast<std::size_t>(g.dense_size), 0.0f);
+    const float inv = 1.0f / static_cast<float>(world);
+    for (std::size_t i = 0; i < g.nnz(); ++i) {
+        dense[static_cast<std::size_t>(g.indices[i])] = g.values[i] * inv;
+    }
+    return dense;
+}
+
+/// Line 10 of Algorithm 4: add back into `residual` every locally-selected
+/// entry whose index did not survive the global selection.
+void return_unselected(std::vector<float>& residual, const SparseGradient& local,
+                       const SparseGradient& global) {
+    std::size_t gi = 0;
+    for (std::size_t li = 0; li < local.nnz(); ++li) {
+        const std::int32_t idx = local.indices[li];
+        while (gi < global.nnz() && global.indices[gi] < idx) ++gi;
+        const bool selected = gi < global.nnz() && global.indices[gi] == idx;
+        if (!selected) {
+            residual[static_cast<std::size_t>(idx)] += local.values[li];
+        }
+    }
+}
+
+void check_error_feedback(const std::vector<float>& accumulated,
+                          const std::vector<float>& residual,
+                          const SparseGradient& sent) {
+    // residual + sent must reconstruct the accumulated gradient exactly in
+    // the pre-aggregation state (before the line-10 put-back).
+    std::size_t si = 0;
+    for (std::size_t i = 0; i < accumulated.size(); ++i) {
+        float reconstructed = residual[i];
+        if (si < sent.nnz() && static_cast<std::size_t>(sent.indices[si]) == i) {
+            reconstructed += sent.values[si];
+            ++si;
+        }
+        if (std::abs(reconstructed - accumulated[i]) > 1e-5f) {
+            throw std::logic_error("error-feedback invariant violated");
+        }
+    }
+}
+
+struct RankOutput {
+    std::vector<EpochMetrics> epochs;
+    double mean_compute_s = 0;
+    double mean_compress_s = 0;
+    double mean_comm_virtual_s = 0;
+    std::vector<float> final_params;
+};
+
+}  // namespace
+
+const char* algorithm_name(Algorithm a) {
+    switch (a) {
+        case Algorithm::DenseSsgd: return "Dense S-SGD";
+        case Algorithm::TopkSsgd: return "Top-k S-SGD";
+        case Algorithm::GtopkSsgd: return "gTop-k S-SGD";
+        case Algorithm::NaiveGtopkSsgd: return "naive gTop-k S-SGD";
+        case Algorithm::SelectKFromKP: return "select-k-from-kP S-SGD";
+        case Algorithm::LayerwiseGtopkSsgd: return "layer-wise gTop-k S-SGD";
+    }
+    return "?";
+}
+
+TrainResult train_distributed(int world_size, comm::NetworkModel net,
+                              const TrainConfig& config, const ModelFactory& factory,
+                              const TrainBatchProvider& train_batches,
+                              const EvalBatchProvider& eval_batch) {
+    std::vector<RankOutput> outputs(static_cast<std::size_t>(world_size));
+    std::vector<comm::CommStats> final_stats(static_cast<std::size_t>(world_size));
+
+    if (config.selection != sparse::SelectionPolicy::ExactTopk &&
+        (config.algorithm == Algorithm::TopkSsgd ||
+         config.algorithm == Algorithm::DenseSsgd)) {
+        throw std::invalid_argument(
+            "threshold selection policies require a gTop-k family algorithm");
+    }
+
+    auto worker = [&](Communicator& comm) {
+        const int rank = comm.rank();
+        RankOutput& out = outputs[static_cast<std::size_t>(rank)];
+
+        std::unique_ptr<nn::TrainableModel> model = factory(config.model_seed);
+        const std::size_t m = model->num_params();
+        std::vector<float> residual(m, 0.0f);
+        std::vector<float> velocity(m, 0.0f);
+        const bool local_momentum =
+            config.momentum_mode == TrainConfig::MomentumMode::LocalCorrection &&
+            config.algorithm != Algorithm::DenseSsgd;
+        sparse::AdaptiveThresholdSelector adaptive(
+            std::max(config.density, 1e-9), std::max(config.static_threshold, 1e-6f));
+        util::Xoshiro256 sample_rng =
+            util::Xoshiro256(config.model_seed).fork(0x5A00 + static_cast<std::uint64_t>(rank));
+
+        // Parameter-tensor segmentation for the layer-wise variant.
+        std::vector<std::size_t> seg_offsets{0};
+        for (const auto& p : model->params()) {
+            seg_offsets.push_back(seg_offsets.back() + p.value->size());
+        }
+
+        double total_compute = 0, total_compress = 0, total_comm = 0;
+        std::int64_t total_iters = 0;
+        std::int64_t step = 0;
+
+        for (int epoch = 0; epoch < config.epochs; ++epoch) {
+            const bool warm =
+                epoch < static_cast<int>(config.warmup_densities.size());
+            const double density =
+                warm ? config.warmup_densities[static_cast<std::size_t>(epoch)]
+                     : config.density;
+            const float lr = warm ? config.lr * config.warmup_lr_scale : config.lr;
+            const std::size_t k = std::max<std::size_t>(
+                1, static_cast<std::size_t>(
+                       std::llround(density * static_cast<double>(m))));
+            // Threshold policies have no well-defined global k; the tree
+            // then runs untruncated (a pure sparse sum-allreduce) and the
+            // thresholding alone provides the sparsity.
+            const std::size_t agg_k =
+                config.selection == sparse::SelectionPolicy::ExactTopk ? k : m;
+
+            double epoch_loss = 0.0;
+            for (int it = 0; it < config.iters_per_epoch; ++it, ++step) {
+                // --- compute phase (host-timed) ---
+                const double t0 = now_host_s();
+                nn::Batch batch = train_batches(step, rank);
+                const double loss = model->train_step_gradients(batch);
+                epoch_loss += loss;
+                std::vector<float> grad = model->flat_grads();
+                // DGC-style local gradient clipping (scale to the L2 ball).
+                if (config.gradient_clip_norm > 0.0f) {
+                    double norm_sq = 0.0;
+                    for (float g : grad) norm_sq += static_cast<double>(g) * g;
+                    const double norm = std::sqrt(norm_sq);
+                    if (norm > config.gradient_clip_norm) {
+                        const float scale =
+                            config.gradient_clip_norm / static_cast<float>(norm);
+                        for (float& g : grad) g *= scale;
+                    }
+                }
+                // DGC momentum correction: momentum is folded into the
+                // LOCAL stream before residual accumulation.
+                if (local_momentum) {
+                    for (std::size_t i = 0; i < m; ++i) {
+                        velocity[i] = config.momentum * velocity[i] + grad[i];
+                        grad[i] = velocity[i];
+                    }
+                }
+                // Accumulate the residual (Alg. 4 line 4).
+                std::vector<float> accumulated = std::move(grad);
+                if (config.algorithm != Algorithm::DenseSsgd) {
+                    for (std::size_t i = 0; i < m; ++i) accumulated[i] += residual[i];
+                }
+                const double t1 = now_host_s();
+
+                // --- compress phase (host-timed) ---
+                SparseGradient local;
+                std::vector<SparseGradient> seg_locals;  // layer-wise only
+                if (config.algorithm == Algorithm::LayerwiseGtopkSsgd) {
+                    residual = accumulated;
+                    seg_locals.reserve(seg_offsets.size() - 1);
+                    for (std::size_t s = 0; s + 1 < seg_offsets.size(); ++s) {
+                        const std::size_t off = seg_offsets[s];
+                        const std::size_t len = seg_offsets[s + 1] - off;
+                        const std::size_t k_seg = std::max<std::size_t>(
+                            1, static_cast<std::size_t>(std::llround(
+                                   density * static_cast<double>(len))));
+                        const std::span<const float> seg(accumulated.data() + off, len);
+                        SparseGradient sel = sparse::topk_select(seg, k_seg);
+                        sparse::zero_selected(
+                            std::span<float>(residual.data() + off, len), sel);
+                        seg_locals.push_back(std::move(sel));
+                    }
+                } else if (config.algorithm != Algorithm::DenseSsgd) {
+                    switch (config.selection) {
+                        case sparse::SelectionPolicy::ExactTopk:
+                            local = sparse::topk_select(accumulated, k);
+                            break;
+                        case sparse::SelectionPolicy::StaticThreshold:
+                            local = sparse::threshold_select(accumulated,
+                                                             config.static_threshold);
+                            break;
+                        case sparse::SelectionPolicy::AdaptiveThreshold:
+                            local = adaptive.select(accumulated);
+                            break;
+                        case sparse::SelectionPolicy::SampledTopk:
+                            local = sparse::sampled_topk_select(accumulated, k,
+                                                                sample_rng);
+                            break;
+                    }
+                    residual = accumulated;
+                    sparse::zero_selected(residual, local);
+                    if (config.check_invariants) {
+                        check_error_feedback(accumulated, residual, local);
+                    }
+                    // Combined sparsification + quantization: ship lossy
+                    // values, feed the quantization error back into the
+                    // residual so no gradient mass is lost.
+                    if (config.value_quantizer != quant::Scheme::None) {
+                        const std::vector<float> lossy =
+                            quant::quantize_dequantize(local.values,
+                                                       config.value_quantizer);
+                        for (std::size_t i = 0; i < local.nnz(); ++i) {
+                            residual[static_cast<std::size_t>(local.indices[i])] +=
+                                local.values[i] - lossy[i];
+                        }
+                        local.values = lossy;
+                    }
+                }
+                const double t2 = now_host_s();
+
+                // --- communication phase (virtual-timed) ---
+                const double v0 = comm.clock().now_s();
+                std::vector<float> update;  // mean over workers, dense
+                switch (config.algorithm) {
+                    case Algorithm::DenseSsgd: {
+                        update = core::dense_allreduce(comm, accumulated);
+                        const float inv = 1.0f / static_cast<float>(world_size);
+                        for (float& u : update) u *= inv;
+                        break;
+                    }
+                    case Algorithm::TopkSsgd: {
+                        update = core::topk_allreduce(comm, local);
+                        const float inv = 1.0f / static_cast<float>(world_size);
+                        for (float& u : update) u *= inv;
+                        break;
+                    }
+                    case Algorithm::LayerwiseGtopkSsgd: {
+                        // One independent gTop-k per parameter tensor; the
+                        // put-back (line 10) works in segment-local
+                        // coordinates, shifted into the flat residual.
+                        update.assign(m, 0.0f);
+                        const float inv = 1.0f / static_cast<float>(world_size);
+                        for (std::size_t s = 0; s < seg_locals.size(); ++s) {
+                            const std::size_t off = seg_offsets[s];
+                            const SparseGradient& seg_local = seg_locals[s];
+                            core::GtopkResult res = core::gtopk_allreduce(
+                                comm, seg_local, seg_local.nnz());
+                            std::size_t gi = 0;
+                            for (std::size_t li = 0; li < seg_local.nnz(); ++li) {
+                                const std::int32_t idx = seg_local.indices[li];
+                                while (gi < res.global.nnz() &&
+                                       res.global.indices[gi] < idx) {
+                                    ++gi;
+                                }
+                                const bool kept = gi < res.global.nnz() &&
+                                                  res.global.indices[gi] == idx;
+                                if (!kept) {
+                                    residual[off + static_cast<std::size_t>(idx)] +=
+                                        seg_local.values[li];
+                                }
+                            }
+                            for (std::size_t gj = 0; gj < res.global.nnz(); ++gj) {
+                                update[off + static_cast<std::size_t>(
+                                                 res.global.indices[gj])] =
+                                    res.global.values[gj] * inv;
+                            }
+                        }
+                        break;
+                    }
+                    case Algorithm::GtopkSsgd:
+                    case Algorithm::NaiveGtopkSsgd:
+                    case Algorithm::SelectKFromKP: {
+                        core::GtopkResult res =
+                            config.algorithm == Algorithm::NaiveGtopkSsgd
+                                ? core::naive_gtopk_allreduce(comm, local, agg_k)
+                                : core::gtopk_allreduce(comm, local, agg_k);
+                        if (config.algorithm != Algorithm::SelectKFromKP) {
+                            // Alg. 4 line 10.
+                            return_unselected(residual, local, res.global);
+                        }
+                        update = sparse_to_mean_dense(res.global, world_size);
+                        break;
+                    }
+                }
+                const double v1 = comm.clock().now_s();
+
+                // --- update phase. PostAggregation: momentum SGD on the
+                // aggregated mean (identical on every rank). With DGC-style
+                // LocalCorrection the momentum already happened upstream,
+                // so the aggregate is applied as plain SGD.
+                std::vector<float> delta(m);
+                if (local_momentum) {
+                    for (std::size_t i = 0; i < m; ++i) delta[i] = -lr * update[i];
+                } else {
+                    for (std::size_t i = 0; i < m; ++i) {
+                        velocity[i] = config.momentum * velocity[i] + update[i];
+                        delta[i] = -lr * velocity[i];
+                    }
+                }
+                model->add_flat_delta(delta);
+
+                total_compute += t1 - t0;
+                total_compress += t2 - t1;
+                total_comm += v1 - v0;
+                ++total_iters;
+            }
+
+            // --- end-of-epoch metrics ---
+            EpochMetrics em;
+            em.epoch = epoch;
+            em.density = density;
+            // Average the per-rank epoch losses (one double via allgather;
+            // negligible traffic, after the timed phases of the epoch).
+            const double my_loss = epoch_loss / config.iters_per_epoch;
+            const std::vector<double> losses = collectives::allgather<double>(
+                comm, std::span<const double>(&my_loss, 1),
+                collectives::AllgatherAlgo::Ring);
+            double sum = 0;
+            for (double l : losses) sum += l;
+            em.train_loss = sum / static_cast<double>(world_size);
+
+            if (eval_batch) {
+                nn::Batch eb = eval_batch();
+                if (eb.x.numel() > 0) {
+                    em.val_loss = model->eval_loss(eb);
+                    em.val_accuracy = model->eval_accuracy(eb);
+                }
+            }
+            out.epochs.push_back(em);
+
+            if (config.check_invariants) {
+                // Replica consistency: all ranks must hold identical params.
+                const std::vector<float> params = model->flat_params();
+                std::vector<float> sum_params = params;
+                collectives::allreduce_sum_ring(comm, sum_params);
+                for (std::size_t i = 0; i < params.size(); ++i) {
+                    const float mean =
+                        sum_params[i] / static_cast<float>(world_size);
+                    if (std::abs(mean - params[i]) >
+                        1e-4f * (1.0f + std::abs(params[i]))) {
+                        throw std::logic_error("replica divergence detected");
+                    }
+                }
+            }
+        }
+
+        out.mean_compute_s = total_compute / static_cast<double>(total_iters);
+        out.mean_compress_s = total_compress / static_cast<double>(total_iters);
+        out.mean_comm_virtual_s = total_comm / static_cast<double>(total_iters);
+        out.final_params = model->flat_params();
+        final_stats[static_cast<std::size_t>(rank)] = comm.stats();
+    };
+
+    comm::Cluster::run(world_size, net, worker);
+
+    TrainResult result;
+    result.epochs = outputs[0].epochs;
+    result.mean_compute_s = outputs[0].mean_compute_s;
+    result.mean_compress_s = outputs[0].mean_compress_s;
+    result.mean_comm_virtual_s = outputs[0].mean_comm_virtual_s;
+    result.rank0_comm = final_stats[0];
+    result.final_params = std::move(outputs[0].final_params);
+    return result;
+}
+
+}  // namespace gtopk::train

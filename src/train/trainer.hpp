@@ -1,0 +1,124 @@
+// Distributed S-SGD trainers — the paper's Algorithms 1 (Top-k), 2 (naive
+// gTop-k), 4 (gTop-k with gTopKAllReduce), plus dense S-SGD (Eq. 3) and the
+// Fig. 1 "select k from k*P without residual return" variant.
+//
+// All variants share one worker loop that differs only in the aggregation
+// step; every worker runs the loop on the virtual-time cluster. Replica
+// consistency (identical parameters on every rank after every iteration) is
+// an invariant tested by the integration suite.
+//
+// Residual bookkeeping (error feedback), following the paper exactly:
+//   G^g_i   = residual + local gradient            (Alg. 4 line 4)
+//   local   = top-k(G^g_i)                         (lines 5-7)
+//   residual = G^g_i  - local                      (line 8)
+//   after aggregation, the locally-selected entries that did NOT survive
+//   the global selection are put back:
+//   residual += local ⊙ ¬gMask                     (line 10)
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "comm/cluster.hpp"
+#include "core/aggregators.hpp"
+#include "nn/model.hpp"
+#include "quant/quantizer.hpp"
+#include "sparse/selection_policy.hpp"
+
+namespace gtopk::train {
+
+enum class Algorithm {
+    DenseSsgd,          // Eq. 3, ring allreduce on full gradients
+    TopkSsgd,           // Algorithm 1
+    GtopkSsgd,          // Algorithm 4 (tree gTopKAllReduce)
+    NaiveGtopkSsgd,     // Algorithm 2 (AllGather + global re-selection)
+    SelectKFromKP,      // Fig. 1 variant: gTop-k without the line-10 put-back
+    LayerwiseGtopkSsgd, // paper Sec. VII future work: one gTop-k per
+                        // parameter tensor (k_l = rho * m_l), enabling
+                        // communication/computation overlap
+};
+
+const char* algorithm_name(Algorithm a);
+
+struct TrainConfig {
+    Algorithm algorithm = Algorithm::GtopkSsgd;
+    int epochs = 10;
+    int iters_per_epoch = 50;
+    float lr = 0.05f;
+    float momentum = 0.9f;
+    double density = 1e-3;
+    /// Densities for the first warmup epochs (paper: [0.25, 0.0725, 0.015,
+    /// 0.004] before settling at `density`). Empty = no warmup.
+    std::vector<double> warmup_densities;
+    /// LR multiplier during warmup epochs (paper uses "small learning
+    /// rates" during warmup).
+    float warmup_lr_scale = 0.25f;
+    std::uint64_t model_seed = 42;
+    /// When true, every iteration asserts the error-feedback invariant
+    /// (residual + sent == accumulated gradient) and replica consistency.
+    bool check_invariants = false;
+
+    /// How the local sparse contribution is selected (gTop-k family only;
+    /// TopKAllReduce's wire format requires ExactTopk). Threshold policies
+    /// produce variable nnz, which the tree aggregation tolerates.
+    sparse::SelectionPolicy selection = sparse::SelectionPolicy::ExactTopk;
+    /// Fixed |g| cutoff for SelectionPolicy::StaticThreshold.
+    float static_threshold = 1e-3f;
+
+    /// DGC-style local gradient clipping (Lin et al. [12]): before residual
+    /// accumulation, scale the local gradient so its L2 norm is at most
+    /// this value. 0 disables.
+    float gradient_clip_norm = 0.0f;
+
+    /// Where momentum lives. PostAggregation (default, used by the paper's
+    /// setup here): one velocity on the aggregated mean update, identical
+    /// on all replicas. LocalCorrection (DGC momentum correction): each
+    /// worker applies momentum to its LOCAL gradient before residual
+    /// accumulation, and the aggregated update is applied with plain SGD.
+    enum class MomentumMode { PostAggregation, LocalCorrection };
+    MomentumMode momentum_mode = MomentumMode::PostAggregation;
+
+    /// Combined sparsification + quantization (paper Sec. VI): the selected
+    /// values are quantized before leaving the worker and the quantization
+    /// error is returned to the residual (error feedback), so convergence
+    /// is preserved. Indices stay exact. None = fp32 values.
+    quant::Scheme value_quantizer = quant::Scheme::None;
+};
+
+/// Builds one model replica; called once per rank with the same seed so all
+/// replicas are identical.
+using ModelFactory =
+    std::function<std::unique_ptr<nn::TrainableModel>(std::uint64_t seed)>;
+
+/// Training batch for (global step, rank) — rank-sharded by the caller.
+using TrainBatchProvider = std::function<nn::Batch(std::int64_t step, int rank)>;
+
+/// Fixed evaluation batch (same on every rank); may be empty (no eval).
+using EvalBatchProvider = std::function<nn::Batch()>;
+
+struct EpochMetrics {
+    int epoch = 0;
+    double density = 1.0;
+    double train_loss = 0.0;     // mean over the epoch's iterations, all ranks
+    double val_loss = 0.0;
+    double val_accuracy = 0.0;
+};
+
+struct TrainResult {
+    std::vector<EpochMetrics> epochs;
+    /// Mean per-iteration phase costs: compute/compress in host seconds,
+    /// comm in modeled (virtual) seconds on rank 0.
+    double mean_compute_s = 0.0;
+    double mean_compress_s = 0.0;
+    double mean_comm_virtual_s = 0.0;
+    comm::CommStats rank0_comm;
+    std::vector<float> final_params;  // rank 0's replica
+};
+
+TrainResult train_distributed(int world_size, comm::NetworkModel net,
+                              const TrainConfig& config, const ModelFactory& factory,
+                              const TrainBatchProvider& train_batches,
+                              const EvalBatchProvider& eval_batch);
+
+}  // namespace gtopk::train

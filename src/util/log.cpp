@@ -1,0 +1,34 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <iostream>
+
+namespace gtopk::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Info};
+std::mutex g_sink_mutex;
+
+const char* level_name(LogLevel level) {
+    switch (level) {
+        case LogLevel::Trace: return "TRACE";
+        case LogLevel::Debug: return "DEBUG";
+        case LogLevel::Info: return "INFO";
+        case LogLevel::Warn: return "WARN";
+        case LogLevel::Error: return "ERROR";
+        case LogLevel::Off: return "OFF";
+    }
+    return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void log_line(LogLevel level, const std::string& message) {
+    std::lock_guard<std::mutex> lock(g_sink_mutex);
+    std::cerr << "[" << level_name(level) << "] " << message << "\n";
+}
+
+}  // namespace gtopk::util

@@ -1,0 +1,71 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace gtopk::util {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+namespace {
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& s : s_) s = splitmix64(sm);
+}
+
+Xoshiro256 Xoshiro256::fork(std::uint64_t stream_id) const {
+    // Mix the child id with the parent state through splitmix so sibling
+    // streams are decorrelated even for adjacent ids.
+    std::uint64_t sm = s_[0] ^ (0x632be59bd9b4e019ULL * (stream_id + 1));
+    Xoshiro256 child(0);
+    for (auto& s : child.s_) s = splitmix64(sm);
+    return child;
+}
+
+std::uint64_t Xoshiro256::next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double Xoshiro256::next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Xoshiro256::next_below(std::uint64_t bound) {
+    // Lemire-style rejection to avoid modulo bias.
+    std::uint64_t threshold = (~bound + 1) % bound;
+    for (;;) {
+        std::uint64_t r = next_u64();
+        if (r >= threshold) return r % bound;
+    }
+}
+
+double Xoshiro256::next_gaussian() {
+    // Box-Muller; draw until u1 is nonzero so log() is finite.
+    double u1 = 0.0;
+    do {
+        u1 = next_double();
+    } while (u1 <= 0.0);
+    double u2 = next_double();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+float Xoshiro256::next_uniform(float lo, float hi) {
+    return lo + static_cast<float>(next_double()) * (hi - lo);
+}
+
+}  // namespace gtopk::util

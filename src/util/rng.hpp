@@ -1,0 +1,60 @@
+// Deterministic pseudo-random number generation.
+//
+// Training reproducibility demands that every worker derive its stream from
+// (seed, rank, purpose) so runs are bit-identical across repetitions and
+// independent of thread scheduling. We use xoshiro256** seeded via
+// splitmix64, both self-implemented so results do not depend on the standard
+// library's unspecified distributions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace gtopk::util {
+
+/// splitmix64 step; used to expand a single 64-bit seed into a full state.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** — fast, high-quality 64-bit PRNG with explicit state.
+class Xoshiro256 {
+public:
+    explicit Xoshiro256(std::uint64_t seed);
+
+    /// Derive an independent stream, e.g. `Xoshiro256(seed).fork(rank)`.
+    Xoshiro256 fork(std::uint64_t stream_id) const;
+
+    std::uint64_t next_u64();
+
+    /// Uniform in [0, 1).
+    double next_double();
+
+    /// Uniform in [0, bound), bound > 0 (unbiased via rejection).
+    std::uint64_t next_below(std::uint64_t bound);
+
+    /// Standard normal via Box-Muller (stateless between calls; no caching
+    /// so forked streams never share hidden state).
+    double next_gaussian();
+
+    /// Uniform float in [lo, hi).
+    float next_uniform(float lo, float hi);
+
+    // UniformRandomBitGenerator interface so <algorithm> shuffles work.
+    using result_type = std::uint64_t;
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~std::uint64_t{0}; }
+    result_type operator()() { return next_u64(); }
+
+private:
+    std::uint64_t s_[4];
+};
+
+/// Fisher-Yates shuffle with our deterministic generator.
+template <typename T>
+void shuffle(std::vector<T>& v, Xoshiro256& rng) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+        std::size_t j = static_cast<std::size_t>(rng.next_below(i));
+        std::swap(v[i - 1], v[j]);
+    }
+}
+
+}  // namespace gtopk::util

@@ -1,0 +1,45 @@
+// Small statistics helpers shared by benches and tests: running moments,
+// linear regression (used to fit the alpha-beta model exactly like the
+// paper's Fig. 8), and simple summaries.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace gtopk::util {
+
+/// Online mean/variance (Welford).
+class RunningStats {
+public:
+    void add(double x);
+    std::size_t count() const { return n_; }
+    double mean() const { return mean_; }
+    /// Sample variance (n-1 denominator); 0 if fewer than two samples.
+    double variance() const;
+    double stddev() const;
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+struct LinearFit {
+    double intercept = 0.0;  // "alpha" when fitting transfer time vs size
+    double slope = 0.0;      // "beta"
+    double r2 = 0.0;         // coefficient of determination
+};
+
+/// Ordinary least squares y = intercept + slope * x.
+/// Requires xs.size() == ys.size() >= 2.
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys);
+
+double mean(std::span<const double> xs);
+double percentile(std::vector<double> xs, double p);  // p in [0,100]
+
+}  // namespace gtopk::util

@@ -1,0 +1,50 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace gtopk::util {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> row) {
+    row.resize(header_.size());
+    rows_.push_back(std::move(row));
+}
+
+std::string TextTable::to_string() const {
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+    std::ostringstream oss;
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            oss << std::left << std::setw(static_cast<int>(widths[c]) + 2) << row[c];
+        }
+        oss << "\n";
+    };
+    emit(header_);
+    std::size_t total = 0;
+    for (auto w : widths) total += w + 2;
+    oss << std::string(total, '-') << "\n";
+    for (const auto& row : rows_) emit(row);
+    return oss.str();
+}
+
+void TextTable::print(std::ostream& os) const { os << to_string(); }
+
+std::string TextTable::fmt(double v, int precision) {
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << v;
+    return oss.str();
+}
+
+std::string TextTable::fmt_int(long long v) { return std::to_string(v); }
+
+}  // namespace gtopk::util

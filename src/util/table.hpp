@@ -1,0 +1,29 @@
+// Plain-text table printer used by the bench harness to emit the paper's
+// tables/figure series as aligned rows (easy to eyeball and to grep).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gtopk::util {
+
+class TextTable {
+public:
+    explicit TextTable(std::vector<std::string> header);
+
+    void add_row(std::vector<std::string> row);
+
+    /// Render with column alignment; header separated by a dashed rule.
+    std::string to_string() const;
+    void print(std::ostream& os) const;
+
+    static std::string fmt(double v, int precision = 3);
+    static std::string fmt_int(long long v);
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gtopk::util

@@ -1,0 +1,325 @@
+// Correctness of every collective against sequential references, swept over
+// world sizes (powers of two and not) and payload sizes (including empty
+// and smaller-than-world vectors).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "collectives/collectives.hpp"
+#include "collectives/schedule.hpp"
+#include "comm/cluster.hpp"
+
+namespace {
+
+using namespace gtopk::collectives;
+using gtopk::comm::Cluster;
+using gtopk::comm::Communicator;
+using gtopk::comm::NetworkModel;
+
+std::vector<float> rank_vector(int rank, std::size_t n) {
+    std::vector<float> v(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        v[i] = static_cast<float>(rank + 1) * 0.5f + static_cast<float>(i);
+    }
+    return v;
+}
+
+std::vector<float> expected_sum(int world, std::size_t n) {
+    std::vector<float> sum(n, 0.0f);
+    for (int r = 0; r < world; ++r) {
+        const auto v = rank_vector(r, n);
+        for (std::size_t i = 0; i < n; ++i) sum[i] += v[i];
+    }
+    return sum;
+}
+
+// ---------- schedule unit tests ----------
+
+TEST(Schedule, Ilog2) {
+    EXPECT_EQ(ilog2_floor(1), 0);
+    EXPECT_EQ(ilog2_floor(2), 1);
+    EXPECT_EQ(ilog2_floor(3), 1);
+    EXPECT_EQ(ilog2_floor(8), 3);
+    EXPECT_EQ(ilog2_ceil(1), 0);
+    EXPECT_EQ(ilog2_ceil(2), 1);
+    EXPECT_EQ(ilog2_ceil(3), 2);
+    EXPECT_EQ(ilog2_ceil(8), 3);
+    EXPECT_EQ(ilog2_ceil(9), 4);
+}
+
+TEST(Schedule, PowerOfTwo) {
+    EXPECT_TRUE(is_power_of_two(1));
+    EXPECT_TRUE(is_power_of_two(64));
+    EXPECT_FALSE(is_power_of_two(0));
+    EXPECT_FALSE(is_power_of_two(6));
+    EXPECT_FALSE(is_power_of_two(-4));
+}
+
+TEST(Schedule, RingBlockOffsetsCoverEverything) {
+    for (int world : {1, 2, 3, 5, 8}) {
+        for (std::size_t n : {0u, 1u, 4u, 7u, 100u}) {
+            const auto offsets = ring_block_offsets(n, world);
+            ASSERT_EQ(offsets.size(), static_cast<std::size_t>(world) + 1);
+            EXPECT_EQ(offsets.front(), 0u);
+            EXPECT_EQ(offsets.back(), n);
+            for (std::size_t b = 0; b < offsets.size() - 1; ++b) {
+                EXPECT_LE(offsets[b], offsets[b + 1]);
+            }
+        }
+    }
+}
+
+TEST(Schedule, BinomialBcastEveryRankReceivesOnce) {
+    for (int world : {1, 2, 3, 4, 5, 7, 8, 16, 33}) {
+        for (int root : {0, world / 2, world - 1}) {
+            int receivers = 0;
+            for (int rank = 0; rank < world; ++rank) {
+                const auto plan = binomial_bcast_plan(rank, root, world);
+                if (rank == root) {
+                    EXPECT_EQ(plan.recv_round, -1);
+                } else {
+                    ++receivers;
+                    EXPECT_GE(plan.recv_round, 0);
+                    // Sender must hold the data before the receive round.
+                    const auto sender_plan =
+                        binomial_bcast_plan(plan.recv_from, root, world);
+                    EXPECT_LT(sender_plan.recv_round, plan.recv_round);
+                }
+                for (const auto& [round, dst] : plan.sends) {
+                    EXPECT_GT(round, plan.recv_round);
+                    EXPECT_GE(dst, 0);
+                    EXPECT_LT(dst, world);
+                }
+            }
+            EXPECT_EQ(receivers, world - 1);
+        }
+    }
+}
+
+TEST(Schedule, TreeMergePairsAreConsistent) {
+    for (int world : {2, 4, 8, 16, 32, 64}) {
+        for (int round = 0; round < tree_merge_rounds(world); ++round) {
+            int receives = 0, sends = 0;
+            for (int rank = 0; rank < world; ++rank) {
+                const auto step = tree_merge_step(rank, round, world);
+                if (step.role == TreeMergeStep::Role::Receive) {
+                    ++receives;
+                    const auto peer = tree_merge_step(step.peer, round, world);
+                    EXPECT_EQ(peer.role, TreeMergeStep::Role::Send);
+                    EXPECT_EQ(peer.peer, rank);
+                } else if (step.role == TreeMergeStep::Role::Send) {
+                    ++sends;
+                }
+            }
+            EXPECT_EQ(receives, sends);
+            EXPECT_EQ(receives, world >> (round + 1));
+        }
+    }
+}
+
+TEST(Schedule, TreeMergeRejectsNonPowerOfTwo) {
+    EXPECT_THROW(tree_merge_step(0, 0, 6), std::invalid_argument);
+}
+
+// ---------- collective correctness, parameterized over world size ----------
+
+class CollectivesWorld : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Worlds, CollectivesWorld,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 16));
+
+TEST_P(CollectivesWorld, BarrierCompletes) {
+    const int world = GetParam();
+    Cluster::run(world, NetworkModel::free(),
+                 [](Communicator& comm) { barrier(comm); });
+}
+
+TEST_P(CollectivesWorld, BroadcastBinomialDeliversRootData) {
+    const int world = GetParam();
+    for (int root = 0; root < world; ++root) {
+        Cluster::run(world, NetworkModel::free(), [&](Communicator& comm) {
+            std::vector<float> data;
+            if (comm.rank() == root) data = rank_vector(root, 33);
+            broadcast(comm, data, root, BcastAlgo::BinomialTree);
+            EXPECT_EQ(data, rank_vector(root, 33));
+        });
+    }
+}
+
+TEST_P(CollectivesWorld, BroadcastFlatTreeDeliversRootData) {
+    const int world = GetParam();
+    Cluster::run(world, NetworkModel::free(), [&](Communicator& comm) {
+        std::vector<float> data;
+        if (comm.rank() == 0) data = rank_vector(0, 17);
+        broadcast(comm, data, 0, BcastAlgo::FlatTree);
+        EXPECT_EQ(data, rank_vector(0, 17));
+    });
+}
+
+TEST_P(CollectivesWorld, ReduceSumMatchesReference) {
+    const int world = GetParam();
+    for (int root : {0, world - 1}) {
+        Cluster::run(world, NetworkModel::free(), [&](Communicator& comm) {
+            const auto mine = rank_vector(comm.rank(), 21);
+            const auto result = reduce_sum<float>(comm, mine, root);
+            if (comm.rank() == root) {
+                const auto expect = expected_sum(world, 21);
+                ASSERT_EQ(result.size(), expect.size());
+                for (std::size_t i = 0; i < expect.size(); ++i) {
+                    EXPECT_NEAR(result[i], expect[i], 1e-3f) << "i=" << i;
+                }
+            }
+        });
+    }
+}
+
+TEST_P(CollectivesWorld, RingAllreduceMatchesReference) {
+    const int world = GetParam();
+    for (std::size_t n : {0u, 1u, 2u, 16u, 257u}) {
+        Cluster::run(world, NetworkModel::free(), [&](Communicator& comm) {
+            auto data = rank_vector(comm.rank(), n);
+            allreduce_sum_ring(comm, data);
+            const auto expect = expected_sum(world, n);
+            ASSERT_EQ(data.size(), n);
+            for (std::size_t i = 0; i < n; ++i) {
+                EXPECT_NEAR(data[i], expect[i], 1e-3f);
+            }
+        });
+    }
+}
+
+TEST_P(CollectivesWorld, AllgatherRingConcatenatesInRankOrder) {
+    const int world = GetParam();
+    Cluster::run(world, NetworkModel::free(), [&](Communicator& comm) {
+        const auto mine = rank_vector(comm.rank(), 5);
+        const auto all = allgather<float>(comm, mine, AllgatherAlgo::Ring);
+        ASSERT_EQ(all.size(), 5u * static_cast<std::size_t>(world));
+        for (int r = 0; r < world; ++r) {
+            const auto expect = rank_vector(r, 5);
+            for (std::size_t i = 0; i < 5; ++i) {
+                EXPECT_EQ(all[static_cast<std::size_t>(r) * 5 + i], expect[i]);
+            }
+        }
+    });
+}
+
+TEST_P(CollectivesWorld, AllgathervHandlesVariableSizes) {
+    const int world = GetParam();
+    Cluster::run(world, NetworkModel::free(), [&](Communicator& comm) {
+        const auto mine = rank_vector(comm.rank(),
+                                      static_cast<std::size_t>(comm.rank() + 1));
+        const auto all = allgatherv<float>(comm, mine);
+        ASSERT_EQ(all.size(), static_cast<std::size_t>(world));
+        for (int r = 0; r < world; ++r) {
+            EXPECT_EQ(all[static_cast<std::size_t>(r)],
+                      rank_vector(r, static_cast<std::size_t>(r + 1)));
+        }
+    });
+}
+
+TEST_P(CollectivesWorld, GatherCollectsOnRoot) {
+    const int world = GetParam();
+    Cluster::run(world, NetworkModel::free(), [&](Communicator& comm) {
+        const auto mine = rank_vector(comm.rank(), 3);
+        const auto out = gather<float>(comm, mine, 0);
+        if (comm.rank() == 0) {
+            ASSERT_EQ(out.size(), 3u * static_cast<std::size_t>(world));
+            for (int r = 0; r < world; ++r) {
+                const auto expect = rank_vector(r, 3);
+                for (std::size_t i = 0; i < 3; ++i) {
+                    EXPECT_EQ(out[static_cast<std::size_t>(r) * 3 + i], expect[i]);
+                }
+            }
+        } else {
+            EXPECT_TRUE(out.empty());
+        }
+    });
+}
+
+// Recursive doubling variants only exist for powers of two.
+class CollectivesPow2 : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Pow2Worlds, CollectivesPow2, ::testing::Values(2, 4, 8, 16));
+
+TEST_P(CollectivesPow2, RabenseifnerAllreduceMatchesRing) {
+    const int world = GetParam();
+    // m divisible by P (rabenseifner requirement).
+    const std::size_t n = static_cast<std::size_t>(world) * 13;
+    Cluster::run(world, NetworkModel::free(), [&](Communicator& comm) {
+        auto a = rank_vector(comm.rank(), n);
+        auto b = a;
+        allreduce_sum_ring(comm, a);
+        allreduce_sum_rabenseifner(comm, b);
+        for (std::size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-3f);
+    });
+}
+
+TEST(CollectivesEdge, RabenseifnerRejectsBadShapes) {
+    Cluster::run(4, NetworkModel::free(), [](Communicator& comm) {
+        std::vector<float> odd(5, 1.0f);  // not divisible by 4
+        EXPECT_THROW(allreduce_sum_rabenseifner(comm, odd), std::invalid_argument);
+    });
+    Cluster::run(3, NetworkModel::free(), [](Communicator& comm) {
+        std::vector<float> v(6, 1.0f);
+        EXPECT_THROW(allreduce_sum_rabenseifner(comm, v), std::invalid_argument);
+    });
+}
+
+TEST_P(CollectivesPow2, RecursiveDoublingAllreduceMatchesRing) {
+    const int world = GetParam();
+    Cluster::run(world, NetworkModel::free(), [&](Communicator& comm) {
+        auto a = rank_vector(comm.rank(), 40);
+        auto b = a;
+        allreduce_sum_ring(comm, a);
+        allreduce_sum_recursive_doubling(comm, b);
+        for (std::size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-3f);
+    });
+}
+
+TEST_P(CollectivesPow2, AllgatherRecursiveDoublingMatchesRing) {
+    const int world = GetParam();
+    Cluster::run(world, NetworkModel::free(), [&](Communicator& comm) {
+        const auto mine = rank_vector(comm.rank(), 6);
+        const auto a = allgather<float>(comm, mine, AllgatherAlgo::RecursiveDoubling);
+        const auto b = allgather<float>(comm, mine, AllgatherAlgo::Ring);
+        EXPECT_EQ(a, b);
+    });
+}
+
+TEST(CollectivesEdge, RecursiveDoublingRejectsNonPowerOfTwo) {
+    Cluster::run(3, NetworkModel::free(), [](Communicator& comm) {
+        std::vector<float> v(4, 1.0f);
+        EXPECT_THROW(allreduce_sum_recursive_doubling(comm, v), std::invalid_argument);
+    });
+}
+
+TEST(CollectivesEdge, BackToBackCollectivesDoNotCrossTalk) {
+    // Consecutive collectives use fresh tag blocks; run many in a row and
+    // verify nothing bleeds across invocations.
+    Cluster::run(4, NetworkModel::free(), [](Communicator& comm) {
+        for (int round = 0; round < 20; ++round) {
+            auto data = rank_vector(comm.rank(), 8);
+            allreduce_sum_ring(comm, data);
+            const auto expect = expected_sum(4, 8);
+            for (std::size_t i = 0; i < 8; ++i) ASSERT_NEAR(data[i], expect[i], 1e-3f);
+            std::vector<float> b;
+            if (comm.rank() == round % 4) b = rank_vector(round, 3);
+            broadcast(comm, b, round % 4);
+            ASSERT_EQ(b, rank_vector(round, 3));
+        }
+    });
+}
+
+TEST(CollectivesEdge, IntAllreduceIsExact) {
+    Cluster::run(8, NetworkModel::free(), [](Communicator& comm) {
+        std::vector<std::int64_t> v(100);
+        std::iota(v.begin(), v.end(), comm.rank());
+        allreduce_sum_ring(comm, v);
+        for (std::size_t i = 0; i < v.size(); ++i) {
+            // sum over r of (i + r) = 8i + 28
+            EXPECT_EQ(v[i], static_cast<std::int64_t>(8 * i + 28));
+        }
+    });
+}
+
+}  // namespace

@@ -1,0 +1,222 @@
+// Pins the virtual-time simulator to the paper's analytical cost models:
+// for power-of-two worlds the measured virtual time of each collective must
+// equal the alpha-beta prediction (Table I / Eqs. 5-7) up to the repo's
+// wire-format overhead, which is accounted exactly.
+#include <gtest/gtest.h>
+
+#include "collectives/collectives.hpp"
+#include "collectives/cost_model.hpp"
+#include "comm/cluster.hpp"
+#include "core/aggregators.hpp"
+#include "sparse/topk_select.hpp"
+#include "sparse/wire.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace gtopk;
+using namespace gtopk::collectives;
+using comm::Cluster;
+using comm::Communicator;
+using comm::NetworkModel;
+
+constexpr double kTol = 1e-9;
+
+double max_time(const std::vector<double>& times) {
+    double t = 0;
+    for (double x : times) t = std::max(t, x);
+    return t;
+}
+
+class TimingWorld : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Pow2, TimingWorld, ::testing::Values(2, 4, 8, 16, 32));
+
+TEST_P(TimingWorld, PointToPointCostIsAlphaPlusNBeta) {
+    const NetworkModel net = NetworkModel::one_gbps_ethernet();
+    const std::size_t n = 5000;
+    auto result = Cluster::run_timed(2, net, [&](Communicator& comm) {
+        std::vector<float> v(n, 1.0f);
+        if (comm.rank() == 0) {
+            comm.send_vec<float>(1, 1, v);
+        } else {
+            (void)comm.recv(0, 1);
+        }
+    });
+    EXPECT_NEAR(max_time(result.final_time_s), net.transfer_time_elems(n), kTol);
+}
+
+TEST_P(TimingWorld, RingAllreduceMatchesEq5) {
+    const int world = GetParam();
+    const NetworkModel net = NetworkModel::one_gbps_ethernet();
+    // Choose m divisible by world so every ring block is exactly m/world.
+    const std::size_t m = static_cast<std::size_t>(world) * 1024;
+    auto result = Cluster::run_timed(world, net, [&](Communicator& comm) {
+        std::vector<float> data(m, 1.0f);
+        allreduce_sum_ring(comm, data);
+    });
+    const double expected = dense_allreduce_time_s(net, world, m);
+    EXPECT_NEAR(max_time(result.final_time_s), expected, 1e-6);
+}
+
+TEST_P(TimingWorld, RabenseifnerMatchesItsModel) {
+    const int world = GetParam();
+    const NetworkModel net = NetworkModel::one_gbps_ethernet();
+    const std::size_t m = static_cast<std::size_t>(world) * 2048;
+    auto result = Cluster::run_timed(world, net, [&](Communicator& comm) {
+        std::vector<float> data(m, 1.0f);
+        allreduce_sum_rabenseifner(comm, data);
+    });
+    EXPECT_NEAR(max_time(result.final_time_s),
+                rabenseifner_allreduce_time_s(net, world, m), 1e-6);
+}
+
+TEST_P(TimingWorld, RabenseifnerBeatsRingOnLatencyAtScale) {
+    // Same bandwidth term; 2logP vs 2(P-1) latency terms. For a
+    // small-message allreduce on 1GbE this dominates.
+    const int world = GetParam();
+    if (world < 8) return;
+    const NetworkModel net = NetworkModel::one_gbps_ethernet();
+    const std::size_t m = static_cast<std::size_t>(world) * 16;  // tiny payload
+    auto ring = Cluster::run_timed(world, net, [&](Communicator& comm) {
+        std::vector<float> data(m, 1.0f);
+        allreduce_sum_ring(comm, data);
+    });
+    auto rab = Cluster::run_timed(world, net, [&](Communicator& comm) {
+        std::vector<float> data(m, 1.0f);
+        allreduce_sum_rabenseifner(comm, data);
+    });
+    EXPECT_LT(max_time(rab.final_time_s), max_time(ring.final_time_s));
+}
+
+TEST_P(TimingWorld, BinomialBroadcastMatchesLogPModel) {
+    const int world = GetParam();
+    const NetworkModel net = NetworkModel::one_gbps_ethernet();
+    const std::size_t n = 2048;
+    auto result = Cluster::run_timed(world, net, [&](Communicator& comm) {
+        std::vector<float> data;
+        if (comm.rank() == 0) data.assign(n, 1.0f);
+        broadcast(comm, data, 0, BcastAlgo::BinomialTree);
+    });
+    EXPECT_NEAR(max_time(result.final_time_s), broadcast_time_s(net, world, n), kTol);
+}
+
+TEST_P(TimingWorld, FlatTreeBroadcastSerializesAtRoot) {
+    const int world = GetParam();
+    const NetworkModel net = NetworkModel::one_gbps_ethernet();
+    const std::size_t n = 512;
+    auto result = Cluster::run_timed(world, net, [&](Communicator& comm) {
+        std::vector<float> data;
+        if (comm.rank() == 0) data.assign(n, 1.0f);
+        broadcast(comm, data, 0, BcastAlgo::FlatTree);
+    });
+    EXPECT_NEAR(max_time(result.final_time_s), flat_broadcast_time_s(net, world, n),
+                kTol);
+}
+
+TEST_P(TimingWorld, BarrierCostsLogPAlpha) {
+    const int world = GetParam();
+    const NetworkModel net = NetworkModel::one_gbps_ethernet();
+    auto result = Cluster::run_timed(world, net,
+                                     [](Communicator& comm) { barrier(comm); });
+    // Dissemination rounds carry 1-byte tokens: alpha + beta/4 each.
+    const double per_round = net.alpha_s + net.beta_s / 4.0;
+    const double expected = ilog2_ceil(world) * per_round;
+    EXPECT_NEAR(max_time(result.final_time_s), expected, kTol);
+}
+
+TEST_P(TimingWorld, RecursiveDoublingAllgatherMatchesEq6Shape) {
+    const int world = GetParam();
+    const NetworkModel net = NetworkModel::one_gbps_ethernet();
+    const std::size_t n = 1000;  // elements contributed per rank
+    auto result = Cluster::run_timed(world, net, [&](Communicator& comm) {
+        std::vector<float> mine(n, static_cast<float>(comm.rank()));
+        (void)allgather<float>(comm, mine, AllgatherAlgo::RecursiveDoubling);
+    });
+    // log(P) alpha + (P-1) n beta — the model behind the paper's Eq. 6.
+    EXPECT_NEAR(max_time(result.final_time_s), allgather_time_s(net, world, n), kTol);
+}
+
+// --- the paper's headline cost claims, measured end-to-end ---
+
+sparse::SparseGradient random_sparse(std::int64_t m, std::size_t k, int rank) {
+    util::Xoshiro256 rng(static_cast<std::uint64_t>(rank) + 99);
+    std::vector<float> dense(static_cast<std::size_t>(m));
+    for (auto& v : dense) v = static_cast<float>(rng.next_gaussian());
+    return sparse::topk_select(dense, k);
+}
+
+TEST_P(TimingWorld, GtopkAllreduceMatchesEq7UpToWireOverhead) {
+    const int world = GetParam();
+    const NetworkModel net = NetworkModel::one_gbps_ethernet();
+    const std::int64_t m = 100'000;
+    const std::size_t k = 100;
+    auto result = Cluster::run_timed(world, net, [&](Communicator& comm) {
+        const auto local = random_sparse(m, k, comm.rank());
+        (void)core::gtopk_allreduce(comm, local, k);
+    });
+    // Eq. 7 counts 2k elements per hop; our wire adds a fixed 16-byte
+    // header (= 4 beta-elements) per message. 2 logP messages total on the
+    // critical path.
+    const double expected = gtopk_allreduce_time_s(net, world, k) +
+                            2.0 * ilog2_ceil(world) * 4.0 * net.beta_s;
+    EXPECT_NEAR(max_time(result.final_time_s), expected, 1e-7);
+}
+
+TEST_P(TimingWorld, TopkAllreduceMatchesEq6UpToWireOverhead) {
+    const int world = GetParam();
+    const NetworkModel net = NetworkModel::one_gbps_ethernet();
+    const std::int64_t m = 100'000;
+    const std::size_t k = 100;
+    auto result = Cluster::run_timed(world, net, [&](Communicator& comm) {
+        const auto local = random_sparse(m, k, comm.rank());
+        (void)core::topk_allreduce(comm, local,
+                                   AllgatherAlgo::RecursiveDoubling);
+    });
+    // Each contribution is 2k elements + 16-byte header (4 elements).
+    const double per_rank_elems = 2.0 * static_cast<double>(k) + 4.0;
+    const double expected =
+        ilog2_ceil(world) * net.alpha_s +
+        (world - 1) * per_rank_elems * net.beta_s;
+    EXPECT_NEAR(max_time(result.final_time_s), expected, 1e-7);
+}
+
+TEST(TimingCrossover, GtopkBeatsTopkAtScale) {
+    // The paper's core claim: O(k logP) < O(kP) once P is large. It holds
+    // in the bandwidth-dominated regime — k must be large enough that
+    // 2(P-1)k*beta outweighs the extra logP*alpha latency of the tree
+    // (k = 25000 is the paper's Fig. 9 operating point).
+    const NetworkModel net = NetworkModel::one_gbps_ethernet();
+    const std::int64_t m = 1'000'000;
+    const std::size_t k = 25'000;
+    for (int world : {16, 32}) {
+        auto gtopk_time = Cluster::run_timed(world, net, [&](Communicator& comm) {
+            const auto local = random_sparse(m, k, comm.rank());
+            (void)core::gtopk_allreduce(comm, local, k);
+        });
+        auto topk_time = Cluster::run_timed(world, net, [&](Communicator& comm) {
+            const auto local = random_sparse(m, k, comm.rank());
+            (void)core::topk_allreduce(comm, local);
+        });
+        EXPECT_LT(max_time(gtopk_time.final_time_s), max_time(topk_time.final_time_s))
+            << "world=" << world;
+    }
+}
+
+TEST(TimingCrossover, DenseIsSlowestForLargeModels) {
+    const NetworkModel net = NetworkModel::one_gbps_ethernet();
+    const std::size_t m = 1'000'000;
+    const std::size_t k = 1000;
+    const int world = 8;
+    auto dense_time = Cluster::run_timed(world, net, [&](Communicator& comm) {
+        std::vector<float> data(m, 1.0f);
+        allreduce_sum_ring(comm, data);
+    });
+    auto gtopk_time = Cluster::run_timed(world, net, [&](Communicator& comm) {
+        const auto local = random_sparse(static_cast<std::int64_t>(m), k, comm.rank());
+        (void)core::gtopk_allreduce(comm, local, k);
+    });
+    EXPECT_GT(max_time(dense_time.final_time_s),
+              10.0 * max_time(gtopk_time.final_time_s));
+}
+
+}  // namespace

@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "comm/cluster.hpp"
+#include "comm/communicator.hpp"
+#include "comm/mailbox.hpp"
+#include "comm/network_model.hpp"
+#include "comm/transport.hpp"
+
+namespace {
+
+using gtopk::comm::Cluster;
+using gtopk::comm::Communicator;
+using gtopk::comm::InProcTransport;
+using gtopk::comm::kAnySource;
+using gtopk::comm::kAnyTag;
+using gtopk::comm::Mailbox;
+using gtopk::comm::MailboxClosed;
+using gtopk::comm::Message;
+using gtopk::comm::NetworkModel;
+
+Message make_msg(int source, int tag, std::size_t n = 0) {
+    Message m;
+    m.source = source;
+    m.tag = tag;
+    m.payload.resize(n);
+    return m;
+}
+
+TEST(MailboxTest, MatchesExactSourceAndTag) {
+    Mailbox mb;
+    mb.push(make_msg(1, 10));
+    mb.push(make_msg(2, 20));
+    const Message m = mb.pop(2, 20);
+    EXPECT_EQ(m.source, 2);
+    EXPECT_EQ(m.tag, 20);
+    EXPECT_EQ(mb.size(), 1u);
+}
+
+TEST(MailboxTest, WildcardSourceMatchesFirstArrival) {
+    Mailbox mb;
+    mb.push(make_msg(3, 7));
+    const Message m = mb.pop(kAnySource, 7);
+    EXPECT_EQ(m.source, 3);
+}
+
+TEST(MailboxTest, WildcardTagMatches) {
+    Mailbox mb;
+    mb.push(make_msg(1, 99));
+    const Message m = mb.pop(1, kAnyTag);
+    EXPECT_EQ(m.tag, 99);
+}
+
+TEST(MailboxTest, PreservesFifoPerSourceTag) {
+    Mailbox mb;
+    for (int i = 0; i < 5; ++i) mb.push(make_msg(1, 5, static_cast<std::size_t>(i)));
+    for (std::size_t i = 0; i < 5; ++i) {
+        EXPECT_EQ(mb.pop(1, 5).payload.size(), i);
+    }
+}
+
+TEST(MailboxTest, TryPopReturnsNulloptWhenNoMatch) {
+    Mailbox mb;
+    mb.push(make_msg(1, 1));
+    EXPECT_FALSE(mb.try_pop(2, 1).has_value());
+    EXPECT_TRUE(mb.try_pop(1, 1).has_value());
+}
+
+TEST(MailboxTest, BlockingPopWakesOnPush) {
+    Mailbox mb;
+    std::atomic<bool> got{false};
+    std::thread consumer([&] {
+        (void)mb.pop(1, 1);
+        got = true;
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    EXPECT_FALSE(got.load());
+    mb.push(make_msg(1, 1));
+    consumer.join();
+    EXPECT_TRUE(got.load());
+}
+
+TEST(MailboxTest, CloseThrowsInWaiters) {
+    Mailbox mb;
+    std::thread consumer([&] { EXPECT_THROW(mb.pop(1, 1), MailboxClosed); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    mb.close();
+    consumer.join();
+}
+
+TEST(TransportTest, RejectsBadRanks) {
+    InProcTransport t(2);
+    EXPECT_THROW(t.deliver(2, make_msg(0, 0)), std::out_of_range);
+    EXPECT_THROW(t.receive(-1, 0, 0), std::out_of_range);
+    EXPECT_THROW(InProcTransport(0), std::invalid_argument);
+}
+
+TEST(TransportTest, CountsDeliveries) {
+    InProcTransport t(2);
+    t.deliver(1, make_msg(0, 0));
+    t.deliver(0, make_msg(1, 0));
+    EXPECT_EQ(t.delivered_count(), 2u);
+}
+
+TEST(CommunicatorTest, SendRecvRoundTrip) {
+    Cluster::run(2, NetworkModel::free(), [](Communicator& comm) {
+        if (comm.rank() == 0) {
+            std::vector<float> v{1.0f, 2.0f, 3.0f};
+            comm.send_vec<float>(1, 5, v);
+        } else {
+            const std::vector<float> v = comm.recv_vec<float>(0, 5);
+            ASSERT_EQ(v.size(), 3u);
+            EXPECT_EQ(v[2], 3.0f);
+        }
+    });
+}
+
+TEST(CommunicatorTest, SendToSelfForbidden) {
+    Cluster::run(1, NetworkModel::free(), [](Communicator& comm) {
+        std::vector<float> v{1.0f};
+        EXPECT_THROW(comm.send_vec<float>(0, 0, v), std::invalid_argument);
+    });
+}
+
+TEST(CommunicatorTest, VirtualClockFollowsAlphaBetaModel) {
+    const NetworkModel net{1e-3, 4e-8};  // alpha=1ms, beta=4e-8 s/elem
+    auto result = Cluster::run_timed(2, net, [&](Communicator& comm) {
+        if (comm.rank() == 0) {
+            std::vector<float> v(1000, 1.0f);  // 4000 bytes = 1000 elements
+            comm.send_vec<float>(1, 1, v);
+        } else {
+            (void)comm.recv_vec<float>(0, 1);
+        }
+    });
+    const double expected = 1e-3 + 1000 * 4e-8;
+    EXPECT_NEAR(result.final_time_s[0], expected, 1e-12);  // sender pays
+    EXPECT_NEAR(result.final_time_s[1], expected, 1e-12);  // receiver waits
+}
+
+TEST(CommunicatorTest, ReceiverWaitsForSlowSender) {
+    const NetworkModel net{1.0, 0.0};  // one virtual second per message
+    auto result = Cluster::run_timed(2, net, [&](Communicator& comm) {
+        if (comm.rank() == 0) {
+            std::vector<float> v(10, 0.0f);
+            comm.send_vec<float>(1, 1, v);
+            comm.send_vec<float>(1, 2, v);
+        } else {
+            (void)comm.recv(0, 1);
+            (void)comm.recv(0, 2);
+        }
+    });
+    // Sender's clock: 2s after two sends; receiver waits for arrival at 2s.
+    EXPECT_NEAR(result.final_time_s[0], 2.0, 1e-12);
+    EXPECT_NEAR(result.final_time_s[1], 2.0, 1e-12);
+}
+
+TEST(CommunicatorTest, StatsAccumulate) {
+    auto stats = Cluster::run(2, NetworkModel::one_gbps_ethernet(),
+                              [](Communicator& comm) {
+                                  std::vector<float> v(100, 0.0f);
+                                  if (comm.rank() == 0) {
+                                      comm.send_vec<float>(1, 1, v);
+                                  } else {
+                                      (void)comm.recv(0, 1);
+                                  }
+                              });
+    EXPECT_EQ(stats[0].messages_sent, 1u);
+    EXPECT_EQ(stats[0].bytes_sent, 400u);
+    EXPECT_EQ(stats[1].messages_received, 1u);
+    EXPECT_EQ(stats[1].bytes_received, 400u);
+    EXPECT_GT(stats[0].comm_time_s, 0.0);
+}
+
+TEST(CommunicatorTest, SendValueRoundTrip) {
+    Cluster::run(2, NetworkModel::free(), [](Communicator& comm) {
+        if (comm.rank() == 0) {
+            comm.send_value<std::int64_t>(1, 3, 123456789LL);
+        } else {
+            EXPECT_EQ(comm.recv_value<std::int64_t>(0, 3), 123456789LL);
+        }
+    });
+}
+
+TEST(ClusterTest, PropagatesWorkerException) {
+    EXPECT_THROW(
+        Cluster::run(2, NetworkModel::free(),
+                     [](Communicator& comm) {
+                         if (comm.rank() == 0) {
+                             throw std::runtime_error("worker failure");
+                         }
+                         // Rank 1 blocks forever; the abort must wake it.
+                         (void)comm.recv(0, 1);
+                     }),
+        std::runtime_error);
+}
+
+TEST(ClusterTest, RunsEveryRankExactlyOnce) {
+    std::atomic<int> count{0};
+    std::atomic<int> rank_mask{0};
+    Cluster::run(4, NetworkModel::free(), [&](Communicator& comm) {
+        count.fetch_add(1);
+        rank_mask.fetch_or(1 << comm.rank());
+        EXPECT_EQ(comm.size(), 4);
+    });
+    EXPECT_EQ(count.load(), 4);
+    EXPECT_EQ(rank_mask.load(), 0b1111);
+}
+
+TEST(NetworkModelTest, TransferTimeMatchesDefinition) {
+    const NetworkModel net = NetworkModel::one_gbps_ethernet();
+    EXPECT_DOUBLE_EQ(net.transfer_time_elems(0), net.alpha_s);
+    EXPECT_NEAR(net.transfer_time_elems(1000) - net.alpha_s, 1000 * net.beta_s, 1e-15);
+    // Bytes and element paths agree for 4-byte multiples.
+    EXPECT_DOUBLE_EQ(net.transfer_time_s(4000), net.transfer_time_elems(1000));
+}
+
+TEST(NetworkModelTest, PaperConstants) {
+    const NetworkModel net = NetworkModel::one_gbps_ethernet();
+    EXPECT_DOUBLE_EQ(net.alpha_s, 0.436e-3);
+    EXPECT_DOUBLE_EQ(net.beta_s, 3.6e-8);
+}
+
+}  // namespace

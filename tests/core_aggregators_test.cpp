@@ -1,0 +1,221 @@
+// Correctness of the three aggregation algorithms against local references.
+#include <gtest/gtest.h>
+
+#include "collectives/schedule.hpp"
+#include "comm/cluster.hpp"
+#include "core/aggregators.hpp"
+#include "sparse/topk_merge.hpp"
+#include "sparse/topk_select.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace gtopk;
+using comm::Cluster;
+using comm::Communicator;
+using comm::NetworkModel;
+using sparse::SparseGradient;
+
+std::vector<float> rank_dense(int rank, std::int64_t m, std::uint64_t seed = 7) {
+    util::Xoshiro256 rng =
+        util::Xoshiro256(seed).fork(static_cast<std::uint64_t>(rank));
+    std::vector<float> v(static_cast<std::size_t>(m));
+    for (auto& x : v) x = static_cast<float>(rng.next_gaussian());
+    return v;
+}
+
+/// Sequential reference of the exact tree schedule gtopk_allreduce runs:
+/// fold the excess ranks into the power-of-two base, then distance-doubling
+/// pairwise ⊤ merges.
+SparseGradient reference_tree_fold(std::vector<SparseGradient> locals, std::size_t k) {
+    const int world = static_cast<int>(locals.size());
+    if (world == 1) return sparse::sparse_topk(locals[0], k);
+    const int base = 1 << collectives::ilog2_floor(world);
+    for (int r = base; r < world; ++r) {
+        locals[static_cast<std::size_t>(r - base)] =
+            sparse::topk_merge(locals[static_cast<std::size_t>(r - base)],
+                               locals[static_cast<std::size_t>(r)], k);
+    }
+    for (int stride = 1; stride < base; stride *= 2) {
+        for (int r = 0; r + stride < base; r += 2 * stride) {
+            locals[static_cast<std::size_t>(r)] =
+                sparse::topk_merge(locals[static_cast<std::size_t>(r)],
+                                   locals[static_cast<std::size_t>(r + stride)], k);
+        }
+    }
+    return locals[0];
+}
+
+SparseGradient reference_global_topk(const std::vector<SparseGradient>& locals,
+                                     std::size_t k) {
+    SparseGradient sum;
+    sum.dense_size = locals[0].dense_size;
+    for (const auto& g : locals) sum = sparse::add(sum, g);
+    return sparse::sparse_topk(sum, k);
+}
+
+class AggregatorWorld : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Worlds, AggregatorWorld,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 16));
+
+TEST_P(AggregatorWorld, DenseAllreduceEqualsSum) {
+    const int world = GetParam();
+    const std::int64_t m = 133;
+    Cluster::run(world, NetworkModel::free(), [&](Communicator& comm) {
+        const auto mine = rank_dense(comm.rank(), m);
+        const auto result = core::dense_allreduce(comm, mine);
+        std::vector<float> expect(static_cast<std::size_t>(m), 0.0f);
+        for (int r = 0; r < world; ++r) {
+            const auto v = rank_dense(r, m);
+            for (std::size_t i = 0; i < v.size(); ++i) expect[i] += v[i];
+        }
+        ASSERT_EQ(result.size(), expect.size());
+        for (std::size_t i = 0; i < expect.size(); ++i) {
+            EXPECT_NEAR(result[i], expect[i], 1e-4f);
+        }
+    });
+}
+
+TEST_P(AggregatorWorld, TopkAllreduceEqualsSumOfSelections) {
+    const int world = GetParam();
+    const std::int64_t m = 200;
+    const std::size_t k = 15;
+    Cluster::run(world, NetworkModel::free(), [&](Communicator& comm) {
+        const auto local = sparse::topk_select(rank_dense(comm.rank(), m), k);
+        const auto result = core::topk_allreduce(comm, local);
+        std::vector<float> expect(static_cast<std::size_t>(m), 0.0f);
+        for (int r = 0; r < world; ++r) {
+            sparse::topk_select(rank_dense(r, m), k).scatter_add(expect);
+        }
+        ASSERT_EQ(result.size(), expect.size());
+        for (std::size_t i = 0; i < expect.size(); ++i) {
+            EXPECT_NEAR(result[i], expect[i], 1e-5f);
+        }
+    });
+}
+
+TEST_P(AggregatorWorld, GtopkMatchesTreeFoldReferenceOnEveryRank) {
+    const int world = GetParam();
+    const std::int64_t m = 500;
+    const std::size_t k = 20;
+    std::vector<SparseGradient> locals;
+    for (int r = 0; r < world; ++r) {
+        locals.push_back(sparse::topk_select(rank_dense(r, m), k));
+    }
+    const SparseGradient expect = reference_tree_fold(locals, k);
+    Cluster::run(world, NetworkModel::free(), [&](Communicator& comm) {
+        const auto& local = locals[static_cast<std::size_t>(comm.rank())];
+        const auto result = core::gtopk_allreduce(comm, local, k);
+        EXPECT_EQ(result.global, expect) << "rank " << comm.rank();
+    });
+}
+
+TEST_P(AggregatorWorld, NaiveGtopkMatchesGlobalTopkOfSum) {
+    const int world = GetParam();
+    const std::int64_t m = 300;
+    const std::size_t k = 12;
+    std::vector<SparseGradient> locals;
+    for (int r = 0; r < world; ++r) {
+        locals.push_back(sparse::topk_select(rank_dense(r, m, 11), k));
+    }
+    const SparseGradient expect = reference_global_topk(locals, k);
+    Cluster::run(world, NetworkModel::free(), [&](Communicator& comm) {
+        const auto result = core::naive_gtopk_allreduce(
+            comm, locals[static_cast<std::size_t>(comm.rank())], k);
+        EXPECT_EQ(result.global, expect);
+    });
+}
+
+TEST_P(AggregatorWorld, GtopkResultIdenticalOnAllRanks) {
+    const int world = GetParam();
+    const std::int64_t m = 256;
+    const std::size_t k = 16;
+    std::vector<SparseGradient> results(static_cast<std::size_t>(world));
+    Cluster::run(world, NetworkModel::free(), [&](Communicator& comm) {
+        const auto local = sparse::topk_select(rank_dense(comm.rank(), m, 3), k);
+        results[static_cast<std::size_t>(comm.rank())] =
+            core::gtopk_allreduce(comm, local, k).global;
+    });
+    for (int r = 1; r < world; ++r) {
+        EXPECT_EQ(results[static_cast<std::size_t>(r)], results[0]);
+    }
+}
+
+TEST_P(AggregatorWorld, GtopkWithDisjointPositiveInputsEqualsGlobalTopk) {
+    // When worker contributions never collide or cancel, the tree fold and
+    // the true global top-k coincide — both must return the k globally
+    // largest entries.
+    const int world = GetParam();
+    const std::int64_t m = 1000;
+    const std::size_t k = 8;
+    std::vector<SparseGradient> locals;
+    for (int r = 0; r < world; ++r) {
+        SparseGradient g;
+        g.dense_size = m;
+        for (std::size_t j = 0; j < k; ++j) {
+            // Disjoint index blocks, strictly positive distinct values.
+            g.indices.push_back(static_cast<std::int32_t>(r * 50 + j));
+            g.values.push_back(1.0f + static_cast<float>(r) +
+                               static_cast<float>(j) * 0.01f);
+        }
+        locals.push_back(g);
+    }
+    const SparseGradient expect = reference_global_topk(locals, k);
+    Cluster::run(world, NetworkModel::free(), [&](Communicator& comm) {
+        const auto result = core::gtopk_allreduce(
+            comm, locals[static_cast<std::size_t>(comm.rank())], k);
+        EXPECT_EQ(result.global, expect);
+    });
+}
+
+TEST_P(AggregatorWorld, GtopkFlatTreeBroadcastGivesSameResult) {
+    const int world = GetParam();
+    const std::int64_t m = 180;
+    const std::size_t k = 9;
+    Cluster::run(world, NetworkModel::free(), [&](Communicator& comm) {
+        const auto local = sparse::topk_select(rank_dense(comm.rank(), m, 5), k);
+        core::GtopkOptions flat;
+        flat.bcast = collectives::BcastAlgo::FlatTree;
+        const auto a = core::gtopk_allreduce(comm, local, k);
+        const auto b = core::gtopk_allreduce(comm, local, k, flat);
+        EXPECT_EQ(a.global, b.global);
+    });
+}
+
+TEST(Aggregators, GtopkSingleWorkerIsLocalTopk) {
+    const std::int64_t m = 64;
+    Cluster::run(1, NetworkModel::free(), [&](Communicator& comm) {
+        const auto dense = rank_dense(0, m);
+        const auto local = sparse::topk_select(dense, 10);
+        const auto result = core::gtopk_allreduce(comm, local, 10);
+        EXPECT_EQ(result.global, local);
+    });
+}
+
+TEST(Aggregators, TopkAllreduceRejectsUnequalContributions) {
+    Cluster::run(2, NetworkModel::free(), [](Communicator& comm) {
+        SparseGradient g;
+        g.dense_size = 10;
+        // Rank 0 contributes 2 values, rank 1 contributes 1 -> must throw
+        // (on at least one rank the deserialized block is inconsistent).
+        if (comm.rank() == 0) {
+            g.indices = {1, 2};
+            g.values = {1.0f, 2.0f};
+        } else {
+            g.indices = {3};
+            g.values = {3.0f};
+        }
+        EXPECT_THROW((void)core::topk_allreduce(comm, g), std::exception);
+    });
+}
+
+TEST(Aggregators, GtopkNnzIsExactlyKWhenInputsAreRich) {
+    Cluster::run(4, NetworkModel::free(), [](Communicator& comm) {
+        const auto local = sparse::topk_select(rank_dense(comm.rank(), 400, 13), 25);
+        const auto result = core::gtopk_allreduce(comm, local, 25);
+        EXPECT_EQ(result.global.nnz(), 25u);
+        EXPECT_NO_THROW(result.global.validate());
+    });
+}
+
+}  // namespace

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "data/sampler.hpp"
+#include "data/sequence_data.hpp"
+#include "data/synthetic_images.hpp"
+
+namespace {
+
+using namespace gtopk::data;
+
+TEST(SyntheticImages, DeterministicSamples) {
+    SyntheticImageDataset ds({}, 42);
+    const std::vector<std::int64_t> idx{0, 5, 9};
+    const auto a = ds.batch_images(idx);
+    const auto b = ds.batch_images(idx);
+    EXPECT_EQ(a.x.data().size(), b.x.data().size());
+    for (std::size_t i = 0; i < a.x.data().size(); ++i) {
+        ASSERT_EQ(a.x.data()[i], b.x.data()[i]);
+    }
+    EXPECT_EQ(a.targets, b.targets);
+}
+
+TEST(SyntheticImages, DifferentSeedsProduceDifferentData) {
+    SyntheticImageDataset a({}, 1), b({}, 2);
+    const std::vector<std::int64_t> idx{0};
+    EXPECT_NE(a.batch_images(idx).x.data()[0], b.batch_images(idx).x.data()[0]);
+}
+
+TEST(SyntheticImages, ShapesMatchConfig) {
+    SyntheticImageDataset::Config cfg;
+    cfg.channels = 3;
+    cfg.image_size = 8;
+    SyntheticImageDataset ds(cfg, 7);
+    const std::vector<std::int64_t> idx{0, 1};
+    const auto img = ds.batch_images(idx);
+    EXPECT_EQ(img.x.shape(), (std::vector<std::int64_t>{2, 3, 8, 8}));
+    const auto flat = ds.batch_flat(idx);
+    EXPECT_EQ(flat.x.shape(), (std::vector<std::int64_t>{2, 192}));
+    EXPECT_EQ(img.targets, flat.targets);
+}
+
+TEST(SyntheticImages, LabelsInRangeAndBalancedEnough) {
+    SyntheticImageDataset ds({}, 3);
+    std::vector<int> counts(10, 0);
+    for (std::int64_t i = 0; i < 2000; ++i) {
+        const auto label = ds.label_of(i);
+        ASSERT_GE(label, 0);
+        ASSERT_LT(label, 10);
+        ++counts[static_cast<std::size_t>(label)];
+    }
+    for (int c : counts) EXPECT_GT(c, 100);  // expected 200 each
+}
+
+TEST(SyntheticImages, SamplesClusterAroundPrototypes) {
+    // Two samples of the same class must be closer (on average) than two
+    // samples of different classes — the dataset is actually learnable.
+    SyntheticImageDataset::Config cfg;
+    cfg.noise_std = 0.5f;
+    SyntheticImageDataset ds(cfg, 11);
+    std::vector<std::int64_t> same, diff;
+    const auto label0 = ds.label_of(0);
+    for (std::int64_t i = 1; i < 400 && (same.size() < 5 || diff.size() < 5); ++i) {
+        if (ds.label_of(i) == label0 && same.size() < 5) same.push_back(i);
+        if (ds.label_of(i) != label0 && diff.size() < 5) diff.push_back(i);
+    }
+    const auto ref = ds.batch_flat(std::vector<std::int64_t>{0});
+    auto dist = [&](std::int64_t j) {
+        const auto b = ds.batch_flat(std::vector<std::int64_t>{j});
+        double d = 0;
+        for (std::size_t i = 0; i < b.x.data().size(); ++i) {
+            const double diff_i = b.x.data()[i] - ref.x.data()[i];
+            d += diff_i * diff_i;
+        }
+        return d;
+    };
+    double same_d = 0, diff_d = 0;
+    for (auto j : same) same_d += dist(j);
+    for (auto j : diff) diff_d += dist(j);
+    EXPECT_LT(same_d / same.size(), diff_d / diff.size());
+}
+
+TEST(SequenceData, TokensInVocabAndTargetsAligned) {
+    SequenceDataset ds({.vocab = 8, .seq_len = 5}, 9);
+    const std::vector<std::int64_t> idx{0, 1, 2};
+    const auto batch = ds.batch(idx);
+    EXPECT_EQ(batch.x.shape(), (std::vector<std::int64_t>{3, 5}));
+    EXPECT_EQ(batch.targets.size(), 15u);
+    for (auto v : batch.x.data()) {
+        ASSERT_GE(v, 0.0f);
+        ASSERT_LT(v, 8.0f);
+        ASSERT_EQ(v, std::floor(v));
+    }
+    for (auto t : batch.targets) {
+        ASSERT_GE(t, 0);
+        ASSERT_LT(t, 8);
+    }
+    // x[i][t+1] must equal targets[i*T + t] (next-token prediction).
+    for (std::int64_t i = 0; i < 3; ++i) {
+        for (std::int64_t t = 0; t + 1 < 5; ++t) {
+            EXPECT_EQ(static_cast<std::int32_t>(batch.x.at2(i, t + 1)),
+                      batch.targets[static_cast<std::size_t>(i * 5 + t)]);
+        }
+    }
+}
+
+TEST(SequenceData, DeterministicAndSeedSensitive) {
+    SequenceDataset a({.vocab = 8, .seq_len = 6}, 1);
+    SequenceDataset b({.vocab = 8, .seq_len = 6}, 1);
+    SequenceDataset c({.vocab = 8, .seq_len = 6}, 2);
+    const std::vector<std::int64_t> idx{3, 4};
+    EXPECT_EQ(a.batch(idx).targets, b.batch(idx).targets);
+    EXPECT_NE(a.batch(idx).targets, c.batch(idx).targets);
+}
+
+TEST(SequenceData, PeakedChainHasLowEntropy) {
+    SequenceDataset peaked({.vocab = 16, .peakedness = 12.0}, 5);
+    SequenceDataset flat({.vocab = 16, .peakedness = 0.01}, 5);
+    EXPECT_LT(peaked.transition_entropy(), flat.transition_entropy());
+    EXPECT_NEAR(flat.transition_entropy(), std::log(16.0), 0.05);
+}
+
+TEST(Sampler, ShardsPartitionTrainSpace) {
+    ShardedSampler s(1000, 100, 4, 1);
+    EXPECT_EQ(s.shard_begin(0), 0);
+    EXPECT_EQ(s.shard_end(3), 1000);
+    for (int r = 0; r + 1 < 4; ++r) {
+        EXPECT_EQ(s.shard_end(r), s.shard_begin(r + 1));
+    }
+}
+
+TEST(Sampler, BatchesStayInOwnShard) {
+    ShardedSampler s(1000, 100, 4, 2);
+    for (int rank = 0; rank < 4; ++rank) {
+        for (std::int64_t step = 0; step < 20; ++step) {
+            for (auto idx : s.batch_indices(step, rank, 16)) {
+                EXPECT_GE(idx, s.shard_begin(rank));
+                EXPECT_LT(idx, s.shard_end(rank));
+            }
+        }
+    }
+}
+
+TEST(Sampler, DeterministicPerStepAndRank) {
+    ShardedSampler s(1000, 100, 2, 3);
+    EXPECT_EQ(s.batch_indices(5, 1, 8), s.batch_indices(5, 1, 8));
+    EXPECT_NE(s.batch_indices(5, 1, 8), s.batch_indices(6, 1, 8));
+    EXPECT_NE(s.batch_indices(5, 0, 8), s.batch_indices(5, 1, 8));
+}
+
+TEST(Sampler, TestIndicesLiveAfterTrainSpace) {
+    ShardedSampler s(1000, 50, 2, 4);
+    const auto idx = s.test_indices(64);
+    EXPECT_EQ(idx.size(), 50u);  // clamped to test_size
+    for (auto i : idx) {
+        EXPECT_GE(i, 1000);
+        EXPECT_LT(i, 1050);
+    }
+}
+
+TEST(Sampler, RejectsDegenerateConfigs) {
+    EXPECT_THROW(ShardedSampler(10, 5, 0, 1), std::invalid_argument);
+    EXPECT_THROW(ShardedSampler(2, 5, 4, 1), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,225 @@
+// Robustness: the transport abstraction under adverse conditions — message
+// reordering across tags, worker failures mid-collective, and corrupt wire
+// payloads. The simulated cluster must fail loudly, never hang or corrupt.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "collectives/collectives.hpp"
+#include "comm/cluster.hpp"
+#include "core/aggregators.hpp"
+#include "sparse/topk_select.hpp"
+#include "sparse/wire.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace gtopk;
+using namespace gtopk::collectives;
+using comm::Communicator;
+using comm::InProcTransport;
+using comm::Message;
+using comm::NetworkModel;
+using comm::Transport;
+
+/// Transport wrapper that delays delivery of every Nth message, releasing
+/// it only after the next message to the same destination — reordering
+/// traffic across tags while preserving per-(source, tag) FIFO order, the
+/// only ordering MPI (and our mailbox matching) guarantees.
+class ReorderingTransport final : public Transport {
+public:
+    explicit ReorderingTransport(int world) : inner_(world) {}
+
+    int world_size() const override { return inner_.world_size(); }
+
+    void deliver(int dst, Message msg) override {
+        std::unique_lock<std::mutex> lock(mutex_);
+        auto& held = held_[static_cast<std::size_t>(dst)];
+        ++counter_;
+        if (counter_ % 3 == 0 && !held.has_value()) {
+            held = std::move(msg);  // hold this one back
+            return;
+        }
+        std::optional<Message> first;   // must precede msg (same stream: FIFO)
+        std::optional<Message> second;  // may follow msg (cross-stream reorder)
+        if (held.has_value()) {
+            if (held->source == msg.source && held->tag == msg.tag) {
+                first = std::move(held);
+            } else {
+                second = std::move(held);
+            }
+            held.reset();
+        }
+        lock.unlock();
+        if (first) inner_.deliver(dst, std::move(*first));
+        inner_.deliver(dst, std::move(msg));
+        if (second) inner_.deliver(dst, std::move(*second));
+    }
+
+    Message receive(int rank, int source, int tag) override {
+        // Poll rather than block: a sender may HOLD a message after we have
+        // already started waiting, so the held slot must be re-checked
+        // until the matched message shows up (or the transport shuts down).
+        for (;;) {
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                auto& held = held_[static_cast<std::size_t>(rank)];
+                if (held.has_value()) {
+                    Message m = std::move(*held);
+                    held.reset();
+                    lock.unlock();
+                    inner_.deliver(rank, std::move(m));
+                }
+            }
+            if (auto msg = inner_.try_receive(rank, source, tag)) {
+                return std::move(*msg);
+            }
+            std::this_thread::sleep_for(std::chrono::microseconds(100));
+        }
+    }
+
+    void shutdown() override { inner_.shutdown(); }
+
+private:
+    InProcTransport inner_;
+    std::mutex mutex_;
+    std::uint64_t counter_ = 0;
+    std::array<std::optional<Message>, 64> held_;
+};
+
+/// Run a worker fn over an arbitrary transport (bypasses Cluster to inject).
+template <typename Fn>
+void run_on(Transport& transport, int world, Fn&& fn) {
+    std::vector<std::thread> threads;
+    std::mutex error_mutex;
+    std::exception_ptr first;
+    for (int r = 0; r < world; ++r) {
+        threads.emplace_back([&, r] {
+            Communicator comm(transport, r, NetworkModel::free());
+            try {
+                fn(comm);
+            } catch (const comm::MailboxClosed&) {
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first) first = std::current_exception();
+                transport.shutdown();
+            }
+        });
+    }
+    for (auto& t : threads) t.join();
+    if (first) std::rethrow_exception(first);
+}
+
+TEST(FaultTest, CollectivesSurviveCrossTagReordering) {
+    ReorderingTransport transport(4);
+    run_on(transport, 4, [](Communicator& comm) {
+        for (int round = 0; round < 10; ++round) {
+            std::vector<float> data(16, static_cast<float>(comm.rank() + 1));
+            allreduce_sum_ring(comm, data);
+            for (float v : data) ASSERT_FLOAT_EQ(v, 10.0f);  // 1+2+3+4
+            barrier(comm);
+        }
+    });
+}
+
+TEST(FaultTest, GtopkSurvivesCrossTagReordering) {
+    ReorderingTransport transport(8);
+    std::vector<sparse::SparseGradient> results(8);
+    run_on(transport, 8, [&](Communicator& comm) {
+        util::Xoshiro256 rng(static_cast<std::uint64_t>(comm.rank()) + 1);
+        std::vector<float> dense(256);
+        for (auto& v : dense) v = static_cast<float>(rng.next_gaussian());
+        const auto local = sparse::topk_select(dense, 10);
+        for (int round = 0; round < 5; ++round) {
+            const auto r = core::gtopk_allreduce(comm, local, 10);
+            if (round == 0) results[static_cast<std::size_t>(comm.rank())] = r.global;
+            ASSERT_EQ(r.global, results[static_cast<std::size_t>(comm.rank())]);
+        }
+    });
+    for (int r = 1; r < 8; ++r) {
+        EXPECT_EQ(results[static_cast<std::size_t>(r)], results[0]);
+    }
+}
+
+TEST(FaultTest, WorkerFailureMidCollectiveUnblocksPeers) {
+    // Rank 2 dies between the reduce and the broadcast; all other ranks are
+    // blocked in recv and must be woken by the abort, and the failure must
+    // surface to the caller.
+    EXPECT_THROW(
+        comm::Cluster::run(4, NetworkModel::free(),
+                           [](Communicator& comm) {
+                               std::vector<float> data(32, 1.0f);
+                               allreduce_sum_ring(comm, data);
+                               if (comm.rank() == 2) {
+                                   throw std::runtime_error("injected crash");
+                               }
+                               // Everyone else proceeds into a barrier that
+                               // can never complete.
+                               barrier(comm);
+                               barrier(comm);
+                           }),
+        std::runtime_error);
+}
+
+TEST(FaultTest, FirstErrorWins) {
+    try {
+        comm::Cluster::run(4, NetworkModel::free(), [](Communicator& comm) {
+            if (comm.rank() == 1) throw std::runtime_error("rank1");
+            barrier(comm);
+            barrier(comm);
+        });
+        FAIL() << "expected a throw";
+    } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "rank1");
+    }
+}
+
+TEST(FaultTest, CorruptSparsePayloadIsRejectedNotMisread) {
+    // A peer sends garbage where a serialized SparseGradient is expected;
+    // deserialize must throw rather than fabricate a gradient.
+    EXPECT_THROW(
+        comm::Cluster::run(2, NetworkModel::free(),
+                           [](Communicator& comm) {
+                               if (comm.rank() == 1) {
+                                   std::vector<std::byte> junk(24, std::byte{0xAB});
+                                   comm.send(0, 7, junk);
+                               } else {
+                                   const auto bytes = comm.recv(1, 7);
+                                   (void)sparse::deserialize(bytes);
+                               }
+                           }),
+        std::invalid_argument);
+}
+
+TEST(FaultTest, ShutdownIsIdempotent) {
+    InProcTransport transport(2);
+    transport.shutdown();
+    transport.shutdown();  // second shutdown must be harmless
+    EXPECT_THROW(transport.receive(0, 1, 1), comm::MailboxClosed);
+}
+
+TEST(FaultTest, ManyConcurrentClustersDoNotInterfere) {
+    // Cluster instances are fully isolated: run several concurrently and
+    // verify each one's allreduce result.
+    std::vector<std::thread> runners;
+    std::atomic<int> failures{0};
+    for (int c = 0; c < 4; ++c) {
+        runners.emplace_back([&, c] {
+            comm::Cluster::run(3, NetworkModel::free(), [&](Communicator& comm) {
+                std::vector<float> v(8, static_cast<float>(c + 1));
+                allreduce_sum_ring(comm, v);
+                for (float x : v) {
+                    if (x != 3.0f * static_cast<float>(c + 1)) failures.fetch_add(1);
+                }
+            });
+        });
+    }
+    for (auto& t : runners) t.join();
+    EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace

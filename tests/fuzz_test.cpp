@@ -1,0 +1,142 @@
+// Randomized robustness tests: the wire decoder must never accept corrupt
+// input silently, the mailbox must keep per-stream order under message
+// storms, and the aggregation stack must stay total over random inputs.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+
+#include "comm/cluster.hpp"
+#include "comm/mailbox.hpp"
+#include "core/aggregators.hpp"
+#include "sparse/topk_select.hpp"
+#include "sparse/wire.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace gtopk;
+using util::Xoshiro256;
+
+TEST(WireFuzz, RandomBytesNeverDecodeSilently) {
+    Xoshiro256 rng(0xF022);
+    for (int trial = 0; trial < 2000; ++trial) {
+        const std::size_t len = rng.next_below(200);
+        std::vector<std::byte> junk(len);
+        for (auto& b : junk) b = static_cast<std::byte>(rng.next_below(256));
+        try {
+            const sparse::SparseGradient g = sparse::deserialize(junk);
+            // If it decoded, it must be a fully valid canonical gradient
+            // whose re-serialization reproduces the input exactly.
+            EXPECT_NO_THROW(g.validate());
+            EXPECT_EQ(sparse::serialize(g), junk);
+        } catch (const std::invalid_argument&) {
+            // Expected for almost all inputs.
+        }
+    }
+}
+
+TEST(WireFuzz, BitFlippedValidPayloadsEitherThrowOrStayCanonical) {
+    Xoshiro256 rng(77);
+    std::vector<float> dense(500);
+    for (auto& v : dense) v = static_cast<float>(rng.next_gaussian());
+    const auto g = sparse::topk_select(dense, 40);
+    const auto valid = sparse::serialize(g);
+    for (int trial = 0; trial < 500; ++trial) {
+        auto corrupted = valid;
+        const std::size_t pos = rng.next_below(corrupted.size());
+        corrupted[pos] ^= static_cast<std::byte>(1 + rng.next_below(255));
+        try {
+            const auto decoded = sparse::deserialize(corrupted);
+            EXPECT_NO_THROW(decoded.validate());
+        } catch (const std::invalid_argument&) {
+        }
+    }
+}
+
+TEST(WireFuzz, TruncationsAlwaysThrow) {
+    Xoshiro256 rng(78);
+    std::vector<float> dense(300);
+    for (auto& v : dense) v = static_cast<float>(rng.next_gaussian());
+    const auto valid = sparse::serialize(sparse::topk_select(dense, 25));
+    for (std::size_t len = 0; len < valid.size(); ++len) {
+        const std::vector<std::byte> prefix(valid.begin(),
+                                            valid.begin() + static_cast<std::ptrdiff_t>(len));
+        EXPECT_THROW((void)sparse::deserialize(prefix), std::invalid_argument)
+            << "prefix length " << len;
+    }
+}
+
+TEST(MailboxStress, PerStreamFifoUnderConcurrentStorm) {
+    comm::Mailbox mailbox;
+    constexpr int kSenders = 4;
+    constexpr int kPerSender = 500;
+    std::vector<std::thread> senders;
+    for (int s = 0; s < kSenders; ++s) {
+        senders.emplace_back([&, s] {
+            for (int i = 0; i < kPerSender; ++i) {
+                comm::Message m;
+                m.source = s;
+                m.tag = 1;
+                m.payload.resize(sizeof(int));
+                std::memcpy(m.payload.data(), &i, sizeof(int));
+                mailbox.push(std::move(m));
+            }
+        });
+    }
+    // Consumer interleaves matched pops across sources; each source's
+    // stream must arrive in order.
+    std::vector<int> next(kSenders, 0);
+    for (int total = 0; total < kSenders * kPerSender; ++total) {
+        const comm::Message m = mailbox.pop(total % kSenders, 1);
+        int value = -1;
+        std::memcpy(&value, m.payload.data(), sizeof(int));
+        EXPECT_EQ(value, next[static_cast<std::size_t>(m.source)]++);
+    }
+    for (auto& t : senders) t.join();
+    EXPECT_EQ(mailbox.size(), 0u);
+}
+
+TEST(AggregationFuzz, RandomShapesNeverCrashAndAlwaysAgree) {
+    Xoshiro256 rng(0xABCD);
+    for (int trial = 0; trial < 15; ++trial) {
+        const int world = 1 + static_cast<int>(rng.next_below(6));
+        const std::int64_t m = 1 + static_cast<std::int64_t>(rng.next_below(400));
+        const std::size_t k =
+            1 + static_cast<std::size_t>(rng.next_below(static_cast<std::uint64_t>(m)));
+        std::vector<sparse::SparseGradient> locals;
+        for (int r = 0; r < world; ++r) {
+            Xoshiro256 wr = rng.fork(static_cast<std::uint64_t>(trial * 100 + r));
+            std::vector<float> dense(static_cast<std::size_t>(m));
+            for (auto& v : dense) {
+                // Mix of zeros, ties and normal values.
+                const auto kind = wr.next_below(4);
+                v = kind == 0 ? 0.0f
+                    : kind == 1
+                        ? 1.0f
+                        : static_cast<float>(wr.next_gaussian());
+            }
+            const std::size_t local_k =
+                1 + static_cast<std::size_t>(
+                        wr.next_below(static_cast<std::uint64_t>(m)));
+            locals.push_back(sparse::topk_select(dense, local_k));
+        }
+        std::vector<sparse::SparseGradient> results(static_cast<std::size_t>(world));
+        comm::Cluster::run(world, comm::NetworkModel::free(),
+                           [&](comm::Communicator& comm) {
+                               results[static_cast<std::size_t>(comm.rank())] =
+                                   core::gtopk_allreduce(
+                                       comm,
+                                       locals[static_cast<std::size_t>(comm.rank())], k)
+                                       .global;
+                           });
+        for (int r = 1; r < world; ++r) {
+            ASSERT_EQ(results[static_cast<std::size_t>(r)], results[0])
+                << "trial " << trial << " world " << world;
+        }
+        EXPECT_NO_THROW(results[0].validate());
+        EXPECT_LE(results[0].nnz(), k);
+    }
+}
+
+}  // namespace

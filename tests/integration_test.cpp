@@ -1,0 +1,203 @@
+// End-to-end integration: full distributed training runs combining the nn,
+// data, sparse, core and comm stacks, checked against the paper's
+// system-level claims.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "collectives/cost_model.hpp"
+#include "comm/cluster.hpp"
+#include "core/aggregators.hpp"
+#include "data/sampler.hpp"
+#include "data/sequence_data.hpp"
+#include "data/synthetic_images.hpp"
+#include "nn/model_zoo.hpp"
+#include "sparse/topk_select.hpp"
+#include "train/trainer.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace gtopk;
+using comm::NetworkModel;
+using train::Algorithm;
+using train::TrainConfig;
+
+TEST(Integration, CnnTrainsWithGtopkOnFourWorkers) {
+    // The Fig. 5 setting in miniature: a conv net, 4 workers, warmup
+    // schedule, then low density.
+    data::SyntheticImageDataset::Config dcfg;
+    dcfg.image_size = 8;
+    dcfg.noise_std = 0.5f;
+    data::SyntheticImageDataset dataset(dcfg, 7);
+    data::ShardedSampler sampler(4096, 512, 4, 5);
+
+    nn::MiniVggConfig mcfg;
+    mcfg.image_size = 8;
+    mcfg.conv_channels = 4;
+    mcfg.fc_dim = 32;
+
+    TrainConfig config;
+    config.algorithm = Algorithm::GtopkSsgd;
+    config.epochs = 8;
+    config.iters_per_epoch = 30;
+    config.lr = 0.02f;
+    config.density = 0.05;
+    config.warmup_densities = {0.25, 0.0725};
+
+    const auto result = train::train_distributed(
+        4, NetworkModel::free(), config,
+        [&](std::uint64_t seed) { return nn::make_mini_vgg(mcfg, seed); },
+        [&](std::int64_t step, int rank) {
+            return dataset.batch_images(sampler.batch_indices(step, rank, 8));
+        },
+        [&] { return dataset.batch_images(sampler.test_indices(128)); });
+
+    EXPECT_LT(result.epochs.back().train_loss, result.epochs.front().train_loss);
+    EXPECT_GT(result.epochs.back().val_accuracy, 0.25);
+}
+
+TEST(Integration, ResNetStyleModelTrainsWithGtopk) {
+    data::SyntheticImageDataset::Config dcfg;
+    dcfg.image_size = 8;
+    dcfg.noise_std = 0.5f;
+    data::SyntheticImageDataset dataset(dcfg, 8);
+    data::ShardedSampler sampler(4096, 512, 4, 6);
+
+    nn::MiniResNetConfig mcfg;
+    mcfg.image_size = 8;
+    mcfg.channels = 4;
+    mcfg.blocks = 1;
+
+    TrainConfig config;
+    config.algorithm = Algorithm::GtopkSsgd;
+    config.epochs = 4;
+    config.iters_per_epoch = 20;
+    config.lr = 0.03f;
+    config.density = 0.02;
+
+    const auto result = train::train_distributed(
+        4, NetworkModel::free(), config,
+        [&](std::uint64_t seed) { return nn::make_mini_resnet(mcfg, seed); },
+        [&](std::int64_t step, int rank) {
+            return dataset.batch_images(sampler.batch_indices(step, rank, 8));
+        },
+        [&] { return dataset.batch_images(sampler.test_indices(128)); });
+    EXPECT_LT(result.epochs.back().train_loss, result.epochs.front().train_loss);
+}
+
+TEST(Integration, LstmTrainsWithGtopkAtPaperDensity) {
+    // Fig. 7 in miniature: LSTM LM, 4 workers, rho = 0.005.
+    data::SequenceDataset ds({.vocab = 12, .seq_len = 8, .peakedness = 10.0}, 9);
+    data::ShardedSampler sampler(4096, 512, 4, 7);
+    nn::LstmConfig mcfg{.vocab = 12, .embed_dim = 8, .hidden_dim = 16};
+
+    TrainConfig config;
+    config.algorithm = Algorithm::GtopkSsgd;
+    config.epochs = 4;
+    config.iters_per_epoch = 25;
+    config.lr = 0.5f;
+    config.momentum = 0.5f;
+    config.density = 0.005;
+    config.warmup_densities = {0.25, 0.05};
+
+    const auto result = train::train_distributed(
+        4, NetworkModel::free(), config,
+        [&](std::uint64_t seed) { return nn::make_lstm_lm(mcfg, seed); },
+        [&](std::int64_t step, int rank) {
+            return ds.batch(sampler.batch_indices(step, rank, 6));
+        },
+        [&] { return ds.batch(sampler.test_indices(64)); });
+    EXPECT_LT(result.epochs.back().train_loss, result.epochs.front().train_loss - 0.1);
+}
+
+TEST(Integration, MeasuredCommTimeMatchesAnalyticModelInTraining) {
+    // During real training on the virtual 1GbE cluster, rank 0's mean
+    // per-iteration comm time for gTop-k must match Eq. 7 (+ wire/barrier
+    // overheads) to within 20%.
+    data::SyntheticImageDataset::Config dcfg;
+    dcfg.image_size = 8;
+    data::SyntheticImageDataset dataset(dcfg, 3);
+    data::ShardedSampler sampler(1024, 128, 4, 3);
+    nn::MlpConfig mcfg;
+    mcfg.input_dim = dataset.feature_dim();
+    mcfg.hidden_dims = {64};
+
+    TrainConfig config;
+    config.algorithm = Algorithm::GtopkSsgd;
+    config.epochs = 1;
+    config.iters_per_epoch = 12;
+    config.density = 0.01;
+
+    const auto net = NetworkModel::one_gbps_ethernet();
+    const auto result = train::train_distributed(
+        4, net, config,
+        [&](std::uint64_t seed) { return nn::make_mlp(mcfg, seed); },
+        [&](std::int64_t step, int rank) {
+            return dataset.batch_flat(sampler.batch_indices(step, rank, 8));
+        },
+        nullptr);
+
+    const auto model = nn::make_mlp(mcfg, config.model_seed);
+    const std::uint64_t k = static_cast<std::uint64_t>(
+        std::llround(config.density * static_cast<double>(model->num_params())));
+    const double predicted = collectives::gtopk_allreduce_time_s(net, 4, k);
+    EXPECT_NEAR(result.mean_comm_virtual_s, predicted, predicted * 0.2);
+}
+
+TEST(Integration, FullyDeterministicEndToEnd) {
+    // Bit-identical final parameters across two complete distributed runs
+    // (threads, scheduling, everything).
+    data::SyntheticImageDataset dataset({}, 77);
+    data::ShardedSampler sampler(8192, 1024, 4, 13);
+    nn::MlpConfig mcfg;
+    mcfg.input_dim = dataset.feature_dim();
+    mcfg.hidden_dims = {48, 24};
+
+    TrainConfig config;
+    config.algorithm = Algorithm::GtopkSsgd;
+    config.epochs = 2;
+    config.iters_per_epoch = 15;
+    config.density = 0.01;
+
+    auto once = [&] {
+        return train::train_distributed(
+                   4, NetworkModel::one_gbps_ethernet(), config,
+                   [&](std::uint64_t seed) { return nn::make_mlp(mcfg, seed); },
+                   [&](std::int64_t step, int rank) {
+                       return dataset.batch_flat(sampler.batch_indices(step, rank, 8));
+                   },
+                   nullptr)
+            .final_params;
+    };
+    EXPECT_EQ(once(), once());
+}
+
+TEST(Integration, NonPowerOfTwoWorldTrainsCorrectly) {
+    // The paper assumes P = 2^j; our extension must train correctly for
+    // P = 3 and 6 as well.
+    data::SyntheticImageDataset dataset({}, 21);
+    nn::MlpConfig mcfg;
+    mcfg.input_dim = dataset.feature_dim();
+    mcfg.hidden_dims = {32};
+    for (int world : {3, 6}) {
+        data::ShardedSampler sampler(8192, 1024, world, 17);
+        TrainConfig config;
+        config.algorithm = Algorithm::GtopkSsgd;
+        config.epochs = 3;
+        config.iters_per_epoch = 20;
+        config.density = 0.02;
+        config.check_invariants = true;
+        const auto result = train::train_distributed(
+            world, NetworkModel::free(), config,
+            [&](std::uint64_t seed) { return nn::make_mlp(mcfg, seed); },
+            [&](std::int64_t step, int rank) {
+                return dataset.batch_flat(sampler.batch_indices(step, rank, 8));
+            },
+            [&] { return dataset.batch_flat(sampler.test_indices(128)); });
+        EXPECT_LT(result.epochs.back().train_loss, result.epochs.front().train_loss)
+            << "world=" << world;
+    }
+}
+
+}  // namespace

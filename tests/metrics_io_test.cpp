@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "train/metrics_io.hpp"
+
+namespace {
+
+using gtopk::train::EpochMetrics;
+using gtopk::train::read_metrics_csv;
+using gtopk::train::write_metrics_csv;
+
+std::vector<EpochMetrics> sample_metrics() {
+    std::vector<EpochMetrics> epochs;
+    for (int e = 0; e < 3; ++e) {
+        EpochMetrics m;
+        m.epoch = e;
+        m.density = e == 0 ? 0.25 : 0.001;
+        m.train_loss = 2.0 / (e + 1);
+        m.val_loss = 2.1 / (e + 1);
+        m.val_accuracy = 0.3 * (e + 1);
+        epochs.push_back(m);
+    }
+    return epochs;
+}
+
+TEST(MetricsIo, RoundTripsExactly) {
+    const auto original = sample_metrics();
+    std::stringstream buffer;
+    write_metrics_csv(buffer, original);
+    const auto parsed = read_metrics_csv(buffer);
+    ASSERT_EQ(parsed.size(), original.size());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        EXPECT_EQ(parsed[i].epoch, original[i].epoch);
+        EXPECT_DOUBLE_EQ(parsed[i].density, original[i].density);
+        EXPECT_DOUBLE_EQ(parsed[i].train_loss, original[i].train_loss);
+        EXPECT_DOUBLE_EQ(parsed[i].val_loss, original[i].val_loss);
+        EXPECT_DOUBLE_EQ(parsed[i].val_accuracy, original[i].val_accuracy);
+    }
+}
+
+TEST(MetricsIo, EmptyRunRoundTrips) {
+    std::stringstream buffer;
+    write_metrics_csv(buffer, {});
+    EXPECT_TRUE(read_metrics_csv(buffer).empty());
+}
+
+TEST(MetricsIo, RejectsMissingHeader) {
+    std::stringstream buffer("1,0.5,1.0,1.0,0.5\n");
+    EXPECT_THROW(read_metrics_csv(buffer), std::invalid_argument);
+}
+
+TEST(MetricsIo, RejectsMalformedRow) {
+    std::stringstream buffer(
+        "epoch,density,train_loss,val_loss,val_accuracy\nnot,a,valid,row,at-all\n");
+    EXPECT_THROW(read_metrics_csv(buffer), std::invalid_argument);
+}
+
+TEST(MetricsIo, FileWriteFailsOnBadPath) {
+    EXPECT_THROW(
+        gtopk::train::write_metrics_csv_file("/nonexistent/dir/file.csv", {}),
+        std::runtime_error);
+}
+
+}  // namespace

@@ -1,0 +1,310 @@
+// Forward-semantics tests for the nn substrate (shapes, known values,
+// mode behavior). Gradient correctness lives in nn_gradcheck_test.cpp.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/activations.hpp"
+#include "nn/classifier_model.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dropout.hpp"
+#include "nn/linear.hpp"
+#include "nn/loss.hpp"
+#include "nn/model_zoo.hpp"
+#include "nn/pool2d.hpp"
+#include "nn/residual.hpp"
+#include "nn/sequential.hpp"
+#include "nn/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace gtopk::nn;
+using gtopk::util::Xoshiro256;
+
+TEST(TensorTest, ShapeAndNumel) {
+    Tensor t({2, 3, 4});
+    EXPECT_EQ(t.numel(), 24);
+    EXPECT_EQ(t.rank(), 3u);
+    EXPECT_EQ(t.dim(1), 3);
+    for (auto v : t.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+    Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+    Tensor r = t.reshaped({3, 2});
+    EXPECT_EQ(r.at2(2, 1), 6.0f);
+    EXPECT_THROW(t.reshaped({4, 2}), std::invalid_argument);
+}
+
+TEST(TensorTest, RejectsMismatchedData) {
+    EXPECT_THROW(Tensor({2, 2}, {1.0f}), std::invalid_argument);
+    EXPECT_THROW(Tensor({-1}), std::invalid_argument);
+}
+
+TEST(TensorTest, IndexedAccess) {
+    Tensor t({2, 2});
+    t.at2(1, 0) = 5.0f;
+    EXPECT_EQ(t[2], 5.0f);
+    Tensor u({1, 2, 2, 2});
+    u.at4(0, 1, 1, 1) = 3.0f;
+    EXPECT_EQ(u[7], 3.0f);
+}
+
+TEST(LinearTest, ComputesAffineMap) {
+    Xoshiro256 rng(1);
+    Linear lin(2, 3, rng);
+    std::vector<ParamView> params;
+    lin.collect_params(params);
+    ASSERT_EQ(params.size(), 2u);
+    // Overwrite with known weights: W = [[1,2],[3,4],[5,6]], b = [.1,.2,.3]
+    *params[0].value = {1, 2, 3, 4, 5, 6};
+    *params[1].value = {0.1f, 0.2f, 0.3f};
+    Tensor x({1, 2}, {10, 20});
+    Tensor y = lin.forward(x, false);
+    EXPECT_FLOAT_EQ(y.at2(0, 0), 50.1f);
+    EXPECT_FLOAT_EQ(y.at2(0, 1), 110.2f);
+    EXPECT_FLOAT_EQ(y.at2(0, 2), 170.3f);
+}
+
+TEST(LinearTest, RejectsWrongInputShape) {
+    Xoshiro256 rng(1);
+    Linear lin(4, 2, rng);
+    Tensor bad({1, 3});
+    EXPECT_THROW(lin.forward(bad, false), std::invalid_argument);
+}
+
+TEST(ActivationTest, ReluClampsNegatives) {
+    ReLU relu;
+    Tensor x({1, 4}, {-1, 0, 2, -3});
+    Tensor y = relu.forward(x, true);
+    EXPECT_EQ(y.data()[0], 0.0f);
+    EXPECT_EQ(y.data()[2], 2.0f);
+    Tensor dy({1, 4}, {1, 1, 1, 1});
+    Tensor dx = relu.backward(dy);
+    EXPECT_EQ(dx.data()[0], 0.0f);  // gradient blocked where x <= 0
+    EXPECT_EQ(dx.data()[2], 1.0f);
+}
+
+TEST(ActivationTest, TanhAndSigmoidValues) {
+    Tanh tanh_layer;
+    Sigmoid sig;
+    Tensor x({1, 1}, {0.5f});
+    EXPECT_NEAR(tanh_layer.forward(x, false).data()[0], std::tanh(0.5f), 1e-6f);
+    EXPECT_NEAR(sig.forward(x, false).data()[0], 1.0f / (1.0f + std::exp(-0.5f)),
+                1e-6f);
+}
+
+TEST(FlattenTest, CollapsesTrailingDims) {
+    Flatten f;
+    Tensor x({2, 3, 4, 4});
+    Tensor y = f.forward(x, true);
+    EXPECT_EQ(y.shape(), (std::vector<std::int64_t>{2, 48}));
+    Tensor dy({2, 48});
+    EXPECT_EQ(f.backward(dy).shape(), x.shape());
+}
+
+TEST(Conv2dTest, IdentityKernelPreservesInput) {
+    Xoshiro256 rng(2);
+    Conv2d conv(1, 1, 3, 1, 1, rng);
+    std::vector<ParamView> params;
+    conv.collect_params(params);
+    // 3x3 kernel with 1 at center: identity under padding=1.
+    *params[0].value = {0, 0, 0, 0, 1, 0, 0, 0, 0};
+    *params[1].value = {0};
+    Tensor x({1, 1, 4, 4});
+    for (std::int64_t i = 0; i < 16; ++i) x[static_cast<std::size_t>(i)] = static_cast<float>(i);
+    Tensor y = conv.forward(x, false);
+    EXPECT_EQ(y.shape(), x.shape());
+    for (std::size_t i = 0; i < 16; ++i) EXPECT_FLOAT_EQ(y[i], x[i]);
+}
+
+TEST(Conv2dTest, KnownSmallConvolution) {
+    Xoshiro256 rng(2);
+    Conv2d conv(1, 1, 2, 1, 0, rng);
+    std::vector<ParamView> params;
+    conv.collect_params(params);
+    *params[0].value = {1, 2, 3, 4};
+    *params[1].value = {0.5f};
+    Tensor x({1, 1, 2, 2}, {1, 2, 3, 4});
+    Tensor y = conv.forward(x, false);
+    EXPECT_EQ(y.shape(), (std::vector<std::int64_t>{1, 1, 1, 1}));
+    EXPECT_FLOAT_EQ(y[0], 1 * 1 + 2 * 2 + 3 * 3 + 4 * 4 + 0.5f);
+}
+
+TEST(Conv2dTest, StrideShrinksOutput) {
+    Xoshiro256 rng(2);
+    Conv2d conv(3, 5, 3, 2, 1, rng);
+    Tensor x({2, 3, 8, 8});
+    Tensor y = conv.forward(x, false);
+    EXPECT_EQ(y.shape(), (std::vector<std::int64_t>{2, 5, 4, 4}));
+}
+
+TEST(MaxPoolTest, PicksWindowMaxAndRoutesGradient) {
+    MaxPool2d pool(2);
+    Tensor x({1, 1, 2, 2}, {1, 5, 3, 2});
+    Tensor y = pool.forward(x, true);
+    EXPECT_EQ(y.numel(), 1);
+    EXPECT_FLOAT_EQ(y[0], 5.0f);
+    Tensor dy({1, 1, 1, 1}, {10.0f});
+    Tensor dx = pool.backward(dy);
+    EXPECT_FLOAT_EQ(dx[1], 10.0f);  // only the argmax receives gradient
+    EXPECT_FLOAT_EQ(dx[0], 0.0f);
+}
+
+TEST(MaxPoolTest, RejectsIndivisibleDims) {
+    MaxPool2d pool(2);
+    Tensor x({1, 1, 3, 3});
+    EXPECT_THROW(pool.forward(x, false), std::invalid_argument);
+}
+
+TEST(DropoutTest, EvalModeIsIdentity) {
+    Dropout drop(0.5f, 1);
+    Tensor x({1, 100});
+    x.fill(1.0f);
+    Tensor y = drop.forward(x, false);
+    for (auto v : y.data()) EXPECT_EQ(v, 1.0f);
+}
+
+TEST(DropoutTest, TrainModeZeroesAndRescales) {
+    Dropout drop(0.5f, 1);
+    Tensor x({1, 10000});
+    x.fill(1.0f);
+    Tensor y = drop.forward(x, true);
+    int zeros = 0;
+    double sum = 0;
+    for (auto v : y.data()) {
+        if (v == 0.0f) {
+            ++zeros;
+        } else {
+            EXPECT_FLOAT_EQ(v, 2.0f);  // 1/(1-p)
+        }
+        sum += v;
+    }
+    EXPECT_NEAR(zeros / 10000.0, 0.5, 0.03);
+    EXPECT_NEAR(sum / 10000.0, 1.0, 0.06);  // inverted dropout preserves mean
+}
+
+TEST(ResidualTest, AddsSkipConnection) {
+    auto body = std::make_unique<Sequential>();
+    // Empty body: y = x + x.
+    ResidualBlock block(std::move(body));
+    Tensor x({1, 3}, {1, 2, 3});
+    Tensor y = block.forward(x, true);
+    EXPECT_FLOAT_EQ(y.data()[1], 4.0f);
+    Tensor dy({1, 3}, {1, 1, 1});
+    Tensor dx = block.backward(dy);
+    EXPECT_FLOAT_EQ(dx.data()[0], 2.0f);
+}
+
+TEST(LossTest, SoftmaxCrossEntropyKnownValue) {
+    // Uniform logits over C classes -> loss = log(C).
+    Tensor logits({2, 4});
+    std::vector<std::int32_t> labels{0, 3};
+    const LossResult lr = softmax_cross_entropy(logits, labels);
+    EXPECT_NEAR(lr.loss, std::log(4.0f), 1e-5f);
+    // Gradient: (p - onehot)/N with p = 1/4.
+    EXPECT_NEAR(lr.dlogits.at2(0, 0), (0.25f - 1.0f) / 2.0f, 1e-6f);
+    EXPECT_NEAR(lr.dlogits.at2(0, 1), 0.25f / 2.0f, 1e-6f);
+}
+
+TEST(LossTest, GradientRowsSumToZero) {
+    Tensor logits({3, 5}, {1, 2, 3, 4, 5, -1, 0, 1, 0, -1, 2, 2, 2, 2, 2});
+    std::vector<std::int32_t> labels{2, 0, 4};
+    const LossResult lr = softmax_cross_entropy(logits, labels);
+    for (std::int64_t i = 0; i < 3; ++i) {
+        float row_sum = 0;
+        for (std::int64_t j = 0; j < 5; ++j) row_sum += lr.dlogits.at2(i, j);
+        EXPECT_NEAR(row_sum, 0.0f, 1e-6f);
+    }
+}
+
+TEST(LossTest, RejectsBadLabels) {
+    Tensor logits({1, 3});
+    std::vector<std::int32_t> labels{5};
+    EXPECT_THROW(softmax_cross_entropy(logits, labels), std::invalid_argument);
+}
+
+TEST(LossTest, MseKnownValue) {
+    Tensor out({1, 2}, {1.0f, 3.0f});
+    Tensor target({1, 2}, {0.0f, 0.0f});
+    const LossResult lr = mse_loss(out, target);
+    EXPECT_FLOAT_EQ(lr.loss, 5.0f);
+    EXPECT_FLOAT_EQ(lr.dlogits.data()[1], 3.0f);  // 2*d/n = 2*3/2
+}
+
+TEST(LossTest, AccuracyCountsArgmax) {
+    Tensor logits({2, 3}, {0, 5, 0, 1, 0, 0});
+    std::vector<std::int32_t> labels{1, 2};
+    EXPECT_DOUBLE_EQ(accuracy(logits, labels), 0.5);
+}
+
+TEST(ModelZoo, MiniVggDropoutVariantTrains) {
+    MiniVggConfig cfg;
+    cfg.image_size = 8;
+    cfg.conv_channels = 3;
+    cfg.fc_dim = 32;
+    cfg.dropout = 0.3f;
+    auto model = make_mini_vgg(cfg, 5);
+    // Dropout layers carry no parameters.
+    EXPECT_EQ(model->num_params(), make_mini_vgg([&] {
+                                       auto c = cfg;
+                                       c.dropout = 0.0f;
+                                       return c;
+                                   }(),
+                                                 5)
+                                       ->num_params());
+    Batch batch;
+    batch.x = Tensor({2, 3, 8, 8});
+    batch.x.fill(0.3f);
+    batch.targets = {1, 4};
+    const double first = model->train_step_gradients(batch);
+    EXPECT_TRUE(std::isfinite(first));
+    // Eval mode is deterministic (no masks): two eval losses agree.
+    EXPECT_EQ(model->eval_loss(batch), model->eval_loss(batch));
+}
+
+TEST(ModelZoo, FactoriesAreDeterministic) {
+    const auto a = make_mini_vgg({}, 7);
+    const auto b = make_mini_vgg({}, 7);
+    const auto c = make_mini_vgg({}, 8);
+    EXPECT_EQ(a->flat_params(), b->flat_params());
+    EXPECT_NE(a->flat_params(), c->flat_params());
+}
+
+TEST(ModelZoo, ParamCountsArePositiveAndStable) {
+    EXPECT_GT(make_mlp({}, 1)->num_params(), 0u);
+    EXPECT_GT(make_mini_vgg({}, 1)->num_params(), 0u);
+    EXPECT_GT(make_mini_resnet({}, 1)->num_params(), 0u);
+    EXPECT_GT(make_lstm_lm({}, 1)->num_params(), 0u);
+    // Same config -> same structure.
+    EXPECT_EQ(make_mini_resnet({}, 1)->num_params(), make_mini_resnet({}, 2)->num_params());
+}
+
+TEST(ModelInterface, FlatRoundTrip) {
+    auto model = make_mlp({8, {4}, 3}, 3);
+    auto w = model->flat_params();
+    ASSERT_EQ(w.size(), model->num_params());
+    for (auto& x : w) x += 1.0f;
+    model->set_flat_params(w);
+    EXPECT_EQ(model->flat_params(), w);
+    std::vector<float> delta(w.size(), 0.5f);
+    model->add_flat_delta(delta);
+    EXPECT_FLOAT_EQ(model->flat_params()[0], w[0] + 0.5f);
+}
+
+TEST(ModelInterface, TrainStepFillsGradients) {
+    auto model = make_mlp({8, {4}, 3}, 3);
+    Batch batch;
+    batch.x = Tensor({2, 8});
+    batch.x.fill(0.1f);
+    batch.targets = {0, 2};
+    const float loss = model->train_step_gradients(batch);
+    EXPECT_GT(loss, 0.0f);
+    const auto grads = model->flat_grads();
+    double norm = 0;
+    for (float g : grads) norm += std::abs(g);
+    EXPECT_GT(norm, 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,210 @@
+// The analytical iteration model: exact formula checks (Table I), the
+// paper's qualitative claims (who wins where), and calibration — predicted
+// Table IV throughput must land near the paper's measurements.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "collectives/cost_model.hpp"
+#include "perfmodel/iteration_model.hpp"
+#include "perfmodel/model_profile.hpp"
+#include "perfmodel/stack_model.hpp"
+
+namespace {
+
+using namespace gtopk;
+using namespace gtopk::perfmodel;
+using gtopk::comm::NetworkModel;
+
+const NetworkModel kNet = NetworkModel::one_gbps_ethernet();
+
+TEST(CostModel, DenseAllreduceMatchesEq5) {
+    // 2(P-1) alpha + 2 (P-1)/P m beta, literally.
+    const double t = collectives::dense_allreduce_time_s(kNet, 32, 25'000'000);
+    const double expect = 2.0 * 31 * 0.436e-3 + 2.0 * 31.0 / 32.0 * 25e6 * 3.6e-8;
+    EXPECT_NEAR(t, expect, 1e-12);
+    EXPECT_EQ(collectives::dense_allreduce_time_s(kNet, 1, 1000), 0.0);
+}
+
+TEST(CostModel, TopkAllreduceMatchesEq6) {
+    const double t = collectives::topk_allreduce_time_s(kNet, 32, 25'000);
+    const double expect = 5 * 0.436e-3 + 2.0 * 31 * 25e3 * 3.6e-8;
+    EXPECT_NEAR(t, expect, 1e-12);
+}
+
+TEST(CostModel, GtopkAllreduceMatchesEq7) {
+    const double t = collectives::gtopk_allreduce_time_s(kNet, 32, 25'000);
+    const double expect = 2.0 * 5 * 0.436e-3 + 4.0 * 25e3 * 5 * 3.6e-8;
+    EXPECT_NEAR(t, expect, 1e-12);
+}
+
+TEST(CostModel, ComplexityScaling) {
+    // O(kP) vs O(k logP): doubling P roughly doubles Top-k cost but adds
+    // only one round to gTop-k.
+    const std::uint64_t k = 25'000;
+    const double topk64 = collectives::topk_allreduce_time_s(kNet, 64, k);
+    const double topk128 = collectives::topk_allreduce_time_s(kNet, 128, k);
+    EXPECT_NEAR(topk128 / topk64, 2.0, 0.05);
+    const double g64 = collectives::gtopk_allreduce_time_s(kNet, 64, k);
+    const double g128 = collectives::gtopk_allreduce_time_s(kNet, 128, k);
+    EXPECT_NEAR(g128 / g64, 7.0 / 6.0, 0.01);
+}
+
+TEST(CostModel, PaperFig9LeftCrossover) {
+    // Fig. 9 left: at m = 25e6, rho = 1e-3, TopK is competitive at small P
+    // but gTopK wins clearly from P = 16 on.
+    const std::uint64_t k = 25'000;
+    EXPECT_LT(collectives::topk_allreduce_time_s(kNet, 4, k),
+              collectives::gtopk_allreduce_time_s(kNet, 4, k));
+    for (int p : {16, 32, 64, 128}) {
+        EXPECT_GT(collectives::topk_allreduce_time_s(kNet, p, k),
+                  collectives::gtopk_allreduce_time_s(kNet, p, k))
+            << "P=" << p;
+    }
+}
+
+TEST(CostModel, PaperTable1Ordering) {
+    // At the paper's operating point (P = 32, m = 25e6, rho = 1e-3):
+    // dense >> topk > gtopk.
+    const std::uint64_t m = 25'000'000, k = 25'000;
+    const double dense = collectives::dense_allreduce_time_s(kNet, 32, m);
+    const double topk = collectives::topk_allreduce_time_s(kNet, 32, k);
+    const double gtopk = collectives::gtopk_allreduce_time_s(kNet, 32, k);
+    EXPECT_GT(dense, 10.0 * topk);
+    EXPECT_GT(topk, 2.0 * gtopk);
+}
+
+TEST(IterationModel, BreakdownSumsToTotal) {
+    const StackModel stack = StackModel::calibrated();
+    for (const auto& model : table4_models()) {
+        for (auto algo : {Algo::Dense, Algo::Topk, Algo::Gtopk}) {
+            const Breakdown b =
+                iteration_breakdown(model, algo, 32, model.default_density, stack);
+            EXPECT_NEAR(b.total_s(),
+                        iteration_time_s(model, algo, 32, model.default_density, stack),
+                        1e-12);
+            EXPECT_GT(b.compute_s, 0.0);
+            EXPECT_GE(b.compress_s, 0.0);
+            EXPECT_GT(b.comm_s, 0.0);
+        }
+    }
+}
+
+TEST(IterationModel, DenseHasNoCompressPhase) {
+    const StackModel stack = StackModel::calibrated();
+    const Breakdown b = iteration_breakdown(vgg16_profile(), Algo::Dense, 32, 1e-3, stack);
+    EXPECT_EQ(b.compress_s, 0.0);
+}
+
+TEST(IterationModel, EfficiencyInUnitInterval) {
+    for (const StackModel& stack : {StackModel::ideal(), StackModel::calibrated()}) {
+        for (const auto& model : table4_models()) {
+            for (auto algo : {Algo::Dense, Algo::Topk, Algo::Gtopk}) {
+                for (int p : {4, 8, 16, 32}) {
+                    const double e =
+                        scaling_efficiency(model, algo, p, model.default_density, stack);
+                    EXPECT_GT(e, 0.0);
+                    EXPECT_LE(e, 1.0);
+                }
+            }
+        }
+    }
+}
+
+TEST(IterationModel, Fig10Shape) {
+    // The paper's Fig. 10 shape on every model at P = 32:
+    // e(gTop-k) > e(Top-k) > e(Dense).
+    const StackModel stack = StackModel::calibrated();
+    for (const auto& model : table4_models()) {
+        const double ed = scaling_efficiency(model, Algo::Dense, 32, 1e-3, stack);
+        const double et = scaling_efficiency(model, Algo::Topk, 32, 1e-3, stack);
+        const double eg = scaling_efficiency(model, Algo::Gtopk, 32, 1e-3, stack);
+        EXPECT_GT(eg, et) << model.name;
+        EXPECT_GT(et, ed) << model.name;
+    }
+}
+
+TEST(IterationModel, Fig10GtopkDegradesSlowerThanTopk) {
+    // Scaling from 4 to 32 workers, Top-k's efficiency must fall by a
+    // larger factor than gTop-k's (the paper's "Top-k has an obvious
+    // performance decrease when scaling to 32 GPUs").
+    const StackModel stack = StackModel::calibrated();
+    for (const auto& model : table4_models()) {
+        const double t4 = scaling_efficiency(model, Algo::Topk, 4, 1e-3, stack);
+        const double t32 = scaling_efficiency(model, Algo::Topk, 32, 1e-3, stack);
+        const double g4 = scaling_efficiency(model, Algo::Gtopk, 4, 1e-3, stack);
+        const double g32 = scaling_efficiency(model, Algo::Gtopk, 32, 1e-3, stack);
+        EXPECT_GT(t4 / t32, g4 / g32) << model.name;
+    }
+}
+
+TEST(IterationModel, Table4CalibrationWithinBand) {
+    // Predicted 32-worker throughput must land within 2x of every paper
+    // measurement, and the headline speedups must reproduce: g/d in the
+    // paper is 2.7-12.8x, g/t is 1.1-1.7x.
+    const StackModel stack = StackModel::calibrated();
+    const auto paper = paper_table4();
+    const auto models = table4_models();
+    ASSERT_EQ(paper.size(), models.size());
+    for (std::size_t i = 0; i < models.size(); ++i) {
+        const auto& m = models[i];
+        const double dense = throughput_sps(m, Algo::Dense, 32, 1e-3, stack);
+        const double topk = throughput_sps(m, Algo::Topk, 32, 1e-3, stack);
+        const double gtopk = throughput_sps(m, Algo::Gtopk, 32, 1e-3, stack);
+        EXPECT_GT(dense, paper[i].dense / 2.0) << m.name;
+        EXPECT_LT(dense, paper[i].dense * 2.0) << m.name;
+        EXPECT_GT(topk, paper[i].topk / 2.0) << m.name;
+        EXPECT_LT(topk, paper[i].topk * 2.0) << m.name;
+        EXPECT_GT(gtopk, paper[i].gtopk / 2.0) << m.name;
+        EXPECT_LT(gtopk, paper[i].gtopk * 2.0) << m.name;
+
+        const double gd = gtopk / dense;
+        const double gt = gtopk / topk;
+        EXPECT_GT(gd, 1.8) << m.name;   // paper: 2.7-12.8
+        EXPECT_LT(gd, 20.0) << m.name;
+        EXPECT_GT(gt, 1.0) << m.name;   // paper: 1.1-1.7
+        EXPECT_LT(gt, 2.5) << m.name;
+    }
+}
+
+TEST(IterationModel, Fig11BreakdownShape) {
+    // VGG-16/AlexNet (FC-heavy): comm + compress dominate compute.
+    // ResNet-20/50: compute dominates (low communication-to-computation
+    // ratio -> up to 80% efficiency on 1GbE).
+    const StackModel stack = StackModel::calibrated();
+    for (const auto& model : {vgg16_profile(), alexnet_profile()}) {
+        const Breakdown b = iteration_breakdown(model, Algo::Gtopk, 32, 1e-3, stack);
+        EXPECT_GT(b.compress_s + b.comm_s, b.compute_s) << model.name;
+    }
+    for (const auto& model : {resnet20_profile(), resnet50_profile()}) {
+        const Breakdown b = iteration_breakdown(model, Algo::Gtopk, 32,
+                                                model.default_density, stack);
+        EXPECT_GT(b.compute_s, b.compress_s + b.comm_s) << model.name;
+    }
+}
+
+TEST(IterationModel, DensityMonotonicity) {
+    // Lower density -> cheaper sparse communication, monotonically.
+    const StackModel stack = StackModel::ideal();
+    const auto model = resnet50_profile();
+    double prev = 1e9;
+    for (double rho : {1e-2, 1e-3, 5e-4, 1e-4}) {
+        const double t = comm_time_s(model, Algo::Gtopk, 32, rho, stack);
+        EXPECT_LT(t, prev);
+        prev = t;
+    }
+}
+
+TEST(Profiles, MatchPaperTableIII) {
+    EXPECT_EQ(vgg16_profile().batch, 128);
+    EXPECT_EQ(resnet20_profile().batch, 128);
+    EXPECT_EQ(alexnet_profile().batch, 64);
+    EXPECT_EQ(resnet50_profile().batch, 256);
+    EXPECT_EQ(lstm_ptb_profile().batch, 100);
+    EXPECT_DOUBLE_EQ(lstm_ptb_profile().default_density, 5e-3);
+    // Parameter sizes in the right ballpark (ResNet-50 ~ 25.6M, the m used
+    // in the paper's Fig. 9).
+    EXPECT_NEAR(static_cast<double>(resnet50_profile().params), 25.6e6, 1e6);
+}
+
+}  // namespace

@@ -1,0 +1,171 @@
+// Parameter-Server trainer tests: convergence, exact equivalence with the
+// decentralized naive gTop-k (same math, different topology), and the
+// PS-vs-AllReduce communication cost ordering.
+#include <gtest/gtest.h>
+
+#include "collectives/cost_model.hpp"
+#include "data/sampler.hpp"
+#include "data/synthetic_images.hpp"
+#include "nn/model_zoo.hpp"
+#include "ps/ps_cost_model.hpp"
+#include "ps/ps_trainer.hpp"
+#include "train/trainer.hpp"
+
+namespace {
+
+using namespace gtopk;
+using comm::NetworkModel;
+
+struct PsHarness {
+    data::SyntheticImageDataset dataset;
+    data::ShardedSampler sampler;
+    nn::MlpConfig mlp;
+
+    explicit PsHarness(int workers)
+        : dataset(
+              []() {
+                  data::SyntheticImageDataset::Config cfg;
+                  cfg.image_size = 8;
+                  cfg.noise_std = 0.6f;
+                  return cfg;
+              }(),
+              1234),
+          sampler(8192, 1024, workers, 99) {
+        mlp.input_dim = dataset.feature_dim();
+        mlp.hidden_dims = {32, 16};
+    }
+
+    train::ModelFactory factory() const {
+        return [cfg = mlp](std::uint64_t seed) { return nn::make_mlp(cfg, seed); };
+    }
+    train::TrainBatchProvider batches() const {
+        return [this](std::int64_t step, int rank) {
+            return dataset.batch_flat(sampler.batch_indices(step, rank, 16));
+        };
+    }
+    train::EvalBatchProvider eval() const {
+        return [this] { return dataset.batch_flat(sampler.test_indices(256)); };
+    }
+};
+
+class PsAggregationSweep : public ::testing::TestWithParam<ps::PsAggregation> {};
+INSTANTIATE_TEST_SUITE_P(Both, PsAggregationSweep,
+                         ::testing::Values(ps::PsAggregation::Dense,
+                                           ps::PsAggregation::Gtopk));
+
+TEST_P(PsAggregationSweep, ConvergesOnSyntheticTask) {
+    PsHarness h(4);
+    ps::PsTrainConfig config;
+    config.aggregation = GetParam();
+    config.epochs = 5;
+    config.iters_per_epoch = 30;
+    config.lr = 0.05f;
+    config.density = 0.02;
+    const auto result = ps::train_parameter_server(4, NetworkModel::free(), config,
+                                                   h.factory(), h.batches(), h.eval());
+    ASSERT_EQ(result.epochs.size(), 5u);
+    EXPECT_LT(result.epochs.back().train_loss, result.epochs.front().train_loss);
+    EXPECT_GT(result.epochs.back().val_accuracy, 0.3);
+}
+
+TEST(PsTrainer, GtopkMatchesDecentralizedNaiveGtopkBitForBit) {
+    // Same global selection math, different topology -> identical final
+    // parameters for identical seeds/batches.
+    PsHarness h(4);
+    ps::PsTrainConfig ps_config;
+    ps_config.aggregation = ps::PsAggregation::Gtopk;
+    ps_config.epochs = 3;
+    ps_config.iters_per_epoch = 12;
+    ps_config.lr = 0.05f;
+    ps_config.density = 0.02;
+
+    train::TrainConfig ar_config;
+    ar_config.algorithm = train::Algorithm::NaiveGtopkSsgd;
+    ar_config.epochs = ps_config.epochs;
+    ar_config.iters_per_epoch = ps_config.iters_per_epoch;
+    ar_config.lr = ps_config.lr;
+    ar_config.momentum = ps_config.momentum;
+    ar_config.density = ps_config.density;
+
+    const auto ps_run = ps::train_parameter_server(
+        4, NetworkModel::free(), ps_config, h.factory(), h.batches(), nullptr);
+    const auto ar_run = train::train_distributed(
+        4, NetworkModel::free(), ar_config, h.factory(), h.batches(), nullptr);
+    ASSERT_EQ(ps_run.final_params.size(), ar_run.final_params.size());
+    EXPECT_EQ(ps_run.final_params, ar_run.final_params);
+}
+
+TEST(PsTrainer, DeterministicAcrossRuns) {
+    PsHarness h(3);
+    ps::PsTrainConfig config;
+    config.epochs = 2;
+    config.iters_per_epoch = 8;
+    config.density = 0.05;
+    auto once = [&] {
+        return ps::train_parameter_server(3, NetworkModel::free(), config, h.factory(),
+                                          h.batches(), nullptr)
+            .final_params;
+    };
+    EXPECT_EQ(once(), once());
+}
+
+TEST(PsTrainer, WarmupScheduleApplied) {
+    PsHarness h(2);
+    ps::PsTrainConfig config;
+    config.epochs = 3;
+    config.iters_per_epoch = 4;
+    config.density = 0.01;
+    config.warmup_densities = {0.25, 0.05};
+    const auto result = ps::train_parameter_server(2, NetworkModel::free(), config,
+                                                   h.factory(), h.batches(), nullptr);
+    ASSERT_EQ(result.epochs.size(), 3u);
+    EXPECT_DOUBLE_EQ(result.epochs[0].density, 0.25);
+    EXPECT_DOUBLE_EQ(result.epochs[1].density, 0.05);
+    EXPECT_DOUBLE_EQ(result.epochs[2].density, 0.01);
+}
+
+TEST(PsTrainer, RejectsZeroWorkers) {
+    PsHarness h(2);
+    ps::PsTrainConfig config;
+    EXPECT_THROW(ps::train_parameter_server(0, NetworkModel::free(), config,
+                                            h.factory(), h.batches(), nullptr),
+                 std::invalid_argument);
+}
+
+TEST(PsCostModel, LinearInWorkers) {
+    const auto net = NetworkModel::one_gbps_ethernet();
+    const double t8 = ps::ps_gtopk_time_s(net, 8, 25'000);
+    const double t16 = ps::ps_gtopk_time_s(net, 16, 25'000);
+    EXPECT_NEAR(t16 / t8, 17.0 / 9.0, 1e-9);
+}
+
+TEST(PsCostModel, TreeBeatsStarAtScale) {
+    // The decentralized O(k logP) tree must beat the O(kP) PS star for
+    // large P — the quantified version of the paper's footnote 2.
+    const auto net = NetworkModel::one_gbps_ethernet();
+    for (int p : {8, 16, 32, 64}) {
+        EXPECT_GT(ps::ps_gtopk_time_s(net, p, 25'000),
+                  gtopk::collectives::gtopk_allreduce_time_s(net, p, 25'000))
+            << "P=" << p;
+    }
+}
+
+TEST(PsTrainer, VirtualCommTimeReflectsStarTopology) {
+    // Measured virtual comm per iteration grows with worker count in the
+    // PS topology (server replies serialize).
+    PsHarness h4(4);
+    PsHarness h8(8);
+    ps::PsTrainConfig config;
+    config.epochs = 1;
+    config.iters_per_epoch = 6;
+    config.density = 0.05;
+    const auto r4 = ps::train_parameter_server(
+        4, NetworkModel::one_gbps_ethernet(), config, h4.factory(), h4.batches(),
+        nullptr);
+    const auto r8 = ps::train_parameter_server(
+        8, NetworkModel::one_gbps_ethernet(), config, h8.factory(), h8.batches(),
+        nullptr);
+    EXPECT_GT(r8.mean_comm_virtual_s, r4.mean_comm_virtual_s);
+}
+
+}  // namespace

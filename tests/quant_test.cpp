@@ -1,0 +1,161 @@
+// Quantizer tests: exactness bounds per scheme, determinism, packing edge
+// cases, and the combined sparsification+quantization training path
+// (paper Sec. VI) with error feedback.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/sampler.hpp"
+#include "data/synthetic_images.hpp"
+#include "nn/model_zoo.hpp"
+#include "quant/quantizer.hpp"
+#include "train/trainer.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace gtopk;
+using quant::dequantize;
+using quant::quantize;
+using quant::quantize_dequantize;
+using quant::Scheme;
+
+std::vector<float> random_values(std::size_t n, std::uint64_t seed) {
+    util::Xoshiro256 rng(seed);
+    std::vector<float> v(n);
+    for (auto& x : v) x = static_cast<float>(rng.next_gaussian());
+    return v;
+}
+
+class SchemeSweep : public ::testing::TestWithParam<Scheme> {};
+INSTANTIATE_TEST_SUITE_P(All, SchemeSweep,
+                         ::testing::Values(Scheme::None, Scheme::Uint8MinMax,
+                                           Scheme::Uint4MinMax, Scheme::Ternary,
+                                           Scheme::OneBit));
+
+TEST_P(SchemeSweep, RoundTripPreservesCountAndIsDeterministic) {
+    const auto values = random_values(257, 3);  // odd size exercises packing
+    const auto a = quantize_dequantize(values, GetParam());
+    const auto b = quantize_dequantize(values, GetParam());
+    ASSERT_EQ(a.size(), values.size());
+    EXPECT_EQ(a, b);
+}
+
+TEST_P(SchemeSweep, EmptyInputYieldsEmptyOutput) {
+    EXPECT_TRUE(quantize_dequantize({}, GetParam()).empty());
+}
+
+TEST_P(SchemeSweep, ErrorBoundedByScheme) {
+    const auto values = random_values(1000, 7);
+    float max_abs = 0.0f;
+    float min_v = values[0], max_v = values[0];
+    for (float v : values) {
+        max_abs = std::max(max_abs, std::abs(v));
+        min_v = std::min(min_v, v);
+        max_v = std::max(max_v, v);
+    }
+    const auto lossy = quantize_dequantize(values, GetParam());
+    double bound = 0.0;
+    switch (GetParam()) {
+        case Scheme::None: bound = 0.0; break;
+        case Scheme::Uint8MinMax: bound = (max_v - min_v) / 255.0 * 0.51; break;
+        case Scheme::Uint4MinMax: bound = (max_v - min_v) / 15.0 * 0.51; break;
+        case Scheme::Ternary: bound = max_abs * 0.51; break;
+        case Scheme::OneBit: bound = 2.0 * max_abs; break;  // coarse
+    }
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        EXPECT_LE(std::abs(values[i] - lossy[i]), bound + 1e-6)
+            << "i=" << i << " scheme=" << quant::scheme_name(GetParam());
+    }
+}
+
+TEST(QuantTest, NoneIsExact) {
+    const auto values = random_values(64, 9);
+    EXPECT_EQ(quantize_dequantize(values, Scheme::None), values);
+}
+
+TEST(QuantTest, Uint8EndpointsExact) {
+    const std::vector<float> values{-3.0f, 0.0f, 5.0f};
+    const auto lossy = quantize_dequantize(values, Scheme::Uint8MinMax);
+    EXPECT_FLOAT_EQ(lossy.front(), -3.0f);  // min maps to code 0 exactly
+    EXPECT_FLOAT_EQ(lossy.back(), 5.0f);    // max maps to top code exactly
+}
+
+TEST(QuantTest, ConstantVectorSurvivesMinMax) {
+    const std::vector<float> values(10, 1.5f);
+    const auto lossy = quantize_dequantize(values, Scheme::Uint8MinMax);
+    for (float v : lossy) EXPECT_FLOAT_EQ(v, 1.5f);
+}
+
+TEST(QuantTest, TernaryKeepsLargeMagnitudesAndSigns) {
+    const std::vector<float> values{2.0f, -2.0f, 0.1f};
+    const auto lossy = quantize_dequantize(values, Scheme::Ternary);
+    EXPECT_FLOAT_EQ(lossy[0], 2.0f);
+    EXPECT_FLOAT_EQ(lossy[1], -2.0f);
+    EXPECT_FLOAT_EQ(lossy[2], 0.0f);
+}
+
+TEST(QuantTest, OneBitPreservesSignAndMeanMagnitude) {
+    const std::vector<float> values{1.0f, -3.0f, 2.0f};
+    const auto lossy = quantize_dequantize(values, Scheme::OneBit);
+    EXPECT_GT(lossy[0], 0.0f);
+    EXPECT_LT(lossy[1], 0.0f);
+    EXPECT_FLOAT_EQ(std::abs(lossy[0]), 2.0f);  // mean |v| = 2
+}
+
+TEST(QuantTest, CompressionRatiosMatchTheSec6Story) {
+    // rho = 0.001 top-k alone is ~1000x / (1 + 32/32) = 500x; adding 2-bit
+    // values pushes toward the 600x+ regime Lin et al. report.
+    const std::size_t m = 25'000'000, k = 25'000;
+    const double sparse_only = quant::compression_ratio(m, k, Scheme::None);
+    const double with_ternary = quant::compression_ratio(m, k, Scheme::Ternary);
+    EXPECT_NEAR(sparse_only, 500.0, 5.0);
+    EXPECT_GT(with_ternary, 900.0);
+    EXPECT_GT(with_ternary, sparse_only);
+}
+
+TEST(QuantTest, BitsPerValueTable) {
+    EXPECT_EQ(quant::bits_per_value(Scheme::None), 32);
+    EXPECT_EQ(quant::bits_per_value(Scheme::Uint8MinMax), 8);
+    EXPECT_EQ(quant::bits_per_value(Scheme::Uint4MinMax), 4);
+    EXPECT_EQ(quant::bits_per_value(Scheme::Ternary), 2);
+    EXPECT_EQ(quant::bits_per_value(Scheme::OneBit), 1);
+}
+
+// ---- combined sparsification + quantization training ----
+
+class QuantTrainSweep : public ::testing::TestWithParam<Scheme> {};
+INSTANTIATE_TEST_SUITE_P(All, QuantTrainSweep,
+                         ::testing::Values(Scheme::Uint8MinMax, Scheme::Uint4MinMax,
+                                           Scheme::Ternary, Scheme::OneBit));
+
+TEST_P(QuantTrainSweep, GtopkWithQuantizedValuesStillConverges) {
+    data::SyntheticImageDataset::Config dcfg;
+    dcfg.image_size = 8;
+    dcfg.noise_std = 0.6f;
+    data::SyntheticImageDataset dataset(dcfg, 55);
+    data::ShardedSampler sampler(8192, 1024, 4, 6);
+    nn::MlpConfig mcfg;
+    mcfg.input_dim = dataset.feature_dim();
+    mcfg.hidden_dims = {32, 16};
+
+    train::TrainConfig config;
+    config.algorithm = train::Algorithm::GtopkSsgd;
+    config.epochs = 6;
+    config.iters_per_epoch = 30;
+    config.lr = 0.05f;
+    config.density = 0.02;
+    config.value_quantizer = GetParam();
+    const auto r = train::train_distributed(
+        4, comm::NetworkModel::free(), config,
+        [&](std::uint64_t seed) { return nn::make_mlp(mcfg, seed); },
+        [&](std::int64_t step, int rank) {
+            return dataset.batch_flat(sampler.batch_indices(step, rank, 16));
+        },
+        [&] { return dataset.batch_flat(sampler.test_indices(256)); });
+    EXPECT_LT(r.epochs.back().train_loss, r.epochs.front().train_loss)
+        << quant::scheme_name(GetParam());
+    EXPECT_GT(r.epochs.back().val_accuracy, 0.3) << quant::scheme_name(GetParam());
+}
+
+}  // namespace

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sparse/sparse_gradient.hpp"
+#include "sparse/topk_merge.hpp"
+#include "sparse/topk_select.hpp"
+#include "sparse/wire.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using gtopk::sparse::add;
+using gtopk::sparse::from_mask;
+using gtopk::sparse::from_pairs;
+using gtopk::sparse::SparseGradient;
+using gtopk::sparse::sparse_topk;
+using gtopk::sparse::topk_merge;
+
+SparseGradient make(std::int64_t m, std::vector<std::int32_t> idx,
+                    std::vector<float> vals) {
+    SparseGradient g;
+    g.dense_size = m;
+    g.indices = std::move(idx);
+    g.values = std::move(vals);
+    g.validate();
+    return g;
+}
+
+TEST(SparseGradient, ValidateAcceptsCanonical) {
+    EXPECT_NO_THROW(make(10, {0, 3, 9}, {1, 2, 3}));
+    EXPECT_NO_THROW(make(10, {}, {}));
+}
+
+TEST(SparseGradient, ValidateRejectsBrokenInvariants) {
+    SparseGradient g;
+    g.dense_size = 5;
+    g.indices = {1, 1};
+    g.values = {1, 2};
+    EXPECT_THROW(g.validate(), std::invalid_argument);  // duplicate
+    g.indices = {3, 1};
+    EXPECT_THROW(g.validate(), std::invalid_argument);  // unsorted
+    g.indices = {1, 7};
+    EXPECT_THROW(g.validate(), std::invalid_argument);  // out of range
+    g.indices = {1};
+    EXPECT_THROW(g.validate(), std::invalid_argument);  // |V| != |I|
+}
+
+TEST(SparseGradient, ToDenseAndScatter) {
+    const auto g = make(6, {1, 4}, {2.5f, -1.0f});
+    const auto dense = g.to_dense();
+    const std::vector<float> expect{0, 2.5f, 0, 0, -1.0f, 0};
+    EXPECT_EQ(dense, expect);
+
+    std::vector<float> acc(6, 1.0f);
+    g.scatter_add(acc);
+    EXPECT_EQ(acc[1], 3.5f);
+    EXPECT_EQ(acc[4], 0.0f);
+    EXPECT_EQ(acc[0], 1.0f);
+}
+
+TEST(SparseGradient, ScaleAndNorm) {
+    auto g = make(4, {0, 2}, {2.0f, -3.0f});
+    EXPECT_DOUBLE_EQ(g.l1_norm(), 5.0);
+    g.scale(0.5f);
+    EXPECT_EQ(g.values[0], 1.0f);
+    EXPECT_EQ(g.values[1], -1.5f);
+}
+
+TEST(SparseGradient, FromMask) {
+    const std::vector<float> dense{1, 2, 3, 4};
+    const std::vector<std::uint8_t> keep{1, 0, 0, 1};
+    const auto g = from_mask(dense, keep);
+    EXPECT_EQ(g.indices, (std::vector<std::int32_t>{0, 3}));
+    EXPECT_EQ(g.values, (std::vector<float>{1, 4}));
+    EXPECT_THROW(from_mask(dense, std::vector<std::uint8_t>{1}), std::invalid_argument);
+}
+
+TEST(SparseGradient, FromPairsSortsAndValidates) {
+    const auto g = from_pairs(10, {7, 2, 5}, {70, 20, 50});
+    EXPECT_EQ(g.indices, (std::vector<std::int32_t>{2, 5, 7}));
+    EXPECT_EQ(g.values, (std::vector<float>{20, 50, 70}));
+    EXPECT_THROW(from_pairs(10, {1, 1}, {1, 2}), std::invalid_argument);
+}
+
+TEST(SparseAdd, MergesDisjointAndOverlapping) {
+    const auto a = make(8, {0, 3}, {1, 2});
+    const auto b = make(8, {3, 5}, {10, 20});
+    const auto c = add(a, b);
+    EXPECT_EQ(c.indices, (std::vector<std::int32_t>{0, 3, 5}));
+    EXPECT_EQ(c.values, (std::vector<float>{1, 12, 20}));
+}
+
+TEST(SparseAdd, EmptyIsIdentity) {
+    const auto a = make(8, {2}, {5});
+    SparseGradient zero;
+    zero.dense_size = 8;
+    EXPECT_EQ(add(a, zero), a);
+    EXPECT_EQ(add(zero, a), a);
+}
+
+TEST(SparseAdd, RejectsMismatchedSpaces) {
+    const auto a = make(8, {2}, {5});
+    const auto b = make(9, {2}, {5});
+    EXPECT_THROW(add(a, b), std::invalid_argument);
+}
+
+TEST(SparseTopk, KeepsLargestMagnitudes) {
+    const auto g = make(10, {1, 3, 5, 7}, {1.0f, -9.0f, 4.0f, -2.0f});
+    const auto t = sparse_topk(g, 2);
+    EXPECT_EQ(t.indices, (std::vector<std::int32_t>{3, 5}));
+    EXPECT_EQ(t.values, (std::vector<float>{-9.0f, 4.0f}));
+}
+
+TEST(SparseTopk, NoopWhenAlreadySmall) {
+    const auto g = make(10, {1}, {5.0f});
+    EXPECT_EQ(sparse_topk(g, 3), g);
+}
+
+TEST(SparseTopk, TieBreaksBySmallerIndex) {
+    const auto g = make(10, {2, 4, 6}, {1.0f, -1.0f, 1.0f});
+    const auto t = sparse_topk(g, 2);
+    EXPECT_EQ(t.indices, (std::vector<std::int32_t>{2, 4}));
+}
+
+TEST(TopkMergeOp, MatchesDefinition1) {
+    // G_a + G_b, then top-k of the sum.
+    const auto a = make(8, {0, 2}, {3.0f, 1.0f});
+    const auto b = make(8, {2, 5}, {1.5f, -4.0f});
+    const auto m = topk_merge(a, b, 2);
+    // Sum: {0: 3, 2: 2.5, 5: -4} -> top-2 = {5: -4, 0: 3}
+    EXPECT_EQ(m.indices, (std::vector<std::int32_t>{0, 5}));
+    EXPECT_EQ(m.values, (std::vector<float>{3.0f, -4.0f}));
+}
+
+TEST(TopkMergeOp, IsCommutative) {
+    gtopk::util::Xoshiro256 rng(31);
+    for (int trial = 0; trial < 50; ++trial) {
+        std::vector<float> da(64), db(64);
+        for (auto& v : da) v = static_cast<float>(rng.next_gaussian());
+        for (auto& v : db) v = static_cast<float>(rng.next_gaussian());
+        const auto a = gtopk::sparse::topk_select(da, 8);
+        const auto b = gtopk::sparse::topk_select(db, 8);
+        EXPECT_EQ(topk_merge(a, b, 8), topk_merge(b, a, 8));
+    }
+}
+
+TEST(TopkMergeOp, IsNotAssociativeInGeneral) {
+    // Documented counterexample: cancellation makes ⊤ order-dependent,
+    // which is why Algorithm 3 (tree fold) and Algorithm 2 (global
+    // selection) are distinct algorithms.
+    const auto a = make(4, {1}, {1.0f});
+    const auto b = make(4, {2}, {1.5f});
+    const auto c = make(4, {1}, {1.0f});
+    const auto d = make(4, {2}, {-1.4f});
+    const auto left = topk_merge(topk_merge(a, b, 1), topk_merge(c, d, 1), 1);
+    // Tree: (a⊤b) = {2:1.5}, (c⊤d) = {1:1.0}; merge -> {2:1.5}.
+    EXPECT_EQ(left.indices, (std::vector<std::int32_t>{2}));
+    // Global top-1 of a+b+c+d = {1: 2.0}.
+    const auto global = sparse_topk(add(add(a, b), add(c, d)), 1);
+    EXPECT_EQ(global.indices, (std::vector<std::int32_t>{1}));
+    EXPECT_NE(left.indices, global.indices);
+}
+
+TEST(Wire, RoundTripsCanonicalGradient) {
+    const auto g = make(100, {0, 17, 99}, {1.5f, -2.5f, 3.5f});
+    const auto bytes = gtopk::sparse::serialize(g);
+    EXPECT_EQ(bytes.size(), gtopk::sparse::wire_size_bytes(3));
+    EXPECT_EQ(gtopk::sparse::deserialize(bytes), g);
+}
+
+TEST(Wire, RoundTripsEmpty) {
+    SparseGradient g;
+    g.dense_size = 42;
+    EXPECT_EQ(gtopk::sparse::deserialize(gtopk::sparse::serialize(g)), g);
+}
+
+TEST(Wire, RejectsTruncatedInput) {
+    const auto g = make(10, {1}, {1.0f});
+    auto bytes = gtopk::sparse::serialize(g);
+    bytes.pop_back();
+    EXPECT_THROW(gtopk::sparse::deserialize(bytes), std::invalid_argument);
+    EXPECT_THROW(gtopk::sparse::deserialize(std::vector<std::byte>(4)),
+                 std::invalid_argument);
+}
+
+TEST(Wire, RejectsCorruptHeader) {
+    const auto g = make(10, {1, 5}, {1.0f, 2.0f});
+    auto bytes = gtopk::sparse::serialize(g);
+    // Corrupt nnz to a huge value.
+    bytes[8] = std::byte{0xFF};
+    bytes[9] = std::byte{0xFF};
+    EXPECT_THROW(gtopk::sparse::deserialize(bytes), std::invalid_argument);
+}
+
+TEST(Wire, RejectsNonCanonicalPayload) {
+    // Hand-build a wire image with unsorted indices; deserialize validates.
+    auto g = make(10, {1, 5}, {1.0f, 2.0f});
+    auto bytes = gtopk::sparse::serialize(g);
+    // Swap the two int32 indices in place.
+    std::swap(bytes[16], bytes[20]);
+    std::swap(bytes[17], bytes[21]);
+    std::swap(bytes[18], bytes[22]);
+    std::swap(bytes[19], bytes[23]);
+    EXPECT_THROW(gtopk::sparse::deserialize(bytes), std::invalid_argument);
+}
+
+}  // namespace

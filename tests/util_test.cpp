@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using gtopk::util::LinearFit;
+using gtopk::util::RunningStats;
+using gtopk::util::TextTable;
+using gtopk::util::Xoshiro256;
+
+TEST(Rng, DeterministicForSameSeed) {
+    Xoshiro256 a(42), b(42);
+    for (int i = 0; i < 1000; ++i) {
+        ASSERT_EQ(a.next_u64(), b.next_u64());
+    }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+    Xoshiro256 a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next_u64() == b.next_u64()) ++same;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ForkIsDeterministicAndIndependent) {
+    Xoshiro256 parent(7);
+    Xoshiro256 c1 = parent.fork(3);
+    Xoshiro256 c2 = parent.fork(3);
+    Xoshiro256 c3 = parent.fork(4);
+    EXPECT_EQ(c1.next_u64(), c2.next_u64());
+    EXPECT_NE(c1.next_u64(), c3.next_u64());
+}
+
+TEST(Rng, ForkDoesNotAdvanceParent) {
+    Xoshiro256 a(9);
+    Xoshiro256 b(9);
+    (void)a.fork(1);
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+    Xoshiro256 rng(5);
+    for (int i = 0; i < 10000; ++i) {
+        const double x = rng.next_double();
+        ASSERT_GE(x, 0.0);
+        ASSERT_LT(x, 1.0);
+    }
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+    Xoshiro256 rng(5);
+    for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+        for (int i = 0; i < 1000; ++i) {
+            ASSERT_LT(rng.next_below(bound), bound);
+        }
+    }
+}
+
+TEST(Rng, NextBelowCoversAllValues) {
+    Xoshiro256 rng(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(7));
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, GaussianMoments) {
+    Xoshiro256 rng(123);
+    RunningStats stats;
+    for (int i = 0; i < 100000; ++i) stats.add(rng.next_gaussian());
+    EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+    EXPECT_NEAR(stats.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, UniformRange) {
+    Xoshiro256 rng(77);
+    for (int i = 0; i < 1000; ++i) {
+        const float x = rng.next_uniform(-2.0f, 3.0f);
+        ASSERT_GE(x, -2.0f);
+        ASSERT_LT(x, 3.0f);
+    }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+    Xoshiro256 rng(3);
+    std::vector<int> v(100);
+    std::iota(v.begin(), v.end(), 0);
+    std::vector<int> orig = v;
+    gtopk::util::shuffle(v, rng);
+    EXPECT_NE(v, orig);  // astronomically unlikely to be identity
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, orig);
+}
+
+TEST(RunningStats, BasicMoments) {
+    RunningStats s;
+    for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+    EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+TEST(RunningStats, SingleSampleHasZeroVariance) {
+    RunningStats s;
+    s.add(42.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(LinearFitTest, RecoversExactLine) {
+    std::vector<double> xs{0, 1, 2, 3, 4};
+    std::vector<double> ys;
+    for (double x : xs) ys.push_back(0.436 + 3.6e-5 * x);
+    const LinearFit fit = gtopk::util::linear_fit(xs, ys);
+    EXPECT_NEAR(fit.intercept, 0.436, 1e-12);
+    EXPECT_NEAR(fit.slope, 3.6e-5, 1e-12);
+    EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(LinearFitTest, NoisyFitHasReasonableR2) {
+    gtopk::util::Xoshiro256 rng(1);
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 200; ++i) {
+        const double x = i;
+        xs.push_back(x);
+        ys.push_back(2.0 + 0.5 * x + 0.1 * rng.next_gaussian());
+    }
+    const LinearFit fit = gtopk::util::linear_fit(xs, ys);
+    EXPECT_NEAR(fit.slope, 0.5, 0.01);
+    EXPECT_GT(fit.r2, 0.99);
+}
+
+TEST(LinearFitTest, RejectsDegenerateInput) {
+    std::vector<double> one{1.0};
+    EXPECT_THROW(gtopk::util::linear_fit(one, one), std::invalid_argument);
+}
+
+TEST(Percentile, InterpolatesCorrectly) {
+    std::vector<double> xs{1, 2, 3, 4, 5};
+    EXPECT_DOUBLE_EQ(gtopk::util::percentile(xs, 0), 1.0);
+    EXPECT_DOUBLE_EQ(gtopk::util::percentile(xs, 100), 5.0);
+    EXPECT_DOUBLE_EQ(gtopk::util::percentile(xs, 50), 3.0);
+    EXPECT_DOUBLE_EQ(gtopk::util::percentile(xs, 25), 2.0);
+}
+
+TEST(TextTableTest, AlignsColumnsAndKeepsRows) {
+    TextTable t({"name", "value"});
+    t.add_row({"alpha", "1"});
+    t.add_row({"beta_long_name", "2.5"});
+    const std::string s = t.to_string();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("beta_long_name"), std::string::npos);
+    EXPECT_NE(s.find("---"), std::string::npos);
+    // Header line and every row end in newline -> 4 lines total.
+    EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+}
+
+TEST(TextTableTest, FormatsNumbers) {
+    EXPECT_EQ(TextTable::fmt(1.23456, 2), "1.23");
+    EXPECT_EQ(TextTable::fmt_int(42), "42");
+}
+
+}  // namespace
