@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ps_vs_allreduce.dir/bench_ps_vs_allreduce.cpp.o"
+  "CMakeFiles/bench_ps_vs_allreduce.dir/bench_ps_vs_allreduce.cpp.o.d"
+  "bench_ps_vs_allreduce"
+  "bench_ps_vs_allreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ps_vs_allreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

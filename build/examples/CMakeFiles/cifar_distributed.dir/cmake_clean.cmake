@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cifar_distributed.dir/cifar_distributed.cpp.o"
+  "CMakeFiles/cifar_distributed.dir/cifar_distributed.cpp.o.d"
+  "cifar_distributed"
+  "cifar_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cifar_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

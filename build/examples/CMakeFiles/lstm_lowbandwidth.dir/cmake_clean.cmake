@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lstm_lowbandwidth.dir/lstm_lowbandwidth.cpp.o"
+  "CMakeFiles/lstm_lowbandwidth.dir/lstm_lowbandwidth.cpp.o.d"
+  "lstm_lowbandwidth"
+  "lstm_lowbandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lstm_lowbandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gtopk_collectives.dir/cost_model.cpp.o"
+  "CMakeFiles/gtopk_collectives.dir/cost_model.cpp.o.d"
+  "CMakeFiles/gtopk_collectives.dir/schedule.cpp.o"
+  "CMakeFiles/gtopk_collectives.dir/schedule.cpp.o.d"
+  "libgtopk_collectives.a"
+  "libgtopk_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gtopk_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

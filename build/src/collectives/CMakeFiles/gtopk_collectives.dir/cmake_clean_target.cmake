@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgtopk_collectives.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gtopk_comm.dir/cluster.cpp.o"
+  "CMakeFiles/gtopk_comm.dir/cluster.cpp.o.d"
+  "CMakeFiles/gtopk_comm.dir/communicator.cpp.o"
+  "CMakeFiles/gtopk_comm.dir/communicator.cpp.o.d"
+  "CMakeFiles/gtopk_comm.dir/mailbox.cpp.o"
+  "CMakeFiles/gtopk_comm.dir/mailbox.cpp.o.d"
+  "CMakeFiles/gtopk_comm.dir/transport.cpp.o"
+  "CMakeFiles/gtopk_comm.dir/transport.cpp.o.d"
+  "libgtopk_comm.a"
+  "libgtopk_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gtopk_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

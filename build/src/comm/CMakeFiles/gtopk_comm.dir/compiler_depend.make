@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gtopk_comm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gtopk_core.dir/aggregators.cpp.o"
+  "CMakeFiles/gtopk_core.dir/aggregators.cpp.o.d"
+  "libgtopk_core.a"
+  "libgtopk_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gtopk_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/sampler.cpp" "src/data/CMakeFiles/gtopk_data.dir/sampler.cpp.o" "gcc" "src/data/CMakeFiles/gtopk_data.dir/sampler.cpp.o.d"
+  "/root/repo/src/data/sequence_data.cpp" "src/data/CMakeFiles/gtopk_data.dir/sequence_data.cpp.o" "gcc" "src/data/CMakeFiles/gtopk_data.dir/sequence_data.cpp.o.d"
+  "/root/repo/src/data/synthetic_images.cpp" "src/data/CMakeFiles/gtopk_data.dir/synthetic_images.cpp.o" "gcc" "src/data/CMakeFiles/gtopk_data.dir/synthetic_images.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/gtopk_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gtopk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

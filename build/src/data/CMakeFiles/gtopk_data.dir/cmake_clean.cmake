@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gtopk_data.dir/sampler.cpp.o"
+  "CMakeFiles/gtopk_data.dir/sampler.cpp.o.d"
+  "CMakeFiles/gtopk_data.dir/sequence_data.cpp.o"
+  "CMakeFiles/gtopk_data.dir/sequence_data.cpp.o.d"
+  "CMakeFiles/gtopk_data.dir/synthetic_images.cpp.o"
+  "CMakeFiles/gtopk_data.dir/synthetic_images.cpp.o.d"
+  "libgtopk_data.a"
+  "libgtopk_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gtopk_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cpp" "src/nn/CMakeFiles/gtopk_nn.dir/activations.cpp.o" "gcc" "src/nn/CMakeFiles/gtopk_nn.dir/activations.cpp.o.d"
+  "/root/repo/src/nn/batchnorm.cpp" "src/nn/CMakeFiles/gtopk_nn.dir/batchnorm.cpp.o" "gcc" "src/nn/CMakeFiles/gtopk_nn.dir/batchnorm.cpp.o.d"
+  "/root/repo/src/nn/classifier_model.cpp" "src/nn/CMakeFiles/gtopk_nn.dir/classifier_model.cpp.o" "gcc" "src/nn/CMakeFiles/gtopk_nn.dir/classifier_model.cpp.o.d"
+  "/root/repo/src/nn/conv2d.cpp" "src/nn/CMakeFiles/gtopk_nn.dir/conv2d.cpp.o" "gcc" "src/nn/CMakeFiles/gtopk_nn.dir/conv2d.cpp.o.d"
+  "/root/repo/src/nn/dropout.cpp" "src/nn/CMakeFiles/gtopk_nn.dir/dropout.cpp.o" "gcc" "src/nn/CMakeFiles/gtopk_nn.dir/dropout.cpp.o.d"
+  "/root/repo/src/nn/init.cpp" "src/nn/CMakeFiles/gtopk_nn.dir/init.cpp.o" "gcc" "src/nn/CMakeFiles/gtopk_nn.dir/init.cpp.o.d"
+  "/root/repo/src/nn/layer.cpp" "src/nn/CMakeFiles/gtopk_nn.dir/layer.cpp.o" "gcc" "src/nn/CMakeFiles/gtopk_nn.dir/layer.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/nn/CMakeFiles/gtopk_nn.dir/linear.cpp.o" "gcc" "src/nn/CMakeFiles/gtopk_nn.dir/linear.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/gtopk_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/gtopk_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/lstm.cpp" "src/nn/CMakeFiles/gtopk_nn.dir/lstm.cpp.o" "gcc" "src/nn/CMakeFiles/gtopk_nn.dir/lstm.cpp.o.d"
+  "/root/repo/src/nn/model_zoo.cpp" "src/nn/CMakeFiles/gtopk_nn.dir/model_zoo.cpp.o" "gcc" "src/nn/CMakeFiles/gtopk_nn.dir/model_zoo.cpp.o.d"
+  "/root/repo/src/nn/pool2d.cpp" "src/nn/CMakeFiles/gtopk_nn.dir/pool2d.cpp.o" "gcc" "src/nn/CMakeFiles/gtopk_nn.dir/pool2d.cpp.o.d"
+  "/root/repo/src/nn/residual.cpp" "src/nn/CMakeFiles/gtopk_nn.dir/residual.cpp.o" "gcc" "src/nn/CMakeFiles/gtopk_nn.dir/residual.cpp.o.d"
+  "/root/repo/src/nn/sequential.cpp" "src/nn/CMakeFiles/gtopk_nn.dir/sequential.cpp.o" "gcc" "src/nn/CMakeFiles/gtopk_nn.dir/sequential.cpp.o.d"
+  "/root/repo/src/nn/tensor.cpp" "src/nn/CMakeFiles/gtopk_nn.dir/tensor.cpp.o" "gcc" "src/nn/CMakeFiles/gtopk_nn.dir/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gtopk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gtopk_nn.dir/activations.cpp.o"
+  "CMakeFiles/gtopk_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/gtopk_nn.dir/batchnorm.cpp.o"
+  "CMakeFiles/gtopk_nn.dir/batchnorm.cpp.o.d"
+  "CMakeFiles/gtopk_nn.dir/classifier_model.cpp.o"
+  "CMakeFiles/gtopk_nn.dir/classifier_model.cpp.o.d"
+  "CMakeFiles/gtopk_nn.dir/conv2d.cpp.o"
+  "CMakeFiles/gtopk_nn.dir/conv2d.cpp.o.d"
+  "CMakeFiles/gtopk_nn.dir/dropout.cpp.o"
+  "CMakeFiles/gtopk_nn.dir/dropout.cpp.o.d"
+  "CMakeFiles/gtopk_nn.dir/init.cpp.o"
+  "CMakeFiles/gtopk_nn.dir/init.cpp.o.d"
+  "CMakeFiles/gtopk_nn.dir/layer.cpp.o"
+  "CMakeFiles/gtopk_nn.dir/layer.cpp.o.d"
+  "CMakeFiles/gtopk_nn.dir/linear.cpp.o"
+  "CMakeFiles/gtopk_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/gtopk_nn.dir/loss.cpp.o"
+  "CMakeFiles/gtopk_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/gtopk_nn.dir/lstm.cpp.o"
+  "CMakeFiles/gtopk_nn.dir/lstm.cpp.o.d"
+  "CMakeFiles/gtopk_nn.dir/model_zoo.cpp.o"
+  "CMakeFiles/gtopk_nn.dir/model_zoo.cpp.o.d"
+  "CMakeFiles/gtopk_nn.dir/pool2d.cpp.o"
+  "CMakeFiles/gtopk_nn.dir/pool2d.cpp.o.d"
+  "CMakeFiles/gtopk_nn.dir/residual.cpp.o"
+  "CMakeFiles/gtopk_nn.dir/residual.cpp.o.d"
+  "CMakeFiles/gtopk_nn.dir/sequential.cpp.o"
+  "CMakeFiles/gtopk_nn.dir/sequential.cpp.o.d"
+  "CMakeFiles/gtopk_nn.dir/tensor.cpp.o"
+  "CMakeFiles/gtopk_nn.dir/tensor.cpp.o.d"
+  "libgtopk_nn.a"
+  "libgtopk_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gtopk_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

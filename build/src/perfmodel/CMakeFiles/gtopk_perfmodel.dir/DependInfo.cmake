@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perfmodel/iteration_model.cpp" "src/perfmodel/CMakeFiles/gtopk_perfmodel.dir/iteration_model.cpp.o" "gcc" "src/perfmodel/CMakeFiles/gtopk_perfmodel.dir/iteration_model.cpp.o.d"
+  "/root/repo/src/perfmodel/model_profile.cpp" "src/perfmodel/CMakeFiles/gtopk_perfmodel.dir/model_profile.cpp.o" "gcc" "src/perfmodel/CMakeFiles/gtopk_perfmodel.dir/model_profile.cpp.o.d"
+  "/root/repo/src/perfmodel/overlap_model.cpp" "src/perfmodel/CMakeFiles/gtopk_perfmodel.dir/overlap_model.cpp.o" "gcc" "src/perfmodel/CMakeFiles/gtopk_perfmodel.dir/overlap_model.cpp.o.d"
+  "/root/repo/src/perfmodel/stack_model.cpp" "src/perfmodel/CMakeFiles/gtopk_perfmodel.dir/stack_model.cpp.o" "gcc" "src/perfmodel/CMakeFiles/gtopk_perfmodel.dir/stack_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/collectives/CMakeFiles/gtopk_collectives.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/gtopk_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gtopk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gtopk_perfmodel.dir/iteration_model.cpp.o"
+  "CMakeFiles/gtopk_perfmodel.dir/iteration_model.cpp.o.d"
+  "CMakeFiles/gtopk_perfmodel.dir/model_profile.cpp.o"
+  "CMakeFiles/gtopk_perfmodel.dir/model_profile.cpp.o.d"
+  "CMakeFiles/gtopk_perfmodel.dir/overlap_model.cpp.o"
+  "CMakeFiles/gtopk_perfmodel.dir/overlap_model.cpp.o.d"
+  "CMakeFiles/gtopk_perfmodel.dir/stack_model.cpp.o"
+  "CMakeFiles/gtopk_perfmodel.dir/stack_model.cpp.o.d"
+  "libgtopk_perfmodel.a"
+  "libgtopk_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gtopk_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgtopk_perfmodel.a"
+)

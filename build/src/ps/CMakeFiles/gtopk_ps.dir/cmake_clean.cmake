@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gtopk_ps.dir/ps_cost_model.cpp.o"
+  "CMakeFiles/gtopk_ps.dir/ps_cost_model.cpp.o.d"
+  "CMakeFiles/gtopk_ps.dir/ps_trainer.cpp.o"
+  "CMakeFiles/gtopk_ps.dir/ps_trainer.cpp.o.d"
+  "libgtopk_ps.a"
+  "libgtopk_ps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gtopk_ps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gtopk_quant.dir/quantizer.cpp.o"
+  "CMakeFiles/gtopk_quant.dir/quantizer.cpp.o.d"
+  "libgtopk_quant.a"
+  "libgtopk_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gtopk_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

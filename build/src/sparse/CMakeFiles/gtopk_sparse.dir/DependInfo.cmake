@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparse/selection_policy.cpp" "src/sparse/CMakeFiles/gtopk_sparse.dir/selection_policy.cpp.o" "gcc" "src/sparse/CMakeFiles/gtopk_sparse.dir/selection_policy.cpp.o.d"
+  "/root/repo/src/sparse/sparse_gradient.cpp" "src/sparse/CMakeFiles/gtopk_sparse.dir/sparse_gradient.cpp.o" "gcc" "src/sparse/CMakeFiles/gtopk_sparse.dir/sparse_gradient.cpp.o.d"
+  "/root/repo/src/sparse/topk_merge.cpp" "src/sparse/CMakeFiles/gtopk_sparse.dir/topk_merge.cpp.o" "gcc" "src/sparse/CMakeFiles/gtopk_sparse.dir/topk_merge.cpp.o.d"
+  "/root/repo/src/sparse/topk_select.cpp" "src/sparse/CMakeFiles/gtopk_sparse.dir/topk_select.cpp.o" "gcc" "src/sparse/CMakeFiles/gtopk_sparse.dir/topk_select.cpp.o.d"
+  "/root/repo/src/sparse/wire.cpp" "src/sparse/CMakeFiles/gtopk_sparse.dir/wire.cpp.o" "gcc" "src/sparse/CMakeFiles/gtopk_sparse.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gtopk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

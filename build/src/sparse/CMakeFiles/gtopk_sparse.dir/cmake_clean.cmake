@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gtopk_sparse.dir/selection_policy.cpp.o"
+  "CMakeFiles/gtopk_sparse.dir/selection_policy.cpp.o.d"
+  "CMakeFiles/gtopk_sparse.dir/sparse_gradient.cpp.o"
+  "CMakeFiles/gtopk_sparse.dir/sparse_gradient.cpp.o.d"
+  "CMakeFiles/gtopk_sparse.dir/topk_merge.cpp.o"
+  "CMakeFiles/gtopk_sparse.dir/topk_merge.cpp.o.d"
+  "CMakeFiles/gtopk_sparse.dir/topk_select.cpp.o"
+  "CMakeFiles/gtopk_sparse.dir/topk_select.cpp.o.d"
+  "CMakeFiles/gtopk_sparse.dir/wire.cpp.o"
+  "CMakeFiles/gtopk_sparse.dir/wire.cpp.o.d"
+  "libgtopk_sparse.a"
+  "libgtopk_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gtopk_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gtopk_train.dir/metrics_io.cpp.o"
+  "CMakeFiles/gtopk_train.dir/metrics_io.cpp.o.d"
+  "CMakeFiles/gtopk_train.dir/trainer.cpp.o"
+  "CMakeFiles/gtopk_train.dir/trainer.cpp.o.d"
+  "libgtopk_train.a"
+  "libgtopk_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gtopk_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gtopk_util.dir/log.cpp.o"
+  "CMakeFiles/gtopk_util.dir/log.cpp.o.d"
+  "CMakeFiles/gtopk_util.dir/rng.cpp.o"
+  "CMakeFiles/gtopk_util.dir/rng.cpp.o.d"
+  "CMakeFiles/gtopk_util.dir/stats.cpp.o"
+  "CMakeFiles/gtopk_util.dir/stats.cpp.o.d"
+  "CMakeFiles/gtopk_util.dir/table.cpp.o"
+  "CMakeFiles/gtopk_util.dir/table.cpp.o.d"
+  "libgtopk_util.a"
+  "libgtopk_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gtopk_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batchnorm_test.dir/batchnorm_test.cpp.o"
+  "CMakeFiles/batchnorm_test.dir/batchnorm_test.cpp.o.d"
+  "batchnorm_test"
+  "batchnorm_test.pdb"
+  "batchnorm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batchnorm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

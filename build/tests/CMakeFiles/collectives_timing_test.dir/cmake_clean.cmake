@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collectives_timing_test.dir/collectives_timing_test.cpp.o"
+  "CMakeFiles/collectives_timing_test.dir/collectives_timing_test.cpp.o.d"
+  "collectives_timing_test"
+  "collectives_timing_test.pdb"
+  "collectives_timing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collectives_timing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_aggregators_test.dir/core_aggregators_test.cpp.o"
+  "CMakeFiles/core_aggregators_test.dir/core_aggregators_test.cpp.o.d"
+  "core_aggregators_test"
+  "core_aggregators_test.pdb"
+  "core_aggregators_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_aggregators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gtopk_property_test.dir/gtopk_property_test.cpp.o"
+  "CMakeFiles/gtopk_property_test.dir/gtopk_property_test.cpp.o.d"
+  "gtopk_property_test"
+  "gtopk_property_test.pdb"
+  "gtopk_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gtopk_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layerwise_test.dir/layerwise_test.cpp.o"
+  "CMakeFiles/layerwise_test.dir/layerwise_test.cpp.o.d"
+  "layerwise_test"
+  "layerwise_test.pdb"
+  "layerwise_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layerwise_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selection_policy_test.dir/selection_policy_test.cpp.o"
+  "CMakeFiles/selection_policy_test.dir/selection_policy_test.cpp.o.d"
+  "selection_policy_test"
+  "selection_policy_test.pdb"
+  "selection_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selection_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sparse_test.cpp" "tests/CMakeFiles/sparse_test.dir/sparse_test.cpp.o" "gcc" "tests/CMakeFiles/sparse_test.dir/sparse_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ps/CMakeFiles/gtopk_ps.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/gtopk_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/gtopk_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gtopk_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/gtopk_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/gtopk_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/gtopk_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/collectives/CMakeFiles/gtopk_collectives.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/gtopk_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/gtopk_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gtopk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topk_select_property_test.dir/topk_select_property_test.cpp.o"
+  "CMakeFiles/topk_select_property_test.dir/topk_select_property_test.cpp.o.d"
+  "topk_select_property_test"
+  "topk_select_property_test.pdb"
+  "topk_select_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topk_select_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
