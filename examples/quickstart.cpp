@@ -1,21 +1,47 @@
 // Quickstart: train a small classifier with gTop-k S-SGD on a simulated
 // 4-worker 1GbE cluster, in ~30 lines of user code.
 //
-//   $ ./quickstart
+//   $ ./quickstart [--trace-out trace.json]
 //
 // Walks through the whole public API surface: dataset, sharded sampler,
 // model factory, TrainConfig, train_distributed, and the returned metrics.
+// With --trace-out, every rank's per-phase spans (compute, selection, each
+// gTop-k merge round, broadcast, send/recv) are exported as Chrome-trace
+// JSON — open it at https://ui.perfetto.dev to see where virtual time goes.
+#include <cstring>
 #include <iostream>
+#include <memory>
+#include <string>
 
 #include "data/sampler.hpp"
 #include "data/synthetic_images.hpp"
 #include "nn/model_zoo.hpp"
+#include "obs/trace.hpp"
 #include "train/trainer.hpp"
 #include "util/log.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace gtopk;
     util::set_log_level(util::LogLevel::Warn);
+
+    std::string trace_out;
+    bool trace_requested = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+            trace_out = argv[++i];
+            trace_requested = true;
+        } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+            trace_out = argv[i] + 12;
+            trace_requested = true;
+        } else {
+            std::cerr << "usage: " << argv[0] << " [--trace-out <file.json>]\n";
+            return 2;
+        }
+    }
+    if (trace_requested && trace_out.empty()) {
+        std::cerr << "error: --trace-out requires a non-empty path\n";
+        return 2;
+    }
 
     const int workers = 4;
 
@@ -39,6 +65,13 @@ int main() {
     config.density = 0.01;                        // rho
     config.warmup_densities = {0.25, 0.0725};     // first epochs
 
+    // 3b. Optional observability: a tracer records per-rank phase spans.
+    std::unique_ptr<obs::Tracer> tracer;
+    if (!trace_out.empty()) {
+        tracer = std::make_unique<obs::Tracer>(workers);
+        config.tracer = tracer.get();
+    }
+
     // 4. Run on the simulated 1 Gbps Ethernet cluster.
     const auto result = train::train_distributed(
         workers, comm::NetworkModel::one_gbps_ethernet(), config,
@@ -58,5 +91,18 @@ int main() {
               << result.mean_comm_virtual_s * 1e3 << " ms\n"
               << "bytes sent by rank 0 overall:        "
               << result.rank0_comm.bytes_sent << "\n";
+
+    if (tracer) {
+        if (!tracer->write_chrome_trace_file(trace_out)) return 1;
+        const obs::PhaseTotals& tp = result.rank0_traced_phases;
+        std::cout << "\ntrace written to " << trace_out
+                  << "  (load in https://ui.perfetto.dev)\n"
+                  << "rank 0 spans retained: " << tracer->rank_spans(0).size()
+                  << " (dropped " << tracer->dropped(0) << ")\n"
+                  << "trace-derived means/iter: compute "
+                  << tp.mean_compute_s() * 1e3 << " ms, select "
+                  << tp.mean_compress_s() * 1e3 << " ms, comm(virtual) "
+                  << tp.mean_comm_virtual_s() * 1e3 << " ms\n";
+    }
     return 0;
 }

@@ -22,6 +22,7 @@
 
 #include "collectives/schedule.hpp"
 #include "comm/communicator.hpp"
+#include "obs/trace.hpp"
 
 namespace gtopk::collectives {
 
@@ -36,6 +37,8 @@ enum class AllreduceAlgo { Ring, RecursiveDoubling, Rabenseifner };
 inline void barrier(Communicator& comm) {
     const int world = comm.size();
     if (world == 1) return;
+    obs::ScopedSpan span(comm.tracer(), comm.clock(), comm.rank(), "barrier",
+                         "collective");
     const int rounds = ilog2_ceil(world);
     const int tag = comm.fresh_tags(rounds);
     const std::byte token{0};
@@ -52,6 +55,9 @@ void broadcast(Communicator& comm, std::vector<T>& data, int root,
     static_assert(std::is_trivially_copyable_v<T>);
     const int world = comm.size();
     if (world == 1) return;
+    obs::ScopedSpan span(comm.tracer(), comm.clock(), comm.rank(), "broadcast",
+                         "collective");
+    span.attrs().bytes = static_cast<std::int64_t>(data.size() * sizeof(T));
     if (algo == BcastAlgo::FlatTree) {
         const int tag = comm.fresh_tags(1);
         if (comm.rank() == root) {
@@ -60,6 +66,7 @@ void broadcast(Communicator& comm, std::vector<T>& data, int root,
             }
         } else {
             data = comm.recv_vec<T>(root, tag);
+            span.attrs().bytes = static_cast<std::int64_t>(data.size() * sizeof(T));
         }
         return;
     }
@@ -68,6 +75,8 @@ void broadcast(Communicator& comm, std::vector<T>& data, int root,
     const BinomialBcastPlan plan = binomial_bcast_plan(comm.rank(), root, world);
     if (plan.recv_round >= 0) {
         data = comm.recv_vec<T>(plan.recv_from, tag + plan.recv_round);
+        span.attrs().bytes = static_cast<std::int64_t>(data.size() * sizeof(T));
+        span.attrs().round = plan.recv_round;
     }
     for (const auto& [round, dst] : plan.sends) {
         comm.send_vec<T>(dst, tag + round, data);
@@ -83,6 +92,9 @@ std::vector<T> reduce_sum(Communicator& comm, std::span<const T> local, int root
     const int world = comm.size();
     std::vector<T> acc(local.begin(), local.end());
     if (world == 1) return acc;
+    obs::ScopedSpan span(comm.tracer(), comm.clock(), comm.rank(), "reduce",
+                         "collective");
+    span.attrs().bytes = static_cast<std::int64_t>(acc.size() * sizeof(T));
 
     // Reduce in the rotated space where root is 0, mirroring the bcast tree
     // run backwards: at round r, virtual ranks with bit r set send their
@@ -116,6 +128,9 @@ void allreduce_sum_ring(Communicator& comm, std::vector<T>& data) {
     static_assert(std::is_trivially_copyable_v<T>);
     const int world = comm.size();
     if (world == 1) return;
+    obs::ScopedSpan span(comm.tracer(), comm.clock(), comm.rank(),
+                         "allreduce.ring", "collective");
+    span.attrs().bytes = static_cast<std::int64_t>(data.size() * sizeof(T));
     const int rank = comm.rank();
     const RingStep ring = ring_neighbors(rank, world);
     const auto offsets = ring_block_offsets(data.size(), world);
@@ -164,6 +179,9 @@ void allreduce_sum_recursive_doubling(Communicator& comm, std::vector<T>& data) 
     if (!is_power_of_two(world)) {
         throw std::invalid_argument("recursive doubling requires power-of-two world");
     }
+    obs::ScopedSpan span(comm.tracer(), comm.clock(), comm.rank(),
+                         "allreduce.recursive_doubling", "collective");
+    span.attrs().bytes = static_cast<std::int64_t>(data.size() * sizeof(T));
     const int rounds = ilog2_floor(world);
     const int tag = comm.fresh_tags(rounds);
     for (int r = 0; r < rounds; ++r) {
@@ -190,6 +208,9 @@ void allreduce_sum_rabenseifner(Communicator& comm, std::vector<T>& data) {
     if (data.size() % static_cast<std::size_t>(world) != 0) {
         throw std::invalid_argument("rabenseifner requires m divisible by P");
     }
+    obs::ScopedSpan span(comm.tracer(), comm.clock(), comm.rank(),
+                         "allreduce.rabenseifner", "collective");
+    span.attrs().bytes = static_cast<std::int64_t>(data.size() * sizeof(T));
     const int rounds = ilog2_floor(world);
     const int tag = comm.fresh_tags(2 * rounds);
     const int rank = comm.rank();
@@ -263,6 +284,9 @@ std::vector<T> allgather(Communicator& comm, std::span<const T> mine,
     std::memcpy(out.data() + n * static_cast<std::size_t>(comm.rank()), mine.data(),
                 n * sizeof(T));
     if (world == 1) return out;
+    obs::ScopedSpan span(comm.tracer(), comm.clock(), comm.rank(), "allgather",
+                         "collective");
+    span.attrs().bytes = static_cast<std::int64_t>(n * sizeof(T));
 
     if (algo == AllgatherAlgo::RecursiveDoubling && is_power_of_two(world)) {
         // At round r each rank owns a contiguous 2^r-rank-wide window (in
@@ -308,6 +332,9 @@ std::vector<std::vector<T>> allgatherv(Communicator& comm, std::span<const T> mi
     std::vector<std::vector<T>> out(static_cast<std::size_t>(world));
     out[static_cast<std::size_t>(comm.rank())].assign(mine.begin(), mine.end());
     if (world == 1) return out;
+    obs::ScopedSpan span(comm.tracer(), comm.clock(), comm.rank(), "allgatherv",
+                         "collective");
+    span.attrs().bytes = static_cast<std::int64_t>(mine.size() * sizeof(T));
 
     // Ring of (size, data) pairs — sizes ride in the same message as a
     // leading header so the exchange stays one message per step.
@@ -330,6 +357,9 @@ template <typename T>
 std::vector<T> gather(Communicator& comm, std::span<const T> mine, int root) {
     static_assert(std::is_trivially_copyable_v<T>);
     const int world = comm.size();
+    obs::ScopedSpan span(comm.tracer(), comm.clock(), comm.rank(), "gather",
+                         "collective");
+    span.attrs().bytes = static_cast<std::int64_t>(mine.size() * sizeof(T));
     const int tag = comm.fresh_tags(1);
     if (comm.rank() != root) {
         comm.send_vec<T>(root, tag, mine);

@@ -2,15 +2,21 @@
 
 #include <exception>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 
 namespace gtopk::comm {
 
 Cluster::RunResult Cluster::run_timed(int world_size, NetworkModel model,
-                                      const WorkerFn& fn) {
+                                      const WorkerFn& fn, obs::Tracer* tracer) {
     InProcTransport transport(world_size);
+    if (tracer && tracer->world_size() < world_size) {
+        throw std::invalid_argument("Cluster: tracer world_size below cluster's");
+    }
+    transport.set_tracer(tracer);
 
     RunResult result;
     result.stats.resize(static_cast<std::size_t>(world_size));
@@ -23,7 +29,9 @@ Cluster::RunResult Cluster::run_timed(int world_size, NetworkModel model,
     threads.reserve(static_cast<std::size_t>(world_size));
     for (int r = 0; r < world_size; ++r) {
         threads.emplace_back([&, r] {
+            util::set_thread_rank(r);  // "[I 12:03:04.512 r03]" log prefixes
             Communicator comm(transport, r, model);
+            comm.set_tracer(tracer);
             try {
                 fn(comm);
             } catch (const MailboxClosed&) {
@@ -46,8 +54,8 @@ Cluster::RunResult Cluster::run_timed(int world_size, NetworkModel model,
 }
 
 std::vector<CommStats> Cluster::run(int world_size, NetworkModel model,
-                                    const WorkerFn& fn) {
-    return run_timed(world_size, model, fn).stats;
+                                    const WorkerFn& fn, obs::Tracer* tracer) {
+    return run_timed(world_size, model, fn, tracer).stats;
 }
 
 }  // namespace gtopk::comm

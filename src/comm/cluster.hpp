@@ -13,6 +13,10 @@
 #include "comm/network_model.hpp"
 #include "comm/transport.hpp"
 
+namespace gtopk::obs {
+class Tracer;
+}  // namespace gtopk::obs
+
 namespace gtopk::comm {
 
 class Cluster {
@@ -21,15 +25,20 @@ public:
 
     /// Run `fn` on `world_size` ranks over a fresh InProcTransport.
     /// Returns the final per-rank CommStats (index == rank).
+    /// With a non-null `tracer` (whose world_size must cover this one),
+    /// every rank's Communicator and the transport record spans/metrics
+    /// into it; nullptr (the default) keeps tracing entirely off.
     static std::vector<CommStats> run(int world_size, NetworkModel model,
-                                      const WorkerFn& fn);
+                                      const WorkerFn& fn,
+                                      obs::Tracer* tracer = nullptr);
 
     /// Convenience: run and also collect each rank's final virtual time.
     struct RunResult {
         std::vector<CommStats> stats;
         std::vector<double> final_time_s;
     };
-    static RunResult run_timed(int world_size, NetworkModel model, const WorkerFn& fn);
+    static RunResult run_timed(int world_size, NetworkModel model, const WorkerFn& fn,
+                               obs::Tracer* tracer = nullptr);
 };
 
 }  // namespace gtopk::comm

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace gtopk::comm {
 
 Communicator::Communicator(Transport& transport, int rank, NetworkModel model)
@@ -11,13 +13,36 @@ Communicator::Communicator(Transport& transport, int rank, NetworkModel model)
     }
 }
 
+void Communicator::set_tracer(obs::Tracer* tracer) {
+    tracer_ = tracer;
+    if (tracer_) {
+        obs::MetricsRegistry& m = tracer_->metrics();
+        m_bytes_sent_ = &m.counter("comm.bytes_sent");
+        m_bytes_received_ = &m.counter("comm.bytes_received");
+        m_message_bytes_ = &m.histogram("comm.message_bytes");
+    } else {
+        m_bytes_sent_ = nullptr;
+        m_bytes_received_ = nullptr;
+        m_message_bytes_ = nullptr;
+    }
+}
+
 void Communicator::send(int dst, int tag, std::span<const std::byte> payload) {
     if (dst == rank_) throw std::invalid_argument("send to self is not allowed");
+    obs::ScopedSpan span(tracer_, clock_, rank_, "send", "comm");
+    span.attrs().bytes = static_cast<std::int64_t>(payload.size());
+    span.attrs().peer = dst;
+    span.attrs().tag = tag;
+
     const double cost = model_.transfer_time_s(payload.size());
     clock_.advance(cost);
     stats_.comm_time_s += cost;
     stats_.messages_sent += 1;
     stats_.bytes_sent += payload.size();
+    if (tracer_) {
+        m_bytes_sent_->add(payload.size());
+        m_message_bytes_->record(payload.size());
+    }
 
     Message msg;
     msg.source = rank_;
@@ -33,12 +58,20 @@ std::vector<std::byte> Communicator::recv(int src, int tag) {
 }
 
 std::vector<std::byte> Communicator::recv(int src, int tag, int& actual_src) {
+    // The span's virtual duration is exactly the wait: how far this rank's
+    // clock had to jump forward to the message's modeled arrival.
+    obs::ScopedSpan span(tracer_, clock_, rank_, "recv_wait", "comm");
+    span.attrs().tag = tag;
+
     Message msg = transport_.receive(rank_, src, tag);
     const double before = clock_.now_s();
     clock_.advance_to(msg.arrival_time_s);
     stats_.comm_time_s += clock_.now_s() - before;
     stats_.messages_received += 1;
     stats_.bytes_received += msg.payload.size();
+    span.attrs().bytes = static_cast<std::int64_t>(msg.payload.size());
+    span.attrs().peer = msg.source;
+    if (tracer_) m_bytes_received_->add(msg.payload.size());
     actual_src = msg.source;
     return std::move(msg.payload);
 }

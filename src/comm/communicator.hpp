@@ -21,6 +21,12 @@
 #include "comm/transport.hpp"
 #include "comm/virtual_clock.hpp"
 
+namespace gtopk::obs {
+class Tracer;
+class Counter;
+class Histogram;
+}  // namespace gtopk::obs
+
 namespace gtopk::comm {
 
 /// Per-rank communication counters, all in virtual time / modeled bytes.
@@ -50,6 +56,13 @@ public:
 
     CommStats& stats() { return stats_; }
     const CommStats& stats() const { return stats_; }
+
+    /// Attach an observability tracer (nullptr = tracing off, the default).
+    /// With a tracer, send/recv record per-message spans and metrics;
+    /// collectives and aggregators pick it up via tracer() to add their
+    /// phase spans. Off, every traced path is one branch on null.
+    void set_tracer(obs::Tracer* tracer);
+    obs::Tracer* tracer() const { return tracer_; }
 
     /// Blocking-by-semantics send (buffered, so it never deadlocks on an
     /// unmatched peer, like an MPI buffered send). Costs alpha + n*beta of
@@ -117,6 +130,12 @@ private:
     NetworkModel model_;
     VirtualClock clock_;
     CommStats stats_;
+    obs::Tracer* tracer_ = nullptr;
+    // Metric cells resolved once in set_tracer so the per-message cost is a
+    // relaxed atomic add, not a registry lookup.
+    obs::Counter* m_bytes_sent_ = nullptr;
+    obs::Counter* m_bytes_received_ = nullptr;
+    obs::Histogram* m_message_bytes_ = nullptr;
 };
 
 }  // namespace gtopk::comm

@@ -2,12 +2,15 @@
 
 namespace gtopk::comm {
 
-void Mailbox::push(Message msg) {
+std::size_t Mailbox::push(Message msg) {
+    std::size_t depth;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         queue_.push_back(std::move(msg));
+        depth = queue_.size();
     }
     cv_.notify_all();
+    return depth;
 }
 
 Message Mailbox::pop(int source, int tag) {

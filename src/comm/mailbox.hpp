@@ -16,8 +16,9 @@ namespace gtopk::comm {
 
 class Mailbox {
 public:
-    /// Enqueue a message (called from the sender's thread).
-    void push(Message msg);
+    /// Enqueue a message (called from the sender's thread). Returns the
+    /// queue depth right after the enqueue (feeds the queue-depth metric).
+    std::size_t push(Message msg);
 
     /// Block until a message matching (source, tag) is available and remove
     /// it. Wildcards kAnySource / kAnyTag match anything.

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace gtopk::comm {
 
 InProcTransport::InProcTransport(int world_size) {
@@ -15,8 +17,13 @@ InProcTransport::InProcTransport(int world_size) {
 
 void InProcTransport::deliver(int dst, Message msg) {
     if (dst < 0 || dst >= world_size()) throw std::out_of_range("deliver: bad rank");
-    mailboxes_[static_cast<std::size_t>(dst)]->push(std::move(msg));
+    const std::size_t depth = mailboxes_[static_cast<std::size_t>(dst)]->push(std::move(msg));
     delivered_.fetch_add(1, std::memory_order_relaxed);
+    if (depth_histogram_) depth_histogram_->record(depth);
+}
+
+void InProcTransport::set_tracer(obs::Tracer* tracer) {
+    depth_histogram_ = tracer ? &tracer->metrics().histogram("mailbox.depth") : nullptr;
 }
 
 Message InProcTransport::receive(int rank, int source, int tag) {

@@ -6,6 +6,7 @@
 // robustness) and so a socket-backed transport could slot in later.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -14,6 +15,11 @@
 #include "comm/mailbox.hpp"
 #include "comm/message.hpp"
 #include "comm/network_model.hpp"
+
+namespace gtopk::obs {
+class Tracer;
+class Histogram;
+}  // namespace gtopk::obs
 
 namespace gtopk::comm {
 
@@ -51,9 +57,15 @@ public:
     /// Total messages delivered since construction (for tests/benches).
     std::uint64_t delivered_count() const;
 
+    /// Attach a tracer whose metrics registry receives a "mailbox.depth"
+    /// histogram sample (destination queue depth after enqueue) on every
+    /// delivery. Call before worker threads start; nullptr detaches.
+    void set_tracer(obs::Tracer* tracer);
+
 private:
     std::vector<std::unique_ptr<Mailbox>> mailboxes_;
     std::atomic<std::uint64_t> delivered_{0};
+    obs::Histogram* depth_histogram_ = nullptr;
 };
 
 }  // namespace gtopk::comm

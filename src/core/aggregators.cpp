@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "collectives/schedule.hpp"
+#include "obs/trace.hpp"
 #include "sparse/topk_merge.hpp"
 #include "sparse/wire.hpp"
 
@@ -29,6 +30,10 @@ GtopkResult gtopk_allreduce(Communicator& comm, const SparseGradient& local,
     const int rank = comm.rank();
     SparseGradient acc = local;
 
+    obs::Tracer* tracer = comm.tracer();
+    obs::ScopedSpan op_span(tracer, comm.clock(), rank, "gtopk.allreduce", "agg");
+    op_span.attrs().nnz = static_cast<std::int64_t>(local.nnz());
+
     if (world > 1) {
         // Fold ranks beyond the largest power-of-two base into the base so
         // the distance-doubling tree below sees a power-of-two world.
@@ -36,10 +41,16 @@ GtopkResult gtopk_allreduce(Communicator& comm, const SparseGradient& local,
         const int excess = world - base;
         const int fold_tag = comm.fresh_tags(1);
         if (rank >= base) {
+            obs::ScopedSpan fold(tracer, comm.clock(), rank, "gtopk.fold", "agg");
+            fold.attrs().peer = rank - base;
+            fold.attrs().nnz = static_cast<std::int64_t>(acc.nnz());
             send_sparse(comm, rank - base, fold_tag, acc);
         } else if (rank < excess) {
+            obs::ScopedSpan fold(tracer, comm.clock(), rank, "gtopk.fold", "agg");
+            fold.attrs().peer = rank + base;
             const SparseGradient incoming = recv_sparse(comm, rank + base, fold_tag);
             acc = sparse::topk_merge(acc, incoming, k);
+            fold.attrs().nnz = static_cast<std::int64_t>(acc.nnz());
         }
 
         // The tree of Fig. 4: at round r, ranks at stride 2^r pair up; the
@@ -52,31 +63,52 @@ GtopkResult gtopk_allreduce(Communicator& comm, const SparseGradient& local,
             for (int r = 0; r < rounds; ++r) {
                 const TreeMergeStep step = collectives::tree_merge_step(rank, r, base);
                 if (step.role == TreeMergeStep::Role::Send) {
+                    obs::ScopedSpan round_span(tracer, comm.clock(), rank,
+                                               "gtopk.merge_round", "agg");
+                    round_span.attrs().round = r;
+                    round_span.attrs().peer = step.peer;
+                    round_span.attrs().nnz = static_cast<std::int64_t>(acc.nnz());
                     send_sparse(comm, step.peer, tree_tag + r, acc);
                     break;  // folded in; wait for the broadcast
                 }
                 if (step.role == TreeMergeStep::Role::Receive) {
+                    obs::ScopedSpan round_span(tracer, comm.clock(), rank,
+                                               "gtopk.merge_round", "agg");
+                    round_span.attrs().round = r;
+                    round_span.attrs().peer = step.peer;
                     const SparseGradient incoming =
                         recv_sparse(comm, step.peer, tree_tag + r);
                     acc = sparse::topk_merge(acc, incoming, k);
+                    round_span.attrs().nnz = static_cast<std::int64_t>(acc.nnz());
+                    if (tracer) {
+                        tracer->metrics().counter("gtopk.merge_rounds").add(1);
+                        tracer->metrics().histogram("gtopk.round_nnz").record(acc.nnz());
+                    }
                 }
             }
         }
 
         // Line 19 of Algorithm 3: broadcast rank 0's result to everyone.
+        obs::ScopedSpan bcast_span(tracer, comm.clock(), rank, "gtopk.broadcast",
+                                   "agg");
         std::vector<std::byte> wire =
             rank == 0 ? sparse::serialize(acc) : std::vector<std::byte>{};
         collectives::broadcast(comm, wire, /*root=*/0, options.bcast);
+        bcast_span.attrs().bytes = static_cast<std::int64_t>(wire.size());
         acc = sparse::deserialize(wire);
     } else {
         acc = sparse::sparse_topk(acc, k);
     }
 
+    if (tracer) tracer->metrics().counter("gtopk.invocations").add(1);
     return GtopkResult{std::move(acc)};
 }
 
 GtopkResult naive_gtopk_allreduce(Communicator& comm, const SparseGradient& local,
                                   std::size_t k) {
+    obs::ScopedSpan span(comm.tracer(), comm.clock(), comm.rank(),
+                         "gtopk.naive_allreduce", "agg");
+    span.attrs().nnz = static_cast<std::int64_t>(local.nnz());
     const std::vector<std::byte> mine = sparse::serialize(local);
     const auto all = collectives::allgatherv<std::byte>(comm, mine);
     SparseGradient sum;
@@ -89,6 +121,9 @@ GtopkResult naive_gtopk_allreduce(Communicator& comm, const SparseGradient& loca
 
 std::vector<float> topk_allreduce(Communicator& comm, const SparseGradient& local,
                                   AllgatherAlgo algo) {
+    obs::ScopedSpan span(comm.tracer(), comm.clock(), comm.rank(),
+                         "topk.allreduce", "agg");
+    span.attrs().nnz = static_cast<std::int64_t>(local.nnz());
     // The paper transfers exactly 2k values per worker ([V, I] of equal
     // length k), which keeps contributions equal-sized and lets the
     // efficient equal-block AllGather apply. Our wire format matches that
@@ -115,6 +150,9 @@ std::vector<float> topk_allreduce(Communicator& comm, const SparseGradient& loca
 
 std::vector<float> dense_allreduce(Communicator& comm, std::span<const float> grad,
                                    AllreduceAlgo algo) {
+    obs::ScopedSpan span(comm.tracer(), comm.clock(), comm.rank(),
+                         "dense.allreduce", "agg");
+    span.attrs().bytes = static_cast<std::int64_t>(grad.size() * sizeof(float));
     std::vector<float> data(grad.begin(), grad.end());
     collectives::allreduce_sum(comm, data, algo);
     return data;

@@ -147,8 +147,14 @@ TrainResult train_distributed(int world_size, comm::NetworkModel net,
 
             double epoch_loss = 0.0;
             for (int it = 0; it < config.iters_per_epoch; ++it, ++step) {
+                obs::ScopedSpan iter_span(config.tracer, comm.clock(), rank,
+                                          "iteration", "train");
+                iter_span.attrs().round = static_cast<int>(step);
                 // --- compute phase (host-timed) ---
                 const double t0 = now_host_s();
+                obs::ScopedSpan compute_span(config.tracer, comm.clock(), rank,
+                                             "compute", "train");
+                compute_span.attrs().round = static_cast<int>(step);
                 nn::Batch batch = train_batches(step, rank);
                 const double loss = model->train_step_gradients(batch);
                 epoch_loss += loss;
@@ -177,9 +183,13 @@ TrainResult train_distributed(int world_size, comm::NetworkModel net,
                 if (config.algorithm != Algorithm::DenseSsgd) {
                     for (std::size_t i = 0; i < m; ++i) accumulated[i] += residual[i];
                 }
+                compute_span.finish();
                 const double t1 = now_host_s();
 
                 // --- compress phase (host-timed) ---
+                obs::ScopedSpan select_span(config.tracer, comm.clock(), rank,
+                                            "select", "train");
+                select_span.attrs().round = static_cast<int>(step);
                 SparseGradient local;
                 std::vector<SparseGradient> seg_locals;  // layer-wise only
                 if (config.algorithm == Algorithm::LayerwiseGtopkSsgd) {
@@ -233,10 +243,16 @@ TrainResult train_distributed(int world_size, comm::NetworkModel net,
                         local.values = lossy;
                     }
                 }
+                select_span.attrs().nnz = static_cast<std::int64_t>(local.nnz());
+                select_span.finish();
                 const double t2 = now_host_s();
 
                 // --- communication phase (virtual-timed) ---
                 const double v0 = comm.clock().now_s();
+                obs::ScopedSpan agg_span(config.tracer, comm.clock(), rank,
+                                         "aggregate", "train");
+                agg_span.attrs().round = static_cast<int>(step);
+                agg_span.attrs().nnz = static_cast<std::int64_t>(local.nnz());
                 std::vector<float> update;  // mean over workers, dense
                 switch (config.algorithm) {
                     case Algorithm::DenseSsgd: {
@@ -299,12 +315,16 @@ TrainResult train_distributed(int world_size, comm::NetworkModel net,
                         break;
                     }
                 }
+                agg_span.finish();
                 const double v1 = comm.clock().now_s();
 
                 // --- update phase. PostAggregation: momentum SGD on the
                 // aggregated mean (identical on every rank). With DGC-style
                 // LocalCorrection the momentum already happened upstream,
                 // so the aggregate is applied as plain SGD.
+                obs::ScopedSpan update_span(config.tracer, comm.clock(), rank,
+                                            "update", "train");
+                update_span.attrs().round = static_cast<int>(step);
                 std::vector<float> delta(m);
                 if (local_momentum) {
                     for (std::size_t i = 0; i < m; ++i) delta[i] = -lr * update[i];
@@ -368,7 +388,7 @@ TrainResult train_distributed(int world_size, comm::NetworkModel net,
         final_stats[static_cast<std::size_t>(rank)] = comm.stats();
     };
 
-    comm::Cluster::run(world_size, net, worker);
+    comm::Cluster::run(world_size, net, worker, config.tracer);
 
     TrainResult result;
     result.epochs = outputs[0].epochs;
@@ -376,6 +396,9 @@ TrainResult train_distributed(int world_size, comm::NetworkModel net,
     result.mean_compress_s = outputs[0].mean_compress_s;
     result.mean_comm_virtual_s = outputs[0].mean_comm_virtual_s;
     result.rank0_comm = final_stats[0];
+    if (config.tracer) {
+        result.rank0_traced_phases = obs::summarize_train_phases(*config.tracer, 0);
+    }
     result.final_params = std::move(outputs[0].final_params);
     return result;
 }

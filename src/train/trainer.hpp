@@ -23,6 +23,7 @@
 #include "comm/cluster.hpp"
 #include "core/aggregators.hpp"
 #include "nn/model.hpp"
+#include "obs/trace.hpp"
 #include "quant/quantizer.hpp"
 #include "sparse/selection_policy.hpp"
 
@@ -84,6 +85,13 @@ struct TrainConfig {
     /// error is returned to the residual (error feedback), so convergence
     /// is preserved. Indices stay exact. None = fp32 values.
     quant::Scheme value_quantizer = quant::Scheme::None;
+
+    /// Observability: non-null enables per-phase span tracing on every rank
+    /// (worker-loop phases, collectives, gTop-k merge rounds, send/recv).
+    /// The tracer must outlive train_distributed and cover world_size
+    /// ranks. nullptr (default) compiles the traced paths down to
+    /// branch-on-null.
+    obs::Tracer* tracer = nullptr;
 };
 
 /// Builds one model replica; called once per rank with the same seed so all
@@ -113,6 +121,10 @@ struct TrainResult {
     double mean_compress_s = 0.0;
     double mean_comm_virtual_s = 0.0;
     comm::CommStats rank0_comm;
+    /// Rank 0's phase totals derived from the tracer's spans (all zeros
+    /// when config.tracer == nullptr). With a large-enough ring buffer this
+    /// reproduces the mean_* accumulators above from the trace alone.
+    obs::PhaseTotals rank0_traced_phases;
     std::vector<float> final_params;  // rank 0's replica
 };
 

@@ -8,6 +8,7 @@
 #include "comm/mailbox.hpp"
 #include "comm/network_model.hpp"
 #include "comm/transport.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -206,6 +207,70 @@ TEST(ClusterTest, RunsEveryRankExactlyOnce) {
     });
     EXPECT_EQ(count.load(), 4);
     EXPECT_EQ(rank_mask.load(), 0b1111);
+}
+
+TEST(CommunicatorTest, TracedSpansAgreeWithCommStats) {
+    // The tracer's per-message spans and metric counters must tell the same
+    // story as the CommStats accumulators: same bytes, same message counts.
+    const int world = 3;
+    gtopk::obs::Tracer tracer(world);
+    const auto stats = Cluster::run(
+        world, NetworkModel::one_gbps_ethernet(),
+        [](Communicator& comm) {
+            ASSERT_NE(comm.tracer(), nullptr);
+            // Ring: everyone sends a rank-dependent payload to the right.
+            const int next = (comm.rank() + 1) % comm.size();
+            const int prev = (comm.rank() + comm.size() - 1) % comm.size();
+            std::vector<float> v(
+                static_cast<std::size_t>(10 * (comm.rank() + 1)), 1.0f);
+            comm.send_vec<float>(next, 1, v);
+            (void)comm.recv_vec<float>(prev, 1);
+        },
+        &tracer);
+
+    std::uint64_t stats_sent_bytes = 0, stats_msgs = 0;
+    for (const auto& s : stats) {
+        stats_sent_bytes += s.bytes_sent;
+        stats_msgs += s.messages_sent;
+    }
+
+    std::uint64_t span_sent_bytes = 0, span_recv_bytes = 0;
+    std::uint64_t send_spans = 0, recv_spans = 0;
+    for (int r = 0; r < world; ++r) {
+        double virtual_span_time = 0.0;
+        for (const auto& span : tracer.rank_spans(r)) {
+            if (std::string(span.name) == "send") {
+                span_sent_bytes += static_cast<std::uint64_t>(span.attrs.bytes);
+                send_spans += 1;
+                virtual_span_time += span.v_end_s - span.v_begin_s;
+            } else if (std::string(span.name) == "recv_wait") {
+                span_recv_bytes += static_cast<std::uint64_t>(span.attrs.bytes);
+                recv_spans += 1;
+                virtual_span_time += span.v_end_s - span.v_begin_s;
+            }
+        }
+        // Per-rank: send+recv span virtual time is exactly the CommStats
+        // comm_time_s accumulator.
+        EXPECT_NEAR(virtual_span_time,
+                    stats[static_cast<std::size_t>(r)].comm_time_s, 1e-12);
+    }
+    EXPECT_EQ(span_sent_bytes, stats_sent_bytes);
+    EXPECT_EQ(span_recv_bytes, stats_sent_bytes);  // every byte arrived
+    EXPECT_EQ(send_spans, stats_msgs);
+    EXPECT_EQ(recv_spans, stats_msgs);
+
+    // Metrics registry agrees too.
+    const auto& metrics = tracer.metrics();
+    ASSERT_NE(metrics.find_counter("comm.bytes_sent"), nullptr);
+    EXPECT_EQ(metrics.find_counter("comm.bytes_sent")->value(), stats_sent_bytes);
+    EXPECT_EQ(metrics.find_counter("comm.bytes_received")->value(), stats_sent_bytes);
+    const auto* msg_hist = metrics.find_histogram("comm.message_bytes");
+    ASSERT_NE(msg_hist, nullptr);
+    EXPECT_EQ(msg_hist->count(), stats_msgs);
+    EXPECT_EQ(msg_hist->sum(), stats_sent_bytes);
+    const auto* depth_hist = metrics.find_histogram("mailbox.depth");
+    ASSERT_NE(depth_hist, nullptr);
+    EXPECT_EQ(depth_hist->count(), stats_msgs);  // one sample per delivery
 }
 
 TEST(NetworkModelTest, TransferTimeMatchesDefinition) {
