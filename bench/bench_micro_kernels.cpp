@@ -42,6 +42,29 @@ BENCHMARK_CAPTURE(BM_TopkSelect, full_sort, sparse::TopkStrategy::FullSort)
     ->Arg(100'000)
     ->Arg(1'000'000);
 
+void BM_TopkSelectWorkspace(benchmark::State& state, bool prefilter) {
+    // Workspace-reusing selection (identical results to BM_TopkSelect /
+    // nth_element), with and without the sampled-threshold pre-filter.
+    const auto m = static_cast<std::size_t>(state.range(0));
+    const std::size_t k = std::max<std::size_t>(1, m / 1000);
+    const auto dense = random_dense(m, 1);
+    sparse::TopkWorkspace ws;
+    sparse::SparseGradient out;
+    const sparse::TopkOptions options{.sampled_prefilter = prefilter};
+    for (auto _ : state) {
+        sparse::topk_select_into(dense, k, ws, out, options);
+        benchmark::DoNotOptimize(out.indices.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(m));
+}
+BENCHMARK_CAPTURE(BM_TopkSelectWorkspace, exact, false)
+    ->Arg(100'000)
+    ->Arg(1'000'000);
+BENCHMARK_CAPTURE(BM_TopkSelectWorkspace, prefilter, true)
+    ->Arg(100'000)
+    ->Arg(1'000'000);
+
 void BM_SampledTopkSelect(benchmark::State& state) {
     // The DGC-style sampling estimate — compare against BM_TopkSelect to
     // see the practical answer to the paper's Sec. IV-E complaint that
@@ -76,6 +99,36 @@ void BM_WireRoundTrip(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_WireRoundTrip)->Arg(1000)->Arg(25'000);
+
+void BM_TopkMergeInto(benchmark::State& state) {
+    // In-place ⊤ merge with reused scratch — compare against BM_TopkMerge's
+    // allocate-add-reselect chain.
+    const auto k = static_cast<std::size_t>(state.range(0));
+    const auto a = sparse::topk_select(random_dense(100 * k, 2), k);
+    const auto b = sparse::topk_select(random_dense(100 * k, 3), k);
+    sparse::MergeScratch scratch;
+    sparse::SparseGradient acc;
+    for (auto _ : state) {
+        acc = a;
+        sparse::topk_merge_into(acc, b.dense_size, b.indices, b.values, k, scratch);
+        benchmark::DoNotOptimize(acc.indices.data());
+    }
+}
+BENCHMARK(BM_TopkMergeInto)->Arg(1000)->Arg(25'000);
+
+void BM_WireRoundTripPooled(benchmark::State& state) {
+    // serialize_into a reused buffer + zero-copy view — compare against
+    // BM_WireRoundTrip's owning serialize/deserialize pair.
+    const auto k = static_cast<std::size_t>(state.range(0));
+    const auto g = sparse::topk_select(random_dense(100 * k, 4), k);
+    std::vector<std::byte> buf;
+    for (auto _ : state) {
+        sparse::serialize_into(g, buf);
+        const sparse::SparseGradientView v = sparse::deserialize_view(buf);
+        benchmark::DoNotOptimize(v.values.data());
+    }
+}
+BENCHMARK(BM_WireRoundTripPooled)->Arg(1000)->Arg(25'000);
 
 void BM_GtopkAllreduceHostCost(benchmark::State& state) {
     // Host-side (wall clock) cost of the full tree aggregation on a small

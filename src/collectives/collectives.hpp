@@ -65,7 +65,7 @@ void broadcast(Communicator& comm, std::vector<T>& data, int root,
                 if (dst != root) comm.send_vec<T>(dst, tag, data);
             }
         } else {
-            data = comm.recv_vec<T>(root, tag);
+            comm.recv_vec_into<T>(root, tag, data);
             span.attrs().bytes = static_cast<std::int64_t>(data.size() * sizeof(T));
         }
         return;
@@ -74,7 +74,7 @@ void broadcast(Communicator& comm, std::vector<T>& data, int root,
     const int tag = comm.fresh_tags(rounds);
     const BinomialBcastPlan plan = binomial_bcast_plan(comm.rank(), root, world);
     if (plan.recv_round >= 0) {
-        data = comm.recv_vec<T>(plan.recv_from, tag + plan.recv_round);
+        comm.recv_vec_into<T>(plan.recv_from, tag + plan.recv_round, data);
         span.attrs().bytes = static_cast<std::int64_t>(data.size() * sizeof(T));
         span.attrs().round = plan.recv_round;
     }
@@ -102,6 +102,7 @@ std::vector<T> reduce_sum(Communicator& comm, std::span<const T> local, int root
     const int vrank = (comm.rank() - root + world) % world;
     const int rounds = ilog2_ceil(world);
     const int tag = comm.fresh_tags(rounds);
+    std::vector<T> incoming;
     for (int r = 0; r < rounds; ++r) {
         const int bit = 1 << r;
         if (vrank & bit) {
@@ -111,7 +112,7 @@ std::vector<T> reduce_sum(Communicator& comm, std::span<const T> local, int root
         }
         const int vsrc = vrank + bit;
         if (vsrc < world && (vrank & (bit - 1)) == 0) {
-            std::vector<T> incoming = comm.recv_vec<T>((vsrc + root) % world, tag + r);
+            comm.recv_vec_into<T>((vsrc + root) % world, tag + r, incoming);
             if (incoming.size() != acc.size()) {
                 throw std::runtime_error("reduce_sum: size mismatch");
             }
@@ -145,12 +146,14 @@ void allreduce_sum_ring(Communicator& comm, std::vector<T>& data) {
     };
 
     // Reduce-scatter: after step s, rank holds the sum of (s+2) ranks'
-    // values for block (rank - s - 1).
+    // values for block (rank - s - 1). `incoming` is hoisted so its
+    // capacity (like the wire buffers underneath) is reused every step.
+    std::vector<T> incoming;
     for (int s = 0; s < steps; ++s) {
         const int send_block = rank - s;
         const int recv_block = rank - s - 1;
         comm.send_vec<T>(ring.send_to, tag + s, std::span<const T>(block(send_block)));
-        std::vector<T> incoming = comm.recv_vec<T>(ring.recv_from, tag + s);
+        comm.recv_vec_into<T>(ring.recv_from, tag + s, incoming);
         auto dst = block(recv_block);
         if (incoming.size() != dst.size()) {
             throw std::runtime_error("allreduce_sum_ring: block size mismatch");
@@ -163,7 +166,7 @@ void allreduce_sum_ring(Communicator& comm, std::vector<T>& data) {
         const int recv_block = rank - s;
         comm.send_vec<T>(ring.send_to, tag + steps + s,
                          std::span<const T>(block(send_block)));
-        std::vector<T> incoming = comm.recv_vec<T>(ring.recv_from, tag + steps + s);
+        comm.recv_vec_into<T>(ring.recv_from, tag + steps + s, incoming);
         auto dst = block(recv_block);
         std::memcpy(dst.data(), incoming.data(), incoming.size() * sizeof(T));
     }
@@ -184,10 +187,11 @@ void allreduce_sum_recursive_doubling(Communicator& comm, std::vector<T>& data) 
     span.attrs().bytes = static_cast<std::int64_t>(data.size() * sizeof(T));
     const int rounds = ilog2_floor(world);
     const int tag = comm.fresh_tags(rounds);
+    std::vector<T> incoming;
     for (int r = 0; r < rounds; ++r) {
         const int peer = comm.rank() ^ (1 << r);
         comm.send_vec<T>(peer, tag + r, data);
-        std::vector<T> incoming = comm.recv_vec<T>(peer, tag + r);
+        comm.recv_vec_into<T>(peer, tag + r, incoming);
         for (std::size_t i = 0; i < data.size(); ++i) data[i] += incoming[i];
     }
 }
@@ -219,6 +223,7 @@ void allreduce_sum_rabenseifner(Communicator& comm, std::vector<T>& data) {
     // [lo, hi) halves every round; the half belonging to the partner's
     // side is shipped out and the kept half absorbs the partner's data.
     std::size_t lo = 0, hi = data.size();
+    std::vector<T> incoming;
     for (int r = 0; r < rounds; ++r) {
         const int bit = 1 << (rounds - 1 - r);
         const int peer = rank ^ bit;
@@ -228,7 +233,7 @@ void allreduce_sum_rabenseifner(Communicator& comm, std::vector<T>& data) {
         const std::size_t send_hi = keep_lower ? hi : mid;
         comm.send_vec<T>(peer, tag + r,
                          std::span<const T>(data.data() + send_lo, send_hi - send_lo));
-        const std::vector<T> incoming = comm.recv_vec<T>(peer, tag + r);
+        comm.recv_vec_into<T>(peer, tag + r, incoming);
         if (keep_lower) {
             hi = mid;
         } else {
@@ -247,7 +252,7 @@ void allreduce_sum_rabenseifner(Communicator& comm, std::vector<T>& data) {
         const int peer = rank ^ bit;
         comm.send_vec<T>(peer, tag + rounds + r,
                          std::span<const T>(data.data() + lo, hi - lo));
-        const std::vector<T> incoming = comm.recv_vec<T>(peer, tag + rounds + r);
+        comm.recv_vec_into<T>(peer, tag + rounds + r, incoming);
         if ((rank & bit) == 0) {
             // Peer owned the upper sibling window.
             std::memcpy(data.data() + hi, incoming.data(), incoming.size() * sizeof(T));
@@ -294,6 +299,7 @@ std::vector<T> allgather(Communicator& comm, std::span<const T> mine,
         // buddy window of rank ^ 2^r.
         const int rounds = ilog2_floor(world);
         const int tag = comm.fresh_tags(rounds);
+        std::vector<T> incoming;
         for (int r = 0; r < rounds; ++r) {
             const int width = 1 << r;
             const int peer = comm.rank() ^ width;
@@ -302,7 +308,7 @@ std::vector<T> allgather(Communicator& comm, std::span<const T> mine,
             std::span<const T> window(out.data() + n * static_cast<std::size_t>(my_base),
                                       n * static_cast<std::size_t>(width));
             comm.send_vec<T>(peer, tag + r, window);
-            std::vector<T> incoming = comm.recv_vec<T>(peer, tag + r);
+            comm.recv_vec_into<T>(peer, tag + r, incoming);
             std::memcpy(out.data() + n * static_cast<std::size_t>(peer_base),
                         incoming.data(), incoming.size() * sizeof(T));
         }
@@ -312,12 +318,13 @@ std::vector<T> allgather(Communicator& comm, std::span<const T> mine,
     // Ring allgather: P-1 steps, forwarding the newest block each time.
     const RingStep ring = ring_neighbors(comm.rank(), world);
     const int tag = comm.fresh_tags(world - 1);
+    std::vector<T> incoming;
     for (int s = 0; s < world - 1; ++s) {
         const int send_block = (comm.rank() - s + world) % world;
         const int recv_block = (comm.rank() - s - 1 + world) % world;
         std::span<const T> window(out.data() + n * static_cast<std::size_t>(send_block), n);
         comm.send_vec<T>(ring.send_to, tag + s, window);
-        std::vector<T> incoming = comm.recv_vec<T>(ring.recv_from, tag + s);
+        comm.recv_vec_into<T>(ring.recv_from, tag + s, incoming);
         std::memcpy(out.data() + n * static_cast<std::size_t>(recv_block),
                     incoming.data(), incoming.size() * sizeof(T));
     }
@@ -345,8 +352,8 @@ std::vector<std::vector<T>> allgatherv(Communicator& comm, std::span<const T> mi
         const int recv_block = (comm.rank() - s - 1 + world) % world;
         const auto& payload = out[static_cast<std::size_t>(send_block)];
         comm.send_vec<T>(ring.send_to, tag + s, payload);
-        out[static_cast<std::size_t>(recv_block)] =
-            comm.recv_vec<T>(ring.recv_from, tag + s);
+        comm.recv_vec_into<T>(ring.recv_from, tag + s,
+                              out[static_cast<std::size_t>(recv_block)]);
     }
     return out;
 }
@@ -368,9 +375,10 @@ std::vector<T> gather(Communicator& comm, std::span<const T> mine, int root) {
     std::vector<T> out(mine.size() * static_cast<std::size_t>(world));
     std::memcpy(out.data() + mine.size() * static_cast<std::size_t>(root), mine.data(),
                 mine.size() * sizeof(T));
+    std::vector<T> part;
     for (int src = 0; src < world; ++src) {
         if (src == root) continue;
-        std::vector<T> part = comm.recv_vec<T>(src, tag);
+        comm.recv_vec_into<T>(src, tag, part);
         if (part.size() != mine.size()) throw std::runtime_error("gather: size mismatch");
         std::memcpy(out.data() + part.size() * static_cast<std::size_t>(src), part.data(),
                     part.size() * sizeof(T));

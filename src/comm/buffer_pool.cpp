@@ -1,0 +1,45 @@
+#include "comm/buffer_pool.hpp"
+
+namespace gtopk::comm {
+
+std::vector<std::byte> BufferPool::acquire(std::size_t size) {
+    ++stats_.acquires;
+    // Best-fit over the (tiny, <= kMaxFree) freelist: prefer the smallest
+    // buffer whose capacity already covers the request, so big buffers stay
+    // available for big messages.
+    std::size_t best = free_.size();
+    for (std::size_t i = 0; i < free_.size(); ++i) {
+        if (free_[i].capacity() < size) continue;
+        if (best == free_.size() || free_[i].capacity() < free_[best].capacity()) {
+            best = i;
+        }
+    }
+    if (best == free_.size() && !free_.empty()) {
+        // Nothing big enough: grow the largest one (keeps list short).
+        best = 0;
+        for (std::size_t i = 1; i < free_.size(); ++i) {
+            if (free_[i].capacity() > free_[best].capacity()) best = i;
+        }
+    }
+    if (best < free_.size()) {
+        std::vector<std::byte> buf = std::move(free_[best]);
+        free_[best] = std::move(free_.back());
+        free_.pop_back();
+        if (buf.capacity() >= size) ++stats_.pool_hits;
+        buf.resize(size);
+        return buf;
+    }
+    return std::vector<std::byte>(size);
+}
+
+void BufferPool::release(std::vector<std::byte>&& buf) {
+    ++stats_.releases;
+    if (buf.capacity() == 0) return;
+    if (free_.size() >= kMaxFree) {
+        ++stats_.dropped;
+        return;  // let it free
+    }
+    free_.push_back(std::move(buf));
+}
+
+}  // namespace gtopk::comm

@@ -1,0 +1,98 @@
+// BufferPool: a per-rank freelist of byte buffers backing Message payloads.
+//
+// The simulator's hot path moves one serialized sparse gradient per hop; at
+// steady state every hop needs a payload buffer of roughly the same size
+// (wire_size_bytes(k)). Allocating it fresh per message made heap churn the
+// dominant host cost. The pool instead recycles a handful of buffers:
+//
+//   * a SENDER acquires a buffer from ITS pool, fills it, and moves it into
+//     the Message (zero further copies);
+//   * the RECEIVER gets the payload out of its mailbox and, when done,
+//     releases the vector into ITS OWN pool (via the PooledBuffer RAII
+//     wrapper), to be reused by its next send.
+//
+// Buffers therefore migrate between per-rank pools but each pool is only
+// ever touched by the thread that owns the rank — no locking, no atomics,
+// nothing for TSan to mind. The cross-thread handoff of buffer contents is
+// ordered by the mailbox mutex, exactly as for any Message.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace gtopk::comm {
+
+class BufferPool {
+public:
+    /// A buffer of exactly `size` bytes, reusing a pooled allocation when one
+    /// with sufficient capacity is available.
+    std::vector<std::byte> acquire(std::size_t size);
+
+    /// Return a buffer's storage to the pool (capacity kept, contents
+    /// forgotten). At most kMaxFree buffers are retained; excess is freed.
+    void release(std::vector<std::byte>&& buf);
+
+    struct Stats {
+        std::uint64_t acquires = 0;
+        std::uint64_t pool_hits = 0;  // served without a heap allocation
+        std::uint64_t releases = 0;
+        std::uint64_t dropped = 0;  // released over the retention cap
+    };
+    const Stats& stats() const { return stats_; }
+    std::size_t free_count() const { return free_.size(); }
+
+    static constexpr std::size_t kMaxFree = 8;
+
+private:
+    std::vector<std::vector<std::byte>> free_;
+    Stats stats_;
+};
+
+/// RAII view of a received payload: exposes the bytes and releases the
+/// storage into the receiving rank's pool on destruction. Move-only.
+class PooledBuffer {
+public:
+    PooledBuffer() = default;
+    PooledBuffer(std::vector<std::byte> data, BufferPool* pool)
+        : data_(std::move(data)), pool_(pool) {}
+    ~PooledBuffer() { reset(); }
+
+    PooledBuffer(PooledBuffer&& other) noexcept
+        : data_(std::move(other.data_)), pool_(other.pool_) {
+        other.pool_ = nullptr;
+        other.data_.clear();
+    }
+    PooledBuffer& operator=(PooledBuffer&& other) noexcept {
+        if (this != &other) {
+            reset();
+            data_ = std::move(other.data_);
+            pool_ = other.pool_;
+            other.pool_ = nullptr;
+            other.data_.clear();
+        }
+        return *this;
+    }
+    PooledBuffer(const PooledBuffer&) = delete;
+    PooledBuffer& operator=(const PooledBuffer&) = delete;
+
+    std::span<const std::byte> bytes() const { return data_; }
+    std::size_t size() const { return data_.size(); }
+
+    /// Release the storage back to the pool now (safe to call repeatedly).
+    void reset() {
+        if (pool_) {
+            pool_->release(std::move(data_));
+            pool_ = nullptr;
+        }
+        data_.clear();
+    }
+
+private:
+    std::vector<std::byte> data_;
+    BufferPool* pool_ = nullptr;
+};
+
+}  // namespace gtopk::comm

@@ -28,6 +28,14 @@ void Communicator::set_tracer(obs::Tracer* tracer) {
 }
 
 void Communicator::send(int dst, int tag, std::span<const std::byte> payload) {
+    std::vector<std::byte> buf = pool_.acquire(payload.size());
+    if (!payload.empty()) {
+        std::memcpy(buf.data(), payload.data(), payload.size());
+    }
+    send_buffer(dst, tag, std::move(buf));
+}
+
+void Communicator::send_buffer(int dst, int tag, std::vector<std::byte>&& payload) {
     if (dst == rank_) throw std::invalid_argument("send to self is not allowed");
     obs::ScopedSpan span(tracer_, clock_, rank_, "send", "comm");
     span.attrs().bytes = static_cast<std::int64_t>(payload.size());
@@ -48,7 +56,7 @@ void Communicator::send(int dst, int tag, std::span<const std::byte> payload) {
     msg.source = rank_;
     msg.tag = tag;
     msg.arrival_time_s = clock_.now_s();
-    msg.payload.assign(payload.begin(), payload.end());
+    msg.payload = std::move(payload);
     transport_.deliver(dst, std::move(msg));
 }
 
@@ -74,6 +82,15 @@ std::vector<std::byte> Communicator::recv(int src, int tag, int& actual_src) {
     if (tracer_) m_bytes_received_->add(msg.payload.size());
     actual_src = msg.source;
     return std::move(msg.payload);
+}
+
+PooledBuffer Communicator::recv_buffer(int src, int tag) {
+    int ignored = 0;
+    return recv_buffer(src, tag, ignored);
+}
+
+PooledBuffer Communicator::recv_buffer(int src, int tag, int& actual_src) {
+    return PooledBuffer(recv(src, tag, actual_src), &pool_);
 }
 
 }  // namespace gtopk::comm

@@ -17,6 +17,7 @@
 #include <span>
 #include <vector>
 
+#include "comm/buffer_pool.hpp"
 #include "comm/network_model.hpp"
 #include "comm/transport.hpp"
 #include "comm/virtual_clock.hpp"
@@ -66,8 +67,14 @@ public:
 
     /// Blocking-by-semantics send (buffered, so it never deadlocks on an
     /// unmatched peer, like an MPI buffered send). Costs alpha + n*beta of
-    /// sender virtual time.
+    /// sender virtual time. The payload is copied — into a pooled buffer,
+    /// so steady-state sends do not allocate.
     void send(int dst, int tag, std::span<const std::byte> payload);
+
+    /// Zero-copy send: the vector is moved into the Message unchanged.
+    /// Acquire it from buffer_pool() (serialize straight into it) so the
+    /// storage recirculates; any vector is accepted either way.
+    void send_buffer(int dst, int tag, std::vector<std::byte>&& payload);
 
     /// Blocking matched receive; returns the payload. Receiver's clock is
     /// advanced to the message's modeled arrival.
@@ -75,6 +82,15 @@ public:
 
     /// Receive and also report the actual source (for kAnySource receives).
     std::vector<std::byte> recv(int src, int tag, int& actual_src);
+
+    /// Like recv, but the payload's storage returns to this rank's pool
+    /// when the returned handle dies — the allocation-free receive path.
+    PooledBuffer recv_buffer(int src, int tag);
+    PooledBuffer recv_buffer(int src, int tag, int& actual_src);
+
+    /// This rank's payload buffer pool. Single-threaded: only the owning
+    /// rank's thread may touch it.
+    BufferPool& buffer_pool() { return pool_; }
 
     /// Typed helpers for trivially copyable element types.
     template <typename T>
@@ -90,11 +106,21 @@ public:
 
     template <typename T>
     std::vector<T> recv_vec(int src, int tag) {
-        static_assert(std::is_trivially_copyable_v<T>);
-        std::vector<std::byte> raw = recv(src, tag);
-        std::vector<T> out(raw.size() / sizeof(T));
-        std::memcpy(out.data(), raw.data(), out.size() * sizeof(T));
+        std::vector<T> out;
+        recv_vec_into<T>(src, tag, out);
         return out;
+    }
+
+    /// Receive into an existing vector, reusing its capacity; the wire
+    /// buffer itself recycles through the pool.
+    template <typename T>
+    void recv_vec_into(int src, int tag, std::vector<T>& out) {
+        static_assert(std::is_trivially_copyable_v<T>);
+        const PooledBuffer raw = recv_buffer(src, tag);
+        out.resize(raw.size() / sizeof(T));
+        if (!out.empty()) {
+            std::memcpy(out.data(), raw.bytes().data(), out.size() * sizeof(T));
+        }
     }
 
     /// Send a single trivially-copyable value.
@@ -130,6 +156,7 @@ private:
     NetworkModel model_;
     VirtualClock clock_;
     CommStats stats_;
+    BufferPool pool_;
     obs::Tracer* tracer_ = nullptr;
     // Metric cells resolved once in set_tracer so the per-message cost is a
     // relaxed atomic add, not a registry lookup.

@@ -13,13 +13,39 @@ namespace {
 
 using collectives::TreeMergeStep;
 
-void send_sparse(Communicator& comm, int dst, int tag, const SparseGradient& g) {
-    const std::vector<std::byte> bytes = sparse::serialize(g);
-    comm.send(dst, tag, bytes);
+void send_sparse(Communicator& comm, int dst, int tag, const SparseGradient& g,
+                 bool pooled) {
+    if (pooled) {
+        // Serialize straight into a pooled buffer and move it into the
+        // message — no owning temporary, no copy into the payload.
+        std::vector<std::byte> buf =
+            comm.buffer_pool().acquire(sparse::wire_size_bytes(g.nnz()));
+        sparse::serialize_into(g, buf);
+        comm.send_buffer(dst, tag, std::move(buf));
+    } else {
+        const std::vector<std::byte> bytes = sparse::serialize(g);
+        comm.send(dst, tag, bytes);
+    }
 }
 
 SparseGradient recv_sparse(Communicator& comm, int src, int tag) {
     return sparse::deserialize(comm.recv(src, tag));
+}
+
+/// Receive a sparse gradient and fold it into `acc` with ⊤. The pooled
+/// path validates the wire bytes once and merges directly off them (the
+/// payload recycles into this rank's pool when `raw` dies); the owning
+/// path reproduces the PR-1 materialize-add-reselect sequence.
+void recv_merge(Communicator& comm, int src, int tag, SparseGradient& acc,
+                std::size_t k, bool pooled, GtopkWorkspace& ws) {
+    if (pooled) {
+        const comm::PooledBuffer raw = comm.recv_buffer(src, tag);
+        const sparse::SparseGradientView v = sparse::deserialize_view(raw.bytes());
+        sparse::topk_merge_into(acc, v.dense_size, v.indices, v.values, k, ws.merge);
+    } else {
+        const SparseGradient incoming = recv_sparse(comm, src, tag);
+        acc = sparse::topk_merge(acc, incoming, k);
+    }
 }
 
 }  // namespace
@@ -29,6 +55,9 @@ GtopkResult gtopk_allreduce(Communicator& comm, const SparseGradient& local,
     const int world = comm.size();
     const int rank = comm.rank();
     SparseGradient acc = local;
+
+    GtopkWorkspace local_ws;
+    GtopkWorkspace& ws = options.workspace ? *options.workspace : local_ws;
 
     obs::Tracer* tracer = comm.tracer();
     obs::ScopedSpan op_span(tracer, comm.clock(), rank, "gtopk.allreduce", "agg");
@@ -44,12 +73,11 @@ GtopkResult gtopk_allreduce(Communicator& comm, const SparseGradient& local,
             obs::ScopedSpan fold(tracer, comm.clock(), rank, "gtopk.fold", "agg");
             fold.attrs().peer = rank - base;
             fold.attrs().nnz = static_cast<std::int64_t>(acc.nnz());
-            send_sparse(comm, rank - base, fold_tag, acc);
+            send_sparse(comm, rank - base, fold_tag, acc, options.pooled);
         } else if (rank < excess) {
             obs::ScopedSpan fold(tracer, comm.clock(), rank, "gtopk.fold", "agg");
             fold.attrs().peer = rank + base;
-            const SparseGradient incoming = recv_sparse(comm, rank + base, fold_tag);
-            acc = sparse::topk_merge(acc, incoming, k);
+            recv_merge(comm, rank + base, fold_tag, acc, k, options.pooled, ws);
             fold.attrs().nnz = static_cast<std::int64_t>(acc.nnz());
         }
 
@@ -68,7 +96,7 @@ GtopkResult gtopk_allreduce(Communicator& comm, const SparseGradient& local,
                     round_span.attrs().round = r;
                     round_span.attrs().peer = step.peer;
                     round_span.attrs().nnz = static_cast<std::int64_t>(acc.nnz());
-                    send_sparse(comm, step.peer, tree_tag + r, acc);
+                    send_sparse(comm, step.peer, tree_tag + r, acc, options.pooled);
                     break;  // folded in; wait for the broadcast
                 }
                 if (step.role == TreeMergeStep::Role::Receive) {
@@ -76,9 +104,8 @@ GtopkResult gtopk_allreduce(Communicator& comm, const SparseGradient& local,
                                                "gtopk.merge_round", "agg");
                     round_span.attrs().round = r;
                     round_span.attrs().peer = step.peer;
-                    const SparseGradient incoming =
-                        recv_sparse(comm, step.peer, tree_tag + r);
-                    acc = sparse::topk_merge(acc, incoming, k);
+                    recv_merge(comm, step.peer, tree_tag + r, acc, k, options.pooled,
+                               ws);
                     round_span.attrs().nnz = static_cast<std::int64_t>(acc.nnz());
                     if (tracer) {
                         tracer->metrics().counter("gtopk.merge_rounds").add(1);
@@ -89,13 +116,26 @@ GtopkResult gtopk_allreduce(Communicator& comm, const SparseGradient& local,
         }
 
         // Line 19 of Algorithm 3: broadcast rank 0's result to everyone.
+        // ws.wire is the reused broadcast buffer: the root serializes into
+        // it, receivers land in it, and the final copy into `acc` reuses
+        // acc's (already k-sized) storage.
         obs::ScopedSpan bcast_span(tracer, comm.clock(), rank, "gtopk.broadcast",
                                    "agg");
-        std::vector<std::byte> wire =
-            rank == 0 ? sparse::serialize(acc) : std::vector<std::byte>{};
-        collectives::broadcast(comm, wire, /*root=*/0, options.bcast);
-        bcast_span.attrs().bytes = static_cast<std::int64_t>(wire.size());
-        acc = sparse::deserialize(wire);
+        if (rank == 0) {
+            sparse::serialize_into(acc, ws.wire);
+        } else {
+            ws.wire.clear();
+        }
+        collectives::broadcast(comm, ws.wire, /*root=*/0, options.bcast);
+        bcast_span.attrs().bytes = static_cast<std::int64_t>(ws.wire.size());
+        if (options.pooled) {
+            const sparse::SparseGradientView v = sparse::deserialize_view(ws.wire);
+            acc.dense_size = v.dense_size;
+            acc.indices.assign(v.indices.begin(), v.indices.end());
+            acc.values.assign(v.values.begin(), v.values.end());
+        } else {
+            acc = sparse::deserialize(ws.wire);
+        }
     } else {
         acc = sparse::sparse_topk(acc, k);
     }
@@ -138,7 +178,10 @@ std::vector<float> topk_allreduce(Communicator& comm, const SparseGradient& loca
     for (int g = 0; g < comm.size(); ++g) {
         const std::span<const std::byte> bytes(gathered.data() + block * static_cast<std::size_t>(g),
                                                block);
-        const SparseGradient part = sparse::deserialize(bytes);
+        // Zero-copy: validate the block once, scatter straight off the
+        // gathered wire bytes (block offsets are 4-byte aligned: the wire
+        // size 16 + 8k is divisible by 4).
+        const sparse::SparseGradientView part = sparse::deserialize_view(bytes);
         if (part.dense_size != local.dense_size || part.nnz() != local.nnz()) {
             throw std::runtime_error(
                 "topk_allreduce: workers must contribute equal-size selections");

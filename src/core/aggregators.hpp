@@ -22,6 +22,7 @@
 #include "collectives/collectives.hpp"
 #include "comm/communicator.hpp"
 #include "sparse/sparse_gradient.hpp"
+#include "sparse/topk_merge.hpp"
 
 namespace gtopk::core {
 
@@ -31,9 +32,24 @@ using collectives::BcastAlgo;
 using comm::Communicator;
 using sparse::SparseGradient;
 
+/// Cross-invocation scratch for gtopk_allreduce: merge-round temporaries
+/// and the broadcast wire buffer. Optional — pass one per worker via
+/// GtopkOptions::workspace and the per-iteration aggregation stops
+/// allocating; without it a local instance amortizes within one call.
+struct GtopkWorkspace {
+    sparse::MergeScratch merge;
+    std::vector<std::byte> wire;
+};
+
 /// Knobs for gtopk_allreduce, exposed for the ablation benches.
 struct GtopkOptions {
     BcastAlgo bcast = BcastAlgo::BinomialTree;
+    /// Allocation-free wire path: serialize into pooled buffers, receive
+    /// via zero-copy views, merge in place. Off = the owning
+    /// serialize/deserialize/topk_merge path, kept as the A/B baseline for
+    /// bench_hotpath. Results are bit-identical either way.
+    bool pooled = true;
+    GtopkWorkspace* workspace = nullptr;
 };
 
 /// Result of a global-top-k aggregation. `global` holds the k

@@ -43,7 +43,8 @@ EpochPlan plan_epoch(const PsTrainConfig& config, int epoch, std::size_t m) {
     return plan;
 }
 
-void scatter_mean(const SparseGradient& g, int workers, std::vector<float>& out) {
+void scatter_mean(const sparse::SparseGradientView& g, int workers,
+                  std::vector<float>& out) {
     std::fill(out.begin(), out.end(), 0.0f);
     const float inv = 1.0f / static_cast<float>(workers);
     for (std::size_t i = 0; i < g.nnz(); ++i) {
@@ -75,6 +76,11 @@ train::TrainResult train_parameter_server(int workers, comm::NetworkModel net,
         std::vector<float> residual(m, 0.0f);
         std::vector<float> velocity(m, 0.0f);
         std::vector<float> update(m, 0.0f);
+        // Reused hot-path scratch (see DESIGN.md §9): selection workspace on
+        // workers, merge scratch + wire buffer on the server.
+        sparse::TopkWorkspace select_ws;
+        sparse::MergeScratch merge_scratch;
+        std::vector<std::byte> wire;
 
         std::int64_t step = 0;
         for (int epoch = 0; epoch < config.epochs; ++epoch) {
@@ -97,11 +103,18 @@ train::TrainResult train_parameter_server(int workers, comm::NetworkModel net,
                         SparseGradient sum;
                         sum.dense_size = static_cast<std::int64_t>(m);
                         for (int w = 1; w <= workers; ++w) {
-                            sum = sparse::add(
-                                sum, sparse::deserialize(comm.recv(w, kPushTag)));
+                            // Validate-once view straight off the pooled wire
+                            // bytes; k = m makes the merge a pure sparse sum
+                            // (merged nnz can never exceed m).
+                            const comm::PooledBuffer raw =
+                                comm.recv_buffer(w, kPushTag);
+                            const sparse::SparseGradientView v =
+                                sparse::deserialize_view(raw.bytes());
+                            sparse::topk_merge_into(sum, v.dense_size, v.indices,
+                                                    v.values, m, merge_scratch);
                         }
                         const SparseGradient global = sparse::sparse_topk(sum, plan.k);
-                        const auto wire = sparse::serialize(global);
+                        sparse::serialize_into(global, wire);
                         for (int w = 1; w <= workers; ++w) {
                             comm.send(w, kPullTag, wire);
                         }
@@ -122,7 +135,7 @@ train::TrainResult train_parameter_server(int workers, comm::NetworkModel net,
 
                 SparseGradient local;
                 if (config.aggregation == PsAggregation::Gtopk) {
-                    local = sparse::topk_select(accumulated, plan.k);
+                    sparse::topk_select_into(accumulated, plan.k, select_ws, local);
                     residual = accumulated;
                     sparse::zero_selected(residual, local);
                 }
@@ -135,9 +148,15 @@ train::TrainResult train_parameter_server(int workers, comm::NetworkModel net,
                     const float inv = 1.0f / static_cast<float>(workers);
                     for (std::size_t i = 0; i < m; ++i) update[i] = sum[i] * inv;
                 } else {
-                    comm.send(0, kPushTag, sparse::serialize(local));
-                    const SparseGradient global =
-                        sparse::deserialize(comm.recv(0, kPullTag));
+                    // Push via a pooled buffer (no owning temporary), pull
+                    // as a zero-copy view over the wire bytes.
+                    std::vector<std::byte> push =
+                        comm.buffer_pool().acquire(sparse::wire_size_bytes(local.nnz()));
+                    sparse::serialize_into(local, push);
+                    comm.send_buffer(0, kPushTag, std::move(push));
+                    const comm::PooledBuffer raw = comm.recv_buffer(0, kPullTag);
+                    const sparse::SparseGradientView global =
+                        sparse::deserialize_view(raw.bytes());
                     // Alg. 4 line 10: return locally-sent entries that did
                     // not survive the global selection.
                     std::size_t gi = 0;

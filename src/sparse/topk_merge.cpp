@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <stdexcept>
 
 #include "sparse/topk_select.hpp"
 
@@ -34,6 +35,73 @@ SparseGradient sparse_topk(const SparseGradient& g, std::size_t k) {
 SparseGradient topk_merge(const SparseGradient& a, const SparseGradient& b,
                           std::size_t k) {
     return sparse_topk(add(a, b), k);
+}
+
+void topk_merge_into(SparseGradient& acc, std::int64_t b_dense_size,
+                     std::span<const std::int32_t> b_indices,
+                     std::span<const float> b_values, std::size_t k,
+                     MergeScratch& scratch) {
+    if (acc.dense_size != b_dense_size) {
+        throw std::invalid_argument("topk_merge_into: dense_size mismatch");
+    }
+    auto& idx = scratch.idx;
+    auto& val = scratch.val;
+    idx.clear();
+    val.clear();
+
+    // Two-pointer merge of the two sorted index lists (duplicates summed),
+    // exactly sparse::add but into reused scratch.
+    const std::size_t an = acc.nnz();
+    const std::size_t bn = b_indices.size();
+    std::size_t i = 0, j = 0;
+    while (i < an || j < bn) {
+        if (j >= bn || (i < an && acc.indices[i] < b_indices[j])) {
+            idx.push_back(acc.indices[i]);
+            val.push_back(acc.values[i]);
+            ++i;
+        } else if (i >= an || b_indices[j] < acc.indices[i]) {
+            idx.push_back(b_indices[j]);
+            val.push_back(b_values[j]);
+            ++j;
+        } else {
+            idx.push_back(acc.indices[i]);
+            val.push_back(acc.values[i] + b_values[j]);
+            ++i;
+            ++j;
+        }
+    }
+
+    const std::size_t n = idx.size();
+    if (n <= k) {
+        acc.indices.assign(idx.begin(), idx.end());
+        acc.values.assign(val.begin(), val.end());
+        return;
+    }
+
+    // Re-select the k largest under the shared total order. Merged indices
+    // are unique, so the order is strict and the selected set unique —
+    // nth_element's unspecified tie handling cannot change the result.
+    auto& order = scratch.order;
+    order.resize(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::nth_element(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                     order.end(), [&](std::int32_t a, std::int32_t b) {
+                         const auto pa = static_cast<std::size_t>(a);
+                         const auto pb = static_cast<std::size_t>(b);
+                         return magnitude_less(val[pb], idx[pb], val[pa], idx[pa]);
+                     });
+    std::sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k),
+              [&](std::int32_t a, std::int32_t b) {
+                  return idx[static_cast<std::size_t>(a)] <
+                         idx[static_cast<std::size_t>(b)];
+              });
+    acc.indices.resize(k);
+    acc.values.resize(k);
+    for (std::size_t pos = 0; pos < k; ++pos) {
+        const auto src = static_cast<std::size_t>(order[pos]);
+        acc.indices[pos] = idx[src];
+        acc.values[pos] = val[src];
+    }
 }
 
 }  // namespace gtopk::sparse

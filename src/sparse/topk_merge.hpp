@@ -10,6 +10,9 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
 
 #include "sparse/sparse_gradient.hpp"
 
@@ -20,6 +23,27 @@ namespace gtopk::sparse {
 /// fewer). Result is canonical with nnz == min(k, nnz(a + b)).
 SparseGradient topk_merge(const SparseGradient& a, const SparseGradient& b,
                           std::size_t k);
+
+/// Scratch for topk_merge_into: the merged index/value lists and the
+/// selection permutation. One instance per worker; after the first merge
+/// the vectors stay at ~2k capacity and the log2(P) rounds of a gTop-k
+/// tree allocate nothing.
+struct MergeScratch {
+    std::vector<std::int32_t> idx;
+    std::vector<float> val;
+    std::vector<std::int32_t> order;
+};
+
+/// acc = acc ⊤ b, in place. `b` arrives as (dense_size, indices, values)
+/// spans so a zero-copy SparseGradientView can be consumed directly off the
+/// wire. Two-pointer merge of the sorted index lists into `scratch`, then
+/// re-selection of the k largest under the shared deterministic order —
+/// bit-identical to topk_merge(acc, b, k) (the order is total, so the
+/// selected set is unique), with every temporary reused.
+void topk_merge_into(SparseGradient& acc, std::int64_t b_dense_size,
+                     std::span<const std::int32_t> b_indices,
+                     std::span<const float> b_values, std::size_t k,
+                     MergeScratch& scratch);
 
 /// topk(g, k) for an already-sparse vector — used for re-sparsifying an
 /// aggregated result (the "select k from k*P" variant of the paper's

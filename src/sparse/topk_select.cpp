@@ -77,6 +77,43 @@ SparseGradient topk_full_sort(std::span<const float> dense, std::size_t k) {
     return finalize(dense, std::move(idx));
 }
 
+/// Fill `out` from the picked index positions `picked` (sorted in place).
+void finalize_into(std::span<const float> dense, std::span<std::int32_t> picked,
+                   SparseGradient& out) {
+    std::sort(picked.begin(), picked.end());
+    out.dense_size = static_cast<std::int64_t>(dense.size());
+    out.indices.assign(picked.begin(), picked.end());
+    out.values.clear();
+    out.values.reserve(picked.size());
+    for (std::int32_t idx : picked) {
+        out.values.push_back(dense[static_cast<std::size_t>(idx)]);
+    }
+}
+
+/// Deterministic strided-sample estimate of a magnitude cut that aims at
+/// ~2k survivors (conservative: undershooting the true kth magnitude only
+/// costs candidates, overshooting triggers the exact fallback). Returns a
+/// non-positive cut when the estimate cannot be trusted.
+float sampled_magnitude_cut(std::span<const float> dense, std::size_t k,
+                            std::vector<float>& mags) {
+    const std::size_t m = dense.size();
+    const std::size_t sample_size = std::min(m, std::max<std::size_t>(2048, m / 128));
+    const std::size_t step = m / sample_size;
+    mags.clear();
+    mags.reserve(sample_size);
+    for (std::size_t i = 0, j = 0; j < sample_size; i += step, ++j) {
+        mags.push_back(std::abs(dense[i]));
+    }
+    const double density = static_cast<double>(k) / static_cast<double>(m);
+    auto rank = static_cast<std::size_t>(
+        std::llround(2.0 * density * static_cast<double>(mags.size())));
+    if (rank < 8) return -1.0f;  // too far into the tail of the sample
+    rank = std::min(rank, mags.size());
+    std::nth_element(mags.begin(), mags.begin() + static_cast<std::ptrdiff_t>(rank - 1),
+                     mags.end(), std::greater<float>());
+    return mags[rank - 1];
+}
+
 }  // namespace
 
 SparseGradient topk_select(std::span<const float> dense, std::size_t k,
@@ -103,6 +140,72 @@ SparseGradient topk_select(std::span<const float> dense, std::size_t k,
     throw std::logic_error("unknown TopkStrategy");
 }
 
+void topk_select_into(std::span<const float> dense, std::size_t k, TopkWorkspace& ws,
+                      SparseGradient& out, const TopkOptions& options) {
+    if (k >= dense.size()) {
+        // Degenerate: keep everything.
+        out.dense_size = static_cast<std::int64_t>(dense.size());
+        out.indices.resize(dense.size());
+        std::iota(out.indices.begin(), out.indices.end(), 0);
+        out.values.assign(dense.begin(), dense.end());
+        return;
+    }
+    if (k == 0) {
+        out = SparseGradient{};
+        out.dense_size = static_cast<std::int64_t>(dense.size());
+        return;
+    }
+    if (options.strategy != TopkStrategy::NthElement) {
+        // Heap / FullSort exist for the ablation benches; they keep their
+        // one-shot implementations.
+        out = topk_select(dense, k, options.strategy);
+        return;
+    }
+
+    auto greater = [&](std::int32_t a, std::int32_t b) {
+        return magnitude_less(dense[static_cast<std::size_t>(b)], b,
+                              dense[static_cast<std::size_t>(a)], a);
+    };
+
+    if (options.sampled_prefilter && dense.size() >= kPrefilterMinDense &&
+        k * 8 <= dense.size()) {
+        const float cut = sampled_magnitude_cut(dense, k, ws.mags);
+        if (cut > 0.0f) {
+            ws.perm.clear();
+            for (std::size_t i = 0; i < dense.size(); ++i) {
+                const float v = dense[i];
+                if ((v < 0 ? -v : v) >= cut) {
+                    ws.perm.push_back(static_cast<std::int32_t>(i));
+                }
+            }
+            // >= k candidates proves cut <= kth-largest magnitude, hence the
+            // exact top-k set is contained in the candidates and selecting
+            // from them under the same total order is exact. Fewer: the
+            // estimate overshot; fall through to the full path.
+            if (ws.perm.size() >= k) {
+                std::nth_element(ws.perm.begin(),
+                                 ws.perm.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                                 ws.perm.end(), greater);
+                finalize_into(dense, std::span<std::int32_t>(ws.perm.data(), k), out);
+                return;
+            }
+        }
+    }
+
+    ws.perm.resize(dense.size());
+    std::iota(ws.perm.begin(), ws.perm.end(), 0);
+    std::nth_element(ws.perm.begin(), ws.perm.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                     ws.perm.end(), greater);
+    finalize_into(dense, std::span<std::int32_t>(ws.perm.data(), k), out);
+}
+
+SparseGradient topk_select(std::span<const float> dense, std::size_t k,
+                           TopkWorkspace& ws, const TopkOptions& options) {
+    SparseGradient out;
+    topk_select_into(dense, k, ws, out, options);
+    return out;
+}
+
 float kth_largest_magnitude(std::span<const float> dense, std::size_t k) {
     if (k == 0 || dense.empty()) return 0.0f;
     k = std::min(k, dense.size());
@@ -111,6 +214,18 @@ float kth_largest_magnitude(std::span<const float> dense, std::size_t k) {
     std::nth_element(mags.begin(), mags.begin() + static_cast<std::ptrdiff_t>(k - 1),
                      mags.end(), std::greater<float>());
     return mags[k - 1];
+}
+
+float kth_largest_magnitude(std::span<const float> dense, std::size_t k,
+                            TopkWorkspace& ws) {
+    if (k == 0 || dense.empty()) return 0.0f;
+    k = std::min(k, dense.size());
+    ws.mags.resize(dense.size());
+    for (std::size_t i = 0; i < dense.size(); ++i) ws.mags[i] = std::abs(dense[i]);
+    std::nth_element(ws.mags.begin(),
+                     ws.mags.begin() + static_cast<std::ptrdiff_t>(k - 1), ws.mags.end(),
+                     std::greater<float>());
+    return ws.mags[k - 1];
 }
 
 void zero_selected(std::span<float> dense, const SparseGradient& selected) {

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "sparse/sparse_gradient.hpp"
 
@@ -36,9 +37,50 @@ inline bool magnitude_less(float va, std::int32_t ia, float vb, std::int32_t ib)
 SparseGradient topk_select(std::span<const float> dense, std::size_t k,
                            TopkStrategy strategy = TopkStrategy::NthElement);
 
+/// Scratch reused across selection calls: the m-entry permutation /
+/// candidate buffer and the magnitude buffer that the one-shot API
+/// reallocates every iteration. One workspace per worker thread; the
+/// vectors grow to the largest m seen and stay there.
+struct TopkWorkspace {
+    std::vector<std::int32_t> perm;
+    std::vector<float> mags;
+};
+
+struct TopkOptions {
+    TopkStrategy strategy = TopkStrategy::NthElement;
+    /// Sampled-threshold pre-filter (licensed by the magnitude-distribution
+    /// observations of Shi et al., arXiv:1911.08772): estimate a
+    /// conservative magnitude cut from a deterministic strided sample,
+    /// collect the candidates >= cut, and run the exact selection on that
+    /// (much smaller) set. Whenever the candidate set cannot be proven to
+    /// contain the exact top-k (fewer than k candidates), the code falls
+    /// back to the full exact path — so the selected set is ALWAYS
+    /// bit-identical to the exact deterministic selection (invariant 6),
+    /// on or off.
+    bool sampled_prefilter = true;
+};
+
+/// Dense vectors below this size skip the pre-filter (the exact pass is
+/// already cheap and the sample would be too small to trust).
+inline constexpr std::size_t kPrefilterMinDense = 1 << 14;
+
+/// Workspace-reusing selection; identical results to the one-shot overload
+/// for every strategy/option combination.
+SparseGradient topk_select(std::span<const float> dense, std::size_t k,
+                           TopkWorkspace& ws, const TopkOptions& options = {});
+
+/// Same, writing into `out` (indices/values capacity reused across calls).
+void topk_select_into(std::span<const float> dense, std::size_t k, TopkWorkspace& ws,
+                      SparseGradient& out, const TopkOptions& options = {});
+
 /// The paper's threshold formulation (Line 5-6 of Algorithm 1): returns the
 /// kth largest |value| of `dense` (0 when k == 0 or the vector is empty).
 float kth_largest_magnitude(std::span<const float> dense, std::size_t k);
+
+/// Workspace-reusing variant: the magnitude scratch lives in `ws` instead
+/// of being a fresh m-float allocation per call.
+float kth_largest_magnitude(std::span<const float> dense, std::size_t k,
+                            TopkWorkspace& ws);
 
 /// Zero out the selected entries of `dense` in place — the residual update
 /// `G ⊙ ¬Mask` (Line 8 of Algorithm 1).

@@ -6,12 +6,48 @@
 
 namespace gtopk::sparse {
 
-std::size_t wire_size_bytes(std::size_t nnz) {
-    return 2 * sizeof(std::int64_t) + nnz * (sizeof(std::int32_t) + sizeof(float));
+namespace {
+
+struct Header {
+    std::int64_t dense_size = 0;
+    std::int64_t nnz = 0;
+};
+
+constexpr std::size_t kHeaderBytes = 2 * sizeof(std::int64_t);
+constexpr std::size_t kEntryBytes = sizeof(std::int32_t) + sizeof(float);
+
+/// Shared header/size validation for both deserialize flavors. Returns the
+/// parsed header; throws std::invalid_argument on any inconsistency.
+Header checked_header(std::span<const std::byte> bytes) {
+    if (bytes.size() < kHeaderBytes) {
+        throw std::invalid_argument("deserialize: truncated header");
+    }
+    Header h;
+    std::memcpy(&h.dense_size, bytes.data(), sizeof h.dense_size);
+    std::memcpy(&h.nnz, bytes.data() + sizeof h.dense_size, sizeof h.nnz);
+    if (h.nnz < 0 || h.dense_size < 0 || h.nnz > h.dense_size) {
+        throw std::invalid_argument("deserialize: bad header sizes");
+    }
+    // Derive the entry count from the actual payload size rather than
+    // trusting the header: `wire_size_bytes(header_nnz)` could wrap for a
+    // corrupt header (e.g. nnz + 2^61 makes nnz*8 overflow to a matching
+    // size) and a huge resize would follow.
+    const std::size_t payload = bytes.size() - kHeaderBytes;
+    if (payload % kEntryBytes != 0 ||
+        static_cast<std::uint64_t>(h.nnz) != payload / kEntryBytes) {
+        throw std::invalid_argument("deserialize: size mismatch");
+    }
+    return h;
 }
 
-std::vector<std::byte> serialize(const SparseGradient& g) {
-    std::vector<std::byte> out(wire_size_bytes(g.nnz()));
+}  // namespace
+
+std::size_t wire_size_bytes(std::size_t nnz) {
+    return kHeaderBytes + nnz * kEntryBytes;
+}
+
+void serialize_into(const SparseGradient& g, std::vector<std::byte>& out) {
+    out.resize(wire_size_bytes(g.nnz()));
     std::byte* p = out.data();
     const std::int64_t dense_size = g.dense_size;
     const std::int64_t nnz = static_cast<std::int64_t>(g.nnz());
@@ -19,44 +55,79 @@ std::vector<std::byte> serialize(const SparseGradient& g) {
     p += sizeof dense_size;
     std::memcpy(p, &nnz, sizeof nnz);
     p += sizeof nnz;
-    std::memcpy(p, g.indices.data(), g.indices.size() * sizeof(std::int32_t));
-    p += g.indices.size() * sizeof(std::int32_t);
-    std::memcpy(p, g.values.data(), g.values.size() * sizeof(float));
+    if (nnz > 0) {
+        std::memcpy(p, g.indices.data(), g.indices.size() * sizeof(std::int32_t));
+        p += g.indices.size() * sizeof(std::int32_t);
+        std::memcpy(p, g.values.data(), g.values.size() * sizeof(float));
+    }
+}
+
+std::vector<std::byte> serialize(const SparseGradient& g) {
+    std::vector<std::byte> out;
+    serialize_into(g, out);
     return out;
 }
 
 SparseGradient deserialize(std::span<const std::byte> bytes) {
-    if (bytes.size() < 2 * sizeof(std::int64_t)) {
-        throw std::invalid_argument("deserialize: truncated header");
+    const Header h = checked_header(bytes);
+    const std::byte* p = bytes.data() + kHeaderBytes;
+    SparseGradient g;
+    g.dense_size = h.dense_size;
+    g.indices.resize(static_cast<std::size_t>(h.nnz));
+    g.values.resize(static_cast<std::size_t>(h.nnz));
+    if (h.nnz > 0) {
+        std::memcpy(g.indices.data(), p, g.indices.size() * sizeof(std::int32_t));
+        p += g.indices.size() * sizeof(std::int32_t);
+        std::memcpy(g.values.data(), p, g.values.size() * sizeof(float));
     }
-    const std::byte* p = bytes.data();
-    std::int64_t dense_size = 0;
-    std::int64_t nnz = 0;
-    std::memcpy(&dense_size, p, sizeof dense_size);
-    p += sizeof dense_size;
-    std::memcpy(&nnz, p, sizeof nnz);
-    p += sizeof nnz;
-    if (nnz < 0 || dense_size < 0 || nnz > dense_size) {
-        throw std::invalid_argument("deserialize: bad header sizes");
+    g.validate();
+    return g;
+}
+
+SparseGradientView deserialize_view(std::span<const std::byte> bytes) {
+    const Header h = checked_header(bytes);
+    const std::size_t nnz = static_cast<std::size_t>(h.nnz);
+    const std::byte* p = bytes.data() + kHeaderBytes;
+    // The spans below alias the wire bytes as int32/float arrays. The bytes
+    // were written by memcpy from exactly such arrays, so the object
+    // representation is right; we only insist the pointer is aligned (true
+    // for vector-backed payloads and 4-divisible block offsets).
+    if (reinterpret_cast<std::uintptr_t>(p) % alignof(std::int32_t) != 0) {
+        throw std::invalid_argument("deserialize_view: unaligned payload");
     }
-    // Derive the entry count from the actual payload size rather than
-    // trusting the header: `wire_size_bytes(header_nnz)` could wrap for a
-    // corrupt header (e.g. nnz + 2^61 makes nnz*8 overflow to a matching
-    // size) and a huge resize would follow.
-    const std::size_t payload = bytes.size() - 2 * sizeof(std::int64_t);
-    constexpr std::size_t kEntry = sizeof(std::int32_t) + sizeof(float);
-    if (payload % kEntry != 0 ||
-        static_cast<std::uint64_t>(nnz) != payload / kEntry) {
-        throw std::invalid_argument("deserialize: size mismatch");
+    SparseGradientView v;
+    v.dense_size = h.dense_size;
+    if (nnz > 0) {
+        const auto* idx = reinterpret_cast<const std::int32_t*>(p);
+        const auto* val = reinterpret_cast<const float*>(p + nnz * sizeof(std::int32_t));
+        v.indices = std::span<const std::int32_t>(idx, nnz);
+        v.values = std::span<const float>(val, nnz);
+        // Validate once, at the wire boundary: canonical (strictly
+        // increasing) indices within [0, dense_size). Consumers then use
+        // the spans without re-checking.
+        std::int32_t prev = -1;
+        for (std::size_t i = 0; i < nnz; ++i) {
+            const std::int32_t ix = idx[i];
+            if (ix <= prev || static_cast<std::int64_t>(ix) >= h.dense_size) {
+                throw std::invalid_argument("deserialize_view: invalid indices");
+            }
+            prev = ix;
+        }
     }
+    return v;
+}
+
+void SparseGradientView::scatter_add(std::span<float> out) const {
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+        out[static_cast<std::size_t>(indices[i])] += values[i];
+    }
+}
+
+SparseGradient SparseGradientView::materialize() const {
     SparseGradient g;
     g.dense_size = dense_size;
-    g.indices.resize(static_cast<std::size_t>(nnz));
-    g.values.resize(static_cast<std::size_t>(nnz));
-    std::memcpy(g.indices.data(), p, g.indices.size() * sizeof(std::int32_t));
-    p += g.indices.size() * sizeof(std::int32_t);
-    std::memcpy(g.values.data(), p, g.values.size() * sizeof(float));
-    g.validate();
+    g.indices.assign(indices.begin(), indices.end());
+    g.values.assign(values.begin(), values.end());
     return g;
 }
 

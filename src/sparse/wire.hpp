@@ -20,9 +20,37 @@ namespace gtopk::sparse {
 
 std::vector<std::byte> serialize(const SparseGradient& g);
 
+/// Serialize into an existing buffer (resized to the exact wire size);
+/// steady-state callers reuse one buffer and never reallocate.
+void serialize_into(const SparseGradient& g, std::vector<std::byte>& out);
+
 /// Throws std::invalid_argument on truncated or corrupt input; the result
 /// is validated (canonical indices, bounds).
 SparseGradient deserialize(std::span<const std::byte> bytes);
+
+/// Non-owning decoded view over serialized bytes: header fields plus index
+/// and value spans aliasing the wire buffer directly. The buffer must
+/// outlive the view. Produced by deserialize_view, which validates once
+/// (header, sizes, canonical indices) and copies nothing.
+struct SparseGradientView {
+    std::int64_t dense_size = 0;
+    std::span<const std::int32_t> indices;
+    std::span<const float> values;
+
+    std::size_t nnz() const { return indices.size(); }
+
+    /// out[idx] += value for every entry; out.size() must be dense_size.
+    void scatter_add(std::span<float> out) const;
+
+    /// Owning copy (equivalent to deserialize of the same bytes).
+    SparseGradient materialize() const;
+};
+
+/// Zero-copy counterpart of deserialize. Same validation and the same
+/// std::invalid_argument on truncated/corrupt input; additionally requires
+/// the payload to be 4-byte aligned (always true for whole message payload
+/// buffers and for the equal-block offsets of the AllGather path).
+SparseGradientView deserialize_view(std::span<const std::byte> bytes);
 
 /// Serialized size in bytes for a given nnz — used by cost accounting and
 /// tests (16-byte header + 8 bytes per non-zero).

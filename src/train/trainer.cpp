@@ -116,6 +116,15 @@ TrainResult train_distributed(int world_size, comm::NetworkModel net,
             config.algorithm != Algorithm::DenseSsgd;
         sparse::AdaptiveThresholdSelector adaptive(
             std::max(config.density, 1e-9), std::max(config.static_threshold, 1e-6f));
+        // Hot-path scratch, reused across every iteration of this worker:
+        // top-k selection temporaries and the aggregator's merge/wire
+        // buffers stop allocating after the first iteration.
+        sparse::TopkWorkspace select_ws;
+        core::GtopkWorkspace agg_ws;
+        const sparse::TopkOptions select_opts{
+            .strategy = sparse::TopkStrategy::NthElement,
+            .sampled_prefilter = config.topk_sampled_prefilter};
+        const core::GtopkOptions agg_opts{.workspace = &agg_ws};
         util::Xoshiro256 sample_rng =
             util::Xoshiro256(config.model_seed).fork(0x5A00 + static_cast<std::uint64_t>(rank));
 
@@ -202,7 +211,8 @@ TrainResult train_distributed(int world_size, comm::NetworkModel net,
                             1, static_cast<std::size_t>(std::llround(
                                    density * static_cast<double>(len))));
                         const std::span<const float> seg(accumulated.data() + off, len);
-                        SparseGradient sel = sparse::topk_select(seg, k_seg);
+                        SparseGradient sel =
+                            sparse::topk_select(seg, k_seg, select_ws, select_opts);
                         sparse::zero_selected(
                             std::span<float>(residual.data() + off, len), sel);
                         seg_locals.push_back(std::move(sel));
@@ -210,7 +220,8 @@ TrainResult train_distributed(int world_size, comm::NetworkModel net,
                 } else if (config.algorithm != Algorithm::DenseSsgd) {
                     switch (config.selection) {
                         case sparse::SelectionPolicy::ExactTopk:
-                            local = sparse::topk_select(accumulated, k);
+                            sparse::topk_select_into(accumulated, k, select_ws, local,
+                                                     select_opts);
                             break;
                         case sparse::SelectionPolicy::StaticThreshold:
                             local = sparse::threshold_select(accumulated,
@@ -277,7 +288,7 @@ TrainResult train_distributed(int world_size, comm::NetworkModel net,
                             const std::size_t off = seg_offsets[s];
                             const SparseGradient& seg_local = seg_locals[s];
                             core::GtopkResult res = core::gtopk_allreduce(
-                                comm, seg_local, seg_local.nnz());
+                                comm, seg_local, seg_local.nnz(), agg_opts);
                             std::size_t gi = 0;
                             for (std::size_t li = 0; li < seg_local.nnz(); ++li) {
                                 const std::int32_t idx = seg_local.indices[li];
@@ -306,7 +317,7 @@ TrainResult train_distributed(int world_size, comm::NetworkModel net,
                         core::GtopkResult res =
                             config.algorithm == Algorithm::NaiveGtopkSsgd
                                 ? core::naive_gtopk_allreduce(comm, local, agg_k)
-                                : core::gtopk_allreduce(comm, local, agg_k);
+                                : core::gtopk_allreduce(comm, local, agg_k, agg_opts);
                         if (config.algorithm != Algorithm::SelectKFromKP) {
                             // Alg. 4 line 10.
                             return_unselected(residual, local, res.global);

@@ -145,6 +145,41 @@ TEST(FaultTest, GtopkSurvivesCrossTagReordering) {
     }
 }
 
+TEST(FaultTest, PooledGtopkMatchesOwningUnderReordering) {
+    // The pooled/zero-copy wire path must agree bit-for-bit with the owning
+    // baseline even when the transport reorders messages across tags, and
+    // the per-rank buffer pools must actually recycle payloads (pool hits)
+    // rather than silently allocating fresh ones.
+    std::array<std::vector<sparse::SparseGradient>, 2> results;
+    for (const bool pooled : {false, true}) {
+        ReorderingTransport transport(8);
+        auto& out = results[pooled ? 1 : 0];
+        out.resize(8);
+        run_on(transport, 8, [&](Communicator& comm) {
+            util::Xoshiro256 rng(static_cast<std::uint64_t>(comm.rank()) + 1);
+            std::vector<float> dense(512);
+            for (auto& v : dense) v = static_cast<float>(rng.next_gaussian());
+            const auto local = sparse::topk_select(dense, 16);
+            core::GtopkOptions options;
+            options.pooled = pooled;
+            core::GtopkWorkspace ws;
+            if (pooled) options.workspace = &ws;
+            sparse::SparseGradient first;
+            for (int round = 0; round < 6; ++round) {
+                const auto r = core::gtopk_allreduce(comm, local, 16, options);
+                if (round == 0) first = r.global;
+                ASSERT_EQ(r.global, first);
+            }
+            out[static_cast<std::size_t>(comm.rank())] = first;
+            if (pooled && comm.rank() == 0) {
+                // Rounds 2+ must serve sends from recycled receive buffers.
+                EXPECT_GT(comm.buffer_pool().stats().pool_hits, 0u);
+            }
+        });
+    }
+    EXPECT_EQ(results[0], results[1]);
+}
+
 TEST(FaultTest, WorkerFailureMidCollectiveUnblocksPeers) {
     // Rank 2 dies between the reduce and the broadcast; all other ranks are
     // blocked in recv and must be woken by the abort, and the failure must

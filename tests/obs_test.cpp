@@ -328,11 +328,13 @@ TEST(TracerTest, TrainerPhaseTotalsMatchAccumulators) {
     EXPECT_NEAR(tp.mean_comm_virtual_s(), result.mean_comm_virtual_s,
                 1e-12 * (1.0 + result.mean_comm_virtual_s));
     // Host-timed phases differ only by the span bookkeeping outside the
-    // stamps; allow 1%.
+    // stamps; allow 1% plus a fixed few-microsecond slack for the stamp
+    // bookkeeping itself, which dominates once a phase shrinks to
+    // microseconds (the workspace-reusing select under TSan).
     EXPECT_NEAR(tp.mean_compute_s(), result.mean_compute_s,
-                0.01 * result.mean_compute_s);
+                0.01 * result.mean_compute_s + 1e-5);
     EXPECT_NEAR(tp.mean_compress_s(), result.mean_compress_s,
-                0.01 * result.mean_compress_s);
+                0.01 * result.mean_compress_s + 1e-5);
 
     // Every rank recorded spans; none wrapped at this scale.
     for (int r = 0; r < workers; ++r) {
