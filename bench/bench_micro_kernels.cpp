@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "comm/cluster.hpp"
+#include "comm/fault_transport.hpp"
 #include "core/aggregators.hpp"
 #include "sparse/selection_policy.hpp"
 #include "sparse/topk_merge.hpp"
@@ -149,6 +150,30 @@ void BM_GtopkAllreduceHostCost(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_GtopkAllreduceHostCost)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_GtopkAllreduceFaultTransport(benchmark::State& state) {
+    // Same aggregation as BM_GtopkAllreduceHostCost but through a
+    // FaultInjectingTransport with an EMPTY plan: the delta against the
+    // plain run is the decorator's pure passthrough overhead (per-message
+    // rule scan + counters), which must stay negligible so chaos tests run
+    // at test-suite speed.
+    const int world = static_cast<int>(state.range(0));
+    const std::size_t k = 1000;
+    for (auto _ : state) {
+        comm::FaultInjectingTransport transport(world, comm::FaultPlan{});
+        comm::Cluster::run_on(transport, comm::NetworkModel::free(),
+                              [&](comm::Communicator& comm) {
+                                  const auto local = sparse::topk_select(
+                                      random_dense(50'000,
+                                                   static_cast<std::uint64_t>(
+                                                       comm.rank() + 10)),
+                                      k);
+                                  benchmark::DoNotOptimize(
+                                      core::gtopk_allreduce(comm, local, k));
+                              });
+    }
+}
+BENCHMARK(BM_GtopkAllreduceFaultTransport)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_RingAllreduceHostCost(benchmark::State& state) {
     const int world = static_cast<int>(state.range(0));

@@ -11,8 +11,16 @@
 namespace gtopk::comm {
 
 Cluster::RunResult Cluster::run_timed(int world_size, NetworkModel model,
-                                      const WorkerFn& fn, obs::Tracer* tracer) {
+                                      const WorkerFn& fn, obs::Tracer* tracer,
+                                      double recv_timeout_s) {
     InProcTransport transport(world_size);
+    return run_timed_on(transport, model, fn, tracer, recv_timeout_s);
+}
+
+Cluster::RunResult Cluster::run_timed_on(Transport& transport, NetworkModel model,
+                                         const WorkerFn& fn, obs::Tracer* tracer,
+                                         double recv_timeout_s) {
+    const int world_size = transport.world_size();
     if (tracer && tracer->world_size() < world_size) {
         throw std::invalid_argument("Cluster: tracer world_size below cluster's");
     }
@@ -32,6 +40,7 @@ Cluster::RunResult Cluster::run_timed(int world_size, NetworkModel model,
             util::set_thread_rank(r);  // "[I 12:03:04.512 r03]" log prefixes
             Communicator comm(transport, r, model);
             comm.set_tracer(tracer);
+            comm.set_recv_timeout_s(recv_timeout_s);
             try {
                 fn(comm);
             } catch (const MailboxClosed&) {
@@ -54,8 +63,15 @@ Cluster::RunResult Cluster::run_timed(int world_size, NetworkModel model,
 }
 
 std::vector<CommStats> Cluster::run(int world_size, NetworkModel model,
-                                    const WorkerFn& fn, obs::Tracer* tracer) {
-    return run_timed(world_size, model, fn, tracer).stats;
+                                    const WorkerFn& fn, obs::Tracer* tracer,
+                                    double recv_timeout_s) {
+    return run_timed(world_size, model, fn, tracer, recv_timeout_s).stats;
+}
+
+std::vector<CommStats> Cluster::run_on(Transport& transport, NetworkModel model,
+                                       const WorkerFn& fn, obs::Tracer* tracer,
+                                       double recv_timeout_s) {
+    return run_timed_on(transport, model, fn, tracer, recv_timeout_s).stats;
 }
 
 }  // namespace gtopk::comm

@@ -28,9 +28,14 @@ public:
     /// With a non-null `tracer` (whose world_size must cover this one),
     /// every rank's Communicator and the transport record spans/metrics
     /// into it; nullptr (the default) keeps tracing entirely off.
+    /// `recv_timeout_s` > 0 arms every rank's Communicator receive deadline
+    /// (host seconds; see Communicator::set_recv_timeout_s) so a missing
+    /// message fails as CommError instead of hanging — the default 0 keeps
+    /// the historical wait-forever behavior.
     static std::vector<CommStats> run(int world_size, NetworkModel model,
                                       const WorkerFn& fn,
-                                      obs::Tracer* tracer = nullptr);
+                                      obs::Tracer* tracer = nullptr,
+                                      double recv_timeout_s = 0.0);
 
     /// Convenience: run and also collect each rank's final virtual time.
     struct RunResult {
@@ -38,7 +43,21 @@ public:
         std::vector<double> final_time_s;
     };
     static RunResult run_timed(int world_size, NetworkModel model, const WorkerFn& fn,
-                               obs::Tracer* tracer = nullptr);
+                               obs::Tracer* tracer = nullptr,
+                               double recv_timeout_s = 0.0);
+
+    /// Run over an EXTERNAL transport (e.g. a FaultInjectingTransport) —
+    /// the chaos harness's entry point. The transport provides the world
+    /// size and is shut down on the first rank failure exactly like the
+    /// in-proc one; it is NOT shut down on success, so callers can inspect
+    /// it (fault counts) and reuse it across runs is not supported.
+    static std::vector<CommStats> run_on(Transport& transport, NetworkModel model,
+                                         const WorkerFn& fn,
+                                         obs::Tracer* tracer = nullptr,
+                                         double recv_timeout_s = 0.0);
+    static RunResult run_timed_on(Transport& transport, NetworkModel model,
+                                  const WorkerFn& fn, obs::Tracer* tracer = nullptr,
+                                  double recv_timeout_s = 0.0);
 };
 
 }  // namespace gtopk::comm

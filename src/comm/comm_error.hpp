@@ -1,0 +1,69 @@
+// Typed communication failure, the loud alternative to an indefinite hang.
+//
+// The simulated cluster blocks a receiver until its matched message exists;
+// a dropped message (fault injection, a dead peer) would otherwise block it
+// forever. Communicator's receive deadline turns that into a CommError that
+// names the waiting rank, the awaited peer, and the tag, so a chaos test —
+// or an operator reading a log — sees exactly which edge of which exchange
+// went missing. Kind RankKilled is raised on a rank the FaultPlan has
+// declared dead when it keeps using the fabric.
+//
+// The deadline is measured on the HOST clock: a rank waiting on a message
+// that never arrives does not advance virtual time (virtual time only moves
+// via modeled costs and message arrival stamps), so a wall-clock watchdog
+// is the only sound detector of a stalled collective.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace gtopk::comm {
+
+enum class CommErrorKind {
+    RecvTimeout,  // matched receive exceeded its host-time deadline
+    RankKilled,   // a FaultPlan-killed rank touched the transport
+};
+
+class CommError : public std::runtime_error {
+public:
+    CommError(CommErrorKind kind, int rank, int peer, int tag, double timeout_s)
+        : std::runtime_error(format(kind, rank, peer, tag, timeout_s)),
+          kind_(kind),
+          rank_(rank),
+          peer_(peer),
+          tag_(tag),
+          timeout_s_(timeout_s) {}
+
+    CommErrorKind kind() const { return kind_; }
+    /// The rank on which the error was raised.
+    int rank() const { return rank_; }
+    /// The peer whose message was awaited (kAnySource for wildcards).
+    int peer() const { return peer_; }
+    int tag() const { return tag_; }
+    double timeout_s() const { return timeout_s_; }
+
+private:
+    static std::string format(CommErrorKind kind, int rank, int peer, int tag,
+                              double timeout_s) {
+        switch (kind) {
+            case CommErrorKind::RecvTimeout:
+                return "CommError: recv timeout on rank " + std::to_string(rank) +
+                       " waiting for peer " + std::to_string(peer) + " tag " +
+                       std::to_string(tag) + " after " + std::to_string(timeout_s) +
+                       "s (host)";
+            case CommErrorKind::RankKilled:
+                return "CommError: rank " + std::to_string(rank) +
+                       " was killed by the fault plan (peer " + std::to_string(peer) +
+                       ", tag " + std::to_string(tag) + ")";
+        }
+        return "CommError";
+    }
+
+    CommErrorKind kind_;
+    int rank_;
+    int peer_;
+    int tag_;
+    double timeout_s_;
+};
+
+}  // namespace gtopk::comm

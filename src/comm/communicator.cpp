@@ -71,7 +71,16 @@ std::vector<std::byte> Communicator::recv(int src, int tag, int& actual_src) {
     obs::ScopedSpan span(tracer_, clock_, rank_, "recv_wait", "comm");
     span.attrs().tag = tag;
 
-    Message msg = transport_.receive(rank_, src, tag);
+    Message msg = [&] {
+        if (recv_timeout_s_ <= 0.0) return transport_.receive(rank_, src, tag);
+        std::optional<Message> m = transport_.receive_for(rank_, src, tag,
+                                                          recv_timeout_s_);
+        if (!m) {
+            throw CommError(CommErrorKind::RecvTimeout, rank_, src, tag,
+                            recv_timeout_s_);
+        }
+        return std::move(*m);
+    }();
     const double before = clock_.now_s();
     clock_.advance_to(msg.arrival_time_s);
     stats_.comm_time_s += clock_.now_s() - before;

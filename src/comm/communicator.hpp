@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "comm/buffer_pool.hpp"
+#include "comm/comm_error.hpp"
 #include "comm/network_model.hpp"
 #include "comm/transport.hpp"
 #include "comm/virtual_clock.hpp"
@@ -57,6 +58,16 @@ public:
 
     CommStats& stats() { return stats_; }
     const CommStats& stats() const { return stats_; }
+
+    /// Receive deadline in HOST seconds applied to every blocking recv on
+    /// this rank; <= 0 (the default) waits forever. On expiry the recv
+    /// throws CommError(RecvTimeout) naming this rank, the awaited peer and
+    /// the tag, so a dropped message (fault injection, dead peer) surfaces
+    /// as a typed failure instead of an indefinite hang. Host time is the
+    /// right clock: a rank starved of a message cannot advance virtual time
+    /// at all (see comm_error.hpp).
+    void set_recv_timeout_s(double timeout_s) { recv_timeout_s_ = timeout_s; }
+    double recv_timeout_s() const { return recv_timeout_s_; }
 
     /// Attach an observability tracer (nullptr = tracing off, the default).
     /// With a tracer, send/recv record per-message spans and metrics;
@@ -153,6 +164,7 @@ private:
     int tag_counter_ = 1'000'000;  // keep clear of user tags
     Transport& transport_;
     int rank_;
+    double recv_timeout_s_ = 0.0;
     NetworkModel model_;
     VirtualClock clock_;
     CommStats stats_;

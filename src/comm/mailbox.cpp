@@ -28,6 +28,34 @@ Message Mailbox::pop(int source, int tag) {
     }
 }
 
+std::optional<Message> Mailbox::pop_for(int source, int tag,
+                                        std::chrono::nanoseconds timeout) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+            if (matches(*it, source, tag)) {
+                Message msg = std::move(*it);
+                queue_.erase(it);
+                return msg;
+            }
+        }
+        if (closed_) throw MailboxClosed{};
+        if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+            // One final scan: a push may have raced the timeout.
+            for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+                if (matches(*it, source, tag)) {
+                    Message msg = std::move(*it);
+                    queue_.erase(it);
+                    return msg;
+                }
+            }
+            if (closed_) throw MailboxClosed{};
+            return std::nullopt;
+        }
+    }
+}
+
 std::optional<Message> Mailbox::try_pop(int source, int tag) {
     std::lock_guard<std::mutex> lock(mutex_);
     if (closed_) throw MailboxClosed{};

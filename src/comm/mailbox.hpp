@@ -5,6 +5,7 @@
 // guarantee MPI gives and the one the collectives rely on.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -28,6 +29,13 @@ public:
     /// Throws MailboxClosed once the mailbox is closed, so pollers observe
     /// shutdown just like blocked pop() callers.
     std::optional<Message> try_pop(int source, int tag);
+
+    /// Deadline variant of pop(): waits at most `timeout` (host time) for a
+    /// match and returns nullopt on expiry. Throws MailboxClosed on
+    /// shutdown, exactly like pop(). The Communicator's receive-timeout
+    /// path turns the nullopt into a typed CommError.
+    std::optional<Message> pop_for(int source, int tag,
+                                   std::chrono::nanoseconds timeout);
 
     /// Wake all waiters with a shutdown signal; subsequent pops throw.
     void close();

@@ -1,11 +1,26 @@
 #include "comm/transport.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <stdexcept>
+#include <thread>
 
 #include "obs/trace.hpp"
 
 namespace gtopk::comm {
+
+std::optional<Message> Transport::receive_for(int rank, int source, int tag,
+                                              double timeout_s) {
+    if (timeout_s <= 0.0) return receive(rank, source, tag);
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                              std::chrono::duration<double>(timeout_s));
+    for (;;) {
+        if (auto msg = try_receive(rank, source, tag)) return msg;
+        if (std::chrono::steady_clock::now() >= deadline) return std::nullopt;
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+}
 
 InProcTransport::InProcTransport(int world_size) {
     if (world_size <= 0) throw std::invalid_argument("world_size must be positive");
@@ -38,6 +53,16 @@ void InProcTransport::shutdown() {
 std::optional<Message> InProcTransport::try_receive(int rank, int source, int tag) {
     if (rank < 0 || rank >= world_size()) throw std::out_of_range("try_receive: bad rank");
     return mailboxes_[static_cast<std::size_t>(rank)]->try_pop(source, tag);
+}
+
+std::optional<Message> InProcTransport::receive_for(int rank, int source, int tag,
+                                                    double timeout_s) {
+    if (rank < 0 || rank >= world_size()) throw std::out_of_range("receive_for: bad rank");
+    if (timeout_s <= 0.0) return receive(rank, source, tag);
+    return mailboxes_[static_cast<std::size_t>(rank)]->pop_for(
+        source, tag,
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::duration<double>(timeout_s)));
 }
 
 std::uint64_t InProcTransport::delivered_count() const {

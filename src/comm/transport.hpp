@@ -1,9 +1,11 @@
 // Transport: the point-to-point fabric connecting P simulated workers.
 //
-// InProcTransport is the only production implementation: one mailbox per
-// rank inside a shared process. The interface exists so tests can wrap it
-// (e.g. FaultInjectingTransport drops or reorders messages to exercise
-// robustness) and so a socket-backed transport could slot in later.
+// InProcTransport is the production implementation: one mailbox per rank
+// inside a shared process. FaultInjectingTransport (fault_transport.hpp)
+// decorates any Transport with a seeded, declarative FaultPlan — drops,
+// duplicates, reorders, delays, payload corruption, rank kills — so chaos
+// tests exercise the exact interface production code runs on. A socket-
+// backed transport could slot in behind the same interface later.
 #pragma once
 
 #include <atomic>
@@ -36,8 +38,28 @@ public:
     /// Blocking matched receive on rank `rank`.
     virtual Message receive(int rank, int source, int tag) = 0;
 
+    /// Non-blocking matched receive; nullopt when nothing matches. Throws
+    /// MailboxClosed after shutdown. Lets wrapper transports (fault
+    /// injection) poll instead of blocking inside the inner mailbox.
+    virtual std::optional<Message> try_receive(int rank, int source, int tag) = 0;
+
+    /// Matched receive with a HOST-time deadline: nullopt once `timeout_s`
+    /// host seconds elapse without a match (a stalled receiver cannot be
+    /// detected on the virtual clock — it only advances via message
+    /// arrivals). timeout_s <= 0 waits forever, identical to receive().
+    /// Throws MailboxClosed after shutdown. The base implementation polls
+    /// try_receive; InProcTransport overrides it with a condition-variable
+    /// wait.
+    virtual std::optional<Message> receive_for(int rank, int source, int tag,
+                                               double timeout_s);
+
     /// Abort: close all mailboxes, waking blocked receivers with an error.
     virtual void shutdown() = 0;
+
+    /// Attach an observability tracer (nullptr detaches). Call before
+    /// worker threads start. Base: no-op; implementations register their
+    /// metrics (mailbox depth, fault-event counters).
+    virtual void set_tracer(obs::Tracer*) {}
 };
 
 class InProcTransport final : public Transport {
@@ -47,20 +69,18 @@ public:
     int world_size() const override { return static_cast<int>(mailboxes_.size()); }
     void deliver(int dst, Message msg) override;
     Message receive(int rank, int source, int tag) override;
+    std::optional<Message> try_receive(int rank, int source, int tag) override;
+    std::optional<Message> receive_for(int rank, int source, int tag,
+                                       double timeout_s) override;
     void shutdown() override;
-
-    /// Non-blocking matched receive; nullopt when nothing matches. Throws
-    /// MailboxClosed after shutdown. Lets wrapper transports (fault
-    /// injection) poll instead of blocking inside the inner mailbox.
-    std::optional<Message> try_receive(int rank, int source, int tag);
 
     /// Total messages delivered since construction (for tests/benches).
     std::uint64_t delivered_count() const;
 
     /// Attach a tracer whose metrics registry receives a "mailbox.depth"
     /// histogram sample (destination queue depth after enqueue) on every
-    /// delivery. Call before worker threads start; nullptr detaches.
-    void set_tracer(obs::Tracer* tracer);
+    /// delivery.
+    void set_tracer(obs::Tracer* tracer) override;
 
 private:
     std::vector<std::unique_ptr<Mailbox>> mailboxes_;

@@ -399,7 +399,17 @@ TrainResult train_distributed(int world_size, comm::NetworkModel net,
         final_stats[static_cast<std::size_t>(rank)] = comm.stats();
     };
 
-    comm::Cluster::run(world_size, net, worker, config.tracer);
+    if (config.transport) {
+        if (config.transport->world_size() != world_size) {
+            throw std::invalid_argument(
+                "train_distributed: transport world_size mismatch");
+        }
+        comm::Cluster::run_on(*config.transport, net, worker, config.tracer,
+                              config.recv_timeout_s);
+    } else {
+        comm::Cluster::run(world_size, net, worker, config.tracer,
+                           config.recv_timeout_s);
+    }
 
     TrainResult result;
     result.epochs = outputs[0].epochs;

@@ -97,6 +97,17 @@ struct TrainConfig {
     /// ranks. nullptr (default) compiles the traced paths down to
     /// branch-on-null.
     obs::Tracer* tracer = nullptr;
+
+    /// External transport for the training cluster (e.g. a
+    /// comm::FaultInjectingTransport for chaos runs); its world_size must
+    /// equal the training world. nullptr (default) = fresh InProcTransport.
+    /// Must outlive train_distributed; one transport per run.
+    comm::Transport* transport = nullptr;
+
+    /// Receive deadline (host seconds) armed on every rank; <= 0 waits
+    /// forever. Chaos runs set this so dropped messages surface as a typed
+    /// comm::CommError instead of hanging the cluster.
+    double recv_timeout_s = 0.0;
 };
 
 /// Builds one model replica; called once per rank with the same seed so all

@@ -1,0 +1,258 @@
+// Shared chaos-harness plumbing: canonical fault plans, a tiny training
+// scenario, outcome classification, and the fault-event JSON log.
+//
+// The harness contract (see DESIGN.md §10): every chaos scenario must end
+// in one of two ways — (a) bit-identical convergence to the fault-free run
+// when the plan is maskable (duplicates, cross-stream reorder, extra
+// delay), or (b) a clean typed failure (comm::CommError, or a wire
+// rejection from the validated decoder). Never a hang (receive deadlines +
+// ctest timeouts enforce this), never silent divergence.
+//
+// Seeds: GTOPK_CHAOS_SEED selects the sweep's base seed so CI can run the
+// same suite under several fixed seeds. GTOPK_CHAOS_TRACE_OUT, when set,
+// receives a JSON array of per-scenario fault-event records.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "comm/cluster.hpp"
+#include "comm/comm_error.hpp"
+#include "comm/fault_transport.hpp"
+#include "data/sampler.hpp"
+#include "data/synthetic_images.hpp"
+#include "nn/model_zoo.hpp"
+#include "train/trainer.hpp"
+
+namespace gtopk::chaos {
+
+inline std::uint64_t base_seed() {
+    if (const char* env = std::getenv("GTOPK_CHAOS_SEED")) {
+        const unsigned long long v = std::strtoull(env, nullptr, 10);
+        if (v > 0) return static_cast<std::uint64_t>(v);
+    }
+    return 1;
+}
+
+// ---------------------------------------------------------------------------
+// Canonical plans
+
+/// Empty plan carrying just a seed (avoids partial designated-init warnings).
+inline comm::FaultPlan seeded_plan(std::uint64_t seed) {
+    comm::FaultPlan plan;
+    plan.seed = seed;
+    return plan;
+}
+
+/// Maskable adversity: duplicates, cross-stream reorder and extra latency
+/// on every edge. Training outcome must be bit-identical to fault-free.
+inline comm::FaultPlan maskable_plan(std::uint64_t seed) {
+    comm::FaultRule rule;
+    rule.dup_prob = 0.15;
+    rule.reorder_prob = 0.20;
+    rule.delay_prob = 0.20;
+    rule.extra_delay_s = 1e-3;
+    return seeded_plan(seed).add(rule);
+}
+
+/// Deterministic message loss: every n-th message out of `src` vanishes.
+inline comm::FaultPlan drop_from(int src, std::uint64_t every_n, std::uint64_t seed) {
+    comm::FaultRule rule;
+    rule.src = src;
+    rule.drop_every_n = every_n;
+    return seeded_plan(seed).add(rule);
+}
+
+/// Total blackout of one rank's outbound traffic.
+inline comm::FaultPlan blackhole_from(int src, std::uint64_t seed) {
+    comm::FaultRule rule;
+    rule.src = src;
+    rule.drop_prob = 1.0;
+    return seeded_plan(seed).add(rule);
+}
+
+/// Payload bit-corruption on every edge INTO `dst`.
+inline comm::FaultPlan corrupt_into(int dst, double prob, std::uint64_t seed) {
+    comm::FaultRule rule;
+    rule.dst = dst;
+    rule.corrupt_prob = prob;
+    return seeded_plan(seed).add(rule);
+}
+
+// ---------------------------------------------------------------------------
+// Outcome classification
+
+enum class Outcome {
+    Completed,    // ran to the end; caller checks convergence/consistency
+    CommFailure,  // typed comm::CommError (timeout or killed rank)
+    WireRejected, // validated decoder refused a corrupt payload
+    OtherError,   // structured failure from a non-wire invariant check
+};
+
+inline const char* outcome_name(Outcome o) {
+    switch (o) {
+        case Outcome::Completed: return "completed";
+        case Outcome::CommFailure: return "comm_error";
+        case Outcome::WireRejected: return "wire_rejected";
+        case Outcome::OtherError: return "other_error";
+    }
+    return "?";
+}
+
+/// Run `fn`, classifying the three sanctioned failure shapes. Anything else
+/// (including a hang, which the ctest timeout converts into a test failure)
+/// propagates and fails the test.
+template <typename Fn>
+Outcome classify(Fn&& fn, std::string* what = nullptr) {
+    try {
+        fn();
+        return Outcome::Completed;
+    } catch (const comm::CommError& e) {
+        if (what) *what = e.what();
+        return Outcome::CommFailure;
+    } catch (const std::invalid_argument& e) {
+        if (what) *what = e.what();
+        return Outcome::WireRejected;
+    } catch (const std::runtime_error& e) {
+        // e.g. a collective's size-mismatch guard tripped by a corrupt
+        // header that passed wire validation; structured, not silent.
+        if (what) *what = e.what();
+        return Outcome::OtherError;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tiny training scenario (seconds-scale, deterministic)
+
+struct TinyTrainScenario {
+    data::SyntheticImageDataset dataset;
+    data::ShardedSampler sampler;
+    nn::MlpConfig mlp;
+    int world;
+
+    explicit TinyTrainScenario(int world_size)
+        : dataset(
+              [] {
+                  data::SyntheticImageDataset::Config cfg;
+                  cfg.image_size = 8;
+                  cfg.noise_std = 0.6f;
+                  return cfg;
+              }(),
+              1234),
+          sampler(2048, 512, world_size, 99),
+          world(world_size) {
+        mlp.input_dim = dataset.feature_dim();
+        mlp.hidden_dims = {16};
+        mlp.classes = 10;
+    }
+
+    train::TrainConfig config(train::Algorithm algo) const {
+        train::TrainConfig cfg;
+        cfg.algorithm = algo;
+        cfg.epochs = 2;
+        cfg.iters_per_epoch = 8;
+        cfg.lr = 0.05f;
+        cfg.density = 0.05;
+        return cfg;
+    }
+
+    train::TrainResult run(train::TrainConfig cfg) const {
+        return train::train_distributed(
+            world, comm::NetworkModel::free(), cfg,
+            [mc = mlp](std::uint64_t seed) { return nn::make_mlp(mc, seed); },
+            [this](std::int64_t step, int rank) {
+                return dataset.batch_flat(sampler.batch_indices(step, rank, 8));
+            },
+            train::EvalBatchProvider{});
+    }
+
+    /// Fault-free baseline over a plain InProcTransport.
+    train::TrainResult run_clean(train::Algorithm algo) const {
+        return run(config(algo));
+    }
+
+    /// Chaos run over a FaultInjectingTransport with a receive deadline.
+    struct ChaosRun {
+        Outcome outcome = Outcome::Completed;
+        std::string error;
+        comm::FaultCounts counts;
+        train::TrainResult result;  // meaningful when outcome == Completed
+    };
+    ChaosRun run_chaos(train::Algorithm algo, const comm::FaultPlan& plan,
+                       double recv_timeout_s = 5.0,
+                       obs::Tracer* tracer = nullptr) const {
+        comm::FaultInjectingTransport transport(world, plan);
+        train::TrainConfig cfg = config(algo);
+        cfg.transport = &transport;
+        cfg.recv_timeout_s = recv_timeout_s;
+        cfg.tracer = tracer;
+        ChaosRun out;
+        out.outcome = classify([&] { out.result = run(cfg); }, &out.error);
+        out.counts = transport.counts();
+        return out;
+    }
+};
+
+// ---------------------------------------------------------------------------
+// Fault-event log (CI artifact)
+
+struct ChaosEvent {
+    std::string scenario;
+    std::uint64_t seed = 0;
+    std::string outcome;
+    comm::FaultCounts counts;
+};
+
+class ChaosEventLog {
+public:
+    static ChaosEventLog& instance() {
+        static ChaosEventLog log;
+        return log;
+    }
+
+    void record(const std::string& scenario, std::uint64_t seed, Outcome outcome,
+                const comm::FaultCounts& counts) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        events_.push_back({scenario, seed, outcome_name(outcome), counts});
+    }
+
+    /// Write the JSON artifact when GTOPK_CHAOS_TRACE_OUT names a path.
+    void flush() {
+        const char* path = std::getenv("GTOPK_CHAOS_TRACE_OUT");
+        if (!path || !*path) return;
+        std::lock_guard<std::mutex> lock(mutex_);
+        std::ofstream os(path);
+        os << "[\n";
+        for (std::size_t i = 0; i < events_.size(); ++i) {
+            const ChaosEvent& e = events_[i];
+            os << "  {\"scenario\": \"" << e.scenario << "\", \"seed\": " << e.seed
+               << ", \"outcome\": \"" << e.outcome << "\""
+               << ", \"delivered\": " << e.counts.delivered
+               << ", \"dropped\": " << e.counts.dropped
+               << ", \"duplicated\": " << e.counts.duplicated
+               << ", \"reordered\": " << e.counts.reordered
+               << ", \"corrupted\": " << e.counts.corrupted
+               << ", \"delayed\": " << e.counts.delayed
+               << ", \"killed_sends\": " << e.counts.killed_sends << "}"
+               << (i + 1 < events_.size() ? ",\n" : "\n");
+        }
+        os << "]\n";
+    }
+
+private:
+    std::mutex mutex_;
+    std::vector<ChaosEvent> events_;
+};
+
+/// gtest environment flushing the event log after the suite.
+class ChaosLogEnvironment : public ::testing::Environment {
+public:
+    void TearDown() override { ChaosEventLog::instance().flush(); }
+};
+
+}  // namespace gtopk::chaos

@@ -1,16 +1,20 @@
 // Robustness: the transport abstraction under adverse conditions — message
 // reordering across tags, worker failures mid-collective, and corrupt wire
 // payloads. The simulated cluster must fail loudly, never hang or corrupt.
+//
+// Reordering here runs on the production FaultInjectingTransport with a
+// scheduled reorder_every_n plan: every 3rd message of each edge is parked
+// and released out of cross-stream order while per-(source, tag) FIFO — the
+// only ordering MPI (and our mailbox matching) guarantees — is preserved.
 #include <gtest/gtest.h>
 
 #include <array>
 #include <atomic>
-#include <mutex>
-#include <optional>
 #include <thread>
 
 #include "collectives/collectives.hpp"
 #include "comm/cluster.hpp"
+#include "comm/fault_transport.hpp"
 #include "core/aggregators.hpp"
 #include "sparse/topk_select.hpp"
 #include "sparse/wire.hpp"
@@ -21,101 +25,31 @@ namespace {
 using namespace gtopk;
 using namespace gtopk::collectives;
 using comm::Communicator;
+using comm::FaultInjectingTransport;
+using comm::FaultPlan;
+using comm::FaultRule;
 using comm::InProcTransport;
-using comm::Message;
 using comm::NetworkModel;
-using comm::Transport;
 
-/// Transport wrapper that delays delivery of every Nth message, releasing
-/// it only after the next message to the same destination — reordering
-/// traffic across tags while preserving per-(source, tag) FIFO order, the
-/// only ordering MPI (and our mailbox matching) guarantees.
-class ReorderingTransport final : public Transport {
-public:
-    explicit ReorderingTransport(int world) : inner_(world) {}
+/// Park-and-release every 3rd message on every edge.
+FaultPlan reorder_plan() {
+    FaultRule rule;
+    rule.reorder_every_n = 3;
+    FaultPlan plan;
+    plan.seed = 42;
+    return plan.add(rule);
+}
 
-    int world_size() const override { return inner_.world_size(); }
-
-    void deliver(int dst, Message msg) override {
-        std::unique_lock<std::mutex> lock(mutex_);
-        auto& held = held_[static_cast<std::size_t>(dst)];
-        ++counter_;
-        if (counter_ % 3 == 0 && !held.has_value()) {
-            held = std::move(msg);  // hold this one back
-            return;
-        }
-        std::optional<Message> first;   // must precede msg (same stream: FIFO)
-        std::optional<Message> second;  // may follow msg (cross-stream reorder)
-        if (held.has_value()) {
-            if (held->source == msg.source && held->tag == msg.tag) {
-                first = std::move(held);
-            } else {
-                second = std::move(held);
-            }
-            held.reset();
-        }
-        lock.unlock();
-        if (first) inner_.deliver(dst, std::move(*first));
-        inner_.deliver(dst, std::move(msg));
-        if (second) inner_.deliver(dst, std::move(*second));
-    }
-
-    Message receive(int rank, int source, int tag) override {
-        // Poll rather than block: a sender may HOLD a message after we have
-        // already started waiting, so the held slot must be re-checked
-        // until the matched message shows up (or the transport shuts down).
-        for (;;) {
-            {
-                std::unique_lock<std::mutex> lock(mutex_);
-                auto& held = held_[static_cast<std::size_t>(rank)];
-                if (held.has_value()) {
-                    Message m = std::move(*held);
-                    held.reset();
-                    lock.unlock();
-                    inner_.deliver(rank, std::move(m));
-                }
-            }
-            if (auto msg = inner_.try_receive(rank, source, tag)) {
-                return std::move(*msg);
-            }
-            std::this_thread::sleep_for(std::chrono::microseconds(100));
-        }
-    }
-
-    void shutdown() override { inner_.shutdown(); }
-
-private:
-    InProcTransport inner_;
-    std::mutex mutex_;
-    std::uint64_t counter_ = 0;
-    std::array<std::optional<Message>, 64> held_;
-};
-
-/// Run a worker fn over an arbitrary transport (bypasses Cluster to inject).
+/// Run a worker fn over a transport; Cluster::run_on aborts on the first
+/// rank failure and rethrows it, exactly like the in-proc entry point.
 template <typename Fn>
-void run_on(Transport& transport, int world, Fn&& fn) {
-    std::vector<std::thread> threads;
-    std::mutex error_mutex;
-    std::exception_ptr first;
-    for (int r = 0; r < world; ++r) {
-        threads.emplace_back([&, r] {
-            Communicator comm(transport, r, NetworkModel::free());
-            try {
-                fn(comm);
-            } catch (const comm::MailboxClosed&) {
-            } catch (...) {
-                std::lock_guard<std::mutex> lock(error_mutex);
-                if (!first) first = std::current_exception();
-                transport.shutdown();
-            }
-        });
-    }
-    for (auto& t : threads) t.join();
-    if (first) std::rethrow_exception(first);
+void run_on(comm::Transport& transport, int /*world*/, Fn&& fn) {
+    comm::Cluster::run_on(transport, NetworkModel::free(),
+                          [&fn](Communicator& comm) { fn(comm); });
 }
 
 TEST(FaultTest, CollectivesSurviveCrossTagReordering) {
-    ReorderingTransport transport(4);
+    FaultInjectingTransport transport(4, reorder_plan());
     run_on(transport, 4, [](Communicator& comm) {
         for (int round = 0; round < 10; ++round) {
             std::vector<float> data(16, static_cast<float>(comm.rank() + 1));
@@ -124,10 +58,12 @@ TEST(FaultTest, CollectivesSurviveCrossTagReordering) {
             barrier(comm);
         }
     });
+    // The plan must actually have exercised the reorder machinery.
+    EXPECT_GT(transport.counts().reordered, 0u);
 }
 
 TEST(FaultTest, GtopkSurvivesCrossTagReordering) {
-    ReorderingTransport transport(8);
+    FaultInjectingTransport transport(8, reorder_plan());
     std::vector<sparse::SparseGradient> results(8);
     run_on(transport, 8, [&](Communicator& comm) {
         util::Xoshiro256 rng(static_cast<std::uint64_t>(comm.rank()) + 1);
@@ -152,7 +88,7 @@ TEST(FaultTest, PooledGtopkMatchesOwningUnderReordering) {
     // rather than silently allocating fresh ones.
     std::array<std::vector<sparse::SparseGradient>, 2> results;
     for (const bool pooled : {false, true}) {
-        ReorderingTransport transport(8);
+        FaultInjectingTransport transport(8, reorder_plan());
         auto& out = results[pooled ? 1 : 0];
         out.resize(8);
         run_on(transport, 8, [&](Communicator& comm) {

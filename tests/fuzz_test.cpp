@@ -1,12 +1,17 @@
 // Randomized robustness tests: the wire decoder must never accept corrupt
 // input silently, the mailbox must keep per-stream order under message
 // storms, and the aggregation stack must stay total over random inputs.
+// Corruption is driven by the fault transport's own bit-flip injector
+// (comm::corrupt_bytes) so the fuzz corpus matches what a chaos run
+// actually puts on the wire. Runs under TSan and ASan in CI.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <thread>
 
 #include "comm/cluster.hpp"
+#include "comm/fault_transport.hpp"
 #include "comm/mailbox.hpp"
 #include "core/aggregators.hpp"
 #include "sparse/topk_select.hpp"
@@ -64,6 +69,93 @@ TEST(WireFuzz, TruncationsAlwaysThrow) {
                                             valid.begin() + static_cast<std::ptrdiff_t>(len));
         EXPECT_THROW((void)sparse::deserialize(prefix), std::invalid_argument)
             << "prefix length " << len;
+    }
+}
+
+TEST(WireFuzz, ViewAndOwningDecoderAgreeOnCorruptedPayloads) {
+    // The zero-copy deserialize_view must accept exactly the same inputs as
+    // the owning deserialize: for every corrupted payload either BOTH throw
+    // std::invalid_argument or BOTH decode to the same gradient. Corruption
+    // uses the chaos transport's injector, so this is the precise
+    // rejection-path coverage for what a corrupt_prob plan produces.
+    Xoshiro256 rng(0xC0DE);
+    std::vector<float> dense(600);
+    for (auto& v : dense) v = static_cast<float>(rng.next_gaussian());
+    const auto valid = sparse::serialize(sparse::topk_select(dense, 48));
+    for (int trial = 0; trial < 2000; ++trial) {
+        auto corrupted = valid;
+        comm::corrupt_bytes(corrupted, rng, /*flips=*/1 + static_cast<int>(
+                                                            rng.next_below(4)));
+        bool owning_threw = false;
+        sparse::SparseGradient owning;
+        try {
+            owning = sparse::deserialize(corrupted);
+        } catch (const std::invalid_argument&) {
+            owning_threw = true;
+        }
+        bool view_threw = false;
+        sparse::SparseGradient via_view;
+        try {
+            via_view = sparse::deserialize_view(corrupted).materialize();
+        } catch (const std::invalid_argument&) {
+            view_threw = true;
+        }
+        ASSERT_EQ(view_threw, owning_threw) << "decoders disagree, trial " << trial;
+        if (!owning_threw) {
+            EXPECT_NO_THROW(owning.validate());
+            // Bitwise comparison via re-serialization: a flipped value byte
+            // may decode to NaN, where float == would spuriously differ.
+            ASSERT_EQ(sparse::serialize(via_view), sparse::serialize(owning))
+                << "trial " << trial;
+        }
+    }
+}
+
+TEST(WireFuzz, ViewDecoderRejectsRandomJunk) {
+    Xoshiro256 rng(0xF023);
+    for (int trial = 0; trial < 2000; ++trial) {
+        // Build in a 4-byte-aligned float buffer so alignment never masks a
+        // validation bug (the decoder must reject on CONTENT here).
+        std::vector<float> backing((rng.next_below(50)));
+        auto* p = reinterpret_cast<std::byte*>(backing.data());
+        const std::span<std::byte> junk(p, backing.size() * sizeof(float));
+        for (auto& b : junk) b = static_cast<std::byte>(rng.next_below(256));
+        try {
+            const auto view = sparse::deserialize_view(junk);
+            EXPECT_NO_THROW(view.materialize().validate());
+            EXPECT_EQ(sparse::serialize(view.materialize()),
+                      std::vector<std::byte>(junk.begin(), junk.end()));
+        } catch (const std::invalid_argument&) {
+            // Expected for almost all inputs.
+        }
+    }
+}
+
+TEST(WireFuzz, ViewDecoderThrowsOnEveryTruncation) {
+    Xoshiro256 rng(79);
+    std::vector<float> dense(300);
+    for (auto& v : dense) v = static_cast<float>(rng.next_gaussian());
+    const auto valid = sparse::serialize(sparse::topk_select(dense, 25));
+    for (std::size_t len = 0; len < valid.size(); ++len) {
+        const std::span<const std::byte> prefix(valid.data(), len);
+        EXPECT_THROW((void)sparse::deserialize_view(prefix), std::invalid_argument)
+            << "prefix length " << len;
+    }
+}
+
+TEST(WireFuzz, ViewDecoderRejectsUnalignedPayload) {
+    // deserialize_view requires 4-byte alignment; a view over bytes shifted
+    // by one must throw rather than read misaligned (UB under UBSan).
+    std::vector<float> dense(100);
+    Xoshiro256 rng(80);
+    for (auto& v : dense) v = static_cast<float>(rng.next_gaussian());
+    const auto valid = sparse::serialize(sparse::topk_select(dense, 10));
+    std::vector<std::byte> shifted(valid.size() + 1);
+    std::copy(valid.begin(), valid.end(), shifted.begin() + 1);
+    const std::span<const std::byte> unaligned(shifted.data() + 1, valid.size());
+    if (reinterpret_cast<std::uintptr_t>(unaligned.data()) % 4 != 0) {
+        EXPECT_THROW((void)sparse::deserialize_view(unaligned),
+                     std::invalid_argument);
     }
 }
 

@@ -1,11 +1,16 @@
 // Property-based tests of the gTop-k aggregation over randomized inputs:
-// structural invariants that must hold for ANY input, world size and k.
+// structural invariants that must hold for ANY input, world size and k —
+// including under maskable network chaos (duplicates + cross-stream
+// reorder), where the aggregation result AND the error-feedback residuals
+// must stay bit-identical to the fault-free run.
 #include <gtest/gtest.h>
 
 #include <set>
 #include <tuple>
 
+#include "chaos_common.hpp"
 #include "comm/cluster.hpp"
+#include "comm/fault_transport.hpp"
 #include "core/aggregators.hpp"
 #include "sparse/topk_merge.hpp"
 #include "sparse/topk_select.hpp"
@@ -191,6 +196,121 @@ TEST(GtopkEdge, KLargerThanUnionKeepsEverything) {
     std::vector<SparseGradient> locals{a, b};
     const auto result = run_gtopk(locals, 10)[0];
     EXPECT_EQ(result.indices, (std::vector<std::int32_t>{1, 5}));
+}
+
+// ---------------------------------------------------------------------------
+// Chaos property: under duplicate + reorder + delay plans the gTop-k result
+// AND the residuals (error feedback, Alg. 4 lines 8 and 10) are bit-identical
+// to the clean run, for both the pooled and owning wire paths.
+
+struct RankState {
+    SparseGradient global;
+    std::vector<float> residual;  // dense - selected, plus line-10 put-back
+    bool operator==(const RankState& o) const {
+        return global == o.global && residual == o.residual;
+    }
+};
+
+/// One gTop-k round per rank with full residual bookkeeping, run over an
+/// arbitrary transport. Mirrors the trainer's error-feedback algebra:
+/// residual = accumulated - selected (line 8), then the locally-selected
+/// entries that did NOT survive the global selection go back (line 10).
+std::vector<RankState> run_gtopk_with_residuals(comm::Transport& transport, int world,
+                                                std::size_t k, std::uint64_t seed,
+                                                bool pooled) {
+    std::vector<RankState> states(static_cast<std::size_t>(world));
+    comm::Cluster::run_on(transport, NetworkModel::free(), [&](Communicator& comm) {
+        util::Xoshiro256 rng =
+            util::Xoshiro256(seed).fork(static_cast<std::uint64_t>(comm.rank()));
+        std::vector<float> dense(512);
+        for (auto& v : dense) v = static_cast<float>(rng.next_gaussian());
+        const auto local = sparse::topk_select(dense, k);
+
+        RankState st;
+        st.residual = dense;
+        for (std::size_t i = 0; i < local.nnz(); ++i) {
+            st.residual[static_cast<std::size_t>(local.indices[i])] = 0.0f;
+        }
+
+        core::GtopkOptions options;
+        options.pooled = pooled;
+        core::GtopkWorkspace ws;
+        if (pooled) options.workspace = &ws;
+        // Several rounds so small worlds still exchange enough messages for
+        // a probabilistic plan to fire; same input => same result each
+        // round, which doubles as a stability check under the chaos.
+        for (int round = 0; round < 6; ++round) {
+            auto r = core::gtopk_allreduce(comm, local, k, options).global;
+            if (round > 0) {
+                ASSERT_EQ(r, st.global) << "round " << round;
+            }
+            st.global = std::move(r);
+        }
+
+        const std::set<std::int32_t> survived(st.global.indices.begin(),
+                                              st.global.indices.end());
+        for (std::size_t i = 0; i < local.nnz(); ++i) {
+            if (!survived.count(local.indices[i])) {
+                st.residual[static_cast<std::size_t>(local.indices[i])] +=
+                    local.values[i];
+            }
+        }
+        states[static_cast<std::size_t>(comm.rank())] = std::move(st);
+    });
+    return states;
+}
+
+using ChaosParam = std::tuple<int, std::uint64_t>;  // (world, seed)
+
+class GtopkChaosProperty : public ::testing::TestWithParam<ChaosParam> {};
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GtopkChaosProperty,
+                         ::testing::Combine(::testing::Values(2, 4, 8),
+                                            ::testing::Values<std::uint64_t>(1, 2,
+                                                                             3)));
+
+TEST_P(GtopkChaosProperty, ResultAndResidualsBitIdenticalUnderMaskableChaos) {
+    const auto [world, seed] = GetParam();
+    const std::size_t k = 16;
+    for (const bool pooled : {false, true}) {
+        comm::InProcTransport clean_transport(world);
+        const auto clean =
+            run_gtopk_with_residuals(clean_transport, world, k, seed, pooled);
+
+        comm::FaultInjectingTransport chaotic(world, chaos::maskable_plan(seed));
+        const auto chaos = run_gtopk_with_residuals(chaotic, world, k, seed, pooled);
+
+        for (int r = 0; r < world; ++r) {
+            ASSERT_EQ(chaos[static_cast<std::size_t>(r)].global,
+                      clean[static_cast<std::size_t>(r)].global)
+                << "rank " << r << " pooled=" << pooled;
+            ASSERT_EQ(chaos[static_cast<std::size_t>(r)].residual,
+                      clean[static_cast<std::size_t>(r)].residual)
+                << "rank " << r << " pooled=" << pooled;
+        }
+        // A run where the plan never fired proves nothing.
+        EXPECT_GT(chaotic.counts().injected(), 0u) << "pooled=" << pooled;
+    }
+}
+
+TEST_P(GtopkChaosProperty, ChaosScheduleItselfIsSeedDeterministic) {
+    // Same seed + same plan => the transport makes the identical sequence of
+    // fault decisions (the acceptance criterion's bit-identical schedule).
+    const auto [world, seed] = GetParam();
+    comm::FaultCounts first;
+    for (int run = 0; run < 2; ++run) {
+        comm::FaultInjectingTransport t(world, chaos::maskable_plan(seed));
+        (void)run_gtopk_with_residuals(t, world, 16, seed, /*pooled=*/true);
+        if (run == 0) {
+            first = t.counts();
+        } else {
+            EXPECT_EQ(t.counts().duplicated, first.duplicated);
+            EXPECT_EQ(t.counts().reordered, first.reordered);
+            EXPECT_EQ(t.counts().delayed, first.delayed);
+            EXPECT_EQ(t.counts().dropped, first.dropped);
+            EXPECT_EQ(t.counts().corrupted, first.corrupted);
+        }
+    }
 }
 
 TEST(GtopkEdge, CancellationAcrossWorkersIsHandled) {
