@@ -7,6 +7,7 @@
 
 #include "bench_common.hpp"
 #include "comm/cluster.hpp"
+#include "comm/tags.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -26,9 +27,9 @@ int main() {
         auto result = comm::Cluster::run_timed(2, net, [&](comm::Communicator& comm) {
             std::vector<float> payload(n, 1.0f);
             if (comm.rank() == 0) {
-                comm.send_vec<float>(1, 1, payload);
+                comm.send_vec<float>(1, gtopk::comm::kTagBenchP2p, payload);
             } else {
-                (void)comm.recv(0, 1);
+                (void)comm.recv(0, gtopk::comm::kTagBenchP2p);
             }
         });
         const double measured_ms = result.final_time_s[1] * 1e3;

@@ -1,0 +1,71 @@
+// Runtime conformance: diff a live threaded run's recorded message stream
+// (comm/recording_transport.hpp) against the statically generated schedule.
+//
+// The global interleaving of a threaded run is nondeterministic, but each
+// (src, dst) edge's stream is exactly the sender's program order — so the
+// predictor lays out expected per-edge streams (replaying the SPMD
+// fresh-tag accounting to turn tag offsets into absolute tags), and the
+// diff compares every edge element-wise: tags strictly, bytes when the
+// schedule knows them exactly. The first divergence is reported with the
+// protocol, round and edge position that produced the expectation.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "collectives/schedule.hpp"
+#include "comm/recording_transport.hpp"
+
+namespace gtopk::analysis {
+
+/// One predicted delivery on an edge.
+struct ExpectedMsg {
+    int src = -1;
+    int dst = -1;
+    int tag = -1;                              // absolute
+    std::int64_t bytes = collectives::kVariableBytes;  // exact or variable
+    std::string proto;
+    int round = 0;
+};
+
+/// Accumulates the schedules a run executes, in order, replaying the
+/// Communicator's fresh-tag cursor so offsets become absolute tags.
+class SchedulePredictor {
+public:
+    explicit SchedulePredictor(int world);
+
+    /// Append one collective invocation (all SPMD ranks execute it).
+    void add(const collectives::Schedule& sched);
+    /// Append the same schedule `times` times (e.g. per-iteration loops).
+    void add_n(const collectives::Schedule& sched, int times);
+
+    int world() const { return world_; }
+    std::int64_t total_messages() const { return total_; }
+    /// Value the ranks' fresh-tag cursor should hold after the run.
+    int fresh_cursor() const { return fresh_cursor_; }
+    const std::vector<ExpectedMsg>& edge(int src, int dst) const;
+
+private:
+    int world_;
+    int fresh_cursor_;
+    std::int64_t total_ = 0;
+    std::vector<std::vector<ExpectedMsg>> edges_;  // [src * world + dst]
+};
+
+struct ConformanceReport {
+    bool ok = true;
+    /// Readable first-divergence description; empty when ok.
+    std::string divergence;
+    std::int64_t expected_messages = 0;
+    std::int64_t actual_messages = 0;
+    std::int64_t matched_messages = 0;
+};
+
+/// Compare the predictor's per-edge expectations with a recorded run.
+/// `actual` is RecordingTransport::log() (any global order; per-edge order
+/// is what matters).
+ConformanceReport diff_conformance(const SchedulePredictor& predictor,
+                                   std::span<const comm::RecordedMsg> actual);
+
+}  // namespace gtopk::analysis

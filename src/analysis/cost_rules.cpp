@@ -1,0 +1,109 @@
+#include "analysis/cost_rules.hpp"
+
+#include "collectives/schedule.hpp"
+
+namespace gtopk::analysis {
+
+namespace {
+
+using collectives::ilog2_ceil;
+using collectives::ilog2_floor;
+using collectives::kVariableBytes;
+
+std::optional<std::int64_t> sized(std::int64_t count, std::int64_t elems,
+                                  std::int64_t elem_bytes) {
+    if (elems == kVariableBytes || elem_bytes == kVariableBytes) return std::nullopt;
+    return count * elems * elem_bytes;
+}
+
+}  // namespace
+
+std::optional<ExpectedTotals> expected_totals(const std::string& proto, int world,
+                                              std::int64_t elems,
+                                              std::int64_t elem_bytes) {
+    const std::int64_t P = world;
+    ExpectedTotals t;
+
+    if (proto == "barrier") {
+        // ceil(log2 P) rounds of one token per rank.
+        t.messages = P == 1 ? 0 : P * ilog2_ceil(world);
+        t.bytes = t.messages;  // 1-byte tokens
+        return t;
+    }
+    if (proto == "broadcast.binomial" || proto == "broadcast.flat" ||
+        proto == "reduce.binomial") {
+        // A (reversed) tree moves each rank's payload exactly once.
+        t.messages = P - 1;
+        t.bytes = sized(P - 1, elems, elem_bytes);
+        return t;
+    }
+    if (proto == "allreduce.ring") {
+        // 2(P-1) steps; each step circulates every block exactly once, so
+        // each pass moves the full m elements P-1 times — Eq. 5's
+        // 2 (P-1)/P m beta per rank, exact for any m (uneven blocks too).
+        t.messages = P == 1 ? 0 : 2 * P * (P - 1);
+        t.bytes = P == 1 ? std::optional<std::int64_t>(0)
+                         : sized(2 * (P - 1), elems, elem_bytes);
+        return t;
+    }
+    if (proto == "allreduce.recursive_doubling") {
+        // logP rounds of full-vector exchange on every rank.
+        const std::int64_t rounds = P == 1 ? 0 : ilog2_floor(world);
+        t.messages = P * rounds;
+        t.bytes = sized(P * rounds, elems, elem_bytes);
+        return t;
+    }
+    if (proto == "allreduce.rabenseifner") {
+        // 2 logP rounds; halving windows sum to m(P-1)/P per rank per
+        // phase — ring bandwidth at logarithmic latency (P | m enforced
+        // by the generator).
+        const std::int64_t rounds = P == 1 ? 0 : ilog2_floor(world);
+        t.messages = 2 * P * rounds;
+        t.bytes = P == 1 ? std::optional<std::int64_t>(0)
+                         : sized(2 * (P - 1), elems, elem_bytes);
+        return t;
+    }
+    if (proto == "allgather.recursive_doubling") {
+        // Windows double each round: n(P-1) elements shipped per rank —
+        // Eq. 6's (P-1) n beta.
+        const std::int64_t rounds = P == 1 ? 0 : ilog2_floor(world);
+        t.messages = P * rounds;
+        t.bytes = sized(P * (P - 1), elems, elem_bytes);
+        return t;
+    }
+    if (proto == "allgather.ring" || proto == "allgatherv.ring") {
+        t.messages = P == 1 ? 0 : P * (P - 1);
+        t.bytes = proto == "allgather.ring" && P > 1
+                      ? sized(P * (P - 1), elems, elem_bytes)
+                      : (P == 1 ? std::optional<std::int64_t>(0) : std::nullopt);
+        return t;
+    }
+    if (proto == "gather.flat") {
+        t.messages = P - 1;
+        t.bytes = sized(P - 1, elems, elem_bytes);
+        return t;
+    }
+    if (proto == "gtopk.merge") {
+        // (P - base) fold sends plus (base - 1) tree sends: every rank's
+        // selection is handed off exactly once on the way to rank 0.
+        t.messages = P - 1;
+        t.bytes = sized(P - 1, elems, elem_bytes);
+        return t;
+    }
+    if (proto == "gtopk.allreduce") {
+        // Merge to rank 0 (P-1 handoffs) plus the binomial broadcast of the
+        // result (P-1 deliveries) — Algorithm 3 end to end.
+        t.messages = 2 * (P - 1);
+        t.bytes = sized(2 * (P - 1), elems, elem_bytes);
+        return t;
+    }
+    if (proto == "ps.iteration") {
+        // Every worker pushes once and is answered once.
+        t.messages = 2 * (P - 1);
+        t.bytes = sized(2 * (P - 1), elems, elem_bytes);
+        return t;
+    }
+    return std::nullopt;
+}
+
+}  // namespace gtopk::analysis

@@ -1,0 +1,31 @@
+// Closed-form message/byte counts for every protocol's schedule — the
+// left-hand (count) side of the paper's Table I, next to cost_model.hpp's
+// time side. commcheck compares each generated schedule's totals against
+// these formulas for every world size, so a generator regression that
+// changes traffic volume (not just shape) is caught statically.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace gtopk::analysis {
+
+/// Expected totals across all ranks for one schedule instance. `bytes` is
+/// nullopt when the protocol's payload sizes are data-dependent.
+struct ExpectedTotals {
+    std::int64_t messages = 0;
+    std::optional<std::int64_t> bytes;
+};
+
+/// Closed-form totals for the protocol string `proto` (Schedule::proto) at
+/// world size P with `elems` elements of `elem_bytes` each (the meaning of
+/// `elems` is per-protocol: full vector for allreduce/broadcast/reduce,
+/// per-rank contribution for allgather/gather, wire elements for gtopk).
+/// Returns nullopt for protocols without a closed form (allgatherv with
+/// unknown sizes still has a message count — bytes is nullopt inside).
+std::optional<ExpectedTotals> expected_totals(const std::string& proto, int world,
+                                              std::int64_t elems,
+                                              std::int64_t elem_bytes);
+
+}  // namespace gtopk::analysis

@@ -1,0 +1,261 @@
+#include "analysis/verify.hpp"
+
+#include <deque>
+#include <map>
+#include <tuple>
+
+#include "comm/tags.hpp"
+
+namespace gtopk::analysis {
+
+namespace {
+
+using collectives::CommOp;
+using collectives::Schedule;
+using collectives::kVariableBytes;
+
+std::string op_str(const CommOp& op, int rank) {
+    std::string s = op.kind == CommOp::Kind::Send ? "send" : "recv";
+    s += " rank " + std::to_string(rank);
+    s += (op.kind == CommOp::Kind::Send ? " -> " : " <- ") + std::to_string(op.peer);
+    s += " tag+" + std::to_string(op.tag_offset);
+    s += " round " + std::to_string(op.round);
+    return s;
+}
+
+/// Checks that need no execution: shapes, peers, tag discipline, per-edge
+/// tag uniqueness (FIFO-unambiguity).
+void static_checks(const Schedule& sched, VerifyResult& out) {
+    const int world = sched.world;
+    if (world < 1) {
+        out.violations.push_back({"well-formed", -1, "world < 1"});
+        return;
+    }
+    if (static_cast<int>(sched.ranks.size()) != world) {
+        out.violations.push_back(
+            {"well-formed", -1,
+             "rank program count " + std::to_string(sched.ranks.size()) +
+                 " != world " + std::to_string(world)});
+        return;
+    }
+    if (sched.tag_count < 0) {
+        out.violations.push_back({"tag-range", -1, "negative tag_count"});
+    }
+
+    std::map<std::tuple<int, int, int>, int> edge_tag_sends;
+    for (int rank = 0; rank < world; ++rank) {
+        for (const CommOp& op : sched.rank_ops(rank)) {
+            if (op.peer < 0 || op.peer >= world) {
+                out.violations.push_back(
+                    {"well-formed", rank, op_str(op, rank) + ": peer out of range"});
+                continue;
+            }
+            if (op.peer == rank) {
+                out.violations.push_back(
+                    {"well-formed", rank, op_str(op, rank) + ": self-message"});
+            }
+            if (op.bytes < 0 && op.bytes != kVariableBytes) {
+                out.violations.push_back(
+                    {"well-formed", rank, op_str(op, rank) + ": negative bytes"});
+            }
+            if (op.b < op.a) {
+                out.violations.push_back(
+                    {"well-formed", rank, op_str(op, rank) + ": empty operand range"});
+            }
+            if (sched.absolute_tags) {
+                // User-tag discipline: absolute tags must stay strictly
+                // below the fresh-tag base (comm/tags.hpp) or they would
+                // collide with fresh-block collectives.
+                if (op.tag_offset < 0 || op.tag_offset >= comm::kFreshTagBase) {
+                    out.violations.push_back(
+                        {"tag-range", rank,
+                         op_str(op, rank) + ": absolute tag " +
+                             std::to_string(op.tag_offset) +
+                             " outside [0, fresh base " +
+                             std::to_string(comm::kFreshTagBase) + ")"});
+                }
+            } else if (op.tag_offset < 0 || op.tag_offset >= sched.tag_count) {
+                out.violations.push_back(
+                    {"tag-range", rank,
+                     op_str(op, rank) + ": tag offset outside the reserved block [0, " +
+                         std::to_string(sched.tag_count) + ")"});
+            }
+            if (op.kind == CommOp::Kind::Send) {
+                const int n = ++edge_tag_sends[{rank, op.peer, op.tag_offset}];
+                if (n == 2) {
+                    out.violations.push_back(
+                        {"fifo", rank,
+                         "tag " + std::to_string(op.tag_offset) + " sent twice on edge " +
+                             std::to_string(rank) + " -> " + std::to_string(op.peer) +
+                             "; matching would depend on FIFO arrival order"});
+                }
+            }
+        }
+    }
+}
+
+/// Execute the schedule under Mailbox semantics: sends are eager and
+/// buffered, recvs block until a matching (source, tag) message is in
+/// flight. Detects deadlock (wait-for cycle), unmatched recvs and
+/// unconsumed sends, and prices the alpha-beta clock as it goes.
+void simulate(const Schedule& sched, const comm::NetworkModel* net,
+              VerifyResult& out) {
+    const int world = sched.world;
+    struct InFlight {
+        std::int64_t bytes;
+        double arrival_s;
+    };
+    std::map<std::tuple<int, int, int>, std::deque<InFlight>> wire;  // (src,dst,tag)
+    std::vector<std::size_t> pc(static_cast<std::size_t>(world), 0);
+    std::vector<double> clock(static_cast<std::size_t>(world), 0.0);
+    bool time_exact = out.bytes_exact && net != nullptr;
+
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (int rank = 0; rank < world; ++rank) {
+            const auto& ops = sched.rank_ops(rank);
+            auto& i = pc[static_cast<std::size_t>(rank)];
+            while (i < ops.size()) {
+                const CommOp& op = ops[i];
+                if (op.kind == CommOp::Kind::Send) {
+                    double arrival = 0.0;
+                    if (time_exact) {
+                        clock[static_cast<std::size_t>(rank)] +=
+                            net->transfer_time_s(static_cast<std::uint64_t>(op.bytes));
+                        arrival = clock[static_cast<std::size_t>(rank)];
+                    }
+                    wire[{rank, op.peer, op.tag_offset}].push_back({op.bytes, arrival});
+                    ++i;
+                    progress = true;
+                    continue;
+                }
+                auto it = wire.find({op.peer, rank, op.tag_offset});
+                if (it == wire.end() || it->second.empty()) break;  // blocked
+                const InFlight msg = it->second.front();
+                it->second.pop_front();
+                if (time_exact) {
+                    auto& c = clock[static_cast<std::size_t>(rank)];
+                    c = std::max(c, msg.arrival_s);
+                }
+                ++i;
+                progress = true;
+            }
+        }
+    }
+
+    // Stalled ranks: each blocked rank waits on exactly one (peer, tag).
+    // If the peer's remaining program still sends it, the wait is real
+    // (potential cycle); otherwise the recv can never be satisfied.
+    std::vector<int> waits_on(static_cast<std::size_t>(world), -1);
+    bool any_blocked = false;
+    for (int rank = 0; rank < world; ++rank) {
+        const auto& ops = sched.rank_ops(rank);
+        const std::size_t i = pc[static_cast<std::size_t>(rank)];
+        if (i >= ops.size()) continue;
+        any_blocked = true;
+        const CommOp& op = ops[i];
+        bool peer_will_send = false;
+        const auto& peer_ops = sched.rank_ops(op.peer);
+        for (std::size_t j = pc[static_cast<std::size_t>(op.peer)];
+             j < peer_ops.size(); ++j) {
+            const CommOp& p = peer_ops[j];
+            if (p.kind == CommOp::Kind::Send && p.peer == rank &&
+                p.tag_offset == op.tag_offset) {
+                peer_will_send = true;
+                break;
+            }
+        }
+        if (peer_will_send) {
+            waits_on[static_cast<std::size_t>(rank)] = op.peer;
+        } else {
+            out.violations.push_back(
+                {"match", rank,
+                 op_str(op, rank) + ": no matching send exists anywhere in the "
+                                    "schedule — recv can never complete"});
+        }
+    }
+    if (any_blocked) {
+        // Walk the wait-for edges to name a cycle if one exists.
+        std::vector<int> color(static_cast<std::size_t>(world), 0);
+        for (int start = 0; start < world; ++start) {
+            if (waits_on[static_cast<std::size_t>(start)] < 0) continue;
+            int r = start;
+            std::vector<int> path;
+            while (r >= 0 && color[static_cast<std::size_t>(r)] == 0) {
+                color[static_cast<std::size_t>(r)] = 1;
+                path.push_back(r);
+                r = waits_on[static_cast<std::size_t>(r)];
+            }
+            if (r >= 0 && color[static_cast<std::size_t>(r)] == 1) {
+                std::string cycle;
+                bool in_cycle = false;
+                for (int node : path) {
+                    if (node == r) in_cycle = true;
+                    if (in_cycle) cycle += std::to_string(node) + " -> ";
+                }
+                cycle += std::to_string(r);
+                out.violations.push_back(
+                    {"deadlock", r, "wait-for cycle: " + cycle});
+            }
+            for (int node : path) color[static_cast<std::size_t>(node)] = 2;
+        }
+        if (out.violations.empty()) {
+            out.violations.push_back(
+                {"deadlock", -1, "schedule stalled without completing"});
+        }
+        return;
+    }
+
+    // Everything ran to completion; any message still on the wire was sent
+    // but never received.
+    for (const auto& [key, queue] : wire) {
+        if (queue.empty()) continue;
+        const auto& [src, dst, tag] = key;
+        out.violations.push_back(
+            {"match", src,
+             std::to_string(queue.size()) + " unconsumed send(s) on edge " +
+                 std::to_string(src) + " -> " + std::to_string(dst) + " tag+" +
+                 std::to_string(tag)});
+    }
+
+    if (time_exact && out.violations.empty()) {
+        double cp = 0.0;
+        for (double c : clock) cp = std::max(cp, c);
+        out.critical_path_s = cp;
+    }
+}
+
+}  // namespace
+
+VerifyResult verify_schedule(const Schedule& sched, const comm::NetworkModel* net) {
+    VerifyResult out;
+    static_checks(sched, out);
+    if (!out.violations.empty()) return out;
+
+    out.per_rank.resize(static_cast<std::size_t>(sched.world));
+    for (int rank = 0; rank < sched.world; ++rank) {
+        RankTraffic& t = out.per_rank[static_cast<std::size_t>(rank)];
+        for (const CommOp& op : sched.rank_ops(rank)) {
+            if (op.bytes == kVariableBytes) {
+                t.bytes_exact = false;
+                out.bytes_exact = false;
+            }
+            if (op.kind == CommOp::Kind::Send) {
+                ++t.sends;
+                ++out.total_messages;
+                if (op.bytes != kVariableBytes) {
+                    t.bytes_sent += op.bytes;
+                    out.total_bytes += op.bytes;
+                }
+            } else {
+                ++t.recvs;
+            }
+        }
+    }
+
+    simulate(sched, net, out);
+    return out;
+}
+
+}  // namespace gtopk::analysis

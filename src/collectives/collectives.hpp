@@ -7,10 +7,17 @@
 //   allreduce ring      reduce-scatter + allgather ring, Eq. 5's
 //                       2(P-1)a + 2 (P-1)/P m b cost
 //   allreduce rec.dbl.  recursive doubling (power-of-two P), logP(a + m b)
+//   allreduce raben.    recursive halving + doubling, 2 logP latency terms
 //   allgather           recursive doubling (default; the paper's Eq. 6 cost
 //                       log(P) a + (P-1) n b per contributed n) or ring
 //   allgatherv          variable contribution sizes
 //   gather              flat gather to a root
+//
+// Every collective EXECUTES the op program its schedule generator emits
+// (schedule.hpp): the generator decides peers, tags, ordering and element
+// ranges; the code here only moves bytes and combines received data. The
+// static model checker in src/analysis/ verifies the same programs, so the
+// analyzed spec cannot drift from the running code by construction.
 //
 // All of them are value-semantic templates over trivially copyable T.
 #pragma once
@@ -28,24 +35,64 @@ namespace gtopk::collectives {
 
 using comm::Communicator;
 
-enum class BcastAlgo { BinomialTree, FlatTree };
-enum class AllgatherAlgo { RecursiveDoubling, Ring };
-enum class AllreduceAlgo { Ring, RecursiveDoubling, Rabenseifner };
+namespace detail {
+
+/// Execute a dense-element schedule over `data`: a Send op ships
+/// data[op.a, op.b); a Recv op lands in data[op.a, op.b) through `combine`,
+/// which sees the op (for its phase) plus destination and incoming spans.
+template <typename T, typename Combine>
+void run_dense_program(Communicator& comm, const Schedule& sched, std::span<T> data,
+                       Combine&& combine) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const int tag = comm.fresh_tags(sched.tag_count);
+    std::vector<T> incoming;  // hoisted: capacity reused across ops
+    for (const CommOp& op : sched.rank_ops(comm.rank())) {
+        if (op.kind == CommOp::Kind::Send) {
+            comm.send_vec<T>(op.peer, tag + op.tag_offset,
+                             std::span<const T>(data.data() + op.a,
+                                                static_cast<std::size_t>(op.b - op.a)));
+        } else {
+            comm.recv_vec_into<T>(op.peer, tag + op.tag_offset, incoming);
+            std::span<T> dst(data.data() + op.a,
+                             static_cast<std::size_t>(op.b - op.a));
+            if (incoming.size() != dst.size()) {
+                throw std::runtime_error(sched.proto + ": size mismatch");
+            }
+            combine(op, dst, std::span<const T>(incoming));
+        }
+    }
+}
+
+/// Recv combiner: elementwise sum into the destination range.
+template <typename T>
+void combine_add(std::span<T> dst, std::span<const T> incoming) {
+    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] += incoming[i];
+}
+
+/// Recv combiner: overwrite the destination range.
+template <typename T>
+void combine_copy(std::span<T> dst, std::span<const T> incoming) {
+    std::memcpy(dst.data(), incoming.data(), incoming.size() * sizeof(T));
+}
+
+}  // namespace detail
 
 /// Dissemination barrier: every rank is released only after transitively
 /// hearing from every other rank.
 inline void barrier(Communicator& comm) {
-    const int world = comm.size();
-    if (world == 1) return;
+    if (comm.size() == 1) return;
     obs::ScopedSpan span(comm.tracer(), comm.clock(), comm.rank(), "barrier",
                          "collective");
-    const int rounds = ilog2_ceil(world);
-    const int tag = comm.fresh_tags(rounds);
+    const Schedule sched = barrier_schedule(comm.size());
+    const int tag = comm.fresh_tags(sched.tag_count);
     const std::byte token{0};
-    for (int r = 0; r < rounds; ++r) {
-        const DisseminationStep step = dissemination_step(comm.rank(), r, world);
-        comm.send(step.send_to, tag + r, std::span<const std::byte>(&token, 1));
-        (void)comm.recv(step.recv_from, tag + r);
+    for (const CommOp& op : sched.rank_ops(comm.rank())) {
+        if (op.kind == CommOp::Kind::Send) {
+            comm.send(op.peer, tag + op.tag_offset,
+                      std::span<const std::byte>(&token, 1));
+        } else {
+            (void)comm.recv(op.peer, tag + op.tag_offset);
+        }
     }
 }
 
@@ -53,33 +100,23 @@ template <typename T>
 void broadcast(Communicator& comm, std::vector<T>& data, int root,
                BcastAlgo algo = BcastAlgo::BinomialTree) {
     static_assert(std::is_trivially_copyable_v<T>);
-    const int world = comm.size();
-    if (world == 1) return;
+    if (comm.size() == 1) return;
     obs::ScopedSpan span(comm.tracer(), comm.clock(), comm.rank(), "broadcast",
                          "collective");
     span.attrs().bytes = static_cast<std::int64_t>(data.size() * sizeof(T));
-    if (algo == BcastAlgo::FlatTree) {
-        const int tag = comm.fresh_tags(1);
-        if (comm.rank() == root) {
-            for (int dst = 0; dst < world; ++dst) {
-                if (dst != root) comm.send_vec<T>(dst, tag, data);
-            }
+    // Non-root ranks don't know the payload size yet, so the ops carry the
+    // whole (resizable) vector rather than element ranges.
+    const Schedule sched = broadcast_schedule(
+        comm.size(), root, static_cast<std::int64_t>(data.size() * sizeof(T)), algo);
+    const int tag = comm.fresh_tags(sched.tag_count);
+    for (const CommOp& op : sched.rank_ops(comm.rank())) {
+        if (op.kind == CommOp::Kind::Send) {
+            comm.send_vec<T>(op.peer, tag + op.tag_offset, data);
         } else {
-            comm.recv_vec_into<T>(root, tag, data);
+            comm.recv_vec_into<T>(op.peer, tag + op.tag_offset, data);
             span.attrs().bytes = static_cast<std::int64_t>(data.size() * sizeof(T));
+            span.attrs().round = op.round;
         }
-        return;
-    }
-    const int rounds = ilog2_ceil(world);
-    const int tag = comm.fresh_tags(rounds);
-    const BinomialBcastPlan plan = binomial_bcast_plan(comm.rank(), root, world);
-    if (plan.recv_round >= 0) {
-        comm.recv_vec_into<T>(plan.recv_from, tag + plan.recv_round, data);
-        span.attrs().bytes = static_cast<std::int64_t>(data.size() * sizeof(T));
-        span.attrs().round = plan.recv_round;
-    }
-    for (const auto& [round, dst] : plan.sends) {
-        comm.send_vec<T>(dst, tag + round, data);
     }
 }
 
@@ -89,34 +126,24 @@ void broadcast(Communicator& comm, std::vector<T>& data, int root,
 template <typename T>
 std::vector<T> reduce_sum(Communicator& comm, std::span<const T> local, int root) {
     static_assert(std::is_trivially_copyable_v<T>);
-    const int world = comm.size();
     std::vector<T> acc(local.begin(), local.end());
-    if (world == 1) return acc;
+    if (comm.size() == 1) return acc;
     obs::ScopedSpan span(comm.tracer(), comm.clock(), comm.rank(), "reduce",
                          "collective");
     span.attrs().bytes = static_cast<std::int64_t>(acc.size() * sizeof(T));
-
-    // Reduce in the rotated space where root is 0, mirroring the bcast tree
-    // run backwards: at round r, virtual ranks with bit r set send their
-    // accumulator to vrank - 2^r and drop out.
-    const int vrank = (comm.rank() - root + world) % world;
-    const int rounds = ilog2_ceil(world);
-    const int tag = comm.fresh_tags(rounds);
+    const Schedule sched = reduce_schedule(
+        comm.size(), root, static_cast<std::int64_t>(acc.size() * sizeof(T)));
+    const int tag = comm.fresh_tags(sched.tag_count);
     std::vector<T> incoming;
-    for (int r = 0; r < rounds; ++r) {
-        const int bit = 1 << r;
-        if (vrank & bit) {
-            const int vdst = vrank - bit;
-            comm.send_vec<T>((vdst + root) % world, tag + r, acc);
-            break;  // this rank's contribution has been handed off
-        }
-        const int vsrc = vrank + bit;
-        if (vsrc < world && (vrank & (bit - 1)) == 0) {
-            comm.recv_vec_into<T>((vsrc + root) % world, tag + r, incoming);
+    for (const CommOp& op : sched.rank_ops(comm.rank())) {
+        if (op.kind == CommOp::Kind::Send) {
+            comm.send_vec<T>(op.peer, tag + op.tag_offset, acc);
+        } else {
+            comm.recv_vec_into<T>(op.peer, tag + op.tag_offset, incoming);
             if (incoming.size() != acc.size()) {
                 throw std::runtime_error("reduce_sum: size mismatch");
             }
-            for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += incoming[i];
+            detail::combine_add<T>(acc, incoming);
         }
     }
     return acc;
@@ -127,49 +154,23 @@ std::vector<T> reduce_sum(Communicator& comm, std::span<const T> local, int root
 template <typename T>
 void allreduce_sum_ring(Communicator& comm, std::vector<T>& data) {
     static_assert(std::is_trivially_copyable_v<T>);
-    const int world = comm.size();
-    if (world == 1) return;
+    if (comm.size() == 1) return;
     obs::ScopedSpan span(comm.tracer(), comm.clock(), comm.rank(),
                          "allreduce.ring", "collective");
     span.attrs().bytes = static_cast<std::int64_t>(data.size() * sizeof(T));
-    const int rank = comm.rank();
-    const RingStep ring = ring_neighbors(rank, world);
-    const auto offsets = ring_block_offsets(data.size(), world);
-    const int steps = world - 1;
-    const int tag = comm.fresh_tags(2 * steps);
-
-    auto block = [&](int b) {
-        b = ((b % world) + world) % world;
-        const std::size_t lo = offsets[static_cast<std::size_t>(b)];
-        const std::size_t hi = offsets[static_cast<std::size_t>(b) + 1];
-        return std::span<T>(data.data() + lo, hi - lo);
-    };
-
-    // Reduce-scatter: after step s, rank holds the sum of (s+2) ranks'
-    // values for block (rank - s - 1). `incoming` is hoisted so its
-    // capacity (like the wire buffers underneath) is reused every step.
-    std::vector<T> incoming;
-    for (int s = 0; s < steps; ++s) {
-        const int send_block = rank - s;
-        const int recv_block = rank - s - 1;
-        comm.send_vec<T>(ring.send_to, tag + s, std::span<const T>(block(send_block)));
-        comm.recv_vec_into<T>(ring.recv_from, tag + s, incoming);
-        auto dst = block(recv_block);
-        if (incoming.size() != dst.size()) {
-            throw std::runtime_error("allreduce_sum_ring: block size mismatch");
-        }
-        for (std::size_t i = 0; i < dst.size(); ++i) dst[i] += incoming[i];
-    }
-    // Allgather: circulate the fully reduced blocks.
-    for (int s = 0; s < steps; ++s) {
-        const int send_block = rank + 1 - s;
-        const int recv_block = rank - s;
-        comm.send_vec<T>(ring.send_to, tag + steps + s,
-                         std::span<const T>(block(send_block)));
-        comm.recv_vec_into<T>(ring.recv_from, tag + steps + s, incoming);
-        auto dst = block(recv_block);
-        std::memcpy(dst.data(), incoming.data(), incoming.size() * sizeof(T));
-    }
+    const Schedule sched = allreduce_ring_schedule(
+        comm.size(), static_cast<std::int64_t>(data.size()),
+        static_cast<std::int64_t>(sizeof(T)));
+    detail::run_dense_program<T>(
+        comm, sched, std::span<T>(data),
+        [](const CommOp& op, std::span<T> dst, std::span<const T> incoming) {
+            // Phase 0 = reduce-scatter (accumulate), phase 1 = allgather.
+            if (op.phase == 0) {
+                detail::combine_add<T>(dst, incoming);
+            } else {
+                detail::combine_copy<T>(dst, incoming);
+            }
+        });
 }
 
 /// Recursive-doubling allreduce (sum), in place. Requires power-of-two P;
@@ -177,23 +178,21 @@ void allreduce_sum_ring(Communicator& comm, std::vector<T>& data) {
 template <typename T>
 void allreduce_sum_recursive_doubling(Communicator& comm, std::vector<T>& data) {
     static_assert(std::is_trivially_copyable_v<T>);
-    const int world = comm.size();
-    if (world == 1) return;
-    if (!is_power_of_two(world)) {
+    if (comm.size() == 1) return;
+    if (!is_power_of_two(comm.size())) {
         throw std::invalid_argument("recursive doubling requires power-of-two world");
     }
     obs::ScopedSpan span(comm.tracer(), comm.clock(), comm.rank(),
                          "allreduce.recursive_doubling", "collective");
     span.attrs().bytes = static_cast<std::int64_t>(data.size() * sizeof(T));
-    const int rounds = ilog2_floor(world);
-    const int tag = comm.fresh_tags(rounds);
-    std::vector<T> incoming;
-    for (int r = 0; r < rounds; ++r) {
-        const int peer = comm.rank() ^ (1 << r);
-        comm.send_vec<T>(peer, tag + r, data);
-        comm.recv_vec_into<T>(peer, tag + r, incoming);
-        for (std::size_t i = 0; i < data.size(); ++i) data[i] += incoming[i];
-    }
+    const Schedule sched = allreduce_recursive_doubling_schedule(
+        comm.size(), static_cast<std::int64_t>(data.size()),
+        static_cast<std::int64_t>(sizeof(T)));
+    detail::run_dense_program<T>(
+        comm, sched, std::span<T>(data),
+        [](const CommOp&, std::span<T> dst, std::span<const T> incoming) {
+            detail::combine_add<T>(dst, incoming);
+        });
 }
 
 /// Rabenseifner allreduce (sum), in place: recursive-halving
@@ -204,65 +203,28 @@ void allreduce_sum_recursive_doubling(Communicator& comm, std::vector<T>& data) 
 template <typename T>
 void allreduce_sum_rabenseifner(Communicator& comm, std::vector<T>& data) {
     static_assert(std::is_trivially_copyable_v<T>);
-    const int world = comm.size();
-    if (world == 1) return;
-    if (!is_power_of_two(world)) {
+    if (comm.size() == 1) return;
+    if (!is_power_of_two(comm.size())) {
         throw std::invalid_argument("rabenseifner requires power-of-two world");
     }
-    if (data.size() % static_cast<std::size_t>(world) != 0) {
+    if (data.size() % static_cast<std::size_t>(comm.size()) != 0) {
         throw std::invalid_argument("rabenseifner requires m divisible by P");
     }
     obs::ScopedSpan span(comm.tracer(), comm.clock(), comm.rank(),
                          "allreduce.rabenseifner", "collective");
     span.attrs().bytes = static_cast<std::int64_t>(data.size() * sizeof(T));
-    const int rounds = ilog2_floor(world);
-    const int tag = comm.fresh_tags(2 * rounds);
-    const int rank = comm.rank();
-
-    // Phase 1 — reduce-scatter by recursive halving: the owned window
-    // [lo, hi) halves every round; the half belonging to the partner's
-    // side is shipped out and the kept half absorbs the partner's data.
-    std::size_t lo = 0, hi = data.size();
-    std::vector<T> incoming;
-    for (int r = 0; r < rounds; ++r) {
-        const int bit = 1 << (rounds - 1 - r);
-        const int peer = rank ^ bit;
-        const std::size_t mid = lo + (hi - lo) / 2;
-        const bool keep_lower = (rank & bit) == 0;
-        const std::size_t send_lo = keep_lower ? mid : lo;
-        const std::size_t send_hi = keep_lower ? hi : mid;
-        comm.send_vec<T>(peer, tag + r,
-                         std::span<const T>(data.data() + send_lo, send_hi - send_lo));
-        comm.recv_vec_into<T>(peer, tag + r, incoming);
-        if (keep_lower) {
-            hi = mid;
-        } else {
-            lo = mid;
-        }
-        if (incoming.size() != hi - lo) {
-            throw std::runtime_error("rabenseifner: window size mismatch");
-        }
-        for (std::size_t i = 0; i < incoming.size(); ++i) data[lo + i] += incoming[i];
-    }
-
-    // Phase 2 — allgather by recursive doubling: windows merge back in the
-    // reverse order, each exchange doubling the owned range.
-    for (int r = rounds - 1; r >= 0; --r) {
-        const int bit = 1 << (rounds - 1 - r);
-        const int peer = rank ^ bit;
-        comm.send_vec<T>(peer, tag + rounds + r,
-                         std::span<const T>(data.data() + lo, hi - lo));
-        comm.recv_vec_into<T>(peer, tag + rounds + r, incoming);
-        if ((rank & bit) == 0) {
-            // Peer owned the upper sibling window.
-            std::memcpy(data.data() + hi, incoming.data(), incoming.size() * sizeof(T));
-            hi += incoming.size();
-        } else {
-            std::memcpy(data.data() + lo - incoming.size(), incoming.data(),
-                        incoming.size() * sizeof(T));
-            lo -= incoming.size();
-        }
-    }
+    const Schedule sched = allreduce_rabenseifner_schedule(
+        comm.size(), static_cast<std::int64_t>(data.size()),
+        static_cast<std::int64_t>(sizeof(T)));
+    detail::run_dense_program<T>(
+        comm, sched, std::span<T>(data),
+        [](const CommOp& op, std::span<T> dst, std::span<const T> incoming) {
+            if (op.phase == 0) {
+                detail::combine_add<T>(dst, incoming);
+            } else {
+                detail::combine_copy<T>(dst, incoming);
+            }
+        });
 }
 
 template <typename T>
@@ -292,42 +254,14 @@ std::vector<T> allgather(Communicator& comm, std::span<const T> mine,
     obs::ScopedSpan span(comm.tracer(), comm.clock(), comm.rank(), "allgather",
                          "collective");
     span.attrs().bytes = static_cast<std::int64_t>(n * sizeof(T));
-
-    if (algo == AllgatherAlgo::RecursiveDoubling && is_power_of_two(world)) {
-        // At round r each rank owns a contiguous 2^r-rank-wide window (in
-        // the space of rank-with-low-bits-cleared) and swaps it with the
-        // buddy window of rank ^ 2^r.
-        const int rounds = ilog2_floor(world);
-        const int tag = comm.fresh_tags(rounds);
-        std::vector<T> incoming;
-        for (int r = 0; r < rounds; ++r) {
-            const int width = 1 << r;
-            const int peer = comm.rank() ^ width;
-            const int my_base = comm.rank() & ~(width - 1);
-            const int peer_base = peer & ~(width - 1);
-            std::span<const T> window(out.data() + n * static_cast<std::size_t>(my_base),
-                                      n * static_cast<std::size_t>(width));
-            comm.send_vec<T>(peer, tag + r, window);
-            comm.recv_vec_into<T>(peer, tag + r, incoming);
-            std::memcpy(out.data() + n * static_cast<std::size_t>(peer_base),
-                        incoming.data(), incoming.size() * sizeof(T));
-        }
-        return out;
-    }
-
-    // Ring allgather: P-1 steps, forwarding the newest block each time.
-    const RingStep ring = ring_neighbors(comm.rank(), world);
-    const int tag = comm.fresh_tags(world - 1);
-    std::vector<T> incoming;
-    for (int s = 0; s < world - 1; ++s) {
-        const int send_block = (comm.rank() - s + world) % world;
-        const int recv_block = (comm.rank() - s - 1 + world) % world;
-        std::span<const T> window(out.data() + n * static_cast<std::size_t>(send_block), n);
-        comm.send_vec<T>(ring.send_to, tag + s, window);
-        comm.recv_vec_into<T>(ring.recv_from, tag + s, incoming);
-        std::memcpy(out.data() + n * static_cast<std::size_t>(recv_block),
-                    incoming.data(), incoming.size() * sizeof(T));
-    }
+    const Schedule sched =
+        allgather_schedule(world, static_cast<std::int64_t>(n),
+                           static_cast<std::int64_t>(sizeof(T)), algo);
+    detail::run_dense_program<T>(
+        comm, sched, std::span<T>(out),
+        [](const CommOp&, std::span<T> dst, std::span<const T> incoming) {
+            detail::combine_copy<T>(dst, incoming);
+        });
     return out;
 }
 
@@ -343,17 +277,17 @@ std::vector<std::vector<T>> allgatherv(Communicator& comm, std::span<const T> mi
                          "collective");
     span.attrs().bytes = static_cast<std::int64_t>(mine.size() * sizeof(T));
 
-    // Ring of (size, data) pairs — sizes ride in the same message as a
-    // leading header so the exchange stays one message per step.
-    const RingStep ring = ring_neighbors(comm.rank(), world);
-    const int tag = comm.fresh_tags(world - 1);
-    for (int s = 0; s < world - 1; ++s) {
-        const int send_block = (comm.rank() - s + world) % world;
-        const int recv_block = (comm.rank() - s - 1 + world) % world;
-        const auto& payload = out[static_cast<std::size_t>(send_block)];
-        comm.send_vec<T>(ring.send_to, tag + s, payload);
-        comm.recv_vec_into<T>(ring.recv_from, tag + s,
-                              out[static_cast<std::size_t>(recv_block)]);
+    // Ring of whole per-rank blocks; op operands are BLOCK indices because
+    // element offsets depend on sizes only the owners know.
+    const Schedule sched = allgatherv_schedule(world, {});
+    const int tag = comm.fresh_tags(sched.tag_count);
+    for (const CommOp& op : sched.rank_ops(comm.rank())) {
+        auto& block = out[static_cast<std::size_t>(op.a)];
+        if (op.kind == CommOp::Kind::Send) {
+            comm.send_vec<T>(op.peer, tag + op.tag_offset, block);
+        } else {
+            comm.recv_vec_into<T>(op.peer, tag + op.tag_offset, block);
+        }
     }
     return out;
 }
@@ -367,21 +301,24 @@ std::vector<T> gather(Communicator& comm, std::span<const T> mine, int root) {
     obs::ScopedSpan span(comm.tracer(), comm.clock(), comm.rank(), "gather",
                          "collective");
     span.attrs().bytes = static_cast<std::int64_t>(mine.size() * sizeof(T));
-    const int tag = comm.fresh_tags(1);
+    const Schedule sched = gather_schedule(
+        world, root, static_cast<std::int64_t>(mine.size() * sizeof(T)));
+    const int tag = comm.fresh_tags(sched.tag_count);
     if (comm.rank() != root) {
-        comm.send_vec<T>(root, tag, mine);
+        for (const CommOp& op : sched.rank_ops(comm.rank())) {
+            comm.send_vec<T>(op.peer, tag + op.tag_offset, mine);
+        }
         return {};
     }
     std::vector<T> out(mine.size() * static_cast<std::size_t>(world));
     std::memcpy(out.data() + mine.size() * static_cast<std::size_t>(root), mine.data(),
                 mine.size() * sizeof(T));
     std::vector<T> part;
-    for (int src = 0; src < world; ++src) {
-        if (src == root) continue;
-        comm.recv_vec_into<T>(src, tag, part);
+    for (const CommOp& op : sched.rank_ops(root)) {
+        comm.recv_vec_into<T>(op.peer, tag + op.tag_offset, part);
         if (part.size() != mine.size()) throw std::runtime_error("gather: size mismatch");
-        std::memcpy(out.data() + part.size() * static_cast<std::size_t>(src), part.data(),
-                    part.size() * sizeof(T));
+        std::memcpy(out.data() + part.size() * static_cast<std::size_t>(op.a),
+                    part.data(), part.size() * sizeof(T));
     }
     return out;
 }

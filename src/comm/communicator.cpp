@@ -1,16 +1,47 @@
 #include "comm/communicator.hpp"
 
+#include <limits>
 #include <stdexcept>
+#include <string>
 
+#include "comm/tags.hpp"
 #include "obs/trace.hpp"
 
 namespace gtopk::comm {
 
 Communicator::Communicator(Transport& transport, int rank, NetworkModel model)
-    : transport_(transport), rank_(rank), model_(model) {
+    : tag_counter_(kFreshTagBase), transport_(transport), rank_(rank), model_(model) {
     if (rank < 0 || rank >= transport.world_size()) {
         throw std::out_of_range("Communicator: rank outside world");
     }
+}
+
+int Communicator::fresh_tags(int count) {
+    if (count < 0) throw std::invalid_argument("fresh_tags: negative count");
+    if (count > std::numeric_limits<int>::max() - kFreshTagBase) {
+        throw std::invalid_argument("fresh_tags: count exceeds tag space");
+    }
+    if (tag_counter_ > std::numeric_limits<int>::max() - count) {
+        // Out of tag space: wrap back to the base. Because every rank's
+        // counter advances in SPMD lockstep, all ranks wrap at the same
+        // collective boundary, so matching calls still agree on the block.
+        // Reuse is only safe if no message carrying an old fresh tag is
+        // still queued for this rank — a stale tag could steal a future
+        // match. (Transports that cannot inspect their queues report 0
+        // pending, degrading this to an unchecked wrap.)
+        const std::size_t in_flight =
+            transport_.pending_with_tag_at_least(rank_, kFreshTagBase);
+        if (in_flight != 0) {
+            throw std::logic_error(
+                "fresh_tags: tag space exhausted on rank " + std::to_string(rank_) +
+                " with " + std::to_string(in_flight) +
+                " fresh-tag message(s) still pending; cannot wrap safely");
+        }
+        tag_counter_ = kFreshTagBase;
+    }
+    const int base = tag_counter_;
+    tag_counter_ += count;
+    return base;
 }
 
 void Communicator::set_tracer(obs::Tracer* tracer) {

@@ -154,14 +154,26 @@ public:
     /// the first. All ranks execute the same SPMD sequence of collectives,
     /// so per-rank counters stay in lockstep and matching calls agree on the
     /// tag block without any coordination traffic.
-    int fresh_tags(int count) {
-        int base = tag_counter_;
-        tag_counter_ += count;
-        return base;
-    }
+    ///
+    /// Long runs exhaust the int tag space (~2^31 - 10^6 tags); instead of
+    /// silently overflowing into UB, the counter wraps back to
+    /// kFreshTagBase. Wrapping is sound only when no fresh-tag message is
+    /// still in flight — since the counters advance in SPMD lockstep, every
+    /// rank wraps at the same collective boundary and checks its own inbound
+    /// queue, which together covers all fresh-tag traffic. A pending
+    /// fresh-tag message at wrap time throws (tag reuse would mis-match).
+    int fresh_tags(int count);
+
+    /// Current fresh-tag cursor (next block base).
+    int fresh_tag_cursor() const { return tag_counter_; }
+
+    /// Test hook: reposition the fresh-tag cursor (e.g. just below the wrap
+    /// limit to exercise the overflow path without 2^31 collectives). Must
+    /// be called in SPMD lockstep with no fresh-tag traffic in flight.
+    void set_fresh_tag_cursor_for_test(int cursor) { tag_counter_ = cursor; }
 
 private:
-    int tag_counter_ = 1'000'000;  // keep clear of user tags
+    int tag_counter_;  // initialized to kFreshTagBase, clear of user tags
     Transport& transport_;
     int rank_;
     double recv_timeout_s_ = 0.0;

@@ -214,6 +214,21 @@ std::optional<Message> FaultInjectingTransport::receive_for(int rank, int source
 
 void FaultInjectingTransport::shutdown() { inner_->shutdown(); }
 
+std::size_t FaultInjectingTransport::pending_with_tag_at_least(int rank,
+                                                               int min_tag) const {
+    std::size_t held = 0;
+    {
+        std::lock_guard<std::mutex> lock(held_mutex_);
+        for (int src = 0; src < world_size(); ++src) {
+            const auto& slot = held_[static_cast<std::size_t>(src) *
+                                         static_cast<std::size_t>(world_size()) +
+                                     static_cast<std::size_t>(rank)];
+            if (slot && slot->tag >= min_tag) ++held;
+        }
+    }
+    return held + inner_->pending_with_tag_at_least(rank, min_tag);
+}
+
 void FaultInjectingTransport::kill_rank(int rank) {
     if (rank < 0 || rank >= world_size()) {
         throw std::out_of_range("kill_rank: bad rank");

@@ -134,6 +134,9 @@ public:
                                        double timeout_s) override;
     void shutdown() override;
     void set_tracer(obs::Tracer* tracer) override;
+    /// Forwarded to the inner fabric. A message parked in a reorder hold
+    /// slot is still "in flight" for the wrap check's purposes, so count it.
+    std::size_t pending_with_tag_at_least(int rank, int min_tag) const override;
 
     /// Manually kill a rank now (e.g. at a chosen training iteration), in
     /// addition to any plan-scheduled kills. Thread-safe.
@@ -170,7 +173,7 @@ private:
     /// Reorder hold slots, one per (src, dst) edge; src's thread parks,
     /// src's next send or dst's receive poll releases — hence the lock.
     std::vector<std::optional<Message>> held_;
-    std::mutex held_mutex_;
+    mutable std::mutex held_mutex_;
     std::vector<std::atomic<bool>> killed_;
     /// Plan-scheduled kill threshold per rank (UINT64_MAX = never) and the
     /// rank's lifetime send attempts (only the rank's own thread writes).

@@ -82,4 +82,13 @@ std::size_t Mailbox::size() const {
     return queue_.size();
 }
 
+std::size_t Mailbox::count_tag_at_least(int min_tag) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t n = 0;
+    for (const Message& m : queue_) {
+        if (m.tag >= min_tag) ++n;
+    }
+    return n;
+}
+
 }  // namespace gtopk::comm

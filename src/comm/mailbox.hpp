@@ -42,6 +42,11 @@ public:
 
     std::size_t size() const;
 
+    /// Number of queued messages whose tag is >= `min_tag`. Used by the
+    /// fresh-tag wrap check in Communicator::fresh_tags: wrapping the tag
+    /// counter is only sound when no fresh-tag message is still in flight.
+    std::size_t count_tag_at_least(int min_tag) const;
+
 private:
     bool matches(const Message& m, int source, int tag) const {
         return (source == kAnySource || m.source == source) &&

@@ -1,0 +1,36 @@
+// Central registry of user-facing point-to-point tags.
+//
+// Tag space discipline (machine-checked by tools/commcheck and a
+// static_assert below): the half-open range [0, kFreshTagBase) belongs to
+// user protocols — every hand-assigned tag in the tree must be listed here —
+// and [kFreshTagBase, INT_MAX] belongs to Communicator::fresh_tags blocks,
+// which all collectives draw from in SPMD lockstep. Keeping the two ranges
+// disjoint is what lets a PS push (user tag) stay pending across a
+// collective (fresh tags) without any matching ambiguity.
+#pragma once
+
+namespace gtopk::comm {
+
+/// First tag of the fresh-tag space reserved for collectives; every user
+/// tag must stay strictly below it.
+inline constexpr int kFreshTagBase = 1'000'000;
+
+enum UserTag : int {
+    /// Parameter-server protocol (ps/ps_trainer.cpp).
+    kTagPsPush = 101,  // worker -> server gradients
+    kTagPsPull = 102,  // server -> worker aggregate
+
+    /// Point-to-point tags used by tests and benches (tests/, bench/).
+    kTagTestData = 201,
+    kTagTestAux = 202,
+    kTagTestValue = 203,
+    kTagBenchP2p = 301,
+};
+
+static_assert(kTagPsPush < kFreshTagBase && kTagPsPull < kFreshTagBase &&
+                  kTagTestData < kFreshTagBase && kTagTestAux < kFreshTagBase &&
+                  kTagTestValue < kFreshTagBase && kTagBenchP2p < kFreshTagBase,
+              "user tags must stay below the fresh-tag base");
+static_assert(kTagPsPush >= 0, "user tags are non-negative");
+
+}  // namespace gtopk::comm

@@ -65,6 +65,13 @@ std::optional<Message> InProcTransport::receive_for(int rank, int source, int ta
             std::chrono::duration<double>(timeout_s)));
 }
 
+std::size_t InProcTransport::pending_with_tag_at_least(int rank, int min_tag) const {
+    if (rank < 0 || rank >= world_size()) {
+        throw std::out_of_range("pending_with_tag_at_least: bad rank");
+    }
+    return mailboxes_[static_cast<std::size_t>(rank)]->count_tag_at_least(min_tag);
+}
+
 std::uint64_t InProcTransport::delivered_count() const {
     return delivered_.load(std::memory_order_relaxed);
 }

@@ -56,6 +56,18 @@ public:
     /// Abort: close all mailboxes, waking blocked receivers with an error.
     virtual void shutdown() = 0;
 
+    /// Number of messages pending for `rank` whose tag is >= `min_tag`.
+    /// Feeds the fresh-tag wrap soundness check in Communicator::fresh_tags
+    /// (wrapping is only legal when no fresh-tag message is in flight).
+    /// Decorators forward to their inner transport; the base returns 0,
+    /// which degrades the wrap check to a no-op for transports that cannot
+    /// inspect their queues.
+    virtual std::size_t pending_with_tag_at_least(int rank, int min_tag) const {
+        (void)rank;
+        (void)min_tag;
+        return 0;
+    }
+
     /// Attach an observability tracer (nullptr detaches). Call before
     /// worker threads start. Base: no-op; implementations register their
     /// metrics (mailbox depth, fault-event counters).
@@ -73,6 +85,7 @@ public:
     std::optional<Message> receive_for(int rank, int source, int tag,
                                        double timeout_s) override;
     void shutdown() override;
+    std::size_t pending_with_tag_at_least(int rank, int min_tag) const override;
 
     /// Total messages delivered since construction (for tests/benches).
     std::uint64_t delivered_count() const;

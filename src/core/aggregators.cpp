@@ -11,8 +11,6 @@ namespace gtopk::core {
 
 namespace {
 
-using collectives::TreeMergeStep;
-
 void send_sparse(Communicator& comm, int dst, int tag, const SparseGradient& g,
                  bool pooled) {
     if (pooled) {
@@ -64,53 +62,31 @@ GtopkResult gtopk_allreduce(Communicator& comm, const SparseGradient& local,
     op_span.attrs().nnz = static_cast<std::int64_t>(local.nnz());
 
     if (world > 1) {
-        // Fold ranks beyond the largest power-of-two base into the base so
-        // the distance-doubling tree below sees a power-of-two world.
-        const int base = 1 << collectives::ilog2_floor(world);
-        const int excess = world - base;
-        const int fold_tag = comm.fresh_tags(1);
-        if (rank >= base) {
-            obs::ScopedSpan fold(tracer, comm.clock(), rank, "gtopk.fold", "agg");
-            fold.attrs().peer = rank - base;
-            fold.attrs().nnz = static_cast<std::int64_t>(acc.nnz());
-            send_sparse(comm, rank - base, fold_tag, acc, options.pooled);
-        } else if (rank < excess) {
-            obs::ScopedSpan fold(tracer, comm.clock(), rank, "gtopk.fold", "agg");
-            fold.attrs().peer = rank + base;
-            recv_merge(comm, rank + base, fold_tag, acc, k, options.pooled, ws);
-            fold.attrs().nnz = static_cast<std::int64_t>(acc.nnz());
-        }
-
-        // The tree of Fig. 4: at round r, ranks at stride 2^r pair up; the
+        // The merge schedule is the generator's op program: phase 0 folds
+        // ranks beyond the largest power-of-two base into the base so the
+        // tree sees a power-of-two world; phase 1 is the distance-doubling
+        // tree of Fig. 4 — at round r, ranks at stride 2^r pair up, the
         // odd-position one ships its [V, I] to its even peer, which merges
         // with ⊤ and carries the result into the next round. After
         // log2(base) rounds rank 0 holds the global top-k.
-        const int rounds = collectives::tree_merge_rounds(base);
-        const int tree_tag = comm.fresh_tags(rounds);
-        if (rank < base) {
-            for (int r = 0; r < rounds; ++r) {
-                const TreeMergeStep step = collectives::tree_merge_step(rank, r, base);
-                if (step.role == TreeMergeStep::Role::Send) {
-                    obs::ScopedSpan round_span(tracer, comm.clock(), rank,
-                                               "gtopk.merge_round", "agg");
-                    round_span.attrs().round = r;
-                    round_span.attrs().peer = step.peer;
-                    round_span.attrs().nnz = static_cast<std::int64_t>(acc.nnz());
-                    send_sparse(comm, step.peer, tree_tag + r, acc, options.pooled);
-                    break;  // folded in; wait for the broadcast
-                }
-                if (step.role == TreeMergeStep::Role::Receive) {
-                    obs::ScopedSpan round_span(tracer, comm.clock(), rank,
-                                               "gtopk.merge_round", "agg");
-                    round_span.attrs().round = r;
-                    round_span.attrs().peer = step.peer;
-                    recv_merge(comm, step.peer, tree_tag + r, acc, k, options.pooled,
-                               ws);
-                    round_span.attrs().nnz = static_cast<std::int64_t>(acc.nnz());
-                    if (tracer) {
-                        tracer->metrics().counter("gtopk.merge_rounds").add(1);
-                        tracer->metrics().histogram("gtopk.round_nnz").record(acc.nnz());
-                    }
+        const collectives::Schedule sched =
+            collectives::gtopk_merge_schedule(world, collectives::kVariableBytes);
+        const int tag = comm.fresh_tags(sched.tag_count);
+        for (const collectives::CommOp& op : sched.rank_ops(rank)) {
+            const char* span_name = op.phase == 0 ? "gtopk.fold" : "gtopk.merge_round";
+            obs::ScopedSpan op_round(tracer, comm.clock(), rank, span_name, "agg");
+            op_round.attrs().peer = op.peer;
+            if (op.phase == 1) op_round.attrs().round = op.round;
+            if (op.kind == collectives::CommOp::Kind::Send) {
+                op_round.attrs().nnz = static_cast<std::int64_t>(acc.nnz());
+                send_sparse(comm, op.peer, tag + op.tag_offset, acc, options.pooled);
+            } else {
+                recv_merge(comm, op.peer, tag + op.tag_offset, acc, k, options.pooled,
+                           ws);
+                op_round.attrs().nnz = static_cast<std::int64_t>(acc.nnz());
+                if (op.phase == 1 && tracer) {
+                    tracer->metrics().counter("gtopk.merge_rounds").add(1);
+                    tracer->metrics().histogram("gtopk.round_nnz").record(acc.nnz());
                 }
             }
         }

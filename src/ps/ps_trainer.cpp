@@ -5,6 +5,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "ps/ps_schedule.hpp"
 #include "sparse/topk_merge.hpp"
 #include "sparse/topk_select.hpp"
 #include "sparse/wire.hpp"
@@ -13,11 +14,9 @@ namespace gtopk::ps {
 
 namespace {
 
+using collectives::CommOp;
 using comm::Communicator;
 using sparse::SparseGradient;
-
-constexpr int kPushTag = 101;   // worker -> server gradients
-constexpr int kPullTag = 102;   // server -> worker aggregate
 
 double now_host_s() {
     return std::chrono::duration<double>(
@@ -82,6 +81,18 @@ train::TrainResult train_parameter_server(int workers, comm::NetworkModel net,
         sparse::MergeScratch merge_scratch;
         std::vector<std::byte> wire;
 
+        // The iteration exchange executes this op program (peers and tags
+        // come exclusively from the generator, which src/analysis verifies).
+        // Dense payloads are m floats both ways; sparse payloads are
+        // data-dependent, so the schedule marks them variable.
+        const bool dense_agg = config.aggregation == PsAggregation::Dense;
+        const std::int64_t dense_bytes =
+            static_cast<std::int64_t>(m) * static_cast<std::int64_t>(sizeof(float));
+        const collectives::Schedule iter_sched = ps_iteration_schedule(
+            workers, dense_agg ? dense_bytes : collectives::kVariableBytes,
+            dense_agg ? dense_bytes : collectives::kVariableBytes);
+        const auto& my_ops = iter_sched.rank_ops(comm.rank());
+
         std::int64_t step = 0;
         for (int epoch = 0; epoch < config.epochs; ++epoch) {
             const EpochPlan plan = plan_epoch(config, epoch, m);
@@ -90,33 +101,43 @@ train::TrainResult train_parameter_server(int workers, comm::NetworkModel net,
             for (int it = 0; it < config.iters_per_epoch; ++it, ++step) {
                 if (is_server) {
                     // ---- server: receive, aggregate, answer ----
+                    // Phase 0 ops are the per-worker pushes; the first
+                    // phase-1 op marks aggregation complete.
                     if (config.aggregation == PsAggregation::Dense) {
                         std::vector<float> sum(m, 0.0f);
-                        for (int w = 1; w <= workers; ++w) {
-                            const auto grad = comm.recv_vec<float>(w, kPushTag);
-                            for (std::size_t i = 0; i < m; ++i) sum[i] += grad[i];
-                        }
-                        for (int w = 1; w <= workers; ++w) {
-                            comm.send_vec<float>(w, kPullTag, sum);
+                        std::vector<float> grad;
+                        for (const CommOp& op : my_ops) {
+                            if (op.kind == CommOp::Kind::Recv) {
+                                comm.recv_vec_into<float>(op.peer, op.tag_offset, grad);
+                                for (std::size_t i = 0; i < m; ++i) sum[i] += grad[i];
+                            } else {
+                                comm.send_vec<float>(op.peer, op.tag_offset, sum);
+                            }
                         }
                     } else {
                         SparseGradient sum;
                         sum.dense_size = static_cast<std::int64_t>(m);
-                        for (int w = 1; w <= workers; ++w) {
-                            // Validate-once view straight off the pooled wire
-                            // bytes; k = m makes the merge a pure sparse sum
-                            // (merged nnz can never exceed m).
-                            const comm::PooledBuffer raw =
-                                comm.recv_buffer(w, kPushTag);
-                            const sparse::SparseGradientView v =
-                                sparse::deserialize_view(raw.bytes());
-                            sparse::topk_merge_into(sum, v.dense_size, v.indices,
-                                                    v.values, m, merge_scratch);
-                        }
-                        const SparseGradient global = sparse::sparse_topk(sum, plan.k);
-                        sparse::serialize_into(global, wire);
-                        for (int w = 1; w <= workers; ++w) {
-                            comm.send(w, kPullTag, wire);
+                        bool aggregated = false;
+                        for (const CommOp& op : my_ops) {
+                            if (op.kind == CommOp::Kind::Recv) {
+                                // Validate-once view straight off the pooled
+                                // wire bytes; k = m makes the merge a pure
+                                // sparse sum (merged nnz can never exceed m).
+                                const comm::PooledBuffer raw =
+                                    comm.recv_buffer(op.peer, op.tag_offset);
+                                const sparse::SparseGradientView v =
+                                    sparse::deserialize_view(raw.bytes());
+                                sparse::topk_merge_into(sum, v.dense_size, v.indices,
+                                                        v.values, m, merge_scratch);
+                            } else {
+                                if (!aggregated) {
+                                    const SparseGradient global =
+                                        sparse::sparse_topk(sum, plan.k);
+                                    sparse::serialize_into(global, wire);
+                                    aggregated = true;
+                                }
+                                comm.send(op.peer, op.tag_offset, wire);
+                            }
                         }
                     }
                     continue;
@@ -142,33 +163,41 @@ train::TrainResult train_parameter_server(int workers, comm::NetworkModel net,
                 const double t2 = now_host_s();
 
                 const double v0 = comm.clock().now_s();
-                if (config.aggregation == PsAggregation::Dense) {
-                    comm.send_vec<float>(0, kPushTag, accumulated);
-                    const auto sum = comm.recv_vec<float>(0, kPullTag);
-                    const float inv = 1.0f / static_cast<float>(workers);
-                    for (std::size_t i = 0; i < m; ++i) update[i] = sum[i] * inv;
-                } else {
-                    // Push via a pooled buffer (no owning temporary), pull
-                    // as a zero-copy view over the wire bytes.
-                    std::vector<std::byte> push =
-                        comm.buffer_pool().acquire(sparse::wire_size_bytes(local.nnz()));
-                    sparse::serialize_into(local, push);
-                    comm.send_buffer(0, kPushTag, std::move(push));
-                    const comm::PooledBuffer raw = comm.recv_buffer(0, kPullTag);
-                    const sparse::SparseGradientView global =
-                        sparse::deserialize_view(raw.bytes());
-                    // Alg. 4 line 10: return locally-sent entries that did
-                    // not survive the global selection.
-                    std::size_t gi = 0;
-                    for (std::size_t li = 0; li < local.nnz(); ++li) {
-                        const std::int32_t idx = local.indices[li];
-                        while (gi < global.nnz() && global.indices[gi] < idx) ++gi;
-                        const bool kept = gi < global.nnz() && global.indices[gi] == idx;
-                        if (!kept) {
-                            residual[static_cast<std::size_t>(idx)] += local.values[li];
+                for (const CommOp& op : my_ops) {
+                    if (config.aggregation == PsAggregation::Dense) {
+                        if (op.kind == CommOp::Kind::Send) {
+                            comm.send_vec<float>(op.peer, op.tag_offset, accumulated);
+                        } else {
+                            const auto sum = comm.recv_vec<float>(op.peer, op.tag_offset);
+                            const float inv = 1.0f / static_cast<float>(workers);
+                            for (std::size_t i = 0; i < m; ++i) update[i] = sum[i] * inv;
                         }
+                    } else if (op.kind == CommOp::Kind::Send) {
+                        // Push via a pooled buffer (no owning temporary).
+                        std::vector<std::byte> push =
+                            comm.buffer_pool().acquire(sparse::wire_size_bytes(local.nnz()));
+                        sparse::serialize_into(local, push);
+                        comm.send_buffer(op.peer, op.tag_offset, std::move(push));
+                    } else {
+                        // Pull as a zero-copy view over the wire bytes.
+                        const comm::PooledBuffer raw =
+                            comm.recv_buffer(op.peer, op.tag_offset);
+                        const sparse::SparseGradientView global =
+                            sparse::deserialize_view(raw.bytes());
+                        // Alg. 4 line 10: return locally-sent entries that did
+                        // not survive the global selection.
+                        std::size_t gi = 0;
+                        for (std::size_t li = 0; li < local.nnz(); ++li) {
+                            const std::int32_t idx = local.indices[li];
+                            while (gi < global.nnz() && global.indices[gi] < idx) ++gi;
+                            const bool kept =
+                                gi < global.nnz() && global.indices[gi] == idx;
+                            if (!kept) {
+                                residual[static_cast<std::size_t>(idx)] += local.values[li];
+                            }
+                        }
+                        scatter_mean(global, workers, update);
                     }
-                    scatter_mean(global, workers, update);
                 }
                 const double v1 = comm.clock().now_s();
 

@@ -7,6 +7,7 @@
 #include "collectives/collectives.hpp"
 #include "collectives/cost_model.hpp"
 #include "comm/cluster.hpp"
+#include "comm/tags.hpp"
 #include "core/aggregators.hpp"
 #include "sparse/topk_select.hpp"
 #include "sparse/wire.hpp"
@@ -19,6 +20,7 @@ using namespace gtopk::collectives;
 using comm::Cluster;
 using comm::Communicator;
 using comm::NetworkModel;
+using gtopk::comm::kTagTestData;
 
 constexpr double kTol = 1e-9;
 
@@ -37,9 +39,9 @@ TEST_P(TimingWorld, PointToPointCostIsAlphaPlusNBeta) {
     auto result = Cluster::run_timed(2, net, [&](Communicator& comm) {
         std::vector<float> v(n, 1.0f);
         if (comm.rank() == 0) {
-            comm.send_vec<float>(1, 1, v);
+            comm.send_vec<float>(1, kTagTestData, v);
         } else {
-            (void)comm.recv(0, 1);
+            (void)comm.recv(0, kTagTestData);
         }
     });
     EXPECT_NEAR(max_time(result.final_time_s), net.transfer_time_elems(n), kTol);

@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <limits>
 #include <thread>
 
 #include "comm/cluster.hpp"
+#include "comm/tags.hpp"
 #include "comm/communicator.hpp"
 #include "comm/mailbox.hpp"
 #include "comm/network_model.hpp"
@@ -16,6 +18,10 @@ using gtopk::comm::Cluster;
 using gtopk::comm::Communicator;
 using gtopk::comm::InProcTransport;
 using gtopk::comm::kAnySource;
+using gtopk::comm::kFreshTagBase;
+using gtopk::comm::kTagTestAux;
+using gtopk::comm::kTagTestData;
+using gtopk::comm::kTagTestValue;
 using gtopk::comm::kAnyTag;
 using gtopk::comm::Mailbox;
 using gtopk::comm::MailboxClosed;
@@ -109,9 +115,9 @@ TEST(CommunicatorTest, SendRecvRoundTrip) {
     Cluster::run(2, NetworkModel::free(), [](Communicator& comm) {
         if (comm.rank() == 0) {
             std::vector<float> v{1.0f, 2.0f, 3.0f};
-            comm.send_vec<float>(1, 5, v);
+            comm.send_vec<float>(1, kTagTestData, v);
         } else {
-            const std::vector<float> v = comm.recv_vec<float>(0, 5);
+            const std::vector<float> v = comm.recv_vec<float>(0, kTagTestData);
             ASSERT_EQ(v.size(), 3u);
             EXPECT_EQ(v[2], 3.0f);
         }
@@ -130,9 +136,9 @@ TEST(CommunicatorTest, VirtualClockFollowsAlphaBetaModel) {
     auto result = Cluster::run_timed(2, net, [&](Communicator& comm) {
         if (comm.rank() == 0) {
             std::vector<float> v(1000, 1.0f);  // 4000 bytes = 1000 elements
-            comm.send_vec<float>(1, 1, v);
+            comm.send_vec<float>(1, kTagTestData, v);
         } else {
-            (void)comm.recv_vec<float>(0, 1);
+            (void)comm.recv_vec<float>(0, kTagTestData);
         }
     });
     const double expected = 1e-3 + 1000 * 4e-8;
@@ -145,11 +151,11 @@ TEST(CommunicatorTest, ReceiverWaitsForSlowSender) {
     auto result = Cluster::run_timed(2, net, [&](Communicator& comm) {
         if (comm.rank() == 0) {
             std::vector<float> v(10, 0.0f);
-            comm.send_vec<float>(1, 1, v);
-            comm.send_vec<float>(1, 2, v);
+            comm.send_vec<float>(1, kTagTestData, v);
+            comm.send_vec<float>(1, kTagTestAux, v);
         } else {
-            (void)comm.recv(0, 1);
-            (void)comm.recv(0, 2);
+            (void)comm.recv(0, kTagTestData);
+            (void)comm.recv(0, kTagTestAux);
         }
     });
     // Sender's clock: 2s after two sends; receiver waits for arrival at 2s.
@@ -162,9 +168,9 @@ TEST(CommunicatorTest, StatsAccumulate) {
                               [](Communicator& comm) {
                                   std::vector<float> v(100, 0.0f);
                                   if (comm.rank() == 0) {
-                                      comm.send_vec<float>(1, 1, v);
+                                      comm.send_vec<float>(1, kTagTestData, v);
                                   } else {
-                                      (void)comm.recv(0, 1);
+                                      (void)comm.recv(0, kTagTestData);
                                   }
                               });
     EXPECT_EQ(stats[0].messages_sent, 1u);
@@ -177,9 +183,9 @@ TEST(CommunicatorTest, StatsAccumulate) {
 TEST(CommunicatorTest, SendValueRoundTrip) {
     Cluster::run(2, NetworkModel::free(), [](Communicator& comm) {
         if (comm.rank() == 0) {
-            comm.send_value<std::int64_t>(1, 3, 123456789LL);
+            comm.send_value<std::int64_t>(1, kTagTestValue, 123456789LL);
         } else {
-            EXPECT_EQ(comm.recv_value<std::int64_t>(0, 3), 123456789LL);
+            EXPECT_EQ(comm.recv_value<std::int64_t>(0, kTagTestValue), 123456789LL);
         }
     });
 }
@@ -271,6 +277,59 @@ TEST(CommunicatorTest, TracedSpansAgreeWithCommStats) {
     const auto* depth_hist = metrics.find_histogram("mailbox.depth");
     ASSERT_NE(depth_hist, nullptr);
     EXPECT_EQ(depth_hist->count(), stats_msgs);  // one sample per delivery
+}
+
+TEST(FreshTagsTest, BlocksAreDisjointAndAscending) {
+    Cluster::run(2, NetworkModel::free(), [](Communicator& comm) {
+        const int a = comm.fresh_tags(3);
+        const int b = comm.fresh_tags(1);
+        EXPECT_EQ(a, kFreshTagBase);
+        EXPECT_EQ(b, a + 3);
+        EXPECT_THROW(comm.fresh_tags(-1), std::invalid_argument);
+    });
+}
+
+TEST(FreshTagsTest, WrapsSafelyNearIntMaxWhenNothingIsInFlight) {
+    // Regression: the counter used to overflow silently into negative tags
+    // (UB) after ~2^31 fresh tags. It must now wrap back to the base —
+    // sound because no fresh-tag message is pending.
+    Cluster::run(2, NetworkModel::free(), [](Communicator& comm) {
+        comm.set_fresh_tag_cursor_for_test(std::numeric_limits<int>::max() - 5);
+        const int base = comm.fresh_tags(10);
+        EXPECT_EQ(base, kFreshTagBase);
+        EXPECT_EQ(comm.fresh_tag_cursor(), kFreshTagBase + 10);
+        // The recycled block is immediately usable. Rank 0 waits for the
+        // ready token so rank 1 has provably wrapped before the recycled
+        // tag hits its mailbox (the wrap would otherwise refuse, seeing a
+        // pending fresh-tag message).
+        std::vector<float> v{1.0f};
+        if (comm.rank() == 0) {
+            (void)comm.recv(1, kTagTestAux);
+            comm.send_vec<float>(1, base, v);
+        } else {
+            comm.send_vec<float>(0, kTagTestAux, v);
+            EXPECT_EQ(comm.recv_vec<float>(0, base).size(), 1u);
+        }
+    });
+}
+
+TEST(FreshTagsTest, WrapRefusedWhileFreshTagMessageIsInFlight) {
+    // Recycling tags while an old fresh-tag message is still undelivered
+    // could mis-match it against the new block, so the wrap must throw.
+    Cluster::run(2, NetworkModel::free(), [](Communicator& comm) {
+        std::vector<float> v{1.0f};
+        if (comm.rank() == 0) {
+            comm.send_vec<float>(1, kFreshTagBase, v);  // stays pending
+            comm.send_vec<float>(1, kTagTestAux, v);    // "sent" signal
+        } else {
+            (void)comm.recv(0, kTagTestAux);  // fresh-tag msg arrived first
+            comm.set_fresh_tag_cursor_for_test(std::numeric_limits<int>::max() - 5);
+            EXPECT_THROW(comm.fresh_tags(10), std::logic_error);
+            (void)comm.recv(0, kFreshTagBase);  // drain; wrap is legal again
+            comm.set_fresh_tag_cursor_for_test(std::numeric_limits<int>::max() - 5);
+            EXPECT_EQ(comm.fresh_tags(10), kFreshTagBase);
+        }
+    });
 }
 
 TEST(NetworkModelTest, TransferTimeMatchesDefinition) {

@@ -14,6 +14,7 @@
 
 #include "collectives/collectives.hpp"
 #include "comm/cluster.hpp"
+#include "comm/tags.hpp"
 #include "comm/fault_transport.hpp"
 #include "core/aggregators.hpp"
 #include "sparse/topk_select.hpp"
@@ -30,6 +31,7 @@ using comm::FaultPlan;
 using comm::FaultRule;
 using comm::InProcTransport;
 using comm::NetworkModel;
+using gtopk::comm::kTagTestData;
 
 /// Park-and-release every 3rd message on every edge.
 FaultPlan reorder_plan() {
@@ -157,9 +159,9 @@ TEST(FaultTest, CorruptSparsePayloadIsRejectedNotMisread) {
                            [](Communicator& comm) {
                                if (comm.rank() == 1) {
                                    std::vector<std::byte> junk(24, std::byte{0xAB});
-                                   comm.send(0, 7, junk);
+                                   comm.send(0, kTagTestData, junk);
                                } else {
-                                   const auto bytes = comm.recv(1, 7);
+                                   const auto bytes = comm.recv(1, kTagTestData);
                                    (void)sparse::deserialize(bytes);
                                }
                            }),

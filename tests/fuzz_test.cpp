@@ -13,12 +13,15 @@
 #include "comm/cluster.hpp"
 #include "comm/fault_transport.hpp"
 #include "comm/mailbox.hpp"
+#include "comm/tags.hpp"
 #include "core/aggregators.hpp"
 #include "sparse/topk_select.hpp"
 #include "sparse/wire.hpp"
 #include "util/rng.hpp"
 
 namespace {
+
+using gtopk::comm::kTagTestData;
 
 using namespace gtopk;
 using util::Xoshiro256;
@@ -169,7 +172,7 @@ TEST(MailboxStress, PerStreamFifoUnderConcurrentStorm) {
             for (int i = 0; i < kPerSender; ++i) {
                 comm::Message m;
                 m.source = s;
-                m.tag = 1;
+                m.tag = kTagTestData;
                 m.payload.resize(sizeof(int));
                 std::memcpy(m.payload.data(), &i, sizeof(int));
                 mailbox.push(std::move(m));
@@ -180,7 +183,7 @@ TEST(MailboxStress, PerStreamFifoUnderConcurrentStorm) {
     // stream must arrive in order.
     std::vector<int> next(kSenders, 0);
     for (int total = 0; total < kSenders * kPerSender; ++total) {
-        const comm::Message m = mailbox.pop(total % kSenders, 1);
+        const comm::Message m = mailbox.pop(total % kSenders, kTagTestData);
         int value = -1;
         std::memcpy(&value, m.payload.data(), sizeof(int));
         EXPECT_EQ(value, next[static_cast<std::size_t>(m.source)]++);

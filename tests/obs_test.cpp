@@ -6,6 +6,7 @@
 #include <string>
 
 #include "comm/cluster.hpp"
+#include "comm/tags.hpp"
 #include "comm/network_model.hpp"
 #include "core/aggregators.hpp"
 #include "data/sampler.hpp"
@@ -23,6 +24,7 @@ namespace {
 using gtopk::comm::Cluster;
 using gtopk::comm::Communicator;
 using gtopk::comm::NetworkModel;
+using gtopk::comm::kTagTestData;
 using gtopk::comm::VirtualClock;
 using gtopk::obs::Histogram;
 using gtopk::obs::PhaseTotals;
@@ -248,9 +250,9 @@ TEST(TracerTest, DisabledTracerAddsNoSpans) {
         EXPECT_EQ(comm.tracer(), nullptr);
         std::vector<float> v{1.0f, 2.0f};
         if (comm.rank() == 0) {
-            comm.send_vec<float>(1, 7, v);
+            comm.send_vec<float>(1, kTagTestData, v);
         } else {
-            (void)comm.recv_vec<float>(0, 7);
+            (void)comm.recv_vec<float>(0, kTagTestData);
         }
     });
     EXPECT_EQ(tracer.recorded(0), 0u);
