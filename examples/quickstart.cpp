@@ -1,18 +1,26 @@
 // Quickstart: train a small classifier with gTop-k S-SGD on a simulated
 // 4-worker 1GbE cluster, in ~30 lines of user code.
 //
-//   $ ./quickstart [--trace-out trace.json]
+//   $ ./quickstart [--trace-out trace.json] [--chaos]
 //
 // Walks through the whole public API surface: dataset, sharded sampler,
 // model factory, TrainConfig, train_distributed, and the returned metrics.
 // With --trace-out, every rank's per-phase spans (compute, selection, each
 // gTop-k merge round, broadcast, send/recv) are exported as Chrome-trace
 // JSON — open it at https://ui.perfetto.dev to see where virtual time goes.
+//
+// With --chaos, the run exercises the self-healing runtime (DESIGN.md §12):
+// the fault plan kills rank 3 partway through the second epoch, the
+// survivors detect the stall via their receive deadlines, regroup into a
+// new membership epoch, roll back to the newest common in-memory
+// checkpoint, and finish the training converged on 3 workers.
 #include <cstring>
 #include <iostream>
 #include <memory>
 #include <string>
 
+#include "comm/fault_transport.hpp"
+#include "comm/membership.hpp"
 #include "data/sampler.hpp"
 #include "data/synthetic_images.hpp"
 #include "nn/model_zoo.hpp"
@@ -26,6 +34,7 @@ int main(int argc, char** argv) {
 
     std::string trace_out;
     bool trace_requested = false;
+    bool chaos = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
             trace_out = argv[++i];
@@ -33,8 +42,11 @@ int main(int argc, char** argv) {
         } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
             trace_out = argv[i] + 12;
             trace_requested = true;
+        } else if (std::strcmp(argv[i], "--chaos") == 0) {
+            chaos = true;
         } else {
-            std::cerr << "usage: " << argv[0] << " [--trace-out <file.json>]\n";
+            std::cerr << "usage: " << argv[0]
+                      << " [--trace-out <file.json>] [--chaos]\n";
             return 2;
         }
     }
@@ -72,6 +84,24 @@ int main(int argc, char** argv) {
         config.tracer = tracer.get();
     }
 
+    // 3c. Optional chaos: kill rank 3 mid-epoch and let the self-healing
+    // runtime (heartbeats + receive deadlines + membership regroup +
+    // checkpoint rollback) finish the run on the 3 survivors.
+    std::unique_ptr<comm::FaultInjectingTransport> transport;
+    std::unique_ptr<comm::MembershipService> membership;
+    if (chaos) {
+        comm::FaultPlan plan;
+        plan.seed = 1;
+        plan.kill_at_step(/*rank=*/3, /*step=*/45);  // mid second epoch
+        transport = std::make_unique<comm::FaultInjectingTransport>(workers, plan);
+        membership = std::make_unique<comm::MembershipService>(*transport);
+        config.transport = transport.get();
+        config.membership = membership.get();
+        config.recv_timeout_s = 0.5;    // the stall detector
+        config.checkpoint_every = 10;   // in-memory rollback cadence
+        std::cout << "chaos mode: rank 3 will be killed at step 45\n\n";
+    }
+
     // 4. Run on the simulated 1 Gbps Ethernet cluster.
     const auto result = train::train_distributed(
         workers, comm::NetworkModel::one_gbps_ethernet(), config,
@@ -91,6 +121,20 @@ int main(int argc, char** argv) {
               << result.mean_comm_virtual_s * 1e3 << " ms\n"
               << "bytes sent by rank 0 overall:        "
               << result.rank0_comm.bytes_sent << "\n";
+
+    if (chaos) {
+        std::cout << "\nself-healing outcome:\n  survivors:";
+        for (int r : result.final_members) std::cout << " " << r;
+        std::cout << "\n  membership epoch: " << result.final_membership_epoch
+                  << "  regroups: " << result.regroups << "\n";
+        bool consistent = true;
+        for (const auto& p : result.survivor_params) {
+            consistent = consistent && (p == result.survivor_params.front());
+        }
+        std::cout << "  survivor replicas bit-identical: "
+                  << (consistent ? "yes" : "NO") << "\n";
+        if (!consistent) return 1;
+    }
 
     if (tracer) {
         if (!tracer->write_chrome_trace_file(trace_out)) return 1;

@@ -228,6 +228,47 @@ void simulate(const Schedule& sched, const comm::NetworkModel* net,
 
 }  // namespace
 
+std::vector<Violation> verify_survivor_confinement(
+    const Schedule& sched, std::span<const int> survivors) {
+    std::vector<Violation> out;
+    std::vector<bool> live(static_cast<std::size_t>(sched.world), false);
+    for (std::size_t i = 0; i < survivors.size(); ++i) {
+        if (survivors[i] < 0 || survivors[i] >= sched.world) {
+            out.push_back({"confinement", -1,
+                           "survivor " + std::to_string(survivors[i]) +
+                               " outside world " + std::to_string(sched.world)});
+            return out;
+        }
+        if (i > 0 && survivors[i] <= survivors[i - 1]) {
+            out.push_back({"confinement", -1, "survivors not sorted unique"});
+            return out;
+        }
+        live[static_cast<std::size_t>(survivors[i])] = true;
+    }
+    for (int rank = 0; rank < sched.world; ++rank) {
+        const auto& ops = sched.rank_ops(rank);
+        if (!live[static_cast<std::size_t>(rank)]) {
+            if (!ops.empty()) {
+                out.push_back({"confinement", rank,
+                               "dead rank " + std::to_string(rank) + " has " +
+                                   std::to_string(ops.size()) +
+                                   " op(s) in its program"});
+            }
+            continue;
+        }
+        for (const CommOp& op : ops) {
+            if (op.peer >= 0 && op.peer < sched.world &&
+                !live[static_cast<std::size_t>(op.peer)]) {
+                out.push_back({"confinement", rank,
+                               op_str(op, rank) + ": peer " +
+                                   std::to_string(op.peer) +
+                                   " is not a survivor"});
+            }
+        }
+    }
+    return out;
+}
+
 VerifyResult verify_schedule(const Schedule& sched, const comm::NetworkModel* net) {
     VerifyResult out;
     static_checks(sched, out);

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -65,5 +66,13 @@ struct VerifyResult {
 /// closed forms in collectives/cost_model.hpp.
 VerifyResult verify_schedule(const collectives::Schedule& sched,
                              const comm::NetworkModel* net = nullptr);
+
+/// Survivor-confinement check for regrouped schedules (the static mirror of
+/// membership epochs): every op must live ON a survivor rank and talk TO a
+/// survivor rank — dead ranks neither run programs nor appear as peers.
+/// `survivors` are strictly ascending physical ranks < sched.world; any
+/// op placed on or addressing a non-survivor is a violation ("confinement").
+std::vector<Violation> verify_survivor_confinement(
+    const collectives::Schedule& sched, std::span<const int> survivors);
 
 }  // namespace gtopk::analysis

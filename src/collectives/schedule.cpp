@@ -466,4 +466,33 @@ Schedule concat_schedules(std::string proto, std::span<const Schedule> parts) {
     return out;
 }
 
+Schedule remap_schedule(const Schedule& sched, std::span<const int> survivors,
+                        int physical_world) {
+    if (sched.world != static_cast<int>(survivors.size())) {
+        throw std::invalid_argument(
+            "remap_schedule: schedule world != survivor count");
+    }
+    for (std::size_t i = 0; i < survivors.size(); ++i) {
+        if (survivors[i] < 0 || survivors[i] >= physical_world) {
+            throw std::invalid_argument("remap_schedule: survivor outside world");
+        }
+        if (i > 0 && survivors[i] <= survivors[i - 1]) {
+            throw std::invalid_argument(
+                "remap_schedule: survivors must be sorted unique");
+        }
+    }
+    Schedule out = make_schedule(sched.proto + ".remap", physical_world,
+                                 sched.tag_count);
+    out.absolute_tags = sched.absolute_tags;
+    for (int logical = 0; logical < sched.world; ++logical) {
+        const int phys = survivors[static_cast<std::size_t>(logical)];
+        auto& program = out.ranks[static_cast<std::size_t>(phys)];
+        for (CommOp op : sched.rank_ops(logical)) {
+            op.peer = survivors[static_cast<std::size_t>(op.peer)];
+            program.push_back(op);
+        }
+    }
+    return out;
+}
+
 }  // namespace gtopk::collectives

@@ -193,4 +193,15 @@ Schedule gtopk_merge_schedule(int world, std::int64_t wire_bytes);
 /// must share `world` and must not use absolute tags.
 Schedule concat_schedules(std::string proto, std::span<const Schedule> parts);
 
+/// Map a LOGICAL-world schedule onto the surviving PHYSICAL ranks of a
+/// larger world — the static mirror of what Communicator::set_view does at
+/// runtime after a membership regroup. `sched.world` must equal
+/// survivors.size(); `survivors` are strictly ascending physical ranks
+/// < physical_world. Logical rank i's program lands on physical rank
+/// survivors[i] with every peer translated; dead ranks get empty programs.
+/// Verifying the result (analysis/verify.hpp) therefore certifies the
+/// exact op/peer/tag structure the regrouped collectives execute.
+Schedule remap_schedule(const Schedule& sched, std::span<const int> survivors,
+                        int physical_world);
+
 }  // namespace gtopk::collectives

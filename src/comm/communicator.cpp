@@ -10,10 +10,59 @@
 namespace gtopk::comm {
 
 Communicator::Communicator(Transport& transport, int rank, NetworkModel model)
-    : tag_counter_(kFreshTagBase), transport_(transport), rank_(rank), model_(model) {
+    : tag_counter_(kFreshTagBase),
+      transport_(transport),
+      rank_(rank),
+      logical_rank_(rank),
+      model_(model) {
     if (rank < 0 || rank >= transport.world_size()) {
         throw std::out_of_range("Communicator: rank outside world");
     }
+}
+
+void Communicator::set_view(std::vector<int> members, int epoch) {
+    if (members.empty()) throw std::invalid_argument("set_view: empty view");
+    if (epoch < epoch_) throw std::invalid_argument("set_view: epoch must not regress");
+    for (std::size_t i = 0; i < members.size(); ++i) {
+        if (members[i] < 0 || members[i] >= transport_.world_size()) {
+            throw std::invalid_argument("set_view: member outside world");
+        }
+        if (i > 0 && members[i] <= members[i - 1]) {
+            throw std::invalid_argument("set_view: members must be sorted unique");
+        }
+    }
+    view_members_ = std::move(members);
+    phys_to_logical_.assign(static_cast<std::size_t>(transport_.world_size()), -1);
+    for (std::size_t i = 0; i < view_members_.size(); ++i) {
+        phys_to_logical_[static_cast<std::size_t>(view_members_[i])] =
+            static_cast<int>(i);
+    }
+    logical_rank_ = phys_to_logical_[static_cast<std::size_t>(rank_)];
+    if (logical_rank_ < 0) {
+        throw std::invalid_argument("set_view: this rank is not a member");
+    }
+    epoch_ = epoch;
+    // Ranks reach a regroup from wherever the failure found them, so their
+    // fresh-tag cursors may disagree. Restarting at the base resynchronizes
+    // the SPMD lockstep; reuse of pre-regroup tags is safe because the
+    // epoch floor below rejects every stale message before it can match.
+    tag_counter_ = kFreshTagBase;
+    transport_.begin_epoch(rank_, epoch_);
+}
+
+int Communicator::to_physical(int logical_peer) const {
+    if (view_members_.empty() || logical_peer == kAnySource) return logical_peer;
+    if (logical_peer < 0 || logical_peer >= static_cast<int>(view_members_.size())) {
+        throw std::out_of_range("peer outside current view");
+    }
+    return view_members_[static_cast<std::size_t>(logical_peer)];
+}
+
+int Communicator::to_logical(int physical_src) const {
+    if (view_members_.empty()) return physical_src;
+    const int logical = phys_to_logical_[static_cast<std::size_t>(physical_src)];
+    // Non-members cannot reach us (epoch floor), so this is defensive.
+    return logical >= 0 ? logical : physical_src;
 }
 
 int Communicator::fresh_tags(int count) {
@@ -67,10 +116,11 @@ void Communicator::send(int dst, int tag, std::span<const std::byte> payload) {
 }
 
 void Communicator::send_buffer(int dst, int tag, std::vector<std::byte>&& payload) {
-    if (dst == rank_) throw std::invalid_argument("send to self is not allowed");
+    if (dst == logical_rank_) throw std::invalid_argument("send to self is not allowed");
+    const int phys_dst = to_physical(dst);
     obs::ScopedSpan span(tracer_, clock_, rank_, "send", "comm");
     span.attrs().bytes = static_cast<std::int64_t>(payload.size());
-    span.attrs().peer = dst;
+    span.attrs().peer = phys_dst;
     span.attrs().tag = tag;
 
     const double cost = model_.transfer_time_s(payload.size());
@@ -86,9 +136,10 @@ void Communicator::send_buffer(int dst, int tag, std::vector<std::byte>&& payloa
     Message msg;
     msg.source = rank_;
     msg.tag = tag;
+    msg.epoch = epoch_;
     msg.arrival_time_s = clock_.now_s();
     msg.payload = std::move(payload);
-    transport_.deliver(dst, std::move(msg));
+    transport_.deliver(phys_dst, std::move(msg));
 }
 
 std::vector<std::byte> Communicator::recv(int src, int tag) {
@@ -102,12 +153,17 @@ std::vector<std::byte> Communicator::recv(int src, int tag, int& actual_src) {
     obs::ScopedSpan span(tracer_, clock_, rank_, "recv_wait", "comm");
     span.attrs().tag = tag;
 
+    const int phys_src = to_physical(src);
     Message msg = [&] {
-        if (recv_timeout_s_ <= 0.0) return transport_.receive(rank_, src, tag);
-        std::optional<Message> m = transport_.receive_for(rank_, src, tag,
-                                                          recv_timeout_s_);
+        if (recv_timeout_s_ <= 0.0) return transport_.receive(rank_, phys_src, tag);
+        std::optional<Message> m =
+            deadline_clock_ == DeadlineClock::Virtual
+                ? transport_.receive_for_virtual(rank_, phys_src, tag,
+                                                 clock_.now_s() + recv_timeout_s_,
+                                                 recv_host_grace_s_)
+                : transport_.receive_for(rank_, phys_src, tag, recv_timeout_s_);
         if (!m) {
-            throw CommError(CommErrorKind::RecvTimeout, rank_, src, tag,
+            throw CommError(CommErrorKind::RecvTimeout, rank_, phys_src, tag,
                             recv_timeout_s_);
         }
         return std::move(*m);
@@ -120,7 +176,7 @@ std::vector<std::byte> Communicator::recv(int src, int tag, int& actual_src) {
     span.attrs().bytes = static_cast<std::int64_t>(msg.payload.size());
     span.attrs().peer = msg.source;
     if (tracer_) m_bytes_received_->add(msg.payload.size());
-    actual_src = msg.source;
+    actual_src = to_logical(msg.source);
     return std::move(msg.payload);
 }
 

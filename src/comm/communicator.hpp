@@ -44,12 +44,44 @@ struct CommStats {
     void reset() { *this = CommStats{}; }
 };
 
+/// Which clock a receive deadline is measured on (set_recv_deadline).
+enum class DeadlineClock {
+    Host,     // wall time; detects stalled peers (default)
+    Virtual,  // modeled time; deterministic timeout outcomes for tests
+};
+
 class Communicator {
 public:
     Communicator(Transport& transport, int rank, NetworkModel model);
 
-    int rank() const { return rank_; }
-    int size() const { return transport_.world_size(); }
+    /// LOGICAL rank/size under the current membership view. With the
+    /// initial identity view these equal the physical rank and world size;
+    /// after set_view they describe the survivor world, so collectives and
+    /// schedule generators transparently target the regrouped cluster.
+    int rank() const { return logical_rank_; }
+    int size() const {
+        return view_members_.empty() ? transport_.world_size()
+                                     : static_cast<int>(view_members_.size());
+    }
+
+    /// Physical rank in the original world (mailbox address, trace id).
+    int physical_rank() const { return rank_; }
+
+    /// Install a membership view (comm/membership.hpp): `members` are the
+    /// sorted physical ranks of the survivor world and must contain this
+    /// rank. From here on rank()/size() are logical, peer arguments to
+    /// send/recv are logical and translated at the wire, every outgoing
+    /// message is stamped with `epoch`, and the transport's inbound epoch
+    /// floor is raised so stale pre-regroup traffic is rejected. The
+    /// fresh-tag cursor restarts at kFreshTagBase — safe precisely because
+    /// the epoch floor guarantees no old-epoch message can steal a match.
+    void set_view(std::vector<int> members, int epoch);
+
+    /// Current membership epoch stamped on outgoing messages (0 initially).
+    int epoch() const { return epoch_; }
+
+    /// Physical ranks of the current view (empty = identity/full world).
+    const std::vector<int>& view_members() const { return view_members_; }
 
     const NetworkModel& network() const { return model_; }
 
@@ -66,8 +98,36 @@ public:
     /// as a typed failure instead of an indefinite hang. Host time is the
     /// right clock: a rank starved of a message cannot advance virtual time
     /// at all (see comm_error.hpp).
-    void set_recv_timeout_s(double timeout_s) { recv_timeout_s_ = timeout_s; }
+    void set_recv_timeout_s(double timeout_s) {
+        recv_timeout_s_ = timeout_s;
+        deadline_clock_ = DeadlineClock::Host;
+    }
     double recv_timeout_s() const { return recv_timeout_s_; }
+
+    /// Generalized receive deadline: `DeadlineClock::Host` is exactly
+    /// set_recv_timeout_s; `DeadlineClock::Virtual` times a recv out when
+    /// no match arrives by (receiver's virtual now + timeout_s) of MODELED
+    /// time — a matching message with a later modeled arrival is consumed
+    /// and discarded, so the timeout outcome depends only on the network
+    /// model, never on host-machine speed. In virtual mode,
+    /// set_recv_host_grace_s bounds the wall-clock wait for the only
+    /// nondeterministic case (the message never arrives at all).
+    void set_recv_deadline(DeadlineClock clock, double timeout_s) {
+        deadline_clock_ = clock;
+        recv_timeout_s_ = timeout_s;
+    }
+    DeadlineClock recv_deadline_clock() const { return deadline_clock_; }
+
+    /// Host-seconds bound on a virtual-deadline recv whose match never
+    /// materializes (true drop). Affects detection latency only, never
+    /// which outcome deterministic scenarios observe.
+    void set_recv_host_grace_s(double grace_s) { recv_host_grace_s_ = grace_s; }
+    double recv_host_grace_s() const { return recv_host_grace_s_; }
+
+    /// Report that this rank reached application step `step` (trainers call
+    /// it every iteration). Forwards to Transport::on_progress, where the
+    /// fault injector places scheduled kills at exact iteration boundaries.
+    void mark_progress(std::int64_t step) { transport_.on_progress(rank_, step); }
 
     /// Attach an observability tracer (nullptr = tracing off, the default).
     /// With a tracer, send/recv record per-message spans and metrics;
@@ -173,10 +233,21 @@ public:
     void set_fresh_tag_cursor_for_test(int cursor) { tag_counter_ = cursor; }
 
 private:
+    /// Logical -> physical peer translation under the current view.
+    int to_physical(int logical_peer) const;
+    /// Physical -> logical source translation (kAnySource receives).
+    int to_logical(int physical_src) const;
+
     int tag_counter_;  // initialized to kFreshTagBase, clear of user tags
     Transport& transport_;
-    int rank_;
+    int rank_;          // physical, fixed for the communicator's lifetime
+    int logical_rank_;  // index into view_members_ (== rank_ when identity)
+    int epoch_ = 0;
+    std::vector<int> view_members_;    // empty = identity view (full world)
+    std::vector<int> phys_to_logical_;  // -1 for non-members
+    DeadlineClock deadline_clock_ = DeadlineClock::Host;
     double recv_timeout_s_ = 0.0;
+    double recv_host_grace_s_ = 2.0;
     NetworkModel model_;
     VirtualClock clock_;
     CommStats stats_;

@@ -31,6 +31,7 @@ FaultInjectingTransport::FaultInjectingTransport(std::unique_ptr<Transport> inne
     killed_ = std::vector<std::atomic<bool>>(world);
     kill_after_.assign(world, std::numeric_limits<std::uint64_t>::max());
     sends_attempted_.assign(world, 0);
+    kill_at_step_.assign(world, std::numeric_limits<std::int64_t>::max());
     // Fork one independent, reproducible stream per directed edge; the
     // schedule depends only on (seed, plan, per-edge traffic), never on
     // thread interleaving (row src is touched by src's thread alone).
@@ -46,8 +47,14 @@ FaultInjectingTransport::FaultInjectingTransport(std::unique_ptr<Transport> inne
         if (k.rank < 0 || k.rank >= inner_->world_size()) {
             throw std::invalid_argument("FaultPlan: kill rank outside world");
         }
-        kill_after_[static_cast<std::size_t>(k.rank)] =
-            std::min(kill_after_[static_cast<std::size_t>(k.rank)], k.after_sends);
+        if (k.at_progress >= 0) {
+            kill_at_step_[static_cast<std::size_t>(k.rank)] =
+                std::min(kill_at_step_[static_cast<std::size_t>(k.rank)],
+                         k.at_progress);
+        } else {
+            kill_after_[static_cast<std::size_t>(k.rank)] =
+                std::min(kill_after_[static_cast<std::size_t>(k.rank)], k.after_sends);
+        }
     }
 }
 
@@ -227,6 +234,33 @@ std::size_t FaultInjectingTransport::pending_with_tag_at_least(int rank,
         }
     }
     return held + inner_->pending_with_tag_at_least(rank, min_tag);
+}
+
+void FaultInjectingTransport::begin_epoch(int rank, int epoch) {
+    if (rank < 0 || rank >= world_size()) {
+        throw std::out_of_range("begin_epoch: bad rank");
+    }
+    // A parked (reordered) stale-epoch message must never be released into
+    // the new epoch: drop it here; the inner mailbox floor catches the rest.
+    {
+        std::lock_guard<std::mutex> lock(held_mutex_);
+        for (int src = 0; src < world_size(); ++src) {
+            std::optional<Message>& slot =
+                held_[static_cast<std::size_t>(src) *
+                          static_cast<std::size_t>(world_size()) +
+                      static_cast<std::size_t>(rank)];
+            if (slot && slot->epoch < epoch) slot.reset();
+        }
+    }
+    inner_->begin_epoch(rank, epoch);
+}
+
+void FaultInjectingTransport::on_progress(int rank, std::int64_t step) {
+    if (rank < 0 || rank >= world_size()) return;
+    if (step >= kill_at_step_[static_cast<std::size_t>(rank)]) {
+        killed_[static_cast<std::size_t>(rank)].store(true, std::memory_order_release);
+    }
+    inner_->on_progress(rank, step);
 }
 
 void FaultInjectingTransport::kill_rank(int rank) {

@@ -74,9 +74,16 @@ struct FaultRule {
 /// that send and all later ones are swallowed, and the rank's next receive
 /// throws CommError(RankKilled). Peers blocked on its traffic surface
 /// CommError(RecvTimeout) via the Communicator deadline.
+///
+/// `at_progress >= 0` instead kills the rank the moment it reports that
+/// application step via Transport::on_progress (trainers mark every
+/// iteration boundary) — the send counter is then ignored. This places the
+/// death at an exact iteration/collective boundary, which the recovery
+/// tests need to pin the rollback point precisely.
 struct KillSpec {
     int rank = -1;
     std::uint64_t after_sends = 0;
+    std::int64_t at_progress = -1;  // -1 = send-count trigger instead
 };
 
 /// Declarative chaos scenario: a seed plus a rule list plus kill specs.
@@ -91,7 +98,13 @@ struct FaultPlan {
         return *this;
     }
     FaultPlan& kill(int rank, std::uint64_t after_sends) {
-        kills.push_back({rank, after_sends});
+        kills.push_back({rank, after_sends, -1});
+        return *this;
+    }
+    /// Kill `rank` exactly when it reports application step `step` (the
+    /// trainer's iteration boundary), not after a send count.
+    FaultPlan& kill_at_step(int rank, std::int64_t step) {
+        kills.push_back({rank, 0, step});
         return *this;
     }
 };
@@ -137,6 +150,13 @@ public:
     /// Forwarded to the inner fabric. A message parked in a reorder hold
     /// slot is still "in flight" for the wrap check's purposes, so count it.
     std::size_t pending_with_tag_at_least(int rank, int min_tag) const override;
+    /// Purge stale-epoch messages parked in hold slots destined to `rank`,
+    /// then forward the epoch floor to the inner fabric.
+    void begin_epoch(int rank, int epoch) override;
+    /// False once the plan (or kill_rank) declared `rank` dead.
+    bool rank_alive(int rank) const override { return !rank_killed(rank); }
+    /// Fires any kill_at_step spec scheduled for (rank, step).
+    void on_progress(int rank, std::int64_t step) override;
 
     /// Manually kill a rank now (e.g. at a chosen training iteration), in
     /// addition to any plan-scheduled kills. Thread-safe.
@@ -179,6 +199,9 @@ private:
     /// rank's lifetime send attempts (only the rank's own thread writes).
     std::vector<std::uint64_t> kill_after_;
     std::vector<std::uint64_t> sends_attempted_;
+    /// Scheduled-step kill per rank (INT64_MAX = never); fires in
+    /// on_progress the moment the rank reports that step.
+    std::vector<std::int64_t> kill_at_step_;
 
     std::atomic<std::uint64_t> delivered_{0};
     std::atomic<std::uint64_t> dropped_{0};

@@ -6,6 +6,12 @@ std::size_t Mailbox::push(Message msg) {
     std::size_t depth;
     {
         std::lock_guard<std::mutex> lock(mutex_);
+        if (msg.epoch < min_epoch_) {
+            // Stale-epoch traffic from a straggler: rejected at the door,
+            // deterministically, so it can never steal a future match.
+            ++stale_rejected_;
+            return queue_.size();
+        }
         queue_.push_back(std::move(msg));
         depth = queue_.size();
     }
@@ -56,6 +62,42 @@ std::optional<Message> Mailbox::pop_for(int source, int tag,
     }
 }
 
+std::optional<Message> Mailbox::pop_for_virtual(int source, int tag,
+                                                double max_arrival_s,
+                                                std::chrono::nanoseconds host_grace) {
+    const auto grace_deadline = std::chrono::steady_clock::now() + host_grace;
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+            if (!matches(*it, source, tag)) continue;
+            if (it->arrival_time_s <= max_arrival_s) {
+                Message msg = std::move(*it);
+                queue_.erase(it);
+                return msg;
+            }
+            // Matched, but past the virtual deadline: the receive gave up
+            // at virtual time max_arrival_s, so this message is stale by
+            // definition. Consume and discard it — the timeout outcome is
+            // then a pure function of modeled arrival times.
+            queue_.erase(it);
+            return std::nullopt;
+        }
+        if (closed_) throw MailboxClosed{};
+        if (cv_.wait_until(lock, grace_deadline) == std::cv_status::timeout) {
+            for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+                if (!matches(*it, source, tag)) continue;
+                const bool in_time = it->arrival_time_s <= max_arrival_s;
+                std::optional<Message> out;
+                if (in_time) out = std::move(*it);
+                queue_.erase(it);
+                return out;
+            }
+            if (closed_) throw MailboxClosed{};
+            return std::nullopt;
+        }
+    }
+}
+
 std::optional<Message> Mailbox::try_pop(int source, int tag) {
     std::lock_guard<std::mutex> lock(mutex_);
     if (closed_) throw MailboxClosed{};
@@ -80,6 +122,30 @@ void Mailbox::close() {
 std::size_t Mailbox::size() const {
     std::lock_guard<std::mutex> lock(mutex_);
     return queue_.size();
+}
+
+void Mailbox::set_min_epoch(int epoch) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (epoch <= min_epoch_) return;
+    min_epoch_ = epoch;
+    for (auto it = queue_.begin(); it != queue_.end();) {
+        if (it->epoch < min_epoch_) {
+            it = queue_.erase(it);
+            ++stale_rejected_;
+        } else {
+            ++it;
+        }
+    }
+}
+
+int Mailbox::min_epoch() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return min_epoch_;
+}
+
+std::size_t Mailbox::stale_rejected() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stale_rejected_;
 }
 
 std::size_t Mailbox::count_tag_at_least(int min_tag) const {

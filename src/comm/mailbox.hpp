@@ -37,6 +37,30 @@ public:
     std::optional<Message> pop_for(int source, int tag,
                                    std::chrono::nanoseconds timeout);
 
+    /// VIRTUAL-clock deadline variant: a matching message whose modeled
+    /// arrival_time_s is <= `max_arrival_s` is returned; a matching message
+    /// that arrives LATER than the virtual deadline is consumed and
+    /// discarded (a receive that gave up at virtual time D treats anything
+    /// after D as lost) and nullopt is returned immediately — a
+    /// deterministic outcome, independent of host-machine speed. The
+    /// `host_grace` bound only covers the case where no matching message
+    /// ever materializes (a true drop); it converts an indefinite wait into
+    /// nullopt without affecting WHICH outcome deterministic scenarios see.
+    /// Throws MailboxClosed on shutdown.
+    std::optional<Message> pop_for_virtual(int source, int tag, double max_arrival_s,
+                                           std::chrono::nanoseconds host_grace);
+
+    /// Raise the epoch floor: every queued message with epoch < `epoch` is
+    /// purged now, and every future push below the floor is rejected on
+    /// arrival. Monotonic (lowering is a no-op). This is the deterministic
+    /// stale-message rejection the membership regroup relies on.
+    void set_min_epoch(int epoch);
+    int min_epoch() const;
+
+    /// Messages rejected by the epoch floor since construction (purged at
+    /// set_min_epoch plus dropped at push).
+    std::size_t stale_rejected() const;
+
     /// Wake all waiters with a shutdown signal; subsequent pops throw.
     void close();
 
@@ -57,6 +81,8 @@ private:
     std::condition_variable cv_;
     std::deque<Message> queue_;
     bool closed_ = false;
+    int min_epoch_ = 0;
+    std::size_t stale_rejected_ = 0;
 };
 
 /// Thrown by pop() when the mailbox is closed while waiting (cluster abort).

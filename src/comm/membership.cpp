@@ -1,0 +1,185 @@
+#include "comm/membership.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "comm/tags.hpp"
+
+namespace gtopk::comm {
+
+namespace {
+
+std::chrono::steady_clock::duration host_dur(double seconds) {
+    return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+        std::chrono::duration<double>(seconds));
+}
+
+}  // namespace
+
+MembershipService::MembershipService(Transport& transport, MembershipConfig config)
+    : transport_(transport), config_(config) {
+    const int world = transport_.world_size();
+    view_.epoch = 0;
+    view_.members.resize(static_cast<std::size_t>(world));
+    for (int r = 0; r < world; ++r) view_.members[static_cast<std::size_t>(r)] = r;
+    left_.assign(static_cast<std::size_t>(world), false);
+    joined_.assign(static_cast<std::size_t>(world), false);
+    rank_state_.resize(static_cast<std::size_t>(world));
+    util::Xoshiro256 root(config_.seed);
+    for (int r = 0; r < world; ++r) {
+        auto& st = rank_state_[static_cast<std::size_t>(r)];
+        st.last_heard.resize(static_cast<std::size_t>(world));
+        // Desynchronize gossip phases so P heartbeats do not land as one
+        // synchronized burst every interval.
+        st.phase_jitter = host_dur(config_.heartbeat_interval_s *
+                                   root.fork(static_cast<std::uint64_t>(r))
+                                       .next_double());
+    }
+}
+
+void MembershipService::tick(int rank) {
+    if (rank < 0 || rank >= transport_.world_size()) {
+        throw std::out_of_range("tick: bad rank");
+    }
+    auto& st = rank_state_[static_cast<std::size_t>(rank)];
+    const auto now = Clock::now();
+    if (!st.started) {
+        st.started = true;
+        st.last_sent = now - host_dur(config_.heartbeat_interval_s) + st.phase_jitter;
+        // Peers get the benefit of the doubt from the moment we start
+        // observing: silence is only measured from here.
+        for (auto& t : st.last_heard) t = now;
+    }
+
+    if (now - st.last_sent >= host_dur(config_.heartbeat_interval_s)) {
+        st.last_sent = now;
+        const int epoch = this->epoch();
+        for (int peer = 0; peer < transport_.world_size(); ++peer) {
+            if (peer == rank) continue;
+            Message hb;
+            hb.source = rank;
+            hb.tag = kTagHeartbeat;
+            hb.epoch = epoch;
+            // Heartbeats are free on the modeled network: they ride the
+            // control plane and never advance a virtual clock.
+            hb.arrival_time_s = 0.0;
+            transport_.deliver(peer, std::move(hb));
+        }
+        heartbeats_sent_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    // Drain gossip. A killed peer's sends are swallowed by the fault
+    // layer, so its entry simply stops refreshing.
+    for (;;) {
+        std::optional<Message> hb;
+        try {
+            hb = transport_.try_receive(rank, kAnySource, kTagHeartbeat);
+        } catch (...) {
+            return;  // shutdown or own death; liveness plane is best-effort
+        }
+        if (!hb) break;
+        st.last_heard[static_cast<std::size_t>(hb->source)] = now;
+    }
+}
+
+std::vector<int> MembershipService::suspected(int rank) const {
+    const auto& st = rank_state_[static_cast<std::size_t>(rank)];
+    std::vector<int> out;
+    if (!st.started) return out;
+    const auto now = Clock::now();
+    for (int peer = 0; peer < transport_.world_size(); ++peer) {
+        if (peer == rank) continue;
+        if (now - st.last_heard[static_cast<std::size_t>(peer)] >
+            host_dur(config_.suspect_after_s)) {
+            out.push_back(peer);
+        }
+    }
+    return out;
+}
+
+void MembershipService::leave(int rank) {
+    if (rank < 0 || rank >= transport_.world_size()) {
+        throw std::out_of_range("leave: bad rank");
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    left_[static_cast<std::size_t>(rank)] = true;
+    if (joined_[static_cast<std::size_t>(rank)]) {
+        joined_[static_cast<std::size_t>(rank)] = false;
+        --joined_count_;
+    }
+    cv_.notify_all();  // waiting regroupers recompute their expected set
+}
+
+std::vector<int> MembershipService::live_members_unlocked() const {
+    std::vector<int> out;
+    for (int r : view_.members) {
+        if (alive_unlocked(r)) out.push_back(r);
+    }
+    return out;
+}
+
+void MembershipService::finalize_round_unlocked() {
+    MembershipView next;
+    next.epoch = view_.epoch + 1;
+    for (int r = 0; r < transport_.world_size(); ++r) {
+        if (joined_[static_cast<std::size_t>(r)]) next.members.push_back(r);
+    }
+    // joined_ is rank-indexed, so members comes out sorted: the lowest
+    // surviving physical rank is logical rank 0 in the new world.
+    view_ = std::move(next);
+    ++round_;
+    std::fill(joined_.begin(), joined_.end(), false);
+    joined_count_ = 0;
+    cv_.notify_all();
+}
+
+MembershipView MembershipService::regroup(int rank) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (rank < 0 || rank >= transport_.world_size() ||
+        !alive_unlocked(rank)) {
+        throw std::invalid_argument("regroup: rank not a live member");
+    }
+    const std::uint64_t my_round = round_;
+    if (!joined_[static_cast<std::size_t>(rank)]) {
+        joined_[static_cast<std::size_t>(rank)] = true;
+        ++joined_count_;
+    }
+
+    const auto grace_deadline = Clock::now() + host_dur(config_.join_grace_s);
+    for (;;) {
+        if (round_ != my_round) return view_;  // someone finalized our round
+        const std::vector<int> live = live_members_unlocked();
+        const bool all_joined =
+            joined_count_ >= live.size() &&
+            std::all_of(live.begin(), live.end(), [&](int r) {
+                return joined_[static_cast<std::size_t>(r)];
+            });
+        if (all_joined || Clock::now() >= grace_deadline) {
+            finalize_round_unlocked();
+            return view_;
+        }
+        cv_.wait_until(lock, grace_deadline);
+    }
+}
+
+bool MembershipService::alive(int rank) const {
+    if (rank < 0 || rank >= transport_.world_size()) return false;
+    std::lock_guard<std::mutex> lock(mutex_);
+    return alive_unlocked(rank);
+}
+
+MembershipView MembershipService::current() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return view_;
+}
+
+int MembershipService::epoch() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return view_.epoch;
+}
+
+std::uint64_t MembershipService::heartbeats_sent() const {
+    return heartbeats_sent_.load(std::memory_order_relaxed);
+}
+
+}  // namespace gtopk::comm

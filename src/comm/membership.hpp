@@ -1,0 +1,122 @@
+// MembershipService: heartbeat failure detection and epoch-stamped
+// membership agreement for the simulated cluster.
+//
+// Liveness plane — each rank periodically gossips a heartbeat on the
+// reserved kTagHeartbeat tag (which deliberately bypasses the reliable
+// layer: a lost heartbeat IS the signal). Every rank tracks when it last
+// heard from each peer; silence past `suspect_after_s` marks the peer
+// suspected. A fault-plan kill swallows the victim's sends, so its
+// heartbeats stop and every survivor's suspicion converges on the truth.
+//
+// Agreement plane — when a failure surfaces (a receive deadline fires, or
+// the dead rank's own thread observes RankKilled and calls leave()), the
+// survivors run a regroup round: an in-process barrier that completes as
+// soon as every live member has joined (fast path) or after a grace
+// window (pathological straggler). The round deterministically produces
+// the next View{epoch, members}: members are the sorted joiners, the
+// epoch increments by one. Every joiner observes the identical view —
+// this is the agreement the elastic trainer rebuilds its collectives on.
+//
+// Epoch discipline — the view's epoch is stamped on all subsequent
+// traffic (Communicator::set_view) and installed as the receive floor
+// (Transport::begin_epoch), so a straggler's stale messages are rejected
+// deterministically rather than corrupting the new world's collectives.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "comm/transport.hpp"
+#include "util/rng.hpp"
+
+namespace gtopk::comm {
+
+struct MembershipConfig {
+    std::uint64_t seed = 1;            // jitters heartbeat phase per rank
+    double heartbeat_interval_s = 0.010;  // host time between gossips
+    double suspect_after_s = 0.100;    // silence before a peer is suspected
+    double join_grace_s = 2.0;         // regroup barrier straggler bound
+};
+
+/// One agreed membership view. Ranks are PHYSICAL ranks of the original
+/// world; logical ranks are their indices in `members` (sorted ascending,
+/// so the lowest surviving physical rank is logical rank 0).
+struct MembershipView {
+    int epoch = 0;
+    std::vector<int> members;
+};
+
+class MembershipService {
+public:
+    MembershipService(Transport& transport, MembershipConfig config = {});
+
+    /// Drive the liveness plane for `rank`: gossip a heartbeat when the
+    /// (jittered) interval elapsed, drain incoming heartbeats, refresh
+    /// last-heard bookkeeping. Call from the rank's own thread, once per
+    /// training iteration (or more). Cheap when nothing is due.
+    void tick(int rank);
+
+    /// Peers of `rank` currently suspected dead (silent past the
+    /// threshold). Reads only rank-local state; call from rank's thread.
+    std::vector<int> suspected(int rank) const;
+
+    /// `rank`'s own thread observed its death (CommError::RankKilled):
+    /// remove it from the expected-joiner set so regroup rounds no longer
+    /// wait for it, and wake any round in progress.
+    void leave(int rank);
+
+    /// Join the current regroup round and block until it completes. The
+    /// round finalizes when every live expected member has joined (fast
+    /// path, the common case — receive-deadline cascades bring everyone
+    /// here) or when `join_grace_s` expires with a quorum of joiners.
+    /// All joiners of a round return the identical view.
+    MembershipView regroup(int rank);
+
+    /// Latest agreed view (initially epoch 0, all ranks).
+    MembershipView current() const;
+
+    /// True while `rank` has neither left nor been declared dead by the
+    /// fabric. A rank must check this before regrouping: its own death can
+    /// surface as a receive timeout when the kill lands mid-wait.
+    bool alive(int rank) const;
+
+    int epoch() const;
+    /// Total heartbeats gossiped (all ranks), for tests.
+    std::uint64_t heartbeats_sent() const;
+
+private:
+    using Clock = std::chrono::steady_clock;
+
+    bool alive_unlocked(int rank) const {
+        return !left_[static_cast<std::size_t>(rank)] && transport_.rank_alive(rank);
+    }
+    std::vector<int> live_members_unlocked() const;
+    void finalize_round_unlocked();
+
+    Transport& transport_;
+    MembershipConfig config_;
+
+    /// Per-rank liveness state, touched only by the owning rank's thread.
+    struct RankState {
+        Clock::time_point last_sent{};
+        Clock::duration phase_jitter{};
+        std::vector<Clock::time_point> last_heard;
+        bool started = false;
+    };
+    std::vector<RankState> rank_state_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    MembershipView view_;            // latest agreed view
+    std::vector<bool> left_;         // ranks that called leave()
+    std::uint64_t round_ = 0;        // regroup round counter
+    std::vector<bool> joined_;       // joiners of the in-flight round
+    std::size_t joined_count_ = 0;
+
+    std::atomic<std::uint64_t> heartbeats_sent_{0};
+};
+
+}  // namespace gtopk::comm

@@ -14,6 +14,11 @@ inline constexpr int kAnyTag = -1;
 struct Message {
     int source = 0;
     int tag = 0;
+    /// Membership epoch the sender was in when it sent (see
+    /// comm/membership.hpp). Receivers that advanced past an epoch reject
+    /// older-epoch messages deterministically (Mailbox::set_min_epoch), so
+    /// a straggler's stale traffic can never steal a match after a regroup.
+    int epoch = 0;
     /// Virtual time (seconds) at which the message fully arrives at the
     /// receiver under the network model: sender_departure + alpha + n*beta.
     double arrival_time_s = 0.0;

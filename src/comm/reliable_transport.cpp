@@ -1,0 +1,350 @@
+#include "comm/reliable_transport.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+#include "comm/tags.hpp"
+#include "obs/trace.hpp"
+
+namespace gtopk::comm {
+
+namespace {
+
+// Envelope header, prepended to the user payload on the wire:
+//   [magic u64][seq u64][orig_tag i64][checksum u64]
+// The checksum covers seq, orig_tag and the user payload, so a fault-layer
+// bit flip anywhere in the envelope is detected: a flip in `magic` or
+// `checksum` fails the respective check directly, a flip in `seq`,
+// `orig_tag` or the payload fails the checksum. Either way the envelope is
+// discarded and the sequence gap drives a retransmit.
+constexpr std::uint64_t kMagic = 0x6774306b52454cULL;  // "gt0kREL"
+constexpr std::size_t kHeaderBytes = 32;
+
+std::uint64_t fnv1a(const std::byte* data, std::size_t n,
+                    std::uint64_t h = 0xcbf29ce484222325ULL) {
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= static_cast<std::uint64_t>(data[i]);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+std::uint64_t envelope_checksum(std::uint64_t seq, std::int64_t orig_tag,
+                                const std::vector<std::byte>& payload) {
+    std::byte key[16];
+    std::memcpy(key, &seq, 8);
+    std::memcpy(key + 8, &orig_tag, 8);
+    return fnv1a(payload.data(), payload.size(), fnv1a(key, sizeof key));
+}
+
+void put_u64(std::byte* at, std::uint64_t v) { std::memcpy(at, &v, 8); }
+std::uint64_t get_u64(const std::byte* at) {
+    std::uint64_t v;
+    std::memcpy(&v, at, 8);
+    return v;
+}
+
+std::chrono::steady_clock::duration host_dur(double seconds) {
+    return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+        std::chrono::duration<double>(seconds));
+}
+
+}  // namespace
+
+ReliableTransport::ReliableTransport(std::unique_ptr<Transport> inner,
+                                     ReliableOptions options)
+    : inner_(std::move(inner)), options_(options) {
+    if (!inner_) throw std::invalid_argument("ReliableTransport: null inner");
+    const std::size_t world = static_cast<std::size_t>(inner_->world_size());
+    tx_.reserve(world * world);
+    for (std::size_t i = 0; i < world * world; ++i) {
+        tx_.push_back(std::make_unique<EdgeTx>());
+    }
+    rx_.resize(world * world);
+    delivered_.reserve(world);
+    for (std::size_t i = 0; i < world; ++i) {
+        delivered_.push_back(std::make_unique<Mailbox>());
+    }
+    backoff_.resize(world);
+}
+
+void ReliableTransport::count_event(std::atomic<std::uint64_t>& cell,
+                                    obs::Counter* metric) {
+    cell.fetch_add(1, std::memory_order_relaxed);
+    if (metric) metric->add(1);
+}
+
+void ReliableTransport::deliver(int dst, Message msg) {
+    if (dst < 0 || dst >= world_size()) throw std::out_of_range("deliver: bad rank");
+    if (msg.tag == kTagHeartbeat) {  // control plane: intentionally unreliable
+        inner_->deliver(dst, std::move(msg));
+        return;
+    }
+    EdgeTx& e = tx(msg.source, dst);
+
+    Message envelope;
+    envelope.source = msg.source;
+    envelope.tag = kTagReliableData;
+    envelope.epoch = msg.epoch;
+    envelope.arrival_time_s = msg.arrival_time_s;
+
+    std::uint64_t seq;
+    {
+        std::lock_guard<std::mutex> lock(e.mutex);
+        // GC the acked prefix of the retransmit buffer (cumulative ack).
+        const std::uint64_t acked = e.acked.load(std::memory_order_acquire);
+        while (!e.buffer.empty() && e.base_seq <= acked) {
+            e.buffer.pop_front();
+            ++e.base_seq;
+        }
+        seq = ++e.next_seq;
+        e.buffer.push_back(msg);  // pristine copy survives the lossy fabric
+    }
+
+    const std::int64_t orig_tag = msg.tag;
+    envelope.payload.resize(kHeaderBytes + msg.payload.size());
+    put_u64(envelope.payload.data(), kMagic);
+    put_u64(envelope.payload.data() + 8, seq);
+    put_u64(envelope.payload.data() + 16, static_cast<std::uint64_t>(orig_tag));
+    put_u64(envelope.payload.data() + 24,
+            envelope_checksum(seq, orig_tag, msg.payload));
+    std::memcpy(envelope.payload.data() + kHeaderBytes, msg.payload.data(),
+                msg.payload.size());
+
+    sent_.fetch_add(1, std::memory_order_relaxed);
+    inner_->deliver(dst, std::move(envelope));
+}
+
+void ReliableTransport::accept(int rank, int src, Message msg) {
+    EdgeRx& r = rx(src, rank);
+    delivered_[static_cast<std::size_t>(rank)]->push(std::move(msg));
+    ++r.expected;
+    while (!r.parked.empty() && r.parked.begin()->first == r.expected) {
+        delivered_[static_cast<std::size_t>(rank)]->push(
+            std::move(r.parked.begin()->second));
+        r.parked.erase(r.parked.begin());
+        ++r.expected;
+    }
+    tx(src, rank).acked.store(r.expected - 1, std::memory_order_release);
+    backoff_[static_cast<std::size_t>(rank)].armed = false;  // progress: reset
+}
+
+void ReliableTransport::process_incoming(int rank) {
+    for (;;) {
+        auto env = inner_->try_receive(rank, kAnySource, kTagReliableData);
+        if (!env) return;
+        if (env->payload.size() < kHeaderBytes ||
+            get_u64(env->payload.data()) != kMagic) {
+            count_event(corrupt_dropped_, m_corrupt_dropped_);
+            continue;
+        }
+        const std::uint64_t seq = get_u64(env->payload.data() + 8);
+        const std::int64_t orig_tag =
+            static_cast<std::int64_t>(get_u64(env->payload.data() + 16));
+        const std::uint64_t checksum = get_u64(env->payload.data() + 24);
+
+        Message orig;
+        orig.source = env->source;
+        orig.tag = static_cast<int>(orig_tag);
+        orig.epoch = env->epoch;
+        orig.arrival_time_s = env->arrival_time_s;
+        orig.payload.assign(env->payload.begin() +
+                                static_cast<std::ptrdiff_t>(kHeaderBytes),
+                            env->payload.end());
+        if (envelope_checksum(seq, orig_tag, orig.payload) != checksum) {
+            count_event(corrupt_dropped_, m_corrupt_dropped_);
+            continue;  // corruption == loss; the seq gap drives recovery
+        }
+
+        EdgeRx& r = rx(orig.source, rank);
+        if (seq < r.expected) {
+            count_event(dup_dropped_, m_dup_dropped_);
+        } else if (seq == r.expected) {
+            accept(rank, orig.source, std::move(orig));
+        } else if (!r.parked.emplace(seq, std::move(orig)).second) {
+            count_event(dup_dropped_, m_dup_dropped_);
+        }
+    }
+}
+
+std::size_t ReliableTransport::recover(int rank) {
+    std::size_t recovered = 0;
+    const int min_epoch = delivered_[static_cast<std::size_t>(rank)]->min_epoch();
+    for (int src = 0; src < world_size(); ++src) {
+        if (src == rank) continue;
+        // A dead host's buffers die with it: never resurrect its traffic,
+        // so a rank kill still surfaces as a receive timeout upstream.
+        if (!inner_->rank_alive(src)) continue;
+        EdgeRx& r = rx(src, rank);
+        for (;;) {
+            std::optional<Message> copy;
+            {
+                EdgeTx& e = tx(src, rank);
+                std::lock_guard<std::mutex> lock(e.mutex);
+                if (r.expected < e.base_seq) break;  // already GCed (impossible
+                                                     // while we are the acker)
+                const std::uint64_t idx = r.expected - e.base_seq;
+                if (idx >= e.buffer.size()) break;  // no gap: all sent seqs seen
+                copy = e.buffer[static_cast<std::size_t>(idx)];
+            }
+            if (copy->epoch < min_epoch) {
+                // Stale-epoch gap across a regroup: advance past it without
+                // delivering, or the gap would wedge the edge forever.
+                ++r.expected;
+                tx(src, rank).acked.store(r.expected - 1, std::memory_order_release);
+                count_event(stale_skipped_, m_stale_skipped_);
+                continue;
+            }
+            const int msg_src = copy->source;
+            accept(rank, msg_src, std::move(*copy));
+            count_event(retransmits_, m_retransmits_);
+            ++recovered;
+        }
+    }
+    return recovered;
+}
+
+void ReliableTransport::pump(int rank) {
+    process_incoming(rank);
+    Backoff& b = backoff_[static_cast<std::size_t>(rank)];
+    const auto now = std::chrono::steady_clock::now();
+    if (!b.armed) {
+        b.delay_s = options_.initial_backoff_s;
+        b.next_attempt = now + host_dur(b.delay_s);
+        b.armed = true;
+        return;
+    }
+    if (now < b.next_attempt) return;
+    if (recover(rank) > 0) {
+        b.armed = false;  // progress: restart from the initial delay
+    } else {
+        b.delay_s = std::min(b.delay_s * 2.0, options_.max_backoff_s);
+        b.next_attempt = now + host_dur(b.delay_s);
+    }
+}
+
+std::optional<Message> ReliableTransport::try_receive(int rank, int source, int tag) {
+    if (rank < 0 || rank >= world_size()) {
+        throw std::out_of_range("try_receive: bad rank");
+    }
+    if (tag == kTagHeartbeat) return inner_->try_receive(rank, source, tag);
+    pump(rank);
+    return delivered_[static_cast<std::size_t>(rank)]->try_pop(source, tag);
+}
+
+Message ReliableTransport::receive(int rank, int source, int tag) {
+    for (;;) {
+        if (auto msg = try_receive(rank, source, tag)) return std::move(*msg);
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+}
+
+std::optional<Message> ReliableTransport::receive_for(int rank, int source, int tag,
+                                                      double timeout_s) {
+    if (timeout_s <= 0.0) return receive(rank, source, tag);
+    const auto deadline = std::chrono::steady_clock::now() + host_dur(timeout_s);
+    for (;;) {
+        if (auto msg = try_receive(rank, source, tag)) return msg;
+        if (std::chrono::steady_clock::now() >= deadline) return std::nullopt;
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+}
+
+std::optional<Message> ReliableTransport::receive_for_virtual(int rank, int source,
+                                                              int tag,
+                                                              double max_arrival_s,
+                                                              double host_grace_s) {
+    if (tag == kTagHeartbeat) {
+        return inner_->receive_for_virtual(rank, source, tag, max_arrival_s,
+                                           host_grace_s);
+    }
+    const auto grace_deadline =
+        std::chrono::steady_clock::now() + host_dur(host_grace_s);
+    for (;;) {
+        if (rank < 0 || rank >= world_size()) {
+            throw std::out_of_range("receive_for_virtual: bad rank");
+        }
+        pump(rank);
+        if (auto msg = delivered_[static_cast<std::size_t>(rank)]->try_pop(source,
+                                                                           tag)) {
+            // Same semantics as Mailbox::pop_for_virtual: a match past the
+            // virtual deadline is consumed and discarded — deterministic.
+            if (msg->arrival_time_s <= max_arrival_s) return msg;
+            return std::nullopt;
+        }
+        if (std::chrono::steady_clock::now() >= grace_deadline) return std::nullopt;
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+}
+
+void ReliableTransport::shutdown() {
+    for (auto& mb : delivered_) mb->close();
+    inner_->shutdown();
+}
+
+void ReliableTransport::begin_epoch(int rank, int epoch) {
+    if (rank < 0 || rank >= world_size()) {
+        throw std::out_of_range("begin_epoch: bad rank");
+    }
+    delivered_[static_cast<std::size_t>(rank)]->set_min_epoch(epoch);
+    // Stale parked envelopes would be rejected by the mailbox floor anyway
+    // when their gap resolves; dropping them now keeps the pending count
+    // (fresh-tag wrap check) honest. Their seq slots become gaps that
+    // recover() skips via the stale-epoch path.
+    for (int src = 0; src < world_size(); ++src) {
+        EdgeRx& r = rx(src, rank);
+        for (auto it = r.parked.begin(); it != r.parked.end();) {
+            if (it->second.epoch < epoch) {
+                it = r.parked.erase(it);
+                count_event(stale_skipped_, m_stale_skipped_);
+            } else {
+                ++it;
+            }
+        }
+    }
+    inner_->begin_epoch(rank, epoch);
+}
+
+std::size_t ReliableTransport::pending_with_tag_at_least(int rank, int min_tag) const {
+    if (rank < 0 || rank >= world_size()) {
+        throw std::out_of_range("pending_with_tag_at_least: bad rank");
+    }
+    std::size_t n =
+        delivered_[static_cast<std::size_t>(rank)]->count_tag_at_least(min_tag);
+    for (int src = 0; src < world_size(); ++src) {
+        for (const auto& [seq, msg] : rx_[edge_index(src, rank)].parked) {
+            if (msg.tag >= min_tag) ++n;
+        }
+    }
+    return n + inner_->pending_with_tag_at_least(rank, min_tag);
+}
+
+void ReliableTransport::set_tracer(obs::Tracer* tracer) {
+    if (tracer) {
+        auto& metrics = tracer->metrics();
+        m_retransmits_ = &metrics.counter("reliable.retransmits");
+        m_corrupt_dropped_ = &metrics.counter("reliable.corrupt_dropped");
+        m_dup_dropped_ = &metrics.counter("reliable.dup_dropped");
+        m_stale_skipped_ = &metrics.counter("reliable.stale_skipped");
+    } else {
+        m_retransmits_ = nullptr;
+        m_corrupt_dropped_ = nullptr;
+        m_dup_dropped_ = nullptr;
+        m_stale_skipped_ = nullptr;
+    }
+    inner_->set_tracer(tracer);
+}
+
+ReliableCounts ReliableTransport::counts() const {
+    ReliableCounts c;
+    c.sent = sent_.load(std::memory_order_relaxed);
+    c.retransmits = retransmits_.load(std::memory_order_relaxed);
+    c.corrupt_dropped = corrupt_dropped_.load(std::memory_order_relaxed);
+    c.dup_dropped = dup_dropped_.load(std::memory_order_relaxed);
+    c.stale_skipped = stale_skipped_.load(std::memory_order_relaxed);
+    return c;
+}
+
+}  // namespace gtopk::comm

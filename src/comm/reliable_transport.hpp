@@ -1,0 +1,162 @@
+// ReliableTransport: reliable, exactly-once, per-edge-FIFO delivery over a
+// lossy fabric — the recovery layer that turns FaultInjectingTransport's
+// probabilistic drop/corrupt plans from typed aborts into masked noise.
+//
+// Mechanism (classic ARQ, adapted to the simulated cluster):
+//   * Every non-control message is wrapped in an envelope carrying a
+//     per-directed-edge sequence number, the sender's membership epoch and
+//     an FNV-1a checksum, and travels on the reserved kTagReliableData tag.
+//   * The sender keeps a pristine copy in a per-edge retransmit buffer
+//     until the receiver's cumulative ack (a shared per-edge counter — the
+//     in-process equivalent of an ack packet) passes it.
+//   * The receiver unwraps envelopes in strict sequence order into a local
+//     per-rank mailbox: duplicates (seq already delivered) are discarded,
+//     out-of-order arrivals wait in a reassembly buffer, and a checksum or
+//     magic mismatch (fault-layer corruption) is treated as a loss.
+//   * When a receive stalls on a sequence gap — the signature of a dropped
+//     or corrupted message — the receiver requests a retransmit with
+//     capped exponential backoff: the gap head is re-fetched from the
+//     sender's buffer (the simulated retransmission; with retries the
+//     delivery probability of a p-loss channel tends to 1). Messages from
+//     a rank the fault plan has killed are never recovered — a dead host's
+//     buffers die with it — so rank kills still surface as timeouts and
+//     feed the membership layer, while drop/corrupt plans are masked
+//     bit-identically (payload bytes AND modeled arrival times are the
+//     originals, so training results equal the fault-free run exactly).
+//
+// Control-plane traffic on kTagHeartbeat deliberately bypasses the
+// envelope: heartbeat loss is the failure detector's signal, not a fault.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "comm/mailbox.hpp"
+#include "comm/transport.hpp"
+
+namespace gtopk::obs {
+class Counter;
+}  // namespace gtopk::obs
+
+namespace gtopk::comm {
+
+/// Tuning knobs for the retransmit path (host-time backoff).
+struct ReliableOptions {
+    double initial_backoff_s = 0.002;  // first retransmit request delay
+    double max_backoff_s = 0.050;      // cap for the exponential doubling
+};
+
+/// Aggregate event counters (monotonic since construction).
+struct ReliableCounts {
+    std::uint64_t sent = 0;             // envelopes sent (first transmission)
+    std::uint64_t retransmits = 0;      // gap heads recovered from buffers
+    std::uint64_t corrupt_dropped = 0;  // envelopes failing checksum/magic
+    std::uint64_t dup_dropped = 0;      // envelopes with already-seen seq
+    std::uint64_t stale_skipped = 0;    // old-epoch messages skipped on recovery
+};
+
+class ReliableTransport final : public Transport {
+public:
+    /// Decorate an existing transport (takes ownership). Usually the inner
+    /// transport is a FaultInjectingTransport; stacking over a plain
+    /// InProcTransport is a pure (if pointless) passthrough.
+    explicit ReliableTransport(std::unique_ptr<Transport> inner,
+                               ReliableOptions options = {});
+
+    int world_size() const override { return inner_->world_size(); }
+    void deliver(int dst, Message msg) override;
+    Message receive(int rank, int source, int tag) override;
+    std::optional<Message> try_receive(int rank, int source, int tag) override;
+    std::optional<Message> receive_for(int rank, int source, int tag,
+                                       double timeout_s) override;
+    std::optional<Message> receive_for_virtual(int rank, int source, int tag,
+                                               double max_arrival_s,
+                                               double host_grace_s) override;
+    void shutdown() override;
+    void begin_epoch(int rank, int epoch) override;
+    bool rank_alive(int rank) const override { return inner_->rank_alive(rank); }
+    void on_progress(int rank, std::int64_t step) override {
+        inner_->on_progress(rank, step);
+    }
+    void set_tracer(obs::Tracer* tracer) override;
+    /// Delivered (unwrapped) pending messages plus reassembly-parked ones.
+    /// Envelopes still inside the inner fabric travel on kTagReliableData
+    /// (< kFreshTagBase) and are invisible here; the retransmit protocol
+    /// guarantees they re-materialize, so the count is a lower bound.
+    std::size_t pending_with_tag_at_least(int rank, int min_tag) const override;
+
+    ReliableCounts counts() const;
+    Transport& inner() { return *inner_; }
+
+private:
+    /// Sender-side per-edge state. `next_seq` is only touched by the
+    /// sending rank's thread; the retransmit buffer is shared with the
+    /// receiving rank's recovery path, hence the mutex.
+    struct EdgeTx {
+        std::uint64_t next_seq = 0;  // last assigned (first message gets 1)
+        std::mutex mutex;
+        std::uint64_t base_seq = 1;       // seq of buffer.front()
+        std::deque<Message> buffer;       // pristine unwrapped copies
+        std::atomic<std::uint64_t> acked{0};  // cumulative, receiver-written
+    };
+
+    /// Receiver-side per-edge state; touched only by the receiving rank's
+    /// thread.
+    struct EdgeRx {
+        std::uint64_t expected = 1;              // next in-order seq
+        std::map<std::uint64_t, Message> parked;  // out-of-order arrivals
+    };
+
+    /// Per-rank retransmit backoff state (receiver thread only).
+    struct Backoff {
+        double delay_s = 0.0;  // 0 = reset to initial on next arm
+        std::chrono::steady_clock::time_point next_attempt{};
+        bool armed = false;
+    };
+
+    std::size_t edge_index(int src, int dst) const {
+        return static_cast<std::size_t>(src) *
+                   static_cast<std::size_t>(world_size()) +
+               static_cast<std::size_t>(dst);
+    }
+    EdgeTx& tx(int src, int dst) { return *tx_[edge_index(src, dst)]; }
+    EdgeRx& rx(int src, int dst) { return rx_[edge_index(src, dst)]; }
+
+    /// Accept an in-order message for `rank` and drain any now-contiguous
+    /// reassembly suffix into the local mailbox.
+    void accept(int rank, int src, Message msg);
+    /// Drain every envelope the inner fabric holds for `rank`.
+    void process_incoming(int rank);
+    /// Pull gap-head messages for `rank` from live senders' buffers.
+    /// Returns the number of messages recovered.
+    std::size_t recover(int rank);
+    /// process_incoming + backoff-gated recover; one poll step.
+    void pump(int rank);
+    void count_event(std::atomic<std::uint64_t>& cell, obs::Counter* metric);
+
+    std::unique_ptr<Transport> inner_;
+    ReliableOptions options_;
+    std::vector<std::unique_ptr<EdgeTx>> tx_;
+    std::vector<EdgeRx> rx_;
+    std::vector<std::unique_ptr<Mailbox>> delivered_;
+    std::vector<Backoff> backoff_;
+
+    std::atomic<std::uint64_t> sent_{0};
+    std::atomic<std::uint64_t> retransmits_{0};
+    std::atomic<std::uint64_t> corrupt_dropped_{0};
+    std::atomic<std::uint64_t> dup_dropped_{0};
+    std::atomic<std::uint64_t> stale_skipped_{0};
+
+    obs::Counter* m_retransmits_ = nullptr;
+    obs::Counter* m_corrupt_dropped_ = nullptr;
+    obs::Counter* m_dup_dropped_ = nullptr;
+    obs::Counter* m_stale_skipped_ = nullptr;
+};
+
+}  // namespace gtopk::comm

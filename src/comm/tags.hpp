@@ -25,11 +25,16 @@ enum UserTag : int {
     kTagTestAux = 202,
     kTagTestValue = 203,
     kTagBenchP2p = 301,
+
+    /// Recovery layer (comm/reliable_transport.hpp, comm/membership.hpp).
+    kTagReliableData = 401,  // seq-numbered envelope around user traffic
+    kTagHeartbeat = 402,     // liveness gossip; intentionally unreliable
 };
 
 static_assert(kTagPsPush < kFreshTagBase && kTagPsPull < kFreshTagBase &&
                   kTagTestData < kFreshTagBase && kTagTestAux < kFreshTagBase &&
-                  kTagTestValue < kFreshTagBase && kTagBenchP2p < kFreshTagBase,
+                  kTagTestValue < kFreshTagBase && kTagBenchP2p < kFreshTagBase &&
+                  kTagReliableData < kFreshTagBase && kTagHeartbeat < kFreshTagBase,
               "user tags must stay below the fresh-tag base");
 static_assert(kTagPsPush >= 0, "user tags are non-negative");
 

@@ -22,6 +22,27 @@ std::optional<Message> Transport::receive_for(int rank, int source, int tag,
     }
 }
 
+std::optional<Message> Transport::receive_for_virtual(int rank, int source, int tag,
+                                                      double max_arrival_s,
+                                                      double host_grace_s) {
+    // Polling fallback for decorators: try_receive consumes, so a match
+    // past the virtual deadline is discarded — the same semantics the
+    // mailbox implements natively (a receive that gave up at virtual time D
+    // treats anything after D as lost).
+    const auto grace_deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(host_grace_s));
+    for (;;) {
+        if (auto msg = try_receive(rank, source, tag)) {
+            if (msg->arrival_time_s <= max_arrival_s) return msg;
+            return std::nullopt;
+        }
+        if (std::chrono::steady_clock::now() >= grace_deadline) return std::nullopt;
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+}
+
 InProcTransport::InProcTransport(int world_size) {
     if (world_size <= 0) throw std::invalid_argument("world_size must be positive");
     mailboxes_.reserve(static_cast<std::size_t>(world_size));
@@ -63,6 +84,26 @@ std::optional<Message> InProcTransport::receive_for(int rank, int source, int ta
         source, tag,
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::duration<double>(timeout_s)));
+}
+
+std::optional<Message> InProcTransport::receive_for_virtual(int rank, int source,
+                                                            int tag,
+                                                            double max_arrival_s,
+                                                            double host_grace_s) {
+    if (rank < 0 || rank >= world_size()) {
+        throw std::out_of_range("receive_for_virtual: bad rank");
+    }
+    return mailboxes_[static_cast<std::size_t>(rank)]->pop_for_virtual(
+        source, tag, max_arrival_s,
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::duration<double>(host_grace_s)));
+}
+
+void InProcTransport::begin_epoch(int rank, int epoch) {
+    if (rank < 0 || rank >= world_size()) {
+        throw std::out_of_range("begin_epoch: bad rank");
+    }
+    mailboxes_[static_cast<std::size_t>(rank)]->set_min_epoch(epoch);
 }
 
 std::size_t InProcTransport::pending_with_tag_at_least(int rank, int min_tag) const {

@@ -53,8 +53,47 @@ public:
     virtual std::optional<Message> receive_for(int rank, int source, int tag,
                                                double timeout_s);
 
+    /// Matched receive with a VIRTUAL-time deadline: a match whose modeled
+    /// arrival_time_s is <= `max_arrival_s` is returned; a later-arriving
+    /// match is consumed and discarded with nullopt (deterministically — the
+    /// outcome depends only on modeled arrival times, never on host speed).
+    /// `host_grace_s` bounds the wait when no match ever materializes (a
+    /// true drop); it changes detection latency, never the outcome. The
+    /// base implementation polls try_receive; InProcTransport waits on the
+    /// mailbox condition variable.
+    virtual std::optional<Message> receive_for_virtual(int rank, int source, int tag,
+                                                       double max_arrival_s,
+                                                       double host_grace_s);
+
     /// Abort: close all mailboxes, waking blocked receivers with an error.
     virtual void shutdown() = 0;
+
+    /// Advance `rank`'s inbound epoch floor: queued and future messages
+    /// with epoch < `epoch` are rejected deterministically. Called by
+    /// Communicator::set_view when a membership regroup lands. Decorators
+    /// purge their own stale state (hold slots, reassembly buffers) and
+    /// forward. Base: no-op for transports without epoch support.
+    virtual void begin_epoch(int rank, int epoch) {
+        (void)rank;
+        (void)epoch;
+    }
+
+    /// Liveness as far as the fabric knows: false once a fault plan has
+    /// killed `rank`. The reliable layer consults this so it never
+    /// "recovers" traffic from a dead host's buffers.
+    virtual bool rank_alive(int rank) const {
+        (void)rank;
+        return true;
+    }
+
+    /// Progress marker: `rank` reached application step `step` (trainers
+    /// call it at every iteration boundary). Lets the fault injector place
+    /// scheduled kills at an exact iteration instead of after N sends.
+    /// Base: no-op.
+    virtual void on_progress(int rank, std::int64_t step) {
+        (void)rank;
+        (void)step;
+    }
 
     /// Number of messages pending for `rank` whose tag is >= `min_tag`.
     /// Feeds the fresh-tag wrap soundness check in Communicator::fresh_tags
@@ -84,8 +123,16 @@ public:
     std::optional<Message> try_receive(int rank, int source, int tag) override;
     std::optional<Message> receive_for(int rank, int source, int tag,
                                        double timeout_s) override;
+    std::optional<Message> receive_for_virtual(int rank, int source, int tag,
+                                               double max_arrival_s,
+                                               double host_grace_s) override;
     void shutdown() override;
+    void begin_epoch(int rank, int epoch) override;
     std::size_t pending_with_tag_at_least(int rank, int min_tag) const override;
+
+    /// Direct mailbox access for decorators/tests (e.g. stale-rejection
+    /// counters). `rank` must be in range.
+    Mailbox& mailbox(int rank) { return *mailboxes_[static_cast<std::size_t>(rank)]; }
 
     /// Total messages delivered since construction (for tests/benches).
     std::uint64_t delivered_count() const;

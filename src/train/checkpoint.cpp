@@ -1,0 +1,46 @@
+#include "train/checkpoint.hpp"
+
+#include <stdexcept>
+
+namespace gtopk::train {
+
+CheckpointStore::CheckpointStore(std::int64_t interval, std::size_t keep)
+    : interval_(interval), keep_(keep) {
+    if (interval_ <= 0) throw std::invalid_argument("checkpoint interval must be > 0");
+    if (keep_ == 0) throw std::invalid_argument("checkpoint keep must be > 0");
+}
+
+bool CheckpointStore::due(std::int64_t step) const {
+    return step % interval_ == 0;
+}
+
+void CheckpointStore::save(Checkpoint ckpt) {
+    if (!ring_.empty() && ckpt.step <= ring_.back().step) {
+        // Replays revisit steps whose snapshots we already hold (state is
+        // bit-identical by determinism), so re-saving is a no-op.
+        return;
+    }
+    ring_.push_back(std::move(ckpt));
+    while (ring_.size() > keep_) ring_.pop_front();
+}
+
+std::optional<Checkpoint> CheckpointStore::latest_at_or_before(
+    std::int64_t max_step) const {
+    for (auto it = ring_.rbegin(); it != ring_.rend(); ++it) {
+        if (it->step <= max_step) return *it;
+    }
+    return std::nullopt;
+}
+
+std::int64_t CheckpointStore::latest_step() const {
+    return ring_.empty() ? -1 : ring_.back().step;
+}
+
+std::optional<Checkpoint> CheckpointStore::at(std::int64_t step) const {
+    for (const Checkpoint& c : ring_) {
+        if (c.step == step) return c;
+    }
+    return std::nullopt;
+}
+
+}  // namespace gtopk::train

@@ -1,0 +1,58 @@
+// In-memory training checkpoints for the self-healing runtime.
+//
+// Every rank snapshots {step, params, velocity, residual} at a fixed
+// cadence. When a membership regroup fires, survivors roll back to the
+// newest checkpoint ALL of them hold (synchronous SGD keeps ranks within
+// one step of each other, but their newest snapshots can straddle a
+// cadence boundary — hence the explicit agreement on the rollback step)
+// and replay from there on the survivor world.
+//
+// params and velocity are replica-identical across ranks at any given
+// step, so any survivor's copy is authoritative; the residual is the one
+// RANK-LOCAL piece of optimizer state. A dead rank's residual — gradient
+// mass it had accumulated but not yet transmitted — is lost with it, an
+// accepted property of error-feedback recovery (see DESIGN.md §12).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+namespace gtopk::train {
+
+struct Checkpoint {
+    std::int64_t step = 0;  // state BEFORE this step's compute ran
+    std::vector<float> params;
+    std::vector<float> velocity;
+    std::vector<float> residual;
+};
+
+/// Bounded in-memory checkpoint ring, owned by one rank's worker thread.
+class CheckpointStore {
+public:
+    /// Snapshot every `interval` steps (step % interval == 0; step 0 is
+    /// always due so a rollback target exists from the first iteration).
+    /// `keep` bounds memory: older snapshots are dropped as new ones land.
+    explicit CheckpointStore(std::int64_t interval, std::size_t keep = 4);
+
+    bool due(std::int64_t step) const;
+    void save(Checkpoint ckpt);
+
+    /// Newest checkpoint with step <= `max_step` (nullopt if none kept).
+    std::optional<Checkpoint> latest_at_or_before(std::int64_t max_step) const;
+    /// Newest checkpoint's step, or -1 when empty.
+    std::int64_t latest_step() const;
+    /// Exact-step lookup (the agreed rollback point).
+    std::optional<Checkpoint> at(std::int64_t step) const;
+
+    std::int64_t interval() const { return interval_; }
+    std::size_t size() const { return ring_.size(); }
+
+private:
+    std::int64_t interval_;
+    std::size_t keep_;
+    std::deque<Checkpoint> ring_;  // ascending by step
+};
+
+}  // namespace gtopk::train

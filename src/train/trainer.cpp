@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <optional>
 #include <span>
 #include <stdexcept>
 
 #include "collectives/collectives.hpp"
 #include "sparse/topk_merge.hpp"
 #include "sparse/topk_select.hpp"
+#include "train/checkpoint.hpp"
 #include "util/log.hpp"
 
 namespace gtopk::train {
@@ -73,6 +75,9 @@ struct RankOutput {
     double mean_compress_s = 0;
     double mean_comm_virtual_s = 0;
     std::vector<float> final_params;
+    bool completed = false;  // false: killed mid-run (elastic mode)
+    int regroups = 0;
+    int final_epoch = 0;  // membership epoch at completion
 };
 
 }  // namespace
@@ -102,10 +107,24 @@ TrainResult train_distributed(int world_size, comm::NetworkModel net,
         throw std::invalid_argument(
             "threshold selection policies require a gTop-k family algorithm");
     }
+    if (config.membership && config.recv_timeout_s <= 0.0) {
+        throw std::invalid_argument(
+            "train_distributed: elastic mode needs recv_timeout_s > 0 — the "
+            "receive deadline is how survivors detect a dead peer's stall");
+    }
 
     auto worker = [&](Communicator& comm) {
-        const int rank = comm.rank();
+        // Physical rank: stable identity (output slot, traces, membership).
+        // comm.rank() is the LOGICAL rank under the current membership view
+        // and is what batch sharding and collectives use — it changes when
+        // the world regroups around a failure.
+        const int rank = comm.physical_rank();
         RankOutput& out = outputs[static_cast<std::size_t>(rank)];
+        const bool elastic = config.membership != nullptr;
+        if (config.recv_deadline_clock == comm::DeadlineClock::Virtual) {
+            comm.set_recv_deadline(comm::DeadlineClock::Virtual,
+                                   config.recv_timeout_s);
+        }
 
         std::unique_ptr<nn::TrainableModel> model = factory(config.model_seed);
         const std::size_t m = model->num_params();
@@ -136,26 +155,94 @@ TrainResult train_distributed(int world_size, comm::NetworkModel net,
 
         double total_compute = 0, total_compress = 0, total_comm = 0;
         std::int64_t total_iters = 0;
+
+        const std::int64_t total_steps =
+            static_cast<std::int64_t>(config.epochs) * config.iters_per_epoch;
+        // Per-step losses instead of a running epoch accumulator: a
+        // rollback replays steps, and overwriting slots keeps the epoch
+        // metrics exact regardless of how many times a step ran.
+        std::vector<double> step_loss(
+            static_cast<std::size_t>(std::max<std::int64_t>(total_steps, 1)), 0.0);
+        CheckpointStore ckpts(config.checkpoint_every > 0
+                                  ? config.checkpoint_every
+                                  : std::max<std::int64_t>(total_steps, 1));
+
         std::int64_t step = 0;
+        bool need_resync = false;
+        bool killed = false;
 
-        for (int epoch = 0; epoch < config.epochs; ++epoch) {
-            const bool warm =
-                epoch < static_cast<int>(config.warmup_densities.size());
-            const double density =
-                warm ? config.warmup_densities[static_cast<std::size_t>(epoch)]
-                     : config.density;
-            const float lr = warm ? config.lr * config.warmup_lr_scale : config.lr;
-            const std::size_t k = std::max<std::size_t>(
-                1, static_cast<std::size_t>(
-                       std::llround(density * static_cast<double>(m))));
-            // Threshold policies have no well-defined global k; the tree
-            // then runs untruncated (a pure sparse sum-allreduce) and the
-            // thresholding alone provides the sparsity.
-            const std::size_t agg_k =
-                config.selection == sparse::SelectionPolicy::ExactTopk ? k : m;
+        while (step < total_steps) {
+            try {
+                if (need_resync) {
+                    // Post-regroup rollback. Survivors can straddle a
+                    // checkpoint cadence boundary (synchronous SGD keeps
+                    // them within one step of each other), so first agree
+                    // on the newest snapshot EVERY survivor holds.
+                    const std::int64_t mine = ckpts.latest_step();
+                    const std::vector<std::int64_t> latest =
+                        collectives::allgather<std::int64_t>(
+                            comm, std::span<const std::int64_t>(&mine, 1),
+                            collectives::AllgatherAlgo::Ring);
+                    std::int64_t target = mine;
+                    for (std::int64_t l : latest) target = std::min(target, l);
+                    std::optional<Checkpoint> ck = ckpts.at(target);
+                    if (!ck) throw std::logic_error("rollback checkpoint missing");
+                    // Resync replica state by binomial broadcast from the
+                    // lowest surviving rank (logical rank 0 of the new
+                    // view). params/velocity are replica-identical at a
+                    // step, so this re-certifies agreement; the residual is
+                    // rank-local and restored from the own snapshot. The
+                    // dead rank's residual — gradient mass it had withheld —
+                    // is lost with it (DESIGN.md §12).
+                    std::vector<std::int64_t> agreed{ck->step};
+                    collectives::broadcast(comm, agreed, 0);
+                    std::vector<float> params = ck->params;
+                    collectives::broadcast(comm, params, 0);
+                    std::vector<float> vel = ck->velocity;
+                    collectives::broadcast(comm, vel, 0);
+                    if (agreed[0] != target) {
+                        throw std::logic_error("rollback step disagreement");
+                    }
+                    model->set_flat_params(params);
+                    velocity = std::move(vel);
+                    residual = ck->residual;
+                    step = target;
+                    need_resync = false;
+                    util::log_info("rank " + std::to_string(rank) +
+                                   ": resumed from checkpoint step " +
+                                   std::to_string(target) + " on world of " +
+                                   std::to_string(comm.size()));
+                    continue;
+                }
 
-            double epoch_loss = 0.0;
-            for (int it = 0; it < config.iters_per_epoch; ++it, ++step) {
+                // A kill scheduled "at step T" (FaultPlan::kill_at_step)
+                // fires inside this progress mark: the victim dies at the
+                // iteration boundary having fully finished step T-1.
+                comm.mark_progress(step);
+                if (elastic) {
+                    config.membership->tick(rank);
+                    if (ckpts.due(step)) {
+                        ckpts.save({step, model->flat_params(), velocity, residual});
+                    }
+                }
+
+                const int epoch = static_cast<int>(step / config.iters_per_epoch);
+                const bool warm =
+                    epoch < static_cast<int>(config.warmup_densities.size());
+                const double density =
+                    warm ? config.warmup_densities[static_cast<std::size_t>(epoch)]
+                         : config.density;
+                const float lr =
+                    warm ? config.lr * config.warmup_lr_scale : config.lr;
+                const std::size_t k = std::max<std::size_t>(
+                    1, static_cast<std::size_t>(
+                           std::llround(density * static_cast<double>(m))));
+                // Threshold policies have no well-defined global k; the tree
+                // then runs untruncated (a pure sparse sum-allreduce) and the
+                // thresholding alone provides the sparsity.
+                const std::size_t agg_k =
+                    config.selection == sparse::SelectionPolicy::ExactTopk ? k : m;
+
                 obs::ScopedSpan iter_span(config.tracer, comm.clock(), rank,
                                           "iteration", "train");
                 iter_span.attrs().round = static_cast<int>(step);
@@ -164,9 +251,12 @@ TrainResult train_distributed(int world_size, comm::NetworkModel net,
                 obs::ScopedSpan compute_span(config.tracer, comm.clock(), rank,
                                              "compute", "train");
                 compute_span.attrs().round = static_cast<int>(step);
-                nn::Batch batch = train_batches(step, rank);
+                // Batches shard by LOGICAL rank: after a regroup the
+                // survivor world re-partitions the data stream among
+                // comm.size() workers with no gaps.
+                nn::Batch batch = train_batches(step, comm.rank());
                 const double loss = model->train_step_gradients(batch);
-                epoch_loss += loss;
+                step_loss[static_cast<std::size_t>(step)] = loss;
                 std::vector<float> grad = model->flat_grads();
                 // DGC-style local gradient clipping (scale to the L2 ball).
                 if (config.gradient_clip_norm > 0.0f) {
@@ -268,13 +358,13 @@ TrainResult train_distributed(int world_size, comm::NetworkModel net,
                 switch (config.algorithm) {
                     case Algorithm::DenseSsgd: {
                         update = core::dense_allreduce(comm, accumulated);
-                        const float inv = 1.0f / static_cast<float>(world_size);
+                        const float inv = 1.0f / static_cast<float>(comm.size());
                         for (float& u : update) u *= inv;
                         break;
                     }
                     case Algorithm::TopkSsgd: {
                         update = core::topk_allreduce(comm, local);
-                        const float inv = 1.0f / static_cast<float>(world_size);
+                        const float inv = 1.0f / static_cast<float>(comm.size());
                         for (float& u : update) u *= inv;
                         break;
                     }
@@ -283,7 +373,7 @@ TrainResult train_distributed(int world_size, comm::NetworkModel net,
                         // put-back (line 10) works in segment-local
                         // coordinates, shifted into the flat residual.
                         update.assign(m, 0.0f);
-                        const float inv = 1.0f / static_cast<float>(world_size);
+                        const float inv = 1.0f / static_cast<float>(comm.size());
                         for (std::size_t s = 0; s < seg_locals.size(); ++s) {
                             const std::size_t off = seg_offsets[s];
                             const SparseGradient& seg_local = seg_locals[s];
@@ -322,7 +412,7 @@ TrainResult train_distributed(int world_size, comm::NetworkModel net,
                             // Alg. 4 line 10.
                             return_unselected(residual, local, res.global);
                         }
-                        update = sparse_to_mean_dense(res.global, world_size);
+                        update = sparse_to_mean_dense(res.global, comm.size());
                         break;
                     }
                 }
@@ -351,51 +441,97 @@ TrainResult train_distributed(int world_size, comm::NetworkModel net,
                 total_compress += t2 - t1;
                 total_comm += v1 - v0;
                 ++total_iters;
-            }
 
-            // --- end-of-epoch metrics ---
-            EpochMetrics em;
-            em.epoch = epoch;
-            em.density = density;
-            // Average the per-rank epoch losses (one double via allgather;
-            // negligible traffic, after the timed phases of the epoch).
-            const double my_loss = epoch_loss / config.iters_per_epoch;
-            const std::vector<double> losses = collectives::allgather<double>(
-                comm, std::span<const double>(&my_loss, 1),
-                collectives::AllgatherAlgo::Ring);
-            double sum = 0;
-            for (double l : losses) sum += l;
-            em.train_loss = sum / static_cast<double>(world_size);
+                // --- end-of-epoch boundary ---
+                if ((step + 1) % config.iters_per_epoch == 0) {
+                    EpochMetrics em;
+                    em.epoch = epoch;
+                    em.density = density;
+                    // Average the per-rank epoch losses (one double via
+                    // allgather; negligible traffic, after the timed phases).
+                    double epoch_loss = 0.0;
+                    const std::int64_t first =
+                        static_cast<std::int64_t>(epoch) * config.iters_per_epoch;
+                    for (std::int64_t s = first; s <= step; ++s) {
+                        epoch_loss += step_loss[static_cast<std::size_t>(s)];
+                    }
+                    const double my_loss = epoch_loss / config.iters_per_epoch;
+                    const std::vector<double> losses = collectives::allgather<double>(
+                        comm, std::span<const double>(&my_loss, 1),
+                        collectives::AllgatherAlgo::Ring);
+                    double sum = 0;
+                    for (double l : losses) sum += l;
+                    em.train_loss = sum / static_cast<double>(losses.size());
 
-            if (eval_batch) {
-                nn::Batch eb = eval_batch();
-                if (eb.x.numel() > 0) {
-                    em.val_loss = model->eval_loss(eb);
-                    em.val_accuracy = model->eval_accuracy(eb);
-                }
-            }
-            out.epochs.push_back(em);
+                    if (eval_batch) {
+                        nn::Batch eb = eval_batch();
+                        if (eb.x.numel() > 0) {
+                            em.val_loss = model->eval_loss(eb);
+                            em.val_accuracy = model->eval_accuracy(eb);
+                        }
+                    }
+                    // Slot-assign, not push: a rollback can replay an epoch
+                    // boundary and must overwrite the stale entry.
+                    if (out.epochs.size() <= static_cast<std::size_t>(epoch)) {
+                        out.epochs.resize(static_cast<std::size_t>(epoch) + 1);
+                    }
+                    out.epochs[static_cast<std::size_t>(epoch)] = em;
 
-            if (config.check_invariants) {
-                // Replica consistency: all ranks must hold identical params.
-                const std::vector<float> params = model->flat_params();
-                std::vector<float> sum_params = params;
-                collectives::allreduce_sum_ring(comm, sum_params);
-                for (std::size_t i = 0; i < params.size(); ++i) {
-                    const float mean =
-                        sum_params[i] / static_cast<float>(world_size);
-                    if (std::abs(mean - params[i]) >
-                        1e-4f * (1.0f + std::abs(params[i]))) {
-                        throw std::logic_error("replica divergence detected");
+                    if (config.check_invariants) {
+                        // Replica consistency: all (surviving) ranks must
+                        // hold identical params.
+                        const std::vector<float> params = model->flat_params();
+                        std::vector<float> sum_params = params;
+                        collectives::allreduce_sum_ring(comm, sum_params);
+                        for (std::size_t i = 0; i < params.size(); ++i) {
+                            const float mean =
+                                sum_params[i] / static_cast<float>(comm.size());
+                            if (std::abs(mean - params[i]) >
+                                1e-4f * (1.0f + std::abs(params[i]))) {
+                                throw std::logic_error("replica divergence detected");
+                            }
+                        }
                     }
                 }
+                ++step;
+            } catch (const comm::CommError& err) {
+                if (!elastic) throw;  // fail-fast: abort the whole run
+                if (err.kind() == comm::CommErrorKind::RankKilled ||
+                    !config.membership->alive(rank)) {
+                    // This rank is the casualty (a kill landing mid-wait
+                    // surfaces as RecvTimeout, hence the alive() check).
+                    // Exit CLEANLY: throwing would shut the cluster down
+                    // under the survivors while they regroup.
+                    config.membership->leave(rank);
+                    killed = true;
+                    util::log_info("rank " + std::to_string(rank) +
+                                   " killed; leaving membership");
+                    break;
+                }
+                // A peer stopped responding: regroup into the survivor
+                // world, install the new epoch-stamped view, then roll back
+                // and resync on the next loop entry.
+                const comm::MembershipView view = config.membership->regroup(rank);
+                comm.set_view(view.members, view.epoch);
+                ++out.regroups;
+                need_resync = true;
+                util::log_info("rank " + std::to_string(rank) +
+                               ": regrouped into epoch " + std::to_string(view.epoch) +
+                               " with " + std::to_string(view.members.size()) +
+                               " member(s)");
             }
         }
 
-        out.mean_compute_s = total_compute / static_cast<double>(total_iters);
-        out.mean_compress_s = total_compress / static_cast<double>(total_iters);
-        out.mean_comm_virtual_s = total_comm / static_cast<double>(total_iters);
-        out.final_params = model->flat_params();
+        if (total_iters > 0) {
+            out.mean_compute_s = total_compute / static_cast<double>(total_iters);
+            out.mean_compress_s = total_compress / static_cast<double>(total_iters);
+            out.mean_comm_virtual_s = total_comm / static_cast<double>(total_iters);
+        }
+        if (!killed) {
+            out.completed = true;
+            out.final_params = model->flat_params();
+            out.final_epoch = elastic ? config.membership->epoch() : 0;
+        }
         final_stats[static_cast<std::size_t>(rank)] = comm.stats();
     };
 
@@ -411,16 +547,39 @@ TrainResult train_distributed(int world_size, comm::NetworkModel net,
                            config.recv_timeout_s);
     }
 
-    TrainResult result;
-    result.epochs = outputs[0].epochs;
-    result.mean_compute_s = outputs[0].mean_compute_s;
-    result.mean_compress_s = outputs[0].mean_compress_s;
-    result.mean_comm_virtual_s = outputs[0].mean_comm_virtual_s;
-    result.rank0_comm = final_stats[0];
-    if (config.tracer) {
-        result.rank0_traced_phases = obs::summarize_train_phases(*config.tracer, 0);
+    // The lead replica is the lowest rank that FINISHED training — physical
+    // rank 0 unless an elastic run lost it.
+    int lead = -1;
+    for (int r = 0; r < world_size; ++r) {
+        if (outputs[static_cast<std::size_t>(r)].completed) {
+            lead = r;
+            break;
+        }
     }
-    result.final_params = std::move(outputs[0].final_params);
+    if (lead < 0) {
+        throw std::runtime_error("train_distributed: no rank completed training");
+    }
+
+    TrainResult result;
+    const RankOutput& lo = outputs[static_cast<std::size_t>(lead)];
+    result.epochs = lo.epochs;
+    result.mean_compute_s = lo.mean_compute_s;
+    result.mean_compress_s = lo.mean_compress_s;
+    result.mean_comm_virtual_s = lo.mean_comm_virtual_s;
+    result.rank0_comm = final_stats[static_cast<std::size_t>(lead)];
+    if (config.tracer) {
+        result.rank0_traced_phases =
+            obs::summarize_train_phases(*config.tracer, lead);
+    }
+    result.final_membership_epoch = lo.final_epoch;
+    result.regroups = lo.regroups;
+    for (int r = 0; r < world_size; ++r) {
+        RankOutput& ro = outputs[static_cast<std::size_t>(r)];
+        if (!ro.completed) continue;
+        result.final_members.push_back(r);
+        result.survivor_params.push_back(std::move(ro.final_params));
+    }
+    result.final_params = result.survivor_params.front();
     return result;
 }
 

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "comm/cluster.hpp"
+#include "comm/membership.hpp"
 #include "core/aggregators.hpp"
 #include "nn/model.hpp"
 #include "obs/trace.hpp"
@@ -108,6 +109,27 @@ struct TrainConfig {
     /// forever. Chaos runs set this so dropped messages surface as a typed
     /// comm::CommError instead of hanging the cluster.
     double recv_timeout_s = 0.0;
+
+    /// Clock the receive deadline is measured on. Virtual makes timeout
+    /// OUTCOMES deterministic (they depend on modeled arrivals only); Host
+    /// (default) is the stall detector elastic recovery relies on.
+    comm::DeadlineClock recv_deadline_clock = comm::DeadlineClock::Host;
+
+    /// Membership service enabling the self-healing runtime (must span the
+    /// same transport and outlive train_distributed). With it, a rank kill
+    /// no longer aborts the run: the dead rank leaves, survivors detect the
+    /// stall via their receive deadline, regroup into a new epoch-stamped
+    /// view, roll back to the newest common checkpoint, resync state by
+    /// binomial broadcast from the lowest surviving rank, and finish the
+    /// run on the smaller world. Requires recv_timeout_s > 0 (the stall
+    /// detector is what routes survivors into the regroup). nullptr
+    /// (default) keeps the fail-fast behavior: any CommError aborts.
+    comm::MembershipService* membership = nullptr;
+
+    /// In-memory checkpoint cadence in steps (elastic runs only). A
+    /// snapshot is always taken at step 0 so a rollback target exists from
+    /// the first iteration; <= 0 keeps only that one.
+    int checkpoint_every = 0;
 };
 
 /// Builds one model replica; called once per rank with the same seed so all
@@ -141,7 +163,21 @@ struct TrainResult {
     /// when config.tracer == nullptr). With a large-enough ring buffer this
     /// reproduces the mean_* accumulators above from the trace alone.
     obs::PhaseTotals rank0_traced_phases;
-    std::vector<float> final_params;  // rank 0's replica
+    /// Lead replica's parameters. The lead is the lowest rank that FINISHED
+    /// training — physical rank 0 unless it was killed in an elastic run.
+    std::vector<float> final_params;
+
+    // --- self-healing runtime outcome (identity values when no membership
+    // service was configured or no failure occurred) ---
+    /// Physical ranks that completed training (the final survivor world).
+    std::vector<int> final_members;
+    /// Final parameters per final_members entry; replica consistency means
+    /// these should be bit-identical across survivors.
+    std::vector<std::vector<float>> survivor_params;
+    /// Membership epoch at completion (0 = no regroup ever happened).
+    int final_membership_epoch = 0;
+    /// Regroups the lead rank participated in.
+    int regroups = 0;
 };
 
 TrainResult train_distributed(int world_size, comm::NetworkModel net,

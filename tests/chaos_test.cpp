@@ -134,10 +134,13 @@ TEST(ChaosTest, RankKillMidTrainingSurfacesCommError) {
     const std::uint64_t seed = chaos::base_seed();
     TinyTrainScenario scenario(4);
     comm::FaultPlan plan = chaos::seeded_plan(seed);
-    plan.kill(/*rank=*/1, /*after_sends=*/10);  // dies mid-training
+    // Dies exactly at the step-5 iteration boundary (the step-scheduled
+    // kill the recovery suite relies on to pin rollback points); without a
+    // membership service the failure must stay fail-fast and typed.
+    plan.kill_at_step(/*rank=*/1, /*step=*/5);
     const auto chaos = scenario.run_chaos(Algorithm::GtopkSsgd, plan,
                                           /*recv_timeout_s=*/0.25);
-    ChaosEventLog::instance().record("kill_rank1_after_10_sends", seed, chaos.outcome,
+    ChaosEventLog::instance().record("kill_rank1_at_step5", seed, chaos.outcome,
                                      chaos.counts);
     ASSERT_EQ(chaos.outcome, Outcome::CommFailure) << chaos.error;
     EXPECT_GT(chaos.counts.killed_sends, 0u);

@@ -1,0 +1,413 @@
+// Self-healing runtime tests (DESIGN.md §12): the reliable delivery layer
+// must mask probabilistic drop/corrupt plans bit-identically, and the
+// membership + checkpoint + regroup machinery must carry a training run
+// through a mid-run rank kill to a converged, replica-consistent finish on
+// the survivor world.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+
+#include "chaos_common.hpp"
+#include "comm/membership.hpp"
+#include "comm/reliable_transport.hpp"
+#include "comm/tags.hpp"
+#include "train/checkpoint.hpp"
+
+namespace {
+
+using namespace gtopk;
+using chaos::ChaosEventLog;
+using chaos::Outcome;
+using chaos::TinyTrainScenario;
+using comm::FaultInjectingTransport;
+using comm::FaultPlan;
+using comm::FaultRule;
+using comm::MembershipConfig;
+using comm::MembershipService;
+using comm::MembershipView;
+using comm::ReliableTransport;
+using train::Algorithm;
+
+::testing::Environment* const kRecoveryLogEnv =
+    ::testing::AddGlobalTestEnvironment(new chaos::ChaosLogEnvironment);
+
+/// ~10% loss on every edge plus payload corruption — unmaskable for the
+/// bare fault transport (chaos_test proves drops surface CommError), fully
+/// maskable once ReliableTransport sits on top.
+FaultPlan lossy_plan(std::uint64_t seed) {
+    FaultRule drop;
+    drop.drop_prob = 0.10;
+    FaultRule corrupt;
+    corrupt.corrupt_prob = 0.05;
+    return chaos::seeded_plan(seed).add(drop).add(corrupt);
+}
+
+/// Short heartbeat/suspicion intervals so failure detection fits in test
+/// time without weakening the logic under test.
+MembershipConfig fast_membership(std::uint64_t seed) {
+    MembershipConfig cfg;
+    cfg.seed = seed;
+    cfg.heartbeat_interval_s = 0.002;
+    cfg.suspect_after_s = 0.050;
+    return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Reliable delivery: drops and corruption become invisible
+
+class ReliableSweep : public ::testing::TestWithParam<Algorithm> {};
+INSTANTIATE_TEST_SUITE_P(Algorithms, ReliableSweep,
+                         ::testing::Values(Algorithm::GtopkSsgd, Algorithm::TopkSsgd,
+                                           Algorithm::DenseSsgd,
+                                           Algorithm::NaiveGtopkSsgd));
+
+TEST_P(ReliableSweep, RetransmitMasksDropAndCorruptionBitIdentically) {
+    const Algorithm algo = GetParam();
+    const std::uint64_t seed = chaos::base_seed();
+    TinyTrainScenario scenario(4);
+    const auto clean = scenario.run_clean(algo);
+
+    ReliableTransport reliable(
+        std::make_unique<FaultInjectingTransport>(4, lossy_plan(seed)));
+    auto& faulty = static_cast<FaultInjectingTransport&>(reliable.inner());
+    train::TrainConfig cfg = scenario.config(algo);
+    cfg.transport = &reliable;
+    cfg.recv_timeout_s = 10.0;
+    std::string error;
+    train::TrainResult result;
+    const Outcome outcome =
+        chaos::classify([&] { result = scenario.run(cfg); }, &error);
+    ChaosEventLog::instance().record(
+        std::string("reliable_lossy/") + train::algorithm_name(algo), seed,
+        outcome, faulty.counts());
+
+    ASSERT_EQ(outcome, Outcome::Completed) << error;
+    // The plan actually destroyed traffic...
+    EXPECT_GT(faulty.counts().dropped + faulty.counts().corrupted, 0u);
+    // ...the reliable layer recovered every loss...
+    const comm::ReliableCounts rc = reliable.counts();
+    EXPECT_GT(rc.retransmits, 0u);
+    // ...and the training run never noticed: parameters and per-epoch
+    // losses equal the fault-free run bit for bit.
+    ASSERT_EQ(result.final_params, clean.final_params);
+    ASSERT_EQ(result.epochs.size(), clean.epochs.size());
+    for (std::size_t e = 0; e < clean.epochs.size(); ++e) {
+        EXPECT_EQ(result.epochs[e].train_loss, clean.epochs[e].train_loss);
+    }
+}
+
+TEST(RecoveryTest, ReliableOverCleanFabricIsPurePassthrough) {
+    TinyTrainScenario scenario(4);
+    const auto clean = scenario.run_clean(Algorithm::GtopkSsgd);
+    ReliableTransport reliable(std::make_unique<comm::InProcTransport>(4));
+    train::TrainConfig cfg = scenario.config(Algorithm::GtopkSsgd);
+    cfg.transport = &reliable;
+    const auto result = scenario.run(cfg);
+    EXPECT_EQ(result.final_params, clean.final_params);
+    const comm::ReliableCounts rc = reliable.counts();
+    EXPECT_GT(rc.sent, 0u);
+    EXPECT_EQ(rc.corrupt_dropped, 0u);
+    // A very slow receiver (e.g. under TSan) may fire its backoff while a
+    // message is still in flight and recover it preemptively; the original
+    // then arrives as a duplicate. Exactly-once holds regardless: every
+    // spurious recovery is matched by exactly one dedup.
+    EXPECT_EQ(rc.retransmits, rc.dup_dropped);
+}
+
+// ---------------------------------------------------------------------------
+// Elastic regroup: a mid-run rank kill shrinks the world and finishes
+
+struct ElasticRun {
+    Outcome outcome = Outcome::Completed;
+    std::string error;
+    train::TrainResult result;
+    comm::FaultCounts counts;
+};
+
+/// Kill `victim` at `kill_step` under membership + checkpoints; optionally
+/// stack the reliable layer (with extra loss) under the membership plane.
+ElasticRun run_elastic(const TinyTrainScenario& scenario, Algorithm algo,
+                       FaultPlan plan, std::uint64_t seed,
+                       bool reliable_layer) {
+    std::unique_ptr<FaultInjectingTransport> faulty_owner;
+    std::unique_ptr<ReliableTransport> reliable_owner;
+    FaultInjectingTransport* faulty = nullptr;
+    comm::Transport* top = nullptr;
+    if (reliable_layer) {
+        reliable_owner = std::make_unique<ReliableTransport>(
+            std::make_unique<FaultInjectingTransport>(scenario.world, plan));
+        faulty = static_cast<FaultInjectingTransport*>(&reliable_owner->inner());
+        top = reliable_owner.get();
+    } else {
+        faulty_owner = std::make_unique<FaultInjectingTransport>(scenario.world, plan);
+        faulty = faulty_owner.get();
+        top = faulty_owner.get();
+    }
+    MembershipService membership(*top, fast_membership(seed));
+    train::TrainConfig cfg = scenario.config(algo);
+    cfg.transport = top;
+    cfg.membership = &membership;
+    cfg.recv_timeout_s = 0.25;
+    cfg.checkpoint_every = 4;
+    ElasticRun out;
+    out.outcome = chaos::classify([&] { out.result = scenario.run(cfg); }, &out.error);
+    out.counts = faulty->counts();
+    return out;
+}
+
+TEST(RecoveryTest, KillOneRankRegroupsAndConvergesOnSurvivors) {
+    const std::uint64_t seed = chaos::base_seed();
+    TinyTrainScenario scenario(4);
+    FaultPlan plan = chaos::seeded_plan(seed);
+    plan.kill_at_step(/*rank=*/3, /*step=*/9);  // mid second epoch
+    const ElasticRun run =
+        run_elastic(scenario, Algorithm::GtopkSsgd, plan, seed, false);
+    ChaosEventLog::instance().record("elastic_kill_rank3_step9", seed, run.outcome,
+                                     run.counts);
+    ASSERT_EQ(run.outcome, Outcome::Completed) << run.error;
+
+    // The survivor world is exactly the other three ranks...
+    EXPECT_EQ(run.result.final_members, (std::vector<int>{0, 1, 2}));
+    EXPECT_EQ(run.result.final_membership_epoch, 1);
+    EXPECT_EQ(run.result.regroups, 1);
+    // ...all holding bit-identical replicas (the §12 consistency contract).
+    ASSERT_EQ(run.result.survivor_params.size(), 3u);
+    for (std::size_t i = 1; i < run.result.survivor_params.size(); ++i) {
+        ASSERT_EQ(run.result.survivor_params[i], run.result.survivor_params[0])
+            << "survivor replica divergence at member index " << i;
+    }
+    // The run actually trained: all epochs reported and loss improved.
+    ASSERT_EQ(run.result.epochs.size(), 2u);
+    EXPECT_LT(run.result.epochs.back().train_loss,
+              run.result.epochs.front().train_loss);
+}
+
+TEST(RecoveryTest, KillPlusPacketLossWithReliableLayerStillRecovers) {
+    const std::uint64_t seed = chaos::base_seed();
+    TinyTrainScenario scenario(4);
+    FaultPlan plan = lossy_plan(seed);
+    plan.kill_at_step(/*rank=*/2, /*step=*/6);
+    const ElasticRun run =
+        run_elastic(scenario, Algorithm::GtopkSsgd, plan, seed, true);
+    ChaosEventLog::instance().record("elastic_kill_plus_loss", seed, run.outcome,
+                                     run.counts);
+    ASSERT_EQ(run.outcome, Outcome::Completed) << run.error;
+    // Packet loss is masked by retransmission, yet the kill still surfaced
+    // through the reliable layer (dead buffers are not recoverable) and the
+    // run finished on the survivor world.
+    EXPECT_EQ(run.result.final_members, (std::vector<int>{0, 1, 3}));
+    ASSERT_EQ(run.result.survivor_params.size(), 3u);
+    for (std::size_t i = 1; i < run.result.survivor_params.size(); ++i) {
+        ASSERT_EQ(run.result.survivor_params[i], run.result.survivor_params[0]);
+    }
+}
+
+TEST(RecoveryTest, ElasticSeedSweepSurvivorsAlwaysConsistent) {
+    TinyTrainScenario scenario(4);
+    for (std::uint64_t s = 0; s < 3; ++s) {
+        const std::uint64_t seed = chaos::base_seed() + s;
+        FaultPlan plan = chaos::seeded_plan(seed);
+        const int victim = static_cast<int>(seed % 4);
+        const std::int64_t kill_step = 3 + static_cast<std::int64_t>(seed % 10);
+        plan.kill_at_step(victim, kill_step);
+        const ElasticRun run =
+            run_elastic(scenario, Algorithm::GtopkSsgd, plan, seed, false);
+        ChaosEventLog::instance().record("elastic_sweep", seed, run.outcome,
+                                         run.counts);
+        ASSERT_EQ(run.outcome, Outcome::Completed)
+            << "seed " << seed << " victim " << victim << ": " << run.error;
+        ASSERT_EQ(run.result.final_members.size(), 3u) << "seed " << seed;
+        for (int member : run.result.final_members) {
+            EXPECT_NE(member, victim) << "seed " << seed;
+        }
+        for (std::size_t i = 1; i < run.result.survivor_params.size(); ++i) {
+            ASSERT_EQ(run.result.survivor_params[i], run.result.survivor_params[0])
+                << "seed " << seed << " member index " << i;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint store: cadence, ring bound, rollback lookup
+
+TEST(RecoveryTest, CheckpointRoundTripIsExact) {
+    train::CheckpointStore store(/*interval=*/4, /*keep=*/4);
+    EXPECT_TRUE(store.due(0));
+    EXPECT_FALSE(store.due(3));
+    EXPECT_TRUE(store.due(8));
+    EXPECT_EQ(store.latest_step(), -1);
+
+    for (std::int64_t step : {0, 4, 8, 12}) {
+        train::Checkpoint ck;
+        ck.step = step;
+        ck.params = {static_cast<float>(step), 1.5f};
+        ck.velocity = {static_cast<float>(step) * 0.5f};
+        ck.residual = {static_cast<float>(step) * 0.25f};
+        store.save(std::move(ck));
+    }
+    EXPECT_EQ(store.size(), 4u);
+    EXPECT_EQ(store.latest_step(), 12);
+
+    // Exact-step lookup returns the snapshot bit for bit.
+    const auto at8 = store.at(8);
+    ASSERT_TRUE(at8.has_value());
+    EXPECT_EQ(at8->params, (std::vector<float>{8.0f, 1.5f}));
+    EXPECT_EQ(at8->velocity, (std::vector<float>{4.0f}));
+    EXPECT_EQ(at8->residual, (std::vector<float>{2.0f}));
+
+    // latest_at_or_before picks the newest not-newer snapshot.
+    EXPECT_EQ(store.latest_at_or_before(11)->step, 8);
+    EXPECT_EQ(store.latest_at_or_before(12)->step, 12);
+
+    // The ring drops the oldest beyond `keep`...
+    train::Checkpoint ck16;
+    ck16.step = 16;
+    store.save(std::move(ck16));
+    EXPECT_EQ(store.size(), 4u);
+    EXPECT_FALSE(store.at(0).has_value());
+    // ...and replayed steps never re-save (rollback does not rewrite history):
+    // the step-8 snapshot keeps its original contents.
+    train::Checkpoint replay;
+    replay.step = 8;
+    replay.params = {999.0f};
+    store.save(std::move(replay));
+    EXPECT_EQ(store.latest_step(), 16);
+    EXPECT_EQ(store.size(), 4u);
+    EXPECT_EQ(store.at(8)->params, (std::vector<float>{8.0f, 1.5f}));
+}
+
+// ---------------------------------------------------------------------------
+// Epoch discipline: stale traffic is rejected deterministically
+
+TEST(RecoveryTest, StaleEpochMessagesAreRejectedAtTheMailbox) {
+    comm::InProcTransport transport(2);
+    comm::Message stale;
+    stale.source = 1;
+    stale.tag = comm::kFreshTagBase + 5;
+    stale.epoch = 0;
+    stale.payload = {std::byte{1}, std::byte{2}, std::byte{3}};
+    transport.deliver(0, stale);  // queued before the regroup
+
+    transport.begin_epoch(/*rank=*/0, /*epoch=*/1);
+    // The queued epoch-0 message is purged; a fresh attempt to deliver more
+    // epoch-0 traffic (the straggler) is rejected at push.
+    transport.deliver(0, stale);
+    EXPECT_FALSE(transport.try_receive(0, 1, stale.tag).has_value());
+    EXPECT_EQ(transport.mailbox(0).stale_rejected(), 2u);
+
+    // Current-epoch traffic flows normally.
+    comm::Message fresh = stale;
+    fresh.epoch = 1;
+    transport.deliver(0, fresh);
+    const auto got = transport.try_receive(0, 1, stale.tag);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->payload, fresh.payload);
+}
+
+TEST(RecoveryTest, ReliableLayerSkipsStaleEpochsOnRecovery) {
+    // A retransmit buffer holding old-epoch messages must not resurrect
+    // them after begin_epoch: recovery advances past them (stale_skipped)
+    // instead of delivering them into the new world.
+    ReliableTransport reliable(std::make_unique<comm::InProcTransport>(2));
+    comm::Message msg;
+    msg.source = 1;
+    msg.tag = comm::kFreshTagBase + 9;
+    msg.epoch = 0;
+    msg.payload = {std::byte{42}};
+    reliable.deliver(0, msg);
+    reliable.begin_epoch(/*rank=*/0, /*epoch=*/1);
+    EXPECT_FALSE(reliable.try_receive(0, 1, msg.tag).has_value());
+
+    msg.epoch = 1;
+    msg.payload = {std::byte{43}};
+    reliable.deliver(0, msg);
+    const auto got = reliable.receive_for(0, 1, msg.tag, 1.0);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->payload, std::vector<std::byte>{std::byte{43}});
+}
+
+// ---------------------------------------------------------------------------
+// Failure detector: heartbeats, suspicion, agreement
+
+TEST(RecoveryTest, SilentRankBecomesSuspected) {
+    comm::InProcTransport transport(3);
+    MembershipService membership(transport, fast_membership(7));
+    // Ranks 0 and 1 gossip; rank 2 never ticks (its heartbeats never start).
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(500);
+    std::vector<int> suspects;
+    while (std::chrono::steady_clock::now() < deadline) {
+        membership.tick(0);
+        membership.tick(1);
+        suspects = membership.suspected(0);
+        if (!suspects.empty()) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_EQ(suspects, std::vector<int>{2});
+    EXPECT_TRUE(membership.suspected(1) == std::vector<int>{2});
+    EXPECT_GT(membership.heartbeats_sent(), 0u);
+    // The gossiping peers never suspect each other.
+    for (int s : membership.suspected(0)) EXPECT_NE(s, 1);
+}
+
+TEST(RecoveryTest, RegroupProducesIdenticalViewsOnAllSurvivors) {
+    comm::InProcTransport transport(4);
+    MembershipService membership(transport, fast_membership(11));
+    membership.leave(2);
+    MembershipView views[3];
+    std::thread t0([&] { views[0] = membership.regroup(0); });
+    std::thread t1([&] { views[1] = membership.regroup(1); });
+    std::thread t3([&] { views[2] = membership.regroup(3); });
+    t0.join();
+    t1.join();
+    t3.join();
+    for (const MembershipView& v : views) {
+        EXPECT_EQ(v.epoch, 1);
+        EXPECT_EQ(v.members, (std::vector<int>{0, 1, 3}));
+    }
+    EXPECT_EQ(membership.epoch(), 1);
+    EXPECT_FALSE(membership.alive(2));
+    EXPECT_TRUE(membership.alive(0));
+}
+
+// ---------------------------------------------------------------------------
+// Virtual-clock receive deadlines: timeout OUTCOMES depend on modeled
+// arrivals only, so a run that completes under the virtual deadline is
+// bit-identical to the host-clock run regardless of host scheduling.
+
+TEST(RecoveryTest, VirtualDeadlineRunMatchesHostDeadlineRun) {
+    TinyTrainScenario scenario(4);
+    const auto clean = scenario.run_clean(Algorithm::GtopkSsgd);
+
+    train::TrainConfig cfg = scenario.config(Algorithm::GtopkSsgd);
+    cfg.recv_timeout_s = 5.0;  // virtual seconds; free network arrives at 0
+    cfg.recv_deadline_clock = comm::DeadlineClock::Virtual;
+    const auto result = scenario.run(cfg);
+    EXPECT_EQ(result.final_params, clean.final_params);
+}
+
+TEST(RecoveryTest, VirtualDeadlineDiscardsLateArrivalDeterministically) {
+    comm::InProcTransport transport(2);
+    comm::Message late;
+    late.source = 1;
+    late.tag = comm::kFreshTagBase + 1;
+    late.arrival_time_s = 3.0;  // modeled arrival past the deadline
+    late.payload = {std::byte{9}};
+    transport.deliver(0, late);
+    // Deadline at virtual t=2.0: the matching message exists but arrives
+    // too late on the modeled clock — deterministic timeout, message
+    // consumed so a later wait cannot nondeterministically succeed.
+    EXPECT_FALSE(transport
+                     .receive_for_virtual(0, 1, late.tag,
+                                          /*max_arrival_s=*/2.0,
+                                          /*host_grace_s=*/0.05)
+                     .has_value());
+    EXPECT_FALSE(transport
+                     .receive_for_virtual(0, 1, late.tag,
+                                          /*max_arrival_s=*/10.0,
+                                          /*host_grace_s=*/0.05)
+                     .has_value());
+}
+
+}  // namespace

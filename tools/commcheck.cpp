@@ -12,10 +12,20 @@
 //
 // Usage:
 //   commcheck [--proto all|<name>] [--world 1..64] [--report out.json] [-v]
+//   commcheck --survivors [--world 2..16] [--seed N] [-v]
 //
 // Protocols: barrier broadcast broadcast-flat reduce allreduce-ring
 //            allreduce-rd allreduce-rabenseifner allgather allgather-ring
 //            allgatherv gather gtopk ps
+//
+// --survivors verifies the ELASTIC REGROUP path: for every physical world
+// in the range it enumerates survivor subsets (every drop-one subset plus
+// seeded random multi-death subsets), rebuilds each regroup-regenerated
+// protocol over the logical survivor world, remaps it onto the surviving
+// physical ranks (remap_schedule — the static mirror of
+// Communicator::set_view) and proves (a) all of verify_schedule's
+// invariants still hold on the physical schedule and (b) survivor
+// confinement: no op lives on or addresses a dead rank.
 //
 // Exit code 0 iff every check passes.
 #include <cstdio>
@@ -31,6 +41,7 @@
 #include "collectives/cost_model.hpp"
 #include "collectives/schedule.hpp"
 #include "ps/ps_schedule.hpp"
+#include "util/rng.hpp"
 
 namespace {
 
@@ -237,6 +248,122 @@ bool parse_world_range(const std::string& arg, int& lo, int& hi) {
     return lo >= 1 && hi >= lo;
 }
 
+// ---------------------------------------------------------------------------
+// --survivors mode: regrouped-schedule verification
+// ---------------------------------------------------------------------------
+
+/// The protocols the trainer regenerates after a membership regroup, built
+/// over the LOGICAL survivor world (the regrouped Communicator's size()).
+struct RegroupProto {
+    std::string name;
+    std::function<Schedule(int logical_world)> make;
+};
+
+std::vector<RegroupProto> make_regroup_protos() {
+    std::vector<RegroupProto> protos;
+    protos.push_back({"gtopk", [](int w) {
+                          const Schedule parts[] = {
+                              gtopk_merge_schedule(w, kWireBytes),
+                              broadcast_schedule(w, 0, kWireBytes,
+                                                 BcastAlgo::BinomialTree)};
+                          return concat_schedules("gtopk.allreduce", parts);
+                      }});
+    protos.push_back({"barrier", [](int w) { return barrier_schedule(w); }});
+    protos.push_back({"broadcast", [](int w) {
+                          return broadcast_schedule(w, 0, kElems * kElemBytes,
+                                                    BcastAlgo::BinomialTree);
+                      }});
+    protos.push_back({"allreduce-ring", [](int w) {
+                          return allreduce_ring_schedule(w, kElems, kElemBytes);
+                      }});
+    protos.push_back({"allgather-ring", [](int w) {
+                          return allgather_schedule(w, kElems, kElemBytes,
+                                                    AllgatherAlgo::Ring);
+                      }});
+    protos.push_back({"allgatherv", [](int w) {
+                          std::vector<std::int64_t> sizes(
+                              static_cast<std::size_t>(w), kElems * kElemBytes);
+                          return allgatherv_schedule(
+                              w, std::span<const std::int64_t>(sizes));
+                      }});
+    return protos;
+}
+
+/// All survivor subsets checked for one physical world: every drop-one
+/// subset (the common single-failure case the trainer demo exercises), plus
+/// seeded random multi-death subsets down to 1 survivor.
+std::vector<std::vector<int>> survivor_subsets(int world, std::uint64_t seed) {
+    std::vector<std::vector<int>> subsets;
+    for (int dead = 0; dead < world; ++dead) {
+        std::vector<int> s;
+        for (int r = 0; r < world; ++r) {
+            if (r != dead) s.push_back(r);
+        }
+        subsets.push_back(std::move(s));
+    }
+    gtopk::util::Xoshiro256 rng =
+        gtopk::util::Xoshiro256(seed).fork(static_cast<std::uint64_t>(world));
+    for (int trial = 0; trial < 4; ++trial) {
+        std::vector<int> s;
+        for (int r = 0; r < world; ++r) {
+            if (rng.next_double() < 0.5) s.push_back(r);
+        }
+        if (s.empty()) s.push_back(static_cast<int>(rng.next_double() * world) % world);
+        subsets.push_back(std::move(s));
+    }
+    return subsets;
+}
+
+int run_survivor_sweep(int world_lo, int world_hi, std::uint64_t seed,
+                       bool verbose) {
+    const std::vector<RegroupProto> protos = make_regroup_protos();
+    int checked = 0, failed = 0;
+    for (int world = std::max(2, world_lo); world <= world_hi; ++world) {
+        for (const std::vector<int>& survivors : survivor_subsets(world, seed)) {
+            for (const RegroupProto& p : protos) {
+                const Schedule logical =
+                    p.make(static_cast<int>(survivors.size()));
+                const Schedule physical = remap_schedule(
+                    logical, std::span<const int>(survivors), world);
+                std::vector<std::string> failures;
+                // The remapped schedule must satisfy every invariant the
+                // original did — peers/tags/FIFO/match/deadlock all survive
+                // the rank translation.
+                const VerifyResult v = verify_schedule(physical);
+                for (const auto& viol : v.violations) {
+                    failures.push_back("[" + viol.check + "] rank " +
+                                       std::to_string(viol.rank) + ": " +
+                                       viol.detail);
+                }
+                for (const auto& viol : gtopk::analysis::
+                         verify_survivor_confinement(
+                             physical, std::span<const int>(survivors))) {
+                    failures.push_back("[" + viol.check + "] rank " +
+                                       std::to_string(viol.rank) + ": " +
+                                       viol.detail);
+                }
+                ++checked;
+                if (!failures.empty()) ++failed;
+                if (verbose || !failures.empty()) {
+                    std::string subset;
+                    for (int r : survivors) subset += std::to_string(r) + " ";
+                    std::printf("%-16s P=%-3d survivors={ %s} %s\n",
+                                p.name.c_str(), world, subset.c_str(),
+                                failures.empty() ? "ok" : "FAIL");
+                    for (const auto& f : failures) {
+                        std::printf("    %s\n", f.c_str());
+                    }
+                }
+            }
+        }
+    }
+    std::printf("commcheck --survivors: %d regrouped schedule(s) verified, "
+                "%d failed (worlds %d..%d, seed %llu)\n",
+                checked, failed, std::max(2, world_lo), world_hi,
+                static_cast<unsigned long long>(seed));
+    return failed == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -244,6 +371,9 @@ int main(int argc, char** argv) {
     int world_lo = 1, world_hi = 64;
     std::string report_path;
     bool verbose = false;
+    bool survivors_mode = false;
+    bool world_given = false;
+    std::uint64_t seed = 1;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -261,19 +391,40 @@ int main(int argc, char** argv) {
                 std::fprintf(stderr, "commcheck: bad --world range\n");
                 return 2;
             }
+            world_given = true;
         } else if (arg == "--report") {
             report_path = next();
+        } else if (arg == "--survivors") {
+            survivors_mode = true;
+        } else if (arg == "--seed") {
+            try {
+                seed = std::stoull(next());
+            } catch (const std::exception&) {
+                std::fprintf(stderr, "commcheck: bad --seed\n");
+                return 2;
+            }
         } else if (arg == "-v" || arg == "--verbose") {
             verbose = true;
         } else if (arg == "-h" || arg == "--help") {
             std::printf(
                 "usage: commcheck [--proto all|NAME] [--world LO..HI] "
-                "[--report FILE.json] [-v]\n");
+                "[--report FILE.json] [-v]\n"
+                "       commcheck --survivors [--world 2..16] [--seed N] [-v]\n");
             return 0;
         } else {
             std::fprintf(stderr, "commcheck: unknown argument %s\n", arg.c_str());
             return 2;
         }
+    }
+
+    if (survivors_mode) {
+        // Default survivor sweep covers worlds 2..16: every drop-one subset
+        // plus seeded multi-death subsets per world.
+        if (!world_given) {
+            world_lo = 2;
+            world_hi = 16;
+        }
+        return run_survivor_sweep(world_lo, world_hi, seed, verbose);
     }
 
     const gtopk::comm::NetworkModel net =
