@@ -488,6 +488,12 @@ Schedule remap_schedule(const Schedule& sched, std::span<const int> survivors,
         const int phys = survivors[static_cast<std::size_t>(logical)];
         auto& program = out.ranks[static_cast<std::size_t>(phys)];
         for (CommOp op : sched.rank_ops(logical)) {
+            // Same guard as verify_survivor_confinement: a default-initialized
+            // peer (-1) would otherwise index out of bounds after the cast.
+            if (op.peer < 0 || op.peer >= sched.world) {
+                throw std::invalid_argument(
+                    "remap_schedule: op peer outside schedule world");
+            }
             op.peer = survivors[static_cast<std::size_t>(op.peer)];
             program.push_back(op);
         }

@@ -139,6 +139,13 @@ MembershipView MembershipService::regroup(int rank) {
         !alive_unlocked(rank)) {
         throw std::invalid_argument("regroup: rank not a live member");
     }
+    // A rank a previous round voted out must not join: allowing it would
+    // let an excluded straggler spin up a fresh round, finalize a view
+    // without the actual members, and train on with a higher epoch.
+    if (std::find(view_.members.begin(), view_.members.end(), rank) ==
+        view_.members.end()) {
+        throw std::invalid_argument("regroup: rank not in current view");
+    }
     const std::uint64_t my_round = round_;
     if (!joined_[static_cast<std::size_t>(rank)]) {
         joined_[static_cast<std::size_t>(rank)] = true;
@@ -149,14 +156,26 @@ MembershipView MembershipService::regroup(int rank) {
     for (;;) {
         if (round_ != my_round) return view_;  // someone finalized our round
         const std::vector<int> live = live_members_unlocked();
-        const bool all_joined =
-            joined_count_ >= live.size() &&
-            std::all_of(live.begin(), live.end(), [&](int r) {
+        const std::size_t joined_live = static_cast<std::size_t>(
+            std::count_if(live.begin(), live.end(), [&](int r) {
                 return joined_[static_cast<std::size_t>(r)];
-            });
-        if (all_joined || Clock::now() >= grace_deadline) {
-            finalize_round_unlocked();
+            }));
+        if (joined_live >= live.size()) {
+            finalize_round_unlocked();  // fast path: every live member joined
             return view_;
+        }
+        if (Clock::now() >= grace_deadline) {
+            // Straggler bound hit. Only a strict majority of the live
+            // members may finalize without the rest — a minority view could
+            // coexist with (and outrank) the majority's. Without quorum the
+            // round cannot safely conclude anything: abort.
+            if (joined_live * 2 > live.size()) {
+                finalize_round_unlocked();
+                return view_;
+            }
+            throw std::runtime_error(
+                "regroup: join grace expired without a majority of live "
+                "members; refusing to finalize a minority view");
         }
         cv_.wait_until(lock, grace_deadline);
     }

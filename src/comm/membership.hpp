@@ -71,7 +71,12 @@ public:
     /// Join the current regroup round and block until it completes. The
     /// round finalizes when every live expected member has joined (fast
     /// path, the common case — receive-deadline cascades bring everyone
-    /// here) or when `join_grace_s` expires with a quorum of joiners.
+    /// here) or when `join_grace_s` expires with a strict MAJORITY of the
+    /// live members joined. Grace expiry without a majority throws: a
+    /// minority must never finalize a view (a straggler excluded by the
+    /// majority's round would otherwise build a singleton view whose
+    /// higher epoch passes every later epoch floor and train solo).
+    /// Ranks not in the current view cannot join at all.
     /// All joiners of a round return the identical view.
     MembershipView regroup(int rank);
 
@@ -86,6 +91,10 @@ public:
     int epoch() const;
     /// Total heartbeats gossiped (all ranks), for tests.
     std::uint64_t heartbeats_sent() const;
+
+    /// Detector/agreement tuning (the trainer validates its receive
+    /// deadline against `join_grace_s`).
+    const MembershipConfig& config() const { return config_; }
 
 private:
     using Clock = std::chrono::steady_clock;

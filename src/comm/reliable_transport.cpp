@@ -100,7 +100,16 @@ void ReliableTransport::deliver(int dst, Message msg) {
             ++e.base_seq;
         }
         seq = ++e.next_seq;
-        e.buffer.push_back(msg);  // pristine copy survives the lossy fabric
+        if (inner_->rank_alive(dst)) {
+            e.buffer.push_back(msg);  // pristine copy survives the lossy fabric
+        } else {
+            // A dead receiver never acks, and its traffic is intentionally
+            // never recovered (see recover()): buffering would hold full
+            // payload copies for the whole kill-to-regroup window. Drop the
+            // edge buffer instead of growing it.
+            e.buffer.clear();
+            e.base_seq = e.next_seq + 1;
+        }
     }
 
     const std::int64_t orig_tag = msg.tag;

@@ -16,12 +16,17 @@ bool CheckpointStore::due(std::int64_t step) const {
 
 void CheckpointStore::save(Checkpoint ckpt) {
     if (!ring_.empty() && ckpt.step <= ring_.back().step) {
-        // Replays revisit steps whose snapshots we already hold (state is
-        // bit-identical by determinism), so re-saving is a no-op.
+        // A replay revisits the rollback step itself, whose snapshot we
+        // still hold (truncate_after pruned everything newer); the restored
+        // state is that snapshot bit for bit, so re-saving is a no-op.
         return;
     }
     ring_.push_back(std::move(ckpt));
     while (ring_.size() > keep_) ring_.pop_front();
+}
+
+void CheckpointStore::truncate_after(std::int64_t step) {
+    while (!ring_.empty() && ring_.back().step > step) ring_.pop_back();
 }
 
 std::optional<Checkpoint> CheckpointStore::latest_at_or_before(

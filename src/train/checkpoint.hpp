@@ -45,6 +45,12 @@ public:
     std::int64_t latest_step() const;
     /// Exact-step lookup (the agreed rollback point).
     std::optional<Checkpoint> at(std::int64_t step) const;
+    /// Drop every snapshot newer than `step`. Called when a rollback
+    /// rewinds past saved snapshots: the replay runs on a different
+    /// (smaller) world, so snapshots beyond the rollback point belong to
+    /// an abandoned timeline and must not survive as rollback targets for
+    /// a later failure.
+    void truncate_after(std::int64_t step);
 
     std::int64_t interval() const { return interval_; }
     std::size_t size() const { return ring_.size(); }

@@ -112,6 +112,14 @@ TrainResult train_distributed(int world_size, comm::NetworkModel net,
             "train_distributed: elastic mode needs recv_timeout_s > 0 — the "
             "receive deadline is how survivors detect a dead peer's stall");
     }
+    if (config.membership &&
+        config.recv_timeout_s >= config.membership->config().join_grace_s) {
+        throw std::invalid_argument(
+            "train_distributed: elastic mode needs recv_timeout_s < "
+            "join_grace_s — the deadline cascade must route every survivor "
+            "into the regroup round before the grace window expires, or the "
+            "round finalizes without them (quorum permitting)");
+    }
 
     auto worker = [&](Communicator& comm) {
         // Physical rank: stable identity (output slot, traces, membership).
@@ -187,10 +195,17 @@ TrainResult train_distributed(int world_size, comm::NetworkModel net,
                     for (std::int64_t l : latest) target = std::min(target, l);
                     std::optional<Checkpoint> ck = ckpts.at(target);
                     if (!ck) throw std::logic_error("rollback checkpoint missing");
+                    // Snapshots newer than the rollback point were taken on
+                    // the pre-failure world; the replay runs on the survivor
+                    // world and diverges, so they belong to an abandoned
+                    // timeline. Prune them or a second failure during the
+                    // replay could pick a stale snapshot AHEAD of current
+                    // progress as its allgather-min rollback target.
+                    ckpts.truncate_after(target);
                     // Resync replica state by binomial broadcast from the
                     // lowest surviving rank (logical rank 0 of the new
-                    // view). params/velocity are replica-identical at a
-                    // step, so this re-certifies agreement; the residual is
+                    // view). params are replica-identical at a step, so
+                    // this re-certifies agreement; the residual is
                     // rank-local and restored from the own snapshot. The
                     // dead rank's residual — gradient mass it had withheld —
                     // is lost with it (DESIGN.md §12).
@@ -198,13 +213,22 @@ TrainResult train_distributed(int world_size, comm::NetworkModel net,
                     collectives::broadcast(comm, agreed, 0);
                     std::vector<float> params = ck->params;
                     collectives::broadcast(comm, params, 0);
-                    std::vector<float> vel = ck->velocity;
-                    collectives::broadcast(comm, vel, 0);
+                    if (local_momentum) {
+                        // DGC-style LocalCorrection velocity is built from
+                        // each rank's OWN gradient stream — rank-local like
+                        // the residual, not replica-identical — so it must
+                        // come from the own snapshot, never a broadcast.
+                        velocity = ck->velocity;
+                    } else {
+                        // PostAggregation velocity is replica-identical.
+                        std::vector<float> vel = ck->velocity;
+                        collectives::broadcast(comm, vel, 0);
+                        velocity = std::move(vel);
+                    }
                     if (agreed[0] != target) {
                         throw std::logic_error("rollback step disagreement");
                     }
                     model->set_flat_params(params);
-                    velocity = std::move(vel);
                     residual = ck->residual;
                     step = target;
                     need_resync = false;

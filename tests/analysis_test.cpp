@@ -261,6 +261,21 @@ TEST(AnalysisViolations, DuplicateEdgeTagIsFifoAmbiguous) {
     EXPECT_TRUE(has_violation(r, "fifo"));
 }
 
+TEST(AnalysisViolations, RemapRejectsOpPeerOutsideScheduleWorld) {
+    // A default-initialized peer (-1) must be rejected, not cast to a huge
+    // size_t and used to index the survivor table out of bounds.
+    Schedule s = empty_schedule(2, 1);
+    s.ranks[0] = {send(-1, 0)};
+    const std::vector<int> survivors = {0, 2};
+    EXPECT_THROW(collectives::remap_schedule(s, survivors, 4),
+                 std::invalid_argument);
+
+    Schedule too_big = empty_schedule(2, 1);
+    too_big.ranks[0] = {send(2, 0)};  // peer == world
+    EXPECT_THROW(collectives::remap_schedule(too_big, survivors, 4),
+                 std::invalid_argument);
+}
+
 // ---------------------------------------------------------------------------
 // concat_schedules: consecutive fresh-tag blocks shift offsets exactly like
 // consecutive fresh_tags() calls would.

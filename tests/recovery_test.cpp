@@ -5,6 +5,7 @@
 // the survivor world.
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <memory>
 #include <thread>
 
@@ -127,9 +128,10 @@ struct ElasticRun {
 
 /// Kill `victim` at `kill_step` under membership + checkpoints; optionally
 /// stack the reliable layer (with extra loss) under the membership plane.
+/// `patch` tweaks the train config before the run (momentum mode etc.).
 ElasticRun run_elastic(const TinyTrainScenario& scenario, Algorithm algo,
-                       FaultPlan plan, std::uint64_t seed,
-                       bool reliable_layer) {
+                       FaultPlan plan, std::uint64_t seed, bool reliable_layer,
+                       const std::function<void(train::TrainConfig&)>& patch = {}) {
     std::unique_ptr<FaultInjectingTransport> faulty_owner;
     std::unique_ptr<ReliableTransport> reliable_owner;
     FaultInjectingTransport* faulty = nullptr;
@@ -150,6 +152,7 @@ ElasticRun run_elastic(const TinyTrainScenario& scenario, Algorithm algo,
     cfg.membership = &membership;
     cfg.recv_timeout_s = 0.25;
     cfg.checkpoint_every = 4;
+    if (patch) patch(cfg);
     ElasticRun out;
     out.outcome = chaos::classify([&] { out.result = scenario.run(cfg); }, &out.error);
     out.counts = faulty->counts();
@@ -201,6 +204,35 @@ TEST(RecoveryTest, KillPlusPacketLossWithReliableLayerStillRecovers) {
     for (std::size_t i = 1; i < run.result.survivor_params.size(); ++i) {
         ASSERT_EQ(run.result.survivor_params[i], run.result.survivor_params[0]);
     }
+}
+
+TEST(RecoveryTest, LocalMomentumRegroupKeepsRankLocalVelocity) {
+    // DGC-style LocalCorrection velocity is built from each rank's OWN
+    // gradient stream — rank-local like the residual — so the post-regroup
+    // resync must restore it from the rank's own snapshot (broadcasting
+    // rank 0's would silently overwrite every survivor's momentum
+    // correction). This pins the LocalCorrection resync path end to end:
+    // the run completes and survivors stay bit-identical.
+    const std::uint64_t seed = chaos::base_seed();
+    TinyTrainScenario scenario(4);
+    FaultPlan plan = chaos::seeded_plan(seed);
+    plan.kill_at_step(/*rank=*/3, /*step=*/9);
+    const ElasticRun run = run_elastic(
+        scenario, Algorithm::GtopkSsgd, plan, seed, false,
+        [](train::TrainConfig& cfg) {
+            cfg.momentum_mode = train::TrainConfig::MomentumMode::LocalCorrection;
+        });
+    ChaosEventLog::instance().record("elastic_kill_local_momentum", seed,
+                                     run.outcome, run.counts);
+    ASSERT_EQ(run.outcome, Outcome::Completed) << run.error;
+    EXPECT_EQ(run.result.final_members, (std::vector<int>{0, 1, 2}));
+    EXPECT_EQ(run.result.regroups, 1);
+    ASSERT_EQ(run.result.survivor_params.size(), 3u);
+    for (std::size_t i = 1; i < run.result.survivor_params.size(); ++i) {
+        ASSERT_EQ(run.result.survivor_params[i], run.result.survivor_params[0])
+            << "survivor replica divergence at member index " << i;
+    }
+    ASSERT_EQ(run.result.epochs.size(), 2u);
 }
 
 TEST(RecoveryTest, ElasticSeedSweepSurvivorsAlwaysConsistent) {
@@ -275,6 +307,39 @@ TEST(RecoveryTest, CheckpointRoundTripIsExact) {
     EXPECT_EQ(store.latest_step(), 16);
     EXPECT_EQ(store.size(), 4u);
     EXPECT_EQ(store.at(8)->params, (std::vector<float>{8.0f, 1.5f}));
+}
+
+TEST(RecoveryTest, CheckpointTruncateDropsAbandonedTimeline) {
+    // A rollback rewinds to the newest snapshot ALL survivors hold;
+    // snapshots newer than that were taken on the pre-failure world and
+    // the survivor-world replay diverges from them. truncate_after prunes
+    // that abandoned timeline so a second failure mid-replay can never
+    // pick a stale snapshot ahead of current progress.
+    train::CheckpointStore store(/*interval=*/4, /*keep=*/4);
+    for (std::int64_t step : {0, 4, 8, 12}) {
+        train::Checkpoint ck;
+        ck.step = step;
+        ck.params = {static_cast<float>(step)};
+        store.save(std::move(ck));
+    }
+    store.truncate_after(4);
+    EXPECT_EQ(store.size(), 2u);
+    EXPECT_EQ(store.latest_step(), 4);
+    EXPECT_FALSE(store.at(8).has_value());
+    EXPECT_FALSE(store.at(12).has_value());
+    // The replay re-saves the survivor timeline: the rollback step itself
+    // stays a no-op, steps beyond it land as fresh snapshots.
+    train::Checkpoint replay4;
+    replay4.step = 4;
+    replay4.params = {999.0f};
+    store.save(std::move(replay4));
+    EXPECT_EQ(store.at(4)->params, (std::vector<float>{4.0f}));
+    train::Checkpoint fresh8;
+    fresh8.step = 8;
+    fresh8.params = {80.0f};
+    store.save(std::move(fresh8));
+    EXPECT_EQ(store.latest_step(), 8);
+    EXPECT_EQ(store.at(8)->params, (std::vector<float>{80.0f}));
 }
 
 // ---------------------------------------------------------------------------
@@ -369,6 +434,55 @@ TEST(RecoveryTest, RegroupProducesIdenticalViewsOnAllSurvivors) {
     EXPECT_EQ(membership.epoch(), 1);
     EXPECT_FALSE(membership.alive(2));
     EXPECT_TRUE(membership.alive(0));
+}
+
+TEST(RecoveryTest, RegroupWithoutMajorityQuorumAborts) {
+    // One joiner out of three live members is a minority: grace expiry
+    // must abort the round, never finalize a view the majority is not in.
+    comm::InProcTransport transport(3);
+    MembershipConfig cfg = fast_membership(5);
+    cfg.join_grace_s = 0.05;
+    MembershipService membership(transport, cfg);
+    EXPECT_THROW(membership.regroup(0), std::runtime_error);
+    EXPECT_EQ(membership.epoch(), 0);  // nothing was finalized
+}
+
+TEST(RecoveryTest, MajorityFinalizesAndExcludedStragglerCannotRejoin) {
+    comm::InProcTransport transport(3);
+    MembershipConfig cfg = fast_membership(6);
+    cfg.join_grace_s = 0.1;
+    MembershipService membership(transport, cfg);
+    // Ranks 0 and 1 join; rank 2 — live but stuck — never does. The
+    // majority (2 of 3) finalizes at grace expiry without it.
+    MembershipView v0, v1;
+    std::thread t0([&] { v0 = membership.regroup(0); });
+    std::thread t1([&] { v1 = membership.regroup(1); });
+    t0.join();
+    t1.join();
+    EXPECT_EQ(v0.epoch, 1);
+    EXPECT_EQ(v0.members, (std::vector<int>{0, 1}));
+    EXPECT_EQ(v1.epoch, v0.epoch);
+    EXPECT_EQ(v1.members, v0.members);
+    // The voted-out straggler cannot start a round of its own — the hole
+    // that would let it finalize a singleton view with a higher epoch and
+    // train solo past every survivor's epoch floor.
+    EXPECT_THROW(membership.regroup(2), std::invalid_argument);
+    EXPECT_EQ(membership.epoch(), 1);
+}
+
+TEST(RecoveryTest, ElasticModeRequiresDeadlineBelowJoinGrace) {
+    // The receive-deadline cascade is what routes every survivor into the
+    // regroup round; it must fire before the round's grace window can
+    // expire, or stragglers get voted out of a healthy world.
+    TinyTrainScenario scenario(4);
+    comm::InProcTransport transport(4);
+    MembershipService membership(transport, fast_membership(1));
+    train::TrainConfig cfg = scenario.config(Algorithm::GtopkSsgd);
+    cfg.transport = &transport;
+    cfg.membership = &membership;
+    cfg.checkpoint_every = 4;
+    cfg.recv_timeout_s = 5.0;  // >= default join_grace_s (2.0)
+    EXPECT_THROW(scenario.run(cfg), std::invalid_argument);
 }
 
 // ---------------------------------------------------------------------------
