@@ -1,13 +1,19 @@
 // Quickstart: train a small classifier with gTop-k S-SGD on a simulated
 // 4-worker 1GbE cluster, in ~30 lines of user code.
 //
-//   $ ./quickstart [--trace-out trace.json] [--chaos]
+//   $ ./quickstart [--trace-out trace.json] [--telemetry-out t.jsonl] [--chaos]
 //
 // Walks through the whole public API surface: dataset, sharded sampler,
 // model factory, TrainConfig, train_distributed, and the returned metrics.
 // With --trace-out, every rank's per-phase spans (compute, selection, each
 // gTop-k merge round, broadcast, send/recv) are exported as Chrome-trace
 // JSON — open it at https://ui.perfetto.dev to see where virtual time goes.
+//
+// With --telemetry-out, the cluster telemetry plane streams one JSON line
+// per iteration (every rank's phase timings, wire bytes, nnz) and prints
+// the measured-vs-predicted cost attribution at the end; explore the
+// stream with tools/gtopktop. In chaos mode a flight-recorder bundle
+// (<telemetry-out>.flight.json) captures the failure forensics.
 //
 // With --chaos, the run exercises the self-healing runtime (DESIGN.md §12):
 // the fault plan kills rank 3 partway through the second epoch, the
@@ -24,6 +30,10 @@
 #include "data/sampler.hpp"
 #include "data/synthetic_images.hpp"
 #include "nn/model_zoo.hpp"
+#include "obs/attribution.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/straggler.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "train/trainer.hpp"
 #include "util/log.hpp"
@@ -33,7 +43,9 @@ int main(int argc, char** argv) {
     util::set_log_level(util::LogLevel::Warn);
 
     std::string trace_out;
+    std::string telemetry_out;
     bool trace_requested = false;
+    bool telemetry_requested = false;
     bool chaos = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
@@ -42,16 +54,27 @@ int main(int argc, char** argv) {
         } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
             trace_out = argv[i] + 12;
             trace_requested = true;
+        } else if (std::strcmp(argv[i], "--telemetry-out") == 0 && i + 1 < argc) {
+            telemetry_out = argv[++i];
+            telemetry_requested = true;
+        } else if (std::strncmp(argv[i], "--telemetry-out=", 16) == 0) {
+            telemetry_out = argv[i] + 16;
+            telemetry_requested = true;
         } else if (std::strcmp(argv[i], "--chaos") == 0) {
             chaos = true;
         } else {
             std::cerr << "usage: " << argv[0]
-                      << " [--trace-out <file.json>] [--chaos]\n";
+                      << " [--trace-out <file.json>]"
+                         " [--telemetry-out <file.jsonl>] [--chaos]\n";
             return 2;
         }
     }
     if (trace_requested && trace_out.empty()) {
         std::cerr << "error: --trace-out requires a non-empty path\n";
+        return 2;
+    }
+    if (telemetry_requested && telemetry_out.empty()) {
+        std::cerr << "error: --telemetry-out requires a non-empty path\n";
         return 2;
     }
 
@@ -84,6 +107,35 @@ int main(int argc, char** argv) {
         config.tracer = tracer.get();
     }
 
+    // 3b'. Optional telemetry plane: the global per-iteration stats
+    // allgather plus its three consumers — cost attribution against the
+    // α-β model, straggler detection, and (chaos runs) the postmortem
+    // flight recorder.
+    const comm::NetworkModel net = comm::NetworkModel::one_gbps_ethernet();
+    std::unique_ptr<obs::Telemetry> telemetry;
+    std::unique_ptr<obs::CostAttribution> attribution;
+    std::unique_ptr<obs::StragglerDetector> straggler;
+    std::unique_ptr<obs::FlightRecorder> recorder;
+    if (!telemetry_out.empty()) {
+        obs::Telemetry::Config tcfg;
+        tcfg.jsonl_path = telemetry_out;
+        telemetry = std::make_unique<obs::Telemetry>(workers, tcfg);
+        attribution = std::make_unique<obs::CostAttribution>(
+            net, tracer ? &tracer->metrics() : nullptr);
+        telemetry->set_attribution(attribution.get());
+        straggler = std::make_unique<obs::StragglerDetector>(
+            workers, obs::StragglerConfig{},
+            tracer ? &tracer->metrics() : nullptr);
+        telemetry->set_straggler(straggler.get());
+        if (chaos) {
+            obs::FlightRecorderConfig fcfg;
+            fcfg.path = telemetry_out + ".flight.json";
+            recorder = std::make_unique<obs::FlightRecorder>(fcfg);
+            telemetry->set_flight_recorder(recorder.get());
+        }
+        config.telemetry = telemetry.get();
+    }
+
     // 3c. Optional chaos: kill rank 3 mid-epoch and let the self-healing
     // runtime (heartbeats + receive deadlines + membership regroup +
     // checkpoint rollback) finish the run on the 3 survivors.
@@ -104,7 +156,7 @@ int main(int argc, char** argv) {
 
     // 4. Run on the simulated 1 Gbps Ethernet cluster.
     const auto result = train::train_distributed(
-        workers, comm::NetworkModel::one_gbps_ethernet(), config,
+        workers, net, config,
         [&](std::uint64_t seed) { return nn::make_mlp(mcfg, seed); },
         [&](std::int64_t step, int rank) {
             return dataset.batch_flat(sampler.batch_indices(step, rank, 16));
@@ -134,6 +186,24 @@ int main(int argc, char** argv) {
         std::cout << "  survivor replicas bit-identical: "
                   << (consistent ? "yes" : "NO") << "\n";
         if (!consistent) return 1;
+    }
+
+    if (telemetry) {
+        std::cout << "\ntelemetry: " << telemetry->exchanges()
+                  << " snapshots -> " << telemetry_out << "\n"
+                  << "cost attribution (measured vs alpha-beta predicted):\n";
+        for (const auto& e : attribution->entries()) {
+            std::cout << "  " << e.proto << " world=" << e.world
+                      << " measured=" << e.mean_measured_comm_s() * 1e3 << " ms";
+            if (e.predicted_comm_s) {
+                std::cout << " predicted=" << *e.predicted_comm_s * 1e3 << " ms";
+            }
+            if (const auto r = e.ratio()) std::cout << " ratio=" << *r;
+            std::cout << "\n";
+        }
+        if (recorder && recorder->dumps() > 0) {
+            std::cout << "flight recorder bundle: " << recorder->path() << "\n";
+        }
     }
 
     if (tracer) {

@@ -97,6 +97,14 @@ std::optional<ExpectedTotals> expected_totals(const std::string& proto, int worl
         t.bytes = sized(2 * (P - 1), elems, elem_bytes);
         return t;
     }
+    if (proto == "telemetry.allgather") {
+        // Ring allgather of one fixed-size stats block per rank: P-1 steps,
+        // each rank ships one block per step.
+        t.messages = P == 1 ? 0 : P * (P - 1);
+        t.bytes = P == 1 ? std::optional<std::int64_t>(0)
+                         : sized(P * (P - 1), elems, elem_bytes);
+        return t;
+    }
     if (proto == "ps.iteration") {
         // Every worker pushes once and is answered once.
         t.messages = 2 * (P - 1);

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "comm/tags.hpp"
+
 namespace gtopk::collectives {
 
 int ilog2_floor(int x) {
@@ -396,6 +398,33 @@ Schedule allgatherv_schedule(int world, std::span<const std::int64_t> bytes_per_
                     block_bytes(send_block), send_block, send_block + 1);
             push_op(s, rank, Kind::Recv, ring.recv_from, st, st, 0,
                     block_bytes(recv_block), recv_block, recv_block + 1);
+        }
+    }
+    return s;
+}
+
+Schedule telemetry_allgather_schedule(int world, std::int64_t stats_bytes) {
+    if (stats_bytes <= 0) {
+        throw std::invalid_argument("telemetry: stats_bytes must be positive");
+    }
+    if (world - 1 > comm::kTagTelemetryCount) {
+        throw std::invalid_argument(
+            "telemetry: world exceeds the reserved telemetry tag band");
+    }
+    Schedule s = make_schedule("telemetry.allgather", world, 0);
+    s.absolute_tags = true;
+    if (world == 1) return s;
+    const int steps = world - 1;
+    for (int rank = 0; rank < world; ++rank) {
+        const RingStep ring = ring_neighbors(rank, world);
+        for (int st = 0; st < steps; ++st) {
+            const int send_block = (rank - st + world) % world;
+            const int recv_block = (rank - st - 1 + world) % world;
+            const int tag = comm::kTagTelemetryBase + st;
+            push_op(s, rank, Kind::Send, ring.send_to, tag, st, 0, stats_bytes,
+                    send_block, send_block + 1);
+            push_op(s, rank, Kind::Recv, ring.recv_from, tag, st, 0, stats_bytes,
+                    recv_block, recv_block + 1);
         }
     }
     return s;

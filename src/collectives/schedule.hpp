@@ -174,6 +174,15 @@ Schedule allgather_schedule(int world, std::int64_t elems_per_rank,
 /// (a = block, b = a + 1), since element offsets depend on unknown sizes.
 Schedule allgatherv_schedule(int world, std::span<const std::int64_t> bytes_per_rank);
 
+/// Telemetry-plane stats allgather (obs/telemetry.hpp): a ring allgather of
+/// one fixed-size `stats_bytes` block per rank, tagged on the reserved
+/// absolute band comm::kTagTelemetryBase + round instead of a fresh-tag
+/// block. Keeping the exchange off the SPMD fresh-tag cursor means enabling
+/// telemetry cannot shift any other collective's tag block — telemetry
+/// on/off is bit-identical by construction. Op operands are BLOCK indices
+/// (a = contributing logical rank, b = a + 1), like allgatherv.
+Schedule telemetry_allgather_schedule(int world, std::int64_t stats_bytes);
+
 /// Flat gather of `bytes` per rank to `root`; root receives in ascending
 /// source order (a = contributing rank's block index).
 Schedule gather_schedule(int world, int root, std::int64_t bytes);

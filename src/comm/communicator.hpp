@@ -210,6 +210,13 @@ public:
         return v;
     }
 
+    /// Inbound mailbox depth of this rank (pending messages across every
+    /// tag) — the queue-pressure signal the telemetry plane folds into its
+    /// per-iteration RankIterStats.
+    std::size_t mailbox_depth() const {
+        return transport_.pending_with_tag_at_least(rank_, 0);
+    }
+
     /// Reserve `count` fresh tags for one collective invocation and return
     /// the first. All ranks execute the same SPMD sequence of collectives,
     /// so per-rank counters stay in lockstep and matching calls agree on the

@@ -29,8 +29,25 @@ enum UserTag : int {
     /// Recovery layer (comm/reliable_transport.hpp, comm/membership.hpp).
     kTagReliableData = 401,  // seq-numbered envelope around user traffic
     kTagHeartbeat = 402,     // liveness gossip; intentionally unreliable
+
+    /// Telemetry plane (obs/telemetry.hpp). The per-iteration stats
+    /// allgather uses one absolute tag per ring round, so the band
+    /// [kTagTelemetryBase, kTagTelemetryBase + kTagTelemetryCount) is
+    /// reserved — no other user tag may land inside it. A dedicated band
+    /// (rather than fresh tags) keeps the telemetry exchange OFF the SPMD
+    /// fresh-tag cursor, so enabling it cannot shift any collective's tag
+    /// block — telemetry on/off stays bit-identical by construction.
+    kTagTelemetryBase = 10'000,
 };
 
+/// Width of the telemetry tag band: one tag per ring round supports worlds
+/// up to kTagTelemetryCount + 1 ranks.
+inline constexpr int kTagTelemetryCount = 1024;
+
+static_assert(kTagTelemetryBase + kTagTelemetryCount < kFreshTagBase,
+              "telemetry band must stay below the fresh-tag base");
+static_assert(kTagHeartbeat < kTagTelemetryBase,
+              "point-to-point user tags must stay below the telemetry band");
 static_assert(kTagPsPush < kFreshTagBase && kTagPsPull < kFreshTagBase &&
                   kTagTestData < kFreshTagBase && kTagTestAux < kFreshTagBase &&
                   kTagTestValue < kFreshTagBase && kTagBenchP2p < kFreshTagBase &&

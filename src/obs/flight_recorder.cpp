@@ -1,0 +1,193 @@
+#include "obs/flight_recorder.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/trace.hpp"
+#include "util/log.hpp"
+
+namespace gtopk::obs {
+
+namespace {
+
+void write_json_string(std::ostream& os, const std::string& s) {
+    os << '"';
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            os << '\\' << c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            os << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xf]
+               << "0123456789abcdef"[c & 0xf];
+        } else {
+            os << c;
+        }
+    }
+    os << '"';
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(FlightRecorderConfig cfg) : cfg_(std::move(cfg)) {
+    if (cfg_.max_events == 0 || cfg_.max_snapshots == 0) {
+        throw std::invalid_argument("FlightRecorder: zero-capacity ring");
+    }
+}
+
+void FlightRecorder::note_event(const char* kind, int physical_rank,
+                                std::int64_t step, int epoch, std::string detail) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (events_.size() >= cfg_.max_events) {
+        events_.erase(events_.begin());
+        ++events_dropped_;
+    }
+    events_.push_back(
+        Event{kind, physical_rank, step, epoch, host_now_s(), std::move(detail)});
+}
+
+void FlightRecorder::note_membership(int epoch, std::vector<int> members,
+                                     int physical_rank, std::int64_t step) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    views_.push_back(
+        ViewChange{epoch, std::move(members), physical_rank, step, host_now_s()});
+}
+
+void FlightRecorder::add_snapshot(const IterSnapshot& snap) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (snapshots_.size() < cfg_.max_snapshots) {
+        snapshots_.push_back(snap);
+    } else {
+        snapshots_[snapshots_next_] = snap;
+    }
+    snapshots_next_ = (snapshots_next_ + 1) % cfg_.max_snapshots;
+}
+
+bool FlightRecorder::triggered() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return !events_.empty();
+}
+
+int FlightRecorder::dumps() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return dumps_;
+}
+
+std::size_t FlightRecorder::event_count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_.size();
+}
+
+std::size_t FlightRecorder::snapshot_count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return snapshots_.size();
+}
+
+void FlightRecorder::write_bundle(std::ostream& os, const std::string& reason,
+                                  const Tracer* tracer) const {
+    // Host stamps are steady-clock absolutes; shift so the first recorded
+    // event is t = 0, like the Chrome-trace export.
+    double h0 = std::numeric_limits<double>::max();
+    for (const Event& e : events_) h0 = std::min(h0, e.host_s);
+    for (const ViewChange& v : views_) h0 = std::min(h0, v.host_s);
+    if (h0 == std::numeric_limits<double>::max()) h0 = 0.0;
+
+    os.precision(std::numeric_limits<double>::max_digits10);
+    os << "{\"flight_recorder\":{\"reason\":";
+    write_json_string(os, reason);
+    os << ",\"dump_seq\":" << dumps_ << ",\"events_dropped\":" << events_dropped_;
+
+    os << ",\"events\":[";
+    bool first = true;
+    for (const Event& e : events_) {
+        if (!first) os << ",";
+        first = false;
+        os << "{\"kind\":";
+        write_json_string(os, e.kind);
+        os << ",\"rank\":" << e.physical_rank << ",\"step\":" << e.step
+           << ",\"epoch\":" << e.epoch << ",\"t_s\":" << (e.host_s - h0)
+           << ",\"detail\":";
+        write_json_string(os, e.detail);
+        os << "}";
+    }
+
+    os << "],\"membership\":[";
+    first = true;
+    for (const ViewChange& v : views_) {
+        if (!first) os << ",";
+        first = false;
+        os << "{\"epoch\":" << v.epoch << ",\"members\":[";
+        for (std::size_t i = 0; i < v.members.size(); ++i) {
+            if (i) os << ",";
+            os << v.members[i];
+        }
+        os << "],\"reporter\":" << v.physical_rank << ",\"step\":" << v.step
+           << ",\"t_s\":" << (v.host_s - h0) << "}";
+    }
+
+    os << "],\"snapshots\":[";
+    // Oldest first out of the ring.
+    const std::size_t n = snapshots_.size();
+    const std::size_t start = n < cfg_.max_snapshots ? 0 : snapshots_next_;
+    first = true;
+    for (std::size_t i = 0; i < n; ++i) {
+        const IterSnapshot& s = snapshots_[(start + i) % n];
+        if (!first) os << ",";
+        first = false;
+        write_snapshot_jsonl(os, s, nullptr, nullptr);
+        // write_snapshot_jsonl ends with a newline meant for JSONL streams;
+        // inside an array it is harmless whitespace.
+    }
+
+    os << "],\"spans\":{";
+    if (tracer) {
+        for (int r = 0; r < tracer->world_size(); ++r) {
+            if (r) os << ",";
+            os << "\"rank" << r << "\":{\"recorded\":" << tracer->recorded(r)
+               << ",\"dropped\":" << tracer->dropped(r) << ",\"last\":[";
+            std::vector<Span> spans = tracer->rank_spans(r);
+            const std::size_t keep =
+                std::min(spans.size(), cfg_.max_spans_per_rank);
+            bool sfirst = true;
+            for (std::size_t i = spans.size() - keep; i < spans.size(); ++i) {
+                const Span& s = spans[i];
+                if (!sfirst) os << ",";
+                sfirst = false;
+                os << "{\"name\":";
+                write_json_string(os, s.name);
+                os << ",\"cat\":";
+                write_json_string(os, s.category);
+                os << ",\"v_begin_s\":" << s.v_begin_s
+                   << ",\"v_end_s\":" << s.v_end_s
+                   << ",\"h_begin_s\":" << s.h_begin_s
+                   << ",\"h_end_s\":" << s.h_end_s
+                   << ",\"round\":" << s.attrs.round << "}";
+            }
+            os << "]}";
+        }
+    }
+    os << "},\"metrics\":";
+    if (tracer) {
+        tracer->metrics().write_json(os);
+    } else {
+        os << "null";
+    }
+    os << "}}\n";
+}
+
+bool FlightRecorder::dump(const std::string& reason, const Tracer* tracer) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::ofstream out(cfg_.path, std::ios::out | std::ios::trunc);
+    if (!out) {
+        util::log_error("flight recorder: cannot open ", cfg_.path,
+                        " for writing");
+        return false;
+    }
+    ++dumps_;
+    write_bundle(out, reason, tracer);
+    return static_cast<bool>(out);
+}
+
+}  // namespace gtopk::obs

@@ -1,0 +1,107 @@
+// Postmortem flight recorder: one forensic JSON bundle explaining a failure
+// after the fact.
+//
+// During the run, the recovery paths feed it cheap, mutex-guarded ring
+// buffers: fault/recovery events (CommError, regroup, rollback, kill),
+// membership-view transitions with their epochs, and the trailing telemetry
+// snapshots (via Telemetry::set_flight_recorder). dump() then writes the
+// whole state — plus the last-N spans per rank and the metrics registry
+// when a Tracer is supplied — as a single JSON file.
+//
+// Threading/epoch contract (DESIGN.md §13): note_* calls are safe from any
+// worker thread at any time (one mutex, bounded rings, no I/O). dump() with
+// a tracer reads EVERY rank's span ring, which is only race-free after the
+// cluster has joined — so the trainers dump from the driver thread once
+// run_on returns (or unwinds), never from inside a worker. Each dump
+// rewrites the file with everything known so far; dumps are therefore
+// idempotent and the last one wins. Events carry the membership epoch their
+// reporter observed, so a bundle orders overlapping regroups correctly.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/telemetry.hpp"
+
+namespace gtopk::obs {
+
+class Tracer;
+
+struct FlightRecorderConfig {
+    /// Bundle path written by dump().
+    std::string path = "flight_recorder.json";
+    std::size_t max_events = 512;
+    std::size_t max_snapshots = 64;
+    /// Trailing spans exported per rank (from the Tracer handed to dump).
+    std::size_t max_spans_per_rank = 256;
+};
+
+class FlightRecorder {
+public:
+    explicit FlightRecorder(FlightRecorderConfig cfg = {});
+
+    /// Record a fault/recovery event: kind is a short stable token
+    /// ("comm_error", "regroup", "rollback", "resync", "rank_killed"),
+    /// detail free-form human text.
+    void note_event(const char* kind, int physical_rank, std::int64_t step,
+                    int epoch, std::string detail);
+
+    /// Record an installed membership view.
+    void note_membership(int epoch, std::vector<int> members, int physical_rank,
+                         std::int64_t step);
+
+    /// Telemetry feed (lead rank, via Telemetry::set_flight_recorder).
+    void add_snapshot(const IterSnapshot& snap);
+
+    /// True once any event was noted — the trainers' "something went wrong,
+    /// write the bundle" trigger.
+    bool triggered() const;
+
+    /// Write the bundle. `tracer` (optional) contributes the last-N spans
+    /// of every rank plus the metrics dump — pass it only from the driver
+    /// thread after the cluster joined (see the threading contract above).
+    /// Returns false (and logs) when the file cannot be written.
+    bool dump(const std::string& reason, const Tracer* tracer = nullptr);
+
+    int dumps() const;
+    const std::string& path() const { return cfg_.path; }
+    const FlightRecorderConfig& config() const { return cfg_; }
+
+    /// Introspection for tests.
+    std::size_t event_count() const;
+    std::size_t snapshot_count() const;
+
+private:
+    struct Event {
+        std::string kind;
+        int physical_rank = -1;
+        std::int64_t step = -1;
+        int epoch = 0;
+        double host_s = 0.0;  // host_now_s() at note time
+        std::string detail;
+    };
+    struct ViewChange {
+        int epoch = 0;
+        std::vector<int> members;
+        int physical_rank = -1;  // reporter
+        std::int64_t step = -1;
+        double host_s = 0.0;
+    };
+
+    void write_bundle(std::ostream& os, const std::string& reason,
+                      const Tracer* tracer) const;
+
+    FlightRecorderConfig cfg_;
+    mutable std::mutex mutex_;
+    std::vector<Event> events_;          // bounded: oldest dropped
+    std::uint64_t events_dropped_ = 0;
+    std::vector<ViewChange> views_;      // full timeline (regroups are rare)
+    std::vector<IterSnapshot> snapshots_;  // ring of max_snapshots
+    std::size_t snapshots_next_ = 0;
+    int dumps_ = 0;
+};
+
+}  // namespace gtopk::obs

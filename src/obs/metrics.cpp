@@ -18,6 +18,38 @@ std::uint64_t Histogram::bucket_hi(int i) {
     return (std::uint64_t{1} << i) - 1;
 }
 
+double Histogram::quantile(double q) const {
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    // Snapshot the cells once; concurrent recorders may skew count vs
+    // buckets by an event or two, which the clamp below absorbs.
+    std::array<std::uint64_t, kBuckets> snap;
+    std::uint64_t total = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+        snap[static_cast<std::size_t>(b)] = bucket(b);
+        total += snap[static_cast<std::size_t>(b)];
+    }
+    if (total == 0) return 0.0;
+    // Rank of the quantile among `total` ordered samples (1-based).
+    const double target = q * static_cast<double>(total);
+    std::uint64_t seen = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+        const std::uint64_t n = snap[static_cast<std::size_t>(b)];
+        if (n == 0) continue;
+        if (static_cast<double>(seen + n) >= target) {
+            // Linear interpolation across the bucket's value range by the
+            // fraction of the bucket's mass below the target rank.
+            const double lo = static_cast<double>(bucket_lo(b));
+            const double hi = static_cast<double>(bucket_hi(b));
+            const double frac =
+                (target - static_cast<double>(seen)) / static_cast<double>(n);
+            return lo + (hi - lo) * (frac < 0.0 ? 0.0 : frac > 1.0 ? 1.0 : frac);
+        }
+        seen += n;
+    }
+    return static_cast<double>(bucket_hi(kBuckets - 1));
+}
+
 void Histogram::record(std::uint64_t v) {
     buckets_[static_cast<std::size_t>(bucket_of(v))].fetch_add(
         1, std::memory_order_relaxed);
@@ -111,7 +143,8 @@ void MetricsRegistry::write_json(std::ostream& os) const {
         first = false;
         write_json_string(os, name);
         os << ":{\"count\":" << h->count() << ",\"sum\":" << h->sum()
-           << ",\"buckets\":[";
+           << ",\"p50\":" << h->quantile(0.50) << ",\"p95\":" << h->quantile(0.95)
+           << ",\"p99\":" << h->quantile(0.99) << ",\"buckets\":[";
         bool first_bucket = true;
         for (int b = 0; b < Histogram::kBuckets; ++b) {
             const std::uint64_t n = h->bucket(b);
@@ -123,6 +156,21 @@ void MetricsRegistry::write_json(std::ostream& os) const {
         os << "]}";
     }
     os << "}}";
+}
+
+void MetricsRegistry::write_text(std::ostream& os) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [name, c] : counters_) {
+        os << name << " " << c->value() << "\n";
+    }
+    for (const auto& [name, g] : gauges_) {
+        os << name << " value=" << g->value() << " max=" << g->max() << "\n";
+    }
+    for (const auto& [name, h] : histograms_) {
+        os << name << " count=" << h->count() << " mean=" << h->mean()
+           << " p50=" << h->quantile(0.50) << " p95=" << h->quantile(0.95)
+           << " p99=" << h->quantile(0.99) << "\n";
+    }
 }
 
 }  // namespace gtopk::obs

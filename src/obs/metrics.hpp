@@ -39,6 +39,12 @@ public:
     }
     double value() const { return value_.load(std::memory_order_relaxed); }
     double max() const { return max_.load(std::memory_order_relaxed); }
+    /// Restart the running maximum from the current value — lets dashboards
+    /// track a per-window high-water mark instead of an all-time one.
+    void reset_max() {
+        max_.store(value_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+    }
 
 private:
     std::atomic<double> value_{0.0};
@@ -70,6 +76,11 @@ public:
     static std::uint64_t bucket_lo(int i);
     static std::uint64_t bucket_hi(int i);
 
+    /// Approximate q-quantile (q in [0, 1]) with linear interpolation
+    /// inside the winning log2 bucket; exact at bucket boundaries, within
+    /// a factor-of-two band otherwise. 0 when the histogram is empty.
+    double quantile(double q) const;
+
 private:
     std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
     std::atomic<std::uint64_t> count_{0};
@@ -90,8 +101,13 @@ public:
     const Histogram* find_histogram(const std::string& name) const;
 
     /// One JSON object: {"counters": {...}, "gauges": {...},
-    /// "histograms": {name: {count, sum, buckets: [[lo, count], ...]}}}.
+    /// "histograms": {name: {count, sum, p50, p95, p99,
+    /// buckets: [[lo, count], ...]}}}.
     void write_json(std::ostream& os) const;
+
+    /// Human-readable dump, one metric per line, sorted by name — the text
+    /// twin of write_json for terminals and log files.
+    void write_text(std::ostream& os) const;
 
 private:
     mutable std::mutex mutex_;

@@ -1,0 +1,129 @@
+#include "obs/straggler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace gtopk::obs {
+
+namespace {
+
+double median_inplace(std::vector<double>& v) {
+    if (v.empty()) return 0.0;
+    const std::size_t mid = v.size() / 2;
+    std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid),
+                     v.end());
+    const double hi = v[mid];
+    if (v.size() % 2 == 1) return hi;
+    const double lo =
+        *std::max_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid));
+    return 0.5 * (lo + hi);
+}
+
+/// Robust z: 0.6745 (x - median) / MAD, the consistency-scaled form that
+/// matches a standard z-score under normality. MAD == 0 (all ranks equal,
+/// common for virtual-time comm phases) scores everyone 0.
+double robust_z(double x, double median, double mad) {
+    if (mad <= 0.0) return 0.0;
+    return 0.6745 * (x - median) / mad;
+}
+
+}  // namespace
+
+StragglerDetector::StragglerDetector(int world_size, StragglerConfig cfg,
+                                     MetricsRegistry* metrics)
+    : cfg_(cfg), metrics_(metrics) {
+    if (world_size <= 0) {
+        throw std::invalid_argument("StragglerDetector: world_size must be > 0");
+    }
+    if (!(cfg_.ewma_alpha > 0.0) || cfg_.ewma_alpha > 1.0) {
+        throw std::invalid_argument("StragglerDetector: ewma_alpha in (0, 1]");
+    }
+    ranks_.resize(static_cast<std::size_t>(world_size));
+}
+
+void StragglerDetector::set_callback(std::function<void(const StragglerEvent&)> cb) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    callback_ = std::move(cb);
+}
+
+void StragglerDetector::score_phase(PhaseState& ps, double z, int physical_rank,
+                                    std::int64_t step, const char* phase) {
+    if (!ps.seen) {
+        ps.ewma_z = z;
+        ps.seen = true;
+    } else {
+        ps.ewma_z = cfg_.ewma_alpha * z + (1.0 - cfg_.ewma_alpha) * ps.ewma_z;
+    }
+    if (std::abs(ps.ewma_z) >= cfg_.z_threshold) {
+        ++ps.over;
+        if (!ps.raised && ps.over >= cfg_.patience) {
+            ps.raised = true;
+            const StragglerEvent ev{physical_rank, step, phase, ps.ewma_z};
+            events_.push_back(ev);
+            if (metrics_) metrics_->counter("obs.straggler.events").add(1);
+            if (callback_) callback_(ev);
+        }
+    } else {
+        ps.over = 0;
+        ps.raised = false;  // excursion over; re-arm
+    }
+    if (metrics_) {
+        metrics_
+            ->gauge("obs.straggler." + std::string(phase) + "_z.rank" +
+                    std::to_string(physical_rank))
+            .set(ps.ewma_z);
+    }
+}
+
+void StragglerDetector::observe(const IterSnapshot& snap) {
+    if (snap.world() < cfg_.min_world) return;
+    std::vector<double> compute, comm, scratch;
+    compute.reserve(snap.ranks.size());
+    comm.reserve(snap.ranks.size());
+    for (const RankIterStats& r : snap.ranks) {
+        compute.push_back(r.compute_host_s);
+        comm.push_back(r.comm_virtual_s);
+    }
+    const auto med_mad = [&scratch](const std::vector<double>& xs) {
+        scratch = xs;
+        const double med = median_inplace(scratch);
+        for (double& x : scratch) x = std::abs(x - med);
+        const double mad = median_inplace(scratch);
+        return std::pair<double, double>(med, mad);
+    };
+    const auto [compute_med, compute_mad] = med_mad(compute);
+    const auto [comm_med, comm_mad] = med_mad(comm);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i < snap.ranks.size(); ++i) {
+        const RankIterStats& r = snap.ranks[i];
+        if (r.physical_rank < 0 ||
+            r.physical_rank >= static_cast<int>(ranks_.size())) {
+            continue;
+        }
+        RankState& rs = ranks_[static_cast<std::size_t>(r.physical_rank)];
+        score_phase(rs.compute, robust_z(compute[i], compute_med, compute_mad),
+                    r.physical_rank, snap.step, "compute");
+        score_phase(rs.comm, robust_z(comm[i], comm_med, comm_mad),
+                    r.physical_rank, snap.step, "comm");
+    }
+}
+
+double StragglerDetector::compute_z(int physical_rank) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return ranks_.at(static_cast<std::size_t>(physical_rank)).compute.ewma_z;
+}
+
+double StragglerDetector::comm_z(int physical_rank) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return ranks_.at(static_cast<std::size_t>(physical_rank)).comm.ewma_z;
+}
+
+std::vector<StragglerEvent> StragglerDetector::events() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_;
+}
+
+}  // namespace gtopk::obs

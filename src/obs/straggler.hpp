@@ -1,0 +1,92 @@
+// Straggler / imbalance detection over the telemetry snapshot stream.
+//
+// Per iteration, each rank's compute (host) and comm (virtual) phase times
+// are scored against the cluster with a robust z-score — median/MAD across
+// the snapshot's ranks, so one slow rank cannot drag the baseline toward
+// itself the way a mean/stddev score would. The per-iteration scores are
+// then smoothed with a per-physical-rank EWMA; a rank whose smoothed score
+// stays above the threshold for `patience` consecutive snapshots raises a
+// StragglerEvent through the callback hook (the signal ROADMAP's elastic
+// autoscaler consumes) and is re-armed once it drops back below.
+//
+// Gauges (when a registry is attached): obs.straggler.compute_z.rank<P> and
+// obs.straggler.comm_z.rank<P> hold the latest smoothed scores, and the
+// obs.straggler.events counter totals raised events.
+//
+// Thread contract: observe() is serialized by the Telemetry sink mutex; the
+// internal mutex additionally makes the accessors safe mid-run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/telemetry.hpp"
+
+namespace gtopk::obs {
+
+struct StragglerConfig {
+    /// EWMA smoothing factor for the per-rank z-scores (1 = no smoothing).
+    double ewma_alpha = 0.25;
+    /// Smoothed |z| above this marks a rank as suspect.
+    double z_threshold = 3.0;
+    /// Consecutive suspect snapshots before an event fires.
+    int patience = 5;
+    /// Below this world size a cross-rank z-score is meaningless; the
+    /// detector records nothing (scores stay 0).
+    int min_world = 3;
+};
+
+struct StragglerEvent {
+    int physical_rank = -1;
+    std::int64_t step = -1;
+    /// "compute" or "comm".
+    const char* phase = "";
+    /// The smoothed z-score at detection time.
+    double z = 0.0;
+};
+
+class StragglerDetector {
+public:
+    explicit StragglerDetector(int world_size, StragglerConfig cfg = {},
+                               MetricsRegistry* metrics = nullptr);
+
+    /// Invoked when a rank crosses the sustained-threshold criterion (at
+    /// most once per excursion per phase). Runs under the detector's mutex;
+    /// keep it cheap and do not call back into the detector.
+    void set_callback(std::function<void(const StragglerEvent&)> cb);
+
+    void observe(const IterSnapshot& snap);
+
+    /// Latest smoothed z-scores by PHYSICAL rank (0 until min_world data).
+    double compute_z(int physical_rank) const;
+    double comm_z(int physical_rank) const;
+    std::vector<StragglerEvent> events() const;
+    const StragglerConfig& config() const { return cfg_; }
+
+private:
+    struct PhaseState {
+        double ewma_z = 0.0;
+        int over = 0;        // consecutive snapshots above threshold
+        bool raised = false; // event already fired for this excursion
+        bool seen = false;   // any observation yet (EWMA seeding)
+    };
+    struct RankState {
+        PhaseState compute;
+        PhaseState comm;
+    };
+
+    void score_phase(PhaseState& ps, double z, int physical_rank,
+                     std::int64_t step, const char* phase);
+
+    StragglerConfig cfg_;
+    MetricsRegistry* metrics_;
+    mutable std::mutex mutex_;
+    std::vector<RankState> ranks_;  // by physical rank
+    std::vector<StragglerEvent> events_;
+    std::function<void(const StragglerEvent&)> callback_;
+};
+
+}  // namespace gtopk::obs

@@ -147,6 +147,11 @@ void Tracer::write_chrome_trace(std::ostream& os) const {
         write_meta(os, "process_name", r, 0, "rank " + std::to_string(r), first);
         write_meta(os, "thread_name", r, 0, "virtual time", first);
         write_meta(os, "thread_name", r, 1, "host time", first);
+        // Ring-buffer accounting so a truncated timeline is detectable from
+        // the trace alone: dropped > 0 means the oldest spans were evicted.
+        os << ",\n{\"name\":\"span_buffer\",\"ph\":\"M\",\"pid\":" << r
+           << ",\"tid\":0,\"args\":{\"recorded\":" << recorded(r)
+           << ",\"dropped\":" << dropped(r) << "}}";
         for (const Span& s : rank_spans(r)) {
             write_event(os, s, /*tid=*/0, s.v_begin_s * 1e6,
                         (s.v_end_s - s.v_begin_s) * 1e6, first);

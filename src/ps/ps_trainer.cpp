@@ -5,6 +5,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/telemetry.hpp"
 #include "ps/ps_schedule.hpp"
 #include "sparse/topk_merge.hpp"
 #include "sparse/topk_select.hpp"
@@ -98,8 +99,49 @@ train::TrainResult train_parameter_server(int workers, comm::NetworkModel net,
             const EpochPlan plan = plan_epoch(config, epoch, m);
             double epoch_loss = 0.0;
 
+            // Attribution join key for the star exchange: dense payloads are
+            // m floats each way, sparse ones a fixed-k wire block.
+            obs::CollectiveSpec spec;
+            spec.proto = "ps.iteration";
+            spec.m = static_cast<std::int64_t>(m);
+            if (dense_agg) {
+                spec.elems = static_cast<std::int64_t>(m);
+                spec.elem_bytes = 4;
+            } else {
+                spec.elems =
+                    static_cast<std::int64_t>(sparse::wire_size_bytes(plan.k));
+                spec.elem_bytes = 1;
+                spec.k = static_cast<std::int64_t>(plan.k);
+            }
+            auto exchange_telemetry = [&](double compute_s, double select_s,
+                                          double comm_s, double update_s,
+                                          std::int64_t nnz,
+                                          const comm::CommStats& pre) {
+                if (!config.telemetry) return;
+                obs::RankIterStats st;
+                st.step = step;
+                st.compute_host_s = compute_s;
+                st.compress_host_s = select_s;
+                st.comm_virtual_s = comm_s;
+                st.update_host_s = update_s;
+                st.nnz = nnz;
+                const comm::CommStats post = comm.stats();
+                st.wire_bytes_sent =
+                    static_cast<std::int64_t>(post.bytes_sent - pre.bytes_sent);
+                st.wire_bytes_received = static_cast<std::int64_t>(
+                    post.bytes_received - pre.bytes_received);
+                st.messages_sent = static_cast<std::int64_t>(
+                    post.messages_sent - pre.messages_sent);
+                st.messages_received = static_cast<std::int64_t>(
+                    post.messages_received - pre.messages_received);
+                st.mailbox_depth = static_cast<std::int64_t>(comm.mailbox_depth());
+                config.telemetry->exchange(comm, st, &spec);
+            };
+
             for (int it = 0; it < config.iters_per_epoch; ++it, ++step) {
                 if (is_server) {
+                    const comm::CommStats server_pre = comm.stats();
+                    const double sv0 = comm.clock().now_s();
                     // ---- server: receive, aggregate, answer ----
                     // Phase 0 ops are the per-worker pushes; the first
                     // phase-1 op marks aggregation complete.
@@ -140,6 +182,8 @@ train::TrainResult train_parameter_server(int workers, comm::NetworkModel net,
                             }
                         }
                     }
+                    exchange_telemetry(0.0, 0.0, comm.clock().now_s() - sv0,
+                                       0.0, -1, server_pre);
                     continue;
                 }
 
@@ -162,6 +206,7 @@ train::TrainResult train_parameter_server(int workers, comm::NetworkModel net,
                 }
                 const double t2 = now_host_s();
 
+                const comm::CommStats worker_pre = comm.stats();
                 const double v0 = comm.clock().now_s();
                 for (const CommOp& op : my_ops) {
                     if (config.aggregation == PsAggregation::Dense) {
@@ -201,12 +246,18 @@ train::TrainResult train_parameter_server(int workers, comm::NetworkModel net,
                 }
                 const double v1 = comm.clock().now_s();
 
+                const double u0 = now_host_s();
                 std::vector<float> delta(m);
                 for (std::size_t i = 0; i < m; ++i) {
                     velocity[i] = config.momentum * velocity[i] + update[i];
                     delta[i] = -plan.lr * velocity[i];
                 }
                 model->add_flat_delta(delta);
+                const double u1 = now_host_s();
+                exchange_telemetry(
+                    t1 - t0, t2 - t1, v1 - v0, u1 - u0,
+                    dense_agg ? -1 : static_cast<std::int64_t>(local.nnz()),
+                    worker_pre);
 
                 if (wid == 0) {
                     total_compute += t1 - t0;

@@ -42,6 +42,14 @@ struct PsTrainConfig {
     std::vector<double> warmup_densities;
     float warmup_lr_scale = 0.25f;
     std::uint64_t model_seed = 42;
+
+    /// Cluster telemetry plane (obs/telemetry.hpp), same contract as
+    /// train::TrainConfig::telemetry: every rank — the server included —
+    /// joins the per-iteration stats allgather. The server folds zeroed
+    /// phase timings (it has no compute/select/update phases) but real wire
+    /// deltas, so gtopktop shows the star topology's hub asymmetry.
+    /// Must cover workers + 1 ranks and outlive train_parameter_server.
+    obs::Telemetry* telemetry = nullptr;
 };
 
 /// Train with `workers` workers (world size is workers + 1: rank 0 is the

@@ -8,6 +8,8 @@
 #include <stdexcept>
 
 #include "collectives/collectives.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/telemetry.hpp"
 #include "sparse/topk_merge.hpp"
 #include "sparse/topk_select.hpp"
 #include "train/checkpoint.hpp"
@@ -129,6 +131,9 @@ TrainResult train_distributed(int world_size, comm::NetworkModel net,
         const int rank = comm.physical_rank();
         RankOutput& out = outputs[static_cast<std::size_t>(rank)];
         const bool elastic = config.membership != nullptr;
+        obs::Telemetry* const telem = config.telemetry;
+        obs::FlightRecorder* const frec =
+            telem ? telem->flight_recorder() : nullptr;
         if (config.recv_deadline_clock == comm::DeadlineClock::Virtual) {
             comm.set_recv_deadline(comm::DeadlineClock::Virtual,
                                    config.recv_timeout_s);
@@ -182,6 +187,9 @@ TrainResult train_distributed(int world_size, comm::NetworkModel net,
         while (step < total_steps) {
             try {
                 if (need_resync) {
+                    obs::ScopedSpan rollback_span(config.tracer, comm.clock(),
+                                                  rank, "rollback", "train");
+                    rollback_span.attrs().round = static_cast<int>(step);
                     // Post-regroup rollback. Survivors can straddle a
                     // checkpoint cadence boundary (synchronous SGD keeps
                     // them within one step of each other), so first agree
@@ -202,6 +210,10 @@ TrainResult train_distributed(int world_size, comm::NetworkModel net,
                     // replay could pick a stale snapshot AHEAD of current
                     // progress as its allgather-min rollback target.
                     ckpts.truncate_after(target);
+                    rollback_span.finish();
+                    obs::ScopedSpan resync_span(config.tracer, comm.clock(),
+                                                rank, "resync", "train");
+                    resync_span.attrs().round = static_cast<int>(target);
                     // Resync replica state by binomial broadcast from the
                     // lowest surviving rank (logical rank 0 of the new
                     // view). params are replica-identical at a step, so
@@ -232,6 +244,11 @@ TrainResult train_distributed(int world_size, comm::NetworkModel net,
                     residual = ck->residual;
                     step = target;
                     need_resync = false;
+                    if (frec) {
+                        frec->note_event("rollback", rank, target, comm.epoch(),
+                                         "resumed from checkpoint on world of " +
+                                             std::to_string(comm.size()));
+                    }
                     util::log_info("rank " + std::to_string(rank) +
                                    ": resumed from checkpoint step " +
                                    std::to_string(target) + " on world of " +
@@ -373,6 +390,10 @@ TrainResult train_distributed(int world_size, comm::NetworkModel net,
                 const double t2 = now_host_s();
 
                 // --- communication phase (virtual-timed) ---
+                // CommStats snapped tightly around the aggregation so the
+                // telemetry wire deltas exclude epoch-boundary loss
+                // allgathers and the telemetry exchange itself.
+                const comm::CommStats agg_pre = comm.stats();
                 const double v0 = comm.clock().now_s();
                 obs::ScopedSpan agg_span(config.tracer, comm.clock(), rank,
                                          "aggregate", "train");
@@ -442,11 +463,13 @@ TrainResult train_distributed(int world_size, comm::NetworkModel net,
                 }
                 agg_span.finish();
                 const double v1 = comm.clock().now_s();
+                const comm::CommStats agg_post = comm.stats();
 
                 // --- update phase. PostAggregation: momentum SGD on the
                 // aggregated mean (identical on every rank). With DGC-style
                 // LocalCorrection the momentum already happened upstream,
                 // so the aggregate is applied as plain SGD.
+                const double u0 = now_host_s();
                 obs::ScopedSpan update_span(config.tracer, comm.clock(), rank,
                                             "update", "train");
                 update_span.attrs().round = static_cast<int>(step);
@@ -460,11 +483,91 @@ TrainResult train_distributed(int world_size, comm::NetworkModel net,
                     }
                 }
                 model->add_flat_delta(delta);
+                update_span.finish();
+                const double u1 = now_host_s();
 
                 total_compute += t1 - t0;
                 total_compress += t2 - t1;
                 total_comm += v1 - v0;
                 ++total_iters;
+
+                // --- telemetry exchange (absolute-tag band, so the SPMD
+                // fresh-tag cursor and hence the trajectory are untouched).
+                if (telem) {
+                    obs::RankIterStats st;
+                    st.step = step;
+                    st.regroups = out.regroups;
+                    st.compute_host_s = t1 - t0;
+                    st.compress_host_s = t2 - t1;
+                    st.comm_virtual_s = v1 - v0;
+                    st.update_host_s = u1 - u0;
+                    st.wire_bytes_sent = static_cast<std::int64_t>(
+                        agg_post.bytes_sent - agg_pre.bytes_sent);
+                    st.wire_bytes_received = static_cast<std::int64_t>(
+                        agg_post.bytes_received - agg_pre.bytes_received);
+                    st.messages_sent = static_cast<std::int64_t>(
+                        agg_post.messages_sent - agg_pre.messages_sent);
+                    st.messages_received = static_cast<std::int64_t>(
+                        agg_post.messages_received - agg_pre.messages_received);
+                    if (config.algorithm == Algorithm::LayerwiseGtopkSsgd) {
+                        st.nnz = 0;
+                        for (const SparseGradient& sl : seg_locals) {
+                            st.nnz += static_cast<std::int64_t>(sl.nnz());
+                        }
+                    } else if (config.algorithm != Algorithm::DenseSsgd) {
+                        st.nnz = static_cast<std::int64_t>(local.nnz());
+                    }
+                    st.mailbox_depth =
+                        static_cast<std::int64_t>(comm.mailbox_depth());
+                    if (config.tracer) {
+                        obs::fold_fault_counters(config.tracer->metrics(), st);
+                    }
+
+                    // Attribution join key for this iteration's aggregation
+                    // collective. Sparse wire blocks are 16 header bytes +
+                    // 8 per entry; only ExactTopk has a fixed k to predict.
+                    obs::CollectiveSpec spec;
+                    const obs::CollectiveSpec* specp = nullptr;
+                    const std::int64_t mi = static_cast<std::int64_t>(m);
+                    const std::int64_t ki = static_cast<std::int64_t>(k);
+                    const bool exact =
+                        config.selection == sparse::SelectionPolicy::ExactTopk;
+                    switch (config.algorithm) {
+                        case Algorithm::DenseSsgd:
+                            spec = {"allreduce.ring", mi, 4, mi, 0};
+                            specp = &spec;
+                            break;
+                        case Algorithm::TopkSsgd:
+                            spec = {"allgather.recursive_doubling",
+                                    16 + 8 * ki, 1, mi, ki};
+                            specp = &spec;
+                            break;
+                        case Algorithm::GtopkSsgd:
+                        case Algorithm::SelectKFromKP:
+                            if (exact) {
+                                spec = {"gtopk.allreduce", 16 + 8 * ki, 1, mi,
+                                        ki};
+                                specp = &spec;
+                            }
+                            break;
+                        case Algorithm::NaiveGtopkSsgd:
+                            if (exact) {
+                                // Variable-byte wire: counts are predicted,
+                                // bytes/time are not.
+                                spec = {"allgatherv.ring", 16 + 8 * ki, 1, mi,
+                                        ki};
+                                specp = &spec;
+                            }
+                            break;
+                        case Algorithm::LayerwiseGtopkSsgd:
+                            break;  // one collective per tensor; no single key
+                    }
+
+                    obs::ScopedSpan telem_span(config.tracer, comm.clock(),
+                                               rank, "telemetry", "train");
+                    telem_span.attrs().round = static_cast<int>(step);
+                    telem->exchange(comm, st, specp);
+                }
 
                 // --- end-of-epoch boundary ---
                 if ((step + 1) % config.iters_per_epoch == 0) {
@@ -519,13 +622,23 @@ TrainResult train_distributed(int world_size, comm::NetworkModel net,
                 }
                 ++step;
             } catch (const comm::CommError& err) {
-                if (!elastic) throw;  // fail-fast: abort the whole run
+                if (!elastic) {
+                    if (frec) {
+                        frec->note_event("comm_error", rank, step, comm.epoch(),
+                                         err.what());
+                    }
+                    throw;  // fail-fast: abort the whole run
+                }
                 if (err.kind() == comm::CommErrorKind::RankKilled ||
                     !config.membership->alive(rank)) {
                     // This rank is the casualty (a kill landing mid-wait
                     // surfaces as RecvTimeout, hence the alive() check).
                     // Exit CLEANLY: throwing would shut the cluster down
                     // under the survivors while they regroup.
+                    if (frec) {
+                        frec->note_event("rank_killed", rank, step, comm.epoch(),
+                                         err.what());
+                    }
                     config.membership->leave(rank);
                     killed = true;
                     util::log_info("rank " + std::to_string(rank) +
@@ -535,10 +648,24 @@ TrainResult train_distributed(int world_size, comm::NetworkModel net,
                 // A peer stopped responding: regroup into the survivor
                 // world, install the new epoch-stamped view, then roll back
                 // and resync on the next loop entry.
+                if (frec) {
+                    frec->note_event("comm_error", rank, step, comm.epoch(),
+                                     err.what());
+                }
+                obs::ScopedSpan regroup_span(config.tracer, comm.clock(), rank,
+                                             "regroup", "train");
+                regroup_span.attrs().round = static_cast<int>(step);
                 const comm::MembershipView view = config.membership->regroup(rank);
                 comm.set_view(view.members, view.epoch);
+                regroup_span.finish();
                 ++out.regroups;
                 need_resync = true;
+                if (frec) {
+                    frec->note_membership(view.epoch, view.members, rank, step);
+                    frec->note_event("regroup", rank, step, view.epoch,
+                                     "survivor world of " +
+                                         std::to_string(view.members.size()));
+                }
                 util::log_info("rank " + std::to_string(rank) +
                                ": regrouped into epoch " + std::to_string(view.epoch) +
                                " with " + std::to_string(view.members.size()) +
@@ -559,17 +686,29 @@ TrainResult train_distributed(int world_size, comm::NetworkModel net,
         final_stats[static_cast<std::size_t>(rank)] = comm.stats();
     };
 
-    if (config.transport) {
-        if (config.transport->world_size() != world_size) {
-            throw std::invalid_argument(
-                "train_distributed: transport world_size mismatch");
+    // The flight recorder's span-reading dump must come from this driver
+    // thread after the cluster joined (TSan contract in flight_recorder.hpp):
+    // on an aborted run as the exception unwinds, on a survived run once all
+    // workers returned.
+    obs::FlightRecorder* const frec =
+        config.telemetry ? config.telemetry->flight_recorder() : nullptr;
+    try {
+        if (config.transport) {
+            if (config.transport->world_size() != world_size) {
+                throw std::invalid_argument(
+                    "train_distributed: transport world_size mismatch");
+            }
+            comm::Cluster::run_on(*config.transport, net, worker, config.tracer,
+                                  config.recv_timeout_s);
+        } else {
+            comm::Cluster::run(world_size, net, worker, config.tracer,
+                               config.recv_timeout_s);
         }
-        comm::Cluster::run_on(*config.transport, net, worker, config.tracer,
-                              config.recv_timeout_s);
-    } else {
-        comm::Cluster::run(world_size, net, worker, config.tracer,
-                           config.recv_timeout_s);
+    } catch (...) {
+        if (frec) frec->dump("aborted", config.tracer);
+        throw;
     }
+    if (frec && frec->triggered()) frec->dump("recovered", config.tracer);
 
     // The lead replica is the lowest rank that FINISHED training — physical
     // rank 0 unless an elastic run lost it.

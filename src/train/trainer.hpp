@@ -28,6 +28,10 @@
 #include "quant/quantizer.hpp"
 #include "sparse/selection_policy.hpp"
 
+namespace gtopk::obs {
+class Telemetry;
+}
+
 namespace gtopk::train {
 
 enum class Algorithm {
@@ -130,6 +134,16 @@ struct TrainConfig {
     /// snapshot is always taken at step 0 so a rollback target exists from
     /// the first iteration; <= 0 keeps only that one.
     int checkpoint_every = 0;
+
+    /// Cluster telemetry plane (obs/telemetry.hpp): non-null makes every
+    /// rank fold its iteration into a RankIterStats and run the global
+    /// stats allgather each step, driving any attached attribution /
+    /// straggler / flight-recorder consumers. The exchange rides the
+    /// reserved absolute-tag band, so the training trajectory is
+    /// bit-identical with telemetry on or off. Must cover world_size ranks
+    /// and outlive train_distributed. nullptr (default): disabled,
+    /// branch-on-null only.
+    obs::Telemetry* telemetry = nullptr;
 };
 
 /// Builds one model replica; called once per rank with the same seed so all

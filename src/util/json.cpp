@@ -1,0 +1,259 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdint>
+
+namespace gtopk::util {
+
+namespace {
+
+struct Parser {
+    std::string_view text;
+    std::size_t pos = 0;
+
+    [[noreturn]] void fail(const std::string& what) const {
+        throw JsonError(what, pos);
+    }
+
+    void skip_ws() {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+                text[pos] == '\r')) {
+            ++pos;
+        }
+    }
+
+    char peek() {
+        if (pos >= text.size()) fail("unexpected end of input");
+        return text[pos];
+    }
+
+    void expect(char c) {
+        if (peek() != c) fail(std::string("expected '") + c + "'");
+        ++pos;
+    }
+
+    bool consume_literal(std::string_view lit) {
+        if (text.substr(pos, lit.size()) != lit) return false;
+        pos += lit.size();
+        return true;
+    }
+
+    std::string parse_string() {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos >= text.size()) fail("unterminated string");
+            const char c = text[pos++];
+            if (c == '"') return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos >= text.size()) fail("unterminated escape");
+            const char e = text[pos++];
+            switch (e) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'n': out += '\n'; break;
+                case 'r': out += '\r'; break;
+                case 't': out += '\t'; break;
+                case 'u': {
+                    if (pos + 4 > text.size()) fail("truncated \\u escape");
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = text[pos++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9') {
+                            code |= static_cast<unsigned>(h - '0');
+                        } else if (h >= 'a' && h <= 'f') {
+                            code |= static_cast<unsigned>(h - 'a' + 10);
+                        } else if (h >= 'A' && h <= 'F') {
+                            code |= static_cast<unsigned>(h - 'A' + 10);
+                        } else {
+                            fail("bad \\u escape");
+                        }
+                    }
+                    // Our writers only emit \u00XX control escapes; encode
+                    // the general case as UTF-8 anyway.
+                    if (code < 0x80) {
+                        out += static_cast<char>(code);
+                    } else if (code < 0x800) {
+                        out += static_cast<char>(0xC0 | (code >> 6));
+                        out += static_cast<char>(0x80 | (code & 0x3F));
+                    } else {
+                        out += static_cast<char>(0xE0 | (code >> 12));
+                        out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+                        out += static_cast<char>(0x80 | (code & 0x3F));
+                    }
+                    break;
+                }
+                default: fail("unknown escape");
+            }
+        }
+    }
+
+    JsonValue parse_value();
+};
+
+}  // namespace
+
+struct JsonValue::Builder {
+    static JsonValue null() { return JsonValue{}; }
+    static JsonValue boolean(bool b) {
+        JsonValue v;
+        v.type_ = Type::Bool;
+        v.bool_ = b;
+        return v;
+    }
+    static JsonValue number(double d) {
+        JsonValue v;
+        v.type_ = Type::Number;
+        v.number_ = d;
+        return v;
+    }
+    static JsonValue string(std::string s) {
+        JsonValue v;
+        v.type_ = Type::String;
+        v.string_ = std::move(s);
+        return v;
+    }
+    static JsonValue array(Array a) {
+        JsonValue v;
+        v.type_ = Type::Array;
+        v.array_ = std::make_shared<Array>(std::move(a));
+        return v;
+    }
+    static JsonValue object(Object o) {
+        JsonValue v;
+        v.type_ = Type::Object;
+        v.object_ = std::make_shared<Object>(std::move(o));
+        return v;
+    }
+};
+
+namespace {
+
+JsonValue Parser::parse_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') {
+        ++pos;
+        JsonValue::Object obj;
+        skip_ws();
+        if (peek() == '}') {
+            ++pos;
+            return JsonValue::Builder::object(std::move(obj));
+        }
+        while (true) {
+            skip_ws();
+            std::string key = parse_string();
+            skip_ws();
+            expect(':');
+            obj.emplace(std::move(key), parse_value());
+            skip_ws();
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            expect('}');
+            return JsonValue::Builder::object(std::move(obj));
+        }
+    }
+    if (c == '[') {
+        ++pos;
+        JsonValue::Array arr;
+        skip_ws();
+        if (peek() == ']') {
+            ++pos;
+            return JsonValue::Builder::array(std::move(arr));
+        }
+        while (true) {
+            arr.push_back(parse_value());
+            skip_ws();
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            expect(']');
+            return JsonValue::Builder::array(std::move(arr));
+        }
+    }
+    if (c == '"') return JsonValue::Builder::string(parse_string());
+    if (consume_literal("null")) return JsonValue::Builder::null();
+    if (consume_literal("true")) return JsonValue::Builder::boolean(true);
+    if (consume_literal("false")) return JsonValue::Builder::boolean(false);
+    if (c == '-' || (c >= '0' && c <= '9')) {
+        const std::size_t start = pos;
+        while (pos < text.size() &&
+               (text[pos] == '-' || text[pos] == '+' || text[pos] == '.' ||
+                text[pos] == 'e' || text[pos] == 'E' ||
+                (text[pos] >= '0' && text[pos] <= '9'))) {
+            ++pos;
+        }
+        double d = 0.0;
+        const auto [end, ec] =
+            std::from_chars(text.data() + start, text.data() + pos, d);
+        if (ec != std::errc{} || end != text.data() + pos) fail("bad number");
+        return JsonValue::Builder::number(d);
+    }
+    fail("unexpected character");
+}
+
+}  // namespace
+
+JsonValue JsonValue::parse(std::string_view text) {
+    Parser p{text};
+    JsonValue v = p.parse_value();
+    p.skip_ws();
+    if (p.pos != text.size()) {
+        throw JsonError("trailing content after document", p.pos);
+    }
+    return v;
+}
+
+bool JsonValue::as_bool() const {
+    if (type_ != Type::Bool) throw JsonError("not a bool", 0);
+    return bool_;
+}
+
+double JsonValue::as_number() const {
+    if (type_ != Type::Number) throw JsonError("not a number", 0);
+    return number_;
+}
+
+std::int64_t JsonValue::as_int() const {
+    return static_cast<std::int64_t>(as_number());
+}
+
+const std::string& JsonValue::as_string() const {
+    if (type_ != Type::String) throw JsonError("not a string", 0);
+    return string_;
+}
+
+const JsonValue::Array& JsonValue::as_array() const {
+    if (type_ != Type::Array) throw JsonError("not an array", 0);
+    return *array_;
+}
+
+const JsonValue::Object& JsonValue::as_object() const {
+    if (type_ != Type::Object) throw JsonError("not an object", 0);
+    return *object_;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+    if (type_ != Type::Object) return nullptr;
+    const auto it = object_->find(key);
+    return it == object_->end() ? nullptr : &it->second;
+}
+
+double JsonValue::number_or(const std::string& key, double dflt) const {
+    const JsonValue* v = find(key);
+    return v && v->is_number() ? v->as_number() : dflt;
+}
+
+}  // namespace gtopk::util

@@ -187,6 +187,63 @@ TEST(MetricsTest, HistogramLog2Buckets) {
     EXPECT_NEAR(h.mean(), 17.0 / 6.0, 1e-12);
 }
 
+TEST(MetricsTest, HistogramQuantiles) {
+    Histogram empty;
+    EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+
+    // 90 samples of 1 (an exact single-value bucket), 10 large outliers.
+    Histogram h;
+    for (int i = 0; i < 90; ++i) h.record(1);
+    for (int i = 0; i < 10; ++i) h.record(1u << 20);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.9), 1.0);
+    // p95 lands inside the outlier bucket, interpolated within its range.
+    const double p95 = h.quantile(0.95);
+    EXPECT_GE(p95, static_cast<double>(Histogram::bucket_lo(21)));
+    EXPECT_LE(p95, static_cast<double>(Histogram::bucket_hi(21)));
+    // Monotone in q, clamped at the ends.
+    EXPECT_LE(h.quantile(0.50), h.quantile(0.95));
+    EXPECT_LE(h.quantile(0.95), h.quantile(0.99));
+    EXPECT_DOUBLE_EQ(h.quantile(-1.0), h.quantile(0.0));
+    EXPECT_LE(h.quantile(2.0), static_cast<double>(Histogram::bucket_hi(21)));
+}
+
+TEST(MetricsTest, GaugeResetMaxRearmsTheHighWaterMark) {
+    gtopk::obs::MetricsRegistry reg;
+    auto& g = reg.gauge("depth");
+    g.set(5.0);
+    g.set(2.0);
+    EXPECT_DOUBLE_EQ(g.max(), 5.0);
+    g.reset_max();
+    // The mark restarts from the CURRENT value, not zero.
+    EXPECT_DOUBLE_EQ(g.max(), 2.0);
+    g.set(3.0);
+    EXPECT_DOUBLE_EQ(g.max(), 3.0);
+}
+
+TEST(MetricsTest, WriteTextAndJsonCarryQuantiles) {
+    gtopk::obs::MetricsRegistry reg;
+    reg.counter("msgs").add(7);
+    reg.gauge("depth").set(2.5);
+    auto& h = reg.histogram("bytes");
+    for (int i = 0; i < 10; ++i) h.record(64);
+
+    std::ostringstream text;
+    reg.write_text(text);
+    const std::string t = text.str();
+    EXPECT_NE(t.find("msgs 7"), std::string::npos) << t;
+    EXPECT_NE(t.find("depth"), std::string::npos);
+    EXPECT_NE(t.find("p95="), std::string::npos);
+
+    std::ostringstream json;
+    reg.write_json(json);
+    const std::string j = json.str();
+    EXPECT_TRUE(JsonValidator(j).valid()) << j;
+    EXPECT_NE(j.find("\"p50\""), std::string::npos);
+    EXPECT_NE(j.find("\"p95\""), std::string::npos);
+    EXPECT_NE(j.find("\"p99\""), std::string::npos);
+}
+
 TEST(TracerTest, RingBufferWraparound) {
     Tracer tracer(1, /*capacity_per_rank=*/4);
     for (int i = 0; i < 10; ++i) {
@@ -294,6 +351,24 @@ TEST(TracerTest, ChromeTraceJsonIsWellFormed) {
     EXPECT_NE(json.find("\"rank 3\""), std::string::npos);
     EXPECT_NE(json.find("\"virtual time\""), std::string::npos);
     EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+}
+
+TEST(TracerTest, ChromeTraceReportsDroppedSpanCounts) {
+    Tracer tracer(1, /*capacity_per_rank=*/4);
+    VirtualClock clock;
+    for (int i = 0; i < 10; ++i) {
+        Span s = make_span(0, "s", i, i + 1);
+        tracer.record(s);
+    }
+    std::ostringstream oss;
+    tracer.write_chrome_trace(oss);
+    const std::string json = oss.str();
+    EXPECT_TRUE(JsonValidator(json).valid()) << json.substr(0, 400);
+    // The span_buffer metadata row makes ring truncation visible to anyone
+    // reading the timeline: 10 recorded, 6 fell off the 4-deep ring.
+    EXPECT_NE(json.find("\"span_buffer\""), std::string::npos);
+    EXPECT_NE(json.find("\"recorded\":10"), std::string::npos);
+    EXPECT_NE(json.find("\"dropped\":6"), std::string::npos);
 }
 
 TEST(TracerTest, TrainerPhaseTotalsMatchAccumulators) {

@@ -5,12 +5,15 @@
 #include <numeric>
 #include <set>
 
+#include "util/json.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
 namespace {
 
+using gtopk::util::JsonError;
+using gtopk::util::JsonValue;
 using gtopk::util::LinearFit;
 using gtopk::util::RunningStats;
 using gtopk::util::TextTable;
@@ -168,6 +171,53 @@ TEST(TextTableTest, AlignsColumnsAndKeepsRows) {
 TEST(TextTableTest, FormatsNumbers) {
     EXPECT_EQ(TextTable::fmt(1.23456, 2), "1.23");
     EXPECT_EQ(TextTable::fmt_int(42), "42");
+}
+
+// --- JSON parser (util/json.hpp): the reader behind gtopktop and the
+// flight-bundle tests.
+
+TEST(Json, ParsesNestedDocument) {
+    const JsonValue v = JsonValue::parse(
+        R"({"a":1,"b":[true,null,"x"],"c":{"d":-2.5e2},"s":"q\"\né"})");
+    ASSERT_TRUE(v.is_object());
+    EXPECT_EQ(v.find("a")->as_int(), 1);
+    const auto& b = v.find("b")->as_array();
+    ASSERT_EQ(b.size(), 3u);
+    EXPECT_TRUE(b[0].as_bool());
+    EXPECT_TRUE(b[1].is_null());
+    EXPECT_EQ(b[2].as_string(), "x");
+    EXPECT_DOUBLE_EQ(v.find("c")->find("d")->as_number(), -250.0);
+    // Escapes decode, \uXXXX lands as UTF-8.
+    EXPECT_EQ(v.find("s")->as_string(), "q\"\n\xc3\xa9");
+    EXPECT_EQ(v.find("missing"), nullptr);
+    EXPECT_DOUBLE_EQ(v.number_or("a", 9.0), 1.0);
+    EXPECT_DOUBLE_EQ(v.number_or("missing", 9.0), 9.0);
+}
+
+TEST(Json, ScalarsAndWhitespaceTolerance) {
+    EXPECT_DOUBLE_EQ(JsonValue::parse(" 3.5 ").as_number(), 3.5);
+    EXPECT_TRUE(JsonValue::parse("true").as_bool());
+    EXPECT_TRUE(JsonValue::parse("null").is_null());
+    EXPECT_TRUE(JsonValue::parse("[]").as_array().empty());
+    EXPECT_TRUE(JsonValue::parse("{}").as_object().empty());
+}
+
+TEST(Json, RejectsMalformedInputWithOffsets) {
+    EXPECT_THROW(JsonValue::parse(""), JsonError);
+    EXPECT_THROW(JsonValue::parse("{"), JsonError);
+    EXPECT_THROW(JsonValue::parse("[1,]"), JsonError);
+    EXPECT_THROW(JsonValue::parse(R"({"a" 1})"), JsonError);
+    EXPECT_THROW(JsonValue::parse("\"unterminated"), JsonError);
+    EXPECT_THROW(JsonValue::parse("1 2"), JsonError);  // trailing garbage
+    try {
+        JsonValue::parse("[true, nope]");
+        FAIL() << "expected JsonError";
+    } catch (const JsonError& e) {
+        EXPECT_GT(e.offset(), 0u);  // points into the document, not at 0
+    }
+    // Type-mismatch accessors throw too.
+    EXPECT_THROW(JsonValue::parse("1").as_string(), JsonError);
+    EXPECT_THROW(JsonValue::parse("\"s\"").as_array(), JsonError);
 }
 
 }  // namespace

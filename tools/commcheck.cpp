@@ -40,6 +40,7 @@
 #include "analysis/verify.hpp"
 #include "collectives/cost_model.hpp"
 #include "collectives/schedule.hpp"
+#include "obs/telemetry.hpp"
 #include "ps/ps_schedule.hpp"
 #include "util/rng.hpp"
 
@@ -58,6 +59,8 @@ constexpr std::int64_t kElems = 4096;
 constexpr std::int64_t kElemBytes = 4;
 constexpr std::int64_t kTopk = 32;                       // gtopk selection size
 constexpr std::int64_t kWireBytes = 16 + 8 * kTopk;      // sparse wire payload
+constexpr std::int64_t kStatsBytes =                     // telemetry stats block
+    static_cast<std::int64_t>(sizeof(gtopk::obs::RankIterStats));
 
 struct ProtoCase {
     std::string name;        // CLI name
@@ -202,6 +205,17 @@ std::vector<ProtoCase> make_cases() {
                              w - 1, kElems * kElemBytes, kElems * kElemBytes);
                      },
                      [](const NetworkModel&, int) { return std::nullopt; }});
+    cases.push_back({"telemetry", 1,
+                     [](int w) {
+                         return telemetry_allgather_schedule(w, kStatsBytes);
+                     },
+                     [](const NetworkModel& net, int w) -> std::optional<double> {
+                         // Ring allgather of one stats block per step.
+                         if (w == 1) return 0.0;
+                         return (w - 1) * net.transfer_time_s(
+                                              static_cast<std::uint64_t>(kStatsBytes));
+                     },
+                     kStatsBytes, 1});
     return cases;
 }
 
@@ -285,6 +299,9 @@ std::vector<RegroupProto> make_regroup_protos() {
                               static_cast<std::size_t>(w), kElems * kElemBytes);
                           return allgatherv_schedule(
                               w, std::span<const std::int64_t>(sizes));
+                      }});
+    protos.push_back({"telemetry", [](int w) {
+                          return telemetry_allgather_schedule(w, kStatsBytes);
                       }});
     return protos;
 }

@@ -1,0 +1,411 @@
+// gtopktop — terminal dashboard over the cluster telemetry plane.
+//
+//   gtopktop <telemetry.jsonl> [--json] [--last N]
+//   gtopktop <flight_bundle.json> [--json]
+//   gtopktop bench-compare <baseline.json> <current.json> [--max-regress PCT]
+//
+// The first form digests the per-iteration JSONL stream written by
+// Telemetry (one line per global IterSnapshot): overall phase breakdown,
+// measured-vs-predicted communication cost, and a per-rank table over the
+// last N steps that makes stragglers and wire asymmetry visible. Replayed
+// steps (elastic rollback) are handled last-wins, so the dashboard shows
+// the surviving timeline. The second form (auto-detected by the
+// "flight_recorder" key) summarizes a postmortem bundle: what happened,
+// to whom, in what order. The third compares two bench_hotpath reports and
+// flags per-phase regressions; with --max-regress it exits non-zero when
+// any phase slowed down by more than PCT percent (CI keeps this step
+// non-gating by omitting the flag).
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace {
+
+using gtopk::util::JsonError;
+using gtopk::util::JsonValue;
+
+std::string read_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("cannot open " + path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+struct RankAgg {
+    double compute_s = 0, select_s = 0, comm_s = 0, update_s = 0;
+    std::int64_t bytes_out = 0, msgs_out = 0;
+    std::int64_t nnz_last = -1, mailbox_max = 0;
+    std::int64_t faults_last = 0, retransmits_last = 0;
+    std::int64_t samples = 0;
+};
+
+int run_telemetry(const std::string& path, bool as_json, std::int64_t last_n) {
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "gtopktop: cannot open " << path << "\n";
+        return 1;
+    }
+
+    // Last-wins per step: a rollback replays steps and the replay is the
+    // timeline that survived.
+    std::map<std::int64_t, JsonValue> by_step;
+    std::string line;
+    std::size_t lineno = 0, bad = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+        try {
+            JsonValue v = JsonValue::parse(line);
+            by_step[static_cast<std::int64_t>(v.number_or("step", -1))] =
+                std::move(v);
+        } catch (const JsonError& e) {
+            ++bad;
+            std::cerr << "gtopktop: skipping line " << lineno << ": " << e.what()
+                      << "\n";
+        }
+    }
+    if (by_step.empty()) {
+        std::cerr << "gtopktop: no telemetry records in " << path << "\n";
+        return 1;
+    }
+
+    // Global aggregates over the surviving timeline.
+    double compute = 0, select = 0, comm = 0, update = 0;
+    double measured = 0, predicted = 0;
+    std::int64_t predicted_n = 0, steps = 0, total_bytes = 0;
+    std::map<int, RankAgg> ranks;  // keyed by physical rank
+    int first_world = 0, last_world = 0, last_epoch = 0;
+    std::string proto;
+    const std::int64_t cutoff =
+        last_n > 0 && static_cast<std::int64_t>(by_step.size()) > last_n
+            ? std::prev(by_step.end(), last_n)->first
+            : by_step.begin()->first;
+    for (const auto& [step, v] : by_step) {
+        ++steps;
+        const int world = static_cast<int>(v.number_or("world", 0));
+        if (first_world == 0) first_world = world;
+        last_world = world;
+        last_epoch = static_cast<int>(v.number_or("epoch", 0));
+        if (const JsonValue* p = v.find("proto")) proto = p->as_string();
+        if (const JsonValue* p = v.find("predicted_comm_s")) {
+            predicted += p->as_number();
+            ++predicted_n;
+        }
+        const JsonValue* rank_arr = v.find("ranks");
+        if (!rank_arr || !rank_arr->is_array()) {
+            measured += v.number_or("measured_comm_s", 0.0);
+            continue;
+        }
+        double step_comm = 0;
+        for (const JsonValue& r : rank_arr->as_array()) {
+            compute += r.number_or("compute_s", 0);
+            select += r.number_or("select_s", 0);
+            step_comm = std::max(step_comm, r.number_or("comm_s", 0));
+            update += r.number_or("update_s", 0);
+            total_bytes += static_cast<std::int64_t>(r.number_or("bytes_out", 0));
+            if (step < cutoff) continue;
+            RankAgg& a = ranks[static_cast<int>(r.number_or("rank", -1))];
+            a.compute_s += r.number_or("compute_s", 0);
+            a.select_s += r.number_or("select_s", 0);
+            a.comm_s += r.number_or("comm_s", 0);
+            a.update_s += r.number_or("update_s", 0);
+            a.bytes_out += static_cast<std::int64_t>(r.number_or("bytes_out", 0));
+            a.msgs_out += static_cast<std::int64_t>(r.number_or("msgs_out", 0));
+            a.nnz_last = static_cast<std::int64_t>(r.number_or("nnz", -1));
+            a.mailbox_max = std::max(
+                a.mailbox_max, static_cast<std::int64_t>(r.number_or("mailbox", 0)));
+            a.faults_last =
+                static_cast<std::int64_t>(r.number_or("faults", 0));
+            a.retransmits_last =
+                static_cast<std::int64_t>(r.number_or("retransmits", 0));
+            ++a.samples;
+        }
+        comm += step_comm;
+        // Predictions are schedule critical paths, so the comparable
+        // measurement is the slowest rank, not the JSONL's rank mean.
+        measured += step_comm;
+    }
+    const double per_rank_steps =
+        steps > 0 && first_world > 0 ? static_cast<double>(steps) : 1.0;
+
+    if (as_json) {
+        std::cout << "{\"steps\":" << steps << ",\"world_first\":" << first_world
+                  << ",\"world_last\":" << last_world
+                  << ",\"epoch_last\":" << last_epoch << ",\"proto\":\"" << proto
+                  << "\",\"bad_lines\":" << bad
+                  << ",\"mean_comm_s\":" << (steps ? comm / steps : 0)
+                  << ",\"measured_comm_s\":" << measured
+                  << ",\"predicted_comm_s\":" << predicted
+                  << ",\"predicted_steps\":" << predicted_n
+                  << ",\"total_bytes\":" << total_bytes << ",\"ranks\":[";
+        bool first = true;
+        for (const auto& [pr, a] : ranks) {
+            if (!first) std::cout << ",";
+            first = false;
+            const double n = a.samples ? static_cast<double>(a.samples) : 1.0;
+            std::cout << "{\"rank\":" << pr << ",\"mean_compute_s\":"
+                      << a.compute_s / n << ",\"mean_comm_s\":" << a.comm_s / n
+                      << ",\"bytes_out\":" << a.bytes_out
+                      << ",\"mailbox_max\":" << a.mailbox_max
+                      << ",\"faults\":" << a.faults_last
+                      << ",\"retransmits\":" << a.retransmits_last << "}";
+        }
+        std::cout << "]}\n";
+        return 0;
+    }
+
+    std::cout << "telemetry: " << path << "\n"
+              << "  steps " << steps << "  world " << first_world;
+    if (last_world != first_world) {
+        std::cout << " -> " << last_world << " (regrouped)";
+    }
+    std::cout << "  membership epoch " << last_epoch;
+    if (!proto.empty()) std::cout << "  proto " << proto;
+    if (bad) std::cout << "  (skipped " << bad << " bad line(s))";
+    std::cout << "\n\nphase means per iteration (all ranks):\n";
+    const double denom =
+        per_rank_steps * (first_world > 0 ? first_world : 1);
+    std::cout << "  compute " << compute / denom * 1e3 << " ms   select "
+              << select / denom * 1e3 << " ms   comm(virtual, slowest rank) "
+              << comm / per_rank_steps * 1e3 << " ms   update "
+              << update / denom * 1e3 << " ms\n"
+              << "  aggregation wire bytes total " << total_bytes << "\n";
+    if (predicted_n > 0) {
+        const double mean_meas = measured / steps;
+        const double mean_pred = predicted / predicted_n;
+        std::cout << "\ncost model (alpha-beta): measured mean "
+                  << mean_meas * 1e3 << " ms, predicted " << mean_pred * 1e3
+                  << " ms";
+        if (mean_pred > 0) std::cout << ", ratio " << mean_meas / mean_pred;
+        std::cout << "  [" << predicted_n << "/" << steps << " steps priced]\n";
+    }
+    std::cout << "\nper-rank (last " << ranks.begin()->second.samples
+              << " step(s)): rank  compute-ms  comm-ms  bytes-out  mailbox  "
+                 "faults  retransmits\n";
+    for (const auto& [pr, a] : ranks) {
+        const double n = a.samples ? static_cast<double>(a.samples) : 1.0;
+        std::cout << "  rank " << pr << "   " << a.compute_s / n * 1e3 << "  "
+                  << a.comm_s / n * 1e3 << "  " << a.bytes_out << "  "
+                  << a.mailbox_max << "  " << a.faults_last << "  "
+                  << a.retransmits_last;
+        if (a.nnz_last >= 0) std::cout << "  (nnz " << a.nnz_last << ")";
+        std::cout << "\n";
+    }
+    return 0;
+}
+
+int run_flight(const JsonValue& root, bool as_json) {
+    const JsonValue* fr = root.find("flight_recorder");
+    const JsonValue* events = fr->find("events");
+    const JsonValue* membership = fr->find("membership");
+    const JsonValue* snapshots = fr->find("snapshots");
+    std::map<std::string, int> by_kind;
+    if (events && events->is_array()) {
+        for (const JsonValue& e : events->as_array()) {
+            if (const JsonValue* k = e.find("kind")) ++by_kind[k->as_string()];
+        }
+    }
+    int snap_n = 0, world_first = 0, world_last = 0;
+    if (snapshots && snapshots->is_array() && !snapshots->as_array().empty()) {
+        const auto& arr = snapshots->as_array();
+        snap_n = static_cast<int>(arr.size());
+        world_first = static_cast<int>(arr.front().number_or("world", 0));
+        world_last = static_cast<int>(arr.back().number_or("world", 0));
+    }
+    const std::string reason =
+        fr->find("reason") ? fr->find("reason")->as_string() : "?";
+
+    if (as_json) {
+        std::cout << "{\"reason\":\"" << reason << "\",\"events\":{";
+        bool first = true;
+        for (const auto& [k, n] : by_kind) {
+            if (!first) std::cout << ",";
+            first = false;
+            std::cout << "\"" << k << "\":" << n;
+        }
+        std::cout << "},\"snapshots\":" << snap_n
+                  << ",\"world_first\":" << world_first
+                  << ",\"world_last\":" << world_last << ",\"membership\":[";
+        first = true;
+        if (membership && membership->is_array()) {
+            std::map<int, int> epochs;  // epoch -> world size (dedup reporters)
+            for (const JsonValue& m : membership->as_array()) {
+                const JsonValue* mem = m.find("members");
+                epochs[static_cast<int>(m.number_or("epoch", 0))] =
+                    mem && mem->is_array()
+                        ? static_cast<int>(mem->as_array().size())
+                        : 0;
+            }
+            for (const auto& [ep, w] : epochs) {
+                if (!first) std::cout << ",";
+                first = false;
+                std::cout << "{\"epoch\":" << ep << ",\"world\":" << w << "}";
+            }
+        }
+        std::cout << "]}\n";
+        return 0;
+    }
+
+    std::cout << "flight recorder bundle (reason: " << reason << ")\n\nevents:\n";
+    for (const auto& [k, n] : by_kind) {
+        std::cout << "  " << k << " x" << n << "\n";
+    }
+    if (events && events->is_array()) {
+        std::cout << "\ntimeline:\n";
+        for (const JsonValue& e : events->as_array()) {
+            std::cout << "  t=" << e.number_or("t_s", 0) << "s  rank "
+                      << static_cast<int>(e.number_or("rank", -1)) << "  step "
+                      << static_cast<std::int64_t>(e.number_or("step", -1))
+                      << "  "
+                      << (e.find("kind") ? e.find("kind")->as_string() : "?");
+            if (const JsonValue* d = e.find("detail")) {
+                if (!d->as_string().empty()) std::cout << " — " << d->as_string();
+            }
+            std::cout << "\n";
+        }
+    }
+    if (membership && membership->is_array() && !membership->as_array().empty()) {
+        std::cout << "\nmembership:\n";
+        for (const JsonValue& m : membership->as_array()) {
+            std::cout << "  epoch "
+                      << static_cast<int>(m.number_or("epoch", 0)) << ": [";
+            const JsonValue* mem = m.find("members");
+            if (mem && mem->is_array()) {
+                bool first = true;
+                for (const JsonValue& r : mem->as_array()) {
+                    if (!first) std::cout << " ";
+                    first = false;
+                    std::cout << static_cast<int>(r.as_number());
+                }
+            }
+            std::cout << "]  (reporter rank "
+                      << static_cast<int>(m.number_or("reporter", -1)) << ")\n";
+        }
+    }
+    std::cout << "\nsnapshots: " << snap_n;
+    if (snap_n > 0) {
+        std::cout << "  world " << world_first;
+        if (world_last != world_first) std::cout << " -> " << world_last;
+    }
+    std::cout << "\n";
+    return 0;
+}
+
+int run_bench_compare(const std::string& base_path, const std::string& cur_path,
+                      double max_regress_pct) {
+    const JsonValue base = JsonValue::parse(read_file(base_path));
+    const JsonValue cur = JsonValue::parse(read_file(cur_path));
+    const JsonValue* bp = base.find("phases");
+    const JsonValue* cp = cur.find("phases");
+    if (!bp || !bp->is_object() || !cp || !cp->is_object()) {
+        std::cerr << "gtopktop: bench reports lack a \"phases\" object\n";
+        return 1;
+    }
+    std::cout << "bench compare: " << cur_path << " vs baseline " << base_path
+              << "\nphase                 baseline-s   current-s    delta\n";
+    double worst = 0.0;
+    std::string worst_phase;
+    for (const auto& [name, b] : bp->as_object()) {
+        const JsonValue* c = cp->find(name);
+        if (!c) {
+            std::cout << "  " << name << "  (missing from current)\n";
+            continue;
+        }
+        const double bs = b.number_or("optimized_s", 0.0);
+        const double cs = c->number_or("optimized_s", 0.0);
+        const double pct = bs > 0 ? (cs - bs) / bs * 100.0 : 0.0;
+        std::cout << "  " << name << "  " << bs << "  " << cs << "  "
+                  << (pct >= 0 ? "+" : "") << pct << "%\n";
+        if (pct > worst) {
+            worst = pct;
+            worst_phase = name;
+        }
+    }
+    if (!worst_phase.empty()) {
+        std::cout << "worst regression: " << worst_phase << " +" << worst
+                  << "%\n";
+    }
+    if (max_regress_pct > 0 && worst > max_regress_pct) {
+        std::cerr << "gtopktop: regression exceeds --max-regress "
+                  << max_regress_pct << "%\n";
+        return 1;
+    }
+    return 0;
+}
+
+void usage(const char* argv0) {
+    std::cerr << "usage: " << argv0
+              << " <telemetry.jsonl | flight_bundle.json> [--json] [--last N]\n"
+              << "       " << argv0
+              << " bench-compare <baseline.json> <current.json>"
+                 " [--max-regress PCT]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    try {
+        if (argc >= 2 && std::strcmp(argv[1], "bench-compare") == 0) {
+            if (argc < 4) {
+                usage(argv[0]);
+                return 2;
+            }
+            double max_regress = 0.0;
+            for (int i = 4; i < argc; ++i) {
+                if (std::strcmp(argv[i], "--max-regress") == 0 && i + 1 < argc) {
+                    max_regress = std::stod(argv[++i]);
+                } else {
+                    usage(argv[0]);
+                    return 2;
+                }
+            }
+            return run_bench_compare(argv[2], argv[3], max_regress);
+        }
+
+        std::string path;
+        bool as_json = false;
+        std::int64_t last_n = 32;
+        for (int i = 1; i < argc; ++i) {
+            if (std::strcmp(argv[i], "--json") == 0) {
+                as_json = true;
+            } else if (std::strcmp(argv[i], "--last") == 0 && i + 1 < argc) {
+                last_n = std::stoll(argv[++i]);
+            } else if (argv[i][0] == '-') {
+                usage(argv[0]);
+                return 2;
+            } else if (path.empty()) {
+                path = argv[i];
+            } else {
+                usage(argv[0]);
+                return 2;
+            }
+        }
+        if (path.empty()) {
+            usage(argv[0]);
+            return 2;
+        }
+
+        // A flight bundle is one JSON document with a flight_recorder key;
+        // anything else is treated as a telemetry JSONL stream.
+        const std::string text = read_file(path);
+        try {
+            const JsonValue doc = JsonValue::parse(text);
+            if (doc.find("flight_recorder")) return run_flight(doc, as_json);
+        } catch (const JsonError&) {
+            // Multi-line JSONL fails the single-document parse; fall through.
+        }
+        return run_telemetry(path, as_json, last_n);
+    } catch (const std::exception& e) {
+        std::cerr << "gtopktop: " << e.what() << "\n";
+        return 1;
+    }
+}
