@@ -1,5 +1,6 @@
 #include "analysis/conformance.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "comm/tags.hpp"
@@ -11,12 +12,14 @@ using collectives::Schedule;
 using collectives::kVariableBytes;
 
 SchedulePredictor::SchedulePredictor(int world)
-    : world_(world), fresh_cursor_(comm::kFreshTagBase) {
+    : world_(world),
+      fresh_cursor_(comm::kFreshTagBase),
+      async_cursor_(comm::kAsyncTagBase) {
     if (world < 1) throw std::invalid_argument("SchedulePredictor: world < 1");
     edges_.resize(static_cast<std::size_t>(world) * static_cast<std::size_t>(world));
 }
 
-void SchedulePredictor::add(const Schedule& sched) {
+void SchedulePredictor::add_with_base(const Schedule& sched, int base) {
     if (sched.world != world_) {
         throw std::invalid_argument("SchedulePredictor: world mismatch for " +
                                     sched.proto);
@@ -27,7 +30,7 @@ void SchedulePredictor::add(const Schedule& sched) {
             ExpectedMsg m;
             m.src = rank;
             m.dst = op.peer;
-            m.tag = sched.absolute_tags ? op.tag_offset : fresh_cursor_ + op.tag_offset;
+            m.tag = sched.absolute_tags ? op.tag_offset : base + op.tag_offset;
             m.bytes = op.bytes;
             m.proto = sched.proto;
             m.round = op.round;
@@ -37,7 +40,21 @@ void SchedulePredictor::add(const Schedule& sched) {
             ++total_;
         }
     }
+}
+
+void SchedulePredictor::add(const Schedule& sched) {
+    add_with_base(sched, fresh_cursor_);
     if (!sched.absolute_tags) fresh_cursor_ += sched.tag_count;
+}
+
+void SchedulePredictor::add_async(const Schedule& sched) {
+    if (sched.absolute_tags) {
+        throw std::invalid_argument(
+            "SchedulePredictor::add_async: absolute-tag schedule " + sched.proto +
+            " cannot ride the async band");
+    }
+    add_with_base(sched, async_cursor_);
+    async_cursor_ += sched.tag_count;
 }
 
 void SchedulePredictor::add_n(const Schedule& sched, int times) {
@@ -50,7 +67,8 @@ const std::vector<ExpectedMsg>& SchedulePredictor::edge(int src, int dst) const 
 }
 
 ConformanceReport diff_conformance(const SchedulePredictor& predictor,
-                                   std::span<const comm::RecordedMsg> actual) {
+                                   std::span<const comm::RecordedMsg> actual,
+                                   ConformanceMode mode) {
     const int world = predictor.world();
     ConformanceReport report;
     report.expected_messages = predictor.total_messages();
@@ -85,10 +103,25 @@ ConformanceReport diff_conformance(const SchedulePredictor& predictor,
 
     for (int src = 0; src < world; ++src) {
         for (int dst = 0; dst < world; ++dst) {
-            const auto& exp = predictor.edge(src, dst);
-            const auto& act =
+            std::vector<ExpectedMsg> exp_by_tag;
+            const std::vector<ExpectedMsg>* exp_p = &predictor.edge(src, dst);
+            auto& act =
                 got[static_cast<std::size_t>(src) * static_cast<std::size_t>(world) +
                     static_cast<std::size_t>(dst)];
+            if (mode == ConformanceMode::kTagStream) {
+                // Collapse nondeterministic cross-handle interleaving: both
+                // sides keyed by tag, within-tag order preserved.
+                exp_by_tag = *exp_p;
+                std::stable_sort(
+                    exp_by_tag.begin(), exp_by_tag.end(),
+                    [](const ExpectedMsg& a, const ExpectedMsg& b) { return a.tag < b.tag; });
+                std::stable_sort(act.begin(), act.end(),
+                                 [](const comm::RecordedMsg& a, const comm::RecordedMsg& b) {
+                                     return a.tag < b.tag;
+                                 });
+                exp_p = &exp_by_tag;
+            }
+            const auto& exp = *exp_p;
             const std::size_t n = std::min(exp.size(), act.size());
             bool edge_diverged = false;
             for (std::size_t i = 0; i < n; ++i) {

@@ -40,15 +40,26 @@ public:
     /// Append the same schedule `times` times (e.g. per-iteration loops).
     void add_n(const collectives::Schedule& sched, int times);
 
+    /// Append one ASYNC collective handle (collectives/async.hpp): its tag
+    /// block comes from the async-band cursor (fresh_async_tags replay)
+    /// instead of the blocking fresh-tag cursor. Call in handle START
+    /// order — the order every rank calls AsyncCollective::start() in.
+    void add_async(const collectives::Schedule& sched);
+
     int world() const { return world_; }
     std::int64_t total_messages() const { return total_; }
     /// Value the ranks' fresh-tag cursor should hold after the run.
     int fresh_cursor() const { return fresh_cursor_; }
+    /// Value the ranks' async-band cursor should hold after the run.
+    int async_cursor() const { return async_cursor_; }
     const std::vector<ExpectedMsg>& edge(int src, int dst) const;
 
 private:
+    void add_with_base(const collectives::Schedule& sched, int base);
+
     int world_;
     int fresh_cursor_;
+    int async_cursor_;
     std::int64_t total_ = 0;
     std::vector<std::vector<ExpectedMsg>> edges_;  // [src * world + dst]
 };
@@ -62,10 +73,26 @@ struct ConformanceReport {
     std::int64_t matched_messages = 0;
 };
 
+/// How strictly the recorded stream's ordering is held to the schedule.
+enum class ConformanceMode {
+    /// Each (src, dst) edge must match the sender's program order exactly —
+    /// the right discipline for blocking SPMD runs, where one thread issues
+    /// every send on an edge in schedule order.
+    kEdgeOrder,
+    /// Overlapped runs: concurrent AsyncCollective handles interleave their
+    /// sends on a shared edge host-nondeterministically, but each
+    /// (src, dst, tag) stream is still deterministic (disjoint per-handle
+    /// tag bands + per-handle program order). Both sides are compared after
+    /// a stable sort by tag, which collapses the cross-handle interleaving
+    /// while preserving within-tag order.
+    kTagStream,
+};
+
 /// Compare the predictor's per-edge expectations with a recorded run.
 /// `actual` is RecordingTransport::log() (any global order; per-edge order
 /// is what matters).
 ConformanceReport diff_conformance(const SchedulePredictor& predictor,
-                                   std::span<const comm::RecordedMsg> actual);
+                                   std::span<const comm::RecordedMsg> actual,
+                                   ConformanceMode mode = ConformanceMode::kEdgeOrder);
 
 }  // namespace gtopk::analysis

@@ -269,6 +269,194 @@ std::vector<Violation> verify_survivor_confinement(
     return out;
 }
 
+VerifyResult verify_concurrent_schedules(std::span<const Schedule> parts,
+                                         std::span<const int> tag_bases,
+                                         const comm::NetworkModel* net) {
+    VerifyResult out;
+    if (parts.size() != tag_bases.size()) {
+        out.violations.push_back(
+            {"well-formed", -1,
+             "parts (" + std::to_string(parts.size()) + ") / tag_bases (" +
+                 std::to_string(tag_bases.size()) + ") size mismatch"});
+        return out;
+    }
+    if (parts.empty()) return out;
+
+    const int world = parts[0].world;
+    for (std::size_t p = 0; p < parts.size(); ++p) {
+        const Schedule& s = parts[p];
+        const std::string part_name = "part " + std::to_string(p) + " (" + s.proto + ")";
+        if (s.world != world) {
+            out.violations.push_back(
+                {"well-formed", -1,
+                 part_name + ": world " + std::to_string(s.world) +
+                     " != part 0 world " + std::to_string(world)});
+            return out;
+        }
+        if (s.absolute_tags) {
+            out.violations.push_back(
+                {"band-overlap", -1,
+                 part_name + " uses absolute tags; it cannot ride a fresh band"});
+        }
+        if (tag_bases[p] < comm::kFreshTagBase) {
+            out.violations.push_back(
+                {"band-overlap", -1,
+                 part_name + ": band base " + std::to_string(tag_bases[p]) +
+                     " below the fresh-tag base — collides with user tags"});
+        }
+        VerifyResult part = verify_schedule(s, nullptr);
+        for (Violation& v : part.violations) {
+            v.detail = part_name + ": " + v.detail;
+            out.violations.push_back(std::move(v));
+        }
+        if (!part.bytes_exact) out.bytes_exact = false;
+        out.total_messages += part.total_messages;
+        out.total_bytes += part.total_bytes;
+    }
+    // Pairwise band disjointness — THE overlapped-run tag invariant.
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        for (std::size_t j = i + 1; j < parts.size(); ++j) {
+            const long long ai = tag_bases[i], bi = ai + parts[i].tag_count;
+            const long long aj = tag_bases[j], bj = aj + parts[j].tag_count;
+            if (ai < bj && aj < bi) {
+                out.violations.push_back(
+                    {"band-overlap", -1,
+                     "parts " + std::to_string(i) + " and " + std::to_string(j) +
+                         " share tags: bands [" + std::to_string(ai) + ", " +
+                         std::to_string(bi) + ") and [" + std::to_string(aj) +
+                         ", " + std::to_string(bj) + ") intersect"});
+            }
+        }
+    }
+    if (!out.violations.empty()) return out;
+
+    // Cross-part FIFO-unambiguity on ABSOLUTE tags (belt and braces over
+    // band disjointness: catches a part whose offsets escape its band).
+    std::map<std::tuple<int, int, int>, std::size_t> abs_senders;
+    for (std::size_t p = 0; p < parts.size(); ++p) {
+        for (int rank = 0; rank < world; ++rank) {
+            for (const CommOp& op : parts[p].rank_ops(rank)) {
+                if (op.kind != CommOp::Kind::Send) continue;
+                const int abs_tag = tag_bases[p] + op.tag_offset;
+                auto [it, fresh] =
+                    abs_senders.insert({{rank, op.peer, abs_tag}, p});
+                if (!fresh) {
+                    out.violations.push_back(
+                        {"fifo", rank,
+                         "absolute tag " + std::to_string(abs_tag) +
+                             " sent on edge " + std::to_string(rank) + " -> " +
+                             std::to_string(op.peer) + " by parts " +
+                             std::to_string(it->second) + " and " +
+                             std::to_string(p)});
+                }
+            }
+        }
+    }
+    if (!out.violations.empty()) return out;
+
+    // Aggregate traffic across parts.
+    out.per_rank.assign(static_cast<std::size_t>(world), RankTraffic{});
+    for (const Schedule& s : parts) {
+        for (int rank = 0; rank < world; ++rank) {
+            RankTraffic& t = out.per_rank[static_cast<std::size_t>(rank)];
+            for (const CommOp& op : s.rank_ops(rank)) {
+                if (op.bytes == kVariableBytes) t.bytes_exact = false;
+                if (op.kind == CommOp::Kind::Send) {
+                    ++t.sends;
+                    if (op.bytes != kVariableBytes) t.bytes_sent += op.bytes;
+                } else {
+                    ++t.recvs;
+                }
+            }
+        }
+    }
+
+    // Combined pump-all execution: each rank round-robins every part's
+    // program (the AsyncCollective executor's semantics — a recv blocked in
+    // one part never stalls another part's ops on the same rank).
+    struct InFlight {
+        std::int64_t bytes;
+        double arrival_s;
+    };
+    std::map<std::tuple<int, int, int>, std::deque<InFlight>> wire;  // abs tags
+    std::vector<std::vector<std::size_t>> pc(
+        static_cast<std::size_t>(world),
+        std::vector<std::size_t>(parts.size(), 0));
+    std::vector<double> clock(static_cast<std::size_t>(world), 0.0);
+    const bool time_exact = out.bytes_exact && net != nullptr;
+
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (int rank = 0; rank < world; ++rank) {
+            for (std::size_t p = 0; p < parts.size(); ++p) {
+                const auto& ops = parts[p].rank_ops(rank);
+                auto& i = pc[static_cast<std::size_t>(rank)][p];
+                while (i < ops.size()) {
+                    const CommOp& op = ops[i];
+                    const int abs_tag = tag_bases[p] + op.tag_offset;
+                    if (op.kind == CommOp::Kind::Send) {
+                        double arrival = 0.0;
+                        if (time_exact) {
+                            clock[static_cast<std::size_t>(rank)] +=
+                                net->transfer_time_s(
+                                    static_cast<std::uint64_t>(op.bytes));
+                            arrival = clock[static_cast<std::size_t>(rank)];
+                        }
+                        wire[{rank, op.peer, abs_tag}].push_back({op.bytes, arrival});
+                        ++i;
+                        progress = true;
+                        continue;
+                    }
+                    auto it = wire.find({op.peer, rank, abs_tag});
+                    if (it == wire.end() || it->second.empty()) break;  // blocked
+                    const InFlight msg = it->second.front();
+                    it->second.pop_front();
+                    if (time_exact) {
+                        auto& c = clock[static_cast<std::size_t>(rank)];
+                        c = std::max(c, msg.arrival_s);
+                    }
+                    ++i;
+                    progress = true;
+                }
+            }
+        }
+    }
+
+    bool any_blocked = false;
+    for (int rank = 0; rank < world; ++rank) {
+        for (std::size_t p = 0; p < parts.size(); ++p) {
+            const auto& ops = parts[p].rank_ops(rank);
+            const std::size_t i = pc[static_cast<std::size_t>(rank)][p];
+            if (i >= ops.size()) continue;
+            any_blocked = true;
+            out.violations.push_back(
+                {"deadlock", rank,
+                 "part " + std::to_string(p) + " (" + parts[p].proto + "): " +
+                     op_str(ops[i], rank) + " blocked forever under the "
+                                            "combined pump-all execution"});
+        }
+    }
+    if (any_blocked) return out;
+
+    for (const auto& [key, queue] : wire) {
+        if (queue.empty()) continue;
+        const auto& [src, dst, tag] = key;
+        out.violations.push_back(
+            {"match", src,
+             std::to_string(queue.size()) + " unconsumed send(s) on edge " +
+                 std::to_string(src) + " -> " + std::to_string(dst) +
+                 " absolute tag " + std::to_string(tag)});
+    }
+
+    if (time_exact && out.violations.empty()) {
+        double cp = 0.0;
+        for (double c : clock) cp = std::max(cp, c);
+        out.critical_path_s = cp;
+    }
+    return out;
+}
+
 VerifyResult verify_schedule(const Schedule& sched, const comm::NetworkModel* net) {
     VerifyResult out;
     static_checks(sched, out);

@@ -67,6 +67,28 @@ struct VerifyResult {
 VerifyResult verify_schedule(const collectives::Schedule& sched,
                              const comm::NetworkModel* net = nullptr);
 
+/// Concurrent schedule-set checker — the static mirror of N AsyncCollective
+/// handles in flight on one Communicator (collectives/async.hpp). `parts[i]`
+/// executes with its tag offsets rebased to `tag_bases[i]` (the value
+/// fresh_async_tags returned for that handle). Proves, on top of the
+/// per-part verify_schedule checks:
+///
+///   * band layout       every base at or above the fresh-tag base, every
+///                       [base_i, base_i + tag_count_i) band pairwise
+///                       disjoint ("band-overlap" violations) — the property
+///                       that makes overlapped runs tag-unambiguous
+///   * cross-part fifo   no (src, dst, absolute tag) sent by two parts
+///   * deadlock-freedom  combined simulation of the pump-all executor:
+///                       every rank interleaves all parts' programs, eager
+///                       buffered sends, recvs block only their own part
+///
+/// per_rank / totals aggregate across parts; critical_path_s prices the
+/// combined execution (one clock per rank — the executor is one thread per
+/// rank) when `net` is given and all bytes are exact.
+VerifyResult verify_concurrent_schedules(
+    std::span<const collectives::Schedule> parts, std::span<const int> tag_bases,
+    const comm::NetworkModel* net = nullptr);
+
 /// Survivor-confinement check for regrouped schedules (the static mirror of
 /// membership epochs): every op must live ON a survivor rank and talk TO a
 /// survivor rank — dead ranks neither run programs nor appear as peers.

@@ -1,5 +1,6 @@
 #include "comm/communicator.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <stdexcept>
 #include <string>
@@ -11,6 +12,7 @@ namespace gtopk::comm {
 
 Communicator::Communicator(Transport& transport, int rank, NetworkModel model)
     : tag_counter_(kFreshTagBase),
+      async_tag_counter_(kAsyncTagBase),
       transport_(transport),
       rank_(rank),
       logical_rank_(rank),
@@ -47,6 +49,7 @@ void Communicator::set_view(std::vector<int> members, int epoch) {
     // the SPMD lockstep; reuse of pre-regroup tags is safe because the
     // epoch floor below rejects every stale message before it can match.
     tag_counter_ = kFreshTagBase;
+    async_tag_counter_ = kAsyncTagBase;
     transport_.begin_epoch(rank_, epoch_);
 }
 
@@ -67,17 +70,21 @@ int Communicator::to_logical(int physical_src) const {
 
 int Communicator::fresh_tags(int count) {
     if (count < 0) throw std::invalid_argument("fresh_tags: negative count");
-    if (count > std::numeric_limits<int>::max() - kFreshTagBase) {
+    if (count > kAsyncTagBase - kFreshTagBase) {
         throw std::invalid_argument("fresh_tags: count exceeds tag space");
     }
-    if (tag_counter_ > std::numeric_limits<int>::max() - count) {
-        // Out of tag space: wrap back to the base. Because every rank's
-        // counter advances in SPMD lockstep, all ranks wrap at the same
-        // collective boundary, so matching calls still agree on the block.
-        // Reuse is only safe if no message carrying an old fresh tag is
-        // still queued for this rank — a stale tag could steal a future
-        // match. (Transports that cannot inspect their queues report 0
-        // pending, degrading this to an unchecked wrap.)
+    if (tag_counter_ > kAsyncTagBase - count) {
+        // Out of band: wrap back to the base (the blocking band ends where
+        // the async band begins — the cursor must never spill into it).
+        // Because every rank's counter advances in SPMD lockstep, all ranks
+        // wrap at the same collective boundary, so matching calls still
+        // agree on the block. Reuse is only safe if no message carrying an
+        // old fresh tag is still queued for this rank — a stale tag could
+        // steal a future match. The >= kFreshTagBase pending check also
+        // counts async-band traffic, which is conservative: wrapping under
+        // an in-flight async collective throws rather than risking it.
+        // (Transports that cannot inspect their queues report 0 pending,
+        // degrading this to an unchecked wrap.)
         const std::size_t in_flight =
             transport_.pending_with_tag_at_least(rank_, kFreshTagBase);
         if (in_flight != 0) {
@@ -91,6 +98,69 @@ int Communicator::fresh_tags(int count) {
     const int base = tag_counter_;
     tag_counter_ += count;
     return base;
+}
+
+int Communicator::fresh_async_tags(int count) {
+    if (count < 0) throw std::invalid_argument("fresh_async_tags: negative count");
+    if (progress_sources_.empty()) {
+        // No handle in flight: every future transfer's dependency time is at
+        // or after the current clock, so NIC occupancy that already ended is
+        // unreachable — drop it to keep the busy list bounded across
+        // iterations.
+        const double now = clock_.now_s();
+        std::erase_if(nic_busy_,
+                      [now](const std::pair<double, double>& iv) {
+                          return iv.second <= now;
+                      });
+    }
+    if (count > std::numeric_limits<int>::max() - kAsyncTagBase) {
+        throw std::invalid_argument("fresh_async_tags: count exceeds tag space");
+    }
+    if (async_tag_counter_ > std::numeric_limits<int>::max() - count) {
+        // Same pending-gated wrap as fresh_tags, confined to the async
+        // band: every rank starts the same handles in the same order (SPMD
+        // lockstep), so all ranks wrap at the same handle boundary.
+        const std::size_t in_flight =
+            transport_.pending_with_tag_at_least(rank_, kAsyncTagBase);
+        if (in_flight != 0) {
+            throw std::logic_error(
+                "fresh_async_tags: async tag band exhausted on rank " +
+                std::to_string(rank_) + " with " + std::to_string(in_flight) +
+                " async-band message(s) still pending; cannot wrap safely");
+        }
+        async_tag_counter_ = kAsyncTagBase;
+    }
+    const int base = async_tag_counter_;
+    async_tag_counter_ += count;
+    return base;
+}
+
+void Communicator::add_progress_source(ProgressSource* source) {
+    if (!source) throw std::invalid_argument("add_progress_source: null source");
+    progress_sources_.push_back(source);
+}
+
+void Communicator::remove_progress_source(ProgressSource* source) {
+    progress_sources_.erase(
+        std::remove(progress_sources_.begin(), progress_sources_.end(), source),
+        progress_sources_.end());
+}
+
+bool Communicator::pump_progress() {
+    if (progress_sources_.empty()) return false;
+    // Snapshot + priority sort per round: a pump may complete a handle (but
+    // never unregisters one — that happens in its destructor), and the
+    // P3 drain order wants front-layer buckets served first.
+    std::vector<ProgressSource*> round = progress_sources_;
+    std::stable_sort(round.begin(), round.end(),
+                     [](const ProgressSource* a, const ProgressSource* b) {
+                         return a->pump_priority() < b->pump_priority();
+                     });
+    bool any = false;
+    for (ProgressSource* s : round) {
+        if (s->pump_some()) any = true;
+    }
+    return any;
 }
 
 void Communicator::set_tracer(obs::Tracer* tracer) {
@@ -178,6 +248,104 @@ std::vector<std::byte> Communicator::recv(int src, int tag, int& actual_src) {
     if (tracer_) m_bytes_received_->add(msg.payload.size());
     actual_src = to_logical(msg.source);
     return std::move(msg.payload);
+}
+
+std::optional<std::vector<std::byte>> Communicator::try_recv(int src, int tag) {
+    const int phys_src = to_physical(src);
+    std::optional<Message> m = transport_.try_receive(rank_, phys_src, tag);
+    if (!m) return std::nullopt;
+    // Same accounting as recv(); the span is only opened on a match so
+    // unmatched polls cost nothing in the trace.
+    obs::ScopedSpan span(tracer_, clock_, rank_, "recv_wait", "comm");
+    span.attrs().tag = tag;
+    const double before = clock_.now_s();
+    clock_.advance_to(m->arrival_time_s);
+    stats_.comm_time_s += clock_.now_s() - before;
+    stats_.messages_received += 1;
+    stats_.bytes_received += m->payload.size();
+    span.attrs().bytes = static_cast<std::int64_t>(m->payload.size());
+    span.attrs().peer = m->source;
+    if (tracer_) m_bytes_received_->add(m->payload.size());
+    return std::move(m->payload);
+}
+
+double Communicator::send_async(int dst, int tag, std::vector<std::byte>&& payload,
+                                double earliest_start_s) {
+    if (dst == logical_rank_) throw std::invalid_argument("send to self is not allowed");
+    const int phys_dst = to_physical(dst);
+
+    const double cost = model_.transfer_time_s(payload.size());
+    const double start = reserve_nic(earliest_start_s, cost);
+    const double end = start + cost;
+    stats_.comm_time_s += cost;
+    stats_.messages_sent += 1;
+    stats_.bytes_sent += payload.size();
+    if (tracer_) {
+        m_bytes_sent_->add(payload.size());
+        m_message_bytes_->record(payload.size());
+        // Manual span on the NIC timeline — a ScopedSpan would stamp the
+        // (untouched) rank clock and render as zero-width.
+        obs::Span span;
+        span.name = "send_async";
+        span.category = "comm";
+        span.rank = rank_;
+        span.depth = tracer_->enter(rank_);
+        tracer_->exit(rank_);
+        span.v_begin_s = start;
+        span.v_end_s = end;
+        span.h_begin_s = span.h_end_s = obs::host_now_s();
+        span.attrs.bytes = static_cast<std::int64_t>(payload.size());
+        span.attrs.peer = phys_dst;
+        span.attrs.tag = tag;
+        tracer_->record(span);
+    }
+
+    Message msg;
+    msg.source = rank_;
+    msg.tag = tag;
+    msg.epoch = epoch_;
+    msg.arrival_time_s = end;
+    msg.payload = std::move(payload);
+    transport_.deliver(phys_dst, std::move(msg));
+    return end;
+}
+
+double Communicator::reserve_nic(double earliest_s, double duration_s) {
+    double t = earliest_s;
+    auto it = nic_busy_.begin();
+    for (; it != nic_busy_.end(); ++it) {
+        if (it->first >= t + duration_s) break;  // the gap before *it fits
+        if (it->second > t) t = it->second;      // occupied — start after it
+    }
+    // `it` is the first interval starting at or after the placed transfer,
+    // so inserting before it keeps nic_busy_ sorted and non-overlapping.
+    nic_busy_.insert(it, {t, t + duration_s});
+    nic_busy_until_s_ = std::max(nic_busy_until_s_, t + duration_s);
+    return t;
+}
+
+std::optional<Communicator::AsyncMsg> Communicator::try_recv_async(int src, int tag) {
+    const int phys_src = to_physical(src);
+    std::optional<Message> m = transport_.try_receive(rank_, phys_src, tag);
+    if (!m) return std::nullopt;
+    stats_.messages_received += 1;
+    stats_.bytes_received += m->payload.size();
+    if (tracer_) {
+        m_bytes_received_->add(m->payload.size());
+        obs::Span span;
+        span.name = "recv_async";
+        span.category = "comm";
+        span.rank = rank_;
+        span.depth = tracer_->enter(rank_);
+        tracer_->exit(rank_);
+        span.v_begin_s = span.v_end_s = m->arrival_time_s;
+        span.h_begin_s = span.h_end_s = obs::host_now_s();
+        span.attrs.bytes = static_cast<std::int64_t>(m->payload.size());
+        span.attrs.peer = m->source;
+        span.attrs.tag = tag;
+        tracer_->record(span);
+    }
+    return AsyncMsg{std::move(m->payload), m->arrival_time_s};
 }
 
 PooledBuffer Communicator::recv_buffer(int src, int tag) {

@@ -17,9 +17,12 @@
 #include <span>
 #include <vector>
 
+#include <optional>
+
 #include "comm/buffer_pool.hpp"
 #include "comm/comm_error.hpp"
 #include "comm/network_model.hpp"
+#include "comm/progress.hpp"
 #include "comm/transport.hpp"
 #include "comm/virtual_clock.hpp"
 
@@ -159,6 +162,40 @@ public:
     PooledBuffer recv_buffer(int src, int tag);
     PooledBuffer recv_buffer(int src, int tag, int& actual_src);
 
+    /// Non-blocking matched receive: nullopt when nothing matches right
+    /// now; on a match, identical clock/stats/trace accounting to recv().
+    /// This is the async engine's polling primitive — it never honors the
+    /// receive deadline (the engine applies its own across pump rounds).
+    std::optional<std::vector<std::byte>> try_recv(int src, int tag);
+
+    /// NIC-timeline send for async collectives: the transfer occupies this
+    /// rank's modeled NIC for alpha + n*beta starting at the first free
+    /// slot at or after earliest_start_s (first-fit over the rank's busy
+    /// intervals — host pump order must not decide modeled contention),
+    /// WITHOUT advancing the virtual clock: modeled communication runs
+    /// concurrently with modeled compute, which is what makes overlap
+    /// measurable in virtual time. The message's arrival stamp is the
+    /// transfer's end; that end time is returned so the caller can track
+    /// its completion frontier (AsyncCollective syncs the clock to it in
+    /// wait()).
+    double send_async(int dst, int tag, std::vector<std::byte>&& payload,
+                      double earliest_start_s);
+
+    /// A matched async receive: payload plus its modeled arrival.
+    struct AsyncMsg {
+        std::vector<std::byte> payload;
+        double arrival_s = 0.0;
+    };
+
+    /// Non-blocking matched receive on the NIC timeline: never advances the
+    /// virtual clock; the caller gets the modeled arrival alongside the
+    /// payload and decides when to synchronize (AsyncCollective::wait).
+    std::optional<AsyncMsg> try_recv_async(int src, int tag);
+
+    /// Latest modeled time this rank's NIC is occupied through by async
+    /// sends (the busy timeline may have free gaps before it).
+    double nic_busy_until_s() const { return nic_busy_until_s_; }
+
     /// This rank's payload buffer pool. Single-threaded: only the owning
     /// rank's thread may touch it.
     BufferPool& buffer_pool() { return pool_; }
@@ -222,8 +259,8 @@ public:
     /// so per-rank counters stay in lockstep and matching calls agree on the
     /// tag block without any coordination traffic.
     ///
-    /// Long runs exhaust the int tag space (~2^31 - 10^6 tags); instead of
-    /// silently overflowing into UB, the counter wraps back to
+    /// Long runs exhaust the band (~2^30 - 10^6 tags); instead of silently
+    /// overflowing into the async band, the counter wraps back to
     /// kFreshTagBase. Wrapping is sound only when no fresh-tag message is
     /// still in flight — since the counters advance in SPMD lockstep, every
     /// rank wraps at the same collective boundary and checks its own inbound
@@ -231,13 +268,42 @@ public:
     /// fresh-tag message at wrap time throws (tag reuse would mis-match).
     int fresh_tags(int count);
 
+    /// Reserve `count` tags in the async band [kAsyncTagBase, INT_MAX) for
+    /// one AsyncCollective handle and return the band base. A second SPMD
+    /// cursor, separate from fresh_tags: every rank starts the same handles
+    /// in the same order, so matching handles agree on the band, and the
+    /// cursor's monotonic advance (between pending-gated wraps, as above)
+    /// guarantees two overlapping collectives can NEVER alias tags — the
+    /// multi-collective tag discipline of DESIGN.md §14.
+    int fresh_async_tags(int count);
+
     /// Current fresh-tag cursor (next block base).
     int fresh_tag_cursor() const { return tag_counter_; }
 
+    /// Current async-band cursor (next handle's band base).
+    int async_tag_cursor() const { return async_tag_counter_; }
+
     /// Test hook: reposition the fresh-tag cursor (e.g. just below the wrap
-    /// limit to exercise the overflow path without 2^31 collectives). Must
+    /// limit to exercise the overflow path without 2^30 collectives). Must
     /// be called in SPMD lockstep with no fresh-tag traffic in flight.
     void set_fresh_tag_cursor_for_test(int cursor) { tag_counter_ = cursor; }
+
+    /// Test hook, same contract as above, for the async cursor.
+    void set_async_tag_cursor_for_test(int cursor) { async_tag_counter_ = cursor; }
+
+    /// Register/unregister an in-flight progress source (async handles do
+    /// this in start()/destruction). Single-threaded: only the owning
+    /// rank's thread may touch the registry.
+    void add_progress_source(ProgressSource* source);
+    void remove_progress_source(ProgressSource* source);
+
+    /// Pump every registered source once, in ascending pump_priority()
+    /// order (front-layer buckets first — the P3 preemption rule). Returns
+    /// true if any source executed at least one op.
+    bool pump_progress();
+
+    /// Registered in-flight sources (for diagnostics/tests).
+    std::size_t progress_source_count() const { return progress_sources_.size(); }
 
 private:
     /// Logical -> physical peer translation under the current view.
@@ -245,14 +311,28 @@ private:
     /// Physical -> logical source translation (kAnySource receives).
     int to_logical(int physical_src) const;
 
-    int tag_counter_;  // initialized to kFreshTagBase, clear of user tags
+    int tag_counter_;        // initialized to kFreshTagBase, clear of user tags
+    int async_tag_counter_;  // initialized to kAsyncTagBase
+    std::vector<ProgressSource*> progress_sources_;
     Transport& transport_;
     int rank_;          // physical, fixed for the communicator's lifetime
     int logical_rank_;  // index into view_members_ (== rank_ when identity)
     int epoch_ = 0;
     std::vector<int> view_members_;    // empty = identity view (full world)
     std::vector<int> phys_to_logical_;  // -1 for non-members
+    /// Place a `duration_s` transfer at the first NIC gap at or after
+    /// `earliest_s` (first-fit over nic_busy_), reserve it, and return its
+    /// start. Host pump order must not decide modeled contention: a send
+    /// pumped late but with an early data dependency backfills gaps left by
+    /// transfers reserved before it.
+    double reserve_nic(double earliest_s, double duration_s);
+
     DeadlineClock deadline_clock_ = DeadlineClock::Host;
+    /// Reserved NIC busy intervals [start, end), sorted by start,
+    /// non-overlapping. Pruned between overlapped iterations (see
+    /// fresh_async_tags).
+    std::vector<std::pair<double, double>> nic_busy_;
+    double nic_busy_until_s_ = 0.0;
     double recv_timeout_s_ = 0.0;
     double recv_host_grace_s_ = 2.0;
     NetworkModel model_;

@@ -1,0 +1,32 @@
+// ProgressSource: the hook a multi-collective engine uses to keep every
+// in-flight collective moving while any one of them blocks.
+//
+// An AsyncCollective handle (collectives/async.hpp) registers itself with
+// its Communicator on start() and unregisters on destruction. Whenever a
+// handle's wait() finds its own next receive unmatched, it pumps EVERY
+// registered source via Communicator::pump_progress() instead of blocking
+// on its own mailbox alone — so a send queued behind another handle's op
+// program can never starve the receive chain it feeds (no cross-handle
+// deadlock by construction; tools/commcheck --concurrent certifies the same
+// executor model statically).
+#pragma once
+
+namespace gtopk::comm {
+
+class ProgressSource {
+public:
+    virtual ~ProgressSource() = default;
+
+    /// Execute every currently-runnable op of this source (buffered sends
+    /// always run; receives run when matched). Returns true if at least one
+    /// op executed — the caller's signal that global progress happened.
+    virtual bool pump_some() = 0;
+
+    /// Drain ordering hint: lower values are pumped first. The priority
+    /// scheduler maps front-layer buckets (needed first by the next
+    /// iteration's forward pass) to lower values so their traffic preempts
+    /// back-layer buckets whenever both have runnable ops (P3-style).
+    virtual int pump_priority() const { return 0; }
+};
+
+}  // namespace gtopk::comm

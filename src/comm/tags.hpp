@@ -1,19 +1,40 @@
 // Central registry of user-facing point-to-point tags.
 //
-// Tag space discipline (machine-checked by tools/commcheck and a
-// static_assert below): the half-open range [0, kFreshTagBase) belongs to
-// user protocols — every hand-assigned tag in the tree must be listed here —
-// and [kFreshTagBase, INT_MAX] belongs to Communicator::fresh_tags blocks,
-// which all collectives draw from in SPMD lockstep. Keeping the two ranges
-// disjoint is what lets a PS push (user tag) stay pending across a
-// collective (fresh tags) without any matching ambiguity.
+// Tag space discipline (machine-checked by tools/commcheck and the
+// static_asserts below) — three disjoint bands:
+//
+//   [0, kFreshTagBase)             user protocols: every hand-assigned tag
+//                                  in the tree must be listed here.
+//   [kFreshTagBase, kAsyncTagBase) Communicator::fresh_tags blocks, drawn
+//                                  by BLOCKING collectives in SPMD lockstep
+//                                  (one collective at a time).
+//   [kAsyncTagBase, INT_MAX)       Communicator::fresh_async_tags bands,
+//                                  one per in-flight AsyncCollective handle
+//                                  (collectives/async.hpp). A second SPMD
+//                                  cursor lives here so any number of
+//                                  concurrent handles get pairwise-disjoint
+//                                  tag bands without coordination traffic —
+//                                  two overlapping collectives can never
+//                                  alias tags.
+//
+// Keeping the bands disjoint is what lets a PS push (user tag) stay pending
+// across a collective (fresh tags), and an overlapped per-bucket gTop-k
+// (async band) stay in flight across a blocking collective, without any
+// matching ambiguity.
 #pragma once
+
+#include <limits>
 
 namespace gtopk::comm {
 
 /// First tag of the fresh-tag space reserved for collectives; every user
 /// tag must stay strictly below it.
 inline constexpr int kFreshTagBase = 1'000'000;
+
+/// First tag of the async band reserved for AsyncCollective handles. The
+/// blocking fresh-tag cursor wraps strictly below it; the async cursor
+/// starts here and wraps back here.
+inline constexpr int kAsyncTagBase = 1 << 30;
 
 enum UserTag : int {
     /// Parameter-server protocol (ps/ps_trainer.cpp).
@@ -54,5 +75,12 @@ static_assert(kTagPsPush < kFreshTagBase && kTagPsPull < kFreshTagBase &&
                   kTagReliableData < kFreshTagBase && kTagHeartbeat < kFreshTagBase,
               "user tags must stay below the fresh-tag base");
 static_assert(kTagPsPush >= 0, "user tags are non-negative");
+
+static_assert(kFreshTagBase < kAsyncTagBase,
+              "the blocking fresh-tag band must precede the async band");
+static_assert(kAsyncTagBase < std::numeric_limits<int>::max(),
+              "the async band must be non-empty");
+static_assert(std::numeric_limits<int>::max() - kAsyncTagBase >= (1 << 30) - 1,
+              "async band must be wide enough for deep per-handle tag blocks");
 
 }  // namespace gtopk::comm

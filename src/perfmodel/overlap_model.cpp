@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "collectives/cost_model.hpp"
 
@@ -24,15 +25,58 @@ double layerwise_gtopk_comm_time_s(const comm::NetworkModel& net, int workers,
     return total;
 }
 
+OverlapResult overlapped_pipeline(std::span<const double> comm_times_s,
+                                  std::span<const double> ready_s,
+                                  double t_forward_s, double t_backward_s,
+                                  int channels) {
+    if (comm_times_s.size() != ready_s.size()) {
+        throw std::invalid_argument(
+            "overlapped_pipeline: comm_times_s / ready_s size mismatch");
+    }
+    if (channels < 1) {
+        throw std::invalid_argument("overlapped_pipeline: channels < 1");
+    }
+
+    OverlapResult result;
+    if (comm_times_s.empty()) {
+        result.iteration_s = t_forward_s + t_backward_s;
+        result.hidden_fraction = 1.0;
+        return result;
+    }
+
+    // Greedy channel assignment in issue order: each bucket starts when its
+    // gradient is ready AND the earliest channel frees up. channels == 1
+    // degenerates to the strict serialization chain
+    // start_i = max(ready_i, end_{i-1}).
+    std::vector<double> channel_free(static_cast<std::size_t>(channels), 0.0);
+    double last_end = 0.0;
+    double total_comm = 0.0;
+    for (std::size_t i = 0; i < comm_times_s.size(); ++i) {
+        auto earliest =
+            std::min_element(channel_free.begin(), channel_free.end());
+        const double start = std::max(ready_s[i], *earliest);
+        const double end = start + comm_times_s[i];
+        *earliest = end;
+        last_end = std::max(last_end, end);
+        total_comm += comm_times_s[i];
+    }
+    result.iteration_s = t_forward_s + std::max(t_backward_s, last_end);
+    result.exposed_comm_s = std::max(0.0, last_end - t_backward_s);
+    result.total_comm_s = total_comm;
+    result.hidden_fraction =
+        total_comm <= 0.0 ? 1.0 : 1.0 - result.exposed_comm_s / total_comm;
+    return result;
+}
+
 OverlapResult overlapped_iteration(const comm::NetworkModel& net, int workers,
                                    std::span<const std::int64_t> segment_sizes,
                                    double density, double t_forward_s,
-                                   double t_backward_s) {
+                                   double t_backward_s, int channels) {
     std::int64_t total_size = 0;
     for (std::int64_t s : segment_sizes) total_size += s;
 
-    OverlapResult result;
     if (segment_sizes.empty() || total_size == 0) {
+        OverlapResult result;
         result.iteration_s = t_forward_s + t_backward_s;
         result.hidden_fraction = 1.0;
         return result;
@@ -40,24 +84,21 @@ OverlapResult overlapped_iteration(const comm::NetworkModel& net, int workers,
 
     // Backward sweeps layers in reverse; segment l's gradient is ready
     // after the backward work of all deeper layers plus its own.
+    std::vector<double> comm_times;
+    std::vector<double> ready;
+    comm_times.reserve(segment_sizes.size());
+    ready.reserve(segment_sizes.size());
     double backward_done = 0.0;
-    double comm_end = 0.0;
-    double total_comm = 0.0;
     for (std::size_t i = segment_sizes.size(); i-- > 0;) {
         const double share = static_cast<double>(segment_sizes[i]) /
                              static_cast<double>(total_size);
         backward_done += share * t_backward_s;
-        const double comm =
-            collectives::gtopk_allreduce_time_s(net, workers,
-                                                k_of(segment_sizes[i], density));
-        total_comm += comm;
-        comm_end = std::max(comm_end, backward_done) + comm;
+        comm_times.push_back(collectives::gtopk_allreduce_time_s(
+            net, workers, k_of(segment_sizes[i], density)));
+        ready.push_back(backward_done);
     }
-    result.iteration_s = t_forward_s + std::max(t_backward_s, comm_end);
-    result.exposed_comm_s = std::max(0.0, comm_end - t_backward_s);
-    result.hidden_fraction =
-        total_comm <= 0.0 ? 1.0 : 1.0 - result.exposed_comm_s / total_comm;
-    return result;
+    return overlapped_pipeline(comm_times, ready, t_forward_s, t_backward_s,
+                               channels);
 }
 
 }  // namespace gtopk::perfmodel

@@ -8,10 +8,18 @@
 // computing. The model:
 //   * segment l's gradient is ready when the backward pass has finished
 //     layers L-1..l (backward time split proportionally to segment size);
-//   * the NIC serializes aggregations: each starts at
-//     max(ready_l, previous aggregation's end) and runs for comm_l;
+//   * the fabric carries `channels` concurrent aggregations (1 = the
+//     single-NIC serialization the paper assumes): each starts at
+//     max(ready_l, earliest channel free) and runs for comm_l;
 //   * iteration time = t_f + max(t_b, last aggregation end), since the
 //     update can only apply when everything has been aggregated.
+//
+// overlapped_pipeline is the reconciled core shared with the runtime: it
+// consumes per-bucket comm times and READY TIMES — the trainer's bucketer
+// (train/bucketer.hpp) computes the same ready fractions it feeds into the
+// virtual clock, so prediction and implementation share one definition of
+// "ready" by construction. bench_overlap closes the loop by checking the
+// trace-measured hidden fraction against this prediction.
 #pragma once
 
 #include <cstdint>
@@ -33,14 +41,25 @@ struct OverlapResult {
     double iteration_s = 0.0;       // t_f + max(t_b, pipeline completion)
     double exposed_comm_s = 0.0;    // communication NOT hidden by backprop
     double hidden_fraction = 0.0;   // 1 - exposed / total comm
+    double total_comm_s = 0.0;      // sum of per-bucket comm times
 };
 
-/// Pipeline simulation described above. `t_forward_s` and `t_backward_s`
-/// are the full-model phase times; segment_sizes are in FORWARD layer
+/// Reconciled pipeline core: `comm_times_s[i]` and `ready_s[i]` describe
+/// bucket i in backward ISSUE order (the order the trainer starts handles);
+/// ready_s is measured from the start of the backward pass. `channels` is
+/// the fabric's per-collective concurrency (1 = single-NIC serialization).
+OverlapResult overlapped_pipeline(std::span<const double> comm_times_s,
+                                  std::span<const double> ready_s,
+                                  double t_forward_s, double t_backward_s,
+                                  int channels = 1);
+
+/// Segment-size front end: prices each segment's gTop-k with the alpha-beta
+/// cost model and derives ready times from proportional backward shares,
+/// then runs overlapped_pipeline. `segment_sizes` are in FORWARD layer
 /// order (backward runs through them in reverse).
 OverlapResult overlapped_iteration(const comm::NetworkModel& net, int workers,
                                    std::span<const std::int64_t> segment_sizes,
                                    double density, double t_forward_s,
-                                   double t_backward_s);
+                                   double t_backward_s, int channels = 1);
 
 }  // namespace gtopk::perfmodel

@@ -8,10 +8,12 @@
 #include <stdexcept>
 
 #include "collectives/collectives.hpp"
+#include "core/async_gtopk.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/telemetry.hpp"
 #include "sparse/topk_merge.hpp"
 #include "sparse/topk_select.hpp"
+#include "train/bucketer.hpp"
 #include "train/checkpoint.hpp"
 #include "util/log.hpp"
 
@@ -109,6 +111,11 @@ TrainResult train_distributed(int world_size, comm::NetworkModel net,
         throw std::invalid_argument(
             "threshold selection policies require a gTop-k family algorithm");
     }
+    if (config.overlap && config.algorithm != Algorithm::LayerwiseGtopkSsgd) {
+        throw std::invalid_argument(
+            "train_distributed: overlap requires LayerwiseGtopkSsgd — only "
+            "per-bucket collectives can hide under backward compute");
+    }
     if (config.membership && config.recv_timeout_s <= 0.0) {
         throw std::invalid_argument(
             "train_distributed: elastic mode needs recv_timeout_s > 0 — the "
@@ -160,11 +167,18 @@ TrainResult train_distributed(int world_size, comm::NetworkModel net,
         util::Xoshiro256 sample_rng =
             util::Xoshiro256(config.model_seed).fork(0x5A00 + static_cast<std::uint64_t>(rank));
 
-        // Parameter-tensor segmentation for the layer-wise variant.
+        // Parameter-tensor segmentation for the layer-wise variant, fused
+        // into communication buckets (identity per-tensor buckets unless
+        // config.bucket_bytes asks for fusion) with their backward-ready
+        // fractions — the shared "ready time" definition the overlap model
+        // also consumes (train/bucketer.hpp).
         std::vector<std::size_t> seg_offsets{0};
         for (const auto& p : model->params()) {
             seg_offsets.push_back(seg_offsets.back() + p.value->size());
         }
+        const std::vector<GradBucket> buckets =
+            fuse_buckets(seg_offsets, config.bucket_bytes);
+        const std::vector<double> bucket_ready = bucket_ready_fractions(buckets, m);
 
         double total_compute = 0, total_compress = 0, total_comm = 0;
         std::int64_t total_iters = 0;
@@ -334,10 +348,10 @@ TrainResult train_distributed(int world_size, comm::NetworkModel net,
                 std::vector<SparseGradient> seg_locals;  // layer-wise only
                 if (config.algorithm == Algorithm::LayerwiseGtopkSsgd) {
                     residual = accumulated;
-                    seg_locals.reserve(seg_offsets.size() - 1);
-                    for (std::size_t s = 0; s + 1 < seg_offsets.size(); ++s) {
-                        const std::size_t off = seg_offsets[s];
-                        const std::size_t len = seg_offsets[s + 1] - off;
+                    seg_locals.reserve(buckets.size());
+                    for (const GradBucket& b : buckets) {
+                        const std::size_t off = b.begin;
+                        const std::size_t len = b.size();
                         const std::size_t k_seg = std::max<std::size_t>(
                             1, static_cast<std::size_t>(std::llround(
                                    density * static_cast<double>(len))));
@@ -414,34 +428,79 @@ TrainResult train_distributed(int world_size, comm::NetworkModel net,
                         break;
                     }
                     case Algorithm::LayerwiseGtopkSsgd: {
-                        // One independent gTop-k per parameter tensor; the
-                        // put-back (line 10) works in segment-local
-                        // coordinates, shifted into the flat residual.
+                        // One independent gTop-k per bucket; the put-back
+                        // (line 10) works in bucket-local coordinates,
+                        // shifted into the flat residual. The overlap path
+                        // runs the SAME per-bucket collectives as async
+                        // handles, issued in backward (gradient-ready)
+                        // order and drained front-first — only virtual
+                        // scheduling changes, never the math, so params are
+                        // bit-identical with overlap on or off.
                         update.assign(m, 0.0f);
                         const float inv = 1.0f / static_cast<float>(comm.size());
+                        const double agg_v_start = comm.clock().now_s();
+                        std::vector<std::unique_ptr<core::AsyncGtopkAllreduce>>
+                            handles;
+                        if (config.overlap) {
+                            handles.resize(seg_locals.size());
+                            for (std::size_t i = seg_locals.size(); i-- > 0;) {
+                                // Gradient-ready injection: the bucket's
+                                // collective may not start before backward
+                                // has produced its gradients.
+                                if (config.overlap_backward_s > 0.0) {
+                                    comm.clock().advance_to(
+                                        agg_v_start +
+                                        bucket_ready[i] *
+                                            config.overlap_backward_s);
+                                }
+                                handles[i] =
+                                    std::make_unique<core::AsyncGtopkAllreduce>(
+                                        comm, seg_locals[i], seg_locals[i].nnz(),
+                                        &agg_ws.merge);
+                                handles[i]->set_priority(buckets[i].priority);
+                                handles[i]->start();
+                            }
+                            if (config.overlap_backward_s > 0.0) {
+                                comm.clock().advance_to(
+                                    agg_v_start + config.overlap_backward_s);
+                            }
+                        } else if (config.overlap_backward_s > 0.0) {
+                            // Same modeled backward charge, fully serialized
+                            // ahead of the communication — the overlap-off
+                            // baseline the benches compare against.
+                            comm.clock().advance(config.overlap_backward_s);
+                        }
                         for (std::size_t s = 0; s < seg_locals.size(); ++s) {
-                            const std::size_t off = seg_offsets[s];
+                            const std::size_t off = buckets[s].begin;
                             const SparseGradient& seg_local = seg_locals[s];
-                            core::GtopkResult res = core::gtopk_allreduce(
-                                comm, seg_local, seg_local.nnz(), agg_opts);
+                            core::GtopkResult res;
+                            if (config.overlap) {
+                                handles[s]->wait();
+                            } else {
+                                res = core::gtopk_allreduce(
+                                    comm, seg_local, seg_local.nnz(), agg_opts);
+                            }
+                            const SparseGradient& global = config.overlap
+                                                               ? handles[s]->result()
+                                                               : res.global;
                             std::size_t gi = 0;
                             for (std::size_t li = 0; li < seg_local.nnz(); ++li) {
                                 const std::int32_t idx = seg_local.indices[li];
-                                while (gi < res.global.nnz() &&
-                                       res.global.indices[gi] < idx) {
+                                while (gi < global.nnz() &&
+                                       global.indices[gi] < idx) {
                                     ++gi;
                                 }
-                                const bool kept = gi < res.global.nnz() &&
-                                                  res.global.indices[gi] == idx;
+                                const bool kept = gi < global.nnz() &&
+                                                  global.indices[gi] == idx;
                                 if (!kept) {
                                     residual[off + static_cast<std::size_t>(idx)] +=
                                         seg_local.values[li];
                                 }
                             }
-                            for (std::size_t gj = 0; gj < res.global.nnz(); ++gj) {
+                            for (std::size_t gj = 0; gj < global.nnz(); ++gj) {
                                 update[off + static_cast<std::size_t>(
-                                                 res.global.indices[gj])] =
-                                    res.global.values[gj] * inv;
+                                                 global.indices[gj])] =
+                                    global.values[gj] * inv;
                             }
                         }
                         break;

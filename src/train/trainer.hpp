@@ -135,6 +135,30 @@ struct TrainConfig {
     /// the first iteration; <= 0 keeps only that one.
     int checkpoint_every = 0;
 
+    /// --- layer-wise overlap (LayerwiseGtopkSsgd only) ---
+    /// Overlapped aggregation: per-bucket gTop-k collectives are issued in
+    /// backward (gradient-ready) order as AsyncCollective handles and
+    /// drained front-bucket-first (P3 priority), so communication hides
+    /// under the modeled backward compute on the virtual-time network. Off
+    /// (default): the sequential per-bucket loop, bit-identical to pre-
+    /// overlap behavior. Scheduling may not change math: final params are
+    /// bit-identical with overlap on or off for the same seed.
+    bool overlap = false;
+    /// Tensor-fusion threshold: consecutive parameter tensors are fused
+    /// (in backward order) into buckets of at least this many gradient
+    /// payload bytes (train/bucketer.hpp). <= 0 (default) keeps one bucket
+    /// per tensor — the historical per-tensor granularity. Applies to
+    /// selection AND aggregation, independent of `overlap`.
+    std::int64_t bucket_bytes = 0;
+    /// Modeled backward-pass time injected into the VIRTUAL clock during
+    /// layer-wise aggregation: with overlap on, each bucket's collective is
+    /// issued only once the clock reaches its bucketer-defined ready time
+    /// (ready_fraction * this); with overlap off, the full backward time is
+    /// charged before the sequential loop. 0 (default): no injection —
+    /// virtual time measures pure communication, as before. Benches set it
+    /// from profiled compute so overlap is measurable in virtual time.
+    double overlap_backward_s = 0.0;
+
     /// Cluster telemetry plane (obs/telemetry.hpp): non-null makes every
     /// rank fold its iteration into a RankIterStats and run the global
     /// stats allgather each step, driving any attached attribution /

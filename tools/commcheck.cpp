@@ -13,6 +13,7 @@
 // Usage:
 //   commcheck [--proto all|<name>] [--world 1..64] [--report out.json] [-v]
 //   commcheck --survivors [--world 2..16] [--seed N] [-v]
+//   commcheck --concurrent [--world 2..16] [-v]
 //
 // Protocols: barrier broadcast broadcast-flat reduce allreduce-ring
 //            allreduce-rd allreduce-rabenseifner allgather allgather-ring
@@ -27,6 +28,15 @@
 // invariants still hold on the physical schedule and (b) survivor
 // confinement: no op lives on or addresses a dead rank.
 //
+// --concurrent verifies the OVERLAPPED-TRAINING path: for every world in
+// the range and several bucket counts it builds the exact schedule set the
+// trainer's AsyncCollective handles execute in flight together (one
+// bucketed gTop-k = merge + broadcast per bucket), rebases each part onto
+// the async-band tag block fresh_async_tags would hand that handle, and
+// proves band disjointness, cross-part FIFO-unambiguity, and
+// deadlock-freedom of the combined pump-all execution
+// (verify_concurrent_schedules).
+//
 // Exit code 0 iff every check passes.
 #include <cstdio>
 #include <cstring>
@@ -40,6 +50,7 @@
 #include "analysis/verify.hpp"
 #include "collectives/cost_model.hpp"
 #include "collectives/schedule.hpp"
+#include "comm/tags.hpp"
 #include "obs/telemetry.hpp"
 #include "ps/ps_schedule.hpp"
 #include "util/rng.hpp"
@@ -381,6 +392,57 @@ int run_survivor_sweep(int world_lo, int world_hi, std::uint64_t seed,
     return failed == 0 ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------------
+// --concurrent mode: overlapped schedule-set verification
+// ---------------------------------------------------------------------------
+
+/// One in-flight bucketed gTop-k handle's schedule — exactly what
+/// core::AsyncGtopkAllreduce executes (merge to rank 0 + binomial
+/// broadcast, concatenated).
+Schedule bucket_gtopk_schedule(int world) {
+    const Schedule parts[] = {
+        gtopk_merge_schedule(world, kWireBytes),
+        broadcast_schedule(world, 0, kWireBytes, BcastAlgo::BinomialTree)};
+    return concat_schedules("gtopk.allreduce.async", parts);
+}
+
+int run_concurrent_sweep(int world_lo, int world_hi, bool verbose) {
+    const gtopk::comm::NetworkModel net =
+        gtopk::comm::NetworkModel::one_gbps_ethernet();
+    constexpr int kBucketCounts[] = {2, 3, 5, 8};
+    int checked = 0, failed = 0;
+    for (int world = std::max(2, world_lo); world <= world_hi; ++world) {
+        for (int buckets : kBucketCounts) {
+            // Replay the Communicator's async-band cursor: handle i gets the
+            // block starting where handle i-1's ended.
+            std::vector<Schedule> parts;
+            std::vector<int> bases;
+            int cursor = gtopk::comm::kAsyncTagBase;
+            for (int b = 0; b < buckets; ++b) {
+                parts.push_back(bucket_gtopk_schedule(world));
+                bases.push_back(cursor);
+                cursor += parts.back().tag_count;
+            }
+            const VerifyResult v = gtopk::analysis::verify_concurrent_schedules(
+                parts, std::span<const int>(bases), &net);
+            ++checked;
+            if (!v.ok()) ++failed;
+            if (verbose || !v.ok()) {
+                std::printf("concurrent-gtopk P=%-3d buckets=%d %s\n", world,
+                            buckets, v.ok() ? "ok" : "FAIL");
+                for (const auto& viol : v.violations) {
+                    std::printf("    [%s] rank %d: %s\n", viol.check.c_str(),
+                                viol.rank, viol.detail.c_str());
+                }
+            }
+        }
+    }
+    std::printf("commcheck --concurrent: %d overlapped schedule set(s) "
+                "verified, %d failed (worlds %d..%d)\n",
+                checked, failed, std::max(2, world_lo), world_hi);
+    return failed == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -389,6 +451,7 @@ int main(int argc, char** argv) {
     std::string report_path;
     bool verbose = false;
     bool survivors_mode = false;
+    bool concurrent_mode = false;
     bool world_given = false;
     std::uint64_t seed = 1;
 
@@ -413,6 +476,8 @@ int main(int argc, char** argv) {
             report_path = next();
         } else if (arg == "--survivors") {
             survivors_mode = true;
+        } else if (arg == "--concurrent") {
+            concurrent_mode = true;
         } else if (arg == "--seed") {
             try {
                 seed = std::stoull(next());
@@ -426,7 +491,8 @@ int main(int argc, char** argv) {
             std::printf(
                 "usage: commcheck [--proto all|NAME] [--world LO..HI] "
                 "[--report FILE.json] [-v]\n"
-                "       commcheck --survivors [--world 2..16] [--seed N] [-v]\n");
+                "       commcheck --survivors [--world 2..16] [--seed N] [-v]\n"
+                "       commcheck --concurrent [--world 2..16] [-v]\n");
             return 0;
         } else {
             std::fprintf(stderr, "commcheck: unknown argument %s\n", arg.c_str());
@@ -442,6 +508,13 @@ int main(int argc, char** argv) {
             world_hi = 16;
         }
         return run_survivor_sweep(world_lo, world_hi, seed, verbose);
+    }
+    if (concurrent_mode) {
+        if (!world_given) {
+            world_lo = 2;
+            world_hi = 16;
+        }
+        return run_concurrent_sweep(world_lo, world_hi, verbose);
     }
 
     const gtopk::comm::NetworkModel net =
