@@ -28,6 +28,15 @@
 // survivors detect the stall via their receive deadlines, regroup into a
 // new membership epoch, roll back to the newest common in-memory
 // checkpoint, and finish the training converged on 3 workers.
+//
+// With --transport tcp, the same 4-worker world runs as 4 OS processes
+// over real sockets (DESIGN.md §15). Launch it under the launcher:
+//
+//   $ gtopkrun -n 4 -- ./quickstart --transport tcp
+//
+// Each process drives one rank over a comm::TcpTransport; rank 0 prints
+// the results (and owns the telemetry JSONL / trace files). The training
+// math is bit-identical to the in-process run — only the wire changes.
 #include <cstring>
 #include <iostream>
 #include <memory>
@@ -35,6 +44,7 @@
 
 #include "comm/fault_transport.hpp"
 #include "comm/membership.hpp"
+#include "comm/tcp_transport.hpp"
 #include "data/sampler.hpp"
 #include "data/synthetic_images.hpp"
 #include "nn/model_zoo.hpp"
@@ -52,6 +62,7 @@ int main(int argc, char** argv) {
 
     std::string trace_out;
     std::string telemetry_out;
+    std::string transport_name = "inproc";
     bool trace_requested = false;
     bool telemetry_requested = false;
     bool chaos = false;
@@ -73,13 +84,28 @@ int main(int argc, char** argv) {
             chaos = true;
         } else if (std::strcmp(argv[i], "--overlap") == 0) {
             overlap = true;
+        } else if (std::strcmp(argv[i], "--transport") == 0 && i + 1 < argc) {
+            transport_name = argv[++i];
+        } else if (std::strncmp(argv[i], "--transport=", 12) == 0) {
+            transport_name = argv[i] + 12;
         } else {
             std::cerr << "usage: " << argv[0]
                       << " [--trace-out <file.json>]"
                          " [--telemetry-out <file.jsonl>] [--chaos]"
-                         " [--overlap]\n";
+                         " [--overlap] [--transport inproc|tcp]\n";
             return 2;
         }
+    }
+    if (transport_name != "inproc" && transport_name != "tcp") {
+        std::cerr << "error: --transport must be 'inproc' or 'tcp'\n";
+        return 2;
+    }
+    const bool tcp = transport_name == "tcp";
+    if (tcp && chaos) {
+        std::cerr << "error: --chaos needs the in-process cluster (the "
+                     "membership regroup barrier is in-process); drop "
+                     "--transport tcp\n";
+        return 2;
     }
     if (trace_requested && trace_out.empty()) {
         std::cerr << "error: --trace-out requires a non-empty path\n";
@@ -91,6 +117,35 @@ int main(int argc, char** argv) {
     }
 
     const int workers = 4;
+
+    // 0. Transport. In TCP mode this process hosts exactly ONE rank of the
+    // 4-worker world (gtopkrun exports the rendezvous contract through the
+    // environment); the rank-0 process prints and owns the output files.
+    std::unique_ptr<comm::TcpTransport> tcp_transport;
+    int local_rank = -1;
+    if (tcp) {
+        const auto env = comm::TcpTransport::config_from_env();
+        if (!env) {
+            std::cerr << "error: --transport tcp requires GTOPK_RANK / "
+                         "GTOPK_WORLD_SIZE / GTOPK_RENDEZVOUS; launch via:\n"
+                         "  gtopkrun -n 4 -- "
+                      << argv[0] << " --transport tcp\n";
+            return 2;
+        }
+        if (env->world_size != workers) {
+            std::cerr << "error: quickstart is a " << workers
+                      << "-worker example; launch with gtopkrun -n " << workers
+                      << "\n";
+            return 2;
+        }
+        tcp_transport = std::make_unique<comm::TcpTransport>(*env);
+        local_rank = env->rank;
+        // Non-lead ranks write no files: a shared path would clobber. The
+        // telemetry exchange itself stays on for every rank below — it is
+        // a collective, so either all ranks run it or none do.
+        if (local_rank != 0) trace_out.clear();
+    }
+    const bool lead_process = !tcp || local_rank == 0;
 
     // 1. A deterministic synthetic dataset, sharded across the workers.
     data::SyntheticImageDataset::Config dcfg;
@@ -111,6 +166,13 @@ int main(int argc, char** argv) {
     config.lr = 0.05f;
     config.density = 0.01;                        // rho
     config.warmup_densities = {0.25, 0.0725};     // first epochs
+    if (tcp) {
+        config.transport = tcp_transport.get();
+        config.local_rank = local_rank;
+        // Real sockets still arm a host-clock receive deadline so a dead
+        // peer surfaces as a typed CommError instead of a hang.
+        config.recv_timeout_s = 30.0;
+    }
 
     // 3a. Optional overlapped training: layer-wise gTop-k with tensor
     // fusion, one async collective per bucket issued in gradient-ready
@@ -121,8 +183,10 @@ int main(int argc, char** argv) {
         config.overlap = true;
         config.bucket_bytes = 4096;        // fuse tiny tensors (MG-WFBP)
         config.overlap_backward_s = 5e-3;  // modeled backward time to hide under
-        std::cout << "overlap mode: layer-wise gTop-k, async per-bucket "
-                     "aggregation\n\n";
+        if (lead_process) {
+            std::cout << "overlap mode: layer-wise gTop-k, async per-bucket "
+                         "aggregation\n\n";
+        }
     }
 
     // 3b. Optional observability: a tracer records per-rank phase spans.
@@ -143,7 +207,9 @@ int main(int argc, char** argv) {
     std::unique_ptr<obs::FlightRecorder> recorder;
     if (!telemetry_out.empty()) {
         obs::Telemetry::Config tcfg;
-        tcfg.jsonl_path = telemetry_out;
+        // Only the lead process opens the JSONL sink (the stats allgather
+        // gives it every rank's numbers; a shared path would clobber).
+        if (lead_process) tcfg.jsonl_path = telemetry_out;
         telemetry = std::make_unique<obs::Telemetry>(workers, tcfg);
         attribution = std::make_unique<obs::CostAttribution>(
             net, tracer ? &tracer->metrics() : nullptr);
@@ -188,7 +254,9 @@ int main(int argc, char** argv) {
         },
         [&] { return dataset.batch_flat(sampler.test_indices(256)); });
 
-    // 5. Inspect what happened.
+    // 5. Inspect what happened. In TCP mode only the lead process reports
+    // (each peer process computed the bit-identical replica).
+    if (!lead_process) return 0;
     std::cout << "epoch  density   train-loss  val-acc\n";
     for (const auto& e : result.epochs) {
         std::cout << "  " << e.epoch << "     " << e.density << "     "

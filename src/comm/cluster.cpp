@@ -74,4 +74,36 @@ std::vector<CommStats> Cluster::run_on(Transport& transport, NetworkModel model,
     return run_timed_on(transport, model, fn, tracer, recv_timeout_s).stats;
 }
 
+Cluster::LocalRunResult Cluster::run_local(Transport& transport, int rank,
+                                           NetworkModel model, const WorkerFn& fn,
+                                           obs::Tracer* tracer,
+                                           double recv_timeout_s) {
+    if (rank < 0 || rank >= transport.world_size()) {
+        throw std::invalid_argument("Cluster::run_local: rank outside world");
+    }
+    if (tracer && tracer->world_size() < transport.world_size()) {
+        throw std::invalid_argument("Cluster: tracer world_size below cluster's");
+    }
+    transport.set_tracer(tracer);
+
+    util::set_thread_rank(rank);
+    Communicator comm(transport, rank, model);
+    comm.set_tracer(tracer);
+    comm.set_recv_timeout_s(recv_timeout_s);
+
+    LocalRunResult result;
+    try {
+        fn(comm);
+        result.completed = true;
+    } catch (const MailboxClosed&) {
+        // Shutdown raced the worker (peer failure propagated locally).
+    } catch (...) {
+        transport.shutdown();
+        throw;
+    }
+    result.stats = comm.stats();
+    result.final_time_s = comm.clock().now_s();
+    return result;
+}
+
 }  // namespace gtopk::comm

@@ -58,6 +58,23 @@ public:
     static RunResult run_timed_on(Transport& transport, NetworkModel model,
                                   const WorkerFn& fn, obs::Tracer* tracer = nullptr,
                                   double recv_timeout_s = 0.0);
+
+    /// Run ONE rank of a multi-process world on the calling thread — the
+    /// per-process half of a TcpTransport deployment, where every peer rank
+    /// lives in its own OS process and only `rank` is local. Exception
+    /// semantics mirror run_timed_on: a worker failure shuts the transport
+    /// down (so this process's blocked receives wake) and rethrows;
+    /// MailboxClosed is swallowed as a secondary effect of a peer-initiated
+    /// shutdown.
+    struct LocalRunResult {
+        CommStats stats;
+        double final_time_s = 0.0;
+        bool completed = false;  // false: MailboxClosed cut the worker short
+    };
+    static LocalRunResult run_local(Transport& transport, int rank,
+                                    NetworkModel model, const WorkerFn& fn,
+                                    obs::Tracer* tracer = nullptr,
+                                    double recv_timeout_s = 0.0);
 };
 
 }  // namespace gtopk::comm

@@ -80,13 +80,19 @@ int Communicator::fresh_tags(int count) {
         // wrap at the same collective boundary, so matching calls still
         // agree on the block. Reuse is only safe if no message carrying an
         // old fresh tag is still queued for this rank — a stale tag could
-        // steal a future match. The >= kFreshTagBase pending check also
-        // counts async-band traffic, which is conservative: wrapping under
-        // an in-flight async collective throws rather than risking it.
-        // (Transports that cannot inspect their queues report 0 pending,
-        // degrading this to an unchecked wrap.)
+        // steal a future match. The check starts ABOVE the block being
+        // allocated: peers that already wrapped may have legitimately sent
+        // this collective's messages with tags from the new block
+        // [kFreshTagBase, kFreshTagBase + count), and at P in the hundreds
+        // some always have (the fast ranks enter the collective while the
+        // slow ones are still allocating). Anything at or past the block
+        // end is genuinely stale. The threshold also counts async-band
+        // traffic, which is conservative: wrapping under an in-flight async
+        // collective throws rather than risking it. (Transports that cannot
+        // inspect their queues report 0 pending, degrading this to an
+        // unchecked wrap.)
         const std::size_t in_flight =
-            transport_.pending_with_tag_at_least(rank_, kFreshTagBase);
+            transport_.pending_with_tag_at_least(rank_, kFreshTagBase + count);
         if (in_flight != 0) {
             throw std::logic_error(
                 "fresh_tags: tag space exhausted on rank " + std::to_string(rank_) +
@@ -119,9 +125,12 @@ int Communicator::fresh_async_tags(int count) {
     if (async_tag_counter_ > std::numeric_limits<int>::max() - count) {
         // Same pending-gated wrap as fresh_tags, confined to the async
         // band: every rank starts the same handles in the same order (SPMD
-        // lockstep), so all ranks wrap at the same handle boundary.
+        // lockstep), so all ranks wrap at the same handle boundary. As
+        // above, tags inside the block being allocated may already be in
+        // flight from wrapped-ahead peers; only tags past the block end are
+        // stale.
         const std::size_t in_flight =
-            transport_.pending_with_tag_at_least(rank_, kAsyncTagBase);
+            transport_.pending_with_tag_at_least(rank_, kAsyncTagBase + count);
         if (in_flight != 0) {
             throw std::logic_error(
                 "fresh_async_tags: async tag band exhausted on rank " +

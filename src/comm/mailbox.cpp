@@ -1,6 +1,18 @@
 #include "comm/mailbox.hpp"
 
+#include "comm/tags.hpp"
+
 namespace gtopk::comm {
+
+void Mailbox::note_insert(const Message& m) {
+    if (m.tag >= kFreshTagBase) ++fresh_pending_;
+    if (m.tag >= kAsyncTagBase) ++async_pending_;
+}
+
+void Mailbox::note_erase(const Message& m) {
+    if (m.tag >= kFreshTagBase) --fresh_pending_;
+    if (m.tag >= kAsyncTagBase) --async_pending_;
+}
 
 std::size_t Mailbox::push(Message msg) {
     std::size_t depth;
@@ -12,6 +24,7 @@ std::size_t Mailbox::push(Message msg) {
             ++stale_rejected_;
             return queue_.size();
         }
+        note_insert(msg);
         queue_.push_back(std::move(msg));
         depth = queue_.size();
     }
@@ -25,6 +38,7 @@ Message Mailbox::pop(int source, int tag) {
         for (auto it = queue_.begin(); it != queue_.end(); ++it) {
             if (matches(*it, source, tag)) {
                 Message msg = std::move(*it);
+                note_erase(msg);
                 queue_.erase(it);
                 return msg;
             }
@@ -36,12 +50,17 @@ Message Mailbox::pop(int source, int tag) {
 
 std::optional<Message> Mailbox::pop_for(int source, int tag,
                                         std::chrono::nanoseconds timeout) {
+    // The absolute deadline is computed ONCE, before the wait loop: every
+    // spurious or non-matching wakeup re-enters cv_.wait_until with the
+    // same time point, so repeated wakeups can never extend the effective
+    // timeout (scale_test pins this property under a notification storm).
     const auto deadline = std::chrono::steady_clock::now() + timeout;
     std::unique_lock<std::mutex> lock(mutex_);
     for (;;) {
         for (auto it = queue_.begin(); it != queue_.end(); ++it) {
             if (matches(*it, source, tag)) {
                 Message msg = std::move(*it);
+                note_erase(msg);
                 queue_.erase(it);
                 return msg;
             }
@@ -52,6 +71,7 @@ std::optional<Message> Mailbox::pop_for(int source, int tag,
             for (auto it = queue_.begin(); it != queue_.end(); ++it) {
                 if (matches(*it, source, tag)) {
                     Message msg = std::move(*it);
+                    note_erase(msg);
                     queue_.erase(it);
                     return msg;
                 }
@@ -70,6 +90,7 @@ std::optional<Message> Mailbox::pop_for_virtual(int source, int tag,
     for (;;) {
         for (auto it = queue_.begin(); it != queue_.end(); ++it) {
             if (!matches(*it, source, tag)) continue;
+            note_erase(*it);
             if (it->arrival_time_s <= max_arrival_s) {
                 Message msg = std::move(*it);
                 queue_.erase(it);
@@ -88,6 +109,7 @@ std::optional<Message> Mailbox::pop_for_virtual(int source, int tag,
                 if (!matches(*it, source, tag)) continue;
                 const bool in_time = it->arrival_time_s <= max_arrival_s;
                 std::optional<Message> out;
+                note_erase(*it);
                 if (in_time) out = std::move(*it);
                 queue_.erase(it);
                 return out;
@@ -104,6 +126,7 @@ std::optional<Message> Mailbox::try_pop(int source, int tag) {
     for (auto it = queue_.begin(); it != queue_.end(); ++it) {
         if (matches(*it, source, tag)) {
             Message msg = std::move(*it);
+            note_erase(msg);
             queue_.erase(it);
             return msg;
         }
@@ -130,6 +153,7 @@ void Mailbox::set_min_epoch(int epoch) {
     min_epoch_ = epoch;
     for (auto it = queue_.begin(); it != queue_.end();) {
         if (it->epoch < min_epoch_) {
+            note_erase(*it);
             it = queue_.erase(it);
             ++stale_rejected_;
         } else {
@@ -150,6 +174,13 @@ std::size_t Mailbox::stale_rejected() const {
 
 std::size_t Mailbox::count_tag_at_least(int min_tag) const {
     std::lock_guard<std::mutex> lock(mutex_);
+    // O(1) fast paths for the thresholds the hot loops use: total depth
+    // (telemetry's per-iteration mailbox_depth) and the two band bases
+    // (the fresh/async tag-wrap soundness checks). At P=256 these were an
+    // O(queue) scan per iteration per rank.
+    if (min_tag <= 0) return queue_.size();
+    if (min_tag == kFreshTagBase) return fresh_pending_;
+    if (min_tag == kAsyncTagBase) return async_pending_;
     std::size_t n = 0;
     for (const Message& m : queue_) {
         if (m.tag >= min_tag) ++n;

@@ -69,6 +69,13 @@ public:
     /// Number of queued messages whose tag is >= `min_tag`. Used by the
     /// fresh-tag wrap check in Communicator::fresh_tags: wrapping the tag
     /// counter is only sound when no fresh-tag message is still in flight.
+    ///
+    /// O(1) at the three thresholds the hot paths ask about — 0 (total
+    /// depth, polled every iteration by the telemetry plane), kFreshTagBase
+    /// and kAsyncTagBase (the wrap checks) — via counters maintained on
+    /// every enqueue/dequeue; any other threshold falls back to a scan.
+    /// Message tags are non-negative by construction (tags.hpp bands; the
+    /// TCP frame decoder rejects negative tags at the wire).
     std::size_t count_tag_at_least(int min_tag) const;
 
 private:
@@ -77,12 +84,19 @@ private:
                (tag == kAnyTag || m.tag == tag);
     }
 
+    // Band-counter bookkeeping; call with mutex_ held around every queue_
+    // mutation so the O(1) count_tag_at_least fast paths stay exact.
+    void note_insert(const Message& m);
+    void note_erase(const Message& m);
+
     mutable std::mutex mutex_;
     std::condition_variable cv_;
     std::deque<Message> queue_;
     bool closed_ = false;
     int min_epoch_ = 0;
     std::size_t stale_rejected_ = 0;
+    std::size_t fresh_pending_ = 0;  // queued with tag >= kFreshTagBase
+    std::size_t async_pending_ = 0;  // queued with tag >= kAsyncTagBase
 };
 
 /// Thrown by pop() when the mailbox is closed while waiting (cluster abort).

@@ -54,8 +54,21 @@ void MembershipService::tick(int rank) {
     if (now - st.last_sent >= host_dur(config_.heartbeat_interval_s)) {
         st.last_sent = now;
         const int epoch = this->epoch();
-        for (int peer = 0; peer < transport_.world_size(); ++peer) {
-            if (peer == rank) continue;
+        const int world = transport_.world_size();
+        // Bounded fan-out: a burst covers `fanout` peers starting at the
+        // rotating cursor (fanout <= 0 broadcasts, the historical O(P)
+        // behavior). The cursor walks the peer ring so the full world is
+        // refreshed once per rotation cycle, turning the cluster-wide
+        // gossip cost from O(P^2) per interval into O(P * fanout).
+        const int peers = world - 1;
+        const int burst = (config_.heartbeat_fanout <= 0 ||
+                           config_.heartbeat_fanout >= peers)
+                              ? peers
+                              : config_.heartbeat_fanout;
+        for (int i = 0; i < burst; ++i) {
+            int peer = (st.gossip_cursor + i) % (peers > 0 ? peers : 1);
+            // Peer index skips self: [0..world-2] maps onto ranks != rank.
+            if (peer >= rank) ++peer;
             Message hb;
             hb.source = rank;
             hb.tag = kTagHeartbeat;
@@ -65,6 +78,7 @@ void MembershipService::tick(int rank) {
             hb.arrival_time_s = 0.0;
             transport_.deliver(peer, std::move(hb));
         }
+        if (peers > 0) st.gossip_cursor = (st.gossip_cursor + burst) % peers;
         heartbeats_sent_.fetch_add(1, std::memory_order_relaxed);
     }
 

@@ -39,6 +39,16 @@ struct MembershipConfig {
     double heartbeat_interval_s = 0.010;  // host time between gossips
     double suspect_after_s = 0.100;    // silence before a peer is suspected
     double join_grace_s = 2.0;         // regroup barrier straggler bound
+    /// Peers gossiped to per heartbeat burst. 0 (default) broadcasts to
+    /// every peer — O(P) sends per rank per interval, O(P^2) cluster-wide,
+    /// which is what melts at P in the hundreds. A positive fanout sends to
+    /// that many peers per burst, rotating round-robin so every peer is
+    /// refreshed once per ceil((P-1)/fanout) bursts; suspect_after_s must
+    /// cover that full rotation cycle (times the interval) or healthy peers
+    /// get suspected between refreshes. Safe to bound because suspicion is
+    /// advisory — the regroup path is driven by receive deadlines, not by
+    /// suspected().
+    int heartbeat_fanout = 0;
 };
 
 /// One agreed membership view. Ranks are PHYSICAL ranks of the original
@@ -114,6 +124,7 @@ private:
         Clock::duration phase_jitter{};
         std::vector<Clock::time_point> last_heard;
         bool started = false;
+        int gossip_cursor = 0;  // rotation point for bounded-fanout bursts
     };
     std::vector<RankState> rank_state_;
 

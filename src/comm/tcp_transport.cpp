@@ -1,0 +1,591 @@
+#include "comm/tcp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "comm/comm_error.hpp"
+#include "util/log.hpp"
+
+namespace gtopk::comm {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Bootstrap hello: {magic, rank, advertised listen port}, little-endian.
+constexpr std::uint32_t kHelloMagic = 0x4754504Cu;  // "GTPL"
+constexpr std::size_t kHelloBytes = 12;
+
+// Address-map entry per rank: {IPv4 (network order), port}, 8 bytes.
+constexpr std::size_t kAddrBytes = 8;
+
+[[noreturn]] void fail(const std::string& what) {
+    throw std::runtime_error("TcpTransport: " + what +
+                             (errno ? std::string(": ") + std::strerror(errno)
+                                    : std::string()));
+}
+
+void put_u32(unsigned char* p, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) p[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+
+std::uint32_t get_u32(const unsigned char* p) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+double remaining_s(Clock::time_point deadline) {
+    return std::chrono::duration<double>(deadline - Clock::now()).count();
+}
+
+/// Arm SO_RCVTIMEO so a blocking bootstrap read cannot outlive the budget —
+/// the socket-timeout half of the deadline mapping.
+void set_recv_timeout(int fd, double seconds) {
+    if (seconds < 0.01) seconds = 0.01;
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(seconds);
+    tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+    (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+void clear_recv_timeout(int fd) {
+    timeval tv{};  // zero = wait forever
+    (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+void set_nodelay(int fd) {
+    int one = 1;
+    (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/// Blocking exact-length read; fails loudly on EOF, error, or timeout.
+void read_exact(int fd, void* buf, std::size_t len, const char* what) {
+    auto* p = static_cast<unsigned char*>(buf);
+    while (len > 0) {
+        const ssize_t n = ::recv(fd, p, len, 0);
+        if (n > 0) {
+            p += n;
+            len -= static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR) continue;
+        fail(std::string("bootstrap read (") + what + ") failed");
+    }
+}
+
+void write_exact(int fd, const void* buf, std::size_t len, const char* what) {
+    const auto* p = static_cast<const unsigned char*>(buf);
+    while (len > 0) {
+        const ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+        if (n > 0) {
+            p += n;
+            len -= static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR) continue;
+        fail(std::string("bootstrap write (") + what + ") failed");
+    }
+}
+
+void send_hello(int fd, int rank, int port) {
+    unsigned char hello[kHelloBytes];
+    put_u32(hello + 0, kHelloMagic);
+    put_u32(hello + 4, static_cast<std::uint32_t>(rank));
+    put_u32(hello + 8, static_cast<std::uint32_t>(port));
+    write_exact(fd, hello, sizeof(hello), "hello");
+}
+
+struct Hello {
+    int rank = -1;
+    int port = 0;
+};
+
+Hello read_hello(int fd, int world) {
+    unsigned char hello[kHelloBytes];
+    read_exact(fd, hello, sizeof(hello), "hello");
+    if (get_u32(hello) != kHelloMagic) fail("bad hello magic");
+    Hello h;
+    h.rank = static_cast<int>(get_u32(hello + 4));
+    h.port = static_cast<int>(get_u32(hello + 8));
+    if (h.rank < 0 || h.rank >= world) fail("hello rank out of range");
+    if (h.port < 0 || h.port > 65535) fail("hello port out of range");
+    return h;
+}
+
+sockaddr_in resolve_ipv4(const std::string& host, int port) {
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* res = nullptr;
+    if (::getaddrinfo(host.c_str(), nullptr, &hints, &res) != 0 || !res) {
+        errno = 0;
+        fail("cannot resolve rendezvous host '" + host + "'");
+    }
+    sockaddr_in addr = *reinterpret_cast<sockaddr_in*>(res->ai_addr);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    ::freeaddrinfo(res);
+    return addr;
+}
+
+int listen_on(std::uint16_t port, int backlog) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) fail("socket");
+    int one = 1;
+    (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+    addr.sin_port = htons(port);
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+        ::close(fd);
+        fail("bind port " + std::to_string(port));
+    }
+    if (::listen(fd, backlog) < 0) {
+        ::close(fd);
+        fail("listen");
+    }
+    return fd;
+}
+
+int bound_port(int fd) {
+    sockaddr_in addr{};
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+        fail("getsockname");
+    }
+    return static_cast<int>(ntohs(addr.sin_port));
+}
+
+/// Connect with retry until `deadline`: peers race the listener's startup,
+/// so refused/unreachable attempts back off briefly and try again.
+int connect_retry(const sockaddr_in& addr, Clock::time_point deadline,
+                  const std::string& who) {
+    for (;;) {
+        const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0) fail("socket");
+        if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)) == 0) {
+            return fd;
+        }
+        ::close(fd);
+        if (remaining_s(deadline) <= 0.0) {
+            errno = 0;
+            fail("connect to " + who + " timed out");
+        }
+        ::usleep(50 * 1000);
+    }
+}
+
+int accept_with_deadline(int listen_fd, Clock::time_point deadline,
+                         const char* who) {
+    for (;;) {
+        pollfd pfd{listen_fd, POLLIN, 0};
+        const double left = remaining_s(deadline);
+        if (left <= 0.0) {
+            errno = 0;
+            fail(std::string("bootstrap accept (") + who + ") timed out");
+        }
+        const int rc = ::poll(&pfd, 1, static_cast<int>(left * 1000.0) + 1);
+        if (rc < 0 && errno == EINTR) continue;
+        if (rc < 0) fail("poll");
+        if (rc == 0) continue;
+        const int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR || errno == ECONNABORTED) continue;
+            fail("accept");
+        }
+        return fd;
+    }
+}
+
+}  // namespace
+
+std::optional<TcpConfig> TcpTransport::config_from_env() {
+    const char* rank = std::getenv("GTOPK_RANK");
+    const char* world = std::getenv("GTOPK_WORLD_SIZE");
+    const char* rendezvous = std::getenv("GTOPK_RENDEZVOUS");
+    if (!rank || !world || !rendezvous) return std::nullopt;
+    TcpConfig cfg;
+    cfg.rank = std::atoi(rank);
+    cfg.world_size = std::atoi(world);
+    const std::string rv = rendezvous;
+    const std::size_t colon = rv.rfind(':');
+    if (colon == std::string::npos) {
+        throw std::invalid_argument(
+            "GTOPK_RENDEZVOUS must be host:port, got '" + rv + "'");
+    }
+    cfg.rendezvous_host = rv.substr(0, colon);
+    cfg.rendezvous_port = std::atoi(rv.c_str() + colon + 1);
+    return cfg;
+}
+
+TcpTransport::TcpTransport(const TcpConfig& config)
+    : rank_(config.rank),
+      world_(config.world_size),
+      max_payload_(config.max_frame_payload) {
+    if (world_ <= 0) throw std::invalid_argument("TcpTransport: world_size <= 0");
+    if (rank_ < 0 || rank_ >= world_) {
+        throw std::invalid_argument("TcpTransport: rank outside world");
+    }
+    if (config.rendezvous_port <= 0 || config.rendezvous_port > 65535) {
+        throw std::invalid_argument("TcpTransport: bad rendezvous port");
+    }
+    peer_fds_.assign(static_cast<std::size_t>(world_), -1);
+    decoders_.reserve(static_cast<std::size_t>(world_));
+    for (int r = 0; r < world_; ++r) {
+        decoders_.emplace_back(max_payload_);
+    }
+    send_mutexes_ = std::make_unique<std::mutex[]>(static_cast<std::size_t>(world_));
+    peer_alive_ =
+        std::make_unique<std::atomic<bool>[]>(static_cast<std::size_t>(world_));
+    for (int r = 0; r < world_; ++r) peer_alive_[static_cast<std::size_t>(r)] = true;
+
+    if (::pipe(wake_pipe_) < 0) fail("pipe");
+    // Non-blocking read end: the receiver drains wakeup bytes without ever
+    // blocking inside the drain loop.
+    (void)::fcntl(wake_pipe_[0], F_SETFL, O_NONBLOCK);
+
+    try {
+        bootstrap(config);
+    } catch (...) {
+        for (int fd : peer_fds_) {
+            if (fd >= 0) ::close(fd);
+        }
+        ::close(wake_pipe_[0]);
+        ::close(wake_pipe_[1]);
+        throw;
+    }
+
+    running_.store(true, std::memory_order_release);
+    receiver_ = std::thread([this] { receiver_loop(); });
+}
+
+void TcpTransport::bootstrap(const TcpConfig& config) {
+    const auto deadline =
+        Clock::now() +
+        std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double>(config.connect_timeout_s));
+    if (world_ == 1) return;  // a single-rank world has no wire
+
+    std::vector<std::uint32_t> peer_ip(static_cast<std::size_t>(world_), 0);
+    std::vector<int> peer_port(static_cast<std::size_t>(world_), 0);
+
+    if (rank_ == 0) {
+        const int rendezvous_fd =
+            listen_on(static_cast<std::uint16_t>(config.rendezvous_port), world_);
+        // Phase 1: every peer dials in, introduces itself, advertises its
+        // mesh listen port. The connection itself becomes the permanent
+        // rank0<->peer link.
+        for (int i = 1; i < world_; ++i) {
+            const int fd = accept_with_deadline(rendezvous_fd, deadline, "rendezvous");
+            set_recv_timeout(fd, remaining_s(deadline));
+            const Hello h = read_hello(fd, world_);
+            if (h.rank == 0 || peer_fds_[static_cast<std::size_t>(h.rank)] >= 0) {
+                ::close(fd);
+                ::close(rendezvous_fd);
+                errno = 0;
+                fail("duplicate rendezvous hello from rank " +
+                     std::to_string(h.rank));
+            }
+            sockaddr_in peer{};
+            socklen_t len = sizeof(peer);
+            if (::getpeername(fd, reinterpret_cast<sockaddr*>(&peer), &len) < 0) {
+                ::close(fd);
+                ::close(rendezvous_fd);
+                fail("getpeername");
+            }
+            peer_fds_[static_cast<std::size_t>(h.rank)] = fd;
+            peer_ip[static_cast<std::size_t>(h.rank)] = peer.sin_addr.s_addr;
+            peer_port[static_cast<std::size_t>(h.rank)] = h.port;
+        }
+        ::close(rendezvous_fd);
+        // Phase 2: publish the address map so peers can mesh directly.
+        std::vector<unsigned char> map(static_cast<std::size_t>(world_) * kAddrBytes);
+        for (int r = 0; r < world_; ++r) {
+            put_u32(map.data() + static_cast<std::size_t>(r) * kAddrBytes,
+                    peer_ip[static_cast<std::size_t>(r)]);
+            put_u32(map.data() + static_cast<std::size_t>(r) * kAddrBytes + 4,
+                    static_cast<std::uint32_t>(peer_port[static_cast<std::size_t>(r)]));
+        }
+        for (int r = 1; r < world_; ++r) {
+            write_exact(peer_fds_[static_cast<std::size_t>(r)], map.data(),
+                        map.size(), "address map");
+        }
+    } else {
+        // Mesh listener first, so the advertised port is live before any
+        // peer learns it from the map.
+        const int listen_fd = listen_on(0, world_);
+        const int my_port = bound_port(listen_fd);
+
+        const sockaddr_in rendezvous =
+            resolve_ipv4(config.rendezvous_host, config.rendezvous_port);
+        const int fd0 = connect_retry(rendezvous, deadline, "rendezvous");
+        send_hello(fd0, rank_, my_port);
+        set_recv_timeout(fd0, remaining_s(deadline));
+        std::vector<unsigned char> map(static_cast<std::size_t>(world_) * kAddrBytes);
+        read_exact(fd0, map.data(), map.size(), "address map");
+        peer_fds_[0] = fd0;
+        for (int r = 0; r < world_; ++r) {
+            peer_ip[static_cast<std::size_t>(r)] =
+                get_u32(map.data() + static_cast<std::size_t>(r) * kAddrBytes);
+            peer_port[static_cast<std::size_t>(r)] = static_cast<int>(
+                get_u32(map.data() + static_cast<std::size_t>(r) * kAddrBytes + 4));
+        }
+        // Phase 3: complete the mesh — dial every lower peer, accept every
+        // higher one (a fixed orientation, so each pair meets exactly once).
+        for (int r = 1; r < rank_; ++r) {
+            sockaddr_in addr{};
+            addr.sin_family = AF_INET;
+            addr.sin_addr.s_addr = peer_ip[static_cast<std::size_t>(r)];
+            addr.sin_port = htons(static_cast<std::uint16_t>(
+                peer_port[static_cast<std::size_t>(r)]));
+            const int fd = connect_retry(addr, deadline, "rank " + std::to_string(r));
+            send_hello(fd, rank_, my_port);
+            peer_fds_[static_cast<std::size_t>(r)] = fd;
+        }
+        for (int i = rank_ + 1; i < world_; ++i) {
+            const int fd = accept_with_deadline(listen_fd, deadline, "mesh");
+            set_recv_timeout(fd, remaining_s(deadline));
+            const Hello h = read_hello(fd, world_);
+            if (h.rank <= rank_ || peer_fds_[static_cast<std::size_t>(h.rank)] >= 0) {
+                ::close(fd);
+                ::close(listen_fd);
+                errno = 0;
+                fail("unexpected mesh hello from rank " + std::to_string(h.rank));
+            }
+            peer_fds_[static_cast<std::size_t>(h.rank)] = fd;
+        }
+        ::close(listen_fd);
+    }
+
+    for (int r = 0; r < world_; ++r) {
+        const int fd = peer_fds_[static_cast<std::size_t>(r)];
+        if (fd < 0) continue;
+        set_nodelay(fd);
+        clear_recv_timeout(fd);  // the receiver thread's poll() paces reads
+    }
+    util::log_info("tcp rank " + std::to_string(rank_) + "/" +
+                   std::to_string(world_) + ": mesh up");
+}
+
+TcpTransport::~TcpTransport() { shutdown(); }
+
+void TcpTransport::require_local(int rank, const char* who) const {
+    if (rank != rank_) {
+        throw std::logic_error(std::string("TcpTransport::") + who +
+                               ": rank " + std::to_string(rank) +
+                               " is not local (this process hosts rank " +
+                               std::to_string(rank_) + ")");
+    }
+}
+
+void TcpTransport::deliver(int dst, Message msg) {
+    if (dst < 0 || dst >= world_) {
+        throw std::out_of_range("TcpTransport::deliver: bad destination");
+    }
+    if (dst == rank_) {
+        mailbox_.push(std::move(msg));
+        return;
+    }
+    if (!peer_alive_[static_cast<std::size_t>(dst)].load(std::memory_order_acquire)) {
+        throw CommError(CommErrorKind::RankKilled, rank_, dst, msg.tag, 0.0);
+    }
+    std::vector<std::byte> frame;
+    tcp::encode_frame(msg, dst, frame, max_payload_);
+
+    std::lock_guard<std::mutex> lock(send_mutexes_[static_cast<std::size_t>(dst)]);
+    const int fd = peer_fds_[static_cast<std::size_t>(dst)];
+    const std::byte* p = frame.data();
+    std::size_t left = frame.size();
+    while (left > 0) {
+        const ssize_t n = ::send(fd, p, left, MSG_NOSIGNAL);
+        if (n > 0) {
+            p += n;
+            left -= static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR) continue;
+        // Broken pipe / reset: the peer is gone. Type the failure instead
+        // of letting every later exchange rediscover it.
+        drop_peer(dst);
+        throw CommError(CommErrorKind::RankKilled, rank_, dst, msg.tag, 0.0);
+    }
+    frames_sent_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Message TcpTransport::receive(int rank, int source, int tag) {
+    require_local(rank, "receive");
+    return mailbox_.pop(source, tag);
+}
+
+std::optional<Message> TcpTransport::try_receive(int rank, int source, int tag) {
+    require_local(rank, "try_receive");
+    return mailbox_.try_pop(source, tag);
+}
+
+std::optional<Message> TcpTransport::receive_for(int rank, int source, int tag,
+                                                 double timeout_s) {
+    require_local(rank, "receive_for");
+    if (timeout_s <= 0.0) return mailbox_.pop(source, tag);
+    // The host-clock deadline maps onto the mailbox's condition-variable
+    // wait; the receiver thread's socket timeouts keep frames flowing into
+    // it independent of this wait.
+    return mailbox_.pop_for(
+        source, tag,
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::duration<double>(timeout_s)));
+}
+
+std::optional<Message> TcpTransport::receive_for_virtual(int rank, int source,
+                                                         int tag,
+                                                         double max_arrival_s,
+                                                         double host_grace_s) {
+    require_local(rank, "receive_for_virtual");
+    return mailbox_.pop_for_virtual(
+        source, tag, max_arrival_s,
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::duration<double>(host_grace_s)));
+}
+
+void TcpTransport::begin_epoch(int rank, int epoch) {
+    require_local(rank, "begin_epoch");
+    mailbox_.set_min_epoch(epoch);
+}
+
+bool TcpTransport::rank_alive(int rank) const {
+    if (rank < 0 || rank >= world_) return false;
+    if (rank == rank_) return true;
+    return peer_alive_[static_cast<std::size_t>(rank)].load(std::memory_order_acquire);
+}
+
+std::size_t TcpTransport::pending_with_tag_at_least(int rank, int min_tag) const {
+    if (rank != rank_) return 0;  // other ranks' queues live in other processes
+    return mailbox_.count_tag_at_least(min_tag);
+}
+
+void TcpTransport::drop_peer(int peer) {
+    bool was_alive =
+        peer_alive_[static_cast<std::size_t>(peer)].exchange(false,
+                                                            std::memory_order_acq_rel);
+    if (!was_alive) return;
+    // Shut the socket down but do NOT close the fd here: deliver() and the
+    // receiver thread may still hold it, and closing would race fd reuse.
+    // All fds are closed exactly once, in shutdown().
+    const int fd = peer_fds_[static_cast<std::size_t>(peer)];
+    if (fd >= 0) (void)::shutdown(fd, SHUT_RDWR);
+    util::log_info("tcp rank " + std::to_string(rank_) + ": peer " +
+                   std::to_string(peer) + " disconnected");
+}
+
+void TcpTransport::receiver_loop() {
+    std::vector<std::byte> buf(64 * 1024);
+    std::vector<pollfd> pfds;
+    std::vector<int> pfd_rank;
+    while (running_.load(std::memory_order_acquire)) {
+        pfds.clear();
+        pfd_rank.clear();
+        pfds.push_back(pollfd{wake_pipe_[0], POLLIN, 0});
+        pfd_rank.push_back(-1);
+        for (int r = 0; r < world_; ++r) {
+            const int fd = peer_fds_[static_cast<std::size_t>(r)];
+            if (fd < 0 ||
+                !peer_alive_[static_cast<std::size_t>(r)].load(
+                    std::memory_order_acquire)) {
+                continue;
+            }
+            pfds.push_back(pollfd{fd, POLLIN, 0});
+            pfd_rank.push_back(r);
+        }
+        const int rc =
+            ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), /*ms=*/100);
+        if (rc < 0) {
+            if (errno == EINTR) continue;
+            break;
+        }
+        if (rc == 0) continue;
+        if (pfds[0].revents != 0) {
+            char drain[16];
+            while (::read(wake_pipe_[0], drain, sizeof(drain)) > 0) {
+            }
+            continue;  // re-check running_
+        }
+        for (std::size_t i = 1; i < pfds.size(); ++i) {
+            if (pfds[i].revents == 0) continue;
+            const int peer = pfd_rank[i];
+            const ssize_t n = ::recv(pfds[i].fd, buf.data(), buf.size(), 0);
+            if (n > 0) {
+                auto& decoder = decoders_[static_cast<std::size_t>(peer)];
+                try {
+                    decoder.feed(
+                        std::span<const std::byte>(buf.data(),
+                                                   static_cast<std::size_t>(n)));
+                    while (auto frame = decoder.next()) {
+                        if (frame->dst != rank_ || frame->msg.source != peer) {
+                            // Misrouted or spoofed: the link is not
+                            // trustworthy; reject it wholesale.
+                            frames_rejected_.fetch_add(1, std::memory_order_relaxed);
+                            drop_peer(peer);
+                            break;
+                        }
+                        frames_received_.fetch_add(1, std::memory_order_relaxed);
+                        mailbox_.push(std::move(frame->msg));
+                    }
+                } catch (const tcp::FrameError& e) {
+                    frames_rejected_.fetch_add(1, std::memory_order_relaxed);
+                    util::log_warn("tcp rank " + std::to_string(rank_) +
+                                   ": dropping peer " + std::to_string(peer) +
+                                   ": " + e.what());
+                    drop_peer(peer);
+                }
+            } else if (n == 0) {
+                // EOF. Mid-frame is a crash; a frame boundary is a clean
+                // exit — either way the peer is gone.
+                if (decoders_[static_cast<std::size_t>(peer)].mid_frame()) {
+                    util::log_warn("tcp rank " + std::to_string(rank_) +
+                                   ": peer " + std::to_string(peer) +
+                                   " disconnected mid-frame");
+                }
+                drop_peer(peer);
+            } else if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+                drop_peer(peer);
+            }
+        }
+    }
+}
+
+void TcpTransport::shutdown() {
+    std::call_once(shutdown_once_, [this] {
+        running_.store(false, std::memory_order_release);
+        if (wake_pipe_[1] >= 0) {
+            const char byte = 1;
+            (void)!::write(wake_pipe_[1], &byte, 1);
+        }
+        if (receiver_.joinable()) receiver_.join();
+        for (int& fd : peer_fds_) {
+            if (fd >= 0) {
+                ::close(fd);
+                fd = -1;
+            }
+        }
+        if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
+        if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
+        wake_pipe_[0] = wake_pipe_[1] = -1;
+        mailbox_.close();
+    });
+}
+
+}  // namespace gtopk::comm

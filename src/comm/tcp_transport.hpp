@@ -1,0 +1,135 @@
+// TcpTransport: the real-socket Transport — one OS process per rank, a
+// full TCP mesh between them, the same interface the in-process cluster
+// runs on (transport.hpp), so every decorator (FaultInjectingTransport,
+// ReliableTransport, RecordingTransport, telemetry) stacks over it
+// unchanged.
+//
+// Bootstrap (rendezvous): rank 0 listens on the rendezvous port; every
+// other rank connects there (with retry inside connect_timeout_s, so start
+// order does not matter), sends a Hello{rank, listen_port}, and receives
+// the address map (every rank's IP:port) back. The rendezvous connection
+// itself becomes the permanent rank0<->peer data link; the rest of the
+// mesh is completed peer-to-peer — rank j dials every rank i with
+// 0 < i < j at its advertised address, identifying itself with the same
+// Hello.
+//
+// Data plane: one frame per Message (comm/tcp_frame.hpp), written
+// blocking under a per-peer mutex; a single background receiver thread
+// poll()s every peer socket, feeds each connection's FrameDecoder, and
+// pushes decoded messages into the local rank's Mailbox — the identical
+// matching/deadline machinery the in-process transport uses, so
+// receive_for's host-clock deadline maps onto the mailbox's
+// condition-variable wait while socket-level timeouts (SO_RCVTIMEO during
+// bootstrap, the poll() tick afterwards) bound every blocking socket
+// operation the background thread performs.
+//
+// Failure model: EOF or a socket error on a peer's connection marks that
+// peer dead (rank_alive -> false) — a subsequent send to it throws
+// CommError(RankKilled); a receiver blocked on its traffic surfaces
+// CommError(RecvTimeout) through its armed receive deadline. Typed
+// errors, never a hang, exactly the chaos-harness contract.
+//
+// This transport addresses ONE rank per process: receive/begin_epoch/
+// pending_with_tag_at_least are only valid for local_rank() (the mailbox
+// of any other rank lives in another process).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "comm/mailbox.hpp"
+#include "comm/tcp_frame.hpp"
+#include "comm/transport.hpp"
+
+namespace gtopk::comm {
+
+struct TcpConfig {
+    int rank = -1;
+    int world_size = 0;
+    /// Rendezvous (rank 0) address every rank dials during bootstrap.
+    std::string rendezvous_host = "127.0.0.1";
+    int rendezvous_port = 0;
+    /// Bound on the whole bootstrap: connect retries, hello exchange,
+    /// address-map reads all complete within this budget or construction
+    /// throws.
+    double connect_timeout_s = 30.0;
+    /// Per-frame payload ceiling enforced on both sides of every link.
+    std::uint64_t max_frame_payload = tcp::kMaxFramePayload;
+};
+
+class TcpTransport final : public Transport {
+public:
+    /// Rendezvous + mesh bootstrap; blocks until every peer link is up or
+    /// connect_timeout_s expires (std::runtime_error).
+    explicit TcpTransport(const TcpConfig& config);
+    ~TcpTransport() override;
+
+    TcpTransport(const TcpTransport&) = delete;
+    TcpTransport& operator=(const TcpTransport&) = delete;
+
+    /// Build a config from the launcher's environment: GTOPK_RANK,
+    /// GTOPK_WORLD_SIZE, GTOPK_RENDEZVOUS ("host:port"). nullopt when the
+    /// variables are absent (not launched under tools/gtopkrun).
+    static std::optional<TcpConfig> config_from_env();
+
+    int world_size() const override { return world_; }
+    int local_rank() const { return rank_; }
+
+    void deliver(int dst, Message msg) override;
+    Message receive(int rank, int source, int tag) override;
+    std::optional<Message> try_receive(int rank, int source, int tag) override;
+    std::optional<Message> receive_for(int rank, int source, int tag,
+                                       double timeout_s) override;
+    std::optional<Message> receive_for_virtual(int rank, int source, int tag,
+                                               double max_arrival_s,
+                                               double host_grace_s) override;
+    void shutdown() override;
+    void begin_epoch(int rank, int epoch) override;
+    bool rank_alive(int rank) const override;
+    std::size_t pending_with_tag_at_least(int rank, int min_tag) const override;
+
+    /// Wire counters (frames, not messages-with-duplicates) for tests.
+    std::uint64_t frames_sent() const {
+        return frames_sent_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t frames_received() const {
+        return frames_received_.load(std::memory_order_relaxed);
+    }
+    /// Frames the receiver rejected (FrameError, wrong-dst) — each one also
+    /// kills its connection.
+    std::uint64_t frames_rejected() const {
+        return frames_rejected_.load(std::memory_order_relaxed);
+    }
+
+private:
+    void require_local(int rank, const char* who) const;
+    void bootstrap(const TcpConfig& config);
+    void receiver_loop();
+    /// Peer connection failed or closed: mark dead, close the socket, wake
+    /// the poll loop.
+    void drop_peer(int peer);
+
+    int rank_ = -1;
+    int world_ = 0;
+    std::uint64_t max_payload_ = tcp::kMaxFramePayload;
+    Mailbox mailbox_;
+    std::vector<int> peer_fds_;                        // -1: self or closed
+    std::vector<tcp::FrameDecoder> decoders_;          // receiver thread only
+    std::unique_ptr<std::mutex[]> send_mutexes_;       // per-peer write lock
+    std::unique_ptr<std::atomic<bool>[]> peer_alive_;
+    int wake_pipe_[2] = {-1, -1};  // self-pipe: shutdown() -> poll() wakeup
+    std::thread receiver_;
+    std::atomic<bool> running_{false};
+    std::once_flag shutdown_once_;
+    std::atomic<std::uint64_t> frames_sent_{0};
+    std::atomic<std::uint64_t> frames_received_{0};
+    std::atomic<std::uint64_t> frames_rejected_{0};
+};
+
+}  // namespace gtopk::comm

@@ -129,6 +129,22 @@ TrainResult train_distributed(int world_size, comm::NetworkModel net,
             "into the regroup round before the grace window expires, or the "
             "round finalizes without them (quorum permitting)");
     }
+    if (config.local_rank >= 0) {
+        if (!config.transport) {
+            throw std::invalid_argument(
+                "train_distributed: local_rank requires an external transport "
+                "(the peer ranks live in other processes)");
+        }
+        if (config.local_rank >= world_size) {
+            throw std::invalid_argument(
+                "train_distributed: local_rank outside world");
+        }
+        if (config.membership) {
+            throw std::invalid_argument(
+                "train_distributed: membership regroup is an in-process "
+                "barrier; elastic mode is not available with local_rank");
+        }
+    }
 
     auto worker = [&](Communicator& comm) {
         // Physical rank: stable identity (output slot, traces, membership).
@@ -757,8 +773,16 @@ TrainResult train_distributed(int world_size, comm::NetworkModel net,
                 throw std::invalid_argument(
                     "train_distributed: transport world_size mismatch");
             }
-            comm::Cluster::run_on(*config.transport, net, worker, config.tracer,
-                                  config.recv_timeout_s);
+            if (config.local_rank >= 0) {
+                // Multi-process deployment: this process drives exactly one
+                // rank; its peers run the same code elsewhere.
+                comm::Cluster::run_local(*config.transport, config.local_rank,
+                                         net, worker, config.tracer,
+                                         config.recv_timeout_s);
+            } else {
+                comm::Cluster::run_on(*config.transport, net, worker,
+                                      config.tracer, config.recv_timeout_s);
+            }
         } else {
             comm::Cluster::run(world_size, net, worker, config.tracer,
                                config.recv_timeout_s);
@@ -770,7 +794,9 @@ TrainResult train_distributed(int world_size, comm::NetworkModel net,
     if (frec && frec->triggered()) frec->dump("recovered", config.tracer);
 
     // The lead replica is the lowest rank that FINISHED training — physical
-    // rank 0 unless an elastic run lost it.
+    // rank 0 unless an elastic run lost it. In local_rank mode only the
+    // local slot can be populated; every other rank reports from its own
+    // process.
     int lead = -1;
     for (int r = 0; r < world_size; ++r) {
         if (outputs[static_cast<std::size_t>(r)].completed) {

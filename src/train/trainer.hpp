@@ -109,6 +109,16 @@ struct TrainConfig {
     /// Must outlive train_distributed; one transport per run.
     comm::Transport* transport = nullptr;
 
+    /// Multi-process mode: >= 0 makes train_distributed drive ONLY this
+    /// rank, on the calling thread, over the external `transport` (required;
+    /// typically a comm::TcpTransport whose peer ranks live in other OS
+    /// processes launched by tools/gtopkrun). The returned TrainResult then
+    /// describes this rank alone: final_params is the local replica,
+    /// final_members == {local_rank}. Incompatible with `membership` (the
+    /// elastic regroup barrier is an in-process object). -1 (default): the
+    /// classic mode, one thread per rank in this process.
+    int local_rank = -1;
+
     /// Receive deadline (host seconds) armed on every rank; <= 0 waits
     /// forever. Chaos runs set this so dropped messages surface as a typed
     /// comm::CommError instead of hanging the cluster.

@@ -316,18 +316,40 @@ TEST(FreshTagsTest, WrapsSafelyNearIntMaxWhenNothingIsInFlight) {
 TEST(FreshTagsTest, WrapRefusedWhileFreshTagMessageIsInFlight) {
     // Recycling tags while an old fresh-tag message is still undelivered
     // could mis-match it against the new block, so the wrap must throw.
+    // The stale message carries a tag at or past the end of the block being
+    // allocated — tags INSIDE the new block are exempt, because at large P
+    // wrapped-ahead peers legitimately have the current collective's
+    // messages in flight with exactly those tags.
     Cluster::run(2, NetworkModel::free(), [](Communicator& comm) {
         std::vector<float> v{1.0f};
         if (comm.rank() == 0) {
-            comm.send_vec<float>(1, kFreshTagBase, v);  // stays pending
-            comm.send_vec<float>(1, kTagTestAux, v);    // "sent" signal
+            comm.send_vec<float>(1, kFreshTagBase + 50, v);  // stays pending
+            comm.send_vec<float>(1, kTagTestAux, v);         // "sent" signal
         } else {
             (void)comm.recv(0, kTagTestAux);  // fresh-tag msg arrived first
             comm.set_fresh_tag_cursor_for_test(std::numeric_limits<int>::max() - 5);
             EXPECT_THROW(comm.fresh_tags(10), std::logic_error);
-            (void)comm.recv(0, kFreshTagBase);  // drain; wrap is legal again
+            (void)comm.recv(0, kFreshTagBase + 50);  // drain; wrap legal again
             comm.set_fresh_tag_cursor_for_test(std::numeric_limits<int>::max() - 5);
             EXPECT_EQ(comm.fresh_tags(10), kFreshTagBase);
+        }
+    });
+}
+
+TEST(FreshTagsTest, WrapToleratesInFlightTrafficInsideTheNewBlock) {
+    // The large-P fix: a fast peer that already wrapped may have sent this
+    // collective's messages with tags from the recycled block before a slow
+    // rank even allocates it. Those must not trip the staleness gate.
+    Cluster::run(2, NetworkModel::free(), [](Communicator& comm) {
+        std::vector<float> v{1.0f};
+        if (comm.rank() == 0) {
+            comm.send_vec<float>(1, kFreshTagBase + 3, v);  // inside new block
+            comm.send_vec<float>(1, kTagTestAux, v);
+        } else {
+            (void)comm.recv(0, kTagTestAux);
+            comm.set_fresh_tag_cursor_for_test(std::numeric_limits<int>::max() - 5);
+            EXPECT_EQ(comm.fresh_tags(10), kFreshTagBase);
+            EXPECT_EQ(comm.recv_vec<float>(0, kFreshTagBase + 3).size(), 1u);
         }
     });
 }

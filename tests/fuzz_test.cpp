@@ -14,6 +14,7 @@
 #include "comm/fault_transport.hpp"
 #include "comm/mailbox.hpp"
 #include "comm/tags.hpp"
+#include "comm/tcp_frame.hpp"
 #include "core/aggregators.hpp"
 #include "sparse/topk_select.hpp"
 #include "sparse/wire.hpp"
@@ -190,6 +191,159 @@ TEST(MailboxStress, PerStreamFifoUnderConcurrentStorm) {
     }
     for (auto& t : senders) t.join();
     EXPECT_EQ(mailbox.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// TCP frame decoder: what a hostile or half-dead peer can put on a socket.
+// The decoder's contract mirrors the receiver loop's: a malformed HEADER
+// throws comm::tcp::FrameError (the receiver drops the peer), while an
+// incomplete frame is simply "need more bytes" — never UB, never a silent
+// accept. Runs under the ASan/UBSan/TSan fuzz label.
+
+std::vector<std::byte> encode_test_frame(int src, int tag, std::size_t payload,
+                                         Xoshiro256& rng) {
+    comm::Message m;
+    m.source = src;
+    m.tag = tag;
+    m.epoch = static_cast<int>(rng.next_below(4));
+    m.arrival_time_s = static_cast<double>(rng.next_below(1000)) * 1e-3;
+    m.payload.resize(payload);
+    for (auto& b : m.payload) b = static_cast<std::byte>(rng.next_below(256));
+    std::vector<std::byte> out;
+    comm::tcp::encode_frame(m, static_cast<int>(rng.next_below(8)), out);
+    return out;
+}
+
+TEST(TcpFrameFuzz, RandomBytesNeverDecodeSilently) {
+    Xoshiro256 rng(0x7C91);
+    for (int trial = 0; trial < 2000; ++trial) {
+        const std::size_t len = rng.next_below(120);
+        std::vector<std::byte> junk(len);
+        for (auto& b : junk) b = static_cast<std::byte>(rng.next_below(256));
+        comm::tcp::FrameDecoder dec;
+        dec.feed(junk);
+        try {
+            while (dec.next()) {
+                // A random 44-byte prefix passing magic+version+range checks
+                // is astronomically unlikely; if it does, it must have been
+                // a well-formed header and re-encoding must not throw.
+            }
+            // No complete header yet: short input is "need more bytes".
+            EXPECT_LT(dec.buffered(), junk.size() + 1);
+        } catch (const comm::tcp::FrameError&) {
+            // Expected for almost all inputs once a header is present.
+            EXPECT_GE(len, comm::tcp::kFrameHeaderBytes);
+        }
+    }
+}
+
+TEST(TcpFrameFuzz, BitFlippedHeadersEitherThrowOrStayWellFormed) {
+    Xoshiro256 rng(0x7C92);
+    for (int trial = 0; trial < 1000; ++trial) {
+        std::vector<std::byte> wire =
+            encode_test_frame(3, comm::kFreshTagBase + 9, 32, rng);
+        const std::size_t pos = rng.next_below(comm::tcp::kFrameHeaderBytes);
+        wire[pos] ^= static_cast<std::byte>(1 + rng.next_below(255));
+        comm::tcp::FrameDecoder dec;
+        dec.feed(wire);
+        try {
+            const auto frame = dec.next();
+            if (frame) {
+                // Survived validation (e.g. a payload bit or a benign field
+                // flip): the decoded message must itself re-encode cleanly.
+                std::vector<std::byte> out;
+                EXPECT_NO_THROW(
+                    comm::tcp::encode_frame(frame->msg, frame->dst, out));
+            }
+            // else: the flip grew payload_len within bounds — more bytes
+            // wanted, which the receiver surfaces as EOF-mid-frame.
+        } catch (const comm::tcp::FrameError&) {
+            // Rejected loudly. The receiver drops the peer.
+        }
+    }
+}
+
+TEST(TcpFrameFuzz, TruncatedStreamsNeverYieldPartialFrames) {
+    Xoshiro256 rng(0x7C93);
+    std::vector<std::byte> wire;
+    for (int i = 0; i < 3; ++i) {
+        const auto f = encode_test_frame(i, 100 + i, 10 + 7 * static_cast<std::size_t>(i), rng);
+        wire.insert(wire.end(), f.begin(), f.end());
+    }
+    for (std::size_t len = 0; len < wire.size(); ++len) {
+        comm::tcp::FrameDecoder dec;
+        dec.feed({wire.data(), len});
+        int decoded = 0;
+        while (dec.next()) ++decoded;
+        EXPECT_LE(decoded, 3);
+        // A strict prefix of 3 frames holds at most the complete frames
+        // that fully fit; whatever remains is a visible mid-frame residue.
+        EXPECT_EQ(dec.mid_frame(), dec.buffered() > 0);
+        if (len < comm::tcp::kFrameHeaderBytes) EXPECT_EQ(decoded, 0);
+    }
+    // The unbroken stream decodes all three exactly.
+    comm::tcp::FrameDecoder dec;
+    dec.feed(wire);
+    int decoded = 0;
+    while (dec.next()) ++decoded;
+    EXPECT_EQ(decoded, 3);
+    EXPECT_FALSE(dec.mid_frame());
+}
+
+TEST(TcpFrameFuzz, MidFrameDisconnectLeavesDetectableResidue) {
+    Xoshiro256 rng(0x7C94);
+    const std::vector<std::byte> wire = encode_test_frame(1, 42, 64, rng);
+    comm::tcp::FrameDecoder dec;
+    // Header plus half the payload, then the peer "dies".
+    dec.feed({wire.data(), comm::tcp::kFrameHeaderBytes + 32});
+    EXPECT_FALSE(dec.next().has_value());
+    EXPECT_TRUE(dec.mid_frame());  // receiver logs the torn frame on EOF
+    dec.reset();
+    EXPECT_FALSE(dec.mid_frame());
+    // The decoder is reusable after a reset.
+    dec.feed(wire);
+    EXPECT_TRUE(dec.next().has_value());
+}
+
+TEST(TcpFrameFuzz, OversizedLengthPrefixRejectedBeforeBuffering) {
+    Xoshiro256 rng(0x7C95);
+    std::vector<std::byte> wire = encode_test_frame(0, 5, 8, rng);
+    // Patch the u64 payload-length field (offset 32) to an absurd claim;
+    // the decoder must throw from the header alone instead of waiting to
+    // buffer a gigabyte that will never arrive.
+    wire[37] = std::byte{0x40};  // payload_len |= 2^45
+    comm::tcp::FrameDecoder dec;
+    dec.feed({wire.data(), comm::tcp::kFrameHeaderBytes});
+    EXPECT_THROW((void)dec.next(), comm::tcp::FrameError);
+}
+
+TEST(TcpFrameFuzz, RandomChunkingDecodesStreamsExactly) {
+    Xoshiro256 rng(0x7C96);
+    for (int trial = 0; trial < 50; ++trial) {
+        const int frames = 1 + static_cast<int>(rng.next_below(6));
+        std::vector<std::byte> wire;
+        std::vector<std::size_t> sizes;
+        for (int i = 0; i < frames; ++i) {
+            const std::size_t payload = rng.next_below(300);
+            sizes.push_back(payload);
+            const auto f = encode_test_frame(i % 4, 10 + i, payload, rng);
+            wire.insert(wire.end(), f.begin(), f.end());
+        }
+        comm::tcp::FrameDecoder dec;
+        std::vector<std::size_t> got;
+        std::size_t off = 0;
+        while (off < wire.size()) {
+            const std::size_t chunk =
+                std::min<std::size_t>(1 + rng.next_below(97), wire.size() - off);
+            dec.feed({wire.data() + off, chunk});
+            off += chunk;
+            while (const auto frame = dec.next()) {
+                got.push_back(frame->msg.payload.size());
+            }
+        }
+        EXPECT_EQ(got, sizes) << "trial " << trial;
+        EXPECT_FALSE(dec.mid_frame());
+    }
 }
 
 TEST(AggregationFuzz, RandomShapesNeverCrashAndAlwaysAgree) {

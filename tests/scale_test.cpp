@@ -1,0 +1,312 @@
+// Large-P virtual-time scale suite: the threaded cluster at P = 64/128/256.
+//
+// What melts at scale is not the math, it's the plumbing — O(P) heartbeat
+// fan-out per rank per interval, O(queue) mailbox scans under the fresh-tag
+// wrap check, tag-band aliasing once hundreds of ranks burn tag blocks.
+// These tests pin the three fixes:
+//
+//   * gTop-k aggregation smoke at P = 64/128 (every rank bit-identical,
+//     naive oracle agrees) and membership regroup at P = 64 with bounded
+//     heartbeat fan-out;
+//   * fresh-tag wrap under collective pressure at P = 256: the cursor wraps
+//     onto the band base mid-run on every rank simultaneously and the
+//     collectives keep working — plus the wrap refusal when a fresh-band
+//     message is still in flight;
+//   * mailbox band counters: count_tag_at_least at the three band bases is
+//     O(1) and must agree exactly with a linear scan through pushes, pops
+//     and epoch purges — and Mailbox::pop_for's host-clock deadline is
+//     computed once, so a notification storm cannot extend it.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "collectives/collectives.hpp"
+#include "comm/cluster.hpp"
+#include "comm/mailbox.hpp"
+#include "comm/membership.hpp"
+#include "comm/tags.hpp"
+#include "core/aggregators.hpp"
+#include "sparse/sparse_gradient.hpp"
+
+namespace gtopk {
+namespace {
+
+using comm::InProcTransport;
+using comm::Mailbox;
+using comm::Message;
+using comm::NetworkModel;
+
+// ---------------------------------------------------------------------------
+// gTop-k collective smoke at P = 64 / 128
+
+sparse::SparseGradient rank_gradient(int rank, std::int64_t dense_size,
+                                     std::size_t k) {
+    sparse::SparseGradient g;
+    g.dense_size = dense_size;
+    for (std::size_t i = 0; i < k; ++i) {
+        // Strictly increasing per rank; overlapping across ranks so the
+        // tree merges actually combine entries.
+        g.indices.push_back(static_cast<std::int32_t>(i * 64 + (rank % 32)));
+        g.values.push_back(1.0f + static_cast<float>((rank * 7 + i * 13) % 29) -
+                           14.0f);
+    }
+    return g;
+}
+
+class GtopkScaleSmoke : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Worlds, GtopkScaleSmoke, ::testing::Values(64, 128));
+
+TEST_P(GtopkScaleSmoke, AllRanksBitIdenticalForTreeAndNaive) {
+    // The tree fold (Algorithm 3) and the naive AllGather path (Algorithm 2)
+    // are different estimators on overlapping/cancelling inputs — what MUST
+    // hold at scale is that each of them is bit-identical across all P
+    // ranks (replica consistency is what training correctness rides on).
+    const int world = GetParam();
+    constexpr std::size_t k = 16;
+    InProcTransport transport(world);
+    std::vector<sparse::SparseGradient> tree(static_cast<std::size_t>(world));
+    std::vector<sparse::SparseGradient> naive(static_cast<std::size_t>(world));
+    std::vector<double> clock_s(static_cast<std::size_t>(world), -1.0);
+
+    comm::Cluster::run_on(
+        transport, NetworkModel::one_gbps_ethernet(),
+        [&](comm::Communicator& c) {
+            const int rank = c.rank();
+            const sparse::SparseGradient local = rank_gradient(rank, 4096, k);
+            tree[static_cast<std::size_t>(rank)] =
+                core::gtopk_allreduce(c, local, k).global;
+            naive[static_cast<std::size_t>(rank)] =
+                core::naive_gtopk_allreduce(c, local, k).global;
+            clock_s[static_cast<std::size_t>(rank)] = c.clock().now_s();
+        });
+
+    for (int r = 1; r < world; ++r) {
+        EXPECT_EQ(tree[static_cast<std::size_t>(r)], tree[0]) << "rank " << r;
+        EXPECT_EQ(naive[static_cast<std::size_t>(r)], naive[0]) << "rank " << r;
+    }
+    // A modeled (non-free) network must have advanced virtual time.
+    for (int r = 0; r < world; ++r) {
+        EXPECT_GT(clock_s[static_cast<std::size_t>(r)], 0.0) << "rank " << r;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Membership at scale: regroup with bounded heartbeat fan-out
+
+TEST(MembershipScale, RegroupP64WithBoundedFanout) {
+    const int world = 64;
+    const int victim = 13;
+    InProcTransport transport(world);
+    comm::MembershipConfig mcfg;
+    mcfg.heartbeat_interval_s = 0.001;
+    mcfg.suspect_after_s = 5.0;  // rotation cycle ceil(63/4) bursts ≪ this
+    mcfg.join_grace_s = 30.0;
+    mcfg.heartbeat_fanout = 4;
+    comm::MembershipService svc(transport, mcfg);
+
+    std::vector<comm::MembershipView> views(static_cast<std::size_t>(world));
+    comm::Cluster::run_on(
+        transport, NetworkModel::free(), [&](comm::Communicator& c) {
+            const int rank = c.rank();
+            if (rank == victim) {
+                svc.leave(rank);
+                return;
+            }
+            svc.tick(rank);  // exercise the bounded-fanout gossip path
+            views[static_cast<std::size_t>(rank)] = svc.regroup(rank);
+        });
+
+    for (int r = 0; r < world; ++r) {
+        if (r == victim) continue;
+        const comm::MembershipView& v = views[static_cast<std::size_t>(r)];
+        EXPECT_EQ(v.epoch, 1) << "rank " << r;
+        ASSERT_EQ(v.members.size(), static_cast<std::size_t>(world - 1));
+        for (int m : v.members) EXPECT_NE(m, victim);
+        EXPECT_EQ(v.members, views[victim == 0 ? 1u : 0u].members);
+    }
+}
+
+TEST(MembershipScale, HeartbeatFanoutRotationCoversEveryPeer) {
+    const int world = 64;
+    const int fanout = 5;
+    InProcTransport transport(world);
+    comm::MembershipConfig mcfg;
+    mcfg.heartbeat_interval_s = 0.0;  // every tick fires a burst
+    mcfg.heartbeat_fanout = fanout;
+    comm::MembershipService svc(transport, mcfg);
+
+    // ceil(63 / 5) = 13 bursts complete one rotation of the peer ring.
+    const int bursts = (world - 1 + fanout - 1) / fanout;
+    for (int i = 0; i < bursts; ++i) svc.tick(0);
+    EXPECT_EQ(svc.heartbeats_sent(), static_cast<std::uint64_t>(bursts));
+
+    int total = 0;
+    for (int peer = 1; peer < world; ++peer) {
+        int got = 0;
+        while (transport.try_receive(peer, 0, comm::kTagHeartbeat)) ++got;
+        EXPECT_GE(got, 1) << "peer " << peer
+                          << " was skipped by the rotation cursor";
+        total += got;
+    }
+    // Exactly fanout sends per burst: bounded, not O(P).
+    EXPECT_EQ(total, bursts * fanout);
+
+    // fanout = 0 keeps the historical broadcast: one burst hits every peer.
+    comm::MembershipConfig bcast_cfg;
+    bcast_cfg.heartbeat_interval_s = 0.0;
+    bcast_cfg.heartbeat_fanout = 0;
+    InProcTransport transport2(world);
+    comm::MembershipService broadcast_svc(transport2, bcast_cfg);
+    broadcast_svc.tick(0);
+    for (int peer = 1; peer < world; ++peer) {
+        int got = 0;
+        while (transport2.try_receive(peer, 0, comm::kTagHeartbeat)) ++got;
+        EXPECT_EQ(got, 1) << "peer " << peer;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fresh-tag band wrap under large-P pressure
+
+TEST(TagWrapScale, FreshCursorWrapsMidRunAtP256) {
+    const int world = 256;
+    InProcTransport transport(world);
+    std::vector<double> sum(static_cast<std::size_t>(world), 0.0);
+    std::vector<int> cursor(static_cast<std::size_t>(world), -1);
+
+    comm::Cluster::run_on(
+        transport, NetworkModel::free(), [&](comm::Communicator& c) {
+            const int rank = c.rank();
+            // Park the cursor two tags below the band edge: the next
+            // collective's fresh_tags(count) must wrap every rank onto
+            // kFreshTagBase simultaneously (SPMD lockstep), and traffic
+            // tagged across the wrap must not alias.
+            c.set_fresh_tag_cursor_for_test(comm::kAsyncTagBase - 2);
+            collectives::barrier(c);
+            const double mine = static_cast<double>(rank);
+            const std::vector<double> all =
+                collectives::allgather<double>(c, std::span<const double>(&mine, 1));
+            double s = 0.0;
+            for (double v : all) s += v;
+            sum[static_cast<std::size_t>(rank)] = s;
+            cursor[static_cast<std::size_t>(rank)] = c.fresh_tag_cursor();
+        });
+
+    const double expect = 255.0 * 256.0 / 2.0;
+    for (int r = 0; r < world; ++r) {
+        EXPECT_EQ(sum[static_cast<std::size_t>(r)], expect) << "rank " << r;
+        // Every rank wrapped onto the band base and stayed inside the band.
+        EXPECT_GE(cursor[static_cast<std::size_t>(r)], comm::kFreshTagBase);
+        EXPECT_LT(cursor[static_cast<std::size_t>(r)], comm::kAsyncTagBase);
+        EXPECT_EQ(cursor[static_cast<std::size_t>(r)], cursor[0]);
+    }
+}
+
+TEST(TagWrapScale, WrapWithFreshTrafficInFlightRefusesToAlias) {
+    InProcTransport transport(1);
+    comm::Communicator c(transport, 0, NetworkModel::free());
+
+    Message stale;
+    stale.source = 0;
+    stale.tag = comm::kFreshTagBase + 5;  // a fresh-band message in flight
+    transport.deliver(0, std::move(stale));
+
+    c.set_fresh_tag_cursor_for_test(comm::kAsyncTagBase - 1);
+    EXPECT_THROW(c.fresh_tags(4), std::logic_error);
+
+    // Drain it and the wrap is legal again.
+    (void)transport.receive(0, 0, comm::kFreshTagBase + 5);
+    const int base = c.fresh_tags(4);
+    EXPECT_EQ(base, comm::kFreshTagBase);
+}
+
+// ---------------------------------------------------------------------------
+// Mailbox band counters and the pop_for deadline
+
+Message make_msg(int source, int tag, int epoch = 0) {
+    Message m;
+    m.source = source;
+    m.tag = tag;
+    m.epoch = epoch;
+    return m;
+}
+
+TEST(MailboxScale, BandCountersMatchLinearScanThroughMutation) {
+    const int per_band = 256;  // P=256 worth of tags in each band
+    Mailbox mb;
+    for (int i = 0; i < per_band; ++i) {
+        mb.push(make_msg(0, i));                          // user band
+        mb.push(make_msg(0, comm::kFreshTagBase + i));    // fresh band
+        mb.push(make_msg(0, comm::kAsyncTagBase + i));    // async band
+    }
+    // O(1) band-base fast paths...
+    EXPECT_EQ(mb.count_tag_at_least(0), static_cast<std::size_t>(3 * per_band));
+    EXPECT_EQ(mb.count_tag_at_least(comm::kFreshTagBase),
+              static_cast<std::size_t>(2 * per_band));
+    EXPECT_EQ(mb.count_tag_at_least(comm::kAsyncTagBase),
+              static_cast<std::size_t>(per_band));
+    // ...and the generic scan threshold agrees (128 fresh tags above the
+    // cut plus the whole async band).
+    EXPECT_EQ(mb.count_tag_at_least(comm::kFreshTagBase + per_band / 2),
+              static_cast<std::size_t>(per_band / 2 + per_band));
+
+    // Pops on each band must decrement exactly the right counter.
+    (void)mb.pop(0, 3);
+    (void)mb.pop(0, comm::kFreshTagBase + 7);
+    (void)mb.pop(0, comm::kAsyncTagBase + 9);
+    ASSERT_TRUE(mb.try_pop(0, comm::kFreshTagBase + 8).has_value());
+    EXPECT_EQ(mb.count_tag_at_least(0), static_cast<std::size_t>(3 * per_band - 4));
+    EXPECT_EQ(mb.count_tag_at_least(comm::kFreshTagBase),
+              static_cast<std::size_t>(2 * per_band - 3));
+    EXPECT_EQ(mb.count_tag_at_least(comm::kAsyncTagBase),
+              static_cast<std::size_t>(per_band - 1));
+
+    // Epoch purges go through the same accounting: stale messages in every
+    // band vanish from their counters at once.
+    Mailbox purged;
+    for (int i = 0; i < 8; ++i) {
+        purged.push(make_msg(0, comm::kFreshTagBase + i, /*epoch=*/0));
+        purged.push(make_msg(0, comm::kAsyncTagBase + i, /*epoch=*/1));
+    }
+    purged.set_min_epoch(1);
+    EXPECT_EQ(purged.count_tag_at_least(comm::kFreshTagBase),
+              static_cast<std::size_t>(8));
+    EXPECT_EQ(purged.count_tag_at_least(comm::kAsyncTagBase),
+              static_cast<std::size_t>(8));
+}
+
+TEST(MailboxScale, PopForDeadlineIsImmuneToNotificationStorms) {
+    // Regression for the classic re-arm bug: a pop_for that recomputed its
+    // deadline per CV wakeup would never expire while unrelated pushes keep
+    // notifying. The deadline is absolute — the storm must not extend it.
+    Mailbox mb;
+    std::atomic<bool> stop{false};
+    std::thread storm([&] {
+        int i = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+            mb.push(make_msg(1, 999, 0));  // never matches the waiter
+            if (++i % 16 == 0) std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+    });
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto got =
+        mb.pop_for(/*source=*/2, /*tag=*/7, std::chrono::milliseconds(250));
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    stop.store(true, std::memory_order_relaxed);
+    storm.join();
+
+    EXPECT_FALSE(got.has_value());
+    EXPECT_GE(elapsed, 0.25);
+    // Generous ceiling for sanitizer CI; a re-armed deadline would ride the
+    // storm far past this (or into the ctest timeout).
+    EXPECT_LT(elapsed, 5.0);
+}
+
+}  // namespace
+}  // namespace gtopk

@@ -1,0 +1,160 @@
+// Shared plumbing for the cross-transport parity harness: the gtest parent
+// (tcp_transport_test.cpp) and the per-rank worker executable
+// (tcp_rank_worker.cpp) must build the IDENTICAL training scenario — same
+// dataset seed, shard plan, model and schedule — or "bit-identical final
+// params" would compare two different computations. Keep this header free
+// of gtest so the worker stays a plain binary.
+#pragma once
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "comm/cluster.hpp"
+#include "data/sampler.hpp"
+#include "data/synthetic_images.hpp"
+#include "nn/model_zoo.hpp"
+#include "train/trainer.hpp"
+
+namespace gtopk::tcptest {
+
+/// Worker exit contract: the parent asserts on these, so a peer death must
+/// map onto a TYPED code — anything else (a hang eats the ctest timeout,
+/// a crash yields 128+sig) fails the test.
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitRecvTimeout = 42;
+inline constexpr int kExitRankKilled = 43;
+inline constexpr int kExitOtherError = 44;
+
+inline train::Algorithm parse_algorithm(const std::string& name) {
+    if (name == "dense") return train::Algorithm::DenseSsgd;
+    if (name == "topk") return train::Algorithm::TopkSsgd;
+    if (name == "gtopk") return train::Algorithm::GtopkSsgd;
+    if (name == "naive") return train::Algorithm::NaiveGtopkSsgd;
+    throw std::invalid_argument("unknown algorithm: " + name);
+}
+
+inline const char* algorithm_name(train::Algorithm algo) {
+    switch (algo) {
+        case train::Algorithm::DenseSsgd: return "dense";
+        case train::Algorithm::TopkSsgd: return "topk";
+        case train::Algorithm::GtopkSsgd: return "gtopk";
+        case train::Algorithm::NaiveGtopkSsgd: return "naive";
+        default: return "?";
+    }
+}
+
+/// The parity scenario (a twin of chaos::TinyTrainScenario, duplicated here
+/// so the worker does not pull in gtest): seconds-scale, deterministic,
+/// identical on every transport because all math depends only on modeled
+/// virtual time.
+struct ParityScenario {
+    data::SyntheticImageDataset dataset;
+    data::ShardedSampler sampler;
+    nn::MlpConfig mlp;
+    int world;
+
+    explicit ParityScenario(int world_size)
+        : dataset(
+              [] {
+                  data::SyntheticImageDataset::Config cfg;
+                  cfg.image_size = 8;
+                  cfg.noise_std = 0.6f;
+                  return cfg;
+              }(),
+              1234),
+          sampler(2048, 512, world_size, 99),
+          world(world_size) {
+        mlp.input_dim = dataset.feature_dim();
+        mlp.hidden_dims = {16};
+        mlp.classes = 10;
+    }
+
+    /// The parity run: every algorithm, bit-identical across transports.
+    train::TrainConfig config(train::Algorithm algo) const {
+        train::TrainConfig cfg;
+        cfg.algorithm = algo;
+        cfg.epochs = 2;
+        cfg.iters_per_epoch = 8;
+        cfg.lr = 0.05f;
+        cfg.density = 0.05;
+        return cfg;
+    }
+
+    /// The conformance run: mirrors conformance_test.cpp's TrainerConformance
+    /// shape (short, invariant checks off so the comm pattern is the paper's).
+    train::TrainConfig conformance_config(train::Algorithm algo) const {
+        train::TrainConfig cfg;
+        cfg.algorithm = algo;
+        cfg.epochs = 2;
+        cfg.iters_per_epoch = 3;
+        cfg.density = 0.01;
+        cfg.check_invariants = false;
+        return cfg;
+    }
+
+    train::TrainResult run(train::TrainConfig cfg) const {
+        return train::train_distributed(
+            world, comm::NetworkModel::free(), cfg,
+            [mc = mlp](std::uint64_t seed) { return nn::make_mlp(mc, seed); },
+            [this](std::int64_t step, int rank) {
+                return dataset.batch_flat(sampler.batch_indices(step, rank, 8));
+            },
+            train::EvalBatchProvider{});
+    }
+};
+
+// ---------------------------------------------------------------------------
+// Raw little-endian param files: the worker dumps its final replica, the
+// parent memcmp's the bytes. Text round-trips would destroy the bit-exact
+// comparison this harness exists for.
+
+inline void write_params(const std::string& path, const std::vector<float>& p) {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os) throw std::runtime_error("cannot write " + path);
+    const std::uint64_t n = p.size();
+    os.write(reinterpret_cast<const char*>(&n), sizeof(n));
+    os.write(reinterpret_cast<const char*>(p.data()),
+             static_cast<std::streamsize>(n * sizeof(float)));
+}
+
+inline std::vector<float> read_params(const std::string& path) {
+    std::ifstream is(path, std::ios::binary);
+    if (!is) throw std::runtime_error("cannot read " + path);
+    std::uint64_t n = 0;
+    is.read(reinterpret_cast<char*>(&n), sizeof(n));
+    std::vector<float> p(n);
+    is.read(reinterpret_cast<char*>(p.data()),
+            static_cast<std::streamsize>(n * sizeof(float)));
+    if (!is) throw std::runtime_error("short read on " + path);
+    return p;
+}
+
+/// Probe a free loopback port (bind 0, read back, close). The tiny window
+/// before the rendezvous rank rebinds it is an accepted launcher race.
+inline int probe_free_port() {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    int port = -1;
+    socklen_t len = sizeof(addr);
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0 &&
+        ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+        port = static_cast<int>(ntohs(addr.sin_port));
+    }
+    ::close(fd);
+    return port;
+}
+
+}  // namespace gtopk::tcptest

@@ -1,0 +1,146 @@
+// tcp_rank_worker: one rank of a multi-process parity/chaos run, spawned by
+// tcp_transport_test via fork/exec. Builds the shared ParityScenario over a
+// real TcpTransport (optionally under the standard decorators) and reports
+// through the typed exit-code contract in tcp_parity_common.hpp:
+//
+//   tcp_rank_worker --rank R --world W --port P --algo gtopk --out params.bin
+//                   [--conformance] [--record-out edges.txt] [--reliable]
+//                   [--die-at-step K] [--recv-timeout S]
+//
+// --die-at-step wraps the transport in a FaultInjectingTransport whose plan
+// kills this rank at that trainer step — the multi-process analogue of the
+// in-process chaos kill. --record-out stacks a RecordingTransport on top
+// and dumps this process's OUTBOUND edges (src == local rank; over TCP a
+// process never observes a remote sender's program order) as
+// "dst tag bytes" lines for the parent's conformance diff.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "comm/comm_error.hpp"
+#include "comm/fault_transport.hpp"
+#include "comm/recording_transport.hpp"
+#include "comm/reliable_transport.hpp"
+#include "comm/tcp_transport.hpp"
+#include "tcp_parity_common.hpp"
+
+namespace {
+
+int require_arg(int argc, int i, const char* flag) {
+    if (i + 1 >= argc) {
+        std::cerr << "tcp_rank_worker: " << flag << " needs a value\n";
+        std::exit(2);
+    }
+    return i + 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace gtopk;
+
+    int rank = -1;
+    int world = 0;
+    int port = 0;
+    std::string algo_name;
+    std::string out_path;
+    std::string record_path;
+    long die_at_step = -1;
+    bool reliable = false;
+    bool conformance = false;
+    double recv_timeout_s = 10.0;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--rank") {
+            rank = std::atoi(argv[i = require_arg(argc, i, "--rank")]);
+        } else if (arg == "--world") {
+            world = std::atoi(argv[i = require_arg(argc, i, "--world")]);
+        } else if (arg == "--port") {
+            port = std::atoi(argv[i = require_arg(argc, i, "--port")]);
+        } else if (arg == "--algo") {
+            algo_name = argv[i = require_arg(argc, i, "--algo")];
+        } else if (arg == "--out") {
+            out_path = argv[i = require_arg(argc, i, "--out")];
+        } else if (arg == "--record-out") {
+            record_path = argv[i = require_arg(argc, i, "--record-out")];
+        } else if (arg == "--die-at-step") {
+            die_at_step = std::atol(argv[i = require_arg(argc, i, "--die-at-step")]);
+        } else if (arg == "--recv-timeout") {
+            recv_timeout_s = std::atof(argv[i = require_arg(argc, i, "--recv-timeout")]);
+        } else if (arg == "--reliable") {
+            reliable = true;
+        } else if (arg == "--conformance") {
+            conformance = true;
+        } else {
+            std::cerr << "tcp_rank_worker: unknown flag " << arg << "\n";
+            return 2;
+        }
+    }
+    if (rank < 0 || world <= 0 || port <= 0 || algo_name.empty()) {
+        std::cerr << "tcp_rank_worker: --rank/--world/--port/--algo required\n";
+        return 2;
+    }
+
+    try {
+        comm::TcpConfig tcfg;
+        tcfg.rank = rank;
+        tcfg.world_size = world;
+        tcfg.rendezvous_host = "127.0.0.1";
+        tcfg.rendezvous_port = port;
+        tcfg.connect_timeout_s = 30.0;
+
+        // Decorator stack, innermost out: Tcp -> FaultInjecting -> Reliable
+        // -> Recording (record the app's program order, outermost).
+        std::unique_ptr<comm::Transport> stack =
+            std::make_unique<comm::TcpTransport>(tcfg);
+        if (die_at_step >= 0) {
+            comm::FaultPlan plan;
+            plan.kill_at_step(rank, die_at_step);
+            stack = std::make_unique<comm::FaultInjectingTransport>(std::move(stack),
+                                                                    plan);
+        }
+        if (reliable) {
+            stack = std::make_unique<comm::ReliableTransport>(std::move(stack));
+        }
+        comm::RecordingTransport* recorder = nullptr;
+        if (!record_path.empty()) {
+            auto rec = std::make_unique<comm::RecordingTransport>(std::move(stack));
+            recorder = rec.get();
+            stack = std::move(rec);
+        }
+
+        tcptest::ParityScenario scenario(world);
+        const train::Algorithm algo = tcptest::parse_algorithm(algo_name);
+        train::TrainConfig cfg = conformance ? scenario.conformance_config(algo)
+                                             : scenario.config(algo);
+        cfg.transport = stack.get();
+        cfg.local_rank = rank;
+        cfg.recv_timeout_s = recv_timeout_s;
+
+        const train::TrainResult result = scenario.run(cfg);
+
+        if (!out_path.empty()) {
+            tcptest::write_params(out_path, result.final_params);
+        }
+        if (recorder != nullptr) {
+            std::ofstream os(record_path, std::ios::trunc);
+            for (int dst = 0; dst < world; ++dst) {
+                for (const comm::RecordedMsg& m : recorder->edge_log(rank, dst)) {
+                    os << dst << ' ' << m.tag << ' ' << m.bytes << '\n';
+                }
+            }
+        }
+        return tcptest::kExitOk;
+    } catch (const comm::CommError& e) {
+        std::cerr << "tcp_rank_worker rank " << rank << ": " << e.what() << "\n";
+        return e.kind() == comm::CommErrorKind::RankKilled
+                   ? tcptest::kExitRankKilled
+                   : tcptest::kExitRecvTimeout;
+    } catch (const std::exception& e) {
+        std::cerr << "tcp_rank_worker rank " << rank << ": " << e.what() << "\n";
+        return tcptest::kExitOtherError;
+    }
+}

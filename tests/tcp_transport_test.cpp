@@ -1,0 +1,442 @@
+// Cross-transport parity + TCP failure-shape suite (ctest label: tcp).
+//
+// The load-bearing claim: the training math depends only on MODELED virtual
+// time (arrival stamps ride inside every frame), so the same seeded
+// scenario must produce bit-identical final parameters whether the ranks
+// are threads over an InProcTransport or processes over a real TcpTransport
+// — for all four algorithms, at P in {2, 4, 8}. On top of that:
+//
+//   * the recorded message stream over TCP diffs zero against the static
+//     Schedule IR (each process can only attest its own outbound edges —
+//     recording happens on the sender's thread — so the diff is per-edge);
+//   * a mid-run peer death surfaces as a TYPED CommError on every rank
+//     (RankKilled on the victim, RecvTimeout/RankKilled on survivors),
+//     never a hang — the 120s ctest TIMEOUT is the backstop that turns a
+//     hang into a failure;
+//   * the standard decorators (ReliableTransport, FaultInjecting,
+//     Recording) stack over TcpTransport unchanged.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/conformance.hpp"
+#include "collectives/collectives.hpp"
+#include "collectives/schedule.hpp"
+#include "comm/tags.hpp"
+#include "comm/tcp_frame.hpp"
+#include "comm/tcp_transport.hpp"
+#include "sparse/wire.hpp"
+#include "tcp_parity_common.hpp"
+
+namespace gtopk {
+namespace {
+
+using tcptest::ParityScenario;
+
+// ---------------------------------------------------------------------------
+// Process plumbing
+
+std::string worker_binary() {
+    const std::filesystem::path self =
+        std::filesystem::read_symlink("/proc/self/exe");
+    return (self.parent_path() / "tcp_rank_worker").string();
+}
+
+std::string fresh_dir() {
+    std::string tmpl = "/tmp/gtopk_tcp_XXXXXX";
+    char* dir = ::mkdtemp(tmpl.data());
+    EXPECT_NE(dir, nullptr);
+    return dir ? std::string(dir) : std::string("/tmp");
+}
+
+pid_t spawn_worker(const std::vector<std::string>& args) {
+    const pid_t pid = ::fork();
+    if (pid != 0) return pid;
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (const std::string& a : args) {
+        argv.push_back(const_cast<char*>(a.c_str()));
+    }
+    argv.push_back(nullptr);
+    ::execv(argv[0], argv.data());
+    ::_exit(127);
+}
+
+int wait_exit(pid_t pid) {
+    int status = 0;
+    while (::waitpid(pid, &status, 0) < 0) {
+        if (errno != EINTR) return -1;
+    }
+    if (WIFEXITED(status)) return WEXITSTATUS(status);
+    if (WIFSIGNALED(status)) return 128 + WTERMSIG(status);
+    return -1;
+}
+
+struct WorldRun {
+    std::vector<int> exit_codes;          // per rank
+    std::vector<std::string> param_files; // per rank
+    std::vector<std::string> record_files;
+};
+
+/// Launch a full world of tcp_rank_worker processes and wait for all of
+/// them. `extra(rank)` appends per-rank flags (kill plans etc.).
+WorldRun run_world(const std::string& dir, const std::string& algo, int world,
+                   const std::vector<std::string>& common_flags = {},
+                   const std::map<int, std::vector<std::string>>& per_rank = {},
+                   bool record = false) {
+    const int port = tcptest::probe_free_port();
+    EXPECT_GT(port, 0);
+    const std::string bin = worker_binary();
+    WorldRun out;
+    std::vector<pid_t> pids;
+    for (int r = 0; r < world; ++r) {
+        const std::string params =
+            dir + "/params_" + algo + "_" + std::to_string(r) + ".bin";
+        out.param_files.push_back(params);
+        std::vector<std::string> args = {
+            bin,     "--rank", std::to_string(r), "--world", std::to_string(world),
+            "--port", std::to_string(port), "--algo", algo, "--out", params};
+        if (record) {
+            const std::string rec = dir + "/edges_" + std::to_string(r) + ".txt";
+            out.record_files.push_back(rec);
+            args.insert(args.end(), {"--record-out", rec});
+        }
+        args.insert(args.end(), common_flags.begin(), common_flags.end());
+        if (const auto it = per_rank.find(r); it != per_rank.end()) {
+            args.insert(args.end(), it->second.begin(), it->second.end());
+        }
+        pids.push_back(spawn_worker(args));
+    }
+    for (const pid_t pid : pids) out.exit_codes.push_back(wait_exit(pid));
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Frame codec sanity (the adversarial byte-level sweep lives in fuzz_test)
+
+TEST(TcpFrame, RoundTripsMessageExactly) {
+    comm::Message msg;
+    msg.source = 3;
+    msg.tag = comm::kFreshTagBase + 17;
+    msg.epoch = 2;
+    msg.arrival_time_s = 0.125;
+    msg.payload = {std::byte{0xde}, std::byte{0xad}, std::byte{0xbe}};
+
+    std::vector<std::byte> wire;
+    comm::tcp::encode_frame(msg, /*dst=*/1, wire);
+    EXPECT_EQ(wire.size(), comm::tcp::kFrameHeaderBytes + msg.payload.size());
+
+    comm::tcp::FrameDecoder dec;
+    dec.feed(wire);
+    const auto frame = dec.next();
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->dst, 1);
+    EXPECT_EQ(frame->msg.source, 3);
+    EXPECT_EQ(frame->msg.tag, comm::kFreshTagBase + 17);
+    EXPECT_EQ(frame->msg.epoch, 2);
+    EXPECT_EQ(frame->msg.arrival_time_s, 0.125);
+    EXPECT_EQ(frame->msg.payload, msg.payload);
+    EXPECT_FALSE(dec.next().has_value());
+    EXPECT_FALSE(dec.mid_frame());
+}
+
+TEST(TcpFrame, DecodesByteDribbleAndBackToBackFrames) {
+    comm::Message a;
+    a.source = 0;
+    a.tag = 7;
+    a.payload.assign(100, std::byte{0x55});
+    comm::Message b;
+    b.source = 1;
+    b.tag = 8;
+
+    std::vector<std::byte> wire;
+    comm::tcp::encode_frame(a, 2, wire);
+    comm::tcp::encode_frame(b, 2, wire);
+
+    comm::tcp::FrameDecoder dec;
+    int decoded = 0;
+    for (std::size_t i = 0; i < wire.size(); ++i) {
+        dec.feed({wire.data() + i, 1});  // worst-case one-byte TCP reads
+        while (dec.next()) ++decoded;
+    }
+    EXPECT_EQ(decoded, 2);
+    EXPECT_FALSE(dec.mid_frame());
+}
+
+TEST(TcpFrame, RejectsJunkMagicAndOversizedLength) {
+    comm::Message msg;
+    msg.source = 0;
+    msg.tag = 1;
+    std::vector<std::byte> wire;
+    comm::tcp::encode_frame(msg, 1, wire);
+
+    {
+        std::vector<std::byte> junk = wire;
+        junk[0] = std::byte{0x00};
+        comm::tcp::FrameDecoder dec;
+        dec.feed(junk);
+        EXPECT_THROW(dec.next(), comm::tcp::FrameError);
+    }
+    {
+        // Claimed payload length above the decoder bound must be rejected
+        // from the header alone — no attempt to buffer the body.
+        std::vector<std::byte> big = wire;
+        big[32] = std::byte{0xff};
+        big[36] = std::byte{0xff};
+        comm::tcp::FrameDecoder dec(/*max_payload=*/1 << 20);
+        dec.feed(big);
+        EXPECT_THROW(dec.next(), comm::tcp::FrameError);
+    }
+}
+
+TEST(TcpFrame, EncodeRefusesOversizedPayload) {
+    comm::Message msg;
+    msg.source = 0;
+    msg.tag = 1;
+    msg.payload.assign(64, std::byte{0});
+    std::vector<std::byte> wire;
+    EXPECT_THROW(comm::tcp::encode_frame(msg, 1, wire, /*max_payload=*/63),
+                 comm::tcp::FrameError);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-transport parity: InProc threads vs TCP processes, bit-identical.
+
+struct ParityCase {
+    train::Algorithm algo;
+    int world;
+};
+
+std::string parity_case_name(const ::testing::TestParamInfo<ParityCase>& info) {
+    return std::string(tcptest::algorithm_name(info.param.algo)) + "_P" +
+           std::to_string(info.param.world);
+}
+
+class CrossTransportParity : public ::testing::TestWithParam<ParityCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgorithmsByWorld, CrossTransportParity,
+    ::testing::Values(ParityCase{train::Algorithm::DenseSsgd, 2},
+                      ParityCase{train::Algorithm::DenseSsgd, 4},
+                      ParityCase{train::Algorithm::DenseSsgd, 8},
+                      ParityCase{train::Algorithm::TopkSsgd, 2},
+                      ParityCase{train::Algorithm::TopkSsgd, 4},
+                      ParityCase{train::Algorithm::TopkSsgd, 8},
+                      ParityCase{train::Algorithm::GtopkSsgd, 2},
+                      ParityCase{train::Algorithm::GtopkSsgd, 4},
+                      ParityCase{train::Algorithm::GtopkSsgd, 8},
+                      ParityCase{train::Algorithm::NaiveGtopkSsgd, 2},
+                      ParityCase{train::Algorithm::NaiveGtopkSsgd, 4},
+                      ParityCase{train::Algorithm::NaiveGtopkSsgd, 8}),
+    parity_case_name);
+
+TEST_P(CrossTransportParity, FinalParamsBitIdenticalToInProcess) {
+    const auto [algo, world] = GetParam();
+    ParityScenario scenario(world);
+    const train::TrainResult baseline = scenario.run(scenario.config(algo));
+    ASSERT_FALSE(baseline.final_params.empty());
+
+    const std::string dir = fresh_dir();
+    const WorldRun run = run_world(dir, tcptest::algorithm_name(algo), world);
+    for (int r = 0; r < world; ++r) {
+        ASSERT_EQ(run.exit_codes[static_cast<std::size_t>(r)], tcptest::kExitOk)
+            << "rank " << r << " failed";
+        // Every replica, not just the lead: synchronous data-parallel SGD
+        // keeps all ranks' parameters identical, and any transport-induced
+        // perturbation would show up as a single flipped bit here.
+        const std::vector<float> params =
+            tcptest::read_params(run.param_files[static_cast<std::size_t>(r)]);
+        ASSERT_EQ(params.size(), baseline.final_params.size());
+        EXPECT_EQ(0, std::memcmp(params.data(), baseline.final_params.data(),
+                                 params.size() * sizeof(float)))
+            << "rank " << r << " diverged from the in-process run";
+    }
+    std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Conformance over TCP: each process's outbound edges diff zero against the
+// static Schedule IR.
+
+class TcpConformance : public ::testing::TestWithParam<train::Algorithm> {};
+INSTANTIATE_TEST_SUITE_P(Algorithms, TcpConformance,
+                         ::testing::Values(train::Algorithm::DenseSsgd,
+                                           train::Algorithm::TopkSsgd,
+                                           train::Algorithm::GtopkSsgd,
+                                           train::Algorithm::NaiveGtopkSsgd));
+
+TEST_P(TcpConformance, OutboundEdgesMatchStaticScheduleExactly) {
+    using collectives::AllgatherAlgo;
+    using collectives::BcastAlgo;
+    const train::Algorithm algo = GetParam();
+    const int world = 4;
+
+    const std::string dir = fresh_dir();
+    const WorldRun run = run_world(dir, tcptest::algorithm_name(algo), world,
+                                   {"--conformance"}, {}, /*record=*/true);
+    for (int r = 0; r < world; ++r) {
+        ASSERT_EQ(run.exit_codes[static_cast<std::size_t>(r)], tcptest::kExitOk)
+            << "rank " << r;
+    }
+
+    // Reconstruct the run's comm plan from the generators alone (mirrors
+    // conformance_test.cpp's TrainerConformance predictor).
+    ParityScenario scenario(world);
+    const train::TrainConfig config = scenario.conformance_config(algo);
+    const auto probe = nn::make_mlp(scenario.mlp, config.model_seed);
+    const std::size_t m = probe->flat_params().size();
+    const std::size_t k = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::llround(config.density * static_cast<double>(m))));
+    const auto wire = static_cast<std::int64_t>(sparse::wire_size_bytes(k));
+
+    analysis::SchedulePredictor pred(world);
+    const std::vector<std::int64_t> wire_per_rank(static_cast<std::size_t>(world),
+                                                  wire);
+    for (int epoch = 0; epoch < config.epochs; ++epoch) {
+        for (int it = 0; it < config.iters_per_epoch; ++it) {
+            switch (algo) {
+                case train::Algorithm::DenseSsgd:
+                    pred.add(collectives::allreduce_ring_schedule(
+                        world, static_cast<std::int64_t>(m), 4));
+                    break;
+                case train::Algorithm::TopkSsgd:
+                    pred.add(collectives::allgather_schedule(
+                        world, wire, 1, AllgatherAlgo::RecursiveDoubling));
+                    break;
+                case train::Algorithm::GtopkSsgd:
+                    pred.add(collectives::gtopk_merge_schedule(world, wire));
+                    pred.add(collectives::broadcast_schedule(
+                        world, 0, wire, BcastAlgo::BinomialTree));
+                    break;
+                case train::Algorithm::NaiveGtopkSsgd:
+                    pred.add(collectives::allgatherv_schedule(world, wire_per_rank));
+                    break;
+                default:
+                    FAIL() << "unexpected algorithm";
+            }
+        }
+        pred.add(collectives::allgather_schedule(world, 1, 8, AllgatherAlgo::Ring));
+    }
+
+    // Over TCP, recording happens on the sender's thread IN the sender's
+    // process: rank r's dump attests exactly the (r -> dst) edges. Diff
+    // each dump against the predictor's matching edge rows.
+    for (int r = 0; r < world; ++r) {
+        std::ifstream is(run.record_files[static_cast<std::size_t>(r)]);
+        ASSERT_TRUE(is.good()) << run.record_files[static_cast<std::size_t>(r)];
+        std::vector<std::vector<std::pair<int, std::int64_t>>> actual(
+            static_cast<std::size_t>(world));
+        int dst = 0;
+        int tag = 0;
+        std::int64_t bytes = 0;
+        while (is >> dst >> tag >> bytes) {
+            ASSERT_GE(dst, 0);
+            ASSERT_LT(dst, world);
+            actual[static_cast<std::size_t>(dst)].emplace_back(tag, bytes);
+        }
+        for (int d = 0; d < world; ++d) {
+            const auto& expected = pred.edge(r, d);
+            const auto& got = actual[static_cast<std::size_t>(d)];
+            ASSERT_EQ(got.size(), expected.size())
+                << "edge " << r << "->" << d << " message count";
+            for (std::size_t i = 0; i < expected.size(); ++i) {
+                EXPECT_EQ(got[i].first, expected[i].tag)
+                    << "edge " << r << "->" << d << " msg " << i << " ("
+                    << expected[i].proto << " round " << expected[i].round << ")";
+                if (expected[i].bytes != collectives::kVariableBytes) {
+                    EXPECT_EQ(got[i].second, expected[i].bytes)
+                        << "edge " << r << "->" << d << " msg " << i;
+                }
+            }
+        }
+    }
+    std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Failure shape: a peer dying mid-run must surface as a typed CommError on
+// every rank — never a hang (the ctest TIMEOUT backstops that claim).
+
+TEST(TcpFailureShape, PeerDeathIsTypedOnEveryRank) {
+    const int world = 4;
+    const int victim = 2;
+    const std::string dir = fresh_dir();
+    const WorldRun run =
+        run_world(dir, "gtopk", world, {"--recv-timeout", "5"},
+                  {{victim, {"--die-at-step", "5"}}});
+    EXPECT_EQ(run.exit_codes[victim], tcptest::kExitRankKilled)
+        << "the victim's own thread must observe RankKilled";
+    for (int r = 0; r < world; ++r) {
+        if (r == victim) continue;
+        const int code = run.exit_codes[static_cast<std::size_t>(r)];
+        EXPECT_TRUE(code == tcptest::kExitRecvTimeout ||
+                    code == tcptest::kExitRankKilled)
+            << "rank " << r << " exited " << code
+            << " (wanted a typed CommError: 42 RecvTimeout / 43 RankKilled)";
+    }
+    std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Decorator composition: ReliableTransport (+ Recording in the conformance
+// test above, + FaultInjecting in the kill test) stacks over TcpTransport
+// unchanged. Cross-process the ack/recovery plane degrades to an envelope
+// passthrough (DESIGN.md §15), which must still be a bit-exact identity.
+
+TEST(TcpDecorators, ReliableEnvelopeOverTcpIsBitExact) {
+    const int world = 4;
+    ParityScenario scenario(world);
+    const train::TrainResult baseline =
+        scenario.run(scenario.config(train::Algorithm::GtopkSsgd));
+
+    const std::string dir = fresh_dir();
+    const WorldRun run = run_world(dir, "gtopk", world, {"--reliable"});
+    for (int r = 0; r < world; ++r) {
+        ASSERT_EQ(run.exit_codes[static_cast<std::size_t>(r)], tcptest::kExitOk)
+            << "rank " << r;
+        const std::vector<float> params =
+            tcptest::read_params(run.param_files[static_cast<std::size_t>(r)]);
+        ASSERT_EQ(params.size(), baseline.final_params.size());
+        EXPECT_EQ(0, std::memcmp(params.data(), baseline.final_params.data(),
+                                 params.size() * sizeof(float)))
+            << "rank " << r;
+    }
+    std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Env bootstrap contract (what gtopkrun exports).
+
+TEST(TcpConfigFromEnv, ParsesAndValidatesRendezvous) {
+    ::setenv("GTOPK_RANK", "3", 1);
+    ::setenv("GTOPK_WORLD_SIZE", "8", 1);
+    ::setenv("GTOPK_RENDEZVOUS", "10.0.0.1:29400", 1);
+    const auto cfg = comm::TcpTransport::config_from_env();
+    ASSERT_TRUE(cfg.has_value());
+    EXPECT_EQ(cfg->rank, 3);
+    EXPECT_EQ(cfg->world_size, 8);
+    EXPECT_EQ(cfg->rendezvous_host, "10.0.0.1");
+    EXPECT_EQ(cfg->rendezvous_port, 29400);
+
+    ::setenv("GTOPK_RENDEZVOUS", "no-port-here", 1);
+    EXPECT_THROW(comm::TcpTransport::config_from_env(), std::invalid_argument);
+
+    ::unsetenv("GTOPK_RANK");
+    ::unsetenv("GTOPK_WORLD_SIZE");
+    ::unsetenv("GTOPK_RENDEZVOUS");
+    EXPECT_FALSE(comm::TcpTransport::config_from_env().has_value());
+}
+
+}  // namespace
+}  // namespace gtopk

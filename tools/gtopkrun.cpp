@@ -1,0 +1,237 @@
+// gtopkrun: the mpirun of this repo — launch an N-rank TcpTransport world.
+//
+//   gtopkrun -n 4 -- ./quickstart --transport tcp
+//   gtopkrun -n 8 --hostfile hosts.txt --rendezvous-port 29400 -- ./prog
+//
+// Spawns one process per rank and wires the bootstrap contract through the
+// environment: GTOPK_RANK, GTOPK_WORLD_SIZE, GTOPK_RENDEZVOUS=host:port
+// (comm::TcpTransport::config_from_env reads them). Without --hostfile all
+// ranks run locally and the rendezvous defaults to a freshly probed
+// loopback port. With --hostfile, ranks are assigned round-robin over the
+// listed hosts; non-local ranks are started through `ssh <host> env ...`,
+// and the rendezvous host defaults to the first entry (rank 0's host) so
+// every peer can reach rank 0.
+//
+// Supervision: the launcher waits for all ranks; the first rank to exit
+// non-zero (or die on a signal) gets the rest SIGTERMed, and its status
+// becomes the launcher's. SIGINT/SIGTERM on the launcher forward to every
+// child, so ^C tears the whole world down.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace {
+
+volatile sig_atomic_t g_signal = 0;
+
+void on_signal(int sig) { g_signal = sig; }
+
+int usage(const char* argv0) {
+    std::cerr << "usage: " << argv0
+              << " -n <ranks> [--hostfile <file>] [--rendezvous-host <host>]"
+                 " [--rendezvous-port <port>] -- <program> [args...]\n";
+    return 2;
+}
+
+/// Probe a free loopback TCP port: bind port 0, read the assignment back.
+/// Small race against other processes grabbing it, fine for a launcher.
+int probe_free_port() {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+        ::close(fd);
+        return -1;
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+        ::close(fd);
+        return -1;
+    }
+    ::close(fd);
+    return static_cast<int>(ntohs(addr.sin_port));
+}
+
+bool is_local_host(const std::string& host) {
+    return host.empty() || host == "localhost" || host == "127.0.0.1" ||
+           host == "::1";
+}
+
+struct Child {
+    pid_t pid = -1;
+    int rank = -1;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    int world = 0;
+    std::string hostfile;
+    std::string rendezvous_host;
+    int rendezvous_port = 0;
+    int cmd_start = -1;
+
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "-n") == 0 && i + 1 < argc) {
+            world = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--hostfile") == 0 && i + 1 < argc) {
+            hostfile = argv[++i];
+        } else if (std::strcmp(argv[i], "--rendezvous-host") == 0 && i + 1 < argc) {
+            rendezvous_host = argv[++i];
+        } else if (std::strcmp(argv[i], "--rendezvous-port") == 0 && i + 1 < argc) {
+            rendezvous_port = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--") == 0) {
+            cmd_start = i + 1;
+            break;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    if (world <= 0 || cmd_start < 0 || cmd_start >= argc) return usage(argv[0]);
+
+    std::vector<std::string> hosts;
+    if (!hostfile.empty()) {
+        std::ifstream in(hostfile);
+        if (!in) {
+            std::cerr << "gtopkrun: cannot open hostfile " << hostfile << "\n";
+            return 2;
+        }
+        std::string line;
+        while (std::getline(in, line)) {
+            // Trim and skip blanks/comments.
+            const auto a = line.find_first_not_of(" \t\r");
+            if (a == std::string::npos || line[a] == '#') continue;
+            const auto b = line.find_last_not_of(" \t\r");
+            hosts.push_back(line.substr(a, b - a + 1));
+        }
+        if (hosts.empty()) {
+            std::cerr << "gtopkrun: hostfile has no hosts\n";
+            return 2;
+        }
+    }
+
+    if (rendezvous_port <= 0) rendezvous_port = probe_free_port();
+    if (rendezvous_port <= 0) {
+        std::cerr << "gtopkrun: could not probe a rendezvous port\n";
+        return 1;
+    }
+    if (rendezvous_host.empty()) {
+        // Rank 0's host is the rendezvous: first hostfile entry, else
+        // loopback for an all-local run.
+        rendezvous_host =
+            (!hosts.empty() && !is_local_host(hosts[0])) ? hosts[0] : "127.0.0.1";
+    }
+    const std::string rendezvous =
+        rendezvous_host + ":" + std::to_string(rendezvous_port);
+
+    struct sigaction sa{};
+    sa.sa_handler = on_signal;
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::signal(SIGPIPE, SIG_IGN);
+
+    std::vector<Child> children;
+    children.reserve(static_cast<std::size_t>(world));
+    for (int rank = 0; rank < world; ++rank) {
+        const std::string host =
+            hosts.empty() ? std::string()
+                          : hosts[static_cast<std::size_t>(rank) % hosts.size()];
+        const pid_t pid = ::fork();
+        if (pid < 0) {
+            std::cerr << "gtopkrun: fork failed: " << std::strerror(errno) << "\n";
+            for (const Child& c : children) ::kill(c.pid, SIGTERM);
+            return 1;
+        }
+        if (pid == 0) {
+            // Child: export the bootstrap contract, then exec the program
+            // (locally) or hand the whole thing to ssh (remote host).
+            const std::string rank_s = std::to_string(rank);
+            const std::string world_s = std::to_string(world);
+            if (is_local_host(host)) {
+                ::setenv("GTOPK_RANK", rank_s.c_str(), 1);
+                ::setenv("GTOPK_WORLD_SIZE", world_s.c_str(), 1);
+                ::setenv("GTOPK_RENDEZVOUS", rendezvous.c_str(), 1);
+                ::execvp(argv[cmd_start], argv + cmd_start);
+                std::cerr << "gtopkrun: exec " << argv[cmd_start]
+                          << " failed: " << std::strerror(errno) << "\n";
+            } else {
+                // ssh <host> env GTOPK_RANK=r ... prog args...
+                std::vector<std::string> remote;
+                remote.emplace_back("ssh");
+                remote.push_back(host);
+                remote.emplace_back("env");
+                remote.push_back("GTOPK_RANK=" + rank_s);
+                remote.push_back("GTOPK_WORLD_SIZE=" + world_s);
+                remote.push_back("GTOPK_RENDEZVOUS=" + rendezvous);
+                for (int i = cmd_start; i < argc; ++i) remote.emplace_back(argv[i]);
+                std::vector<char*> cargv;
+                cargv.reserve(remote.size() + 1);
+                for (std::string& s : remote) cargv.push_back(s.data());
+                cargv.push_back(nullptr);
+                ::execvp("ssh", cargv.data());
+                std::cerr << "gtopkrun: exec ssh failed: " << std::strerror(errno)
+                          << "\n";
+            }
+            ::_exit(127);
+        }
+        children.push_back(Child{pid, rank});
+    }
+
+    // Supervise: reap everyone; first failure triggers a teardown of the
+    // rest but reaping continues so no zombies outlive the launcher.
+    int exit_code = 0;
+    bool torn_down = false;
+    std::size_t live = children.size();
+    while (live > 0) {
+        if (g_signal != 0 && !torn_down) {
+            for (const Child& c : children) ::kill(c.pid, SIGTERM);
+            torn_down = true;
+            if (exit_code == 0) exit_code = 128 + static_cast<int>(g_signal);
+        }
+        int status = 0;
+        const pid_t pid = ::waitpid(-1, &status, 0);
+        if (pid < 0) {
+            if (errno == EINTR) continue;
+            break;
+        }
+        int rank = -1;
+        for (const Child& c : children) {
+            if (c.pid == pid) rank = c.rank;
+        }
+        --live;
+        int code = 0;
+        if (WIFEXITED(status)) {
+            code = WEXITSTATUS(status);
+        } else if (WIFSIGNALED(status)) {
+            code = 128 + WTERMSIG(status);
+            std::cerr << "gtopkrun: rank " << rank << " killed by signal "
+                      << WTERMSIG(status) << "\n";
+        }
+        if (code != 0) {
+            if (exit_code == 0) exit_code = code;
+            if (!torn_down) {
+                std::cerr << "gtopkrun: rank " << rank << " exited with " << code
+                          << "; terminating remaining ranks\n";
+                for (const Child& c : children) {
+                    if (c.pid != pid) ::kill(c.pid, SIGTERM);
+                }
+                torn_down = true;
+            }
+        }
+    }
+    return exit_code;
+}
