@@ -1,0 +1,292 @@
+#include "analysis/protocheck/arq_model.hpp"
+
+#include <algorithm>
+
+namespace gtopk::analysis::protocheck {
+
+namespace fsm = comm::fsm;
+
+ArqModel::State ArqModel::initial() const {
+    State s;
+    s.fate.assign(static_cast<std::size_t>(cfg_.max_msgs), SeqFate::kPending);
+    return s;
+}
+
+void ArqModel::app_push(State& s, std::uint64_t seq, int epoch) {
+    if (epoch < s.rx_floor) {
+        // Mailbox epoch floor: consumed and rejected, never seen by the app.
+        if (seq >= 1 && seq <= s.fate.size() &&
+            s.fate[seq - 1] == SeqFate::kPending) {
+            s.fate[seq - 1] = SeqFate::kRejected;
+        }
+        return;
+    }
+    if (seq <= s.last_app_seq && s.violation.empty()) {
+        s.violation = "out-of-order-delivery";
+        return;
+    }
+    s.last_app_seq = seq;
+    if (seq >= 1 && seq <= s.fate.size()) {
+        if (s.fate[seq - 1] != SeqFate::kPending && s.violation.empty()) {
+            s.violation = "out-of-order-delivery";  // fate already sealed
+            return;
+        }
+        s.fate[seq - 1] = SeqFate::kDelivered;
+    }
+}
+
+void ArqModel::release_parked(State& s, std::uint64_t n) {
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const auto it = s.parked_epochs.begin();
+        const std::uint64_t seq = it->first;
+        const int epoch = it->second;
+        s.parked_epochs.erase(it);
+        app_push(s, seq, epoch);
+    }
+}
+
+std::vector<ArqModel::Action> ArqModel::actions(const State& s) const {
+    std::vector<Action> out;
+    if (!s.violation.empty()) return out;  // violating states are terminal
+    if (s.sender_alive && s.sent < cfg_.max_msgs) {
+        out.push_back({Action::Kind::kSend, {}});
+    }
+    // One action per DISTINCT in-flight envelope: the fabric delivering
+    // either of two identical duplicates is the same transition.
+    for (std::size_t i = 0; i < s.flight.size(); ++i) {
+        if (i > 0 && s.flight[i] == s.flight[i - 1]) continue;
+        const Flight& f = s.flight[i];
+        out.push_back({Action::Kind::kDeliver, f});
+        if (cfg_.allow_drop) out.push_back({Action::Kind::kDrop, f});
+        if (s.dups_used < cfg_.dup_budget) out.push_back({Action::Kind::kDup, f});
+        if (s.corrupts_used < cfg_.corrupt_budget && !f.corrupt) {
+            out.push_back({Action::Kind::kCorrupt, f});
+        }
+    }
+    if (s.sender_alive &&
+        fsm::arq_tx_buffer_index(s.tx, s.rx.expected).has_value()) {
+        out.push_back({Action::Kind::kRecover, {}});
+    }
+    if (cfg_.allow_kill && s.sender_alive) {
+        out.push_back({Action::Kind::kKillSender, {}});
+    }
+    if (s.bumps_used < cfg_.max_epoch_bumps) {
+        out.push_back({Action::Kind::kEpochBump, {}});
+    }
+    return out;
+}
+
+ArqModel::State ArqModel::apply(const State& prev, const Action& a) const {
+    State s = prev;
+    const auto erase_one = [&s](const Flight& f) {
+        const auto it = std::find(s.flight.begin(), s.flight.end(), f);
+        s.flight.erase(it);
+    };
+    switch (a.kind) {
+        case Action::Kind::kSend: {
+            const fsm::TxSendDecision d =
+                fsm::arq_tx_send(s.tx, s.shared_ack, /*dst_alive=*/true);
+            for (std::uint64_t i = 0; i < d.gc; ++i) {
+                s.buffer_epochs.erase(s.buffer_epochs.begin());
+            }
+            if (d.buffer) s.buffer_epochs.push_back(s.send_epoch);
+            s.flight.push_back({d.seq, s.send_epoch, false});
+            std::sort(s.flight.begin(), s.flight.end());
+            ++s.sent;
+            break;
+        }
+        case Action::Kind::kDeliver: {
+            erase_one(a.flight);
+            const fsm::RxDecision d = fsm::arq_rx_envelope(
+                s.rx, a.flight.seq, /*checksum_ok=*/!a.flight.corrupt);
+            switch (d.action) {
+                case fsm::RxAction::kDropCorrupt:
+                    ++s.counts.corrupt_dropped;
+                    break;
+                case fsm::RxAction::kDropDuplicate:
+                    ++s.counts.dup_dropped;
+                    break;
+                case fsm::RxAction::kPark:
+                    s.parked_epochs.emplace(a.flight.seq, a.flight.epoch);
+                    break;
+                case fsm::RxAction::kDeliver:
+                    app_push(s, a.flight.seq, a.flight.epoch);
+                    release_parked(s, d.release);
+                    s.shared_ack = d.cum_ack;
+                    break;
+            }
+            break;
+        }
+        case Action::Kind::kDrop:
+            erase_one(a.flight);
+            break;
+        case Action::Kind::kDup:
+            s.flight.push_back(a.flight);
+            std::sort(s.flight.begin(), s.flight.end());
+            ++s.dups_used;
+            break;
+        case Action::Kind::kCorrupt: {
+            erase_one(a.flight);
+            Flight f = a.flight;
+            f.corrupt = true;
+            s.flight.push_back(f);
+            std::sort(s.flight.begin(), s.flight.end());
+            ++s.corrupts_used;
+            break;
+        }
+        case Action::Kind::kRecover: {
+            // Mirrors ReliableTransport::recover exactly: pull gap heads
+            // until the sender's buffer no longer covers `expected` — one
+            // recovery pass, not one seq (recovery can race an in-flight
+            // copy past the wire, which then dedup-drops on arrival).
+            for (;;) {
+                const std::optional<std::uint64_t> idx =
+                    fsm::arq_tx_buffer_index(s.tx, s.rx.expected);
+                if (!idx) break;
+                const std::uint64_t seq = s.rx.expected;
+                const int epoch = s.buffer_epochs[static_cast<std::size_t>(*idx)];
+                const bool stale = epoch < s.rx_floor;
+                const fsm::RxRecoverDecision d = fsm::arq_rx_recover(s.rx, stale);
+                if (d.action == fsm::RecoverAction::kSkipStale) {
+                    ++s.counts.stale_skipped;
+                    if (seq >= 1 && seq <= s.fate.size() &&
+                        s.fate[seq - 1] == SeqFate::kPending) {
+                        s.fate[seq - 1] = SeqFate::kSkipped;
+                    }
+                } else {
+                    ++s.counts.retransmits;
+                    app_push(s, seq, epoch);
+                }
+                release_parked(s, d.release);
+                s.shared_ack = d.cum_ack;
+            }
+            break;
+        }
+        case Action::Kind::kKillSender:
+            s.sender_alive = false;
+            break;
+        case Action::Kind::kEpochBump: {
+            ++s.rx_floor;
+            s.send_epoch = s.rx_floor;
+            ++s.bumps_used;
+            // begin_epoch purge: stale parked envelopes are dropped; their
+            // seq slots become gaps the stale recover path later skips.
+            for (auto it = s.parked_epochs.begin(); it != s.parked_epochs.end();) {
+                if (it->second < s.rx_floor) {
+                    const std::uint64_t seq = it->first;
+                    fsm::arq_rx_unpark(s.rx, seq);
+                    it = s.parked_epochs.erase(it);
+                    ++s.counts.stale_skipped;
+                    if (seq >= 1 && seq <= s.fate.size() &&
+                        s.fate[seq - 1] == SeqFate::kPending) {
+                        s.fate[seq - 1] = SeqFate::kSkipped;
+                    }
+                } else {
+                    ++it;
+                }
+            }
+            break;
+        }
+    }
+    return s;
+}
+
+std::string ArqModel::describe(const Action& a) const {
+    const auto flight_str = [](const Flight& f) {
+        return "seq=" + std::to_string(f.seq) + " epoch=" +
+               std::to_string(f.epoch) + (f.corrupt ? " corrupt" : "");
+    };
+    switch (a.kind) {
+        case Action::Kind::kSend: return "send";
+        case Action::Kind::kDeliver: return "deliver " + flight_str(a.flight);
+        case Action::Kind::kDrop: return "drop " + flight_str(a.flight);
+        case Action::Kind::kDup: return "dup " + flight_str(a.flight);
+        case Action::Kind::kCorrupt: return "corrupt " + flight_str(a.flight);
+        case Action::Kind::kRecover: return "recover";
+        case Action::Kind::kKillSender: return "kill-sender";
+        case Action::Kind::kEpochBump: return "epoch-bump";
+    }
+    return "?";
+}
+
+std::optional<std::string> ArqModel::check(const State& s) const {
+    if (!s.violation.empty()) return s.violation;
+    if (!s.rx.parked.empty() && *s.rx.parked.begin() <= s.rx.expected) {
+        return "parked-above-expected";
+    }
+    if (s.tx.base_seq + s.tx.buffered != s.tx.next_seq + 1) {
+        return "tx-accounting";
+    }
+    if (s.tx.base_seq > s.tx.acked + 1 && s.sender_alive) {
+        // GC moved past a seq nobody acked: a pristine copy is gone while
+        // the receiver may still need it.
+        return "gc-dropped-unacked";
+    }
+    if (s.shared_ack != s.rx.expected - 1) return "ack-consistency";
+    if (s.rx.parked.size() != s.parked_epochs.size()) {
+        return "parked-payload-mismatch";  // model bookkeeping desync
+    }
+    return std::nullopt;
+}
+
+bool ArqModel::is_goal(const State& s) const {
+    if (!s.sender_alive) return true;  // dead sender: loss is the contract
+    if (s.sent < cfg_.max_msgs) return false;
+    for (int i = 0; i < s.sent; ++i) {
+        if (s.fate[static_cast<std::size_t>(i)] == SeqFate::kPending) return false;
+    }
+    return true;
+}
+
+bool ArqModel::is_fair(const Action& a) const {
+    switch (a.kind) {
+        case Action::Kind::kSend:
+        case Action::Kind::kDeliver:
+        case Action::Kind::kRecover:
+            return true;
+        default:
+            return false;
+    }
+}
+
+std::vector<std::uint64_t> ArqModel::encode(const State& s) const {
+    std::vector<std::uint64_t> e;
+    e.reserve(24 + s.buffer_epochs.size() + 2 * s.parked_epochs.size() +
+              s.flight.size());
+    e.push_back(s.tx.next_seq);
+    e.push_back(s.tx.base_seq);
+    e.push_back(s.tx.buffered);
+    e.push_back(s.tx.acked);
+    for (const int ep : s.buffer_epochs) {
+        e.push_back(static_cast<std::uint64_t>(ep));
+    }
+    e.push_back(0xffff'0001ULL);
+    e.push_back(s.rx.expected);
+    for (const auto& [seq, ep] : s.parked_epochs) {
+        e.push_back(seq);
+        e.push_back(static_cast<std::uint64_t>(ep));
+    }
+    e.push_back(0xffff'0002ULL);
+    for (const Flight& f : s.flight) {
+        e.push_back((f.seq << 16) | (static_cast<std::uint64_t>(f.epoch) << 1) |
+                    (f.corrupt ? 1u : 0u));
+    }
+    e.push_back(0xffff'0003ULL);
+    e.push_back(s.shared_ack);
+    e.push_back(static_cast<std::uint64_t>(s.sent));
+    e.push_back(static_cast<std::uint64_t>(s.dups_used));
+    e.push_back(static_cast<std::uint64_t>(s.corrupts_used));
+    e.push_back(static_cast<std::uint64_t>(s.bumps_used));
+    e.push_back(s.sender_alive ? 1 : 0);
+    e.push_back(static_cast<std::uint64_t>(s.send_epoch));
+    e.push_back(static_cast<std::uint64_t>(s.rx_floor));
+    std::uint64_t fates = 0;
+    for (const SeqFate f : s.fate) {
+        fates = (fates << 2) | static_cast<std::uint64_t>(f);
+    }
+    e.push_back(fates);
+    e.push_back(s.last_app_seq);
+    return e;
+}
+
+}  // namespace gtopk::analysis::protocheck

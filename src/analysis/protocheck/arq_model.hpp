@@ -1,0 +1,145 @@
+// ARQ protocol model for protocheck: one directed edge (rank 0 -> rank 1)
+// of ReliableTransport, driven through the SAME fsm::arq_* transition
+// functions the transport executes, under an adversarial network that may
+// drop, duplicate, reorder (delivery order is a free choice) and corrupt
+// in-flight envelopes, kill the sender, and fire membership epoch bumps.
+//
+// Checked safety invariants (names appear in reports/counterexamples):
+//   parked-above-expected   reassembly set holds only seqs > expected
+//   tx-accounting           base_seq + buffered == next_seq + 1
+//   gc-dropped-unacked      GC advanced past cum_ack + 1 (retransmit buffer
+//                           lost a payload nobody acked)
+//   ack-consistency         published cumulative ack != expected - 1
+//   out-of-order-delivery   app saw seq <= a previously delivered seq
+//                           (covers duplicate delivery)
+//   stale-delivery          app saw a payload whose epoch < mailbox floor
+//
+// Liveness (under fairness: Send/Deliver/Recover eventually fire): from
+// every reachable state the protocol can still reach "every sent seq
+// resolved" — delivered, skipped stale, or rejected by the mailbox floor —
+// unless the sender died (dead hosts' traffic is intentionally lost).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "comm/reliable_fsm.hpp"
+
+namespace gtopk::analysis::protocheck {
+
+struct ArqModelConfig {
+    int max_msgs = 3;        // sends the application issues
+    int dup_budget = 1;      // adversary duplications
+    int corrupt_budget = 1;  // adversary corruptions
+    bool allow_drop = true;  // adversary may drop in-flight envelopes
+    bool allow_kill = false;     // adversary may kill the sender
+    int max_epoch_bumps = 0;     // regroup events (--proto epoch sets >= 1)
+};
+
+class ArqModel {
+public:
+    /// An in-flight envelope as the adversary sees it.
+    struct Flight {
+        std::uint64_t seq = 0;
+        int epoch = 0;
+        bool corrupt = false;
+        bool operator==(const Flight& o) const {
+            return seq == o.seq && epoch == o.epoch && corrupt == o.corrupt;
+        }
+        bool operator<(const Flight& o) const {
+            if (seq != o.seq) return seq < o.seq;
+            if (epoch != o.epoch) return epoch < o.epoch;
+            return corrupt < o.corrupt;
+        }
+    };
+
+    struct Action {
+        enum class Kind : std::uint8_t {
+            kSend,        // application sends the next payload
+            kDeliver,     // fabric delivers an in-flight envelope (any order)
+            kDrop,        // adversary drops an in-flight envelope
+            kDup,         // adversary duplicates an in-flight envelope
+            kCorrupt,     // adversary flips bits in an in-flight envelope
+            kRecover,     // receiver pulls the gap head from the tx buffer
+            kKillSender,  // fault plan kills rank 0
+            kEpochBump,   // regroup: epoch floor and send stamp advance
+        };
+        Kind kind = Kind::kSend;
+        Flight flight{};  // operand for kDeliver/kDrop/kDup/kCorrupt
+    };
+
+    /// Per-seq application-visible outcome.
+    enum class SeqFate : std::uint8_t {
+        kPending = 0,
+        kDelivered,  // app received the payload
+        kSkipped,    // stale-epoch gap skip (recover) or begin_epoch purge
+        kRejected,   // delivered to the mailbox, rejected by the epoch floor
+    };
+
+    /// Observable event counters, the model-side mirror of ReliableCounts.
+    /// Deliberately EXCLUDED from encode(): they are derived observations,
+    /// not protocol state, and folding them into the visited key would
+    /// split equivalent states. The replay bridge compares them against
+    /// the real transport's counters after walking the same trace.
+    struct Counts {
+        std::uint64_t retransmits = 0;
+        std::uint64_t corrupt_dropped = 0;
+        std::uint64_t dup_dropped = 0;
+        std::uint64_t stale_skipped = 0;
+        bool operator==(const Counts& o) const {
+            return retransmits == o.retransmits &&
+                   corrupt_dropped == o.corrupt_dropped &&
+                   dup_dropped == o.dup_dropped &&
+                   stale_skipped == o.stale_skipped;
+        }
+    };
+
+    struct State {
+        comm::fsm::ArqTxState tx;
+        std::vector<int> buffer_epochs;  // epochs of tx buffer entries
+        comm::fsm::ArqRxState rx;
+        std::map<std::uint64_t, int> parked_epochs;  // mirrors rx.parked
+        std::vector<Flight> flight;                  // kept sorted (canonical)
+        std::uint64_t shared_ack = 0;  // receiver-published cumulative ack
+        int sent = 0;
+        int dups_used = 0;
+        int corrupts_used = 0;
+        int bumps_used = 0;
+        bool sender_alive = true;
+        int send_epoch = 0;  // stamp on new sends
+        int rx_floor = 0;    // mailbox min_epoch
+        std::vector<SeqFate> fate;     // index seq-1, size max_msgs
+        std::uint64_t last_app_seq = 0;  // highest seq the app accepted
+        Counts counts;  // excluded from encode(), see Counts
+        /// Set at transition time when an event-invariant breaks (ordering,
+        /// staleness); check() surfaces it.
+        std::string violation;
+    };
+
+    explicit ArqModel(ArqModelConfig cfg) : cfg_(cfg) {}
+
+    State initial() const;
+    std::vector<Action> actions(const State& s) const;
+    State apply(const State& s, const Action& a) const;
+    std::string describe(const Action& a) const;
+    std::optional<std::string> check(const State& s) const;
+    bool is_goal(const State& s) const;
+    bool is_fair(const Action& a) const;
+    std::vector<std::uint64_t> encode(const State& s) const;
+
+    const ArqModelConfig& config() const { return cfg_; }
+
+private:
+    /// Push one FSM-delivered payload at the app boundary: mailbox epoch
+    /// floor, ordering and exactly-once bookkeeping.
+    static void app_push(State& s, std::uint64_t seq, int epoch);
+    /// Release `n` leading parked payloads (after an expected advance).
+    static void release_parked(State& s, std::uint64_t n);
+
+    ArqModelConfig cfg_;
+};
+
+}  // namespace gtopk::analysis::protocheck

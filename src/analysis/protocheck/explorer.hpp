@@ -1,0 +1,205 @@
+// Explicit-state explorer for the protocheck model checker.
+//
+// A Model describes a small-world protocol instance as a labeled transition
+// system over VALUE-TYPE states:
+//
+//   struct Model {
+//     struct State { ... };                       // copyable value
+//     struct Action { ... };                      // copyable value
+//     State initial() const;
+//     std::vector<Action> actions(const State&) const;   // enabled actions
+//     State apply(const State&, const Action&) const;    // successor
+//     std::string describe(const Action&) const;         // trace labels
+//     // Invariant check: name of the violated invariant, nullopt if sound.
+//     std::optional<std::string> check(const State&) const;
+//     bool is_goal(const State&) const;           // liveness target
+//     bool is_fair(const Action&) const;          // guaranteed-to-fire class
+//     // Canonical fingerprint: equal iff states are equivalent (symmetry
+//     // reduction folds rank permutations here). Used ONLY as the
+//     // visited-set key; stored states stay concrete so every trace is a
+//     // real executable run.
+//     std::vector<std::uint64_t> encode(const State&) const;
+//   };
+//
+// explore() runs breadth-first search from initial() with a canonical-key
+// visited set, checking every discovered state's invariants. The FIRST
+// violation aborts the search with a minimal-depth counterexample trace
+// (BFS order guarantees minimality over canonical classes). A state with
+// no enabled actions that is not a goal is reported as a deadlock.
+//
+// Liveness under fairness: after a clean sweep, every reachable state must
+// be able to reach a goal state using FAIR actions only — fair actions are
+// the ones the runtime guarantees eventually happen (a pending send is
+// sent, an in-flight message is delivered or dropped BY the adversary's
+// budget, the backoff timer fires recover). A reachable state with no fair
+// path to any goal is a livelock: the adversary can park the protocol
+// there forever even though the network eventually behaves. Computed as
+// reverse BFS over the fair edge set from all goal states.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace gtopk::analysis::protocheck {
+
+struct ExploreLimits {
+    /// Hard cap on discovered states; exceeding it truncates the sweep
+    /// (report.truncated) instead of running away. Verification is only
+    /// exhaustive when the sweep finishes under the cap.
+    std::uint64_t max_states = 2'000'000;
+};
+
+template <typename Model>
+struct TraceStep {
+    typename Model::Action action;
+    std::string label;
+};
+
+template <typename Model>
+struct CheckReport {
+    std::uint64_t states = 0;
+    std::uint64_t transitions = 0;
+    std::uint64_t max_depth = 0;
+    bool truncated = false;
+    /// Name of the first violated invariant ("deadlock" for a stuck
+    /// non-goal state, "livelock: ..." for a fairness violation).
+    std::optional<std::string> violation;
+    /// Executable action sequence from the initial state into the
+    /// violating (or livelocked) state.
+    std::vector<TraceStep<Model>> trace;
+
+    bool clean() const { return !violation && !truncated; }
+};
+
+namespace detail {
+
+inline std::string key_bytes(const std::vector<std::uint64_t>& enc) {
+    std::string k(enc.size() * sizeof(std::uint64_t), '\0');
+    if (!enc.empty()) std::memcpy(k.data(), enc.data(), k.size());
+    return k;
+}
+
+}  // namespace detail
+
+template <typename Model>
+CheckReport<Model> explore(const Model& model, const ExploreLimits& limits = {}) {
+    using State = typename Model::State;
+    CheckReport<Model> report;
+
+    std::vector<State> states;
+    std::vector<std::uint32_t> depth;
+    // (parent id, index into actions(parent)); root parent is itself.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> parent;
+    std::vector<std::vector<std::uint32_t>> fair_out;  // fair successor ids
+    std::unordered_map<std::string, std::uint32_t> visited;
+
+    const auto rebuild_trace = [&](std::uint32_t id) {
+        std::vector<std::uint32_t> chain;
+        while (parent[id].first != id) {
+            chain.push_back(id);
+            id = parent[id].first;
+        }
+        for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+            const auto& [pid, act_idx] = parent[*it];
+            typename Model::Action a = model.actions(states[pid])[act_idx];
+            report.trace.push_back({a, model.describe(a)});
+        }
+    };
+
+    const State root = model.initial();
+    visited.emplace(detail::key_bytes(model.encode(root)), 0);
+    states.push_back(root);
+    depth.push_back(0);
+    parent.emplace_back(0, 0);
+    fair_out.emplace_back();
+    if (auto v = model.check(root)) {
+        report.states = 1;
+        report.violation = v;
+        return report;
+    }
+
+    std::deque<std::uint32_t> frontier{0};
+    while (!frontier.empty()) {
+        if (states.size() > limits.max_states) {
+            report.truncated = true;
+            break;
+        }
+        const std::uint32_t sid = frontier.front();
+        frontier.pop_front();
+        // actions() of a copy: `states` may reallocate while we expand.
+        const std::vector<typename Model::Action> acts = model.actions(states[sid]);
+        if (acts.empty() && !model.is_goal(states[sid])) {
+            report.violation = "deadlock";
+            rebuild_trace(sid);
+            report.states = states.size();
+            report.max_depth = depth[sid];
+            return report;
+        }
+        for (std::uint32_t ai = 0; ai < acts.size(); ++ai) {
+            State next = model.apply(states[sid], acts[ai]);
+            ++report.transitions;
+            const std::string key = detail::key_bytes(model.encode(next));
+            auto [it, inserted] =
+                visited.emplace(key, static_cast<std::uint32_t>(states.size()));
+            if (inserted) {
+                const std::uint32_t nid = it->second;
+                states.push_back(std::move(next));
+                depth.push_back(depth[sid] + 1);
+                parent.emplace_back(sid, ai);
+                fair_out.emplace_back();
+                if (depth[nid] > report.max_depth) report.max_depth = depth[nid];
+                if (auto v = model.check(states[nid])) {
+                    report.violation = v;
+                    rebuild_trace(nid);
+                    report.states = states.size();
+                    return report;
+                }
+                frontier.push_back(nid);
+            }
+            if (model.is_fair(acts[ai])) fair_out[sid].push_back(it->second);
+        }
+    }
+    report.states = states.size();
+    if (report.truncated) return report;
+
+    // Liveness: reverse BFS from the goal set over fair edges; every
+    // reachable state must be co-reachable or the adversary owns a trap.
+    std::vector<std::vector<std::uint32_t>> fair_in(states.size());
+    for (std::uint32_t s = 0; s < states.size(); ++s) {
+        for (std::uint32_t d : fair_out[s]) fair_in[d].push_back(s);
+    }
+    std::vector<char> co(states.size(), 0);
+    std::deque<std::uint32_t> rq;
+    for (std::uint32_t s = 0; s < states.size(); ++s) {
+        if (model.is_goal(states[s])) {
+            co[s] = 1;
+            rq.push_back(s);
+        }
+    }
+    while (!rq.empty()) {
+        const std::uint32_t s = rq.front();
+        rq.pop_front();
+        for (std::uint32_t p : fair_in[s]) {
+            if (!co[p]) {
+                co[p] = 1;
+                rq.push_back(p);
+            }
+        }
+    }
+    for (std::uint32_t s = 0; s < states.size(); ++s) {
+        if (!co[s]) {
+            report.violation =
+                "livelock: no fair path to a goal state";
+            rebuild_trace(s);
+            return report;
+        }
+    }
+    return report;
+}
+
+}  // namespace gtopk::analysis::protocheck

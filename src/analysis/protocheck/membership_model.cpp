@@ -1,0 +1,218 @@
+#include "analysis/protocheck/membership_model.hpp"
+
+#include <algorithm>
+
+namespace gtopk::analysis::protocheck {
+
+namespace fsm = comm::fsm;
+
+MembershipModel::State MembershipModel::initial() const {
+    State s;
+    s.fsm = fsm::membership_init(cfg_.world);
+    const std::size_t w = static_cast<std::size_t>(cfg_.world);
+    s.fabric_alive.assign(w, true);
+    s.waiting.assign(w, false);
+    s.grace_expired.assign(w, false);
+    s.my_round.assign(w, 0);
+    s.joins_left.assign(w, cfg_.joins_per_rank);
+    s.kills_left = cfg_.max_kills;
+    return s;
+}
+
+std::vector<MembershipModel::Action> MembershipModel::actions(const State& s) const {
+    std::vector<Action> out;
+    if (!s.violation.empty()) return out;  // violating states are terminal
+    for (int r = 0; r < cfg_.world; ++r) {
+        const std::size_t ri = static_cast<std::size_t>(r);
+        if (s.waiting[ri]) {
+            if (s.my_round[ri] != s.fsm.round) {
+                out.push_back({Action::Kind::kWake, r});
+            } else {
+                if (fsm::membership_evaluate(s.fsm, s.fabric_alive,
+                                             s.grace_expired[ri]) !=
+                    fsm::RoundVerdict::kWait) {
+                    out.push_back({Action::Kind::kEvaluate, r});
+                }
+                if (!s.grace_expired[ri]) {
+                    out.push_back({Action::Kind::kGraceExpire, r});
+                }
+            }
+        } else if (s.joins_left[ri] > 0) {
+            // Enumerate the join only when it would actually be admitted
+            // (a refused join raises in the service and changes nothing).
+            fsm::MembershipFsmState probe = s.fsm;
+            if (fsm::membership_join(probe, r, s.fabric_alive) ==
+                fsm::JoinVerdict::kJoined) {
+                out.push_back({Action::Kind::kJoin, r});
+            }
+        }
+        if (s.kills_left > 0 && s.fabric_alive[ri]) {
+            out.push_back({Action::Kind::kKill, r});
+        }
+        if (!s.fabric_alive[ri] && !s.fsm.left[ri]) {
+            out.push_back({Action::Kind::kLeave, r});
+        }
+    }
+    return out;
+}
+
+MembershipModel::State MembershipModel::apply(const State& prev,
+                                              const Action& a) const {
+    State s = prev;
+    const std::size_t ri = static_cast<std::size_t>(a.rank);
+    switch (a.kind) {
+        case Action::Kind::kJoin:
+            fsm::membership_join(s.fsm, a.rank, s.fabric_alive);
+            s.waiting[ri] = true;
+            s.grace_expired[ri] = false;
+            s.my_round[ri] = s.fsm.round;
+            --s.joins_left[ri];
+            break;
+        case Action::Kind::kWake:
+            s.waiting[ri] = false;
+            break;
+        case Action::Kind::kGraceExpire:
+            s.grace_expired[ri] = true;
+            break;
+        case Action::Kind::kEvaluate: {
+            const fsm::RoundVerdict v = fsm::membership_evaluate(
+                s.fsm, s.fabric_alive, s.grace_expired[ri]);
+            if (v == fsm::RoundVerdict::kWait) break;  // disabled; defensive
+            s.waiting[ri] = false;
+            if (v == fsm::RoundVerdict::kAbortNoQuorum) break;  // throws upstream
+            // Spec-side quorum check, computed independently of the FSM's
+            // own verdict: a finalization is legitimate only when every
+            // live member joined or a strict majority of them did.
+            const std::vector<int> live =
+                fsm::membership_live_members(s.fsm, s.fabric_alive);
+            const std::size_t joined_live = static_cast<std::size_t>(
+                std::count_if(live.begin(), live.end(), [&](int r) {
+                    return s.fsm.joined[static_cast<std::size_t>(r)];
+                }));
+            if (joined_live < live.size() && joined_live * 2 <= live.size()) {
+                s.violation = "quorum-violation";
+            }
+            const std::vector<int> prev_members = s.fsm.members;
+            const int prev_epoch = s.fsm.epoch;
+            const comm::MembershipView view = fsm::membership_finalize(s.fsm);
+            if (s.violation.empty() && view.epoch != prev_epoch + 1) {
+                s.violation = "epoch-skip";
+            }
+            if (s.violation.empty()) {
+                for (const int m : view.members) {
+                    if (std::find(prev_members.begin(), prev_members.end(), m) ==
+                        prev_members.end()) {
+                        s.violation = "member-resurrection";
+                        break;
+                    }
+                }
+            }
+            if (s.violation.empty()) {
+                for (const auto& f : s.finalized) {
+                    if (f.epoch == view.epoch && f.members != view.members) {
+                        s.violation = "split-brain";
+                        break;
+                    }
+                }
+            }
+            s.finalized.push_back(view);
+            break;
+        }
+        case Action::Kind::kKill:
+            s.fabric_alive[ri] = false;
+            --s.kills_left;
+            break;
+        case Action::Kind::kLeave:
+            fsm::membership_leave(s.fsm, a.rank);
+            break;
+    }
+    return s;
+}
+
+std::string MembershipModel::describe(const Action& a) const {
+    const std::string r = std::to_string(a.rank);
+    switch (a.kind) {
+        case Action::Kind::kJoin: return "join(" + r + ")";
+        case Action::Kind::kEvaluate: return "evaluate(" + r + ")";
+        case Action::Kind::kWake: return "wake(" + r + ")";
+        case Action::Kind::kGraceExpire: return "grace-expire(" + r + ")";
+        case Action::Kind::kKill: return "kill(" + r + ")";
+        case Action::Kind::kLeave: return "leave(" + r + ")";
+    }
+    return "?";
+}
+
+std::optional<std::string> MembershipModel::check(const State& s) const {
+    if (!s.violation.empty()) return s.violation;
+    return std::nullopt;
+}
+
+bool MembershipModel::is_goal(const State& s) const {
+    return std::none_of(s.waiting.begin(), s.waiting.end(),
+                        [](bool w) { return w; });
+}
+
+bool MembershipModel::is_fair(const Action& a) const {
+    switch (a.kind) {
+        case Action::Kind::kEvaluate:
+        case Action::Kind::kWake:
+        case Action::Kind::kGraceExpire:
+            return true;
+        default:
+            return false;
+    }
+}
+
+std::vector<std::uint64_t> MembershipModel::encode_permuted(
+    const State& s, const std::vector<int>& perm) const {
+    // perm[i] = the ORIGINAL rank relabeled as rank i.
+    std::vector<std::uint64_t> e;
+    e.reserve(static_cast<std::size_t>(cfg_.world) + 6 + s.finalized.size());
+    e.push_back(static_cast<std::uint64_t>(s.fsm.epoch));
+    e.push_back(s.fsm.round);
+    std::uint64_t members_mask = 0;
+    for (const int m : s.fsm.members) {
+        for (int i = 0; i < cfg_.world; ++i) {
+            if (perm[static_cast<std::size_t>(i)] == m) members_mask |= 1ULL << i;
+        }
+    }
+    e.push_back(members_mask);
+    for (int i = 0; i < cfg_.world; ++i) {
+        const std::size_t oi = static_cast<std::size_t>(perm[static_cast<std::size_t>(i)]);
+        std::uint64_t bits = 0;
+        bits |= s.fabric_alive[oi] ? 1u : 0u;
+        bits |= s.fsm.left[oi] ? 2u : 0u;
+        bits |= s.fsm.joined[oi] ? 4u : 0u;
+        bits |= s.waiting[oi] ? 8u : 0u;
+        bits |= s.grace_expired[oi] ? 16u : 0u;
+        bits |= static_cast<std::uint64_t>(s.joins_left[oi]) << 8;
+        bits |= (s.waiting[oi] ? s.my_round[oi] : 0) << 16;
+        e.push_back(bits);
+    }
+    e.push_back(static_cast<std::uint64_t>(s.kills_left));
+    e.push_back(0xffff'0004ULL);
+    for (const auto& f : s.finalized) {
+        std::uint64_t mask = 0;
+        for (const int m : f.members) {
+            for (int i = 0; i < cfg_.world; ++i) {
+                if (perm[static_cast<std::size_t>(i)] == m) mask |= 1ULL << i;
+            }
+        }
+        e.push_back((static_cast<std::uint64_t>(f.epoch) << 8) | mask);
+    }
+    return e;
+}
+
+std::vector<std::uint64_t> MembershipModel::encode(const State& s) const {
+    std::vector<int> perm(static_cast<std::size_t>(cfg_.world));
+    for (int i = 0; i < cfg_.world; ++i) perm[static_cast<std::size_t>(i)] = i;
+    if (!cfg_.symmetry_reduction) return encode_permuted(s, perm);
+    std::vector<std::uint64_t> best = encode_permuted(s, perm);
+    while (std::next_permutation(perm.begin(), perm.end())) {
+        std::vector<std::uint64_t> cand = encode_permuted(s, perm);
+        if (cand < best) best = std::move(cand);
+    }
+    return best;
+}
+
+}  // namespace gtopk::analysis::protocheck

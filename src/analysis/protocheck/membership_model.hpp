@@ -1,0 +1,89 @@
+// Membership/epoch agreement model for protocheck: one MembershipService
+// world of 2..4 ranks driven through the SAME fsm::membership_* transition
+// functions the service executes, under an adversary that kills ranks at
+// any point, chooses which ranks ever call regroup(), decides when each
+// waiter's grace window expires, and interleaves everything.
+//
+// Checked safety invariants (evaluated independently of the FSM at every
+// finalization — the spec the FSM must meet, not the FSM's own code path):
+//   quorum-violation     a view finalized without every live member joined
+//                        and without a strict majority of live members
+//   split-brain          two finalized views share an epoch but disagree on
+//                        members
+//   epoch-skip           a finalized epoch is not previous + 1
+//   member-resurrection  a finalized view contains a rank outside the
+//                        previous view
+//
+// Liveness (fair: Evaluate, Wake, GraceExpire — time always passes and a
+// waiter always re-checks): no rank waits forever; every regroup() call
+// terminates by returning a view, aborting, or observing the round moved.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "comm/membership_fsm.hpp"
+
+namespace gtopk::analysis::protocheck {
+
+struct MembershipModelConfig {
+    int world = 3;
+    int max_kills = 1;      // adversary rank kills
+    int joins_per_rank = 2;  // regroup() calls each rank may issue
+    /// Canonicalize states up to rank permutation (lexicographic minimum
+    /// over all world! relabelings). Sound because no rank is
+    /// distinguished; cuts the reachable set roughly by world!.
+    bool symmetry_reduction = true;
+};
+
+class MembershipModel {
+public:
+    struct Action {
+        enum class Kind : std::uint8_t {
+            kJoin,         // rank calls regroup(): joins the current round
+            kEvaluate,     // a waiter re-checks the finalization rule
+            kWake,         // a waiter of a finalized round observes it moved
+            kGraceExpire,  // rank's grace window elapses
+            kKill,         // fault plan kills the rank
+            kLeave,        // a killed rank's thread observes it and leaves
+        };
+        Kind kind = Kind::kJoin;
+        int rank = 0;
+    };
+
+    struct State {
+        comm::fsm::MembershipFsmState fsm;
+        std::vector<bool> fabric_alive;
+        std::vector<bool> waiting;        // rank is blocked inside regroup()
+        std::vector<bool> grace_expired;  // per-waiter grace clock
+        std::vector<std::uint64_t> my_round;  // round joined (valid if waiting)
+        std::vector<int> joins_left;
+        int kills_left = 0;
+        /// Every finalized view, in order, for the cross-round invariants.
+        std::vector<comm::MembershipView> finalized;
+        std::string violation;  // set at finalize time by the spec checks
+    };
+
+    explicit MembershipModel(MembershipModelConfig cfg) : cfg_(cfg) {}
+
+    State initial() const;
+    std::vector<Action> actions(const State& s) const;
+    State apply(const State& s, const Action& a) const;
+    std::string describe(const Action& a) const;
+    std::optional<std::string> check(const State& s) const;
+    bool is_goal(const State& s) const;
+    bool is_fair(const Action& a) const;
+    std::vector<std::uint64_t> encode(const State& s) const;
+
+    const MembershipModelConfig& config() const { return cfg_; }
+
+private:
+    std::vector<std::uint64_t> encode_permuted(const State& s,
+                                               const std::vector<int>& perm) const;
+
+    MembershipModelConfig cfg_;
+};
+
+}  // namespace gtopk::analysis::protocheck

@@ -59,11 +59,11 @@ private:
         return "CommError";
     }
 
-    CommErrorKind kind_;
-    int rank_;
-    int peer_;
-    int tag_;
-    double timeout_s_;
+    CommErrorKind kind_ = CommErrorKind::RecvTimeout;
+    int rank_ = -1;
+    int peer_ = -1;
+    int tag_ = -1;
+    double timeout_s_ = 0.0;
 };
 
 }  // namespace gtopk::comm

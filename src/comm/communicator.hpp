@@ -23,6 +23,7 @@
 #include "comm/comm_error.hpp"
 #include "comm/network_model.hpp"
 #include "comm/progress.hpp"
+#include "comm/tags.hpp"
 #include "comm/transport.hpp"
 #include "comm/virtual_clock.hpp"
 
@@ -251,7 +252,7 @@ public:
     /// tag) — the queue-pressure signal the telemetry plane folds into its
     /// per-iteration RankIterStats.
     std::size_t mailbox_depth() const {
-        return transport_.pending_with_tag_at_least(rank_, 0);
+        return transport_.pending_with_tag_at_least(rank_, kTagFloor);
     }
 
     /// Reserve `count` fresh tags for one collective invocation and return

@@ -157,6 +157,9 @@ public:
     bool rank_alive(int rank) const override { return !rank_killed(rank); }
     /// Fires any kill_at_step spec scheduled for (rank, step).
     void on_progress(int rank, std::int64_t step) override;
+    bool shared_memory_fabric() const override {
+        return inner_->shared_memory_fabric();
+    }
 
     /// Manually kill a rank now (e.g. at a chosen training iteration), in
     /// addition to any plan-scheduled kills. Thread-safe.

@@ -15,7 +15,7 @@ void Mailbox::note_erase(const Message& m) {
 }
 
 std::size_t Mailbox::push(Message msg) {
-    std::size_t depth;
+    std::size_t depth = 0;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         if (msg.epoch < min_epoch_) {

@@ -1,6 +1,5 @@
 #include "comm/membership.hpp"
 
-#include <algorithm>
 #include <stdexcept>
 
 #include "comm/tags.hpp"
@@ -19,11 +18,7 @@ std::chrono::steady_clock::duration host_dur(double seconds) {
 MembershipService::MembershipService(Transport& transport, MembershipConfig config)
     : transport_(transport), config_(config) {
     const int world = transport_.world_size();
-    view_.epoch = 0;
-    view_.members.resize(static_cast<std::size_t>(world));
-    for (int r = 0; r < world; ++r) view_.members[static_cast<std::size_t>(r)] = r;
-    left_.assign(static_cast<std::size_t>(world), false);
-    joined_.assign(static_cast<std::size_t>(world), false);
+    state_ = fsm::membership_init(world);
     rank_state_.resize(static_cast<std::size_t>(world));
     util::Xoshiro256 root(config_.seed);
     for (int r = 0; r < world; ++r) {
@@ -111,85 +106,58 @@ std::vector<int> MembershipService::suspected(int rank) const {
     return out;
 }
 
+std::vector<bool> MembershipService::fabric_alive_unlocked() const {
+    const int world = transport_.world_size();
+    std::vector<bool> alive(static_cast<std::size_t>(world), true);
+    for (int r = 0; r < world; ++r) {
+        alive[static_cast<std::size_t>(r)] = transport_.rank_alive(r);
+    }
+    return alive;
+}
+
 void MembershipService::leave(int rank) {
     if (rank < 0 || rank >= transport_.world_size()) {
         throw std::out_of_range("leave: bad rank");
     }
     std::lock_guard<std::mutex> lock(mutex_);
-    left_[static_cast<std::size_t>(rank)] = true;
-    if (joined_[static_cast<std::size_t>(rank)]) {
-        joined_[static_cast<std::size_t>(rank)] = false;
-        --joined_count_;
-    }
+    fsm::membership_leave(state_, rank);
     cv_.notify_all();  // waiting regroupers recompute their expected set
-}
-
-std::vector<int> MembershipService::live_members_unlocked() const {
-    std::vector<int> out;
-    for (int r : view_.members) {
-        if (alive_unlocked(r)) out.push_back(r);
-    }
-    return out;
-}
-
-void MembershipService::finalize_round_unlocked() {
-    MembershipView next;
-    next.epoch = view_.epoch + 1;
-    for (int r = 0; r < transport_.world_size(); ++r) {
-        if (joined_[static_cast<std::size_t>(r)]) next.members.push_back(r);
-    }
-    // joined_ is rank-indexed, so members comes out sorted: the lowest
-    // surviving physical rank is logical rank 0 in the new world.
-    view_ = std::move(next);
-    ++round_;
-    std::fill(joined_.begin(), joined_.end(), false);
-    joined_count_ = 0;
-    cv_.notify_all();
 }
 
 MembershipView MembershipService::regroup(int rank) {
     std::unique_lock<std::mutex> lock(mutex_);
-    if (rank < 0 || rank >= transport_.world_size() ||
-        !alive_unlocked(rank)) {
-        throw std::invalid_argument("regroup: rank not a live member");
+    switch (fsm::membership_join(state_, rank, fabric_alive_unlocked())) {
+        case fsm::JoinVerdict::kNotLive:
+            throw std::invalid_argument("regroup: rank not a live member");
+        case fsm::JoinVerdict::kNotInView:
+            throw std::invalid_argument("regroup: rank not in current view");
+        case fsm::JoinVerdict::kJoined:
+        case fsm::JoinVerdict::kAlreadyJoined:
+            break;
     }
-    // A rank a previous round voted out must not join: allowing it would
-    // let an excluded straggler spin up a fresh round, finalize a view
-    // without the actual members, and train on with a higher epoch.
-    if (std::find(view_.members.begin(), view_.members.end(), rank) ==
-        view_.members.end()) {
-        throw std::invalid_argument("regroup: rank not in current view");
-    }
-    const std::uint64_t my_round = round_;
-    if (!joined_[static_cast<std::size_t>(rank)]) {
-        joined_[static_cast<std::size_t>(rank)] = true;
-        ++joined_count_;
-    }
+    const std::uint64_t my_round = state_.round;
 
     const auto grace_deadline = Clock::now() + host_dur(config_.join_grace_s);
     for (;;) {
-        if (round_ != my_round) return view_;  // someone finalized our round
-        const std::vector<int> live = live_members_unlocked();
-        const std::size_t joined_live = static_cast<std::size_t>(
-            std::count_if(live.begin(), live.end(), [&](int r) {
-                return joined_[static_cast<std::size_t>(r)];
-            }));
-        if (joined_live >= live.size()) {
-            finalize_round_unlocked();  // fast path: every live member joined
-            return view_;
+        if (state_.round != my_round) {
+            // Someone finalized our round; every joiner returns that view.
+            return MembershipView{state_.epoch, state_.members};
         }
-        if (Clock::now() >= grace_deadline) {
-            // Straggler bound hit. Only a strict majority of the live
-            // members may finalize without the rest — a minority view could
-            // coexist with (and outrank) the majority's. Without quorum the
-            // round cannot safely conclude anything: abort.
-            if (joined_live * 2 > live.size()) {
-                finalize_round_unlocked();
-                return view_;
+        const bool grace_expired = Clock::now() >= grace_deadline;
+        switch (fsm::membership_evaluate(state_, fabric_alive_unlocked(),
+                                         grace_expired)) {
+            case fsm::RoundVerdict::kFinalizeAll:
+            case fsm::RoundVerdict::kFinalizeQuorum: {
+                const MembershipView view = fsm::membership_finalize(state_);
+                cv_.notify_all();
+                return view;
             }
-            throw std::runtime_error(
-                "regroup: join grace expired without a majority of live "
-                "members; refusing to finalize a minority view");
+            case fsm::RoundVerdict::kAbortNoQuorum:
+                throw std::runtime_error(
+                    "regroup: join grace expired without a majority of live "
+                    "members; refusing to finalize a minority view");
+            case fsm::RoundVerdict::kWait:
+                break;
         }
         cv_.wait_until(lock, grace_deadline);
     }
@@ -198,17 +166,17 @@ MembershipView MembershipService::regroup(int rank) {
 bool MembershipService::alive(int rank) const {
     if (rank < 0 || rank >= transport_.world_size()) return false;
     std::lock_guard<std::mutex> lock(mutex_);
-    return alive_unlocked(rank);
+    return fsm::membership_rank_live(state_, rank, fabric_alive_unlocked());
 }
 
 MembershipView MembershipService::current() const {
     std::lock_guard<std::mutex> lock(mutex_);
-    return view_;
+    return MembershipView{state_.epoch, state_.members};
 }
 
 int MembershipService::epoch() const {
     std::lock_guard<std::mutex> lock(mutex_);
-    return view_.epoch;
+    return state_.epoch;
 }
 
 std::uint64_t MembershipService::heartbeats_sent() const {

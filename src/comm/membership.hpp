@@ -17,18 +17,26 @@
 // epoch increments by one. Every joiner observes the identical view —
 // this is the agreement the elastic trainer rebuilds its collectives on.
 //
+// The agreement transitions themselves (join admission, quorum rule,
+// finalization) live in comm/membership_fsm.hpp as pure functions this
+// service EXECUTES under its mutex — the same functions the protocheck
+// model checker explores exhaustively (DESIGN.md §16), so the checked
+// model and the running code are one.
+//
 // Epoch discipline — the view's epoch is stamped on all subsequent
 // traffic (Communicator::set_view) and installed as the receive floor
 // (Transport::begin_epoch), so a straggler's stale messages are rejected
 // deterministically rather than corrupting the new world's collectives.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
 #include <vector>
 
+#include "comm/membership_fsm.hpp"
 #include "comm/transport.hpp"
 #include "util/rng.hpp"
 
@@ -49,14 +57,6 @@ struct MembershipConfig {
     /// advisory — the regroup path is driven by receive deadlines, not by
     /// suspected().
     int heartbeat_fanout = 0;
-};
-
-/// One agreed membership view. Ranks are PHYSICAL ranks of the original
-/// world; logical ranks are their indices in `members` (sorted ascending,
-/// so the lowest surviving physical rank is logical rank 0).
-struct MembershipView {
-    int epoch = 0;
-    std::vector<int> members;
 };
 
 class MembershipService {
@@ -109,11 +109,11 @@ public:
 private:
     using Clock = std::chrono::steady_clock;
 
-    bool alive_unlocked(int rank) const {
-        return !left_[static_cast<std::size_t>(rank)] && transport_.rank_alive(rank);
-    }
-    std::vector<int> live_members_unlocked() const;
-    void finalize_round_unlocked();
+    /// Snapshot of Transport::rank_alive for every rank, the fabric input
+    /// the FSM transitions consume. Call with mutex_ held (rank_alive is
+    /// itself thread-safe; the lock just keeps the snapshot and the FSM
+    /// step atomic with respect to other agreement transitions).
+    std::vector<bool> fabric_alive_unlocked() const;
 
     Transport& transport_;
     MembershipConfig config_;
@@ -130,11 +130,7 @@ private:
 
     mutable std::mutex mutex_;
     std::condition_variable cv_;
-    MembershipView view_;            // latest agreed view
-    std::vector<bool> left_;         // ranks that called leave()
-    std::uint64_t round_ = 0;        // regroup round counter
-    std::vector<bool> joined_;       // joiners of the in-flight round
-    std::size_t joined_count_ = 0;
+    fsm::MembershipFsmState state_;  // agreement state, FSM-owned shape
 
     std::atomic<std::uint64_t> heartbeats_sent_{0};
 };

@@ -1,0 +1,107 @@
+// Pure membership/epoch agreement state machine — the spec that both
+// MembershipService and the protocheck model checker EXECUTE.
+//
+// The agreement plane of DESIGN.md §12 (regroup rounds, majority quorum,
+// view finalization, the excluded-straggler rejection) is expressed here as
+// side-effect-free transition functions over a value-type state.
+// membership.cpp owns the mutex, condition variable and heartbeat clocks
+// and merely APPLIES the verdicts these functions return;
+// src/analysis/protocheck/membership_model.cpp drives the identical
+// functions under an exhaustive adversarial scheduler (kills, grace-window
+// expiries and joins in every interleaving). One copy of the protocol
+// logic — the model cannot drift from the code.
+//
+// The liveness plane (heartbeat gossip, suspicion timers) stays in
+// MembershipService: it is advisory by design — regroup is driven by
+// receive deadlines, never by suspected() — so it carries no agreement
+// state worth model checking.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace gtopk::comm {
+
+/// One agreed membership view. Ranks are PHYSICAL ranks of the original
+/// world; logical ranks are their indices in `members` (sorted ascending,
+/// so the lowest surviving physical rank is logical rank 0).
+struct MembershipView {
+    int epoch = 0;
+    std::vector<int> members;
+};
+
+namespace fsm {
+
+// ---------------------------------------------------------------------------
+// Seeded invariant breaks (test hooks; see reliable_fsm.hpp for rationale)
+
+enum class MembershipBreak {
+    kNone = 0,
+    /// Grace expiry finalizes with ANY non-empty joiner set — the PR 5
+    /// split-brain class protocheck must rediscover ("quorum-violation").
+    kQuorumBypass,
+};
+
+void set_membership_break(MembershipBreak b);
+MembershipBreak membership_break();
+
+// ---------------------------------------------------------------------------
+// Agreement state
+
+struct MembershipFsmState {
+    int world = 0;            // physical world size (fixed)
+    int epoch = 0;            // epoch of the latest agreed view
+    std::vector<int> members;  // latest agreed view, sorted ascending
+    std::vector<bool> left;    // ranks that called leave()
+    std::vector<bool> joined;  // joiners of the in-flight round
+    std::uint64_t round = 0;   // regroup round counter
+};
+
+MembershipFsmState membership_init(int world);
+
+/// A member counts as live while it has neither left nor been declared
+/// dead by the fabric (`fabric_alive` = Transport::rank_alive per rank).
+bool membership_rank_live(const MembershipFsmState& st, int rank,
+                          const std::vector<bool>& fabric_alive);
+
+/// Live members of the CURRENT view, ascending.
+std::vector<int> membership_live_members(const MembershipFsmState& st,
+                                         const std::vector<bool>& fabric_alive);
+
+/// leave(): the rank is out of the expected-joiner set from now on; any
+/// in-flight round stops waiting for it.
+void membership_leave(MembershipFsmState& st, int rank);
+
+enum class JoinVerdict {
+    kJoined,         // now a joiner of the current round
+    kAlreadyJoined,  // idempotent re-entry into the same round
+    kNotLive,        // left or fabric-dead: regroup() throws invalid_argument
+    kNotInView,      // voted out by a previous round: throws invalid_argument
+};
+
+JoinVerdict membership_join(MembershipFsmState& st, int rank,
+                            const std::vector<bool>& fabric_alive);
+
+enum class RoundVerdict {
+    kWait,            // joiners missing, grace still running
+    kFinalizeAll,     // every live member joined (fast path)
+    kFinalizeQuorum,  // grace expired with a strict majority joined
+    kAbortNoQuorum,   // grace expired without a majority: regroup() throws
+};
+
+/// The finalization rule, evaluated by a waiting joiner: a round completes
+/// when every live expected member joined, or at grace expiry with a
+/// strict MAJORITY of live members (a minority must never finalize — a
+/// straggler excluded by the majority's round would otherwise build a view
+/// whose higher epoch passes every later epoch floor and train solo).
+RoundVerdict membership_evaluate(const MembershipFsmState& st,
+                                 const std::vector<bool>& fabric_alive,
+                                 bool grace_expired);
+
+/// Apply a finalize verdict: epoch + 1, members = the joiner set (sorted
+/// by construction: `joined` is rank-indexed), round advanced, joiner set
+/// cleared. Returns the new view every joiner of the round observes.
+MembershipView membership_finalize(MembershipFsmState& st);
+
+}  // namespace fsm
+}  // namespace gtopk::comm

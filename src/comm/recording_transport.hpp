@@ -46,6 +46,9 @@ public:
     void shutdown() override;
     void set_tracer(obs::Tracer* tracer) override;
     std::size_t pending_with_tag_at_least(int rank, int min_tag) const override;
+    bool shared_memory_fabric() const override {
+        return inner_->shared_memory_fabric();
+    }
 
     /// Snapshot of everything captured so far, in global seq order.
     std::vector<RecordedMsg> log() const;

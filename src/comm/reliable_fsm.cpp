@@ -1,0 +1,104 @@
+#include "comm/reliable_fsm.hpp"
+
+#include <atomic>
+
+namespace gtopk::comm::fsm {
+
+namespace {
+
+std::atomic<ArqBreak> g_arq_break{ArqBreak::kNone};
+
+/// Release the contiguous parked run starting at st.expected: erase each
+/// seq from the parked set and advance expected past it. Returns the count
+/// so the caller can pop the same number of leading payload-map entries.
+std::uint64_t drain_contiguous(ArqRxState& st) {
+    std::uint64_t released = 0;
+    while (!st.parked.empty() && *st.parked.begin() == st.expected) {
+        st.parked.erase(st.parked.begin());
+        ++st.expected;
+        ++released;
+    }
+    return released;
+}
+
+}  // namespace
+
+void set_arq_break(ArqBreak b) { g_arq_break.store(b, std::memory_order_relaxed); }
+ArqBreak arq_break() { return g_arq_break.load(std::memory_order_relaxed); }
+
+TxSendDecision arq_tx_send(ArqTxState& st, std::uint64_t cum_ack, bool dst_alive) {
+    TxSendDecision d;
+    if (cum_ack > st.acked) st.acked = cum_ack;
+    // GC the acked prefix of the retransmit buffer (cumulative ack).
+    while (st.buffered > 0 && st.base_seq <= st.acked) {
+        ++d.gc;
+        ++st.base_seq;
+        --st.buffered;
+    }
+    if (arq_break() == ArqBreak::kGcDropsUnacked && st.buffered > 0) {
+        // Seeded invariant break: drop one UNACKED payload from the front.
+        ++d.gc;
+        ++st.base_seq;
+        --st.buffered;
+    }
+    d.seq = ++st.next_seq;
+    if (dst_alive) {
+        d.buffer = true;
+        ++st.buffered;
+    } else {
+        // A dead receiver never acks and its traffic is intentionally never
+        // recovered: buffering would hold full payload copies for the whole
+        // kill-to-regroup window. Drop the edge buffer instead of growing it.
+        d.clear = st.buffered;
+        st.buffered = 0;
+        st.base_seq = st.next_seq + 1;
+    }
+    return d;
+}
+
+std::optional<std::uint64_t> arq_tx_buffer_index(const ArqTxState& st,
+                                                 std::uint64_t seq) {
+    if (seq < st.base_seq || seq >= st.base_seq + st.buffered) return std::nullopt;
+    return seq - st.base_seq;
+}
+
+RxDecision arq_rx_envelope(ArqRxState& st, std::uint64_t seq, bool checksum_ok) {
+    RxDecision d;
+    d.cum_ack = st.expected - 1;
+    if (!checksum_ok) {
+        d.action = RxAction::kDropCorrupt;  // corruption == loss; the seq gap
+        return d;                           // drives a retransmit
+    }
+    if (seq < st.expected) {
+        if (arq_break() == ArqBreak::kAcceptDuplicates) {
+            // Seeded invariant break: re-deliver an already-seen seq.
+            d.action = RxAction::kDeliver;
+            return d;
+        }
+        d.action = RxAction::kDropDuplicate;
+        return d;
+    }
+    if (seq == st.expected) {
+        ++st.expected;
+        d.action = RxAction::kDeliver;
+        d.release = drain_contiguous(st);
+        d.cum_ack = st.expected - 1;
+        return d;
+    }
+    d.action = st.parked.insert(seq).second ? RxAction::kPark
+                                            : RxAction::kDropDuplicate;
+    return d;
+}
+
+RxRecoverDecision arq_rx_recover(ArqRxState& st, bool stale) {
+    RxRecoverDecision d;
+    ++st.expected;  // past the gap head, delivered or skipped
+    d.action = stale ? RecoverAction::kSkipStale : RecoverAction::kDeliver;
+    d.release = drain_contiguous(st);
+    d.cum_ack = st.expected - 1;
+    return d;
+}
+
+void arq_rx_unpark(ArqRxState& st, std::uint64_t seq) { st.parked.erase(seq); }
+
+}  // namespace gtopk::comm::fsm

@@ -1,0 +1,133 @@
+// Pure ARQ state machines for ReliableTransport — the spec that both the
+// live transport and the protocheck model checker EXECUTE.
+//
+// Every sequencing decision the reliable layer makes (seq assignment,
+// cumulative-ack GC, dedup, out-of-order parking, contiguous release,
+// stale-epoch gap skipping) lives here as a side-effect-free transition
+// function over small value-type states. reliable_transport.cpp owns the
+// payload bytes, mutexes and mailboxes and merely APPLIES the decisions
+// these functions return; src/analysis/protocheck/arq_model.cpp drives the
+// identical functions under an exhaustive adversarial network. The model
+// cannot drift from the code for the same reason the Schedule IR cannot:
+// there is only one copy of the protocol logic.
+//
+// Seq-space conventions (unchanged from the original in-line logic):
+//   * the first payload on an edge gets seq 1; seq 0 means "nothing",
+//   * the retransmit buffer holds seqs [base_seq, base_seq + buffered),
+//   * cumulative ack k means "every seq <= k was delivered or skipped",
+//   * the receiver's parked set holds only seqs STRICTLY greater than
+//     `expected` (the normalization the model checker verifies).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+
+namespace gtopk::comm::fsm {
+
+// ---------------------------------------------------------------------------
+// Seeded invariant breaks (test hooks)
+//
+// protocheck's acceptance gate requires that a deliberately broken protocol
+// produces a counterexample which then replays to a real failure through
+// ReliableTransport. Because the transport executes these same functions,
+// flipping a break here breaks BOTH the model and the implementation — the
+// property the conformance bridge demonstrates. Never set outside tests.
+
+enum class ArqBreak {
+    kNone = 0,
+    /// GC drops one payload past the cumulative ack on every send: the
+    /// retransmit buffer loses an unacked pristine copy, so a loss of that
+    /// seq becomes unrecoverable (safety: "gc-dropped-unacked").
+    kGcDropsUnacked,
+    /// The receiver accepts already-delivered seqs instead of dedup-dropping
+    /// them (safety: "duplicate-delivery").
+    kAcceptDuplicates,
+};
+
+void set_arq_break(ArqBreak b);
+ArqBreak arq_break();
+
+// ---------------------------------------------------------------------------
+// Sender side (one state per directed edge)
+
+struct ArqTxState {
+    std::uint64_t next_seq = 0;  // last assigned seq; first send gets 1
+    std::uint64_t base_seq = 1;  // seq of the oldest buffered payload
+    std::uint64_t buffered = 0;  // payloads currently in the retransmit buffer
+    std::uint64_t acked = 0;     // highest cumulative ack folded in so far
+};
+
+/// What the caller must do to its payload buffer around one send.
+struct TxSendDecision {
+    std::uint64_t seq = 0;  // seq assigned to the new payload
+    std::uint64_t gc = 0;   // acked payloads to pop from the buffer FRONT first
+    bool buffer = false;    // keep a pristine copy (receiver is alive)
+    std::uint64_t clear = 0;  // payloads to drop entirely (receiver is dead)
+};
+
+/// One send transition: fold the receiver's published cumulative ack,
+/// GC the acked prefix, assign the next seq, and decide whether the
+/// pristine copy is worth keeping (a dead receiver never acks, so
+/// buffering for it would hold payload bytes until process exit).
+TxSendDecision arq_tx_send(ArqTxState& st, std::uint64_t cum_ack, bool dst_alive);
+
+/// Buffer index currently holding `seq`; nullopt when GCed, cleared or
+/// never assigned. Pure query — the receiver's recovery path uses it to
+/// locate the gap head inside the sender's buffer.
+std::optional<std::uint64_t> arq_tx_buffer_index(const ArqTxState& st,
+                                                 std::uint64_t seq);
+
+// ---------------------------------------------------------------------------
+// Receiver side (one state per directed edge)
+
+struct ArqRxState {
+    std::uint64_t expected = 1;      // next in-order seq
+    std::set<std::uint64_t> parked;  // out-of-order seqs held for reassembly
+};
+
+enum class RxAction {
+    kDeliver,        // in-order: hand to the mailbox (plus `release` parked)
+    kPark,           // out-of-order: hold for reassembly
+    kDropDuplicate,  // seq already delivered or already parked
+    kDropCorrupt,    // checksum/magic failure: treat as loss
+};
+
+struct RxDecision {
+    RxAction action = RxAction::kDropCorrupt;
+    /// On kDeliver: number of now-contiguous parked seqs (old expected + 1,
+    /// + 2, ...) released immediately after the triggering payload. The
+    /// caller pops exactly this many LEADING entries of its ordered parked
+    /// map and delivers them in key order.
+    std::uint64_t release = 0;
+    /// Cumulative ack to publish after applying the decision.
+    std::uint64_t cum_ack = 0;
+};
+
+/// One envelope-arrival transition: dedup, order, park, release.
+RxDecision arq_rx_envelope(ArqRxState& st, std::uint64_t seq, bool checksum_ok);
+
+/// One recovery transition for the gap head (seq == st.expected) pulled
+/// pristine from the sender's buffer. `stale` marks a payload whose epoch
+/// fell below the receiver's floor across a regroup: the gap advances past
+/// it WITHOUT delivery, or the edge would wedge forever. Both outcomes
+/// release any now-contiguous parked suffix.
+enum class RecoverAction {
+    kDeliver,    // live payload: deliver it (plus `release` parked)
+    kSkipStale,  // stale payload: advance past it undelivered
+};
+
+struct RxRecoverDecision {
+    RecoverAction action = RecoverAction::kDeliver;
+    std::uint64_t release = 0;  // contiguous parked seqs released (see above)
+    std::uint64_t cum_ack = 0;
+};
+
+RxRecoverDecision arq_rx_recover(ArqRxState& st, bool stale);
+
+/// begin_epoch purge: forget a stale parked seq (the caller iterates its
+/// payload map and drops the matching entry). The freed slot becomes a gap
+/// that arq_rx_recover later skips via the stale path.
+void arq_rx_unpark(ArqRxState& st, std::uint64_t seq);
+
+}  // namespace gtopk::comm::fsm

@@ -2,7 +2,6 @@
 
 #include <chrono>
 #include <cstring>
-#include <stdexcept>
 #include <thread>
 
 #include "comm/tags.hpp"
@@ -41,7 +40,7 @@ std::uint64_t envelope_checksum(std::uint64_t seq, std::int64_t orig_tag,
 
 void put_u64(std::byte* at, std::uint64_t v) { std::memcpy(at, &v, 8); }
 std::uint64_t get_u64(const std::byte* at) {
-    std::uint64_t v;
+    std::uint64_t v = 0;
     std::memcpy(&v, at, 8);
     return v;
 }
@@ -54,9 +53,18 @@ std::chrono::steady_clock::duration host_dur(double seconds) {
 }  // namespace
 
 ReliableTransport::ReliableTransport(std::unique_ptr<Transport> inner,
-                                     ReliableOptions options)
-    : inner_(std::move(inner)), options_(options) {
+                                     ReliableConfig config)
+    : inner_(std::move(inner)), config_(config) {
     if (!inner_) throw std::invalid_argument("ReliableTransport: null inner");
+    if (!inner_->shared_memory_fabric() && !config_.allow_passthrough) {
+        throw UnreliableFabricError(
+            "ReliableTransport: inner fabric is not shared-memory (ranks live "
+            "in separate processes), so buffer-pull recovery and the shared "
+            "ack counter cannot engage — the layer would silently degrade to "
+            "envelope passthrough with no loss recovery. Set "
+            "ReliableConfig::allow_passthrough=true if the fabric itself "
+            "provides reliable FIFO edges (e.g. TCP).");
+    }
     const std::size_t world = static_cast<std::size_t>(inner_->world_size());
     tx_.reserve(world * world);
     for (std::size_t i = 0; i < world * world; ++i) {
@@ -90,26 +98,19 @@ void ReliableTransport::deliver(int dst, Message msg) {
     envelope.epoch = msg.epoch;
     envelope.arrival_time_s = msg.arrival_time_s;
 
-    std::uint64_t seq;
+    std::uint64_t seq = 0;
     {
         std::lock_guard<std::mutex> lock(e.mutex);
-        // GC the acked prefix of the retransmit buffer (cumulative ack).
-        const std::uint64_t acked = e.acked.load(std::memory_order_acquire);
-        while (!e.buffer.empty() && e.base_seq <= acked) {
-            e.buffer.pop_front();
-            ++e.base_seq;
-        }
-        seq = ++e.next_seq;
-        if (inner_->rank_alive(dst)) {
+        const fsm::TxSendDecision d = fsm::arq_tx_send(
+            e.state, e.acked.load(std::memory_order_acquire),
+            inner_->rank_alive(dst));
+        for (std::uint64_t i = 0; i < d.gc; ++i) e.buffer.pop_front();
+        if (d.buffer) {
             e.buffer.push_back(msg);  // pristine copy survives the lossy fabric
-        } else {
-            // A dead receiver never acks, and its traffic is intentionally
-            // never recovered (see recover()): buffering would hold full
-            // payload copies for the whole kill-to-regroup window. Drop the
-            // edge buffer instead of growing it.
+        } else if (d.clear > 0) {
             e.buffer.clear();
-            e.base_seq = e.next_seq + 1;
         }
+        seq = d.seq;
     }
 
     const std::int64_t orig_tag = msg.tag;
@@ -126,18 +127,12 @@ void ReliableTransport::deliver(int dst, Message msg) {
     inner_->deliver(dst, std::move(envelope));
 }
 
-void ReliableTransport::accept(int rank, int src, Message msg) {
-    EdgeRx& r = rx(src, rank);
-    delivered_[static_cast<std::size_t>(rank)]->push(std::move(msg));
-    ++r.expected;
-    while (!r.parked.empty() && r.parked.begin()->first == r.expected) {
+void ReliableTransport::release_parked(int rank, EdgeRx& r, std::uint64_t n) {
+    for (std::uint64_t i = 0; i < n; ++i) {
         delivered_[static_cast<std::size_t>(rank)]->push(
             std::move(r.parked.begin()->second));
         r.parked.erase(r.parked.begin());
-        ++r.expected;
     }
-    tx(src, rank).acked.store(r.expected - 1, std::memory_order_release);
-    backoff_[static_cast<std::size_t>(rank)].armed = false;  // progress: reset
 }
 
 void ReliableTransport::process_incoming(int rank) {
@@ -162,18 +157,29 @@ void ReliableTransport::process_incoming(int rank) {
         orig.payload.assign(env->payload.begin() +
                                 static_cast<std::ptrdiff_t>(kHeaderBytes),
                             env->payload.end());
-        if (envelope_checksum(seq, orig_tag, orig.payload) != checksum) {
-            count_event(corrupt_dropped_, m_corrupt_dropped_);
-            continue;  // corruption == loss; the seq gap drives recovery
-        }
+        const bool checksum_ok =
+            envelope_checksum(seq, orig_tag, orig.payload) == checksum;
 
-        EdgeRx& r = rx(orig.source, rank);
-        if (seq < r.expected) {
-            count_event(dup_dropped_, m_dup_dropped_);
-        } else if (seq == r.expected) {
-            accept(rank, orig.source, std::move(orig));
-        } else if (!r.parked.emplace(seq, std::move(orig)).second) {
-            count_event(dup_dropped_, m_dup_dropped_);
+        const int src = orig.source;
+        EdgeRx& r = rx(src, rank);
+        const fsm::RxDecision d = fsm::arq_rx_envelope(r.state, seq, checksum_ok);
+        switch (d.action) {
+            case fsm::RxAction::kDropCorrupt:
+                // Corruption == loss; the seq gap drives a retransmit.
+                count_event(corrupt_dropped_, m_corrupt_dropped_);
+                break;
+            case fsm::RxAction::kDropDuplicate:
+                count_event(dup_dropped_, m_dup_dropped_);
+                break;
+            case fsm::RxAction::kPark:
+                r.parked.emplace(seq, std::move(orig));
+                break;
+            case fsm::RxAction::kDeliver:
+                delivered_[static_cast<std::size_t>(rank)]->push(std::move(orig));
+                release_parked(rank, r, d.release);
+                tx(src, rank).acked.store(d.cum_ack, std::memory_order_release);
+                backoff_[static_cast<std::size_t>(rank)].armed = false;  // progress
+                break;
         }
     }
 }
@@ -188,31 +194,42 @@ std::size_t ReliableTransport::recover(int rank) {
         if (!inner_->rank_alive(src)) continue;
         EdgeRx& r = rx(src, rank);
         for (;;) {
-            std::optional<Message> copy;
+            Message head;
             {
                 EdgeTx& e = tx(src, rank);
                 std::lock_guard<std::mutex> lock(e.mutex);
-                if (r.expected < e.base_seq) break;  // already GCed (impossible
-                                                     // while we are the acker)
-                const std::uint64_t idx = r.expected - e.base_seq;
-                if (idx >= e.buffer.size()) break;  // no gap: all sent seqs seen
-                copy = e.buffer[static_cast<std::size_t>(idx)];
+                const std::optional<std::uint64_t> idx =
+                    fsm::arq_tx_buffer_index(e.state, r.state.expected);
+                if (!idx) break;  // gap head GCed, cleared, or not yet sent
+                head = e.buffer[static_cast<std::size_t>(*idx)];
             }
-            if (copy->epoch < min_epoch) {
+            const bool stale = head.epoch < min_epoch;
+            const fsm::RxRecoverDecision d = fsm::arq_rx_recover(r.state, stale);
+            if (d.action == fsm::RecoverAction::kSkipStale) {
                 // Stale-epoch gap across a regroup: advance past it without
                 // delivering, or the gap would wedge the edge forever.
-                ++r.expected;
-                tx(src, rank).acked.store(r.expected - 1, std::memory_order_release);
                 count_event(stale_skipped_, m_stale_skipped_);
-                continue;
+            } else {
+                delivered_[static_cast<std::size_t>(rank)]->push(std::move(head));
+                count_event(retransmits_, m_retransmits_);
+                ++recovered;
             }
-            const int msg_src = copy->source;
-            accept(rank, msg_src, std::move(*copy));
-            count_event(retransmits_, m_retransmits_);
-            ++recovered;
+            // Either outcome can unblock a parked suffix (and the mailbox
+            // floor re-filters anything stale among the released payloads).
+            release_parked(rank, r, d.release);
+            tx(src, rank).acked.store(d.cum_ack, std::memory_order_release);
         }
     }
+    if (recovered > 0) backoff_[static_cast<std::size_t>(rank)].armed = false;
     return recovered;
+}
+
+std::size_t ReliableTransport::recover_now(int rank) {
+    if (rank < 0 || rank >= world_size()) {
+        throw std::out_of_range("recover_now: bad rank");
+    }
+    process_incoming(rank);
+    return recover(rank);
 }
 
 void ReliableTransport::pump(int rank) {
@@ -220,7 +237,7 @@ void ReliableTransport::pump(int rank) {
     Backoff& b = backoff_[static_cast<std::size_t>(rank)];
     const auto now = std::chrono::steady_clock::now();
     if (!b.armed) {
-        b.delay_s = options_.initial_backoff_s;
+        b.delay_s = config_.initial_backoff_s;
         b.next_attempt = now + host_dur(b.delay_s);
         b.armed = true;
         return;
@@ -229,7 +246,7 @@ void ReliableTransport::pump(int rank) {
     if (recover(rank) > 0) {
         b.armed = false;  // progress: restart from the initial delay
     } else {
-        b.delay_s = std::min(b.delay_s * 2.0, options_.max_backoff_s);
+        b.delay_s = std::min(b.delay_s * 2.0, config_.max_backoff_s);
         b.next_attempt = now + host_dur(b.delay_s);
     }
 }
@@ -306,6 +323,7 @@ void ReliableTransport::begin_epoch(int rank, int epoch) {
         EdgeRx& r = rx(src, rank);
         for (auto it = r.parked.begin(); it != r.parked.end();) {
             if (it->second.epoch < epoch) {
+                fsm::arq_rx_unpark(r.state, it->first);
                 it = r.parked.erase(it);
                 count_event(stale_skipped_, m_stale_skipped_);
             } else {

@@ -24,6 +24,14 @@
 //     bit-identically (payload bytes AND modeled arrival times are the
 //     originals, so training results equal the fault-free run exactly).
 //
+// Every sequencing DECISION above (seq assignment, GC, dedup, parking,
+// release, stale-epoch skip) is made by the pure transition functions in
+// comm/reliable_fsm.hpp; this class owns payload bytes, mutexes and
+// mailboxes and merely applies those decisions. The protocheck model
+// checker (src/analysis/protocheck) drives the identical functions under an
+// exhaustive adversarial network — one copy of the protocol logic, so the
+// verified model cannot drift from the running code (DESIGN.md §16).
+//
 // Control-plane traffic on kTagHeartbeat deliberately bypasses the
 // envelope: heartbeat loss is the failure detector's signal, not a fault.
 #pragma once
@@ -35,9 +43,11 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
 #include <vector>
 
 #include "comm/mailbox.hpp"
+#include "comm/reliable_fsm.hpp"
 #include "comm/transport.hpp"
 
 namespace gtopk::obs {
@@ -46,10 +56,32 @@ class Counter;
 
 namespace gtopk::comm {
 
-/// Tuning knobs for the retransmit path (host-time backoff).
-struct ReliableOptions {
+/// Reliable-layer configuration: retransmit backoff (host time) plus the
+/// passthrough escape hatch for non-shared-memory fabrics.
+struct ReliableConfig {
     double initial_backoff_s = 0.002;  // first retransmit request delay
     double max_backoff_s = 0.050;      // cap for the exponential doubling
+    /// The recovery path pulls retransmits straight out of the sender's
+    /// in-process buffer and publishes acks through a shared counter —
+    /// machinery that silently never engages when ranks live in separate
+    /// processes (TCP): the layer degrades to envelope wrap/unwrap with NO
+    /// loss recovery. Construction over such a fabric throws
+    /// UnreliableFabricError unless this is set, making the degradation an
+    /// explicit, documented choice (the TCP harness sets it: TCP itself
+    /// provides reliable FIFO edges, see DESIGN.md §15).
+    bool allow_passthrough = false;
+};
+
+/// Historical name, kept for call sites predating the passthrough knob.
+using ReliableOptions = ReliableConfig;
+
+/// Thrown when ReliableTransport is stacked over a fabric whose ranks do
+/// not share an address space (Transport::shared_memory_fabric() == false)
+/// without ReliableConfig::allow_passthrough. A misconfiguration, not a
+/// runtime fault: the stack would LOOK reliable while recovering nothing.
+class UnreliableFabricError : public std::logic_error {
+public:
+    using std::logic_error::logic_error;
 };
 
 /// Aggregate event counters (monotonic since construction).
@@ -65,9 +97,11 @@ class ReliableTransport final : public Transport {
 public:
     /// Decorate an existing transport (takes ownership). Usually the inner
     /// transport is a FaultInjectingTransport; stacking over a plain
-    /// InProcTransport is a pure (if pointless) passthrough.
+    /// InProcTransport is a pure (if pointless) passthrough. Throws
+    /// UnreliableFabricError for a non-shared-memory inner fabric unless
+    /// config.allow_passthrough is set.
     explicit ReliableTransport(std::unique_ptr<Transport> inner,
-                               ReliableOptions options = {});
+                               ReliableConfig config = {});
 
     int world_size() const override { return inner_->world_size(); }
     void deliver(int dst, Message msg) override;
@@ -85,32 +119,45 @@ public:
         inner_->on_progress(rank, step);
     }
     void set_tracer(obs::Tracer* tracer) override;
+    bool shared_memory_fabric() const override {
+        return inner_->shared_memory_fabric();
+    }
     /// Delivered (unwrapped) pending messages plus reassembly-parked ones.
     /// Envelopes still inside the inner fabric travel on kTagReliableData
     /// (< kFreshTagBase) and are invisible here; the retransmit protocol
     /// guarantees they re-materialize, so the count is a lower bound.
     std::size_t pending_with_tag_at_least(int rank, int min_tag) const override;
 
+    /// Drain incoming envelopes for `rank` and immediately pull every
+    /// recoverable gap head from live senders' buffers, bypassing the
+    /// backoff gate. Returns the number of messages recovered. Normal
+    /// operation never needs this — pump() recovers on its own schedule;
+    /// the protocheck replay bridge uses it to fire recovery exactly where
+    /// a counterexample trace says it fires (deterministic replay requires
+    /// an effectively-infinite configured backoff plus explicit calls).
+    std::size_t recover_now(int rank);
+
     ReliableCounts counts() const;
     Transport& inner() { return *inner_; }
 
 private:
-    /// Sender-side per-edge state. `next_seq` is only touched by the
-    /// sending rank's thread; the retransmit buffer is shared with the
-    /// receiving rank's recovery path, hence the mutex.
+    /// Sender-side per-edge state: the pure FSM state plus the payload
+    /// buffer it indexes. `state.next_seq` is only advanced by the sending
+    /// rank's thread; the buffer is shared with the receiving rank's
+    /// recovery path, hence the mutex.
     struct EdgeTx {
-        std::uint64_t next_seq = 0;  // last assigned (first message gets 1)
         std::mutex mutex;
-        std::uint64_t base_seq = 1;       // seq of buffer.front()
-        std::deque<Message> buffer;       // pristine unwrapped copies
-        std::atomic<std::uint64_t> acked{0};  // cumulative, receiver-written
+        fsm::ArqTxState state;
+        std::deque<Message> buffer;  // pristine copies, [base_seq, +buffered)
+        /// Cumulative ack, receiver-written — the in-process ack channel.
+        std::atomic<std::uint64_t> acked{0};
     };
 
     /// Receiver-side per-edge state; touched only by the receiving rank's
-    /// thread.
+    /// thread. `parked` keys mirror state.parked exactly.
     struct EdgeRx {
-        std::uint64_t expected = 1;              // next in-order seq
-        std::map<std::uint64_t, Message> parked;  // out-of-order arrivals
+        fsm::ArqRxState state;
+        std::map<std::uint64_t, Message> parked;  // out-of-order payloads
     };
 
     /// Per-rank retransmit backoff state (receiver thread only).
@@ -128,9 +175,9 @@ private:
     EdgeTx& tx(int src, int dst) { return *tx_[edge_index(src, dst)]; }
     EdgeRx& rx(int src, int dst) { return rx_[edge_index(src, dst)]; }
 
-    /// Accept an in-order message for `rank` and drain any now-contiguous
-    /// reassembly suffix into the local mailbox.
-    void accept(int rank, int src, Message msg);
+    /// Pop `n` leading entries of the edge's parked payload map (the
+    /// contiguous run the FSM just released) into `rank`'s mailbox.
+    void release_parked(int rank, EdgeRx& r, std::uint64_t n);
     /// Drain every envelope the inner fabric holds for `rank`.
     void process_incoming(int rank);
     /// Pull gap-head messages for `rank` from live senders' buffers.
@@ -141,7 +188,7 @@ private:
     void count_event(std::atomic<std::uint64_t>& cell, obs::Counter* metric);
 
     std::unique_ptr<Transport> inner_;
-    ReliableOptions options_;
+    ReliableConfig config_;
     std::vector<std::unique_ptr<EdgeTx>> tx_;
     std::vector<EdgeRx> rx_;
     std::vector<std::unique_ptr<Mailbox>> delivered_;

@@ -36,6 +36,11 @@ inline constexpr int kFreshTagBase = 1'000'000;
 /// starts here and wraps back here.
 inline constexpr int kAsyncTagBase = 1 << 30;
 
+/// Threshold meaning "every tag" for the at-least counters
+/// (Mailbox::count_tag_at_least, Transport::pending_with_tag_at_least).
+/// Tags are non-negative, so a floor of zero spans the whole mailbox.
+inline constexpr int kTagFloor = 0;
+
 enum UserTag : int {
     /// Parameter-server protocol (ps/ps_trainer.cpp).
     kTagPsPush = 101,  // worker -> server gradients

@@ -28,7 +28,7 @@ void put_i32(std::vector<std::byte>& out, std::int32_t v) {
 }
 
 void put_f64(std::vector<std::byte>& out, double v) {
-    std::uint64_t bits;
+    std::uint64_t bits = 0;
     static_assert(sizeof(bits) == sizeof(v));
     std::memcpy(&bits, &v, sizeof(bits));
     put_u64(out, bits);
@@ -58,7 +58,7 @@ std::int32_t get_i32(const std::byte* p) {
 
 double get_f64(const std::byte* p) {
     const std::uint64_t bits = get_u64(p);
-    double v;
+    double v = 0.0;
     std::memcpy(&v, &bits, sizeof(v));
     return v;
 }

@@ -95,7 +95,7 @@ public:
     }
 
 private:
-    std::uint64_t max_payload_;
+    std::uint64_t max_payload_ = 0;
     std::vector<std::byte> buffer_;
     std::size_t consumed_ = 0;  // prefix of buffer_ already decoded
 };

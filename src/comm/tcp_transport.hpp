@@ -93,6 +93,10 @@ public:
     void begin_epoch(int rank, int epoch) override;
     bool rank_alive(int rank) const override;
     std::size_t pending_with_tag_at_least(int rank, int min_tag) const override;
+    /// Each rank is its own process: a decorator's per-rank state is NOT
+    /// shared, so ReliableTransport's buffer-pull recovery cannot work here
+    /// (TCP already guarantees per-edge reliable FIFO; see DESIGN.md §15).
+    bool shared_memory_fabric() const override { return false; }
 
     /// Wire counters (frames, not messages-with-duplicates) for tests.
     std::uint64_t frames_sent() const {

@@ -111,6 +111,16 @@ public:
     /// worker threads start. Base: no-op; implementations register their
     /// metrics (mailbox depth, fault-event counters).
     virtual void set_tracer(obs::Tracer*) {}
+
+    /// True when every rank shares this process's address space, i.e. all
+    /// per-rank state of a decorator stacked on top is visible to all
+    /// ranks. The reliable layer's recovery path REQUIRES this: a receiver
+    /// pulls retransmits straight out of the sender's buffer, and its
+    /// cumulative ack is a shared counter. A multi-process fabric (TCP)
+    /// returns false, and ReliableTransport refuses to stack on it unless
+    /// explicitly told the passthrough degradation is acceptable
+    /// (ReliableConfig::allow_passthrough). Decorators forward.
+    virtual bool shared_memory_fabric() const { return true; }
 };
 
 class InProcTransport final : public Transport {

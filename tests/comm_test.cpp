@@ -38,60 +38,62 @@ Message make_msg(int source, int tag, std::size_t n = 0) {
 
 TEST(MailboxTest, MatchesExactSourceAndTag) {
     Mailbox mb;
-    mb.push(make_msg(1, 10));
-    mb.push(make_msg(2, 20));
-    const Message m = mb.pop(2, 20);
+    mb.push(make_msg(1, kTagTestData));
+    mb.push(make_msg(2, kTagTestAux));
+    const Message m = mb.pop(2, kTagTestAux);
     EXPECT_EQ(m.source, 2);
-    EXPECT_EQ(m.tag, 20);
+    EXPECT_EQ(m.tag, kTagTestAux);
     EXPECT_EQ(mb.size(), 1u);
 }
 
 TEST(MailboxTest, WildcardSourceMatchesFirstArrival) {
     Mailbox mb;
-    mb.push(make_msg(3, 7));
-    const Message m = mb.pop(kAnySource, 7);
+    mb.push(make_msg(3, kTagTestData));
+    const Message m = mb.pop(kAnySource, kTagTestData);
     EXPECT_EQ(m.source, 3);
 }
 
 TEST(MailboxTest, WildcardTagMatches) {
     Mailbox mb;
-    mb.push(make_msg(1, 99));
+    mb.push(make_msg(1, kTagTestValue));
     const Message m = mb.pop(1, kAnyTag);
-    EXPECT_EQ(m.tag, 99);
+    EXPECT_EQ(m.tag, kTagTestValue);
 }
 
 TEST(MailboxTest, PreservesFifoPerSourceTag) {
     Mailbox mb;
-    for (int i = 0; i < 5; ++i) mb.push(make_msg(1, 5, static_cast<std::size_t>(i)));
+    for (int i = 0; i < 5; ++i) {
+        mb.push(make_msg(1, kTagTestData, static_cast<std::size_t>(i)));
+    }
     for (std::size_t i = 0; i < 5; ++i) {
-        EXPECT_EQ(mb.pop(1, 5).payload.size(), i);
+        EXPECT_EQ(mb.pop(1, kTagTestData).payload.size(), i);
     }
 }
 
 TEST(MailboxTest, TryPopReturnsNulloptWhenNoMatch) {
     Mailbox mb;
-    mb.push(make_msg(1, 1));
-    EXPECT_FALSE(mb.try_pop(2, 1).has_value());
-    EXPECT_TRUE(mb.try_pop(1, 1).has_value());
+    mb.push(make_msg(1, kTagTestData));
+    EXPECT_FALSE(mb.try_pop(2, kTagTestData).has_value());
+    EXPECT_TRUE(mb.try_pop(1, kTagTestData).has_value());
 }
 
 TEST(MailboxTest, BlockingPopWakesOnPush) {
     Mailbox mb;
     std::atomic<bool> got{false};
     std::thread consumer([&] {
-        (void)mb.pop(1, 1);
+        (void)mb.pop(1, kTagTestData);
         got = true;
     });
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
     EXPECT_FALSE(got.load());
-    mb.push(make_msg(1, 1));
+    mb.push(make_msg(1, kTagTestData));
     consumer.join();
     EXPECT_TRUE(got.load());
 }
 
 TEST(MailboxTest, CloseThrowsInWaiters) {
     Mailbox mb;
-    std::thread consumer([&] { EXPECT_THROW(mb.pop(1, 1), MailboxClosed); });
+    std::thread consumer([&] { EXPECT_THROW(mb.pop(1, kTagTestData), MailboxClosed); });
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
     mb.close();
     consumer.join();
@@ -100,7 +102,7 @@ TEST(MailboxTest, CloseThrowsInWaiters) {
 TEST(TransportTest, RejectsBadRanks) {
     InProcTransport t(2);
     EXPECT_THROW(t.deliver(2, make_msg(0, 0)), std::out_of_range);
-    EXPECT_THROW(t.receive(-1, 0, 0), std::out_of_range);
+    EXPECT_THROW(t.receive(-1, 0, kTagTestData), std::out_of_range);
     EXPECT_THROW(InProcTransport(0), std::invalid_argument);
 }
 

@@ -172,7 +172,7 @@ TEST(FaultTest, ShutdownIsIdempotent) {
     InProcTransport transport(2);
     transport.shutdown();
     transport.shutdown();  // second shutdown must be harmless
-    EXPECT_THROW(transport.receive(0, 1, 1), comm::MailboxClosed);
+    EXPECT_THROW(transport.receive(0, 1, kTagTestData), comm::MailboxClosed);
 }
 
 TEST(FaultTest, ManyConcurrentClustersDoNotInterfere) {

@@ -470,6 +470,61 @@ TEST(RecoveryTest, MajorityFinalizesAndExcludedStragglerCannotRejoin) {
     EXPECT_EQ(membership.epoch(), 1);
 }
 
+TEST(RecoveryTest, TwoRankDeathDuringInProgressRegroupFinalizesSurvivors) {
+    // Ranks 0 and 1 enter a regroup round that CANNOT finalize yet (2 of 4
+    // live is not a strict majority); ranks 2 and 3 then die mid-round.
+    // Each leave() must wake the waiters and re-evaluate: once the live set
+    // shrinks to exactly the joiner set, the fast path finalizes without
+    // waiting out the grace window. Pinned behavior for the FSM extraction
+    // — membership_evaluate drives the same verdicts the inline logic did.
+    comm::InProcTransport transport(5);
+    MembershipService membership(transport, fast_membership(21));
+    membership.leave(4);  // down to live {0,1,2,3} before the round starts
+    MembershipView v0, v1;
+    std::thread t0([&] { v0 = membership.regroup(0); });
+    std::thread t1([&] { v1 = membership.regroup(1); });
+    // Let both joiners reach the in-round wait, then kill two ranks while
+    // the round is in flight.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    EXPECT_EQ(membership.epoch(), 0);  // round still open: no quorum yet
+    membership.leave(2);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    membership.leave(3);
+    t0.join();
+    t1.join();
+    EXPECT_EQ(v0.epoch, 1);
+    EXPECT_EQ(v0.members, (std::vector<int>{0, 1}));
+    EXPECT_EQ(v1.epoch, v0.epoch);
+    EXPECT_EQ(v1.members, v0.members);
+    EXPECT_EQ(membership.epoch(), 1);
+}
+
+TEST(RecoveryTest, JoinerArrivingInGraceWindowOfDeathRoundIsIncluded) {
+    // A death opens a regroup round; a live straggler joins the SAME round
+    // inside the grace window. It must land in the finalized view — the
+    // fast path completes the instant the last live member joins, and all
+    // three observers agree. Pinned behavior for the FSM extraction.
+    comm::InProcTransport transport(4);
+    MembershipConfig cfg = fast_membership(22);
+    cfg.join_grace_s = 5.0;  // generous: the test must finish via fast path
+    MembershipService membership(transport, cfg);
+    membership.leave(3);
+    MembershipView v0, v1, v2;
+    std::thread t0([&] { v0 = membership.regroup(0); });
+    std::thread t1([&] { v1 = membership.regroup(1); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    EXPECT_EQ(membership.epoch(), 0);  // waiting on the straggler
+    std::thread t2([&] { v2 = membership.regroup(2); });
+    t0.join();
+    t1.join();
+    t2.join();
+    for (const MembershipView* v : {&v0, &v1, &v2}) {
+        EXPECT_EQ(v->epoch, 1);
+        EXPECT_EQ(v->members, (std::vector<int>{0, 1, 2}));
+    }
+    EXPECT_EQ(membership.epoch(), 1);
+}
+
 TEST(RecoveryTest, ElasticModeRequiresDeadlineBelowJoinGrace) {
     // The receive-deadline cascade is what routes every survivor into the
     // regroup round; it must fire before the round's grace window can

@@ -244,7 +244,8 @@ TEST(MailboxScale, BandCountersMatchLinearScanThroughMutation) {
         mb.push(make_msg(0, comm::kAsyncTagBase + i));    // async band
     }
     // O(1) band-base fast paths...
-    EXPECT_EQ(mb.count_tag_at_least(0), static_cast<std::size_t>(3 * per_band));
+    EXPECT_EQ(mb.count_tag_at_least(comm::kTagFloor),
+              static_cast<std::size_t>(3 * per_band));
     EXPECT_EQ(mb.count_tag_at_least(comm::kFreshTagBase),
               static_cast<std::size_t>(2 * per_band));
     EXPECT_EQ(mb.count_tag_at_least(comm::kAsyncTagBase),
@@ -255,11 +256,13 @@ TEST(MailboxScale, BandCountersMatchLinearScanThroughMutation) {
               static_cast<std::size_t>(per_band / 2 + per_band));
 
     // Pops on each band must decrement exactly the right counter.
-    (void)mb.pop(0, 3);
+    constexpr int kUserBandProbe = 3;  // one of the user-band tags pushed above
+    (void)mb.pop(0, kUserBandProbe);
     (void)mb.pop(0, comm::kFreshTagBase + 7);
     (void)mb.pop(0, comm::kAsyncTagBase + 9);
     ASSERT_TRUE(mb.try_pop(0, comm::kFreshTagBase + 8).has_value());
-    EXPECT_EQ(mb.count_tag_at_least(0), static_cast<std::size_t>(3 * per_band - 4));
+    EXPECT_EQ(mb.count_tag_at_least(comm::kTagFloor),
+              static_cast<std::size_t>(3 * per_band - 4));
     EXPECT_EQ(mb.count_tag_at_least(comm::kFreshTagBase),
               static_cast<std::size_t>(2 * per_band - 3));
     EXPECT_EQ(mb.count_tag_at_least(comm::kAsyncTagBase),
@@ -295,7 +298,7 @@ TEST(MailboxScale, PopForDeadlineIsImmuneToNotificationStorms) {
 
     const auto t0 = std::chrono::steady_clock::now();
     const auto got =
-        mb.pop_for(/*source=*/2, /*tag=*/7, std::chrono::milliseconds(250));
+        mb.pop_for(/*source=*/2, comm::kTagTestData, std::chrono::milliseconds(250));
     const double elapsed =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
     stop.store(true, std::memory_order_relaxed);

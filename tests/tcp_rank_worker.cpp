@@ -103,7 +103,11 @@ int main(int argc, char** argv) {
                                                                     plan);
         }
         if (reliable) {
-            stack = std::make_unique<comm::ReliableTransport>(std::move(stack));
+            // TCP already provides reliable FIFO edges; the reliable layer
+            // degrades to envelope passthrough here and must say so.
+            comm::ReliableConfig rcfg;
+            rcfg.allow_passthrough = true;
+            stack = std::make_unique<comm::ReliableTransport>(std::move(stack), rcfg);
         }
         comm::RecordingTransport* recorder = nullptr;
         if (!record_path.empty()) {
