@@ -37,13 +37,24 @@
 // Each process drives one rank over a comm::TcpTransport; rank 0 prints
 // the results (and owns the telemetry JSONL / trace files). The training
 // math is bit-identical to the in-process run — only the wire changes.
+//
+// --chaos composes with --transport tcp: rank 3's PROCESS dies mid-run,
+// its sockets collapse, the survivors' reconnect FSM declares the links
+// dead, the membership plane regroups OVER THE WIRE (leader-driven
+// JOIN/VIEW frames, DESIGN.md §17), and the three survivor processes roll
+// back and finish converged. The victim exits with the typed rank-killed
+// code (43), so launch it as
+//
+//   $ gtopkrun -n 4 --allow-exit 43 -- ./quickstart --transport tcp --chaos
 #include <cstring>
 #include <iostream>
 #include <memory>
 #include <string>
 
+#include "comm/comm_error.hpp"
 #include "comm/fault_transport.hpp"
 #include "comm/membership.hpp"
+#include "comm/reliable_transport.hpp"
 #include "comm/tcp_transport.hpp"
 #include "data/sampler.hpp"
 #include "data/synthetic_images.hpp"
@@ -101,12 +112,6 @@ int main(int argc, char** argv) {
         return 2;
     }
     const bool tcp = transport_name == "tcp";
-    if (tcp && chaos) {
-        std::cerr << "error: --chaos needs the in-process cluster (the "
-                     "membership regroup barrier is in-process); drop "
-                     "--transport tcp\n";
-        return 2;
-    }
     if (trace_requested && trace_out.empty()) {
         std::cerr << "error: --trace-out requires a non-empty path\n";
         return 2;
@@ -229,30 +234,55 @@ int main(int argc, char** argv) {
 
     // 3c. Optional chaos: kill rank 3 mid-epoch and let the self-healing
     // runtime (heartbeats + receive deadlines + membership regroup +
-    // checkpoint rollback) finish the run on the 3 survivors.
-    std::unique_ptr<comm::FaultInjectingTransport> transport;
+    // checkpoint rollback) finish the run on the 3 survivors. In-process
+    // this is a FaultPlan kill; over TCP the same plan lands in the
+    // victim's own process, whose death then plays out through real
+    // sockets — reconnect FSM, wire regroup and all.
+    std::unique_ptr<comm::Transport> chaos_stack;
     std::unique_ptr<comm::MembershipService> membership;
     if (chaos) {
         comm::FaultPlan plan;
         plan.seed = 1;
         plan.kill_at_step(/*rank=*/3, /*step=*/45);  // mid second epoch
-        transport = std::make_unique<comm::FaultInjectingTransport>(workers, plan);
-        membership = std::make_unique<comm::MembershipService>(*transport);
-        config.transport = transport.get();
+        if (tcp) {
+            // Decorate this process's socket transport: fault layer lands
+            // the kill at the exact step boundary, reliable layer runs the
+            // wire ARQ over it.
+            chaos_stack = std::make_unique<comm::FaultInjectingTransport>(
+                std::move(tcp_transport), plan);
+            chaos_stack =
+                std::make_unique<comm::ReliableTransport>(std::move(chaos_stack));
+        } else {
+            chaos_stack =
+                std::make_unique<comm::FaultInjectingTransport>(workers, plan);
+        }
+        membership = std::make_unique<comm::MembershipService>(*chaos_stack);
+        config.transport = chaos_stack.get();
         config.membership = membership.get();
-        config.recv_timeout_s = 0.5;    // the stall detector
-        config.checkpoint_every = 10;   // in-memory rollback cadence
-        std::cout << "chaos mode: rank 3 will be killed at step 45\n\n";
+        config.recv_timeout_s = tcp ? 1.0 : 0.5;  // the stall detector
+        config.checkpoint_every = 10;             // in-memory rollback cadence
+        if (lead_process) {
+            std::cout << "chaos mode: rank 3 will be killed at step 45\n\n";
+        }
     }
 
     // 4. Run on the simulated 1 Gbps Ethernet cluster.
-    const auto result = train::train_distributed(
-        workers, net, config,
-        [&](std::uint64_t seed) { return nn::make_mlp(mcfg, seed); },
-        [&](std::int64_t step, int rank) {
-            return dataset.batch_flat(sampler.batch_indices(step, rank, 16));
-        },
-        [&] { return dataset.batch_flat(sampler.test_indices(256)); });
+    train::TrainResult result;
+    try {
+        result = train::train_distributed(
+            workers, net, config,
+            [&](std::uint64_t seed) { return nn::make_mlp(mcfg, seed); },
+            [&](std::int64_t step, int rank) {
+                return dataset.batch_flat(sampler.batch_indices(step, rank, 16));
+            },
+            [&] { return dataset.batch_flat(sampler.test_indices(256)); });
+    } catch (const comm::CommError& e) {
+        // Multi-process chaos: the victim's process ends HERE, with the
+        // typed code the launcher's --allow-exit whitelists.
+        std::cerr << "rank " << (local_rank >= 0 ? local_rank : 0) << ": "
+                  << e.what() << "\n";
+        return e.kind() == comm::CommErrorKind::RankKilled ? 43 : 42;
+    }
 
     // 5. Inspect what happened. In TCP mode only the lead process reports
     // (each peer process computed the bit-identical replica).
@@ -268,17 +298,26 @@ int main(int argc, char** argv) {
               << result.rank0_comm.bytes_sent << "\n";
 
     if (chaos) {
-        std::cout << "\nself-healing outcome:\n  survivors:";
-        for (int r : result.final_members) std::cout << " " << r;
-        std::cout << "\n  membership epoch: " << result.final_membership_epoch
-                  << "  regroups: " << result.regroups << "\n";
-        bool consistent = true;
-        for (const auto& p : result.survivor_params) {
-            consistent = consistent && (p == result.survivor_params.front());
+        std::cout << "\nself-healing outcome:\n";
+        if (tcp) {
+            // Each surviving process reports itself; the launcher line
+            // ("expected casualty") plus these epochs tell the whole story.
+            std::cout << "  this process survived; membership epoch: "
+                      << result.final_membership_epoch
+                      << "  regroups: " << result.regroups << "\n";
+        } else {
+            std::cout << "  survivors:";
+            for (int r : result.final_members) std::cout << " " << r;
+            std::cout << "\n  membership epoch: " << result.final_membership_epoch
+                      << "  regroups: " << result.regroups << "\n";
+            bool consistent = true;
+            for (const auto& p : result.survivor_params) {
+                consistent = consistent && (p == result.survivor_params.front());
+            }
+            std::cout << "  survivor replicas bit-identical: "
+                      << (consistent ? "yes" : "NO") << "\n";
+            if (!consistent) return 1;
         }
-        std::cout << "  survivor replicas bit-identical: "
-                  << (consistent ? "yes" : "NO") << "\n";
-        if (!consistent) return 1;
     }
 
     if (telemetry) {

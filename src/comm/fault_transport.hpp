@@ -153,12 +153,18 @@ public:
     /// Purge stale-epoch messages parked in hold slots destined to `rank`,
     /// then forward the epoch floor to the inner fabric.
     void begin_epoch(int rank, int epoch) override;
-    /// False once the plan (or kill_rank) declared `rank` dead.
-    bool rank_alive(int rank) const override { return !rank_killed(rank); }
+    /// False once the plan (or kill_rank) declared `rank` dead — or the
+    /// inner fabric did (a TCP peer whose reconnect budget is exhausted).
+    bool rank_alive(int rank) const override {
+        return !rank_killed(rank) && inner_->rank_alive(rank);
+    }
     /// Fires any kill_at_step spec scheduled for (rank, step).
     void on_progress(int rank, std::int64_t step) override;
     bool shared_memory_fabric() const override {
         return inner_->shared_memory_fabric();
+    }
+    std::vector<int> take_reconnected(int rank) override {
+        return inner_->take_reconnected(rank);
     }
 
     /// Manually kill a rank now (e.g. at a chosen training iteration), in

@@ -1,7 +1,10 @@
 #include "comm/membership.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <thread>
 
+#include "comm/comm_error.hpp"
 #include "comm/tags.hpp"
 
 namespace gtopk::comm {
@@ -11,6 +14,43 @@ namespace {
 std::chrono::steady_clock::duration host_dur(double seconds) {
     return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
         std::chrono::duration<double>(seconds));
+}
+
+// Wire regroup frame layout (little-endian):
+//   JOIN  (kTagMembershipJoin): [u64 joiner's current epoch]
+//   VIEW  (kTagMembershipView): [u64 epoch][u64 count][count x u32 ranks]
+// The epoch inside JOIN lets the leader ignore resends that straggle in
+// from an already-finalized round; both frames additionally carry the
+// sender's current epoch in Message::epoch so the mailbox floors apply.
+
+void put_u64(std::vector<std::byte>& out, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+        out.push_back(std::byte{static_cast<unsigned char>((v >> (8 * i)) & 0xff)});
+    }
+}
+
+void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+        out.push_back(std::byte{static_cast<unsigned char>((v >> (8 * i)) & 0xff)});
+    }
+}
+
+std::uint64_t get_u64(const std::vector<std::byte>& p, std::size_t at) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+        v |= static_cast<std::uint64_t>(std::to_integer<unsigned char>(p[at + i]))
+             << (8 * i);
+    }
+    return v;
+}
+
+std::uint32_t get_u32(const std::vector<std::byte>& p, std::size_t at) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+        v |= static_cast<std::uint32_t>(std::to_integer<unsigned char>(p[at + i]))
+             << (8 * i);
+    }
+    return v;
 }
 
 }  // namespace
@@ -64,6 +104,10 @@ void MembershipService::tick(int rank) {
             int peer = (st.gossip_cursor + i) % (peers > 0 ? peers : 1);
             // Peer index skips self: [0..world-2] maps onto ranks != rank.
             if (peer >= rank) ++peer;
+            // Over a real fabric a dead peer's link refuses traffic with a
+            // typed throw; the liveness plane must not let that bubble into
+            // the trainer — silence toward the dead is exactly right.
+            if (!transport_.rank_alive(peer)) continue;
             Message hb;
             hb.source = rank;
             hb.tag = kTagHeartbeat;
@@ -71,7 +115,11 @@ void MembershipService::tick(int rank) {
             // Heartbeats are free on the modeled network: they ride the
             // control plane and never advance a virtual clock.
             hb.arrival_time_s = 0.0;
-            transport_.deliver(peer, std::move(hb));
+            try {
+                transport_.deliver(peer, std::move(hb));
+            } catch (const CommError&) {
+                // Peer died between the aliveness check and the send.
+            }
         }
         if (peers > 0) st.gossip_cursor = (st.gossip_cursor + burst) % peers;
         heartbeats_sent_.fetch_add(1, std::memory_order_relaxed);
@@ -125,6 +173,7 @@ void MembershipService::leave(int rank) {
 }
 
 MembershipView MembershipService::regroup(int rank) {
+    if (!transport_.shared_memory_fabric()) return regroup_wire(rank);
     std::unique_lock<std::mutex> lock(mutex_);
     switch (fsm::membership_join(state_, rank, fabric_alive_unlocked())) {
         case fsm::JoinVerdict::kNotLive:
@@ -160,6 +209,164 @@ MembershipView MembershipService::regroup(int rank) {
                 break;
         }
         cv_.wait_until(lock, grace_deadline);
+    }
+}
+
+MembershipView MembershipService::regroup_wire(int rank) {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        switch (fsm::membership_join(state_, rank, fabric_alive_unlocked())) {
+            case fsm::JoinVerdict::kNotLive:
+                throw std::invalid_argument("regroup: rank not a live member");
+            case fsm::JoinVerdict::kNotInView:
+                throw std::invalid_argument("regroup: rank not in current view");
+            case fsm::JoinVerdict::kJoined:
+            case fsm::JoinVerdict::kAlreadyJoined:
+                break;
+        }
+    }
+    // Election is re-run by the follower loop every spin, so a rank that
+    // becomes lowest-live mid-round (the previous leader was the casualty)
+    // promotes itself.
+    return regroup_wire_follower(rank);
+}
+
+MembershipView MembershipService::regroup_wire_leader(int rank) {
+    const auto grace_deadline = Clock::now() + host_dur(config_.join_grace_s);
+    for (;;) {
+        // Fold incoming JOINs into the same FSM the barrier path executes.
+        for (;;) {
+            std::optional<Message> jm;
+            jm = transport_.try_receive(rank, kAnySource, kTagMembershipJoin);
+            if (!jm) break;
+            if (jm->payload.size() != 8) continue;  // malformed: drop
+            const std::uint64_t proposal = get_u64(jm->payload, 0);
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (proposal != static_cast<std::uint64_t>(state_.epoch)) {
+                continue;  // straggling resend from an already-closed round
+            }
+            (void)fsm::membership_join(state_, jm->source, fabric_alive_unlocked());
+        }
+
+        const bool grace_expired = Clock::now() >= grace_deadline;
+        bool finalized = false;
+        MembershipView view;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            switch (fsm::membership_evaluate(state_, fabric_alive_unlocked(),
+                                             grace_expired)) {
+                case fsm::RoundVerdict::kFinalizeAll:
+                case fsm::RoundVerdict::kFinalizeQuorum:
+                    view = fsm::membership_finalize(state_);
+                    finalized = true;
+                    break;
+                case fsm::RoundVerdict::kAbortNoQuorum:
+                    throw std::runtime_error(
+                        "regroup: join grace expired without a majority of "
+                        "live members; refusing to finalize a minority view");
+                case fsm::RoundVerdict::kWait:
+                    break;
+            }
+        }
+        if (finalized) {
+            // Broadcast the agreed view to every other member. The frames
+            // ride the reliable layer, so a lost TCP segment is the ARQ's
+            // problem, not a second agreement round's.
+            for (int m : view.members) {
+                if (m == rank) continue;
+                Message vm;
+                vm.source = rank;
+                vm.tag = kTagMembershipView;
+                vm.epoch = view.epoch;
+                vm.arrival_time_s = 0.0;
+                put_u64(vm.payload, static_cast<std::uint64_t>(view.epoch));
+                put_u64(vm.payload, static_cast<std::uint64_t>(view.members.size()));
+                for (int r : view.members) {
+                    put_u32(vm.payload, static_cast<std::uint32_t>(r));
+                }
+                try {
+                    transport_.deliver(m, std::move(vm));
+                } catch (const CommError&) {
+                    // Member died after finalization; the NEXT round will
+                    // vote it out.
+                }
+            }
+            cv_.notify_all();
+            return view;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+}
+
+MembershipView MembershipService::regroup_wire_follower(int rank) {
+    // Twice the leader's grace: the leader may burn a full window itself
+    // before the VIEW goes out.
+    const auto deadline = Clock::now() + host_dur(2.0 * config_.join_grace_s);
+    auto next_join = Clock::now();
+    for (;;) {
+        // Re-elect from a fresh liveness snapshot: the leader is whatever
+        // rank is CURRENTLY the lowest live member of the current view.
+        int leader = rank;
+        int my_epoch = 0;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            const auto live =
+                fsm::membership_live_members(state_, fabric_alive_unlocked());
+            if (!live.empty()) leader = live.front();
+            my_epoch = state_.epoch;
+        }
+        if (leader == rank) return regroup_wire_leader(rank);
+
+        const auto now = Clock::now();
+        if (now >= next_join) {
+            next_join = now + host_dur(0.1);
+            Message jm;
+            jm.source = rank;
+            jm.tag = kTagMembershipJoin;
+            jm.epoch = my_epoch;
+            jm.arrival_time_s = 0.0;
+            put_u64(jm.payload, static_cast<std::uint64_t>(my_epoch));
+            try {
+                transport_.deliver(leader, std::move(jm));
+            } catch (const CommError&) {
+                continue;  // leader just died; re-elect on the next spin
+            }
+        }
+
+        const auto vm = transport_.try_receive(rank, kAnySource, kTagMembershipView);
+        if (vm && vm->payload.size() >= 16) {
+            const std::uint64_t epoch = get_u64(vm->payload, 0);
+            const std::uint64_t count = get_u64(vm->payload, 8);
+            if (vm->payload.size() == 16 + 4 * count) {
+                std::vector<int> members;
+                members.reserve(count);
+                for (std::uint64_t i = 0; i < count; ++i) {
+                    members.push_back(
+                        static_cast<int>(get_u32(vm->payload, 16 + 4 * i)));
+                }
+                std::lock_guard<std::mutex> lock(mutex_);
+                if (static_cast<int>(epoch) > state_.epoch) {
+                    // Install the leader's agreement verbatim: same epoch,
+                    // same member set, round closed.
+                    state_.epoch = static_cast<int>(epoch);
+                    state_.members = members;
+                    std::fill(state_.joined.begin(), state_.joined.end(), false);
+                    ++state_.round;
+                    cv_.notify_all();
+                    return MembershipView{state_.epoch, std::move(members)};
+                }
+            }
+        }
+
+        if (Clock::now() >= deadline) {
+            // No agreed view reached this rank — either the leader's round
+            // aborted without quorum or this rank was voted out while its
+            // JOIN was in flight. Either way it must NOT train on.
+            throw std::runtime_error(
+                "regroup: no agreed view from leader within the grace "
+                "window; refusing to continue on a stale membership");
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
     }
 }
 

@@ -88,6 +88,17 @@ public:
     /// higher epoch passes every later epoch floor and train solo).
     /// Ranks not in the current view cannot join at all.
     /// All joiners of a round return the identical view.
+    ///
+    /// On a shared-memory fabric this is the in-process barrier above. On a
+    /// multi-process fabric (TcpTransport) the round runs over the wire:
+    /// the LOWEST live member of the current view acts as leader, collects
+    /// JOIN frames (kTagMembershipJoin) from the other survivors, runs the
+    /// identical FSM verdicts, and broadcasts the finalized VIEW
+    /// (kTagMembershipView). Followers re-send their JOIN until the VIEW
+    /// lands (the frames ride the reliable layer, so the resend only papers
+    /// over leader-side timing, not loss) and re-elect the leader from
+    /// fresh rank_alive snapshots each retry in case the leader itself is
+    /// the casualty being regrouped around.
     MembershipView regroup(int rank);
 
     /// Latest agreed view (initially epoch 0, all ranks).
@@ -114,6 +125,12 @@ private:
     /// itself thread-safe; the lock just keeps the snapshot and the FSM
     /// step atomic with respect to other agreement transitions).
     std::vector<bool> fabric_alive_unlocked() const;
+
+    /// The wire regroup round (non-shared-memory fabrics): leader-driven
+    /// JOIN/VIEW exchange executing the same FSM verdicts as the barrier.
+    MembershipView regroup_wire(int rank);
+    MembershipView regroup_wire_leader(int rank);
+    MembershipView regroup_wire_follower(int rank);
 
     Transport& transport_;
     MembershipConfig config_;

@@ -49,6 +49,16 @@ public:
     bool shared_memory_fabric() const override {
         return inner_->shared_memory_fabric();
     }
+    void begin_epoch(int rank, int epoch) override {
+        inner_->begin_epoch(rank, epoch);
+    }
+    bool rank_alive(int rank) const override { return inner_->rank_alive(rank); }
+    void on_progress(int rank, std::int64_t step) override {
+        inner_->on_progress(rank, step);
+    }
+    std::vector<int> take_reconnected(int rank) override {
+        return inner_->take_reconnected(rank);
+    }
 
     /// Snapshot of everything captured so far, in global seq order.
     std::vector<RecordedMsg> log() const;

@@ -62,6 +62,26 @@ std::optional<std::uint64_t> arq_tx_buffer_index(const ArqTxState& st,
     return seq - st.base_seq;
 }
 
+std::uint64_t arq_tx_ack(ArqTxState& st, std::uint64_t cum_ack) {
+    // An ack beyond anything we ever sent is wire garbage, not protocol
+    // state; honoring it would GC payloads the receiver has not seen.
+    if (cum_ack > st.next_seq) return 0;
+    if (cum_ack > st.acked) st.acked = cum_ack;
+    std::uint64_t gc = 0;
+    while (st.buffered > 0 && st.base_seq <= st.acked) {
+        ++gc;
+        ++st.base_seq;
+        --st.buffered;
+    }
+    if (arq_break() == ArqBreak::kGcDropsUnacked && st.buffered > 0) {
+        // Seeded invariant break: same bug class as the send-path hook.
+        ++gc;
+        ++st.base_seq;
+        --st.buffered;
+    }
+    return gc;
+}
+
 RxDecision arq_rx_envelope(ArqRxState& st, std::uint64_t seq, bool checksum_ok) {
     RxDecision d;
     d.cum_ack = st.expected - 1;

@@ -78,6 +78,14 @@ TxSendDecision arq_tx_send(ArqTxState& st, std::uint64_t cum_ack, bool dst_alive
 std::optional<std::uint64_t> arq_tx_buffer_index(const ArqTxState& st,
                                                  std::uint64_t seq);
 
+/// Fold a cumulative ack that arrived OUT OF BAND (a wire ack/pull frame on
+/// a non-shared-memory fabric, where the receiver cannot publish into the
+/// sender's address space). Returns the number of newly-acked payloads the
+/// caller must pop from the buffer FRONT. Acks are monotonic: a stale or
+/// implausible (beyond next_seq) value folds to a no-op, so a corrupted or
+/// reordered ack frame can never GC an unacked payload.
+std::uint64_t arq_tx_ack(ArqTxState& st, std::uint64_t cum_ack);
+
 // ---------------------------------------------------------------------------
 // Receiver side (one state per directed edge)
 

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <thread>
 
+#include "comm/comm_error.hpp"
 #include "comm/tags.hpp"
 #include "obs/trace.hpp"
 
@@ -12,14 +13,30 @@ namespace gtopk::comm {
 namespace {
 
 // Envelope header, prepended to the user payload on the wire:
-//   [magic u64][seq u64][orig_tag i64][checksum u64]
-// The checksum covers seq, orig_tag and the user payload, so a fault-layer
-// bit flip anywhere in the envelope is detected: a flip in `magic` or
-// `checksum` fails the respective check directly, a flip in `seq`,
-// `orig_tag` or the payload fails the checksum. Either way the envelope is
+//   [magic u64][seq u64][orig_tag i64][orig_epoch i64][checksum u64]
+// The checksum covers seq, orig_tag, orig_epoch and the user payload, so a
+// fault-layer bit flip anywhere in the envelope is detected: a flip in
+// `magic` or `checksum` fails the respective check directly, a flip in any
+// other field or the payload fails the checksum. Either way the envelope is
 // discarded and the sequence gap drives a retransmit.
+//
+// The original epoch rides INSIDE the envelope (not only on the carrier
+// Message) so a wire retransmit can bump its carrier epoch past the
+// receiving fabric's inbound floor after a regroup: the frame still
+// arrives, the rx FSM still advances past the seq, and the unwrapped
+// message — restored to its original epoch — is then rejected by the
+// delivered-mailbox floor, which is exactly the stale-skip semantic of the
+// in-process recovery path.
 constexpr std::uint64_t kMagic = 0x6774306b52454cULL;  // "gt0kREL"
-constexpr std::size_t kHeaderBytes = 32;
+constexpr std::size_t kHeaderBytes = 40;
+
+// Wire control frames (kTagReliableAck / kTagReliablePull):
+//   [magic u64][value u64][checksum u64]
+// A corrupted control frame must never reach the FSMs: a garbage
+// cumulative ack could GC payloads nobody received. Malformed frames are
+// dropped; the protocol re-sends acks/pulls anyway.
+constexpr std::uint64_t kCtlMagic = 0x6774306b41524bULL;  // "gt0kARK"
+constexpr std::size_t kCtlBytes = 24;
 
 std::uint64_t fnv1a(const std::byte* data, std::size_t n,
                     std::uint64_t h = 0xcbf29ce484222325ULL) {
@@ -31,10 +48,12 @@ std::uint64_t fnv1a(const std::byte* data, std::size_t n,
 }
 
 std::uint64_t envelope_checksum(std::uint64_t seq, std::int64_t orig_tag,
+                                std::int64_t orig_epoch,
                                 const std::vector<std::byte>& payload) {
-    std::byte key[16];
+    std::byte key[24];
     std::memcpy(key, &seq, 8);
     std::memcpy(key + 8, &orig_tag, 8);
+    std::memcpy(key + 16, &orig_epoch, 8);
     return fnv1a(payload.data(), payload.size(), fnv1a(key, sizeof key));
 }
 
@@ -43,6 +62,17 @@ std::uint64_t get_u64(const std::byte* at) {
     std::uint64_t v = 0;
     std::memcpy(&v, at, 8);
     return v;
+}
+
+std::optional<std::uint64_t> decode_control(const std::vector<std::byte>& p) {
+    if (p.size() != kCtlBytes || get_u64(p.data()) != kCtlMagic) {
+        return std::nullopt;
+    }
+    const std::uint64_t value = get_u64(p.data() + 8);
+    std::byte key[8];
+    std::memcpy(key, &value, 8);
+    if (fnv1a(key, sizeof key) != get_u64(p.data() + 16)) return std::nullopt;
+    return value;
 }
 
 std::chrono::steady_clock::duration host_dur(double seconds) {
@@ -56,15 +86,7 @@ ReliableTransport::ReliableTransport(std::unique_ptr<Transport> inner,
                                      ReliableConfig config)
     : inner_(std::move(inner)), config_(config) {
     if (!inner_) throw std::invalid_argument("ReliableTransport: null inner");
-    if (!inner_->shared_memory_fabric() && !config_.allow_passthrough) {
-        throw UnreliableFabricError(
-            "ReliableTransport: inner fabric is not shared-memory (ranks live "
-            "in separate processes), so buffer-pull recovery and the shared "
-            "ack counter cannot engage — the layer would silently degrade to "
-            "envelope passthrough with no loss recovery. Set "
-            "ReliableConfig::allow_passthrough=true if the fabric itself "
-            "provides reliable FIFO edges (e.g. TCP).");
-    }
+    wire_ = !inner_->shared_memory_fabric();
     const std::size_t world = static_cast<std::size_t>(inner_->world_size());
     tx_.reserve(world * world);
     for (std::size_t i = 0; i < world * world; ++i) {
@@ -76,6 +98,16 @@ ReliableTransport::ReliableTransport(std::unique_ptr<Transport> inner,
         delivered_.push_back(std::make_unique<Mailbox>());
     }
     backoff_.resize(world);
+    floors_.assign(world, 0);
+}
+
+ReliableTransport::~ReliableTransport() {
+    try {
+        shutdown();
+    } catch (...) {
+        // Destructors must not throw; the inner fabric's own teardown runs
+        // regardless via its destructor.
+    }
 }
 
 void ReliableTransport::count_event(std::atomic<std::uint64_t>& cell,
@@ -84,6 +116,34 @@ void ReliableTransport::count_event(std::atomic<std::uint64_t>& cell,
     if (metric) metric->add(1);
 }
 
+namespace {
+
+/// Wrap `msg` as a seq-numbered envelope. `carrier_epoch` is the epoch on
+/// the CARRIER message (what inbound epoch floors judge); the original
+/// epoch is preserved inside the header. First transmissions use
+/// carrier_epoch == msg.epoch; wire retransmits may bump it.
+Message make_envelope(const Message& msg, std::uint64_t seq, int carrier_epoch) {
+    Message envelope;
+    envelope.source = msg.source;
+    envelope.tag = kTagReliableData;
+    envelope.epoch = carrier_epoch;
+    envelope.arrival_time_s = msg.arrival_time_s;
+    const std::int64_t orig_tag = msg.tag;
+    const std::int64_t orig_epoch = msg.epoch;
+    envelope.payload.resize(kHeaderBytes + msg.payload.size());
+    put_u64(envelope.payload.data(), kMagic);
+    put_u64(envelope.payload.data() + 8, seq);
+    put_u64(envelope.payload.data() + 16, static_cast<std::uint64_t>(orig_tag));
+    put_u64(envelope.payload.data() + 24, static_cast<std::uint64_t>(orig_epoch));
+    put_u64(envelope.payload.data() + 32,
+            envelope_checksum(seq, orig_tag, orig_epoch, msg.payload));
+    std::memcpy(envelope.payload.data() + kHeaderBytes, msg.payload.data(),
+                msg.payload.size());
+    return envelope;
+}
+
+}  // namespace
+
 void ReliableTransport::deliver(int dst, Message msg) {
     if (dst < 0 || dst >= world_size()) throw std::out_of_range("deliver: bad rank");
     if (msg.tag == kTagHeartbeat) {  // control plane: intentionally unreliable
@@ -91,12 +151,6 @@ void ReliableTransport::deliver(int dst, Message msg) {
         return;
     }
     EdgeTx& e = tx(msg.source, dst);
-
-    Message envelope;
-    envelope.source = msg.source;
-    envelope.tag = kTagReliableData;
-    envelope.epoch = msg.epoch;
-    envelope.arrival_time_s = msg.arrival_time_s;
 
     std::uint64_t seq = 0;
     {
@@ -113,16 +167,7 @@ void ReliableTransport::deliver(int dst, Message msg) {
         seq = d.seq;
     }
 
-    const std::int64_t orig_tag = msg.tag;
-    envelope.payload.resize(kHeaderBytes + msg.payload.size());
-    put_u64(envelope.payload.data(), kMagic);
-    put_u64(envelope.payload.data() + 8, seq);
-    put_u64(envelope.payload.data() + 16, static_cast<std::uint64_t>(orig_tag));
-    put_u64(envelope.payload.data() + 24,
-            envelope_checksum(seq, orig_tag, msg.payload));
-    std::memcpy(envelope.payload.data() + kHeaderBytes, msg.payload.data(),
-                msg.payload.size());
-
+    Message envelope = make_envelope(msg, seq, msg.epoch);
     sent_.fetch_add(1, std::memory_order_relaxed);
     inner_->deliver(dst, std::move(envelope));
 }
@@ -136,9 +181,12 @@ void ReliableTransport::release_parked(int rank, EdgeRx& r, std::uint64_t n) {
 }
 
 void ReliableTransport::process_incoming(int rank) {
+    // Wire mode: cumulative acks owed per source after the envelope drain.
+    // Coalesced (latest value wins) so a burst costs one ack frame per edge.
+    std::map<int, std::uint64_t> owed_acks;
     for (;;) {
         auto env = inner_->try_receive(rank, kAnySource, kTagReliableData);
-        if (!env) return;
+        if (!env) break;
         if (env->payload.size() < kHeaderBytes ||
             get_u64(env->payload.data()) != kMagic) {
             count_event(corrupt_dropped_, m_corrupt_dropped_);
@@ -147,18 +195,20 @@ void ReliableTransport::process_incoming(int rank) {
         const std::uint64_t seq = get_u64(env->payload.data() + 8);
         const std::int64_t orig_tag =
             static_cast<std::int64_t>(get_u64(env->payload.data() + 16));
-        const std::uint64_t checksum = get_u64(env->payload.data() + 24);
+        const std::int64_t orig_epoch =
+            static_cast<std::int64_t>(get_u64(env->payload.data() + 24));
+        const std::uint64_t checksum = get_u64(env->payload.data() + 32);
 
         Message orig;
         orig.source = env->source;
         orig.tag = static_cast<int>(orig_tag);
-        orig.epoch = env->epoch;
+        orig.epoch = static_cast<int>(orig_epoch);
         orig.arrival_time_s = env->arrival_time_s;
         orig.payload.assign(env->payload.begin() +
                                 static_cast<std::ptrdiff_t>(kHeaderBytes),
                             env->payload.end());
         const bool checksum_ok =
-            envelope_checksum(seq, orig_tag, orig.payload) == checksum;
+            envelope_checksum(seq, orig_tag, orig_epoch, orig.payload) == checksum;
 
         const int src = orig.source;
         EdgeRx& r = rx(src, rank);
@@ -170,21 +220,140 @@ void ReliableTransport::process_incoming(int rank) {
                 break;
             case fsm::RxAction::kDropDuplicate:
                 count_event(dup_dropped_, m_dup_dropped_);
+                // A duplicate usually means the earlier ack frame was lost:
+                // re-publish the cumulative ack so the sender can GC.
+                if (wire_) owed_acks[src] = d.cum_ack;
                 break;
             case fsm::RxAction::kPark:
                 r.parked.emplace(seq, std::move(orig));
                 break;
             case fsm::RxAction::kDeliver:
+                // The delivered-mailbox epoch floor re-judges the ORIGINAL
+                // epoch here: a stale retransmit advances the seq space but
+                // its payload is discarded (wire stale-skip).
                 delivered_[static_cast<std::size_t>(rank)]->push(std::move(orig));
                 release_parked(rank, r, d.release);
-                tx(src, rank).acked.store(d.cum_ack, std::memory_order_release);
+                if (wire_) {
+                    owed_acks[src] = d.cum_ack;
+                } else {
+                    tx(src, rank).acked.store(d.cum_ack, std::memory_order_release);
+                }
                 backoff_[static_cast<std::size_t>(rank)].armed = false;  // progress
                 break;
         }
     }
+    if (!wire_) return;
+
+    // Sender half of the wire ack plane: fold remote cumulative acks into
+    // this rank's tx edges and GC the acked buffer prefix.
+    for (;;) {
+        auto ack = inner_->try_receive(rank, kAnySource, kTagReliableAck);
+        if (!ack) break;
+        const std::optional<std::uint64_t> value = decode_control(ack->payload);
+        if (!value) {
+            count_event(corrupt_dropped_, m_corrupt_dropped_);
+            continue;
+        }
+        EdgeTx& e = tx(rank, ack->source);
+        std::lock_guard<std::mutex> lock(e.mutex);
+        const std::uint64_t gc = fsm::arq_tx_ack(e.state, *value);
+        for (std::uint64_t i = 0; i < gc; ++i) e.buffer.pop_front();
+    }
+    // Gap-recovery pulls: the remote receiver names its next expected seq;
+    // everything still buffered from there on retransmits.
+    for (;;) {
+        auto pull = inner_->try_receive(rank, kAnySource, kTagReliablePull);
+        if (!pull) break;
+        const std::optional<std::uint64_t> value = decode_control(pull->payload);
+        if (!value) {
+            count_event(corrupt_dropped_, m_corrupt_dropped_);
+            continue;
+        }
+        answer_pull(rank, pull->source, *value, pull->epoch);
+    }
+    for (const auto& [src, cum] : owed_acks) {
+        send_control(rank, src, kTagReliableAck, cum);
+    }
+}
+
+void ReliableTransport::send_control(int rank, int dst, int tag,
+                                     std::uint64_t value) {
+    if (dst < 0 || dst >= world_size() || dst == rank) return;
+    if (!inner_->rank_alive(dst)) return;
+    Message m;
+    m.source = rank;
+    m.tag = tag;
+    m.epoch = floors_[static_cast<std::size_t>(rank)];
+    m.arrival_time_s = 0.0;
+    m.payload.resize(kCtlBytes);
+    put_u64(m.payload.data(), kCtlMagic);
+    put_u64(m.payload.data() + 8, value);
+    std::byte key[8];
+    std::memcpy(key, &value, 8);
+    put_u64(m.payload.data() + 16, fnv1a(key, sizeof key));
+    try {
+        inner_->deliver(dst, std::move(m));
+    } catch (const CommError&) {
+        // The peer died between the liveness check and the send; its death
+        // is the control plane's business, not the ack plane's.
+    }
+}
+
+void ReliableTransport::answer_pull(int rank, int peer, std::uint64_t expected,
+                                    int pull_epoch) {
+    if (peer < 0 || peer >= world_size() || peer == rank) return;
+    EdgeTx& e = tx(rank, peer);
+    std::vector<std::pair<std::uint64_t, Message>> resend;
+    {
+        std::lock_guard<std::mutex> lock(e.mutex);
+        if (expected > 0) {
+            // expected-1 is an implicit cumulative ack: everything below
+            // the gap head has been delivered or skipped.
+            const std::uint64_t gc = fsm::arq_tx_ack(e.state, expected - 1);
+            for (std::uint64_t i = 0; i < gc; ++i) e.buffer.pop_front();
+        }
+        for (std::uint64_t seq = e.state.base_seq;
+             seq < e.state.base_seq + e.state.buffered; ++seq) {
+            if (seq < expected) continue;
+            resend.emplace_back(seq,
+                                e.buffer[static_cast<std::size_t>(
+                                    seq - e.state.base_seq)]);
+        }
+    }
+    if (resend.empty()) return;
+    if (!inner_->rank_alive(peer)) return;
+    for (auto& [seq, msg] : resend) {
+        // Original seq, tag, epoch, payload and arrival stamp — recovery is
+        // bit-identical. Only the CARRIER epoch is bumped to the puller's
+        // floor so the frame passes its inbound epoch filter; staleness of
+        // the payload itself is re-judged against the inner header on
+        // delivery.
+        Message envelope =
+            make_envelope(msg, seq, std::max(msg.epoch, pull_epoch));
+        try {
+            inner_->deliver(peer, std::move(envelope));
+        } catch (const CommError&) {
+            return;  // peer died mid-answer; the pull will not repeat to it
+        }
+        count_event(retransmits_, m_retransmits_);
+    }
 }
 
 std::size_t ReliableTransport::recover(int rank) {
+    if (wire_) {
+        // The remote sender's buffer is not addressable: name the gap head
+        // on the wire instead. The pull doubles as a cumulative ack of
+        // expected-1, so it is harmless (and GC-useful) when nothing is
+        // actually owed; recovered payloads land asynchronously through
+        // process_incoming.
+        for (int src = 0; src < world_size(); ++src) {
+            if (src == rank) continue;
+            if (!inner_->rank_alive(src)) continue;
+            send_control(rank, src, kTagReliablePull,
+                         rx(src, rank).state.expected);
+        }
+        return 0;
+    }
     std::size_t recovered = 0;
     const int min_epoch = delivered_[static_cast<std::size_t>(rank)]->min_epoch();
     for (int src = 0; src < world_size(); ++src) {
@@ -233,6 +402,18 @@ std::size_t ReliableTransport::recover_now(int rank) {
 }
 
 void ReliableTransport::pump(int rank) {
+    if (wire_) {
+        // Session-resume phase 2: for every peer whose socket just came
+        // back, exchange next-expected-seq immediately — the ack lets the
+        // peer GC, the pull retransmits whatever the disconnect swallowed —
+        // instead of waiting out a recovery backoff.
+        for (const int peer : inner_->take_reconnected(rank)) {
+            if (peer < 0 || peer >= world_size() || peer == rank) continue;
+            EdgeRx& r = rx(peer, rank);
+            send_control(rank, peer, kTagReliableAck, r.state.expected - 1);
+            send_control(rank, peer, kTagReliablePull, r.state.expected);
+        }
+    }
     process_incoming(rank);
     Backoff& b = backoff_[static_cast<std::size_t>(rank)];
     const auto now = std::chrono::steady_clock::now();
@@ -306,6 +487,46 @@ std::optional<Message> ReliableTransport::receive_for_virtual(int rank, int sour
 }
 
 void ReliableTransport::shutdown() {
+    if (shut_.exchange(true)) return;
+    if (wire_) {
+        // Linger until every sent envelope is acked or its receiver is
+        // dead: peers still training may yet pull a frame the socket chaos
+        // swallowed, and only this process holds the pristine copy. The
+        // pump answers those pulls (and replays across session resumes);
+        // the budget bounds the wait when a peer never acks.
+        const int world = world_size();
+        const auto deadline = std::chrono::steady_clock::now() +
+                              host_dur(config_.shutdown_drain_s);
+        for (;;) {
+            bool outstanding = false;
+            for (int src = 0; src < world; ++src) {
+                bool pump_src = false;
+                for (int dst = 0; dst < world; ++dst) {
+                    if (dst == src) continue;
+                    EdgeTx& t = tx(src, dst);
+                    std::lock_guard<std::mutex> lock(t.mutex);
+                    if (t.state.acked < t.state.next_seq &&
+                        inner_->rank_alive(dst)) {
+                        pump_src = true;
+                        break;
+                    }
+                }
+                if (!pump_src) continue;
+                outstanding = true;
+                try {
+                    pump(src);
+                } catch (...) {
+                    // Inner fabric dying under us ends the drain's usefulness.
+                    outstanding = false;
+                    break;
+                }
+            }
+            if (!outstanding || std::chrono::steady_clock::now() >= deadline) {
+                break;
+            }
+            std::this_thread::sleep_for(std::chrono::microseconds(100));
+        }
+    }
     for (auto& mb : delivered_) mb->close();
     inner_->shutdown();
 }
@@ -314,6 +535,8 @@ void ReliableTransport::begin_epoch(int rank, int epoch) {
     if (rank < 0 || rank >= world_size()) {
         throw std::out_of_range("begin_epoch: bad rank");
     }
+    auto& floor = floors_[static_cast<std::size_t>(rank)];
+    if (epoch > floor) floor = epoch;
     delivered_[static_cast<std::size_t>(rank)]->set_min_epoch(epoch);
     // Stale parked envelopes would be rejected by the mailbox floor anyway
     // when their gap resolves; dropping them now keeps the pending count

@@ -4,25 +4,39 @@
 //
 // Mechanism (classic ARQ, adapted to the simulated cluster):
 //   * Every non-control message is wrapped in an envelope carrying a
-//     per-directed-edge sequence number, the sender's membership epoch and
-//     an FNV-1a checksum, and travels on the reserved kTagReliableData tag.
+//     per-directed-edge sequence number, the original tag and epoch, and an
+//     FNV-1a checksum, and travels on the reserved kTagReliableData tag.
 //   * The sender keeps a pristine copy in a per-edge retransmit buffer
-//     until the receiver's cumulative ack (a shared per-edge counter — the
-//     in-process equivalent of an ack packet) passes it.
+//     until the receiver's cumulative ack passes it.
 //   * The receiver unwraps envelopes in strict sequence order into a local
 //     per-rank mailbox: duplicates (seq already delivered) are discarded,
 //     out-of-order arrivals wait in a reassembly buffer, and a checksum or
 //     magic mismatch (fault-layer corruption) is treated as a loss.
 //   * When a receive stalls on a sequence gap — the signature of a dropped
 //     or corrupted message — the receiver requests a retransmit with
-//     capped exponential backoff: the gap head is re-fetched from the
-//     sender's buffer (the simulated retransmission; with retries the
-//     delivery probability of a p-loss channel tends to 1). Messages from
-//     a rank the fault plan has killed are never recovered — a dead host's
-//     buffers die with it — so rank kills still surface as timeouts and
-//     feed the membership layer, while drop/corrupt plans are masked
-//     bit-identically (payload bytes AND modeled arrival times are the
-//     originals, so training results equal the fault-free run exactly).
+//     capped exponential backoff. With retries the delivery probability of
+//     a p-loss channel tends to 1. Messages from a rank the fault plan has
+//     killed are never recovered — a dead host's buffers die with it — so
+//     rank kills still surface as timeouts and feed the membership layer,
+//     while drop/corrupt plans are masked bit-identically (payload bytes
+//     AND modeled arrival times are the originals, so training results
+//     equal the fault-free run exactly).
+//
+// The ACK PLANE adapts to the fabric (Transport::shared_memory_fabric):
+//   * Shared-memory fabric (in-process): the receiver publishes its
+//     cumulative ack into the sender's edge state through a shared atomic,
+//     and recovery pulls the gap head straight out of the sender's buffer.
+//   * Wire fabric (TCP — ranks in separate processes): acks and recovery
+//     travel as real frames. Each delivery (or duplicate, whose earlier ack
+//     may have been lost) is acknowledged with a kTagReliableAck frame
+//     carrying the cumulative ack; the sender folds it via fsm::arq_tx_ack
+//     and GCs its retransmit buffer. A stalled receiver sends
+//     kTagReliablePull frames carrying its next expected seq on the same
+//     backoff schedule; the sender treats expected-1 as a cumulative ack
+//     and re-emits every still-buffered envelope from that seq on, with the
+//     ORIGINAL payload, epoch and arrival stamp — so recovery over the
+//     wire is exactly as bit-identical as the in-process pull. Both
+//     endpoints execute the same fsm::arq_* transitions either way.
 //
 // Every sequencing DECISION above (seq assignment, GC, dedup, parking,
 // release, stale-epoch skip) is made by the pure transition functions in
@@ -56,33 +70,20 @@ class Counter;
 
 namespace gtopk::comm {
 
-/// Reliable-layer configuration: retransmit backoff (host time) plus the
-/// passthrough escape hatch for non-shared-memory fabrics.
+/// Reliable-layer configuration: retransmit backoff (host time).
 struct ReliableConfig {
     double initial_backoff_s = 0.002;  // first retransmit request delay
     double max_backoff_s = 0.050;      // cap for the exponential doubling
-    /// The recovery path pulls retransmits straight out of the sender's
-    /// in-process buffer and publishes acks through a shared counter —
-    /// machinery that silently never engages when ranks live in separate
-    /// processes (TCP): the layer degrades to envelope wrap/unwrap with NO
-    /// loss recovery. Construction over such a fabric throws
-    /// UnreliableFabricError unless this is set, making the degradation an
-    /// explicit, documented choice (the TCP harness sets it: TCP itself
-    /// provides reliable FIFO edges, see DESIGN.md §15).
-    bool allow_passthrough = false;
+    /// Wire mode: on shutdown, keep pumping until every sent envelope is
+    /// cumulatively acked (or its receiver is dead), up to this budget. A
+    /// rank that finishes training first may still hold the pristine copy
+    /// of a frame the socket chaos swallowed — exiting immediately would
+    /// strand the slower peer waiting on a retransmit that can never come.
+    double shutdown_drain_s = 3.0;
 };
 
-/// Historical name, kept for call sites predating the passthrough knob.
+/// Historical name, kept for call sites predating the config struct.
 using ReliableOptions = ReliableConfig;
-
-/// Thrown when ReliableTransport is stacked over a fabric whose ranks do
-/// not share an address space (Transport::shared_memory_fabric() == false)
-/// without ReliableConfig::allow_passthrough. A misconfiguration, not a
-/// runtime fault: the stack would LOOK reliable while recovering nothing.
-class UnreliableFabricError : public std::logic_error {
-public:
-    using std::logic_error::logic_error;
-};
 
 /// Aggregate event counters (monotonic since construction).
 struct ReliableCounts {
@@ -96,12 +97,14 @@ struct ReliableCounts {
 class ReliableTransport final : public Transport {
 public:
     /// Decorate an existing transport (takes ownership). Usually the inner
-    /// transport is a FaultInjectingTransport; stacking over a plain
-    /// InProcTransport is a pure (if pointless) passthrough. Throws
-    /// UnreliableFabricError for a non-shared-memory inner fabric unless
-    /// config.allow_passthrough is set.
+    /// transport is a FaultInjectingTransport or a TcpTransport; stacking
+    /// over a plain InProcTransport is a pure (if pointless) passthrough.
+    /// The ack plane is chosen from inner->shared_memory_fabric(): shared
+    /// counters + buffer pulls in-process, ack/pull frames on the wire.
     explicit ReliableTransport(std::unique_ptr<Transport> inner,
                                ReliableConfig config = {});
+    /// Runs shutdown() (with its wire-mode ack drain) if nobody did.
+    ~ReliableTransport() override;
 
     int world_size() const override { return inner_->world_size(); }
     void deliver(int dst, Message msg) override;
@@ -178,22 +181,41 @@ private:
     /// Pop `n` leading entries of the edge's parked payload map (the
     /// contiguous run the FSM just released) into `rank`'s mailbox.
     void release_parked(int rank, EdgeRx& r, std::uint64_t n);
-    /// Drain every envelope the inner fabric holds for `rank`.
+    /// Drain every envelope the inner fabric holds for `rank` (wire mode:
+    /// also ack/pull control frames, answering pulls with retransmits).
     void process_incoming(int rank);
-    /// Pull gap-head messages for `rank` from live senders' buffers.
-    /// Returns the number of messages recovered.
+    /// Pull gap-head messages for `rank`: straight from live senders'
+    /// buffers in-process, via kTagReliablePull frames on the wire.
+    /// Returns the number of messages recovered (wire mode: always 0 —
+    /// recovery lands asynchronously through process_incoming).
     std::size_t recover(int rank);
     /// process_incoming + backoff-gated recover; one poll step.
     void pump(int rank);
     void count_event(std::atomic<std::uint64_t>& cell, obs::Counter* metric);
 
+    // --- wire-mode helpers (non-shared-memory inner fabric only) ---
+    /// Best-effort control frame (ack/pull) from `rank` to `dst`: stamped
+    /// with rank's current epoch floor so the peer's inbound floor admits
+    /// it; a dead peer is skipped, a dying one swallowed (CommError) — the
+    /// pump must never throw for control traffic.
+    void send_control(int rank, int dst, int tag, std::uint64_t value);
+    /// Answer a kTagReliablePull from `peer`: fold expected-1 as an ack,
+    /// then re-emit every still-buffered envelope with seq >= expected.
+    void answer_pull(int rank, int peer, std::uint64_t expected, int pull_epoch);
+
     std::unique_ptr<Transport> inner_;
     ReliableConfig config_;
+    /// False inner shared_memory_fabric(): acks/pulls travel as frames.
+    bool wire_ = false;
     std::vector<std::unique_ptr<EdgeTx>> tx_;
     std::vector<EdgeRx> rx_;
     std::vector<std::unique_ptr<Mailbox>> delivered_;
     std::vector<Backoff> backoff_;
+    /// Per-rank epoch floor (last begin_epoch), the stamp on outgoing wire
+    /// control frames. Element `r` is touched only by rank r's thread.
+    std::vector<int> floors_;
 
+    std::atomic<bool> shut_{false};
     std::atomic<std::uint64_t> sent_{0};
     std::atomic<std::uint64_t> retransmits_{0};
     std::atomic<std::uint64_t> corrupt_dropped_{0};

@@ -55,6 +55,13 @@ enum UserTag : int {
     /// Recovery layer (comm/reliable_transport.hpp, comm/membership.hpp).
     kTagReliableData = 401,  // seq-numbered envelope around user traffic
     kTagHeartbeat = 402,     // liveness gossip; intentionally unreliable
+    kTagReliableAck = 403,   // wire ARQ: cumulative ack frame (non-shared
+                             // fabrics, where the tx edge cannot read the
+                             // receiver's ack counter from memory)
+    kTagReliablePull = 404,  // wire ARQ: gap-recovery pull (next expected
+                             // seq; the remote tx answers with retransmits)
+    kTagMembershipJoin = 405,  // wire regroup: joiner -> leader JOIN
+    kTagMembershipView = 406,  // wire regroup: leader -> member agreed VIEW
 
     /// Telemetry plane (obs/telemetry.hpp). The per-iteration stats
     /// allgather uses one absolute tag per ring round, so the band
@@ -72,12 +79,19 @@ inline constexpr int kTagTelemetryCount = 1024;
 
 static_assert(kTagTelemetryBase + kTagTelemetryCount < kFreshTagBase,
               "telemetry band must stay below the fresh-tag base");
-static_assert(kTagHeartbeat < kTagTelemetryBase,
+static_assert(kTagHeartbeat < kTagTelemetryBase &&
+                  kTagReliableAck < kTagTelemetryBase &&
+                  kTagReliablePull < kTagTelemetryBase &&
+                  kTagMembershipJoin < kTagTelemetryBase &&
+                  kTagMembershipView < kTagTelemetryBase,
               "point-to-point user tags must stay below the telemetry band");
 static_assert(kTagPsPush < kFreshTagBase && kTagPsPull < kFreshTagBase &&
                   kTagTestData < kFreshTagBase && kTagTestAux < kFreshTagBase &&
                   kTagTestValue < kFreshTagBase && kTagBenchP2p < kFreshTagBase &&
-                  kTagReliableData < kFreshTagBase && kTagHeartbeat < kFreshTagBase,
+                  kTagReliableData < kFreshTagBase && kTagHeartbeat < kFreshTagBase &&
+                  kTagReliableAck < kFreshTagBase && kTagReliablePull < kFreshTagBase &&
+                  kTagMembershipJoin < kFreshTagBase &&
+                  kTagMembershipView < kFreshTagBase,
               "user tags must stay below the fresh-tag base");
 static_assert(kTagPsPush >= 0, "user tags are non-negative");
 

@@ -29,8 +29,23 @@ using Clock = std::chrono::steady_clock;
 constexpr std::uint32_t kHelloMagic = 0x4754504Cu;  // "GTPL"
 constexpr std::size_t kHelloBytes = 12;
 
+// Session-resume handshake (post-bootstrap, on the persistent listeners):
+// RESUME {magic, dialer rank, proposed session} and its confirmation
+// RESUME_OK {magic, acceptor rank, accepted session}, 16 bytes each.
+constexpr std::uint32_t kResumeMagic = 0x4754524Du;     // "GTRM"
+constexpr std::uint32_t kResumeAckMagic = 0x4754524Eu;  // "GTRN"
+constexpr std::size_t kResumeBytes = 16;
+
 // Address-map entry per rank: {IPv4 (network order), port}, 8 bytes.
 constexpr std::size_t kAddrBytes = 8;
+
+// Bound on one reconnect dial's connect() wait; the FSM's backoff schedule
+// paces attempts, this only keeps a single attempt from monopolizing the
+// dialer thread.
+constexpr int kDialConnectMs = 300;
+// Handshake reads (RESUME / RESUME_OK) are tiny and sent immediately after
+// connect; anything slower than this is a broken peer.
+constexpr double kHandshakeTimeoutS = 1.0;
 
 [[noreturn]] void fail(const std::string& what) {
     throw std::runtime_error("TcpTransport: " + what +
@@ -48,12 +63,27 @@ std::uint32_t get_u32(const unsigned char* p) {
     return v;
 }
 
+void put_u64(unsigned char* p, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) p[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+
+std::uint64_t get_u64(const unsigned char* p) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
 double remaining_s(Clock::time_point deadline) {
     return std::chrono::duration<double>(deadline - Clock::now()).count();
 }
 
-/// Arm SO_RCVTIMEO so a blocking bootstrap read cannot outlive the budget —
-/// the socket-timeout half of the deadline mapping.
+Clock::duration to_duration(double seconds) {
+    return std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(seconds));
+}
+
+/// Arm SO_RCVTIMEO so a blocking bootstrap/handshake read cannot outlive
+/// its budget — the socket-timeout half of the deadline mapping.
 void set_recv_timeout(int fd, double seconds) {
     if (seconds < 0.01) seconds = 0.01;
     timeval tv{};
@@ -72,8 +102,12 @@ void set_nodelay(int fd) {
     (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
-/// Blocking exact-length read; fails loudly on EOF, error, or timeout.
-void read_exact(int fd, void* buf, std::size_t len, const char* what) {
+enum class IoResult { kOk, kTimeout, kClosed };
+
+/// Exact-length read that reports instead of throwing, so call sites can
+/// raise a TYPED error naming the peer (the bootstrap contract) or treat
+/// the failure as a link event (the resume handshake).
+IoResult read_full(int fd, void* buf, std::size_t len) {
     auto* p = static_cast<unsigned char*>(buf);
     while (len > 0) {
         const ssize_t n = ::recv(fd, p, len, 0);
@@ -83,11 +117,15 @@ void read_exact(int fd, void* buf, std::size_t len, const char* what) {
             continue;
         }
         if (n < 0 && errno == EINTR) continue;
-        fail(std::string("bootstrap read (") + what + ") failed");
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            return IoResult::kTimeout;  // SO_RCVTIMEO expired
+        }
+        return IoResult::kClosed;  // EOF or hard error: the peer is gone
     }
+    return IoResult::kOk;
 }
 
-void write_exact(int fd, const void* buf, std::size_t len, const char* what) {
+bool write_full(int fd, const void* buf, std::size_t len) {
     const auto* p = static_cast<const unsigned char*>(buf);
     while (len > 0) {
         const ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
@@ -97,16 +135,21 @@ void write_exact(int fd, const void* buf, std::size_t len, const char* what) {
             continue;
         }
         if (n < 0 && errno == EINTR) continue;
-        fail(std::string("bootstrap write (") + what + ") failed");
+        return false;
     }
+    return true;
 }
 
-void send_hello(int fd, int rank, int port) {
+void send_hello(int fd, int rank, int port, int peer, int self) {
     unsigned char hello[kHelloBytes];
     put_u32(hello + 0, kHelloMagic);
     put_u32(hello + 4, static_cast<std::uint32_t>(rank));
     put_u32(hello + 8, static_cast<std::uint32_t>(port));
-    write_exact(fd, hello, sizeof(hello), "hello");
+    if (!write_full(fd, hello, sizeof(hello))) {
+        // The peer accepted our connect but vanished before reading the
+        // hello: it died mid-bootstrap.
+        throw CommError(CommErrorKind::RankKilled, self, peer, -1, 0.0);
+    }
 }
 
 struct Hello {
@@ -114,16 +157,40 @@ struct Hello {
     int port = 0;
 };
 
-Hello read_hello(int fd, int world) {
-    unsigned char hello[kHelloBytes];
-    read_exact(fd, hello, sizeof(hello), "hello");
-    if (get_u32(hello) != kHelloMagic) fail("bad hello magic");
-    Hello h;
-    h.rank = static_cast<int>(get_u32(hello + 4));
-    h.port = static_cast<int>(get_u32(hello + 8));
-    if (h.rank < 0 || h.rank >= world) fail("hello rank out of range");
-    if (h.port < 0 || h.port > 65535) fail("hello port out of range");
-    return h;
+enum class HelloRead {
+    kOk,
+    kTimeout,  // peer connected but never completed the hello
+    kClosed,   // peer died after connecting
+    kResume,   // early session-resume dial racing our bootstrap tail
+    kBad,      // malformed
+};
+
+/// Read one hello, distinguishing a RESUME frame: a higher rank that
+/// finished ITS bootstrap, lost a link, and re-dialed while this rank was
+/// still accepting the rest of the mesh. Such a dial is closed here and
+/// retried by the peer's backoff schedule once this rank's receiver is
+/// live.
+HelloRead read_hello2(int fd, int world, Hello& out) {
+    unsigned char head[4];
+    IoResult r = read_full(fd, head, sizeof(head));
+    if (r == IoResult::kTimeout) return HelloRead::kTimeout;
+    if (r == IoResult::kClosed) return HelloRead::kClosed;
+    const std::uint32_t magic = get_u32(head);
+    if (magic == kResumeMagic) {
+        unsigned char rest[kResumeBytes - 4];
+        (void)read_full(fd, rest, sizeof(rest));
+        return HelloRead::kResume;
+    }
+    if (magic != kHelloMagic) return HelloRead::kBad;
+    unsigned char rest[kHelloBytes - 4];
+    r = read_full(fd, rest, sizeof(rest));
+    if (r == IoResult::kTimeout) return HelloRead::kTimeout;
+    if (r == IoResult::kClosed) return HelloRead::kClosed;
+    out.rank = static_cast<int>(get_u32(rest + 0));
+    out.port = static_cast<int>(get_u32(rest + 4));
+    if (out.rank < 0 || out.rank >= world) return HelloRead::kBad;
+    if (out.port < 0 || out.port > 65535) return HelloRead::kBad;
+    return HelloRead::kOk;
 }
 
 sockaddr_in resolve_ipv4(const std::string& host, int port) {
@@ -172,8 +239,9 @@ int bound_port(int fd) {
 
 /// Connect with retry until `deadline`: peers race the listener's startup,
 /// so refused/unreachable attempts back off briefly and try again.
-int connect_retry(const sockaddr_in& addr, Clock::time_point deadline,
-                  const std::string& who) {
+/// Returns -1 on deadline expiry so the caller can raise a typed error
+/// naming the peer it could not reach.
+int connect_retry(const sockaddr_in& addr, Clock::time_point deadline) {
     for (;;) {
         const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
         if (fd < 0) fail("socket");
@@ -182,23 +250,17 @@ int connect_retry(const sockaddr_in& addr, Clock::time_point deadline,
             return fd;
         }
         ::close(fd);
-        if (remaining_s(deadline) <= 0.0) {
-            errno = 0;
-            fail("connect to " + who + " timed out");
-        }
+        if (remaining_s(deadline) <= 0.0) return -1;
         ::usleep(50 * 1000);
     }
 }
 
-int accept_with_deadline(int listen_fd, Clock::time_point deadline,
-                         const char* who) {
+/// Accept with deadline; -1 on expiry (caller raises the typed error).
+int accept_with_deadline(int listen_fd, Clock::time_point deadline) {
     for (;;) {
         pollfd pfd{listen_fd, POLLIN, 0};
         const double left = remaining_s(deadline);
-        if (left <= 0.0) {
-            errno = 0;
-            fail(std::string("bootstrap accept (") + who + ") timed out");
-        }
+        if (left <= 0.0) return -1;
         const int rc = ::poll(&pfd, 1, static_cast<int>(left * 1000.0) + 1);
         if (rc < 0 && errno == EINTR) continue;
         if (rc < 0) fail("poll");
@@ -211,6 +273,10 @@ int accept_with_deadline(int listen_fd, Clock::time_point deadline,
         return fd;
     }
 }
+
+constexpr int kPhaseUp = static_cast<int>(fsm::LinkPhase::kUp);
+constexpr int kPhaseDown = static_cast<int>(fsm::LinkPhase::kDown);
+constexpr int kPhaseDead = static_cast<int>(fsm::LinkPhase::kDead);
 
 }  // namespace
 
@@ -236,7 +302,9 @@ std::optional<TcpConfig> TcpTransport::config_from_env() {
 TcpTransport::TcpTransport(const TcpConfig& config)
     : rank_(config.rank),
       world_(config.world_size),
-      max_payload_(config.max_frame_payload) {
+      max_payload_(config.max_frame_payload),
+      reconnect_(config.reconnect),
+      faults_(config.socket_faults) {
     if (world_ <= 0) throw std::invalid_argument("TcpTransport: world_size <= 0");
     if (rank_ < 0 || rank_ >= world_) {
         throw std::invalid_argument("TcpTransport: rank outside world");
@@ -244,15 +312,25 @@ TcpTransport::TcpTransport(const TcpConfig& config)
     if (config.rendezvous_port <= 0 || config.rendezvous_port > 65535) {
         throw std::invalid_argument("TcpTransport: bad rendezvous port");
     }
-    peer_fds_.assign(static_cast<std::size_t>(world_), -1);
-    decoders_.reserve(static_cast<std::size_t>(world_));
+    const auto n = static_cast<std::size_t>(world_);
+    peer_fds_ = std::make_unique<std::atomic<int>[]>(n);
+    for (std::size_t r = 0; r < n; ++r) peer_fds_[r] = -1;
+    decoders_.reserve(n);
+    for (int r = 0; r < world_; ++r) decoders_.emplace_back(max_payload_);
+    send_mutexes_ = std::make_unique<std::mutex[]>(n);
+    phase_ = std::make_unique<std::atomic<int>[]>(n);
+    for (std::size_t r = 0; r < n; ++r) phase_[r] = kPhaseUp;
+    links_.resize(n);
+    peer_ip_.assign(n, 0);
+    peer_port_.assign(n, 0);
+    fault_ord_.assign(n, 0);
+    fault_rng_.reserve(n);
+    const util::Xoshiro256 root(faults_.seed);
     for (int r = 0; r < world_; ++r) {
-        decoders_.emplace_back(max_payload_);
+        fault_rng_.push_back(root.fork(
+            (static_cast<std::uint64_t>(rank_) << 20) ^
+            static_cast<std::uint64_t>(r)));
     }
-    send_mutexes_ = std::make_unique<std::mutex[]>(static_cast<std::size_t>(world_));
-    peer_alive_ =
-        std::make_unique<std::atomic<bool>[]>(static_cast<std::size_t>(world_));
-    for (int r = 0; r < world_; ++r) peer_alive_[static_cast<std::size_t>(r)] = true;
 
     if (::pipe(wake_pipe_) < 0) fail("pipe");
     // Non-blocking read end: the receiver drains wakeup bytes without ever
@@ -262,9 +340,11 @@ TcpTransport::TcpTransport(const TcpConfig& config)
     try {
         bootstrap(config);
     } catch (...) {
-        for (int fd : peer_fds_) {
+        for (int r = 0; r < world_; ++r) {
+            const int fd = peer_fds_[static_cast<std::size_t>(r)].load();
             if (fd >= 0) ::close(fd);
         }
+        if (listen_fd_ >= 0) ::close(listen_fd_);
         ::close(wake_pipe_[0]);
         ::close(wake_pipe_[1]);
         throw;
@@ -272,31 +352,69 @@ TcpTransport::TcpTransport(const TcpConfig& config)
 
     running_.store(true, std::memory_order_release);
     receiver_ = std::thread([this] { receiver_loop(); });
+    if (rank_ > 0 && world_ > 1) {
+        dialer_ = std::thread([this] { dialer_loop(); });
+    }
 }
 
 void TcpTransport::bootstrap(const TcpConfig& config) {
-    const auto deadline =
-        Clock::now() +
-        std::chrono::duration_cast<Clock::duration>(
-            std::chrono::duration<double>(config.connect_timeout_s));
+    const double budget = config.connect_timeout_s;
+    const auto deadline = Clock::now() + to_duration(budget);
     if (world_ == 1) return;  // a single-rank world has no wire
 
-    std::vector<std::uint32_t> peer_ip(static_cast<std::size_t>(world_), 0);
-    std::vector<int> peer_port(static_cast<std::size_t>(world_), 0);
+    // Lowest rank we are still waiting on — the name a typed bootstrap
+    // timeout carries, so a mid-bootstrap death points every survivor at
+    // the same missing peer.
+    const auto lowest_missing = [this](int from) {
+        for (int r = from; r < world_; ++r) {
+            if (r != rank_ && peer_fds_[static_cast<std::size_t>(r)].load() < 0) {
+                return r;
+            }
+        }
+        return -1;
+    };
 
     if (rank_ == 0) {
-        const int rendezvous_fd =
+        // The rendezvous listener stays open for the process's lifetime:
+        // it doubles as the session-resume listener peers re-dial.
+        listen_fd_ =
             listen_on(static_cast<std::uint16_t>(config.rendezvous_port), world_);
         // Phase 1: every peer dials in, introduces itself, advertises its
         // mesh listen port. The connection itself becomes the permanent
         // rank0<->peer link.
-        for (int i = 1; i < world_; ++i) {
-            const int fd = accept_with_deadline(rendezvous_fd, deadline, "rendezvous");
+        int accepted = 0;
+        while (accepted < world_ - 1) {
+            const int fd = accept_with_deadline(listen_fd_, deadline);
+            if (fd < 0) {
+                errno = 0;
+                throw CommError(CommErrorKind::RecvTimeout, rank_,
+                                lowest_missing(1), -1, budget);
+            }
             set_recv_timeout(fd, remaining_s(deadline));
-            const Hello h = read_hello(fd, world_);
-            if (h.rank == 0 || peer_fds_[static_cast<std::size_t>(h.rank)] >= 0) {
+            Hello h;
+            switch (read_hello2(fd, world_, h)) {
+                case HelloRead::kOk:
+                    break;
+                case HelloRead::kResume:
+                    ::close(fd);  // early re-dial; its backoff will retry
+                    continue;
+                case HelloRead::kTimeout:
+                    ::close(fd);
+                    throw CommError(CommErrorKind::RecvTimeout, rank_,
+                                    lowest_missing(1), -1, budget);
+                case HelloRead::kClosed:
+                    // A peer connected and died before identifying itself.
+                    ::close(fd);
+                    throw CommError(CommErrorKind::RankKilled, rank_,
+                                    lowest_missing(1), -1, 0.0);
+                case HelloRead::kBad:
+                    ::close(fd);
+                    errno = 0;
+                    fail("malformed rendezvous hello");
+            }
+            if (h.rank == 0 ||
+                peer_fds_[static_cast<std::size_t>(h.rank)].load() >= 0) {
                 ::close(fd);
-                ::close(rendezvous_fd);
                 errno = 0;
                 fail("duplicate rendezvous hello from rank " +
                      std::to_string(h.rank));
@@ -305,75 +423,129 @@ void TcpTransport::bootstrap(const TcpConfig& config) {
             socklen_t len = sizeof(peer);
             if (::getpeername(fd, reinterpret_cast<sockaddr*>(&peer), &len) < 0) {
                 ::close(fd);
-                ::close(rendezvous_fd);
                 fail("getpeername");
             }
             peer_fds_[static_cast<std::size_t>(h.rank)] = fd;
-            peer_ip[static_cast<std::size_t>(h.rank)] = peer.sin_addr.s_addr;
-            peer_port[static_cast<std::size_t>(h.rank)] = h.port;
+            peer_ip_[static_cast<std::size_t>(h.rank)] = peer.sin_addr.s_addr;
+            peer_port_[static_cast<std::size_t>(h.rank)] = h.port;
+            ++accepted;
         }
-        ::close(rendezvous_fd);
         // Phase 2: publish the address map so peers can mesh directly.
         std::vector<unsigned char> map(static_cast<std::size_t>(world_) * kAddrBytes);
         for (int r = 0; r < world_; ++r) {
             put_u32(map.data() + static_cast<std::size_t>(r) * kAddrBytes,
-                    peer_ip[static_cast<std::size_t>(r)]);
+                    peer_ip_[static_cast<std::size_t>(r)]);
             put_u32(map.data() + static_cast<std::size_t>(r) * kAddrBytes + 4,
-                    static_cast<std::uint32_t>(peer_port[static_cast<std::size_t>(r)]));
+                    static_cast<std::uint32_t>(peer_port_[static_cast<std::size_t>(r)]));
         }
         for (int r = 1; r < world_; ++r) {
-            write_exact(peer_fds_[static_cast<std::size_t>(r)], map.data(),
-                        map.size(), "address map");
+            if (!write_full(peer_fds_[static_cast<std::size_t>(r)].load(),
+                            map.data(), map.size())) {
+                // The peer introduced itself and died before the map: name it.
+                errno = 0;
+                throw CommError(CommErrorKind::RankKilled, rank_, r, -1, 0.0);
+            }
         }
     } else {
         // Mesh listener first, so the advertised port is live before any
-        // peer learns it from the map.
-        const int listen_fd = listen_on(0, world_);
-        const int my_port = bound_port(listen_fd);
+        // peer learns it from the map. It stays open as the resume listener.
+        listen_fd_ = listen_on(0, world_);
+        const int my_port = bound_port(listen_fd_);
 
         const sockaddr_in rendezvous =
             resolve_ipv4(config.rendezvous_host, config.rendezvous_port);
-        const int fd0 = connect_retry(rendezvous, deadline, "rendezvous");
-        send_hello(fd0, rank_, my_port);
+        const int fd0 = connect_retry(rendezvous, deadline);
+        if (fd0 < 0) {
+            errno = 0;
+            throw CommError(CommErrorKind::RecvTimeout, rank_, 0, -1, budget);
+        }
+        send_hello(fd0, rank_, my_port, /*peer=*/0, /*self=*/rank_);
         set_recv_timeout(fd0, remaining_s(deadline));
         std::vector<unsigned char> map(static_cast<std::size_t>(world_) * kAddrBytes);
-        read_exact(fd0, map.data(), map.size(), "address map");
+        switch (read_full(fd0, map.data(), map.size())) {
+            case IoResult::kOk:
+                break;
+            case IoResult::kTimeout:
+                ::close(fd0);
+                errno = 0;
+                throw CommError(CommErrorKind::RecvTimeout, rank_, 0, -1, budget);
+            case IoResult::kClosed:
+                // Rank 0 aborted its bootstrap (naming the true victim on
+                // its side); this survivor names the edge it lost.
+                ::close(fd0);
+                errno = 0;
+                throw CommError(CommErrorKind::RankKilled, rank_, 0, -1, 0.0);
+        }
         peer_fds_[0] = fd0;
         for (int r = 0; r < world_; ++r) {
-            peer_ip[static_cast<std::size_t>(r)] =
+            peer_ip_[static_cast<std::size_t>(r)] =
                 get_u32(map.data() + static_cast<std::size_t>(r) * kAddrBytes);
-            peer_port[static_cast<std::size_t>(r)] = static_cast<int>(
+            peer_port_[static_cast<std::size_t>(r)] = static_cast<int>(
                 get_u32(map.data() + static_cast<std::size_t>(r) * kAddrBytes + 4));
         }
+        // Rank 0's map slot is empty (it never dials in): its redial
+        // address is the rendezvous endpoint itself.
+        peer_ip_[0] = rendezvous.sin_addr.s_addr;
+        peer_port_[0] = config.rendezvous_port;
         // Phase 3: complete the mesh — dial every lower peer, accept every
-        // higher one (a fixed orientation, so each pair meets exactly once).
+        // higher one (a fixed orientation, so each pair meets exactly once;
+        // the reconnect dialer reuses the same orientation).
         for (int r = 1; r < rank_; ++r) {
             sockaddr_in addr{};
             addr.sin_family = AF_INET;
-            addr.sin_addr.s_addr = peer_ip[static_cast<std::size_t>(r)];
+            addr.sin_addr.s_addr = peer_ip_[static_cast<std::size_t>(r)];
             addr.sin_port = htons(static_cast<std::uint16_t>(
-                peer_port[static_cast<std::size_t>(r)]));
-            const int fd = connect_retry(addr, deadline, "rank " + std::to_string(r));
-            send_hello(fd, rank_, my_port);
+                peer_port_[static_cast<std::size_t>(r)]));
+            const int fd = connect_retry(addr, deadline);
+            if (fd < 0) {
+                errno = 0;
+                throw CommError(CommErrorKind::RecvTimeout, rank_, r, -1, budget);
+            }
+            send_hello(fd, rank_, my_port, /*peer=*/r, /*self=*/rank_);
             peer_fds_[static_cast<std::size_t>(r)] = fd;
         }
-        for (int i = rank_ + 1; i < world_; ++i) {
-            const int fd = accept_with_deadline(listen_fd, deadline, "mesh");
+        int accepted = 0;
+        while (accepted < world_ - rank_ - 1) {
+            const int fd = accept_with_deadline(listen_fd_, deadline);
+            if (fd < 0) {
+                errno = 0;
+                throw CommError(CommErrorKind::RecvTimeout, rank_,
+                                lowest_missing(rank_ + 1), -1, budget);
+            }
             set_recv_timeout(fd, remaining_s(deadline));
-            const Hello h = read_hello(fd, world_);
-            if (h.rank <= rank_ || peer_fds_[static_cast<std::size_t>(h.rank)] >= 0) {
+            Hello h;
+            switch (read_hello2(fd, world_, h)) {
+                case HelloRead::kOk:
+                    break;
+                case HelloRead::kResume:
+                    ::close(fd);
+                    continue;
+                case HelloRead::kTimeout:
+                    ::close(fd);
+                    throw CommError(CommErrorKind::RecvTimeout, rank_,
+                                    lowest_missing(rank_ + 1), -1, budget);
+                case HelloRead::kClosed:
+                    ::close(fd);
+                    throw CommError(CommErrorKind::RankKilled, rank_,
+                                    lowest_missing(rank_ + 1), -1, 0.0);
+                case HelloRead::kBad:
+                    ::close(fd);
+                    errno = 0;
+                    fail("malformed mesh hello");
+            }
+            if (h.rank <= rank_ ||
+                peer_fds_[static_cast<std::size_t>(h.rank)].load() >= 0) {
                 ::close(fd);
-                ::close(listen_fd);
                 errno = 0;
                 fail("unexpected mesh hello from rank " + std::to_string(h.rank));
             }
             peer_fds_[static_cast<std::size_t>(h.rank)] = fd;
+            ++accepted;
         }
-        ::close(listen_fd);
     }
 
     for (int r = 0; r < world_; ++r) {
-        const int fd = peer_fds_[static_cast<std::size_t>(r)];
+        const int fd = peer_fds_[static_cast<std::size_t>(r)].load();
         if (fd < 0) continue;
         set_nodelay(fd);
         clear_recv_timeout(fd);  // the receiver thread's poll() paces reads
@@ -393,6 +565,228 @@ void TcpTransport::require_local(int rank, const char* who) const {
     }
 }
 
+void TcpTransport::wake_receiver() {
+    if (wake_pipe_[1] >= 0) {
+        const char byte = 1;
+        (void)!::write(wake_pipe_[1], &byte, 1);
+    }
+}
+
+void TcpTransport::link_mark_down(int peer) {
+    bool edge = false;
+    {
+        std::lock_guard<std::mutex> lock(links_mutex_);
+        auto& link = links_[static_cast<std::size_t>(peer)];
+        edge = fsm::link_down(link.st);
+        if (edge) {
+            link.down_since = Clock::now();
+            link.next_dial = link.down_since;  // first dial immediately
+            phase_[static_cast<std::size_t>(peer)].store(
+                kPhaseDown, std::memory_order_release);
+        }
+    }
+    if (!edge) return;
+    // Shut the socket down but do NOT close the fd here: deliver() and the
+    // receiver thread may still hold it, and closing would race fd reuse.
+    // The receiver retires (closes) the fd of any non-up link.
+    const int fd = peer_fds_[static_cast<std::size_t>(peer)].load();
+    if (fd >= 0) (void)::shutdown(fd, SHUT_RDWR);
+    util::log_info("tcp rank " + std::to_string(rank_) + ": link to peer " +
+                   std::to_string(peer) + " down, reconnecting");
+    wake_receiver();
+}
+
+void TcpTransport::link_mark_dead_locked(int peer) {
+    phase_[static_cast<std::size_t>(peer)].store(kPhaseDead,
+                                                 std::memory_order_release);
+    util::log_warn("tcp rank " + std::to_string(rank_) + ": peer " +
+                   std::to_string(peer) +
+                   " declared dead (reconnect budget exhausted)");
+    wake_receiver();
+}
+
+void TcpTransport::retire_fd(int peer) {
+    std::lock_guard<std::mutex> lock(send_mutexes_[static_cast<std::size_t>(peer)]);
+    const int fd = peer_fds_[static_cast<std::size_t>(peer)].exchange(-1);
+    if (fd >= 0) ::close(fd);
+    decoders_[static_cast<std::size_t>(peer)].reset();
+}
+
+void TcpTransport::install_fd(int peer, int fd, std::uint64_t session,
+                              bool from_dial) {
+    (void)from_dial;
+    set_nodelay(fd);
+    clear_recv_timeout(fd);
+    (void)::fcntl(fd, F_SETFL, 0);  // the dial path used O_NONBLOCK
+    int old = -1;
+    {
+        std::lock_guard<std::mutex> lock(
+            send_mutexes_[static_cast<std::size_t>(peer)]);
+        old = peer_fds_[static_cast<std::size_t>(peer)].exchange(fd);
+    }
+    if (old >= 0) ::close(old);
+    decoders_[static_cast<std::size_t>(peer)].reset();
+    bool up = false;
+    {
+        std::lock_guard<std::mutex> lock(links_mutex_);
+        auto& link = links_[static_cast<std::size_t>(peer)];
+        link.installing = false;
+        fsm::link_established(link.st, session);
+        if (link.st.phase == fsm::LinkPhase::kUp) {
+            phase_[static_cast<std::size_t>(peer)].store(
+                kPhaseUp, std::memory_order_release);
+            reconnected_.push_back(peer);
+            up = true;
+        }
+    }
+    if (up) {
+        reconnects_.fetch_add(1, std::memory_order_relaxed);
+        util::log_info("tcp rank " + std::to_string(rank_) + ": peer " +
+                       std::to_string(peer) + " session " +
+                       std::to_string(session) + " resumed");
+    }
+    // A link that died while the handshake was in flight keeps phase_ at
+    // kDead; the retire scan closes the freshly installed fd.
+}
+
+int TcpTransport::dial_resume(int peer, std::uint64_t proposal) {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = peer_ip_[static_cast<std::size_t>(peer)];
+    addr.sin_port =
+        htons(static_cast<std::uint16_t>(peer_port_[static_cast<std::size_t>(peer)]));
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    (void)::fcntl(fd, F_SETFL, O_NONBLOCK);
+    int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+    if (rc != 0 && errno != EINPROGRESS) {
+        ::close(fd);
+        return -1;
+    }
+    if (rc != 0) {
+        pollfd pfd{fd, POLLOUT, 0};
+        rc = ::poll(&pfd, 1, kDialConnectMs);
+        if (rc <= 0) {
+            ::close(fd);
+            return -1;
+        }
+        int err = 0;
+        socklen_t len = sizeof(err);
+        if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0 || err != 0) {
+            ::close(fd);
+            return -1;
+        }
+    }
+    (void)::fcntl(fd, F_SETFL, 0);
+    unsigned char resume[kResumeBytes];
+    put_u32(resume + 0, kResumeMagic);
+    put_u32(resume + 4, static_cast<std::uint32_t>(rank_));
+    put_u64(resume + 8, proposal);
+    if (!write_full(fd, resume, sizeof(resume))) {
+        ::close(fd);
+        return -1;
+    }
+    set_recv_timeout(fd, kHandshakeTimeoutS);
+    unsigned char ok[kResumeBytes];
+    if (read_full(fd, ok, sizeof(ok)) != IoResult::kOk ||
+        get_u32(ok + 0) != kResumeAckMagic ||
+        get_u32(ok + 4) != static_cast<std::uint32_t>(peer) ||
+        get_u64(ok + 8) != proposal) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+void TcpTransport::accept_resume() {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;
+    set_recv_timeout(fd, kHandshakeTimeoutS);
+    unsigned char hello[kResumeBytes];
+    if (read_full(fd, hello, sizeof(hello)) != IoResult::kOk ||
+        get_u32(hello + 0) != kResumeMagic) {
+        ::close(fd);
+        return;
+    }
+    const int peer = static_cast<int>(get_u32(hello + 4));
+    const std::uint64_t proposal = get_u64(hello + 8);
+    // Reconnects keep the bootstrap orientation: only a HIGHER rank dials.
+    if (peer <= rank_ || peer >= world_) {
+        ::close(fd);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(links_mutex_);
+        if (fsm::link_resume(links_[static_cast<std::size_t>(peer)].st,
+                             proposal) != fsm::ResumeVerdict::kAccept) {
+            // Stale dial from an abandoned incarnation, or a dead link
+            // nothing may resurrect: refuse by closing.
+            ::close(fd);
+            return;
+        }
+    }
+    install_fd(peer, fd, proposal, /*from_dial=*/false);
+    unsigned char ok[kResumeBytes];
+    put_u32(ok + 0, kResumeAckMagic);
+    put_u32(ok + 4, static_cast<std::uint32_t>(rank_));
+    put_u64(ok + 8, proposal);
+    bool sent = false;
+    {
+        std::lock_guard<std::mutex> lock(
+            send_mutexes_[static_cast<std::size_t>(peer)]);
+        sent = write_full(fd, ok, sizeof(ok));
+    }
+    if (!sent) link_mark_down(peer);
+}
+
+void TcpTransport::dialer_loop() {
+    const auto patience = to_duration(reconnect_.give_up_after_s);
+    while (running_.load(std::memory_order_acquire)) {
+        ::usleep(5 * 1000);
+        const auto now = Clock::now();
+        for (int p = 0; p < rank_; ++p) {
+            std::uint64_t proposal = 0;
+            {
+                std::lock_guard<std::mutex> lock(links_mutex_);
+                auto& link = links_[static_cast<std::size_t>(p)];
+                if (link.st.phase != fsm::LinkPhase::kDown || link.installing) {
+                    continue;
+                }
+                if (now - link.down_since > patience) {
+                    if (fsm::link_expire(link.st)) link_mark_dead_locked(p);
+                    continue;
+                }
+                if (now < link.next_dial) continue;
+                if (fsm::link_dial(link.st, reconnect_) ==
+                    fsm::DialVerdict::kDead) {
+                    link_mark_dead_locked(p);
+                    continue;
+                }
+                proposal = fsm::link_propose(link.st);
+                link.next_dial =
+                    now + to_duration(fsm::link_backoff_s(link.st, reconnect_));
+            }
+            const int fd = dial_resume(p, proposal);
+            if (fd < 0) continue;
+            bool keep = false;
+            {
+                std::lock_guard<std::mutex> lock(links_mutex_);
+                auto& link = links_[static_cast<std::size_t>(p)];
+                if (link.st.phase != fsm::LinkPhase::kDead) {
+                    link.installing = true;
+                    installs_.push_back({p, fd, proposal});
+                    keep = true;
+                }
+            }
+            if (keep) {
+                wake_receiver();
+            } else {
+                ::close(fd);
+            }
+        }
+    }
+}
+
 void TcpTransport::deliver(int dst, Message msg) {
     if (dst < 0 || dst >= world_) {
         throw std::out_of_range("TcpTransport::deliver: bad destination");
@@ -401,14 +795,46 @@ void TcpTransport::deliver(int dst, Message msg) {
         mailbox_.push(std::move(msg));
         return;
     }
-    if (!peer_alive_[static_cast<std::size_t>(dst)].load(std::memory_order_acquire)) {
+    const auto d = static_cast<std::size_t>(dst);
+    if (phase_[d].load(std::memory_order_acquire) == kPhaseDead) {
         throw CommError(CommErrorKind::RankKilled, rank_, dst, msg.tag, 0.0);
     }
     std::vector<std::byte> frame;
     tcp::encode_frame(msg, dst, frame, max_payload_);
 
-    std::lock_guard<std::mutex> lock(send_mutexes_[static_cast<std::size_t>(dst)]);
-    const int fd = peer_fds_[static_cast<std::size_t>(dst)];
+    std::lock_guard<std::mutex> lock(send_mutexes_[d]);
+    const int fd = peer_fds_[d].load();
+    if (fd < 0 || phase_[d].load(std::memory_order_acquire) != kPhaseUp) {
+        // Link is mid-reconnect: the frame is LOST, deliberately and
+        // silently — the wire ARQ above holds a pristine copy and replays
+        // it the moment take_reconnected() reports the resume.
+        return;
+    }
+    if (faults_.enabled() && (faults_.only_peer < 0 || faults_.only_peer == dst) &&
+        (faults_.max_faults == 0 ||
+         socket_faults_injected_.load(std::memory_order_relaxed) <
+             faults_.max_faults)) {
+        auto& rng = fault_rng_[d];
+        const std::uint64_t ord = ++fault_ord_[d];
+        if (faults_.stall_prob > 0.0 && rng.next_double() < faults_.stall_prob) {
+            socket_faults_injected_.fetch_add(1, std::memory_order_relaxed);
+            ::usleep(static_cast<useconds_t>(faults_.stall_s * 1e6));
+        }
+        if (faults_.kill_every_n != 0 && ord % faults_.kill_every_n == 0) {
+            socket_faults_injected_.fetch_add(1, std::memory_order_relaxed);
+            (void)::shutdown(fd, SHUT_RDWR);
+            link_mark_down(dst);
+            return;
+        }
+        if (faults_.truncate_every_n != 0 && ord % faults_.truncate_every_n == 0) {
+            socket_faults_injected_.fetch_add(1, std::memory_order_relaxed);
+            const std::size_t half = frame.size() / 2 > 0 ? frame.size() / 2 : 1;
+            (void)write_full(fd, frame.data(), half);
+            (void)::shutdown(fd, SHUT_RDWR);
+            link_mark_down(dst);
+            return;
+        }
+    }
     const std::byte* p = frame.data();
     std::size_t left = frame.size();
     while (left > 0) {
@@ -419,10 +845,11 @@ void TcpTransport::deliver(int dst, Message msg) {
             continue;
         }
         if (n < 0 && errno == EINTR) continue;
-        // Broken pipe / reset: the peer is gone. Type the failure instead
-        // of letting every later exchange rediscover it.
-        drop_peer(dst);
-        throw CommError(CommErrorKind::RankKilled, rank_, dst, msg.tag, 0.0);
+        // Broken pipe / reset: down the link and drop the frame. The
+        // reconnect FSM decides whether the peer is gone for good; the ARQ
+        // layer recovers the payload either way.
+        link_mark_down(dst);
+        return;
     }
     frames_sent_.fetch_add(1, std::memory_order_relaxed);
 }
@@ -469,7 +896,8 @@ void TcpTransport::begin_epoch(int rank, int epoch) {
 bool TcpTransport::rank_alive(int rank) const {
     if (rank < 0 || rank >= world_) return false;
     if (rank == rank_) return true;
-    return peer_alive_[static_cast<std::size_t>(rank)].load(std::memory_order_acquire);
+    return phase_[static_cast<std::size_t>(rank)].load(
+               std::memory_order_acquire) != kPhaseDead;
 }
 
 std::size_t TcpTransport::pending_with_tag_at_least(int rank, int min_tag) const {
@@ -477,34 +905,65 @@ std::size_t TcpTransport::pending_with_tag_at_least(int rank, int min_tag) const
     return mailbox_.count_tag_at_least(min_tag);
 }
 
-void TcpTransport::drop_peer(int peer) {
-    bool was_alive =
-        peer_alive_[static_cast<std::size_t>(peer)].exchange(false,
-                                                            std::memory_order_acq_rel);
-    if (!was_alive) return;
-    // Shut the socket down but do NOT close the fd here: deliver() and the
-    // receiver thread may still hold it, and closing would race fd reuse.
-    // All fds are closed exactly once, in shutdown().
-    const int fd = peer_fds_[static_cast<std::size_t>(peer)];
-    if (fd >= 0) (void)::shutdown(fd, SHUT_RDWR);
-    util::log_info("tcp rank " + std::to_string(rank_) + ": peer " +
-                   std::to_string(peer) + " disconnected");
+std::vector<int> TcpTransport::take_reconnected(int rank) {
+    require_local(rank, "take_reconnected");
+    std::lock_guard<std::mutex> lock(links_mutex_);
+    std::vector<int> out;
+    out.swap(reconnected_);
+    return out;
 }
 
 void TcpTransport::receiver_loop() {
     std::vector<std::byte> buf(64 * 1024);
     std::vector<pollfd> pfds;
     std::vector<int> pfd_rank;
+    const auto patience = to_duration(reconnect_.give_up_after_s);
     while (running_.load(std::memory_order_acquire)) {
+        // 1. Install handshake-complete connections the dialer handed over.
+        std::vector<PendingInstall> installs;
+        {
+            std::lock_guard<std::mutex> lock(links_mutex_);
+            installs.swap(installs_);
+        }
+        for (const auto& inst : installs) {
+            install_fd(inst.peer, inst.fd, inst.session, /*from_dial=*/true);
+        }
+        // 2. Passive patience expiry: a downed link only the PEER can
+        // re-dial (it is the higher rank) dies after the patience window.
+        {
+            std::lock_guard<std::mutex> lock(links_mutex_);
+            const auto now = Clock::now();
+            for (int r = rank_ + 1; r < world_; ++r) {
+                auto& link = links_[static_cast<std::size_t>(r)];
+                if (link.st.phase == fsm::LinkPhase::kDown &&
+                    now - link.down_since > patience) {
+                    if (fsm::link_expire(link.st)) link_mark_dead_locked(r);
+                }
+            }
+        }
+        // 3. Retire the fd of any link no longer up.
+        for (int r = 0; r < world_; ++r) {
+            const auto idx = static_cast<std::size_t>(r);
+            if (r != rank_ &&
+                phase_[idx].load(std::memory_order_acquire) != kPhaseUp &&
+                peer_fds_[idx].load() >= 0) {
+                retire_fd(r);
+            }
+        }
+        // 4. Poll: wake pipe, resume listener, every up link.
         pfds.clear();
         pfd_rank.clear();
         pfds.push_back(pollfd{wake_pipe_[0], POLLIN, 0});
         pfd_rank.push_back(-1);
+        if (listen_fd_ >= 0) {
+            pfds.push_back(pollfd{listen_fd_, POLLIN, 0});
+            pfd_rank.push_back(-2);
+        }
         for (int r = 0; r < world_; ++r) {
-            const int fd = peer_fds_[static_cast<std::size_t>(r)];
+            const auto idx = static_cast<std::size_t>(r);
+            const int fd = peer_fds_[idx].load();
             if (fd < 0 ||
-                !peer_alive_[static_cast<std::size_t>(r)].load(
-                    std::memory_order_acquire)) {
+                phase_[idx].load(std::memory_order_acquire) != kPhaseUp) {
                 continue;
             }
             pfds.push_back(pollfd{fd, POLLIN, 0});
@@ -521,10 +980,14 @@ void TcpTransport::receiver_loop() {
             char drain[16];
             while (::read(wake_pipe_[0], drain, sizeof(drain)) > 0) {
             }
-            continue;  // re-check running_
+            continue;  // re-check running_ and re-scan link state
         }
         for (std::size_t i = 1; i < pfds.size(); ++i) {
             if (pfds[i].revents == 0) continue;
+            if (pfd_rank[i] == -2) {
+                accept_resume();
+                continue;
+            }
             const int peer = pfd_rank[i];
             const ssize_t n = ::recv(pfds[i].fd, buf.data(), buf.size(), 0);
             if (n > 0) {
@@ -536,9 +999,9 @@ void TcpTransport::receiver_loop() {
                     while (auto frame = decoder.next()) {
                         if (frame->dst != rank_ || frame->msg.source != peer) {
                             // Misrouted or spoofed: the link is not
-                            // trustworthy; reject it wholesale.
+                            // trustworthy; tear it down wholesale.
                             frames_rejected_.fetch_add(1, std::memory_order_relaxed);
-                            drop_peer(peer);
+                            link_mark_down(peer);
                             break;
                         }
                         frames_received_.fetch_add(1, std::memory_order_relaxed);
@@ -547,21 +1010,22 @@ void TcpTransport::receiver_loop() {
                 } catch (const tcp::FrameError& e) {
                     frames_rejected_.fetch_add(1, std::memory_order_relaxed);
                     util::log_warn("tcp rank " + std::to_string(rank_) +
-                                   ": dropping peer " + std::to_string(peer) +
-                                   ": " + e.what());
-                    drop_peer(peer);
+                                   ": downing link to peer " +
+                                   std::to_string(peer) + ": " + e.what());
+                    link_mark_down(peer);
                 }
             } else if (n == 0) {
                 // EOF. Mid-frame is a crash; a frame boundary is a clean
-                // exit — either way the peer is gone.
+                // exit — either way the link is down and the reconnect FSM
+                // decides whether the peer comes back.
                 if (decoders_[static_cast<std::size_t>(peer)].mid_frame()) {
                     util::log_warn("tcp rank " + std::to_string(rank_) +
                                    ": peer " + std::to_string(peer) +
                                    " disconnected mid-frame");
                 }
-                drop_peer(peer);
+                link_mark_down(peer);
             } else if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
-                drop_peer(peer);
+                link_mark_down(peer);
             }
         }
     }
@@ -570,16 +1034,20 @@ void TcpTransport::receiver_loop() {
 void TcpTransport::shutdown() {
     std::call_once(shutdown_once_, [this] {
         running_.store(false, std::memory_order_release);
-        if (wake_pipe_[1] >= 0) {
-            const char byte = 1;
-            (void)!::write(wake_pipe_[1], &byte, 1);
-        }
+        wake_receiver();
         if (receiver_.joinable()) receiver_.join();
-        for (int& fd : peer_fds_) {
-            if (fd >= 0) {
-                ::close(fd);
-                fd = -1;
-            }
+        if (dialer_.joinable()) dialer_.join();
+        for (int r = 0; r < world_; ++r) {
+            const int fd = peer_fds_[static_cast<std::size_t>(r)].exchange(-1);
+            if (fd >= 0) ::close(fd);
+        }
+        for (const auto& inst : installs_) {
+            if (inst.fd >= 0) ::close(inst.fd);
+        }
+        installs_.clear();
+        if (listen_fd_ >= 0) {
+            ::close(listen_fd_);
+            listen_fd_ = -1;
         }
         if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
         if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);

@@ -114,13 +114,28 @@ public:
 
     /// True when every rank shares this process's address space, i.e. all
     /// per-rank state of a decorator stacked on top is visible to all
-    /// ranks. The reliable layer's recovery path REQUIRES this: a receiver
-    /// pulls retransmits straight out of the sender's buffer, and its
-    /// cumulative ack is a shared counter. A multi-process fabric (TCP)
-    /// returns false, and ReliableTransport refuses to stack on it unless
-    /// explicitly told the passthrough degradation is acceptable
-    /// (ReliableConfig::allow_passthrough). Decorators forward.
+    /// ranks. ReliableTransport picks its ack plane off this bit: on a
+    /// shared-memory fabric the receiver publishes its cumulative ack into
+    /// the sender's edge state and pulls retransmits straight out of the
+    /// sender's buffer; on a multi-process fabric (TCP) acks and
+    /// gap-recovery pulls travel as real frames on the wire
+    /// (kTagReliableAck / kTagReliablePull) and both endpoints run the same
+    /// fsm::arq_* transitions cross-process. MembershipService likewise
+    /// switches its regroup barrier between the in-process condition
+    /// variable and the wire JOIN/VIEW protocol. Decorators forward.
     virtual bool shared_memory_fabric() const { return true; }
+
+    /// Drain the set of peers whose connection to `rank` was re-established
+    /// since the last call (session-resume on a socket fabric). The
+    /// reliable layer polls this from its pump and immediately runs an
+    /// ack + pull exchange with each returned peer, so frames lost in
+    /// flight across the disconnect retransmit from the ARQ buffer without
+    /// waiting out a recovery backoff. Base: no reconnects ever (empty).
+    /// Decorators forward.
+    virtual std::vector<int> take_reconnected(int rank) {
+        (void)rank;
+        return {};
+    }
 };
 
 class InProcTransport final : public Transport {

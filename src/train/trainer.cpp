@@ -139,11 +139,9 @@ TrainResult train_distributed(int world_size, comm::NetworkModel net,
             throw std::invalid_argument(
                 "train_distributed: local_rank outside world");
         }
-        if (config.membership) {
-            throw std::invalid_argument(
-                "train_distributed: membership regroup is an in-process "
-                "barrier; elastic mode is not available with local_rank");
-        }
+        // Elastic + local_rank is supported: MembershipService runs its
+        // regroup over the wire (leader-driven JOIN/VIEW frames) when the
+        // transport is not a shared-memory fabric.
     }
 
     auto worker = [&](Communicator& comm) {
@@ -805,6 +803,15 @@ TrainResult train_distributed(int world_size, comm::NetworkModel net,
         }
     }
     if (lead < 0) {
+        if (config.local_rank >= 0 && config.membership) {
+            // Multi-process elastic run and the LOCAL rank was the casualty:
+            // its clean leave() is the whole story for this process, so
+            // surface the typed death the worker's exit contract maps onto
+            // rather than a generic abort.
+            throw comm::CommError(comm::CommErrorKind::RankKilled,
+                                  config.local_rank, comm::kAnySource,
+                                  comm::kAnyTag, 0.0);
+        }
         throw std::runtime_error("train_distributed: no rank completed training");
     }
 

@@ -114,9 +114,13 @@ struct TrainConfig {
     /// typically a comm::TcpTransport whose peer ranks live in other OS
     /// processes launched by tools/gtopkrun). The returned TrainResult then
     /// describes this rank alone: final_params is the local replica,
-    /// final_members == {local_rank}. Incompatible with `membership` (the
-    /// elastic regroup barrier is an in-process object). -1 (default): the
-    /// classic mode, one thread per rank in this process.
+    /// final_members == {local_rank}. Composes with `membership`: on a
+    /// non-shared-memory transport the regroup round runs over the wire
+    /// (leader-collected JOIN frames, broadcast VIEW), so a SIGKILLed peer
+    /// yields the same elastic shrink as the in-process barrier; if the
+    /// LOCAL rank is the casualty, train_distributed throws the typed
+    /// comm::CommError(RankKilled) the process exit contract maps onto.
+    /// -1 (default): the classic mode, one thread per rank in this process.
     int local_rank = -1;
 
     /// Receive deadline (host seconds) armed on every rank; <= 0 waits

@@ -1,7 +1,8 @@
-// protocheck test suite: the extracted ARQ/membership FSMs, the explorer's
-// violation machinery, the exhaustive clean sweeps that gate the control
-// plane, the seeded-break counterexample drills WITH real-stack replay, and
-// the passthrough refusal of ReliableTransport on non-shared-memory fabrics.
+// protocheck test suite: the extracted ARQ/membership/reconnect FSMs, the
+// explorer's violation machinery, the exhaustive clean sweeps that gate the
+// control plane, the seeded-break counterexample drills WITH real-stack
+// replay, and ReliableTransport's wire ack plane (real ack/pull frames) on
+// non-shared-memory fabrics.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -14,10 +15,14 @@
 #include "analysis/protocheck/arq_model.hpp"
 #include "analysis/protocheck/explorer.hpp"
 #include "analysis/protocheck/membership_model.hpp"
+#include "analysis/protocheck/reconnect_model.hpp"
 #include "analysis/protocheck/replay.hpp"
+#include "comm/fault_transport.hpp"
 #include "comm/membership_fsm.hpp"
+#include "comm/reconnect_fsm.hpp"
 #include "comm/reliable_fsm.hpp"
 #include "comm/reliable_transport.hpp"
+#include "comm/tags.hpp"
 #include "comm/transport.hpp"
 
 namespace {
@@ -26,7 +31,6 @@ namespace pc = gtopk::analysis::protocheck;
 namespace fsm = gtopk::comm::fsm;
 using gtopk::comm::ReliableConfig;
 using gtopk::comm::ReliableTransport;
-using gtopk::comm::UnreliableFabricError;
 
 /// Clears any seeded FSM break on scope exit so a failing test cannot
 /// poison the rest of the binary (the hooks are process-global).
@@ -34,6 +38,7 @@ struct BreakGuard {
     ~BreakGuard() {
         fsm::set_arq_break(fsm::ArqBreak::kNone);
         fsm::set_membership_break(fsm::MembershipBreak::kNone);
+        fsm::set_reconnect_break(fsm::ReconnectBreak::kNone);
     }
 };
 
@@ -261,6 +266,21 @@ TEST(ProtocheckSweepTest, MembershipWorld4TwoDeathsIsClean) {
     EXPECT_TRUE(r.clean()) << r.violation.value_or("truncated");
 }
 
+TEST(ProtocheckSweepTest, ReconnectFullAdversaryIsCleanWithLiveness) {
+    // Connection losses, dropped RESUME/RESUME_OK frames, delayed backlog
+    // dials and patience expiries on either side: every schedule keeps the
+    // session monotonic and agreed, and converges (fair liveness) to one
+    // resumed link or a dead one.
+    for (int losses = 1; losses <= 2; ++losses) {
+        pc::ReconnectModelConfig cfg;
+        cfg.max_losses = losses;
+        const auto r = pc::explore(pc::ReconnectModel(cfg));
+        EXPECT_TRUE(r.clean())
+            << "losses " << losses << ": " << r.violation.value_or("truncated");
+        EXPECT_GT(r.states, 100u);  // sanity: the adversary really branches
+    }
+}
+
 TEST(ProtocheckSweepTest, SymmetryReductionPreservesVerdictAndShrinksSpace) {
     pc::MembershipModelConfig sym;
     sym.world = 3;
@@ -334,6 +354,21 @@ TEST(SeededBreakTest, QuorumBypassFinalizesMinorityViewForReal) {
     EXPECT_EQ(pc::membership_conformance_diff(cfg, trace), std::nullopt);
 }
 
+TEST(SeededBreakTest, AcceptStaleResurrectsAbandonedSession) {
+    BreakGuard guard;
+    fsm::set_reconnect_break(fsm::ReconnectBreak::kAcceptStale);
+    pc::ReconnectModelConfig cfg;
+    const auto r = pc::explore(pc::ReconnectModel(cfg));
+    ASSERT_TRUE(r.violation.has_value());
+    EXPECT_EQ(*r.violation, "stale-session-accepted");
+    ASSERT_FALSE(r.trace.empty());
+    // The BFS-minimal counterexample needs at least two dials in flight:
+    // the newer proposal delivered first, then the stale backlog one.
+    int dials = 0;
+    for (const auto& step : r.trace) dials += step.label == "dial";
+    EXPECT_GE(dials, 2);
+}
+
 TEST(SeededBreakTest, CleanFsmsFindNoCounterexample) {
     // Guard against the drills passing vacuously: with no break seeded the
     // same configurations must verify clean.
@@ -344,6 +379,7 @@ TEST(SeededBreakTest, CleanFsmsFindNoCounterexample) {
     mcfg.world = 3;
     mcfg.max_kills = 1;
     EXPECT_TRUE(pc::explore(pc::MembershipModel(mcfg)).clean());
+    EXPECT_TRUE(pc::explore(pc::ReconnectModel(pc::ReconnectModelConfig{})).clean());
 }
 
 // ---------------------------------------------------------------------------
@@ -368,11 +404,14 @@ TEST(ConformanceTest, EpochBumpTracesMatchRealTransportExactly) {
 }
 
 // ---------------------------------------------------------------------------
-// Passthrough refusal: ReliableTransport must not silently degrade on a
-// fabric whose ranks do not share this process's address space.
+// Wire ack plane: on a fabric whose ranks do NOT share this process's
+// address space, ReliableTransport must run the full ARQ cross-"process" —
+// acks and gap pulls as real frames, never the old silent passthrough.
 
 /// Minimal non-shared-memory fabric: an in-process mailbox fabric that
-/// REPORTS itself as multi-process (what TcpTransport returns).
+/// REPORTS itself as multi-process (what TcpTransport returns). The
+/// reliable layer cannot tell the difference, so its wire ack plane is
+/// testable without sockets.
 class ForeignFabric final : public gtopk::comm::Transport {
 public:
     explicit ForeignFabric(int world) : inner_(world) {}
@@ -394,25 +433,175 @@ private:
     gtopk::comm::InProcTransport inner_;
 };
 
-TEST(PassthroughRefusalTest, ThrowsTypedErrorOnNonSharedMemoryFabric) {
-    EXPECT_THROW(ReliableTransport(std::make_unique<ForeignFabric>(2),
-                                   ReliableConfig{}),
-                 UnreliableFabricError);
+/// Application-band tag for the wire-ARQ round-trip drills.
+constexpr int kWireTestTag = 7;
+
+gtopk::comm::Message make_msg(int source, int tag, int payload_byte) {
+    gtopk::comm::Message m;
+    m.source = source;
+    m.tag = tag;
+    m.epoch = 0;
+    m.arrival_time_s = 0.0;
+    m.payload.assign(4, std::byte{static_cast<unsigned char>(payload_byte)});
+    return m;
 }
 
-TEST(PassthroughRefusalTest, ExplicitOptInAllowsPassthrough) {
-    ReliableConfig cfg;
-    cfg.allow_passthrough = true;
-    ReliableTransport t(std::make_unique<ForeignFabric>(2), cfg);
+TEST(WireArqTest, ConstructsAndRoundTripsOnNonSharedMemoryFabric) {
+    ReliableTransport t(std::make_unique<ForeignFabric>(2), ReliableConfig{});
     EXPECT_FALSE(t.shared_memory_fabric());
+    t.deliver(1, make_msg(/*source=*/0, kWireTestTag, /*payload_byte=*/0x2a));
+    const auto got = t.try_receive(1, 0, kWireTestTag);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->payload.size(), 4u);
+    EXPECT_EQ(std::to_integer<int>(got->payload[0]), 0x2a);
+    // The delivery owes rank 0 a cumulative-ack frame; draining rank 0's
+    // side folds it without error (and without touching shared state).
+    (void)t.try_receive(0, 1, kWireTestTag);
     t.shutdown();
 }
 
-TEST(PassthroughRefusalTest, SharedMemoryFabricNeedsNoOptIn) {
+TEST(WireArqTest, DropsRecoverThroughPullFramesBitIdentically) {
+    gtopk::comm::FaultPlan plan;
+    plan.seed = 99;
+    gtopk::comm::FaultRule rule;
+    rule.tag = gtopk::comm::kTagReliableData;
+    rule.drop_every_n = 2;  // every 2nd envelope on each edge vanishes
+    plan.add(rule);
+    ReliableTransport t(
+        std::make_unique<gtopk::comm::FaultInjectingTransport>(
+            std::make_unique<ForeignFabric>(2), plan),
+        ReliableConfig{});
+    EXPECT_FALSE(t.shared_memory_fabric());
+
+    constexpr int kMsgs = 8;
+    for (int i = 0; i < kMsgs; ++i) {
+        t.deliver(1, make_msg(0, kWireTestTag, /*payload_byte=*/i));
+    }
+    // Drive both endpoints explicitly (deterministic, no backoff clock):
+    // rank 1 names its gap head in pull frames, rank 0 answers them with
+    // retransmits, rank 1 drains the recovered envelopes.
+    std::vector<int> got;
+    for (int round = 0; round < 64 && static_cast<int>(got.size()) < kMsgs;
+         ++round) {
+        (void)t.recover_now(1);  // drain + emit pulls
+        (void)t.recover_now(0);  // fold acks, answer pulls
+        while (auto m = t.try_receive(1, 0, kWireTestTag)) {
+            got.push_back(std::to_integer<int>(m->payload[0]));
+        }
+    }
+    ASSERT_EQ(got.size(), static_cast<std::size_t>(kMsgs));
+    for (int i = 0; i < kMsgs; ++i) EXPECT_EQ(got[static_cast<std::size_t>(i)], i);
+    EXPECT_GT(t.counts().retransmits, 0u);
+    t.shutdown();
+}
+
+TEST(WireArqTest, MalformedControlFramesAreDroppedNotFolded) {
+    ReliableTransport t(std::make_unique<ForeignFabric>(2), ReliableConfig{});
+    // A corrupted ack frame must never GC unacked payloads: feed garbage
+    // directly to the inner fabric on the reserved ack tag.
+    gtopk::comm::Message junk;
+    junk.source = 1;
+    junk.tag = gtopk::comm::kTagReliableAck;
+    junk.epoch = 0;
+    junk.payload.assign(3, std::byte{0x5a});  // wrong size, wrong magic
+    t.inner().deliver(0, std::move(junk));
+    const auto before = t.counts().corrupt_dropped;
+    (void)t.recover_now(0);
+    EXPECT_GT(t.counts().corrupt_dropped, before);
+    t.shutdown();
+}
+
+TEST(WireArqTest, SharedMemoryFabricKeepsSharedAckPlane) {
     ReliableTransport t(
         std::make_unique<gtopk::comm::InProcTransport>(2), ReliableConfig{});
     EXPECT_TRUE(t.shared_memory_fabric());
     t.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Reconnect FSM unit tests (the socket layer's session-resume spec).
+
+TEST(ReconnectFsmTest, DownDialEstablishRoundTrip) {
+    fsm::LinkState dialer;  // higher rank
+    fsm::LinkState acceptor;
+    const fsm::ReconnectPolicy policy;
+    EXPECT_TRUE(fsm::link_down(dialer));
+    EXPECT_FALSE(fsm::link_down(dialer));  // edge-triggered
+    EXPECT_TRUE(fsm::link_down(acceptor));
+    EXPECT_EQ(fsm::link_dial(dialer, policy), fsm::DialVerdict::kDial);
+    const std::uint64_t proposal = fsm::link_propose(dialer);
+    EXPECT_GT(proposal, dialer.session);
+    EXPECT_EQ(fsm::link_resume(acceptor, proposal),
+              fsm::ResumeVerdict::kAccept);
+    EXPECT_EQ(acceptor.session, proposal);
+    fsm::link_established(dialer, proposal);
+    EXPECT_EQ(dialer.phase, fsm::LinkPhase::kUp);
+    EXPECT_EQ(dialer.session, acceptor.session);
+}
+
+TEST(ReconnectFsmTest, StaleProposalRejectedSessionsMonotonic) {
+    fsm::LinkState acceptor;
+    acceptor.session = 5;
+    EXPECT_EQ(fsm::link_resume(acceptor, 5), fsm::ResumeVerdict::kRejectStale);
+    EXPECT_EQ(fsm::link_resume(acceptor, 3), fsm::ResumeVerdict::kRejectStale);
+    EXPECT_EQ(acceptor.session, 5u);
+    EXPECT_EQ(fsm::link_resume(acceptor, 6), fsm::ResumeVerdict::kAccept);
+}
+
+TEST(ReconnectFsmTest, LostResumeOkRetryStillClearsAcceptorBar) {
+    // Dial 1's RESUME_OK is lost AFTER the acceptor installed the session:
+    // the retry must propose something the acceptor still accepts.
+    fsm::LinkState dialer;
+    fsm::LinkState acceptor;
+    const fsm::ReconnectPolicy policy;
+    (void)fsm::link_down(dialer);
+    (void)fsm::link_down(acceptor);
+    (void)fsm::link_dial(dialer, policy);
+    const std::uint64_t p1 = fsm::link_propose(dialer);
+    EXPECT_EQ(fsm::link_resume(acceptor, p1), fsm::ResumeVerdict::kAccept);
+    // ...RESUME_OK lost; dialer never learns, dials again.
+    (void)fsm::link_dial(dialer, policy);
+    const std::uint64_t p2 = fsm::link_propose(dialer);
+    EXPECT_GT(p2, p1);
+    EXPECT_EQ(fsm::link_resume(acceptor, p2), fsm::ResumeVerdict::kAccept);
+}
+
+TEST(ReconnectFsmTest, BudgetExhaustionIsAbsorbingDeath) {
+    fsm::LinkState st;
+    fsm::ReconnectPolicy policy;
+    policy.max_attempts = 2;
+    (void)fsm::link_down(st);
+    EXPECT_EQ(fsm::link_dial(st, policy), fsm::DialVerdict::kDial);
+    EXPECT_EQ(fsm::link_dial(st, policy), fsm::DialVerdict::kDial);
+    EXPECT_EQ(fsm::link_dial(st, policy), fsm::DialVerdict::kDead);
+    EXPECT_EQ(st.phase, fsm::LinkPhase::kDead);
+    // Nothing revives a dead link.
+    EXPECT_EQ(fsm::link_resume(st, 100), fsm::ResumeVerdict::kRejectDead);
+    fsm::link_established(st, 100);
+    EXPECT_EQ(st.phase, fsm::LinkPhase::kDead);
+    EXPECT_FALSE(fsm::link_down(st));
+}
+
+TEST(ReconnectFsmTest, BackoffDoublesAndClamps) {
+    fsm::LinkState st;
+    fsm::ReconnectPolicy policy;
+    policy.initial_backoff_s = 0.05;
+    policy.max_backoff_s = 0.4;
+    (void)fsm::link_down(st);
+    EXPECT_DOUBLE_EQ(fsm::link_backoff_s(st, policy), 0.05);
+    st.attempts = 1;
+    EXPECT_DOUBLE_EQ(fsm::link_backoff_s(st, policy), 0.1);
+    st.attempts = 10;
+    EXPECT_DOUBLE_EQ(fsm::link_backoff_s(st, policy), 0.4);
+}
+
+TEST(ReconnectFsmTest, PassiveExpiryOnlyFromDown) {
+    fsm::LinkState st;
+    EXPECT_FALSE(fsm::link_expire(st));  // up: patience does not apply
+    (void)fsm::link_down(st);
+    EXPECT_TRUE(fsm::link_expire(st));
+    EXPECT_EQ(st.phase, fsm::LinkPhase::kDead);
+    EXPECT_FALSE(fsm::link_expire(st));  // absorbing
 }
 
 }  // namespace

@@ -391,8 +391,11 @@ TEST(TcpFailureShape, PeerDeathIsTypedOnEveryRank) {
 // ---------------------------------------------------------------------------
 // Decorator composition: ReliableTransport (+ Recording in the conformance
 // test above, + FaultInjecting in the kill test) stacks over TcpTransport
-// unchanged. Cross-process the ack/recovery plane degrades to an envelope
-// passthrough (DESIGN.md §15), which must still be a bit-exact identity.
+// unchanged. Cross-process the ack/recovery plane runs the full wire ARQ —
+// sequence envelopes out, cumulative-ack and gap-pull frames back
+// (DESIGN.md §15) — which on a fault-free fabric must still be a bit-exact
+// identity. tcp_recovery_test.cpp drives the same stack through seeded
+// drops, socket kills and rank death.
 
 TEST(TcpDecorators, ReliableEnvelopeOverTcpIsBitExact) {
     const int world = 4;

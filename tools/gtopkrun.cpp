@@ -12,10 +12,21 @@
 // and the rendezvous host defaults to the first entry (rank 0's host) so
 // every peer can reach rank 0.
 //
-// Supervision: the launcher waits for all ranks; the first rank to exit
-// non-zero (or die on a signal) gets the rest SIGTERMed, and its status
-// becomes the launcher's. SIGINT/SIGTERM on the launcher forward to every
-// child, so ^C tears the whole world down.
+// Supervision: the launcher waits for all ranks; the first UNEXPECTED
+// failure (non-zero exit or signal death) triggers a graceful teardown of
+// the rest — SIGTERM first, then a --grace drain window for survivors to
+// flush checkpoints and flight-recorder bundles, then SIGKILL for whatever
+// is still standing. The first failing rank's identity and code are printed
+// as one parseable diagnostic line ("gtopkrun: first failure: rank R code
+// C") and the code becomes the launcher's own exit status. SIGINT/SIGTERM
+// on the launcher start the same graceful teardown, so ^C drains rather
+// than orphans.
+//
+// Chaos runs NEED some ranks to die: --victim R marks rank R as an expected
+// casualty (its death is logged but never fails the run or tears the world
+// down — the survivors are supposed to regroup around it), and
+// --allow-exit C whitelists an exit code for every rank (e.g. 43, the
+// typed rank-killed code of the test workers).
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <signal.h>
@@ -23,7 +34,9 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -40,7 +53,9 @@ void on_signal(int sig) { g_signal = sig; }
 int usage(const char* argv0) {
     std::cerr << "usage: " << argv0
               << " -n <ranks> [--hostfile <file>] [--rendezvous-host <host>]"
-                 " [--rendezvous-port <port>] -- <program> [args...]\n";
+                 " [--rendezvous-port <port>] [--grace <seconds>]"
+                 " [--victim <rank>]... [--allow-exit <code>]..."
+                 " -- <program> [args...]\n";
     return 2;
 }
 
@@ -74,6 +89,7 @@ bool is_local_host(const std::string& host) {
 struct Child {
     pid_t pid = -1;
     int rank = -1;
+    bool running = true;
 };
 
 }  // namespace
@@ -84,6 +100,9 @@ int main(int argc, char** argv) {
     std::string rendezvous_host;
     int rendezvous_port = 0;
     int cmd_start = -1;
+    double grace_s = 5.0;
+    std::vector<int> victims;
+    std::vector<int> allowed_codes;
 
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "-n") == 0 && i + 1 < argc) {
@@ -94,6 +113,12 @@ int main(int argc, char** argv) {
             rendezvous_host = argv[++i];
         } else if (std::strcmp(argv[i], "--rendezvous-port") == 0 && i + 1 < argc) {
             rendezvous_port = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--grace") == 0 && i + 1 < argc) {
+            grace_s = std::atof(argv[++i]);
+        } else if (std::strcmp(argv[i], "--victim") == 0 && i + 1 < argc) {
+            victims.push_back(std::atoi(argv[++i]));
+        } else if (std::strcmp(argv[i], "--allow-exit") == 0 && i + 1 < argc) {
+            allowed_codes.push_back(std::atoi(argv[++i]));
         } else if (std::strcmp(argv[i], "--") == 0) {
             cmd_start = i + 1;
             break;
@@ -191,26 +216,64 @@ int main(int argc, char** argv) {
         children.push_back(Child{pid, rank});
     }
 
-    // Supervise: reap everyone; first failure triggers a teardown of the
-    // rest but reaping continues so no zombies outlive the launcher.
+    // Supervise: reap everyone; the first UNEXPECTED failure starts the
+    // graceful teardown (SIGTERM, drain grace, then SIGKILL) but reaping
+    // continues so no zombies outlive the launcher. Expected victims
+    // (--victim) and whitelisted codes (--allow-exit) never trigger it.
+    using Clock = std::chrono::steady_clock;
     int exit_code = 0;
+    int first_fail_rank = -1;
     bool torn_down = false;
+    bool hard_killed = false;
+    Clock::time_point term_deadline{};
     std::size_t live = children.size();
+
+    const auto begin_teardown = [&] {
+        if (torn_down) return;
+        torn_down = true;
+        term_deadline = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                           std::chrono::duration<double>(grace_s));
+        for (const Child& c : children) {
+            if (c.running) ::kill(c.pid, SIGTERM);
+        }
+    };
+
     while (live > 0) {
         if (g_signal != 0 && !torn_down) {
-            for (const Child& c : children) ::kill(c.pid, SIGTERM);
-            torn_down = true;
             if (exit_code == 0) exit_code = 128 + static_cast<int>(g_signal);
+            begin_teardown();
+        }
+        if (torn_down && !hard_killed && Clock::now() >= term_deadline) {
+            // Drain grace expired: whatever ignored SIGTERM is hung — a
+            // stalled collective, a wedged reconnect — and gets no more time.
+            hard_killed = true;
+            for (const Child& c : children) {
+                if (!c.running) continue;
+                std::cerr << "gtopkrun: rank " << c.rank
+                          << " did not drain within " << grace_s
+                          << "s; killing\n";
+                ::kill(c.pid, SIGKILL);
+            }
         }
         int status = 0;
-        const pid_t pid = ::waitpid(-1, &status, 0);
+        // Non-blocking reaps while a teardown is draining, so the grace
+        // deadline actually fires; blocking wait otherwise (signals break
+        // it out via EINTR).
+        const pid_t pid = ::waitpid(-1, &status, torn_down ? WNOHANG : 0);
+        if (pid == 0) {
+            ::usleep(20 * 1000);
+            continue;
+        }
         if (pid < 0) {
             if (errno == EINTR) continue;
             break;
         }
         int rank = -1;
-        for (const Child& c : children) {
-            if (c.pid == pid) rank = c.rank;
+        for (Child& c : children) {
+            if (c.pid == pid) {
+                rank = c.rank;
+                c.running = false;
+            }
         }
         --live;
         int code = 0;
@@ -221,16 +284,27 @@ int main(int argc, char** argv) {
             std::cerr << "gtopkrun: rank " << rank << " killed by signal "
                       << WTERMSIG(status) << "\n";
         }
-        if (code != 0) {
-            if (exit_code == 0) exit_code = code;
-            if (!torn_down) {
-                std::cerr << "gtopkrun: rank " << rank << " exited with " << code
-                          << "; terminating remaining ranks\n";
-                for (const Child& c : children) {
-                    if (c.pid != pid) ::kill(c.pid, SIGTERM);
-                }
-                torn_down = true;
-            }
+        if (code == 0) continue;
+        const bool expected =
+            std::find(victims.begin(), victims.end(), rank) != victims.end() ||
+            std::find(allowed_codes.begin(), allowed_codes.end(), code) !=
+                allowed_codes.end();
+        if (expected) {
+            std::cerr << "gtopkrun: rank " << rank << " exited with " << code
+                      << " (expected casualty); world continues\n";
+            continue;
+        }
+        if (first_fail_rank < 0) {
+            first_fail_rank = rank;
+            exit_code = code;
+            // The one parseable line scripts and CI grep for.
+            std::cerr << "gtopkrun: first failure: rank " << rank << " code "
+                      << code << "\n";
+        }
+        if (!torn_down) {
+            std::cerr << "gtopkrun: terminating remaining ranks (grace "
+                      << grace_s << "s)\n";
+            begin_teardown();
         }
     }
     return exit_code;

@@ -1,20 +1,23 @@
 // protocheck — exhaustive protocol model checker for the control plane.
 //
 // Explores every reachable state of small-world instances of the ARQ
-// (ReliableTransport) and membership/epoch (MembershipService) protocols
-// under an adversarial network, checking safety invariants on every state
-// and liveness under fairness over the full graph. The models execute the
-// SAME fsm::* transition functions the production code executes
-// (src/comm/reliable_fsm.*, src/comm/membership_fsm.*), so a clean sweep
-// certifies the code paths themselves, not a parallel reimplementation —
-// and --seed-break flips a deliberate protocol bug that must surface as a
-// counterexample AND reproduce through the real stack (--replay).
+// (ReliableTransport), membership/epoch (MembershipService) and
+// reconnect/session-resume (TcpTransport link recovery) protocols under an
+// adversarial network, checking safety invariants on every state and
+// liveness under fairness over the full graph. The models execute the SAME
+// fsm::* transition functions the production code executes
+// (src/comm/reliable_fsm.*, src/comm/membership_fsm.*,
+// src/comm/reconnect_fsm.*), so a clean sweep certifies the code paths
+// themselves, not a parallel reimplementation — and --seed-break flips a
+// deliberate protocol bug that must surface as a counterexample AND (for
+// arq/membership) reproduce through the real stack (--replay).
 //
 // Usage:
-//   protocheck --proto arq|epoch|membership|all [--world 2..4]
+//   protocheck --proto arq|epoch|membership|reconnect|all [--world 2..4]
 //              [--max-msgs N] [--dup-budget N] [--corrupt-budget N]
-//              [--kills N] [--joins N] [--max-states N] [--no-symmetry]
-//              [--seed-break none|quorum|gc-unacked|accept-dup]
+//              [--kills N] [--joins N] [--losses N] [--attempts N]
+//              [--max-states N] [--no-symmetry]
+//              [--seed-break none|quorum|gc-unacked|accept-dup|accept-stale]
 //              [--replay] [--replay-sample N] [--seed S]
 //              [--report out.json] [-v]
 //
@@ -24,6 +27,7 @@
 //   * with --seed-break: the sweep DID find a counterexample for the
 //     seeded bug, and (with --replay) the trace reproduced the failure
 //     through the real transport/service.
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
@@ -35,8 +39,10 @@
 #include "analysis/protocheck/arq_model.hpp"
 #include "analysis/protocheck/explorer.hpp"
 #include "analysis/protocheck/membership_model.hpp"
+#include "analysis/protocheck/reconnect_model.hpp"
 #include "analysis/protocheck/replay.hpp"
 #include "comm/membership_fsm.hpp"
+#include "comm/reconnect_fsm.hpp"
 #include "comm/reliable_fsm.hpp"
 
 namespace pc = gtopk::analysis::protocheck;
@@ -53,6 +59,8 @@ struct Options {
     int corrupt_budget = 1;
     int kills = 1;
     int joins = 2;
+    int losses = 1;
+    int attempts = 3;
     std::uint64_t max_states = 2'000'000;
     bool symmetry = true;
     std::string seed_break = "none";
@@ -94,7 +102,8 @@ Options parse_args(int argc, char** argv) {
         if (arg == "--proto") {
             o.proto = need_value();
             if (o.proto != "arq" && o.proto != "epoch" &&
-                o.proto != "membership" && o.proto != "all") {
+                o.proto != "membership" && o.proto != "reconnect" &&
+                o.proto != "all") {
                 usage_error("unknown --proto " + o.proto);
             }
         } else if (arg == "--world") {
@@ -111,6 +120,10 @@ Options parse_args(int argc, char** argv) {
             o.kills = std::stoi(need_value());
         } else if (arg == "--joins") {
             o.joins = std::stoi(need_value());
+        } else if (arg == "--losses") {
+            o.losses = std::stoi(need_value());
+        } else if (arg == "--attempts") {
+            o.attempts = std::stoi(need_value());
         } else if (arg == "--max-states") {
             o.max_states = std::stoull(need_value());
         } else if (arg == "--no-symmetry") {
@@ -118,7 +131,8 @@ Options parse_args(int argc, char** argv) {
         } else if (arg == "--seed-break") {
             o.seed_break = need_value();
             if (o.seed_break != "none" && o.seed_break != "quorum" &&
-                o.seed_break != "gc-unacked" && o.seed_break != "accept-dup") {
+                o.seed_break != "gc-unacked" && o.seed_break != "accept-dup" &&
+                o.seed_break != "accept-stale") {
                 usage_error("unknown --seed-break " + o.seed_break);
             }
         } else if (arg == "--replay") {
@@ -238,6 +252,8 @@ int main(int argc, char** argv) {
         fsm::set_arq_break(fsm::ArqBreak::kGcDropsUnacked);
     } else if (o.seed_break == "accept-dup") {
         fsm::set_arq_break(fsm::ArqBreak::kAcceptDuplicates);
+    } else if (o.seed_break == "accept-stale") {
+        fsm::set_reconnect_break(fsm::ReconnectBreak::kAcceptStale);
     }
     const bool expect_violation = o.seed_break != "none";
 
@@ -249,6 +265,7 @@ int main(int argc, char** argv) {
     const bool run_arq = o.proto == "arq" || o.proto == "all";
     const bool run_epoch = o.proto == "epoch" || o.proto == "all";
     const bool run_membership = o.proto == "membership" || o.proto == "all";
+    const bool run_reconnect = o.proto == "reconnect" || o.proto == "all";
 
     std::vector<int> bump_variants;  // 0 = plain arq, 1 = epoch-bump sweep
     if (run_arq) bump_variants.push_back(0);
@@ -344,10 +361,31 @@ int main(int argc, char** argv) {
         }
     }
 
+    if (run_reconnect) {
+        for (int losses = 1; losses <= std::max(1, o.losses); ++losses) {
+            pc::ReconnectModelConfig cfg;
+            cfg.max_losses = losses;
+            cfg.max_attempts = static_cast<std::uint64_t>(o.attempts);
+            const pc::ReconnectModel model(cfg);
+            const std::string name =
+                "reconnect(losses=" + std::to_string(losses) +
+                ",attempts=" + std::to_string(o.attempts) + ")";
+            SweepResult r = run_sweep<pc::ReconnectModel>(name, model,
+                                                          o.max_states, nullptr);
+            const bool violated = !r.violation.empty();
+            found_violation |= violated;
+            truncated |= r.truncated;
+            print_result(r, o.verbose);
+            results.push_back(std::move(r));
+            if (violated) break;  // one counterexample suffices
+        }
+    }
+
     if (!o.report_path.empty()) write_report(o.report_path, results);
 
     fsm::set_arq_break(fsm::ArqBreak::kNone);
     fsm::set_membership_break(fsm::MembershipBreak::kNone);
+    fsm::set_reconnect_break(fsm::ReconnectBreak::kNone);
 
     if (truncated) {
         std::cerr << "protocheck: sweep truncated — raise --max-states\n";
